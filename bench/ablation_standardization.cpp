@@ -1,0 +1,87 @@
+//===- bench/ablation_standardization.cpp - ID_P standardization ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// DESIGN.md ablation 4: the processor view standardizes each
+// processor's times over *its own* total within the region (Sec. 3.1),
+// comparing behavioral *mixes*; the naive alternative compares raw
+// per-processor totals.  The task farm separates the two cleanly: the
+// master has a tiny total (the raw criterion ranks it harmless) but a
+// wildly different mix (the paper's criterion flags it as the
+// structural anomaly it is); the raw criterion points at whichever
+// worker drew the longest tasks — noise, under self-scheduling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/MasterWorker.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "stats/Descriptive.h"
+#include "stats/Standardize.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  ExitOnError ExitOnErr("ablation_standardization: ");
+  raw_ostream &OS = outs();
+  OS << "=== Ablation: processor-view standardization scheme ===\n"
+     << "task farm, 1 master + 8 workers, log-normal task sizes\n\n";
+
+  gallery::MasterWorkerConfig Config;
+  Config.Procs = 9;
+  Config.Tasks = 200;
+  Config.TaskSizeSigma = 1.0;
+  auto Cube =
+      ExitOnErr(reduceTrace(ExitOnErr(gallery::runMasterWorker(Config))));
+
+  // Paper scheme: per-processor activity-mix deviation (Sec. 3.1).
+  ProcessorView MixView = computeProcessorView(Cube);
+
+  // Naive alternative: dispersion of raw per-processor totals — one
+  // number per processor, its deviation from the mean total.
+  std::vector<double> Totals(Cube.numProcs());
+  for (unsigned P = 0; P != Cube.numProcs(); ++P)
+    Totals[P] = Cube.procRegionTime(0, P);
+  std::vector<double> Shares = stats::toShares(Totals);
+  double MeanShare = stats::mean(Shares);
+
+  TextTable Table({"proc", "total busy [s]", "mix-based ID_P (paper)",
+                   "raw-total deviation"});
+  for (unsigned P = 0; P != Cube.numProcs(); ++P) {
+    std::string Label = std::to_string(P + 1);
+    if (P == 0)
+      Label += " (master)";
+    Table.addRow({Label, formatFixed(Totals[P], 3),
+                  formatFixed(MixView.Index[0][P], 4),
+                  formatFixed(std::fabs(Shares[P] - MeanShare), 4)});
+  }
+  Table.print(OS);
+
+  unsigned MixWinner =
+      static_cast<unsigned>(stats::argMax(MixView.Index[0]));
+  std::vector<double> RawDeviation(Cube.numProcs());
+  for (unsigned P = 0; P != Cube.numProcs(); ++P)
+    RawDeviation[P] = std::fabs(Shares[P] - MeanShare);
+  unsigned RawWinner = static_cast<unsigned>(stats::argMax(RawDeviation));
+
+  OS << "\nmost anomalous processor:\n"
+     << "  paper's mix standardization -> processor " << MixWinner + 1
+     << (MixWinner == 0 ? " (the master: structurally different role)"
+                        : "")
+     << '\n'
+     << "  raw-total alternative       -> processor " << RawWinner + 1
+     << (RawWinner == 0 ? "" : " (a worker that drew long tasks: noise)")
+     << '\n';
+  OS << "\nconclusion: standardizing per processor isolates *behavioral* "
+        "deviation from sheer load, which is why Sec. 3.1 prescribes "
+        "it; the raw alternative conflates the two.\n";
+  OS.flush();
+  return 0;
+}

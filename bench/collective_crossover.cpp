@@ -1,0 +1,91 @@
+//===- bench/collective_crossover.cpp - allreduce algorithm crossover -----===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment: the collective wait time the methodology
+// attributes to the "collective" activity depends on the collective's
+// *implementation*.  This bench sweeps the allreduce message size at
+// several machine sizes and prints which algorithm wins where: the
+// latency-optimal recursive doubling for small messages, the
+// bandwidth-optimal ring for large ones, with the crossover point
+// moving with P.  It then re-runs the simulated CFD program under each
+// algorithm to show the effect reaching the per-loop breakdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/TraceReduction.h"
+#include "sim/Network.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::sim;
+
+int main() {
+  ExitOnError ExitOnErr("collective_crossover: ");
+  raw_ostream &OS = outs();
+  OS << "=== Allreduce algorithm crossover (alpha = 40us, beta = "
+        "100 MB/s) ===\n\n";
+
+  NetworkModel Net;
+  Net.Latency = 40e-6;
+  Net.BytesPerSecond = 100e6;
+
+  const AllReduceAlgorithm Algorithms[] = {
+      AllReduceAlgorithm::Tree, AllReduceAlgorithm::RecursiveDoubling,
+      AllReduceAlgorithm::Ring};
+
+  for (unsigned Procs : {8u, 64u}) {
+    TextTable Table({"message bytes", "tree [us]", "recursive-doubling "
+                     "[us]", "ring [us]", "winner"});
+    Table.setAlign(4, Align::Left);
+    uint64_t PreviousWinnerChangedAt = 0;
+    AllReduceAlgorithm PreviousWinner = AllReduceAlgorithm::Tree;
+    for (uint64_t Bytes : {64ull, 1024ull, 16384ull, 262144ull, 4194304ull,
+                           67108864ull}) {
+      double Best = 0.0;
+      AllReduceAlgorithm Winner = AllReduceAlgorithm::Tree;
+      std::vector<std::string> Row = {std::to_string(Bytes)};
+      for (AllReduceAlgorithm Algorithm : Algorithms) {
+        double Time = Net.allReduceTimeAs(Algorithm, Procs, Bytes);
+        Row.push_back(formatFixed(Time * 1e6, 1));
+        if (Algorithm == AllReduceAlgorithm::Tree || Time < Best) {
+          Best = Time;
+          Winner = Algorithm;
+        }
+      }
+      Row.push_back(std::string(allReduceAlgorithmName(Winner)));
+      Table.addRow(std::move(Row));
+      if (Winner != PreviousWinner && PreviousWinnerChangedAt == 0)
+        PreviousWinnerChangedAt = Bytes;
+      PreviousWinner = Winner;
+    }
+    Table.setTitle("P = " + std::to_string(Procs));
+    Table.print(OS);
+    OS << '\n';
+  }
+
+  OS << "effect on the CFD program (P = 16, collective share of the "
+        "pressure loop):\n";
+  for (AllReduceAlgorithm Algorithm : Algorithms) {
+    cfd::CfdConfig Config;
+    Config.Iterations = 3;
+    Config.Network.AllReduce = Algorithm;
+    auto Cube =
+        ExitOnErr(core::reduceTrace(ExitOnErr(cfd::runCfd(Config)).Trace));
+    OS << "  " << leftJustify(allReduceAlgorithmName(Algorithm), 20)
+       << " coll time " << formatFixed(Cube.regionActivityTime(0, 2), 3)
+       << " s, program " << formatFixed(Cube.programTime(), 3) << " s\n";
+  }
+  OS << "\nnote: in the CFD program the collective time is dominated by "
+        "*skew wait*, not by the algorithm's wire cost (8-byte "
+        "reductions), so the per-loop breakdown barely moves — exactly "
+        "the distinction between implementation cost and load-imbalance "
+        "wait the methodology's activity attribution makes visible.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- bench/counting_view.cpp - counting-parameter extension -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment: Section 2 of the paper names counting
+// parameters (messages, bytes, ...) alongside timings but sets them
+// aside "not to clutter the presentation".  This bench runs the same
+// dissimilarity machinery over message counts and bytes of a CFD run
+// and contrasts the result with the timing view: the wavefront region's
+// *time* is balanced (everyone waits alike) while its *message counts*
+// are not (edge ranks send half as much) — complementary evidence the
+// timing view alone misses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/CountingReduction.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+#include "trace/TraceStats.h"
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  ExitOnError ExitOnErr("counting_view: ");
+  raw_ostream &OS = outs();
+  OS << "=== Counting parameters: dissimilarity of message counts and "
+        "bytes ===\n\n";
+
+  cfd::CfdConfig Config;
+  Config.Iterations = 4;
+  auto Run = ExitOnErr(cfd::runCfd(Config));
+
+  MeasurementCube TimeCube = ExitOnErr(reduceTrace(Run.Trace));
+  auto TimeMatrix = computeDissimilarityMatrix(TimeCube);
+
+  TextTable Table({"region", "ID(p2p time)", "ID(msgs sent)",
+                   "ID(bytes sent)", "msgs/proc", "bytes/proc"});
+  Table.setAlign(0, Align::Left);
+
+  MeasurementCube Msgs = ExitOnErr(
+      reduceTraceCounts(Run.Trace, CountingMetric::MessagesSent));
+  MeasurementCube Bytes = ExitOnErr(
+      reduceTraceCounts(Run.Trace, CountingMetric::BytesSent));
+  auto MsgMatrix = computeDissimilarityMatrix(Msgs);
+  auto ByteMatrix = computeDissimilarityMatrix(Bytes);
+
+  for (size_t I = 0; I != TimeCube.numRegions(); ++I) {
+    bool Communicates = Msgs.regionActivityTime(I, 0) > 0.0;
+    Table.addRow({TimeCube.regionName(I),
+                  TimeMatrix[I][1] > 0.0 ? formatFixed(TimeMatrix[I][1], 5)
+                                         : "-",
+                  Communicates ? formatFixed(MsgMatrix[I][0], 5) : "-",
+                  Communicates ? formatFixed(ByteMatrix[I][0], 5) : "-",
+                  Communicates
+                      ? formatFixed(Msgs.regionActivityTime(I, 0), 1)
+                      : "-",
+                  Communicates
+                      ? formatFixed(Bytes.regionActivityTime(I, 0), 0)
+                      : "-"});
+  }
+  Table.print(OS);
+
+  trace::TraceStats Stats = trace::computeTraceStats(Run.Trace);
+  OS << "\ntrace totals: " << Stats.TotalMessages << " messages, "
+     << Stats.TotalBytes << " bytes\n";
+  OS << "\nreading guide: the *count* indices expose the decomposition's "
+        "structure — every halo/pipeline region shows the identical "
+        "edge-vs-interior asymmetry (edge ranks send in one direction "
+        "only), independent of the injected work skew.  The *time* "
+        "indices mix that structure with wait time, so they differ per "
+        "region.  Comparing the two separates structural communication "
+        "asymmetry from load-induced waiting — complementary evidence "
+        "the paper's timing-only view cannot give.\n";
+  OS.flush();
+  return 0;
+}

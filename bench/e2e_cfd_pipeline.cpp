@@ -1,0 +1,97 @@
+//===- bench/e2e_cfd_pipeline.cpp - end-to-end shape reproduction ---------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The full substrate path: run the simulated message-passing CFD
+// program on 16 processors, reduce its trace to the measurement cube,
+// run the methodology, and compare the *shape* of the result against
+// the paper's experiment — who is heaviest, what dominates, where
+// point-to-point peaks, which loops synchronize, who the tuning
+// candidate is.  Absolute seconds differ (our machine model is an
+// analytic simulator, not the authors' SP2); the structure should not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/PaperDataset.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/TraceReduction.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  ExitOnError ExitOnErr("e2e_cfd_pipeline: ");
+  raw_ostream &OS = outs();
+  OS << "=== End-to-end: simulated CFD -> trace -> cube -> analysis ===\n\n";
+
+  cfd::CfdConfig Config; // Paper-shaped defaults: P=16.
+  cfd::CfdResult Run = ExitOnErr(cfd::runCfd(Config));
+  OS << "trace: " << Run.Trace.numEvents() << " events, final residual "
+     << formatGeneral(Run.FinalResidual) << "\n\n";
+
+  MeasurementCube Cube = ExitOnErr(reduceTrace(Run.Trace));
+  AnalysisResult Result = ExitOnErr(analyze(Cube));
+
+  makeRegionBreakdownTable(Cube, Result.Profile).print(OS);
+  OS << '\n';
+  makeRegionViewTable(Cube, Result.Regions).print(OS);
+
+  // Shape comparison against the published experiment.
+  auto Check = [&](const char *What, bool Ok, const std::string &Detail) {
+    OS << "  [" << (Ok ? "ok" : "MISMATCH") << "] " << What << ": "
+       << Detail << '\n';
+  };
+  OS << "\nshape cross-checks against the paper:\n";
+  Check("heaviest region",
+        Result.Profile.HeaviestRegion == 0,
+        Cube.regionName(Result.Profile.HeaviestRegion) +
+            " [paper: loop 1 / pressure]");
+  Check("dominant activity",
+        Result.Profile.DominantActivity == 0,
+        std::string(Cube.activityName(Result.Profile.DominantActivity)) +
+            " [paper: computation]");
+  Check("longest p2p region",
+        Result.Profile.Extremes[1].WorstRegion == 2,
+        Cube.regionName(Result.Profile.Extremes[1].WorstRegion) +
+            " [paper: loop 3 / implicit sweeps]");
+  Check("synchronizing loops",
+        Result.Profile.Extremes[3].RegionsPerforming == 3,
+        std::to_string(Result.Profile.Extremes[3].RegionsPerforming) +
+            " [paper: 3]");
+  double CollCompRatio =
+      Cube.regionActivityTime(0, 2) / Cube.regionActivityTime(0, 0);
+  Check("pressure coll/comp ratio",
+        CollCompRatio > 0.25 && CollCompRatio < 1.0,
+        formatFixed(CollCompRatio, 3) + " [paper: 6.75/12.24 = 0.551]");
+  double SweepRatio =
+      Cube.regionActivityTime(2, 1) / Cube.regionActivityTime(2, 0);
+  Check("implicit-sweeps p2p/comp ratio",
+        SweepRatio > 0.5 && SweepRatio < 2.0,
+        formatFixed(SweepRatio, 3) + " [paper: 5.68/5.22 = 1.088]");
+  Check("scaled tuning candidate",
+        !Result.RegionCandidates.empty() &&
+            Result.RegionCandidates[0].Item == 0,
+        (Result.RegionCandidates.empty()
+             ? std::string("none")
+             : Cube.regionName(Result.RegionCandidates[0].Item)) +
+            " [paper: loop 1]");
+  Check("sync imbalanced but negligible after scaling",
+        Result.Activities.MostImbalanced == 3 &&
+            Result.Activities.MostImbalancedScaled != 3,
+        std::string(Cube.activityName(Result.Activities.MostImbalanced)) +
+            " -> " +
+            Cube.activityName(Result.Activities.MostImbalancedScaled) +
+            " [paper: synchronization -> computation]");
+
+  OS << '\n'
+     << summarizeFindings(Cube, Result.Profile, Result.Activities,
+                          Result.Regions, Result.Processors);
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/overlap_ablation.cpp - overlap remedy evaluation -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment: the diagnosis engine's standard remedy for
+// communication-heavy regions is "overlap communication with
+// computation".  This bench evaluates the remedy on the CFD program:
+// the advection and smoothing halo exchanges are switched from blocking
+// (compute -> send -> recv) to overlapped (send boundary -> post
+// non-blocking receives -> compute -> wait), and the per-region
+// point-to-point times and total program time are compared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  ExitOnError ExitOnErr("overlap_ablation: ");
+  raw_ostream &OS = outs();
+  OS << "=== Ablation: blocking vs overlapped halo exchange ===\n\n";
+
+  cfd::CfdConfig Blocking;
+  Blocking.Iterations = 6;
+  cfd::CfdConfig Overlapped = Blocking;
+  Overlapped.OverlapHalo = true;
+
+  auto BlockingCube =
+      ExitOnErr(reduceTrace(ExitOnErr(cfd::runCfd(Blocking)).Trace));
+  auto OverlappedCube =
+      ExitOnErr(reduceTrace(ExitOnErr(cfd::runCfd(Overlapped)).Trace));
+
+  TextTable Table({"region", "p2p blocking [s]", "p2p overlapped [s]",
+                   "reduction"});
+  Table.setAlign(0, Align::Left);
+  for (size_t I = 0; I != BlockingCube.numRegions(); ++I) {
+    double Before = BlockingCube.regionActivityTime(I, 1);
+    double After = OverlappedCube.regionActivityTime(I, 1);
+    if (Before <= 0.0 && After <= 0.0)
+      continue;
+    std::string Reduction =
+        Before > 0.0
+            ? formatPercent(1.0 - After / Before, 0)
+            : std::string("-");
+    Table.addRow({BlockingCube.regionName(I), formatFixed(Before, 3),
+                  formatFixed(After, 3), Reduction});
+  }
+  Table.print(OS);
+
+  OS << "\nprogram time: " << formatFixed(BlockingCube.programTime(), 3)
+     << " s blocking -> " << formatFixed(OverlappedCube.programTime(), 3)
+     << " s overlapped ("
+     << formatPercent(1.0 - OverlappedCube.programTime() /
+                                BlockingCube.programTime(),
+                      1)
+     << " faster)\n";
+  OS << "\nnote: only the advection and smoothing loops use the remedy; "
+        "the pipelined implicit sweeps cannot (each chunk depends on the "
+        "upstream neighbor), which is why their p2p time is unchanged — "
+        "a dependency structure no overlap can hide, exactly the kind of "
+        "distinction the per-region breakdown makes visible.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,174 @@
+//===- bench/perf_analysis.cpp - analysis-path microbenchmarks ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the analysis path: dispersion
+// indices, the three views, k-means, trace parsing and cube reduction,
+// across problem sizes well beyond the paper's 7x4x16 cube.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/KMeans.h"
+#include "core/Measurement.h"
+#include "core/Pipeline.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "stats/Dispersion.h"
+#include "support/RNG.h"
+#include "trace/BinaryIO.h"
+#include "trace/TraceIO.h"
+#include <benchmark/benchmark.h>
+
+using namespace lima;
+
+namespace {
+
+/// Random cube of the given extents.
+core::MeasurementCube makeCube(size_t Regions, size_t Activities,
+                               unsigned Procs, uint64_t Seed) {
+  std::vector<std::string> RegionNames, ActivityNames;
+  for (size_t I = 0; I != Regions; ++I)
+    RegionNames.push_back("region" + std::to_string(I));
+  for (size_t J = 0; J != Activities; ++J)
+    ActivityNames.push_back("activity" + std::to_string(J));
+  core::MeasurementCube Cube(std::move(RegionNames),
+                             std::move(ActivityNames), Procs);
+  RNG Rng(Seed);
+  for (size_t I = 0; I != Regions; ++I)
+    for (size_t J = 0; J != Activities; ++J)
+      for (unsigned P = 0; P != Procs; ++P)
+        Cube.at(I, J, P) = Rng.uniformIn(0.0, 10.0);
+  return Cube;
+}
+
+void BM_ImbalanceIndex(benchmark::State &State) {
+  RNG Rng(1);
+  std::vector<double> Times(static_cast<size_t>(State.range(0)));
+  for (double &T : Times)
+    T = Rng.uniformIn(0.0, 10.0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(stats::imbalanceIndex(Times));
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_ImbalanceIndex)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DissimilarityMatrix(benchmark::State &State) {
+  core::MeasurementCube Cube =
+      makeCube(static_cast<size_t>(State.range(0)), 4,
+               static_cast<unsigned>(State.range(1)), 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::computeDissimilarityMatrix(Cube));
+}
+BENCHMARK(BM_DissimilarityMatrix)
+    ->Args({7, 16})
+    ->Args({64, 64})
+    ->Args({256, 128});
+
+void BM_ProcessorView(benchmark::State &State) {
+  core::MeasurementCube Cube =
+      makeCube(static_cast<size_t>(State.range(0)), 4,
+               static_cast<unsigned>(State.range(1)), 3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::computeProcessorView(Cube));
+}
+BENCHMARK(BM_ProcessorView)->Args({7, 16})->Args({64, 64});
+
+void BM_FullAnalysis(benchmark::State &State) {
+  core::MeasurementCube Cube =
+      makeCube(static_cast<size_t>(State.range(0)), 4, 16, 4);
+  for (auto _ : State) {
+    core::AnalysisResult Result = cantFail(core::analyze(Cube));
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_FullAnalysis)->Arg(7)->Arg(32)->Arg(128);
+
+void BM_KMeans(benchmark::State &State) {
+  RNG Rng(5);
+  std::vector<std::vector<double>> Points;
+  for (int I = 0; I != State.range(0); ++I)
+    Points.push_back({Rng.normal(), Rng.normal(), Rng.normal(),
+                      Rng.normal()});
+  cluster::KMeansOptions Options;
+  Options.K = 4;
+  for (auto _ : State) {
+    cluster::KMeansResult Result = cantFail(cluster::kMeans(Points, Options));
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(32)->Arg(256);
+
+void BM_TraceParse(benchmark::State &State) {
+  // Build a synthetic trace, serialize once, parse repeatedly.
+  trace::Trace T(8);
+  uint32_t R = T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  for (unsigned P = 0; P != 8; ++P) {
+    double Clock = 0.0;
+    T.append({Clock, P, trace::EventKind::RegionEnter, R, 0});
+    for (int I = 0; I != State.range(0); ++I) {
+      T.append({Clock, P, trace::EventKind::ActivityBegin, A, 0});
+      Clock += 0.001;
+      T.append({Clock, P, trace::EventKind::ActivityEnd, A, 0});
+    }
+    T.append({Clock, P, trace::EventKind::RegionExit, R, 0});
+  }
+  std::string Text = trace::writeTraceText(T);
+  for (auto _ : State) {
+    trace::Trace Parsed = cantFail(trace::parseTraceText(Text));
+    benchmark::DoNotOptimize(Parsed);
+  }
+  State.SetBytesProcessed(State.iterations() * Text.size());
+}
+BENCHMARK(BM_TraceParse)->Arg(100)->Arg(1000);
+
+void BM_TraceParseBinary(benchmark::State &State) {
+  trace::Trace T(8);
+  uint32_t R = T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  for (unsigned P = 0; P != 8; ++P) {
+    double Clock = 0.0;
+    T.append({Clock, P, trace::EventKind::RegionEnter, R, 0});
+    for (int I = 0; I != State.range(0); ++I) {
+      T.append({Clock, P, trace::EventKind::ActivityBegin, A, 0});
+      Clock += 0.001;
+      T.append({Clock, P, trace::EventKind::ActivityEnd, A, 0});
+    }
+    T.append({Clock, P, trace::EventKind::RegionExit, R, 0});
+  }
+  std::string Data = trace::writeTraceBinary(T);
+  for (auto _ : State) {
+    trace::Trace Parsed = cantFail(trace::parseTraceBinary(Data));
+    benchmark::DoNotOptimize(Parsed);
+  }
+  State.SetBytesProcessed(State.iterations() * Data.size());
+}
+BENCHMARK(BM_TraceParseBinary)->Arg(100)->Arg(1000);
+
+void BM_TraceReduce(benchmark::State &State) {
+  trace::Trace T(16);
+  uint32_t R = T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  for (unsigned P = 0; P != 16; ++P) {
+    double Clock = 0.0;
+    T.append({Clock, P, trace::EventKind::RegionEnter, R, 0});
+    for (int I = 0; I != State.range(0); ++I) {
+      T.append({Clock, P, trace::EventKind::ActivityBegin, A, 0});
+      Clock += 0.001;
+      T.append({Clock, P, trace::EventKind::ActivityEnd, A, 0});
+    }
+    T.append({Clock, P, trace::EventKind::RegionExit, R, 0});
+  }
+  for (auto _ : State) {
+    core::MeasurementCube Cube = cantFail(core::reduceTrace(T));
+    benchmark::DoNotOptimize(Cube);
+  }
+  State.SetItemsProcessed(State.iterations() * T.numEvents());
+}
+BENCHMARK(BM_TraceReduce)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

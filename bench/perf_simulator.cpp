@@ -1,0 +1,82 @@
+//===- bench/perf_simulator.cpp - simulator microbenchmarks ---------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark measurements of the discrete-event engine: simulated
+// operation throughput for point-to-point chains, collectives across
+// rank counts, and the CFD application end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "sim/Simulation.h"
+#include <benchmark/benchmark.h>
+
+using namespace lima;
+using namespace lima::sim;
+
+namespace {
+
+SimulationOptions benchOptions(unsigned Procs) {
+  SimulationOptions Options;
+  Options.NumProcs = Procs;
+  Options.RegionNames = {"bench"};
+  return Options;
+}
+
+void BM_PingPong(benchmark::State &State) {
+  const int Rounds = static_cast<int>(State.range(0));
+  SimulationOptions Options = benchOptions(2);
+  for (auto _ : State) {
+    auto Trace = simulate(Options, [&](Comm &C) {
+      RegionScope Scope(C, 0);
+      for (int I = 0; I != Rounds; ++I) {
+        if (C.rank() == 0) {
+          C.send(1, 1024);
+          C.recv(1);
+        } else {
+          C.recv(0);
+          C.send(0, 1024);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(cantFail(std::move(Trace)));
+  }
+  State.SetItemsProcessed(State.iterations() * Rounds * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(512);
+
+void BM_AllReduceScaling(benchmark::State &State) {
+  const unsigned Procs = static_cast<unsigned>(State.range(0));
+  SimulationOptions Options = benchOptions(Procs);
+  for (auto _ : State) {
+    auto Trace = simulate(Options, [](Comm &C) {
+      RegionScope Scope(C, 0);
+      for (int I = 0; I != 16; ++I)
+        C.allReduce(64);
+    });
+    benchmark::DoNotOptimize(cantFail(std::move(Trace)));
+  }
+  State.SetItemsProcessed(State.iterations() * 16 * Procs);
+}
+BENCHMARK(BM_AllReduceScaling)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CfdEndToEnd(benchmark::State &State) {
+  cfd::CfdConfig Config;
+  Config.Procs = static_cast<unsigned>(State.range(0));
+  Config.Iterations = 2;
+  Config.Nx = 64;
+  Config.RowsPerRank = 8;
+  for (auto _ : State) {
+    cfd::CfdResult Result = cantFail(cfd::runCfd(Config));
+    benchmark::DoNotOptimize(Result);
+  }
+}
+BENCHMARK(BM_CfdEndToEnd)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+//===- bench/phase_drift.cpp - temporal imbalance localization ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment: per-instance (temporal) indices localize
+// imbalance in *time*, which the paper's aggregate view cannot.  Two
+// workloads with drifting load — the CFD code with a growing injection
+// and the migrating-particle code — are analyzed per iteration; the
+// series, their sparklines and trends are printed next to the aggregate
+// index that would under-report the late iterations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "apps/gallery/ParticleExchange.h"
+#include "core/PhaseAnalysis.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::core;
+
+namespace {
+
+void report(raw_ostream &OS, const char *Name, const trace::Trace &Trace,
+            size_t Region) {
+  ExitOnError ExitOnErr("phase_drift: ");
+  MeasurementCube Cube = ExitOnErr(reduceTrace(Trace));
+  RegionView Aggregate = computeRegionView(Cube);
+  PhaseResult Phases = ExitOnErr(analyzePhases(Trace));
+  const PhaseSeries &Series = Phases.Series[Region];
+  Trend T = linearTrend(Series.InstanceIndex);
+
+  OS << Name << " / region '" << Cube.regionName(Region) << "':\n";
+  OS << "  aggregate ID_C        = "
+     << formatFixed(Aggregate.Index[Region], 5) << '\n';
+  OS << "  per-instance indices  = ";
+  for (double Index : Series.InstanceIndex)
+    OS << formatFixed(Index, 3) << ' ';
+  OS << '\n';
+  OS << "  sparkline             = "
+     << renderSparkline(Series.InstanceIndex) << '\n';
+  OS << "  first -> last         = "
+     << formatFixed(Series.InstanceIndex.front(), 5) << " -> "
+     << formatFixed(Series.InstanceIndex.back(), 5) << '\n';
+  OS << "  trend                 = "
+     << formatFixed(T.RelativeSlope * 100.0, 1) << "% per instance\n\n";
+}
+
+} // namespace
+
+int main() {
+  ExitOnError ExitOnErr("phase_drift: ");
+  raw_ostream &OS = outs();
+  OS << "=== Temporal localization of drifting load imbalance ===\n\n";
+
+  {
+    cfd::CfdConfig Config;
+    Config.Iterations = 10;
+    Config.ImbalanceScale = 0.3;
+    Config.ImbalanceDriftPerIteration = 0.35;
+    report(OS, "CFD with drifting injection",
+           ExitOnErr(cfd::runCfd(Config)).Trace, /*Region=*/0);
+  }
+  {
+    gallery::ParticleExchangeConfig Config;
+    Config.Steps = 14;
+    Config.MigrationFraction = 0.08;
+    report(OS, "migrating particle code",
+           ExitOnErr(gallery::runParticleExchange(Config)), /*Region=*/0);
+  }
+  {
+    cfd::CfdConfig Config;
+    Config.Iterations = 10;
+    report(OS, "CFD without drift (control)",
+           ExitOnErr(cfd::runCfd(Config)).Trace, /*Region=*/0);
+  }
+
+  OS << "conclusion: the aggregate index sits between the first and last "
+        "instances; the per-instance series pinpoints *when* the "
+        "imbalance emerges, extending the paper's localization from "
+        "code space into time.\n";
+  OS.flush();
+  return 0;
+}

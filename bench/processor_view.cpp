@@ -1,0 +1,49 @@
+//===- bench/processor_view.cpp - regenerate the processor-view findings --===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 4's processor-view analysis: per-loop ID_P indices, the most
+// frequently imbalanced processor and the processor imbalanced for the
+// longest time, compared against the paper's quoted findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperDataset.h"
+#include "core/Report.h"
+#include "core/Views.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  raw_ostream &OS = outs();
+  OS << "=== Processor view: dissimilarity of processor behavior ===\n\n";
+
+  MeasurementCube Cube = paper::buildCube();
+  ProcessorView View = computeProcessorView(Cube);
+  makeProcessorViewTable(Cube, View).print(OS);
+
+  const auto &Findings = paper::processorFindings();
+  OS << "\nfindings (processors numbered from 1):\n";
+  OS << "  most frequently imbalanced: processor "
+     << View.MostFrequentlyImbalanced + 1 << " ("
+     << View.TimesMostImbalanced[View.MostFrequentlyImbalanced]
+     << " loops)  [paper: processor "
+     << Findings.MostFrequentlyImbalanced << ", loops 3 and 7]\n";
+  OS << "  imbalanced for the longest time: processor "
+     << View.LongestImbalanced + 1 << " ("
+     << formatFixed(View.ImbalancedWallClock[View.LongestImbalanced], 2)
+     << " s)  [paper: processor " << Findings.LongestImbalanced << "]\n";
+  unsigned Proc2 = Findings.LongestImbalanced - 1;
+  OS << "  processor 2 on loop 1: ID_P = "
+     << formatFixed(View.Index[0][Proc2], 5) << " [paper: "
+     << formatFixed(Findings.Proc2Loop1Index, 5) << "], wall clock = "
+     << formatFixed(Cube.procRegionTime(0, Proc2), 2) << " s [paper: "
+     << formatFixed(Findings.Proc2Loop1WallClock, 2) << " s]\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- bench/scaling_study.cpp - imbalance vs processor count -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment: how the methodology's indices behave as the
+// machine grows.  The CFD program is run at P = 4..64 with the same
+// per-rank grid (weak scaling); the injected relative imbalance pattern
+// scales with P, collective costs grow logarithmically and the pipeline
+// fill linearly, so the communication share and the dissimilarity
+// indices drift with P — the kind of study the paper's future work
+// ("measurements collected on different parallel systems") calls for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/Efficiency.h"
+#include "core/Pipeline.h"
+#include "core/TraceReduction.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  ExitOnError ExitOnErr("scaling_study: ");
+  raw_ostream &OS = outs();
+  OS << "=== Weak-scaling study: the indices as the machine grows ===\n\n";
+
+  TextTable Table({"P", "T [s]", "comp share", "coll share",
+                   "ID_C(pressure)", "SID_C(pressure)", "load balance",
+                   "candidate"});
+  Table.setAlign(7, Align::Left);
+
+  for (unsigned Procs : {4u, 8u, 16u, 32u, 64u}) {
+    cfd::CfdConfig Config;
+    Config.Procs = Procs;
+    Config.Iterations = 3;
+    auto Cube = ExitOnErr(reduceTrace(ExitOnErr(cfd::runCfd(Config)).Trace));
+    auto Result = ExitOnErr(analyze(Cube));
+    EfficiencyReport Efficiency = computeEfficiency(Cube);
+
+    double T = Cube.programTime();
+    std::string Candidate =
+        Result.RegionCandidates.empty()
+            ? "-"
+            : Cube.regionName(Result.RegionCandidates[0].Item);
+    Table.addRow({std::to_string(Procs), formatFixed(T, 3),
+                  formatPercent(Cube.activityTime(0) / T, 0),
+                  formatPercent(Cube.activityTime(2) / T, 0),
+                  formatFixed(Result.Regions.Index[0], 4),
+                  formatFixed(Result.Regions.ScaledIndex[0], 4),
+                  formatFixed(Efficiency.LoadBalance, 3), Candidate});
+  }
+  Table.print(OS);
+  OS << "\nreading guide: the Euclidean index of a fixed-shape ramp "
+        "*dilutes* as P grows (each share deviation shrinks like 1/P "
+        "while only sqrt(P) terms accumulate), so raw ID_C falls with P "
+        "even though the relative skew is identical — comparisons across "
+        "machine sizes should normalize by the index's theoretical "
+        "maximum sqrt(1-1/P) (stats::maxImbalanceIndex).  Meanwhile the "
+        "computation share falls as the pipeline fill grows with P, and "
+        "the candidate region stays the pressure loop at every scale: "
+        "the methodology's conclusion is scale-stable for this "
+        "program.\n";
+  OS.flush();
+  return 0;
+}

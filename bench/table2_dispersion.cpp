@@ -1,0 +1,53 @@
+//===- bench/table2_dispersion.cpp - regenerate the paper's Table 2 -------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperDataset.h"
+#include "core/Views.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::core;
+
+int main() {
+  raw_ostream &OS = outs();
+  OS << "=== Table 2: indices of dispersion ID_ij ===\n"
+     << "measured [published]; Euclidean distance on standardized "
+        "per-processor times\n\n";
+
+  MeasurementCube Cube = paper::buildCube();
+  auto Matrix = computeDissimilarityMatrix(Cube);
+  const auto &T2 = paper::table2();
+
+  TextTable Table({"loop", "computation", "point-to-point", "collective",
+                   "synchronization"});
+  Table.setAlign(0, Align::Left);
+  double MaxError = 0.0;
+  for (size_t I = 0; I != paper::NumLoops; ++I) {
+    std::vector<std::string> Row;
+    Row.push_back(std::to_string(I + 1));
+    for (size_t J = 0; J != paper::NumActivities; ++J) {
+      if (T2[I][J] <= 0.0 && Matrix[I][J] <= 0.0) {
+        Row.push_back("-");
+        continue;
+      }
+      MaxError = std::max(MaxError, std::fabs(Matrix[I][J] - T2[I][J]));
+      Row.push_back(formatFixed(Matrix[I][J], 5) + " [" +
+                    formatFixed(T2[I][J], 5) + "]");
+    }
+    Table.addRow(std::move(Row));
+  }
+  Table.print(OS);
+  OS << "\nmax |measured - published| = " << formatGeneral(MaxError)
+     << " (construction is exact up to floating point)\n";
+  OS << "most imbalanced (loop, activity): loop 5 / synchronization = "
+     << formatFixed(Matrix[4][paper::Synchronization], 5)
+     << "  [paper: 0.30571]\n";
+  OS.flush();
+  return 0;
+}

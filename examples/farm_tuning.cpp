@@ -1,0 +1,93 @@
+//===- examples/farm_tuning.cpp - a tuning session, start to finish -------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A complete tuning session in the paper's spirit: run a master-worker
+// task farm with a *coarse* task grain, let the diagnosis engine point
+// at the load imbalance, apply the suggested fix (refine the task
+// grain), and verify that the indices collapse.  Shows the methodology
+// driving an actual optimization decision rather than just reporting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/MasterWorker.h"
+#include "core/Diagnosis.h"
+#include "core/Pipeline.h"
+#include "core/TraceReduction.h"
+#include "stats/Dispersion.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+
+using namespace lima;
+
+namespace {
+
+struct FarmOutcome {
+  double WorkerIndex;   // Dispersion of worker computation times.
+  double Makespan;      // Virtual completion time.
+  core::MeasurementCube Cube;
+  std::vector<core::Diagnosis> Findings;
+};
+
+FarmOutcome runFarm(unsigned Tasks, double MeanTaskSeconds) {
+  ExitOnError ExitOnErr("farm_tuning: ");
+  gallery::MasterWorkerConfig Config;
+  Config.Procs = 9;
+  Config.Tasks = Tasks;
+  Config.MeanTaskSeconds = MeanTaskSeconds;
+  Config.TaskSizeSigma = 1.0;
+
+  trace::Trace Trace = ExitOnErr(gallery::runMasterWorker(Config));
+  core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace));
+  core::AnalysisResult Analysis = ExitOnErr(core::analyze(Cube));
+
+  std::vector<double> WorkerComp;
+  for (unsigned P = 1; P != Config.Procs; ++P)
+    WorkerComp.push_back(Cube.time(0, 0, P));
+
+  std::vector<core::Diagnosis> Findings = core::diagnose(Cube, Analysis);
+  FarmOutcome Outcome{stats::imbalanceIndex(WorkerComp),
+                      Cube.programTime(), std::move(Cube),
+                      std::move(Findings)};
+  return Outcome;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ExitOnError ExitOnErr("farm_tuning: ");
+  ArgParser Parser("farm_tuning",
+                   "diagnoses and fixes a coarse-grained task farm");
+  Parser.addOption("work", "total work to process, virtual seconds", "9.6");
+  ExitOnErr(Parser.parse(Argc, Argv));
+  double TotalWork = Parser.getDouble("work");
+
+  raw_ostream &OS = outs();
+  OS << "step 1: run the farm with a coarse grain (16 big tasks)\n\n";
+  FarmOutcome Coarse = runFarm(16, TotalWork / 16);
+  OS << "  worker compute dispersion: "
+     << formatFixed(Coarse.WorkerIndex, 4) << '\n';
+  OS << "  makespan: " << formatFixed(Coarse.Makespan, 3) << " s\n\n";
+  OS << "  diagnosis says:\n"
+     << core::renderDiagnoses(Coarse.Cube, Coarse.Findings) << '\n';
+
+  OS << "step 2: apply the remedy — same total work, 512 small tasks\n\n";
+  FarmOutcome Fine = runFarm(512, TotalWork / 512);
+  OS << "  worker compute dispersion: " << formatFixed(Fine.WorkerIndex, 4)
+     << " (was " << formatFixed(Coarse.WorkerIndex, 4) << ")\n";
+  OS << "  makespan: " << formatFixed(Fine.Makespan, 3) << " s (was "
+     << formatFixed(Coarse.Makespan, 3) << " s)\n\n";
+
+  double Speedup = Coarse.Makespan / Fine.Makespan;
+  OS << "verdict: refining the task grain cut the dispersion by "
+     << formatFixed(Coarse.WorkerIndex / std::max(Fine.WorkerIndex, 1e-9),
+                    1)
+     << "x and the makespan by " << formatFixed(Speedup, 2)
+     << "x — the tuning loop (detect -> localize -> assess -> repair -> "
+        "verify) the paper's Section 2 describes, executed end to end.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,186 @@
+//===- examples/lima_analyze.cpp - trace-file analysis tool ---------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line front end: reads a LIMATRACE text file (produced by
+// the simulator, or by any external profiling layer that emits the
+// format) and prints the full load-imbalance analysis.  This is the
+// "performance tool" shape the paper's conclusions call for.
+//
+//   lima_analyze mytrace.trace
+//   lima_analyze --csv --index mad mytrace.trace
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CountingReduction.h"
+#include "core/Diagnosis.h"
+#include "core/HtmlReport.h"
+#include "core/PhaseAnalysis.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/TraceReduction.h"
+#include "core/WaitStates.h"
+#include "stats/Dispersion.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+#include "support/FileUtils.h"
+#include "support/StringUtils.h"
+#include "trace/BinaryIO.h"
+#include "trace/Filter.h"
+#include "trace/Timeline.h"
+#include "trace/TraceIO.h"
+#include "trace/TraceStats.h"
+
+using namespace lima;
+
+static Expected<stats::DispersionKind> parseKind(const std::string &Name) {
+  for (stats::DispersionKind Kind : stats::AllDispersionKinds)
+    if (stats::dispersionKindName(Kind) == Name)
+      return Kind;
+  return makeStringError("unknown dispersion index '%s'", Name.c_str());
+}
+
+int main(int Argc, char **Argv) {
+  ExitOnError ExitOnErr("lima_analyze: ");
+
+  ArgParser Parser("lima_analyze",
+                   "analyzes the load imbalance recorded in a LIMATRACE "
+                   "file");
+  Parser.addPositional("trace", "path to the trace file");
+  Parser.addOption("index",
+                   "dispersion index: euclidean, variance, cv, mad, max, "
+                   "range, gini",
+                   "euclidean");
+  Parser.addOption("clusters", "number of region clusters (0 = skip)", "2");
+  Parser.addFlag("csv", "emit tables as CSV instead of aligned text");
+  Parser.addFlag("patterns", "also print the pattern diagrams");
+  Parser.addFlag("diagnose", "run the rule-based diagnosis");
+  Parser.addFlag("timeline", "print a per-processor ASCII timeline");
+  Parser.addFlag("phases", "per-instance (temporal) indices per region");
+  Parser.addFlag("counting", "also analyze message-count imbalance");
+  Parser.addFlag("waitstates", "late-sender wait-state analysis");
+  Parser.addFlag("traffic", "print the communication matrix");
+  Parser.addOption("regions", "comma-separated region names to keep", "");
+  Parser.addOption("window", "time window 'begin:end' in seconds", "");
+  Parser.addOption("html", "also write a self-contained HTML report here",
+                   "");
+  ExitOnErr(Parser.parse(Argc, Argv));
+
+  trace::Trace Trace =
+      ExitOnErr(trace::loadTraceAuto(Parser.getPositionals()[0]));
+
+  if (!Parser.getString("regions").empty() ||
+      !Parser.getString("window").empty()) {
+    trace::FilterOptions Filter;
+    for (std::string_view Name :
+         splitString(Parser.getString("regions"), ','))
+      if (!Name.empty())
+        Filter.Regions.emplace_back(Name);
+    if (!Parser.getString("window").empty()) {
+      auto Parts = splitString(Parser.getString("window"), ':');
+      if (Parts.size() != 2)
+        ExitOnErr(makeStringError("--window expects 'begin:end'"));
+      Filter.TimeBegin = ExitOnErr(parseDouble(Parts[0]));
+      Filter.TimeEnd = ExitOnErr(parseDouble(Parts[1]));
+    }
+    Trace = ExitOnErr(trace::filterTrace(Trace, Filter));
+  }
+
+  core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace));
+
+  core::AnalysisOptions Options;
+  Options.Views.Kind = ExitOnErr(parseKind(Parser.getString("index")));
+  Options.Clusters = Parser.getUnsigned("clusters");
+  core::AnalysisResult Result = ExitOnErr(core::analyze(Cube, Options));
+
+  raw_ostream &OS = outs();
+  bool CSV = Parser.getFlag("csv");
+  auto emit = [&](const TextTable &Table) {
+    if (CSV)
+      OS << Table.toCSV() << '\n';
+    else {
+      Table.print(OS);
+      OS << '\n';
+    }
+  };
+  emit(core::makeRegionBreakdownTable(Cube, Result.Profile));
+  emit(core::makeDissimilarityTable(Cube, Result.Activities));
+  emit(core::makeActivityViewTable(Cube, Result.Activities));
+  emit(core::makeRegionViewTable(Cube, Result.Regions));
+  emit(core::makeProcessorViewTable(Cube, Result.Processors));
+
+  if (Parser.getFlag("patterns"))
+    for (const core::PatternDiagram &Diagram : Result.Patterns)
+      OS << core::renderPatternASCII(Diagram, Cube) << '\n';
+
+  if (Parser.getFlag("timeline"))
+    OS << trace::renderTimeline(Trace) << '\n';
+
+  if (Parser.getFlag("traffic"))
+    OS << trace::renderCommunicationMatrix(trace::computeTraceStats(Trace))
+       << '\n';
+
+  if (Parser.getFlag("phases")) {
+    core::PhaseResult Phases = ExitOnErr(core::analyzePhases(Trace));
+    OS << "per-instance dissimilarity (one sparkline per region):\n";
+    for (const core::PhaseSeries &Series : Phases.Series) {
+      if (Series.InstanceIndex.empty())
+        continue;
+      core::Trend T = core::linearTrend(Series.InstanceIndex);
+      OS << "  " << leftJustify(Cube.regionName(Series.Region), 16) << ' '
+         << core::renderSparkline(Series.InstanceIndex) << "  trend "
+         << formatFixed(T.RelativeSlope * 100.0, 1)
+         << "%/instance\n";
+    }
+    OS << '\n';
+  }
+
+  if (Parser.getFlag("counting")) {
+    auto Counts = ExitOnErr(core::reduceTraceCounts(
+        Trace, core::CountingMetric::MessagesSent));
+    core::RegionView CountView = core::computeRegionView(Counts);
+    OS << "message-count imbalance per region (ID_C on counts):\n";
+    for (size_t I = 0; I != Counts.numRegions(); ++I)
+      OS << "  " << leftJustify(Counts.regionName(I), 16) << ' '
+         << formatFixed(CountView.Index[I], 5) << '\n';
+    OS << '\n';
+  }
+
+  if (Parser.getFlag("waitstates")) {
+    core::WaitStateReport Waits = ExitOnErr(core::analyzeWaitStates(Trace));
+    OS << "late-sender wait states: " << formatFixed(Waits.TotalLateSender,
+                                                     3)
+       << " s across " << Waits.LateReceives << " of "
+       << Waits.TotalReceives << " receives\n";
+    unsigned Shown = 0;
+    for (const core::ChannelWait &Channel : Waits.Channels) {
+      if (++Shown > 5)
+        break;
+      OS << "  p" << Channel.From + 1 << " -> p" << Channel.To + 1 << ": "
+         << formatFixed(Channel.Seconds, 3) << " s over "
+         << Channel.Messages << " messages\n";
+    }
+    OS << '\n';
+  }
+
+  if (Result.HasClusters)
+    OS << core::describeClusters(Cube, Result.Clusters) << '\n';
+  OS << core::summarizeFindings(Cube, Result.Profile, Result.Activities,
+                                Result.Regions, Result.Processors);
+
+  if (Parser.getFlag("diagnose")) {
+    OS << "\nautomatic diagnosis:\n"
+       << core::renderDiagnoses(Cube, core::diagnose(Cube, Result));
+  }
+
+  if (!Parser.getString("html").empty()) {
+    ExitOnErr(writeFile(Parser.getString("html"),
+                        core::renderHtmlReport(Cube, Result)));
+    OS << "\nHTML report written to " << Parser.getString("html") << '\n';
+  }
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- apps/gallery/BspStencil.cpp - Bulk-synchronous stencil -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/BspStencil.h"
+
+using namespace lima;
+using namespace lima::gallery;
+using sim::Comm;
+using sim::RegionScope;
+
+const std::vector<std::string> &gallery::bspStencilRegionNames() {
+  static const std::vector<std::string> Names = {"superstep"};
+  return Names;
+}
+
+namespace {
+
+enum Tags { TagHaloUp = 10, TagHaloDown = 11 };
+
+} // namespace
+
+Expected<trace::Trace>
+gallery::runBspStencil(const BspStencilConfig &Config) {
+  if (Config.Procs < 2)
+    return makeStringError("the BSP stencil needs at least 2 ranks");
+  if (Config.Steps == 0 || Config.ComputeSeconds <= 0.0)
+    return makeStringError("need positive step count and compute time");
+
+  sim::SimulationOptions Options;
+  Options.NumProcs = Config.Procs;
+  Options.Network = Config.Network;
+  Options.RegionNames = bspStencilRegionNames();
+
+  return sim::simulate(Options, [&Config](Comm &C) {
+    unsigned Rank = C.rank();
+    unsigned Procs = C.size();
+    // Linear work ramp: rank r computes (1 + Skew * r / (P-1)) base units.
+    double Factor =
+        1.0 + Config.Skew * static_cast<double>(Rank) /
+                  static_cast<double>(Procs - 1);
+    for (unsigned Step = 0; Step != Config.Steps; ++Step) {
+      RegionScope Scope(C, 0);
+      C.compute(Config.ComputeSeconds * Factor);
+      if (Rank > 0)
+        C.send(Rank - 1, Config.HaloBytes, TagHaloUp);
+      if (Rank + 1 < Procs)
+        C.send(Rank + 1, Config.HaloBytes, TagHaloDown);
+      if (Rank > 0)
+        C.recv(Rank - 1, TagHaloDown);
+      if (Rank + 1 < Procs)
+        C.recv(Rank + 1, TagHaloUp);
+      C.barrier();
+    }
+  });
+}

@@ -1,0 +1,52 @@
+//===- apps/gallery/BspStencil.h - Bulk-synchronous stencil -----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bulk-synchronous (BSP) stencil code: every superstep is compute +
+/// halo exchange + global barrier.  With a skewed work distribution the
+/// barrier converts *all* compute imbalance into synchronization time —
+/// the pathology the paper's synchronization activity measures.  The
+/// contrast case to the task farm (which self-balances) and the CFD
+/// code (whose waits surface as collective/p2p time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_APPS_GALLERY_BSPSTENCIL_H
+#define LIMA_APPS_GALLERY_BSPSTENCIL_H
+
+#include "sim/Simulation.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+namespace lima {
+namespace gallery {
+
+/// BSP stencil configuration.
+struct BspStencilConfig {
+  unsigned Procs = 16;
+  /// Supersteps to run.
+  unsigned Steps = 20;
+  /// Base compute time per superstep, virtual seconds.
+  double ComputeSeconds = 0.05;
+  /// Relative extra work of the most loaded rank (linear ramp across
+  /// ranks; 0 = perfectly balanced).
+  double Skew = 0.5;
+  /// Halo bytes exchanged with each neighbor per superstep.
+  uint64_t HaloBytes = 8192;
+  /// Interconnect model.
+  sim::NetworkModel Network;
+};
+
+/// Region names ("superstep" only).
+const std::vector<std::string> &bspStencilRegionNames();
+
+/// Runs the BSP stencil and returns the trace.
+Expected<trace::Trace> runBspStencil(const BspStencilConfig &Config);
+
+} // namespace gallery
+} // namespace lima
+
+#endif // LIMA_APPS_GALLERY_BSPSTENCIL_H

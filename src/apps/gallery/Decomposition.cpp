@@ -1,0 +1,125 @@
+//===- apps/gallery/Decomposition.cpp - 1-D vs 2-D decomposition ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/Decomposition.h"
+#include "support/Compiler.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::gallery;
+using sim::Comm;
+using sim::RegionScope;
+
+std::string_view gallery::decompositionName(Decomposition Layout) {
+  switch (Layout) {
+  case Decomposition::Strips1D:
+    return "1d-strips";
+  case Decomposition::Blocks2D:
+    return "2d-blocks";
+  }
+  lima_unreachable("unknown Decomposition");
+}
+
+const std::vector<std::string> &gallery::decompositionRegionNames() {
+  static const std::vector<std::string> Names = {"stencil"};
+  return Names;
+}
+
+namespace {
+
+enum Tags { TagUp = 70, TagDown = 71, TagLeft = 72, TagRight = 73 };
+
+/// Integer square root when exact, 0 otherwise.
+unsigned exactSqrt(unsigned Value) {
+  unsigned Root = static_cast<unsigned>(std::lround(std::sqrt(Value)));
+  return Root * Root == Value ? Root : 0;
+}
+
+void runStrips(Comm &C, const DecompositionConfig &Config) {
+  unsigned Rank = C.rank();
+  unsigned Procs = C.size();
+  double CellsOwned = static_cast<double>(Config.GridN) * Config.GridN /
+                      Procs;
+  uint64_t HaloBytes =
+      static_cast<uint64_t>(Config.GridN) * Config.BytesPerCell;
+  for (unsigned Step = 0; Step != Config.Steps; ++Step) {
+    RegionScope Scope(C, 0);
+    C.compute(CellsOwned * Config.SecondsPerCell);
+    if (Rank > 0)
+      C.send(Rank - 1, HaloBytes, TagUp);
+    if (Rank + 1 < Procs)
+      C.send(Rank + 1, HaloBytes, TagDown);
+    if (Rank > 0)
+      C.recv(Rank - 1, TagDown);
+    if (Rank + 1 < Procs)
+      C.recv(Rank + 1, TagUp);
+  }
+}
+
+void runBlocks(Comm &C, const DecompositionConfig &Config, unsigned Side) {
+  unsigned Rank = C.rank();
+  unsigned Row = Rank / Side, Col = Rank % Side;
+  double CellsOwned = static_cast<double>(Config.GridN) * Config.GridN /
+                      C.size();
+  uint64_t HaloBytes = static_cast<uint64_t>(Config.GridN / Side) *
+                       Config.BytesPerCell;
+  auto NeighborAt = [&](int DR, int DC) {
+    return (Row + static_cast<unsigned>(DR)) * Side +
+           (Col + static_cast<unsigned>(DC));
+  };
+  for (unsigned Step = 0; Step != Config.Steps; ++Step) {
+    RegionScope Scope(C, 0);
+    C.compute(CellsOwned * Config.SecondsPerCell);
+    if (Row > 0)
+      C.send(NeighborAt(-1, 0), HaloBytes, TagUp);
+    if (Row + 1 < Side)
+      C.send(NeighborAt(+1, 0), HaloBytes, TagDown);
+    if (Col > 0)
+      C.send(NeighborAt(0, -1), HaloBytes, TagLeft);
+    if (Col + 1 < Side)
+      C.send(NeighborAt(0, +1), HaloBytes, TagRight);
+    if (Row > 0)
+      C.recv(NeighborAt(-1, 0), TagDown);
+    if (Row + 1 < Side)
+      C.recv(NeighborAt(+1, 0), TagUp);
+    if (Col > 0)
+      C.recv(NeighborAt(0, -1), TagRight);
+    if (Col + 1 < Side)
+      C.recv(NeighborAt(0, +1), TagLeft);
+  }
+}
+
+} // namespace
+
+Expected<trace::Trace>
+gallery::runDecomposition(const DecompositionConfig &Config) {
+  if (Config.Procs < 2)
+    return makeStringError("decomposition study needs at least 2 ranks");
+  if (Config.Steps == 0 || Config.GridN == 0)
+    return makeStringError("need positive step count and grid size");
+  unsigned Side = 0;
+  if (Config.Layout == Decomposition::Blocks2D) {
+    Side = exactSqrt(Config.Procs);
+    if (Side < 2)
+      return makeStringError(
+          "2-D blocks need a perfect-square rank count >= 4, got %u",
+          Config.Procs);
+    if (Config.GridN % Side != 0)
+      return makeStringError("grid edge %u not divisible by sqrt(P) = %u",
+                             Config.GridN, Side);
+  }
+
+  sim::SimulationOptions Options;
+  Options.NumProcs = Config.Procs;
+  Options.Network = Config.Network;
+  Options.RegionNames = decompositionRegionNames();
+  return sim::simulate(Options, [&Config, Side](Comm &C) {
+    if (Config.Layout == Decomposition::Strips1D)
+      runStrips(C, Config);
+    else
+      runBlocks(C, Config, Side);
+  });
+}

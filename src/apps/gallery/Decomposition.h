@@ -1,0 +1,65 @@
+//===- apps/gallery/Decomposition.h - 1-D vs 2-D decomposition --*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stencil workload under two domain decompositions of the same
+/// global N x N grid: 1-D strips (two neighbors, full-row halos) and
+/// 2-D blocks (up to four neighbors, edge-length halos).  Strips pay
+/// fewer latencies, blocks move less data — the classic surface-to-
+/// volume crossover that moves with P and N, mapped by
+/// bench/decomposition_crossover through the methodology's own
+/// per-activity attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_APPS_GALLERY_DECOMPOSITION_H
+#define LIMA_APPS_GALLERY_DECOMPOSITION_H
+
+#include "sim/Simulation.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+namespace lima {
+namespace gallery {
+
+/// Decomposition layouts.
+enum class Decomposition {
+  /// Horizontal strips: neighbors above/below, halo = N cells.
+  Strips1D,
+  /// Square blocks (requires square P): four neighbors,
+  /// halo = N / sqrt(P) cells per side.
+  Blocks2D,
+};
+
+/// Human-readable layout name ("1d-strips" / "2d-blocks").
+std::string_view decompositionName(Decomposition Layout);
+
+/// Study configuration.
+struct DecompositionConfig {
+  /// Ranks; Blocks2D requires a perfect square.
+  unsigned Procs = 16;
+  /// Global grid edge (the domain is N x N cells).
+  unsigned GridN = 512;
+  /// Time steps.
+  unsigned Steps = 10;
+  /// Virtual compute seconds per owned cell per step.
+  double SecondsPerCell = 2e-8;
+  /// Bytes per halo cell.
+  uint64_t BytesPerCell = 8;
+  Decomposition Layout = Decomposition::Strips1D;
+  sim::NetworkModel Network;
+};
+
+/// Region names ("stencil" only).
+const std::vector<std::string> &decompositionRegionNames();
+
+/// Runs the stencil under the configured layout and returns the trace.
+Expected<trace::Trace> runDecomposition(const DecompositionConfig &Config);
+
+} // namespace gallery
+} // namespace lima
+
+#endif // LIMA_APPS_GALLERY_DECOMPOSITION_H

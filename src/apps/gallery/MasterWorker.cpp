@@ -1,0 +1,95 @@
+//===- apps/gallery/MasterWorker.cpp - Task-farm workload -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/MasterWorker.h"
+#include "support/RNG.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::gallery;
+using sim::Comm;
+using sim::RegionScope;
+
+const std::vector<std::string> &gallery::masterWorkerRegionNames() {
+  static const std::vector<std::string> Names = {"farm"};
+  return Names;
+}
+
+namespace {
+
+enum Tags {
+  /// Worker -> master: ready / result.
+  TagRequest = 1,
+  /// Master -> worker: task payload (negative duration = stop).
+  TagTask = 2,
+};
+
+/// Pre-generated task durations, identical on every rank (same seed).
+std::vector<double> taskDurations(const MasterWorkerConfig &Config) {
+  RNG Rng(Config.Seed);
+  // Log-normal with the requested mean: mu = ln(mean) - sigma^2 / 2.
+  double Mu = std::log(Config.MeanTaskSeconds) -
+              Config.TaskSizeSigma * Config.TaskSizeSigma / 2.0;
+  std::vector<double> Durations(Config.Tasks);
+  for (double &D : Durations)
+    D = Config.TaskSizeSigma > 0.0
+            ? Rng.logNormal(Mu, Config.TaskSizeSigma)
+            : Config.MeanTaskSeconds;
+  return Durations;
+}
+
+void runMaster(Comm &C, const MasterWorkerConfig &Config) {
+  RegionScope Scope(C, 0);
+  std::vector<double> Tasks = taskDurations(Config);
+  unsigned NextTask = 0;
+  unsigned ActiveWorkers = C.size() - 1;
+  const double Stop = -1.0;
+  while (ActiveWorkers > 0) {
+    Comm::RecvResult Request = C.recvAny(TagRequest);
+    C.compute(2e-5); // Bookkeeping per message.
+    if (NextTask < Tasks.size()) {
+      double Duration = Tasks[NextTask++];
+      C.sendData(Request.Source, &Duration, sizeof(Duration), TagTask);
+    } else {
+      C.sendData(Request.Source, &Stop, sizeof(Stop), TagTask);
+      --ActiveWorkers;
+    }
+  }
+}
+
+void runWorker(Comm &C, const MasterWorkerConfig &Config) {
+  RegionScope Scope(C, 0);
+  C.send(0, Config.TaskBytes, TagRequest); // Announce readiness.
+  while (true) {
+    double Duration = 0.0;
+    C.recvData(0, &Duration, sizeof(Duration), TagTask);
+    if (Duration < 0.0)
+      break;
+    C.compute(Duration);
+    C.send(0, Config.TaskBytes, TagRequest); // Report result, ask again.
+  }
+}
+
+} // namespace
+
+Expected<trace::Trace>
+gallery::runMasterWorker(const MasterWorkerConfig &Config) {
+  if (Config.Procs < 2)
+    return makeStringError("the task farm needs a master and a worker");
+  if (Config.Tasks == 0 || Config.MeanTaskSeconds <= 0.0)
+    return makeStringError("need a positive task count and duration");
+
+  sim::SimulationOptions Options;
+  Options.NumProcs = Config.Procs;
+  Options.Network = Config.Network;
+  Options.RegionNames = masterWorkerRegionNames();
+  return sim::simulate(Options, [&Config](Comm &C) {
+    if (C.rank() == 0)
+      runMaster(C, Config);
+    else
+      runWorker(C, Config);
+  });
+}

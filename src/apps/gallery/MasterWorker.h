@@ -1,0 +1,56 @@
+//===- apps/gallery/MasterWorker.h - Task-farm workload ---------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A master-worker task farm: rank 0 deals tasks of varying size to
+/// workers on demand (self-scheduling), workers compute and report back.
+/// The classic *dynamically balanced* counterpart to the CFD code's
+/// static decomposition — with enough tasks per worker the processor
+/// times even out despite highly variable task sizes, while a
+/// too-coarse task grain re-creates imbalance.  Part of the workload
+/// gallery motivated by the paper's future work ("a large variety of
+/// scientific programs").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_APPS_GALLERY_MASTERWORKER_H
+#define LIMA_APPS_GALLERY_MASTERWORKER_H
+
+#include "sim/Simulation.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+namespace lima {
+namespace gallery {
+
+/// Task-farm configuration.
+struct MasterWorkerConfig {
+  /// Total ranks; rank 0 is the master, the rest are workers.
+  unsigned Procs = 16;
+  /// Number of tasks to process.
+  unsigned Tasks = 256;
+  /// Mean task compute time, virtual seconds.
+  double MeanTaskSeconds = 0.02;
+  /// Log-normal sigma of the task-size distribution (0 = identical).
+  double TaskSizeSigma = 0.8;
+  /// Payload bytes per task / result message.
+  uint64_t TaskBytes = 4096;
+  /// RNG seed for the task sizes.
+  uint64_t Seed = 7;
+  /// Interconnect model.
+  sim::NetworkModel Network;
+};
+
+/// Region names of the produced trace ("farm" only).
+const std::vector<std::string> &masterWorkerRegionNames();
+
+/// Runs the task farm and returns the trace.
+Expected<trace::Trace> runMasterWorker(const MasterWorkerConfig &Config);
+
+} // namespace gallery
+} // namespace lima
+
+#endif // LIMA_APPS_GALLERY_MASTERWORKER_H

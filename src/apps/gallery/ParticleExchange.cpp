@@ -1,0 +1,77 @@
+//===- apps/gallery/ParticleExchange.cpp - Migrating-load MD --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/gallery/ParticleExchange.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::gallery;
+using sim::Comm;
+using sim::RegionScope;
+
+const std::vector<std::string> &gallery::particleExchangeRegionNames() {
+  static const std::vector<std::string> Names = {"forces", "exchange"};
+  return Names;
+}
+
+namespace {
+
+enum Tags { TagMigrateCount = 20, TagMigrateBulk = 21 };
+
+} // namespace
+
+Expected<trace::Trace>
+gallery::runParticleExchange(const ParticleExchangeConfig &Config) {
+  if (Config.Procs < 2)
+    return makeStringError("particle exchange needs at least 2 ranks");
+  if (Config.Steps == 0 || Config.ParticlesPerRank == 0)
+    return makeStringError("need positive step and particle counts");
+  if (Config.MigrationFraction < 0.0 || Config.MigrationFraction > 1.0)
+    return makeStringError("migration fraction must be in [0, 1]");
+
+  sim::SimulationOptions Options;
+  Options.NumProcs = Config.Procs;
+  Options.Network = Config.Network;
+  Options.RegionNames = particleExchangeRegionNames();
+
+  return sim::simulate(Options, [&Config](Comm &C) {
+    unsigned Rank = C.rank();
+    unsigned Procs = C.size();
+    double Particles = Config.ParticlesPerRank;
+    for (unsigned Step = 0; Step != Config.Steps; ++Step) {
+      {
+        // Force computation proportional to the local population.
+        RegionScope Scope(C, 0);
+        C.compute(Particles * Config.SecondsPerParticle);
+      }
+      {
+        // Migration: a fraction of particles moves one rank up (the
+        // last rank keeps everything — the load piles up there).
+        RegionScope Scope(C, 1);
+        double Outgoing =
+            Rank + 1 < Procs ? Particles * Config.MigrationFraction : 0.0;
+        if (Rank + 1 < Procs) {
+          // Count first, then the bulk particle payload.
+          C.sendData(Rank + 1, &Outgoing, sizeof(Outgoing),
+                     TagMigrateCount);
+          C.send(Rank + 1,
+                 static_cast<uint64_t>(
+                     Outgoing * static_cast<double>(Config.BytesPerParticle)),
+                 TagMigrateBulk);
+        }
+        double Incoming = 0.0;
+        if (Rank > 0) {
+          C.recvData(Rank - 1, &Incoming, sizeof(Incoming),
+                     TagMigrateCount);
+          C.recv(Rank - 1, TagMigrateBulk);
+        }
+        Particles += Incoming - Outgoing;
+        // Neighbor-list rebuild cost for the newcomers.
+        C.allToAll(Config.BytesPerParticle * 8);
+      }
+    }
+  });
+}

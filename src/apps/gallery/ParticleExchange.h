@@ -1,0 +1,56 @@
+//===- apps/gallery/ParticleExchange.h - Migrating-load MD ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A molecular-dynamics-shaped workload with *migrating* load: each rank
+/// owns a particle population, computes forces proportionally to it,
+/// exchanges boundary particles with an all-to-all, and a deterministic
+/// migration rule drifts particles toward the high-rank end over time.
+/// The aggregate view under-reports the imbalance of the late steps;
+/// the phase (per-instance) analysis exposes the drift — this program is
+/// the gallery's test case for core/PhaseAnalysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_APPS_GALLERY_PARTICLEEXCHANGE_H
+#define LIMA_APPS_GALLERY_PARTICLEEXCHANGE_H
+
+#include "sim/Simulation.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+namespace lima {
+namespace gallery {
+
+/// Migrating-load configuration.
+struct ParticleExchangeConfig {
+  unsigned Procs = 16;
+  /// Time steps.
+  unsigned Steps = 12;
+  /// Initial particles per rank.
+  unsigned ParticlesPerRank = 1000;
+  /// Compute seconds per particle per step.
+  double SecondsPerParticle = 5e-5;
+  /// Fraction of each rank's particles that migrates one rank up per
+  /// step (0 = static, balanced forever).
+  double MigrationFraction = 0.05;
+  /// Bytes per particle in the exchange.
+  uint64_t BytesPerParticle = 48;
+  /// Interconnect model.
+  sim::NetworkModel Network;
+};
+
+/// Region names ("forces", "exchange").
+const std::vector<std::string> &particleExchangeRegionNames();
+
+/// Runs the workload and returns the trace.
+Expected<trace::Trace>
+runParticleExchange(const ParticleExchangeConfig &Config);
+
+} // namespace gallery
+} // namespace lima
+
+#endif // LIMA_APPS_GALLERY_PARTICLEEXCHANGE_H

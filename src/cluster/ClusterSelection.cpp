@@ -1,0 +1,41 @@
+//===- cluster/ClusterSelection.cpp - Choosing the cluster count ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterSelection.h"
+#include "cluster/Silhouette.h"
+#include <set>
+
+using namespace lima;
+using namespace lima::cluster;
+
+Expected<ClusterCountChoice>
+cluster::chooseClusterCount(const std::vector<std::vector<double>> &Points,
+                            size_t MaxK, const KMeansOptions &BaseOptions) {
+  std::set<std::vector<double>> Distinct(Points.begin(), Points.end());
+  if (Distinct.size() < 2)
+    return makeStringError("cluster-count selection needs at least 2 "
+                           "distinct points");
+  size_t Limit = std::min(MaxK, Distinct.size());
+
+  ClusterCountChoice Choice;
+  bool HaveBest = false;
+  for (size_t K = 2; K <= Limit; ++K) {
+    KMeansOptions Options = BaseOptions;
+    Options.K = K;
+    auto ResultOrErr = kMeans(Points, Options);
+    if (auto Err = ResultOrErr.takeError())
+      return Err;
+    double Score = silhouetteScore(Points, ResultOrErr->Assignments);
+    Choice.Sweep.push_back(Score);
+    if (!HaveBest || Score > Choice.Silhouette) {
+      Choice.K = K;
+      Choice.Silhouette = Score;
+      Choice.Result = std::move(*ResultOrErr);
+      HaveBest = true;
+    }
+  }
+  return Choice;
+}

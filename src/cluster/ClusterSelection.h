@@ -1,0 +1,47 @@
+//===- cluster/ClusterSelection.h - Choosing the cluster count --*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Silhouette-based selection of the k-means cluster count: run k-means
+/// for every K in [2, MaxK], keep the K with the best mean silhouette.
+/// The paper fixes k = 2 for its 7 loops by inspection; this automates
+/// the choice for larger region sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CLUSTER_CLUSTERSELECTION_H
+#define LIMA_CLUSTER_CLUSTERSELECTION_H
+
+#include "cluster/KMeans.h"
+#include "support/Error.h"
+#include <vector>
+
+namespace lima {
+namespace cluster {
+
+/// Result of the K sweep.
+struct ClusterCountChoice {
+  /// The selected cluster count.
+  size_t K = 2;
+  /// Mean silhouette at the selected K.
+  double Silhouette = 0.0;
+  /// Silhouette of every candidate K (index 0 holds K = 2).
+  std::vector<double> Sweep;
+  /// The winning clustering itself.
+  KMeansResult Result;
+};
+
+/// Sweeps K in [2, MaxK] (clamped to the number of distinct points) and
+/// returns the silhouette-optimal clustering.  Fails when fewer than 2
+/// distinct points exist.
+Expected<ClusterCountChoice>
+chooseClusterCount(const std::vector<std::vector<double>> &Points,
+                   size_t MaxK, const KMeansOptions &BaseOptions = {});
+
+} // namespace cluster
+} // namespace lima
+
+#endif // LIMA_CLUSTER_CLUSTERSELECTION_H

@@ -1,0 +1,63 @@
+//===- cluster/Distance.cpp - Distance metrics ----------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Distance.h"
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lima;
+using namespace lima::cluster;
+
+std::string_view cluster::metricName(Metric M) {
+  switch (M) {
+  case Metric::Euclidean:
+    return "euclidean";
+  case Metric::SquaredEuclidean:
+    return "squared-euclidean";
+  case Metric::Manhattan:
+    return "manhattan";
+  case Metric::Chebyshev:
+    return "chebyshev";
+  }
+  lima_unreachable("unknown Metric");
+}
+
+double cluster::squaredEuclidean(const std::vector<double> &A,
+                                 const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  double Acc = 0.0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    double D = A[I] - B[I];
+    Acc += D * D;
+  }
+  return Acc;
+}
+
+double cluster::distance(Metric M, const std::vector<double> &A,
+                         const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  switch (M) {
+  case Metric::Euclidean:
+    return std::sqrt(squaredEuclidean(A, B));
+  case Metric::SquaredEuclidean:
+    return squaredEuclidean(A, B);
+  case Metric::Manhattan: {
+    double Acc = 0.0;
+    for (size_t I = 0; I != A.size(); ++I)
+      Acc += std::fabs(A[I] - B[I]);
+    return Acc;
+  }
+  case Metric::Chebyshev: {
+    double Max = 0.0;
+    for (size_t I = 0; I != A.size(); ++I)
+      Max = std::max(Max, std::fabs(A[I] - B[I]));
+    return Max;
+  }
+  }
+  lima_unreachable("unknown Metric");
+}

@@ -1,0 +1,44 @@
+//===- cluster/Distance.h - Distance metrics --------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Distance metrics over dense double vectors, shared by k-means,
+/// hierarchical clustering and silhouette scoring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CLUSTER_DISTANCE_H
+#define LIMA_CLUSTER_DISTANCE_H
+
+#include <string_view>
+#include <vector>
+
+namespace lima {
+namespace cluster {
+
+/// Supported distance metrics.
+enum class Metric {
+  Euclidean,
+  SquaredEuclidean,
+  Manhattan,
+  Chebyshev,
+};
+
+/// Human-readable metric name.
+std::string_view metricName(Metric M);
+
+/// Distance between \p A and \p B under \p M; asserts on length mismatch.
+double distance(Metric M, const std::vector<double> &A,
+                const std::vector<double> &B);
+
+/// Squared Euclidean distance (the k-means objective's natural metric).
+double squaredEuclidean(const std::vector<double> &A,
+                        const std::vector<double> &B);
+
+} // namespace cluster
+} // namespace lima
+
+#endif // LIMA_CLUSTER_DISTANCE_H

@@ -1,0 +1,144 @@
+//===- cluster/Hierarchical.cpp - Agglomerative clustering ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Hierarchical.h"
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+using namespace lima;
+using namespace lima::cluster;
+
+std::string_view cluster::linkageName(Linkage L) {
+  switch (L) {
+  case Linkage::Single:
+    return "single";
+  case Linkage::Complete:
+    return "complete";
+  case Linkage::Average:
+    return "average";
+  }
+  lima_unreachable("unknown Linkage");
+}
+
+std::vector<size_t> Dendrogram::cut(size_t K) const {
+  assert(K >= 1 && K <= NumPoints && "cut count out of range");
+  // Replay merges until only K clusters remain, tracking cluster roots
+  // with a union-find keyed on dendrogram node ids.
+  size_t TotalNodes = NumPoints + Merges.size();
+  std::vector<size_t> Parent(TotalNodes);
+  for (size_t I = 0; I != TotalNodes; ++I)
+    Parent[I] = I;
+  auto find = [&](size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  size_t MergesToApply = NumPoints - K;
+  assert(MergesToApply <= Merges.size() && "dendrogram too small for cut");
+  for (size_t M = 0; M != MergesToApply; ++M) {
+    size_t NewNode = NumPoints + M;
+    Parent[find(Merges[M].Left)] = NewNode;
+    Parent[find(Merges[M].Right)] = NewNode;
+  }
+  std::vector<size_t> Assignments(NumPoints);
+  std::vector<size_t> RootToCluster(TotalNodes, SIZE_MAX);
+  size_t NextCluster = 0;
+  for (size_t P = 0; P != NumPoints; ++P) {
+    size_t Root = find(P);
+    if (RootToCluster[Root] == SIZE_MAX)
+      RootToCluster[Root] = NextCluster++;
+    Assignments[P] = RootToCluster[Root];
+  }
+  assert(NextCluster == K && "cut produced wrong cluster count");
+  return Assignments;
+}
+
+Expected<Dendrogram>
+cluster::hierarchicalCluster(const std::vector<std::vector<double>> &Points,
+                             Metric DistanceMetric, Linkage Link) {
+  if (Points.empty())
+    return makeStringError("hierarchical clustering needs at least one point");
+  size_t Dim = Points.front().size();
+  for (const auto &Point : Points)
+    if (Point.size() != Dim)
+      return makeStringError("points must share one dimension");
+
+  size_t N = Points.size();
+  Dendrogram Tree;
+  Tree.NumPoints = N;
+
+  // Active clusters: dendrogram node id + member list.  The O(N^3) naive
+  // scheme is fine at the problem sizes the methodology deals with
+  // (regions per program, typically tens).
+  struct Cluster {
+    size_t Node;
+    std::vector<size_t> Members;
+  };
+  std::vector<Cluster> Active;
+  Active.reserve(N);
+  for (size_t P = 0; P != N; ++P)
+    Active.push_back({P, {P}});
+
+  auto linkageDistance = [&](const Cluster &A, const Cluster &B) {
+    double Best = Link == Linkage::Single
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.0;
+    double Sum = 0.0;
+    for (size_t I : A.Members) {
+      for (size_t J : B.Members) {
+        double D = distance(DistanceMetric, Points[I], Points[J]);
+        switch (Link) {
+        case Linkage::Single:
+          Best = std::min(Best, D);
+          break;
+        case Linkage::Complete:
+          Best = std::max(Best, D);
+          break;
+        case Linkage::Average:
+          Sum += D;
+          break;
+        }
+      }
+    }
+    if (Link == Linkage::Average)
+      return Sum / static_cast<double>(A.Members.size() * B.Members.size());
+    return Best;
+  };
+
+  size_t NextNode = N;
+  while (Active.size() > 1) {
+    size_t BestA = 0, BestB = 1;
+    double BestDist = std::numeric_limits<double>::infinity();
+    for (size_t A = 0; A != Active.size(); ++A) {
+      for (size_t B = A + 1; B != Active.size(); ++B) {
+        double D = linkageDistance(Active[A], Active[B]);
+        if (D < BestDist) {
+          BestDist = D;
+          BestA = A;
+          BestB = B;
+        }
+      }
+    }
+    Tree.Merges.push_back(
+        {Active[BestA].Node, Active[BestB].Node, BestDist});
+    Cluster Merged;
+    Merged.Node = NextNode++;
+    Merged.Members = std::move(Active[BestA].Members);
+    Merged.Members.insert(Merged.Members.end(),
+                          Active[BestB].Members.begin(),
+                          Active[BestB].Members.end());
+    // Erase the higher index first so the lower stays valid.
+    Active.erase(Active.begin() + static_cast<std::ptrdiff_t>(BestB));
+    Active.erase(Active.begin() + static_cast<std::ptrdiff_t>(BestA));
+    Active.push_back(std::move(Merged));
+  }
+  return Tree;
+}

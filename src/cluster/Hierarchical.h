@@ -1,0 +1,66 @@
+//===- cluster/Hierarchical.h - Agglomerative clustering --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Agglomerative hierarchical clustering with single, complete and
+/// average linkage.  Produces the full merge tree (dendrogram) which can
+/// be cut at any cluster count — a robustness companion to k-means for
+/// the region-grouping step of the methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CLUSTER_HIERARCHICAL_H
+#define LIMA_CLUSTER_HIERARCHICAL_H
+
+#include "cluster/Distance.h"
+#include "support/Error.h"
+#include <string_view>
+#include <vector>
+
+namespace lima {
+namespace cluster {
+
+/// Linkage criteria for merging clusters.
+enum class Linkage {
+  /// Minimum pairwise distance.
+  Single,
+  /// Maximum pairwise distance.
+  Complete,
+  /// Unweighted average pairwise distance (UPGMA).
+  Average,
+};
+
+/// Human-readable linkage name.
+std::string_view linkageName(Linkage L);
+
+/// One merge step of the dendrogram.  Nodes 0..N-1 are the input points;
+/// merge i creates node N+i from its two children.
+struct MergeStep {
+  size_t Left;
+  size_t Right;
+  /// Linkage distance at which the merge happened.
+  double Distance;
+};
+
+/// The full agglomeration history for N points (N-1 merges).
+struct Dendrogram {
+  size_t NumPoints = 0;
+  std::vector<MergeStep> Merges;
+
+  /// Cluster assignment obtained by cutting the tree to \p K clusters.
+  /// Cluster ids are dense, assigned in order of first appearance.
+  std::vector<size_t> cut(size_t K) const;
+};
+
+/// Clusters \p Points agglomeratively under \p Metric and \p Link.
+Expected<Dendrogram>
+hierarchicalCluster(const std::vector<std::vector<double>> &Points,
+                    Metric DistanceMetric, Linkage Link);
+
+} // namespace cluster
+} // namespace lima
+
+#endif // LIMA_CLUSTER_HIERARCHICAL_H

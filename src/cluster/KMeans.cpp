@@ -1,0 +1,285 @@
+//===- cluster/KMeans.cpp - k-means clustering ----------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/KMeans.h"
+#include "cluster/Distance.h"
+#include "support/Compiler.h"
+#include "support/RNG.h"
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+using namespace lima;
+using namespace lima::cluster;
+
+std::string_view cluster::kmeansInitName(KMeansInit Init) {
+  switch (Init) {
+  case KMeansInit::RandomPoints:
+    return "random";
+  case KMeansInit::PlusPlus:
+    return "kmeans++";
+  case KMeansInit::FarthestFirst:
+    return "farthest-first";
+  }
+  lima_unreachable("unknown KMeansInit");
+}
+
+std::vector<std::vector<size_t>> KMeansResult::members() const {
+  std::vector<std::vector<size_t>> Members(Centroids.size());
+  for (size_t P = 0; P != Assignments.size(); ++P)
+    Members[Assignments[P]].push_back(P);
+  return Members;
+}
+
+namespace {
+
+using Matrix = std::vector<std::vector<double>>;
+
+/// Counts distinct points (exact comparison; adequate for seeding checks).
+size_t countDistinct(const Matrix &Points) {
+  std::set<std::vector<double>> Distinct(Points.begin(), Points.end());
+  return Distinct.size();
+}
+
+Matrix initRandomPoints(const Matrix &Points, size_t K, RNG &Rng) {
+  // Sample K distinct *positions* in a shuffled index array, skipping
+  // duplicate coordinates so no two centroids coincide.
+  std::vector<size_t> Order(Points.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  Rng.shuffle(Order);
+  Matrix Centroids;
+  for (size_t Index : Order) {
+    if (Centroids.size() == K)
+      break;
+    if (std::find(Centroids.begin(), Centroids.end(), Points[Index]) ==
+        Centroids.end())
+      Centroids.push_back(Points[Index]);
+  }
+  return Centroids;
+}
+
+Matrix initPlusPlus(const Matrix &Points, size_t K, RNG &Rng) {
+  Matrix Centroids;
+  Centroids.push_back(Points[Rng.uniformInt(Points.size())]);
+  std::vector<double> MinDist(Points.size());
+  while (Centroids.size() < K) {
+    double Total = 0.0;
+    for (size_t P = 0; P != Points.size(); ++P) {
+      double Best = std::numeric_limits<double>::infinity();
+      for (const auto &C : Centroids)
+        Best = std::min(Best, squaredEuclidean(Points[P], C));
+      MinDist[P] = Best;
+      Total += Best;
+    }
+    if (Total <= 0.0) {
+      // All remaining points coincide with existing centroids; caller
+      // verified there are K distinct points, so this cannot happen.
+      lima_unreachable("kmeans++ found no candidate centroid");
+    }
+    double Target = Rng.uniform() * Total;
+    size_t Chosen = Points.size() - 1;
+    double Acc = 0.0;
+    for (size_t P = 0; P != Points.size(); ++P) {
+      Acc += MinDist[P];
+      if (Acc >= Target && MinDist[P] > 0.0) {
+        Chosen = P;
+        break;
+      }
+    }
+    Centroids.push_back(Points[Chosen]);
+  }
+  return Centroids;
+}
+
+Matrix initFarthestFirst(const Matrix &Points, size_t K, RNG &Rng) {
+  Matrix Centroids;
+  Centroids.push_back(Points[Rng.uniformInt(Points.size())]);
+  while (Centroids.size() < K) {
+    size_t Farthest = 0;
+    double FarthestDist = -1.0;
+    for (size_t P = 0; P != Points.size(); ++P) {
+      double Best = std::numeric_limits<double>::infinity();
+      for (const auto &C : Centroids)
+        Best = std::min(Best, squaredEuclidean(Points[P], C));
+      if (Best > FarthestDist) {
+        FarthestDist = Best;
+        Farthest = P;
+      }
+    }
+    Centroids.push_back(Points[Farthest]);
+  }
+  return Centroids;
+}
+
+size_t nearestCentroid(const std::vector<double> &Point,
+                       const Matrix &Centroids) {
+  size_t Best = 0;
+  double BestDist = std::numeric_limits<double>::infinity();
+  for (size_t C = 0; C != Centroids.size(); ++C) {
+    double Dist = squaredEuclidean(Point, Centroids[C]);
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+double computeInertia(const Matrix &Points, const Matrix &Centroids,
+                      const std::vector<size_t> &Assignments) {
+  double Inertia = 0.0;
+  for (size_t P = 0; P != Points.size(); ++P)
+    Inertia += squaredEuclidean(Points[P], Centroids[Assignments[P]]);
+  return Inertia;
+}
+
+/// One full k-means run (init + Lloyd + optional Hartigan pass).
+KMeansResult runOnce(const Matrix &Points, const KMeansOptions &Options,
+                     RNG &Rng) {
+  size_t Dim = Points.front().size();
+  Matrix Centroids;
+  switch (Options.Init) {
+  case KMeansInit::RandomPoints:
+    Centroids = initRandomPoints(Points, Options.K, Rng);
+    break;
+  case KMeansInit::PlusPlus:
+    Centroids = initPlusPlus(Points, Options.K, Rng);
+    break;
+  case KMeansInit::FarthestFirst:
+    Centroids = initFarthestFirst(Points, Options.K, Rng);
+    break;
+  }
+  assert(Centroids.size() == Options.K && "initialization came up short");
+
+  std::vector<size_t> Assignments(Points.size(), 0);
+  unsigned Iter = 0;
+  for (; Iter != Options.MaxIterations; ++Iter) {
+    bool Changed = false;
+    for (size_t P = 0; P != Points.size(); ++P) {
+      size_t Nearest = nearestCentroid(Points[P], Centroids);
+      if (Nearest != Assignments[P]) {
+        Assignments[P] = Nearest;
+        Changed = true;
+      }
+    }
+    if (Iter != 0 && !Changed)
+      break;
+
+    // Recompute centroids; empty clusters are re-seeded on the point
+    // farthest from its centroid, a standard repair that keeps K stable.
+    Matrix NewCentroids(Options.K, std::vector<double>(Dim, 0.0));
+    std::vector<size_t> Counts(Options.K, 0);
+    for (size_t P = 0; P != Points.size(); ++P) {
+      for (size_t D = 0; D != Dim; ++D)
+        NewCentroids[Assignments[P]][D] += Points[P][D];
+      ++Counts[Assignments[P]];
+    }
+    for (size_t C = 0; C != Options.K; ++C) {
+      if (Counts[C] == 0) {
+        size_t Farthest = 0;
+        double FarthestDist = -1.0;
+        for (size_t P = 0; P != Points.size(); ++P) {
+          double Dist =
+              squaredEuclidean(Points[P], Centroids[Assignments[P]]);
+          if (Dist > FarthestDist) {
+            FarthestDist = Dist;
+            Farthest = P;
+          }
+        }
+        NewCentroids[C] = Points[Farthest];
+        Assignments[Farthest] = C;
+        continue;
+      }
+      for (size_t D = 0; D != Dim; ++D)
+        NewCentroids[C][D] /= static_cast<double>(Counts[C]);
+    }
+    Centroids = std::move(NewCentroids);
+  }
+
+  if (Options.HartiganRefinement) {
+    // Hartigan-Wong style pass: move a single point when doing so lowers
+    // the exact objective, accounting for the centroid shifts of both the
+    // donor and the receiver cluster.
+    std::vector<size_t> Counts(Options.K, 0);
+    for (size_t A : Assignments)
+      ++Counts[A];
+    bool Improved = true;
+    unsigned Guard = 0;
+    while (Improved && Guard++ < 100) {
+      Improved = false;
+      for (size_t P = 0; P != Points.size(); ++P) {
+        size_t From = Assignments[P];
+        if (Counts[From] <= 1)
+          continue;
+        double NFrom = static_cast<double>(Counts[From]);
+        double RemovalGain = NFrom / (NFrom - 1.0) *
+                             squaredEuclidean(Points[P], Centroids[From]);
+        for (size_t To = 0; To != Options.K; ++To) {
+          if (To == From)
+            continue;
+          double NTo = static_cast<double>(Counts[To]);
+          double InsertionCost = NTo / (NTo + 1.0) *
+                                 squaredEuclidean(Points[P], Centroids[To]);
+          if (InsertionCost < RemovalGain - 1e-12) {
+            // Apply the move and update both centroids incrementally.
+            size_t Dim2 = Points[P].size();
+            for (size_t D = 0; D != Dim2; ++D) {
+              Centroids[From][D] =
+                  (Centroids[From][D] * NFrom - Points[P][D]) / (NFrom - 1.0);
+              Centroids[To][D] =
+                  (Centroids[To][D] * NTo + Points[P][D]) / (NTo + 1.0);
+            }
+            --Counts[From];
+            ++Counts[To];
+            Assignments[P] = To;
+            Improved = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  KMeansResult Result;
+  Result.Assignments = std::move(Assignments);
+  Result.Centroids = std::move(Centroids);
+  Result.Inertia = computeInertia(Points, Result.Centroids,
+                                  Result.Assignments);
+  Result.Iterations = Iter;
+  return Result;
+}
+
+} // namespace
+
+Expected<KMeansResult>
+cluster::kMeans(const Matrix &Points, const KMeansOptions &Options) {
+  if (Options.K == 0)
+    return makeStringError("k-means requires K >= 1");
+  if (Points.empty())
+    return makeStringError("k-means requires at least one point");
+  size_t Dim = Points.front().size();
+  for (const auto &Point : Points)
+    if (Point.size() != Dim)
+      return makeStringError("k-means points must share one dimension");
+  if (countDistinct(Points) < Options.K)
+    return makeStringError("k-means needs at least K=%zu distinct points",
+                           Options.K);
+
+  RNG Rng(Options.Seed);
+  KMeansResult Best;
+  bool HaveBest = false;
+  unsigned Restarts = std::max(1u, Options.Restarts);
+  for (unsigned R = 0; R != Restarts; ++R) {
+    KMeansResult Candidate = runOnce(Points, Options, Rng);
+    if (!HaveBest || Candidate.Inertia < Best.Inertia) {
+      Best = std::move(Candidate);
+      HaveBest = true;
+    }
+  }
+  return Best;
+}

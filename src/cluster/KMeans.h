@@ -1,0 +1,78 @@
+//===- cluster/KMeans.h - k-means clustering --------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// k-means clustering (Hartigan, "Clustering Algorithms", 1975 — the
+/// paper's reference [4]).  Lloyd iterations with a choice of
+/// initialization strategies, plus an optional Hartigan-Wong style
+/// single-point improvement pass.  Deterministic given the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CLUSTER_KMEANS_H
+#define LIMA_CLUSTER_KMEANS_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+namespace cluster {
+
+/// Centroid initialization strategies.
+enum class KMeansInit {
+  /// k distinct points chosen uniformly at random.
+  RandomPoints,
+  /// k-means++ (D^2-weighted) seeding.
+  PlusPlus,
+  /// Farthest-first traversal from a random start.
+  FarthestFirst,
+};
+
+/// Human-readable init-strategy name.
+std::string_view kmeansInitName(KMeansInit Init);
+
+/// k-means configuration.
+struct KMeansOptions {
+  size_t K = 2;
+  KMeansInit Init = KMeansInit::PlusPlus;
+  /// Lloyd iteration cap.
+  unsigned MaxIterations = 100;
+  /// Number of independent restarts; the run with the lowest inertia wins.
+  unsigned Restarts = 8;
+  /// RNG seed; the same seed reproduces the same clustering.
+  uint64_t Seed = 1;
+  /// Run a Hartigan-Wong single-point improvement pass after Lloyd
+  /// converges (can escape some Lloyd-stable local minima).
+  bool HartiganRefinement = true;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster index of each input point.
+  std::vector<size_t> Assignments;
+  /// Final centroids, K x Dim.
+  std::vector<std::vector<double>> Centroids;
+  /// Sum of squared distances of points to their centroid.
+  double Inertia = 0.0;
+  /// Lloyd iterations used by the winning restart.
+  unsigned Iterations = 0;
+
+  /// Points in each cluster, in input order.
+  std::vector<std::vector<size_t>> members() const;
+};
+
+/// Runs k-means over \p Points (each a vector of equal dimension).
+///
+/// Fails when there are fewer distinct points than K or K is 0.
+Expected<KMeansResult> kMeans(const std::vector<std::vector<double>> &Points,
+                              const KMeansOptions &Options);
+
+} // namespace cluster
+} // namespace lima
+
+#endif // LIMA_CLUSTER_KMEANS_H

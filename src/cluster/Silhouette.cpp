@@ -1,0 +1,72 @@
+//===- cluster/Silhouette.cpp - Clustering quality scores -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Silhouette.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace lima;
+using namespace lima::cluster;
+
+std::vector<double>
+cluster::silhouetteValues(const std::vector<std::vector<double>> &Points,
+                          const std::vector<size_t> &Assignments,
+                          Metric DistanceMetric) {
+  assert(Points.size() == Assignments.size() && "assignment size mismatch");
+  size_t N = Points.size();
+  size_t K = 0;
+  for (size_t A : Assignments)
+    K = std::max(K, A + 1);
+
+  std::vector<size_t> Sizes(K, 0);
+  for (size_t A : Assignments)
+    ++Sizes[A];
+
+  std::vector<double> Values(N, 0.0);
+  for (size_t P = 0; P != N; ++P) {
+    size_t Own = Assignments[P];
+    if (Sizes[Own] <= 1)
+      continue; // Singleton scores 0 by convention.
+    // Mean distance to each cluster.
+    std::vector<double> MeanDist(K, 0.0);
+    for (size_t Q = 0; Q != N; ++Q) {
+      if (Q == P)
+        continue;
+      MeanDist[Assignments[Q]] +=
+          distance(DistanceMetric, Points[P], Points[Q]);
+    }
+    for (size_t C = 0; C != K; ++C) {
+      size_t Denominator = C == Own ? Sizes[C] - 1 : Sizes[C];
+      if (Denominator > 0)
+        MeanDist[C] /= static_cast<double>(Denominator);
+    }
+    double A = MeanDist[Own];
+    double B = std::numeric_limits<double>::infinity();
+    for (size_t C = 0; C != K; ++C)
+      if (C != Own && Sizes[C] > 0)
+        B = std::min(B, MeanDist[C]);
+    if (!std::isfinite(B))
+      continue; // Only one non-empty cluster: undefined, score 0.
+    double Denominator = std::max(A, B);
+    Values[P] = Denominator > 0.0 ? (B - A) / Denominator : 0.0;
+  }
+  return Values;
+}
+
+double cluster::silhouetteScore(const std::vector<std::vector<double>> &Points,
+                                const std::vector<size_t> &Assignments,
+                                Metric DistanceMetric) {
+  std::vector<double> Values =
+      silhouetteValues(Points, Assignments, DistanceMetric);
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}

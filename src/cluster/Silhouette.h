@@ -1,0 +1,38 @@
+//===- cluster/Silhouette.h - Clustering quality scores ---------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Silhouette scores (Rousseeuw) for validating a clustering, plus a
+/// simple elbow-style helper for choosing the cluster count when grouping
+/// code regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CLUSTER_SILHOUETTE_H
+#define LIMA_CLUSTER_SILHOUETTE_H
+
+#include "cluster/Distance.h"
+#include <vector>
+
+namespace lima {
+namespace cluster {
+
+/// Per-point silhouette values in [-1, 1]; points in singleton clusters
+/// score 0 by convention.
+std::vector<double>
+silhouetteValues(const std::vector<std::vector<double>> &Points,
+                 const std::vector<size_t> &Assignments,
+                 Metric DistanceMetric = Metric::Euclidean);
+
+/// Mean silhouette over all points; higher is better separated.
+double silhouetteScore(const std::vector<std::vector<double>> &Points,
+                       const std::vector<size_t> &Assignments,
+                       Metric DistanceMetric = Metric::Euclidean);
+
+} // namespace cluster
+} // namespace lima
+
+#endif // LIMA_CLUSTER_SILHOUETTE_H

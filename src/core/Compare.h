@@ -1,0 +1,78 @@
+//===- core/Compare.h - Before/after run comparison -------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "verification and validation of the achieved performance" step of
+/// the paper's tuning cycle: compare two measurement cubes of the same
+/// program (before and after a change) region by region — time deltas,
+/// index deltas, and a verdict per region (improved / regressed /
+/// unchanged) — rendered as a table.  Cubes must agree on the region and
+/// activity name sets; processor counts may differ (a before/after on a
+/// different machine size is still comparable through the indices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_COMPARE_H
+#define LIMA_CORE_COMPARE_H
+
+#include "core/Measurement.h"
+#include "core/Views.h"
+#include "support/Error.h"
+#include "support/TableFormatter.h"
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Verdict for one region of the comparison.
+enum class RegionVerdict { Improved, Regressed, Unchanged };
+
+/// Human-readable verdict name.
+std::string_view regionVerdictName(RegionVerdict Verdict);
+
+/// Per-region comparison row.
+struct RegionDelta {
+  size_t Region = 0;
+  double TimeBefore = 0.0;
+  double TimeAfter = 0.0;
+  double IndexBefore = 0.0;
+  double IndexAfter = 0.0;
+  RegionVerdict Verdict = RegionVerdict::Unchanged;
+};
+
+/// The full comparison.
+struct RunComparison {
+  std::vector<RegionDelta> Regions;
+  double ProgramTimeBefore = 0.0;
+  double ProgramTimeAfter = 0.0;
+  /// ProgramTimeBefore / ProgramTimeAfter.
+  double Speedup = 1.0;
+};
+
+/// Comparison thresholds.
+struct CompareOptions {
+  /// Relative time change below which a region counts as unchanged.
+  double TimeTolerance = 0.02;
+  /// Absolute index change below which a region counts as unchanged.
+  double IndexTolerance = 0.005;
+  /// Index family for the per-region dissimilarity.
+  ViewOptions Views;
+};
+
+/// Compares \p Before and \p After.  Fails when the region or activity
+/// name sets differ.
+Expected<RunComparison> compareRuns(const MeasurementCube &Before,
+                                    const MeasurementCube &After,
+                                    const CompareOptions &Options = {});
+
+/// Renders the comparison as a table.
+TextTable makeComparisonTable(const MeasurementCube &Before,
+                              const RunComparison &Comparison);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_COMPARE_H

@@ -1,0 +1,72 @@
+//===- core/CountingReduction.cpp - Counting-parameter cubes --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CountingReduction.h"
+#include "support/Compiler.h"
+#include <vector>
+
+using namespace lima;
+using namespace lima::core;
+using trace::Event;
+using trace::EventKind;
+
+std::string_view core::countingMetricName(CountingMetric Metric) {
+  switch (Metric) {
+  case CountingMetric::MessagesSent:
+    return "messages-sent";
+  case CountingMetric::BytesSent:
+    return "bytes-sent";
+  case CountingMetric::MessagesReceived:
+    return "messages-received";
+  case CountingMetric::BytesReceived:
+    return "bytes-received";
+  }
+  lima_unreachable("unknown CountingMetric");
+}
+
+Expected<MeasurementCube> core::reduceTraceCounts(const trace::Trace &T,
+                                                  CountingMetric Metric) {
+  if (auto Err = T.validate())
+    return Err;
+  if (T.numRegions() == 0)
+    return makeStringError("trace declares no regions");
+
+  bool WantSend = Metric == CountingMetric::MessagesSent ||
+                  Metric == CountingMetric::BytesSent;
+  bool WantBytes = Metric == CountingMetric::BytesSent ||
+                   Metric == CountingMetric::BytesReceived;
+
+  MeasurementCube Cube(T.regionNames(),
+                       {std::string(countingMetricName(Metric))},
+                       T.numProcs());
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    // Messages are attributed to the innermost open region.
+    std::vector<uint32_t> Stack;
+    for (const Event &E : T.events(Proc)) {
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+        Stack.push_back(E.Id);
+        break;
+      case EventKind::RegionExit:
+        Stack.pop_back();
+        break;
+      case EventKind::MessageSend:
+      case EventKind::MessageRecv: {
+        bool IsSend = E.Kind == EventKind::MessageSend;
+        if (IsSend != WantSend || Stack.empty())
+          break;
+        Cube.accumulate(Stack.back(), 0, Proc,
+                        WantBytes ? static_cast<double>(E.Bytes) : 1.0);
+        break;
+      }
+      case EventKind::ActivityBegin:
+      case EventKind::ActivityEnd:
+        break;
+      }
+    }
+  }
+  return Cube;
+}

@@ -1,0 +1,158 @@
+//===- core/CubeIO.cpp - Measurement cube persistence ---------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CubeIO.h"
+#include "support/CSV.h"
+#include "support/FileUtils.h"
+#include "support/StringUtils.h"
+#include <cstdio>
+#include <map>
+
+using namespace lima;
+using namespace lima::core;
+
+std::string core::writeCubeCSV(const MeasurementCube &Cube) {
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({"region", "activity", "proc", "seconds"});
+  // Declaration pseudo-rows pin the dimension order and extents even
+  // when some regions/activities/processors have only zero cells.
+  Rows.push_back({"#procs", "", "", std::to_string(Cube.numProcs())});
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    Rows.push_back({"#region", Cube.regionName(I), "", ""});
+  for (size_t J = 0; J != Cube.numActivities(); ++J)
+    Rows.push_back({"#activity", Cube.activityName(J), "", ""});
+  if (Cube.hasExplicitProgramTime()) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.12g", Cube.programTime());
+    Rows.push_back({"#program-time", "", "", Buf});
+  }
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      for (unsigned P = 0; P != Cube.numProcs(); ++P) {
+        double Value = Cube.time(I, J, P);
+        if (Value == 0.0)
+          continue;
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%.12g", Value);
+        Rows.push_back({Cube.regionName(I), Cube.activityName(J),
+                        std::to_string(P + 1), Buf});
+      }
+  return writeCSV(Rows);
+}
+
+Expected<MeasurementCube> core::parseCubeCSV(std::string_view Text) {
+  auto RowsOrErr = parseCSV(Text);
+  if (auto Err = RowsOrErr.takeError())
+    return Err;
+  const auto &Rows = *RowsOrErr;
+  if (Rows.empty() || Rows[0] !=
+      std::vector<std::string>{"region", "activity", "proc", "seconds"})
+    return makeStringError(
+        "cube CSV must start with 'region,activity,proc,seconds'");
+
+  // First pass: discover names, processor count and the program total.
+  std::vector<std::string> Regions, Activities;
+  std::map<std::string, size_t> RegionIds, ActivityIds;
+  unsigned MaxProc = 0;
+  double ProgramTime = -1.0;
+  struct Cell {
+    size_t Region, Activity;
+    unsigned Proc;
+    double Seconds;
+  };
+  std::vector<Cell> Cells;
+
+  for (size_t RowIndex = 1; RowIndex != Rows.size(); ++RowIndex) {
+    const auto &Row = Rows[RowIndex];
+    if (Row.size() == 1 && Row[0].empty())
+      continue; // Blank line.
+    if (Row.size() != 4)
+      return makeStringError("cube CSV row %zu: expected 4 fields, got %zu",
+                             RowIndex + 1, Row.size());
+    if (Row[0] == "#program-time") {
+      auto TimeOrErr = parseDouble(Row[3]);
+      if (auto Err = TimeOrErr.takeError())
+        return Err;
+      ProgramTime = *TimeOrErr;
+      continue;
+    }
+    if (Row[0] == "#procs") {
+      auto CountOrErr = parseUnsigned(Row[3]);
+      if (auto Err = CountOrErr.takeError())
+        return Err;
+      if (*CountOrErr == 0)
+        return makeStringError("cube CSV: processor count must be positive");
+      MaxProc = std::max<unsigned>(MaxProc,
+                                   static_cast<unsigned>(*CountOrErr) - 1);
+      continue;
+    }
+    if (Row[0] == "#region") {
+      if (!RegionIds.count(Row[1])) {
+        RegionIds.emplace(Row[1], Regions.size());
+        Regions.push_back(Row[1]);
+      }
+      continue;
+    }
+    if (Row[0] == "#activity") {
+      if (!ActivityIds.count(Row[1])) {
+        ActivityIds.emplace(Row[1], Activities.size());
+        Activities.push_back(Row[1]);
+      }
+      continue;
+    }
+    auto ProcOrErr = parseUnsigned(Row[2]);
+    if (auto Err = ProcOrErr.takeError())
+      return Err;
+    if (*ProcOrErr == 0)
+      return makeStringError("cube CSV row %zu: processors are numbered "
+                             "from 1",
+                             RowIndex + 1);
+    auto SecondsOrErr = parseDouble(Row[3]);
+    if (auto Err = SecondsOrErr.takeError())
+      return Err;
+    if (*SecondsOrErr < 0.0)
+      return makeStringError("cube CSV row %zu: negative time",
+                             RowIndex + 1);
+
+    auto RegionIt = RegionIds.find(Row[0]);
+    if (RegionIt == RegionIds.end()) {
+      RegionIt = RegionIds.emplace(Row[0], Regions.size()).first;
+      Regions.push_back(Row[0]);
+    }
+    auto ActivityIt = ActivityIds.find(Row[1]);
+    if (ActivityIt == ActivityIds.end()) {
+      ActivityIt = ActivityIds.emplace(Row[1], Activities.size()).first;
+      Activities.push_back(Row[1]);
+    }
+    unsigned Proc = static_cast<unsigned>(*ProcOrErr) - 1;
+    MaxProc = std::max(MaxProc, Proc);
+    Cells.push_back(
+        {RegionIt->second, ActivityIt->second, Proc, *SecondsOrErr});
+  }
+  if (Cells.empty())
+    return makeStringError("cube CSV contains no data rows");
+
+  MeasurementCube Cube(std::move(Regions), std::move(Activities),
+                       MaxProc + 1);
+  for (const Cell &C : Cells)
+    Cube.accumulate(C.Region, C.Activity, C.Proc, C.Seconds);
+  if (ProgramTime >= 0.0)
+    Cube.setProgramTime(ProgramTime);
+  if (auto Err = Cube.validate())
+    return Err;
+  return Cube;
+}
+
+Error core::saveCube(const MeasurementCube &Cube, const std::string &Path) {
+  return writeFile(Path, writeCubeCSV(Cube));
+}
+
+Expected<MeasurementCube> core::loadCube(const std::string &Path) {
+  auto TextOrErr = readFile(Path);
+  if (auto Err = TextOrErr.takeError())
+    return Err;
+  return parseCubeCSV(*TextOrErr);
+}

@@ -1,0 +1,42 @@
+//===- core/CubeIO.h - Measurement cube persistence -------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV persistence for measurement cubes, so that measurements can be
+/// stored, exchanged and re-analyzed without the original event traces —
+/// the "community repository" use case of the Tracefile Testbed the
+/// authors co-built (paper reference [3]).  Format: a header row
+/// `region,activity,proc,seconds`, one row per nonzero cell, plus a
+/// pseudo-row `#program-time,,,T` carrying the explicit program total.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_CUBEIO_H
+#define LIMA_CORE_CUBEIO_H
+
+#include "core/Measurement.h"
+#include "support/Error.h"
+#include <string>
+
+namespace lima {
+namespace core {
+
+/// Serializes \p Cube to CSV (deterministic row order).
+std::string writeCubeCSV(const MeasurementCube &Cube);
+
+/// Parses a cube from CSV produced by writeCubeCSV (or by hand/other
+/// tools).  Regions, activities and the processor count are inferred
+/// from the rows; region/activity order follows first appearance.
+Expected<MeasurementCube> parseCubeCSV(std::string_view Text);
+
+/// Convenience wrappers over whole files.
+Error saveCube(const MeasurementCube &Cube, const std::string &Path);
+Expected<MeasurementCube> loadCube(const std::string &Path);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_CUBEIO_H

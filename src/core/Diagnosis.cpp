@@ -1,0 +1,259 @@
+//===- core/Diagnosis.cpp - Rule-based automatic diagnosis ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Diagnosis.h"
+#include "support/Compiler.h"
+#include "support/Format.h"
+#include <algorithm>
+#include <climits>
+
+using namespace lima;
+using namespace lima::core;
+
+std::string_view core::diagnosisKindName(DiagnosisKind Kind) {
+  switch (Kind) {
+  case DiagnosisKind::RegionLoadImbalance:
+    return "region-load-imbalance";
+  case DiagnosisKind::NegligibleImbalance:
+    return "negligible-imbalance";
+  case DiagnosisKind::ProcessorHotspot:
+    return "processor-hotspot";
+  case DiagnosisKind::SynchronizationOverhead:
+    return "synchronization-overhead";
+  case DiagnosisKind::CommunicationBound:
+    return "communication-bound";
+  case DiagnosisKind::SingleRegionDominance:
+    return "single-region-dominance";
+  case DiagnosisKind::LowCoverage:
+    return "low-coverage";
+  }
+  lima_unreachable("unknown DiagnosisKind");
+}
+
+std::string_view core::severityName(Severity S) {
+  switch (S) {
+  case Severity::Info:
+    return "info";
+  case Severity::Advice:
+    return "advice";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Critical:
+    return "critical";
+  }
+  lima_unreachable("unknown Severity");
+}
+
+namespace {
+
+/// Sum of activity times whose names appear in \p Names.
+double shareOfActivities(const MeasurementCube &Cube,
+                         const std::vector<std::string> &Names) {
+  double Total = 0.0;
+  for (size_t J = 0; J != Cube.numActivities(); ++J)
+    for (const std::string &Name : Names)
+      if (Cube.activityName(J) == Name)
+        Total += Cube.activityTime(J);
+  return Total / Cube.programTime();
+}
+
+} // namespace
+
+std::vector<Diagnosis> core::diagnose(const MeasurementCube &Cube,
+                                      const AnalysisResult &Analysis,
+                                      const DiagnosisOptions &Options) {
+  std::vector<Diagnosis> Findings;
+  double T = Cube.programTime();
+
+  // Rule 1: regions that are imbalanced *and* heavy — tuning candidates.
+  for (size_t I = 0; I != Cube.numRegions(); ++I) {
+    double SID = Analysis.Regions.ScaledIndex[I];
+    double ID = Analysis.Regions.Index[I];
+    if (SID < Options.CandidateScaledIndex)
+      continue;
+    Diagnosis D;
+    D.Kind = DiagnosisKind::RegionLoadImbalance;
+    D.Level = SID >= 2 * Options.CandidateScaledIndex ? Severity::Critical
+                                                      : Severity::Warning;
+    D.Region = I;
+    D.Score = SID;
+    D.Explanation = "region '" + Cube.regionName(I) +
+                    "' is imbalanced (ID_C = " + formatFixed(ID, 5) +
+                    ") and accounts for " +
+                    formatPercent(Cube.regionTime(I) / T) +
+                    " of the program (SID_C = " + formatFixed(SID, 5) + ")";
+    D.Suggestion = "redistribute the region's work across processors; "
+                   "start from the processors its pattern diagram marks "
+                   "as extreme";
+    Findings.push_back(std::move(D));
+  }
+
+  // Rule 2: severe imbalance with negligible weight (regions and
+  // activities) — explicitly de-prioritized, like the paper's
+  // synchronization finding.
+  for (size_t I = 0; I != Cube.numRegions(); ++I) {
+    if (Analysis.Regions.Index[I] < Options.SevereIndex ||
+        Analysis.Regions.ScaledIndex[I] > Options.NegligibleScaledIndex)
+      continue;
+    Diagnosis D;
+    D.Kind = DiagnosisKind::NegligibleImbalance;
+    D.Level = Severity::Info;
+    D.Region = I;
+    D.Score = Analysis.Regions.Index[I];
+    D.Explanation = "region '" + Cube.regionName(I) +
+                    "' is strongly imbalanced (ID_C = " +
+                    formatFixed(Analysis.Regions.Index[I], 5) +
+                    ") but too short to matter (" +
+                    formatPercent(Cube.regionTime(I) / T) +
+                    " of the program)";
+    D.Suggestion = "not a tuning candidate; revisit only if its share of "
+                   "the program grows";
+    Findings.push_back(std::move(D));
+  }
+  for (size_t J = 0; J != Cube.numActivities(); ++J) {
+    if (Analysis.Activities.Index[J] < Options.SevereIndex ||
+        Analysis.Activities.ScaledIndex[J] > Options.NegligibleScaledIndex)
+      continue;
+    Diagnosis D;
+    D.Kind = DiagnosisKind::NegligibleImbalance;
+    D.Level = Severity::Info;
+    D.Activity = J;
+    D.Score = Analysis.Activities.Index[J];
+    D.Explanation = "activity '" + Cube.activityName(J) +
+                    "' is strongly imbalanced (ID_A = " +
+                    formatFixed(Analysis.Activities.Index[J], 5) +
+                    ") but accounts for only " +
+                    formatPercent(Cube.activityTime(J) / T) +
+                    " of the program";
+    D.Suggestion = "not a tuning candidate; the scaled index SID_A = " +
+                   formatFixed(Analysis.Activities.ScaledIndex[J], 5) +
+                   " already discounts it";
+    Findings.push_back(std::move(D));
+  }
+
+  // Rule 3: processor hotspot.  Only count regions where the winning
+  // processor's index is meaningful — in a balanced region "the most
+  // imbalanced processor" is an artifact of tie-breaking.
+  {
+    unsigned Proc = Analysis.Processors.MostFrequentlyImbalanced;
+    unsigned Wins = 0;
+    for (size_t I = 0; I != Cube.numRegions(); ++I)
+      if (Analysis.Processors.MostImbalancedProc[I] == Proc &&
+          Analysis.Processors.Index[I][Proc] >= Options.HotspotMinIndex)
+        ++Wins;
+    double Fraction =
+        static_cast<double>(Wins) / static_cast<double>(Cube.numRegions());
+    if (Fraction >= Options.HotspotRegionFraction && Wins >= 2) {
+      Diagnosis D;
+      D.Kind = DiagnosisKind::ProcessorHotspot;
+      D.Level = Severity::Warning;
+      D.Proc = Proc;
+      D.Score = Fraction;
+      D.Explanation = "processor " + std::to_string(Proc + 1) +
+                      " is the most imbalanced processor in " +
+                      std::to_string(Wins) + " of " +
+                      std::to_string(Cube.numRegions()) + " regions";
+      D.Suggestion = "check for asymmetric work assignment (e.g. rank-0 "
+                     "duties), slower hardware, or placement effects on "
+                     "that processor";
+      Findings.push_back(std::move(D));
+    }
+  }
+
+  // Rule 4: synchronization overhead.
+  {
+    double Share = shareOfActivities(Cube, Options.SynchronizationActivities);
+    if (Share >= Options.SynchronizationShare) {
+      Diagnosis D;
+      D.Kind = DiagnosisKind::SynchronizationOverhead;
+      D.Level = Share >= 2 * Options.SynchronizationShare
+                    ? Severity::Critical
+                    : Severity::Warning;
+      D.Score = Share;
+      D.Explanation = "synchronization accounts for " +
+                      formatPercent(Share) + " of the program time";
+      D.Suggestion = "remove barriers that only order I/O or debugging, "
+                     "or replace global barriers with point-to-point "
+                     "dependencies";
+      Findings.push_back(std::move(D));
+    }
+  }
+
+  // Rule 5: communication bound.
+  {
+    double Share = shareOfActivities(Cube, Options.CommunicationActivities);
+    if (Share >= Options.CommunicationShare) {
+      Diagnosis D;
+      D.Kind = DiagnosisKind::CommunicationBound;
+      D.Level = Severity::Advice;
+      D.Score = Share;
+      D.Explanation = "communication (point-to-point + collective) "
+                      "accounts for " +
+                      formatPercent(Share) + " of the program time";
+      D.Suggestion = "overlap communication with computation, aggregate "
+                     "messages, or revisit the domain decomposition";
+      Findings.push_back(std::move(D));
+    }
+  }
+
+  // Rule 6: single-region dominance.
+  {
+    size_t Heaviest = Analysis.Profile.HeaviestRegion;
+    double Share = Cube.regionTime(Heaviest) / T;
+    if (Share >= Options.DominanceShare) {
+      Diagnosis D;
+      D.Kind = DiagnosisKind::SingleRegionDominance;
+      D.Level = Severity::Advice;
+      D.Region = Heaviest;
+      D.Score = Share;
+      D.Explanation = "region '" + Cube.regionName(Heaviest) +
+                      "' alone accounts for " + formatPercent(Share) +
+                      " of the program";
+      D.Suggestion = "any tuning effort should start inside this region";
+      Findings.push_back(std::move(D));
+    }
+  }
+
+  // Rule 7: low instrumentation coverage.
+  {
+    double Coverage = Cube.instrumentedTotal() / T;
+    if (Coverage < Options.CoverageFloor) {
+      Diagnosis D;
+      D.Kind = DiagnosisKind::LowCoverage;
+      D.Level = Severity::Info;
+      D.Score = Coverage;
+      D.Explanation = "instrumented regions cover only " +
+                      formatPercent(Coverage) + " of the program time";
+      D.Suggestion = "instrument more code regions before trusting the "
+                     "scaled indices";
+      Findings.push_back(std::move(D));
+    }
+  }
+
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Diagnosis &A, const Diagnosis &B) {
+                     if (A.Level != B.Level)
+                       return A.Level > B.Level;
+                     return A.Score > B.Score;
+                   });
+  return Findings;
+}
+
+std::string core::renderDiagnoses(const MeasurementCube &Cube,
+                                  const std::vector<Diagnosis> &Findings) {
+  (void)Cube;
+  if (Findings.empty())
+    return "no findings: the program looks well balanced.\n";
+  std::string Out;
+  unsigned Counter = 0;
+  for (const Diagnosis &D : Findings) {
+    Out += std::to_string(++Counter) + ". [" +
+           std::string(severityName(D.Level)) + "] " +
+           std::string(diagnosisKindName(D.Kind)) + ": " + D.Explanation +
+           "\n   -> " + D.Suggestion + "\n";
+  }
+  return Out;
+}

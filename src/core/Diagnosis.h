@@ -1,0 +1,117 @@
+//===- core/Diagnosis.h - Rule-based automatic diagnosis --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automation step the paper's conclusions call for: "tools should
+/// do what expert programmers do when tuning their programs, that is,
+/// detect the presence of inefficiencies, localize them and assess
+/// their severity."  A small rule engine turns an AnalysisResult into a
+/// ranked list of structured findings, each localized (region /
+/// activity / processor), scored, explained and paired with a remedy
+/// hint — in the spirit of the Poirot and Paradyn diagnosis systems the
+/// paper discusses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_DIAGNOSIS_H
+#define LIMA_CORE_DIAGNOSIS_H
+
+#include "core/Pipeline.h"
+#include <climits>
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// What a finding is about.
+enum class DiagnosisKind {
+  /// A region is both imbalanced and heavy: the prime tuning candidate.
+  RegionLoadImbalance,
+  /// Something is severely imbalanced but too light to matter.
+  NegligibleImbalance,
+  /// One processor is repeatedly the most imbalanced.
+  ProcessorHotspot,
+  /// Synchronization consumes a noticeable share of the program.
+  SynchronizationOverhead,
+  /// Communication (point-to-point + collective) dominates.
+  CommunicationBound,
+  /// One region dominates the program: tuning focus is obvious.
+  SingleRegionDominance,
+  /// The instrumented regions cover little of the program time.
+  LowCoverage,
+};
+
+/// Human-readable kind name ("region-load-imbalance", ...).
+std::string_view diagnosisKindName(DiagnosisKind Kind);
+
+/// Severity ladder of a finding.
+enum class Severity { Info, Advice, Warning, Critical };
+
+/// Human-readable severity name.
+std::string_view severityName(Severity S);
+
+/// One structured finding.
+struct Diagnosis {
+  DiagnosisKind Kind;
+  Severity Level = Severity::Info;
+  /// Affected region (SIZE_MAX when not region-specific).
+  size_t Region = SIZE_MAX;
+  /// Affected activity (SIZE_MAX when not activity-specific).
+  size_t Activity = SIZE_MAX;
+  /// Affected processor (UINT_MAX when not processor-specific).
+  unsigned Proc = UINT_MAX;
+  /// The index/ratio that triggered the rule.
+  double Score = 0.0;
+  /// One-sentence explanation with the numbers filled in.
+  std::string Explanation;
+  /// Suggested direction for the fix.
+  std::string Suggestion;
+};
+
+/// Thresholds of the rule engine.  Defaults are calibrated so the
+/// paper's experiment produces the conclusions of its Section 4.
+struct DiagnosisOptions {
+  /// ID threshold above which imbalance counts as severe.
+  double SevereIndex = 0.05;
+  /// SID threshold below which imbalance is negligible.
+  double NegligibleScaledIndex = 0.002;
+  /// SID threshold above which a region becomes a tuning candidate.
+  double CandidateScaledIndex = 0.005;
+  /// Fraction of regions a processor must "win" to be a hotspot.
+  double HotspotRegionFraction = 0.25;
+  /// A "win" only counts when the processor's ID_P exceeds this floor
+  /// (a balanced region has no meaningful most-imbalanced processor).
+  double HotspotMinIndex = 0.01;
+  /// Program-time fraction that flags synchronization overhead.
+  double SynchronizationShare = 0.05;
+  /// Program-time fraction that flags a communication-bound program.
+  double CommunicationShare = 0.4;
+  /// Program-time fraction that flags single-region dominance.
+  double DominanceShare = 0.5;
+  /// Instrumented-time fraction below which coverage is flagged.
+  double CoverageFloor = 0.5;
+  /// Activity names classified as synchronization / communication for
+  /// the share rules (matched against the cube's activity names).
+  std::vector<std::string> SynchronizationActivities = {"synchronization"};
+  std::vector<std::string> CommunicationActivities = {"point-to-point",
+                                                      "collective"};
+};
+
+/// Runs every rule over \p Cube / \p Analysis and returns the findings
+/// sorted by decreasing severity (ties by decreasing score).
+std::vector<Diagnosis> diagnose(const MeasurementCube &Cube,
+                                const AnalysisResult &Analysis,
+                                const DiagnosisOptions &Options = {});
+
+/// Renders findings as a numbered text report.
+std::string renderDiagnoses(const MeasurementCube &Cube,
+                            const std::vector<Diagnosis> &Findings);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_DIAGNOSIS_H

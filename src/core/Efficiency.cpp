@@ -1,0 +1,66 @@
+//===- core/Efficiency.cpp - Efficiency metrics ---------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Efficiency.h"
+#include "stats/Descriptive.h"
+#include "support/MathUtils.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::core;
+
+EfficiencyReport core::computeEfficiency(const MeasurementCube &Cube,
+                                         const EfficiencyOptions &Options) {
+  EfficiencyReport Report;
+  unsigned P = Cube.numProcs();
+
+  auto isComputation = [&](size_t J) {
+    return std::find(Options.ComputationActivities.begin(),
+                     Options.ComputationActivities.end(),
+                     Cube.activityName(J)) !=
+           Options.ComputationActivities.end();
+  };
+
+  Report.BusyTime.assign(P, 0.0);
+  Report.UsefulWork.assign(P, 0.0);
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      for (unsigned Proc = 0; Proc != P; ++Proc) {
+        double Value = Cube.time(I, J, Proc);
+        Report.BusyTime[Proc] += Value;
+        if (isComputation(J))
+          Report.UsefulWork[Proc] += Value;
+      }
+
+  double MaxWork = stats::maximum(Report.UsefulWork);
+  double MeanWork = stats::mean(Report.UsefulWork);
+  Report.LoadBalance = MaxWork > 0.0 ? MeanWork / MaxWork : 1.0;
+  KahanSum Wasted;
+  for (double Work : Report.UsefulWork)
+    Wasted.add(MaxWork - Work);
+  Report.WastedProcessorSeconds = Wasted.total();
+
+  Report.RegionLoadBalance.assign(Cube.numRegions(), 1.0);
+  for (size_t I = 0; I != Cube.numRegions(); ++I) {
+    std::vector<double> Region(P, 0.0);
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      if (isComputation(J))
+        for (unsigned Proc = 0; Proc != P; ++Proc)
+          Region[Proc] += Cube.time(I, J, Proc);
+    double Max = stats::maximum(Region);
+    if (Max > 0.0)
+      Report.RegionLoadBalance[I] = stats::mean(Region) / Max;
+  }
+
+  double ComputationTime = 0.0;
+  for (size_t J = 0; J != Cube.numActivities(); ++J)
+    if (isComputation(J))
+      ComputationTime += Cube.activityTime(J);
+  double Total = Cube.instrumentedTotal();
+  Report.ComputationShare = Total > 0.0 ? ComputationTime / Total : 1.0;
+  Report.ParallelEfficiency = Report.LoadBalance * Report.ComputationShare;
+  return Report;
+}

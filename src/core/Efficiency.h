@@ -1,0 +1,70 @@
+//===- core/Efficiency.h - Efficiency metrics -------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic efficiency metrics computed from the measurement cube,
+/// connecting the paper's dissimilarity indices to the load-balance /
+/// parallel-efficiency vocabulary later codified by tools like Scalasca:
+///
+///   load-balance efficiency LB = mean_p(W_p) / max_p(W_p)
+///   communication efficiency  = computation share of the busy time
+///   parallel efficiency       = LB * communication efficiency
+///
+/// where W_p is processor p's *useful work* — its time in the
+/// computation activities.  Total busy time (which includes waits
+/// inside communication and synchronization calls) is deliberately NOT
+/// used for LB: in a synchronized program waits equalize busy time
+/// across processors, so a busy-time LB is always ~1 and hides exactly
+/// the imbalance being measured.  LB = 1 means perfectly balanced; the
+/// difference 1 - LB is the fraction of the allocation wasted waiting
+/// for the slowest processor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_EFFICIENCY_H
+#define LIMA_CORE_EFFICIENCY_H
+
+#include "core/Measurement.h"
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Efficiency metrics of one cube.
+struct EfficiencyReport {
+  /// Busy time of each processor (sum over regions and activities,
+  /// including communication/synchronization waits).
+  std::vector<double> BusyTime;
+  /// Useful work of each processor (computation activities only).
+  std::vector<double> UsefulWork;
+  /// mean(W_p) / max(W_p) over the useful work, in (0, 1].
+  double LoadBalance = 1.0;
+  /// Per-region load balance, same formula on the region's useful work.
+  std::vector<double> RegionLoadBalance;
+  /// Fraction of total busy time in activities named in
+  /// ComputationActivities (below).
+  double ComputationShare = 1.0;
+  /// LoadBalance * ComputationShare.
+  double ParallelEfficiency = 1.0;
+  /// Processor time idle-or-waiting relative to a perfectly balanced
+  /// run: sum_p (max W - W_p) over the useful work, processor-seconds.
+  double WastedProcessorSeconds = 0.0;
+};
+
+/// Options for computeEfficiency.
+struct EfficiencyOptions {
+  /// Activity names counted as useful computation.
+  std::vector<std::string> ComputationActivities = {"computation"};
+};
+
+/// Computes the efficiency metrics of \p Cube.
+EfficiencyReport computeEfficiency(const MeasurementCube &Cube,
+                                   const EfficiencyOptions &Options = {});
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_EFFICIENCY_H

@@ -1,0 +1,257 @@
+//===- core/HtmlReport.cpp - Self-contained HTML reports ------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+#include "support/Format.h"
+
+using namespace lima;
+using namespace lima::core;
+
+std::string core::escapeHtml(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Horizontal SVG bar chart of labeled values (max value spans the
+/// full width).
+std::string barChart(const std::vector<std::string> &Labels,
+                     const std::vector<double> &Values,
+                     const std::string &Color) {
+  const int BarHeight = 18, Gap = 6, LabelWidth = 150, ChartWidth = 420;
+  double Max = 0.0;
+  for (double V : Values)
+    Max = std::max(Max, V);
+  int Height = static_cast<int>(Values.size()) * (BarHeight + Gap);
+  std::string Svg = "<svg width=\"" +
+                    std::to_string(LabelWidth + ChartWidth + 90) +
+                    "\" height=\"" + std::to_string(Height) +
+                    "\" xmlns=\"http://www.w3.org/2000/svg\">";
+  for (size_t I = 0; I != Values.size(); ++I) {
+    int Y = static_cast<int>(I) * (BarHeight + Gap);
+    double Fraction = Max > 0.0 ? Values[I] / Max : 0.0;
+    int Width = static_cast<int>(Fraction * ChartWidth);
+    Svg += "<text x=\"0\" y=\"" + std::to_string(Y + BarHeight - 4) +
+           "\" font-size=\"12\" font-family=\"sans-serif\">" +
+           escapeHtml(Labels[I]) + "</text>";
+    Svg += "<rect x=\"" + std::to_string(LabelWidth) + "\" y=\"" +
+           std::to_string(Y) + "\" width=\"" + std::to_string(Width) +
+           "\" height=\"" + std::to_string(BarHeight) + "\" fill=\"" +
+           Color + "\"/>";
+    Svg += "<text x=\"" + std::to_string(LabelWidth + Width + 6) +
+           "\" y=\"" + std::to_string(Y + BarHeight - 4) +
+           "\" font-size=\"11\" font-family=\"monospace\">" +
+           formatFixed(Values[I], 5) + "</text>";
+  }
+  Svg += "</svg>";
+  return Svg;
+}
+
+/// SVG heat map of one pattern diagram.
+std::string patternSvg(const PatternDiagram &Diagram,
+                       const MeasurementCube &Cube) {
+  const int Cell = 16, LabelWidth = 130;
+  auto color = [](PatternCategory Category) {
+    switch (Category) {
+    case PatternCategory::Maximum:
+      return "#b40000";
+    case PatternCategory::UpperBand:
+      return "#ff8c00";
+    case PatternCategory::Middle:
+      return "#ebebeb";
+    case PatternCategory::LowerBand:
+      return "#78b4ff";
+    case PatternCategory::Minimum:
+      return "#0000a0";
+    }
+    return "#000000";
+  };
+  size_t Rows = Diagram.Cells.size();
+  size_t Cols = Rows == 0 ? 0 : Diagram.Cells.front().size();
+  std::string Svg =
+      "<svg width=\"" +
+      std::to_string(LabelWidth + static_cast<int>(Cols) * Cell) +
+      "\" height=\"" + std::to_string(static_cast<int>(Rows) * Cell) +
+      "\" xmlns=\"http://www.w3.org/2000/svg\">";
+  for (size_t R = 0; R != Rows; ++R) {
+    Svg += "<text x=\"0\" y=\"" +
+           std::to_string(static_cast<int>(R) * Cell + Cell - 4) +
+           "\" font-size=\"11\" font-family=\"sans-serif\">" +
+           escapeHtml(Cube.regionName(Diagram.Regions[R])) + "</text>";
+    for (size_t C = 0; C != Cols; ++C)
+      Svg += "<rect x=\"" +
+             std::to_string(LabelWidth + static_cast<int>(C) * Cell) +
+             "\" y=\"" + std::to_string(static_cast<int>(R) * Cell) +
+             "\" width=\"" + std::to_string(Cell - 1) + "\" height=\"" +
+             std::to_string(Cell - 1) + "\" fill=\"" +
+             color(Diagram.Cells[R][C]) + "\"/>";
+  }
+  Svg += "</svg>";
+  return Svg;
+}
+
+/// One HTML table from cube columns.
+void appendTable(std::string &Html, const std::string &Caption,
+                 const std::vector<std::string> &Header,
+                 const std::vector<std::vector<std::string>> &Rows) {
+  Html += "<table><caption>" + escapeHtml(Caption) + "</caption><tr>";
+  for (const std::string &Cell : Header)
+    Html += "<th>" + escapeHtml(Cell) + "</th>";
+  Html += "</tr>";
+  for (const auto &Row : Rows) {
+    Html += "<tr>";
+    for (const std::string &Cell : Row)
+      Html += "<td>" + escapeHtml(Cell) + "</td>";
+    Html += "</tr>";
+  }
+  Html += "</table>";
+}
+
+std::string timeCell(double Seconds) {
+  return Seconds > 0.0 ? formatFixed(Seconds, 3) : "-";
+}
+
+std::string indexCell(double Index) {
+  return Index > 0.0 ? formatFixed(Index, 5) : "-";
+}
+
+} // namespace
+
+std::string core::renderHtmlReport(const MeasurementCube &Cube,
+                                   const AnalysisResult &Analysis,
+                                   const HtmlReportOptions &Options) {
+  std::string Html =
+      "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
+      escapeHtml(Options.Title) +
+      "</title><style>"
+      "body{font-family:sans-serif;max-width:960px;margin:2em auto;}"
+      "table{border-collapse:collapse;margin:1em 0;}"
+      "caption{font-weight:bold;text-align:left;padding:4px 0;}"
+      "th,td{border:1px solid #bbb;padding:3px 9px;font-size:13px;"
+      "text-align:right;}"
+      "th:first-child,td:first-child{text-align:left;}"
+      "h2{border-bottom:1px solid #ddd;padding-bottom:4px;}"
+      ".finding{margin:6px 0;padding:6px 10px;border-left:4px solid;}"
+      ".critical{border-color:#b40000;background:#fff0f0;}"
+      ".warning{border-color:#ff8c00;background:#fff8ee;}"
+      ".advice{border-color:#2a7ae2;background:#f0f6ff;}"
+      ".info{border-color:#999;background:#f6f6f6;}"
+      "</style></head><body><h1>" +
+      escapeHtml(Options.Title) + "</h1>";
+
+  // Overview.
+  EfficiencyReport Efficiency = computeEfficiency(Cube);
+  Html += "<p>" + std::to_string(Cube.numRegions()) + " regions, " +
+          std::to_string(Cube.numActivities()) + " activities, " +
+          std::to_string(Cube.numProcs()) +
+          " processors; program time " +
+          formatFixed(Cube.programTime(), 3) + " s (instrumented " +
+          formatPercent(Cube.instrumentedTotal() / Cube.programTime()) +
+          "); load balance " + formatFixed(Efficiency.LoadBalance, 3) +
+          ", parallel efficiency " +
+          formatFixed(Efficiency.ParallelEfficiency, 3) + ".</p>";
+
+  // Table 1.
+  {
+    std::vector<std::string> Header = {"region", "overall"};
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      Header.push_back(Cube.activityName(J));
+    std::vector<std::vector<std::string>> Rows;
+    for (const RegionTotal &Row : Analysis.Profile.Regions) {
+      std::vector<std::string> Cells = {Cube.regionName(Row.Region),
+                                        formatFixed(Row.Time, 3)};
+      for (double Tij : Row.ByActivity)
+        Cells.push_back(timeCell(Tij));
+      Rows.push_back(std::move(Cells));
+    }
+    Html += "<h2>Wall-clock breakdown</h2>";
+    appendTable(Html, "Per-region wall clock and activity breakdown (s)",
+                Header, Rows);
+  }
+
+  // Dissimilarity matrix.
+  {
+    std::vector<std::string> Header = {"region"};
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      Header.push_back(Cube.activityName(J));
+    std::vector<std::vector<std::string>> Rows;
+    for (size_t I = 0; I != Cube.numRegions(); ++I) {
+      std::vector<std::string> Cells = {Cube.regionName(I)};
+      for (size_t J = 0; J != Cube.numActivities(); ++J)
+        Cells.push_back(indexCell(Analysis.Activities.Dissimilarity[I][J]));
+      Rows.push_back(std::move(Cells));
+    }
+    Html += "<h2>Dissimilarity indices</h2>";
+    appendTable(Html, "ID_ij across processors", Header, Rows);
+  }
+
+  // Scaled index bar charts.
+  {
+    std::vector<std::string> RegionLabels, ActivityLabels;
+    for (size_t I = 0; I != Cube.numRegions(); ++I)
+      RegionLabels.push_back(Cube.regionName(I));
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      ActivityLabels.push_back(Cube.activityName(J));
+    Html += "<h2>Scaled indices (tuning relevance)</h2>";
+    Html += "<p>SID_C per region:</p>" +
+            barChart(RegionLabels, Analysis.Regions.ScaledIndex,
+                     "#2a7ae2");
+    Html += "<p>SID_A per activity:</p>" +
+            barChart(ActivityLabels, Analysis.Activities.ScaledIndex,
+                     "#2aa876");
+  }
+
+  // Pattern heat maps.
+  if (Options.IncludePatterns && !Analysis.Patterns.empty()) {
+    Html += "<h2>Per-processor patterns</h2>"
+            "<p>red = maximum / upper band, blue = minimum / lower band, "
+            "gray = middle; columns are processors 1.." +
+            std::to_string(Cube.numProcs()) + ".</p>";
+    for (const PatternDiagram &Diagram : Analysis.Patterns) {
+      Html += "<h3>" + escapeHtml(Cube.activityName(Diagram.Activity)) +
+              "</h3>" + patternSvg(Diagram, Cube);
+    }
+  }
+
+  // Diagnosis.
+  if (Options.IncludeDiagnosis) {
+    Html += "<h2>Findings</h2>";
+    std::vector<Diagnosis> Findings = diagnose(Cube, Analysis);
+    if (Findings.empty())
+      Html += "<p>No findings: the program looks well balanced.</p>";
+    for (const Diagnosis &D : Findings) {
+      Html += "<div class=\"finding " +
+              std::string(severityName(D.Level)) + "\"><b>[" +
+              std::string(severityName(D.Level)) + "] " +
+              std::string(diagnosisKindName(D.Kind)) + "</b>: " +
+              escapeHtml(D.Explanation) + "<br><i>" +
+              escapeHtml(D.Suggestion) + "</i></div>";
+    }
+  }
+
+  Html += "</body></html>";
+  return Html;
+}

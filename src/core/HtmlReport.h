@@ -1,0 +1,49 @@
+//===- core/HtmlReport.h - Self-contained HTML reports ----------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a complete analysis as a single self-contained HTML document:
+/// the four tables, inline-SVG bar charts of the scaled indices, an SVG
+/// heat map of the pattern diagrams, the efficiency numbers and the
+/// diagnosis findings.  No external assets or scripts — the file opens
+/// anywhere, which is what "integrate the methodology into a
+/// performance tool" (the paper's closing goal) needs in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_HTMLREPORT_H
+#define LIMA_CORE_HTMLREPORT_H
+
+#include "core/Diagnosis.h"
+#include "core/Efficiency.h"
+#include "core/Pipeline.h"
+#include <string>
+
+namespace lima {
+namespace core {
+
+/// HTML rendering options.
+struct HtmlReportOptions {
+  /// Document title.
+  std::string Title = "LIMA load-imbalance report";
+  /// Include the per-activity pattern heat maps.
+  bool IncludePatterns = true;
+  /// Include the diagnosis section.
+  bool IncludeDiagnosis = true;
+};
+
+/// Renders \p Cube / \p Analysis as one HTML document.
+std::string renderHtmlReport(const MeasurementCube &Cube,
+                             const AnalysisResult &Analysis,
+                             const HtmlReportOptions &Options = {});
+
+/// Escapes &, <, >, " for safe embedding in HTML.
+std::string escapeHtml(std::string_view Text);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_HTMLREPORT_H

@@ -1,0 +1,271 @@
+//===- core/PaperDataset.cpp - Published-data reconstruction --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Share-vector construction.  For each (loop, activity) cell with
+// published total t_ij and dispersion ID_ij, per-processor shares are
+// built as x_p = 1/P + ID_ij * u_p with a direction u satisfying
+// sum(u) = 0 and |u| = 1, so that sum(x) = 1 and the Euclidean index of
+// dispersion of x equals ID_ij *exactly*.  The direction shapes who is
+// high/low, which is how the figures' patterns and the processor-view
+// findings are reproduced:
+//
+//  * pinnedDirection fixes one processor's component to a chosen value
+//    and spreads the remainder over two levels — used to give processor 2
+//    its computation deficit / collective surplus in loop 1 (solving the
+//    published ID_P = 0.25754 and 15.93 s wall clock gives components
+//    -0.683 and +0.243), and to pin the most-imbalanced processor of the
+//    other loops;
+//  * layeredDirection places explicit raw levels — used for Figure 1's
+//    loop-4 "five processors high" and loop-6 "eleven processors low";
+//  * waveDirection alternates +/- evenly — used where Figure 2 shows
+//    balanced behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperDataset.h"
+#include "support/Compiler.h"
+#include "support/MathUtils.h"
+#include <cassert>
+#include <cmath>
+
+using namespace lima;
+using namespace lima::core;
+using namespace lima::core::paper;
+
+const std::array<std::array<double, NumActivities>, NumLoops> &
+paper::table1() {
+  static const std::array<std::array<double, NumActivities>, NumLoops> T = {{
+      // computation, point-to-point, collective, synchronization
+      {12.24, 0.0, 6.75, 0.061},  // loop 1
+      {7.90, 0.0, 6.32, 0.0},     // loop 2
+      {5.22, 5.68, 0.0, 0.0},     // loop 3
+      {8.03, 2.51, 0.0, 0.0},     // loop 4
+      {7.53, 0.07, 1.43, 0.011},  // loop 5
+      {0.36, 0.33, 0.0, 0.002},   // loop 6
+      {0.28, 0.0, 0.03, 0.0},     // loop 7
+  }};
+  return T;
+}
+
+const std::array<std::array<double, NumActivities>, NumLoops> &
+paper::table2() {
+  static const std::array<std::array<double, NumActivities>, NumLoops> T = {{
+      {0.03674, 0.0, 0.06793, 0.12870},     // loop 1
+      {0.01095, 0.0, 0.00318, 0.0},         // loop 2
+      {0.00672, 0.02833, 0.0, 0.0},         // loop 3
+      {0.01615, 0.10742, 0.0, 0.0},         // loop 4
+      {0.00933, 0.08872, 0.04907, 0.30571}, // loop 5
+      {0.05017, 0.23200, 0.0, 0.16163},     // loop 6
+      {0.00719, 0.0, 0.01138, 0.0},         // loop 7
+  }};
+  return T;
+}
+
+const std::array<ActivitySummaryRow, NumActivities> &paper::table3() {
+  static const std::array<ActivitySummaryRow, NumActivities> T = {{
+      {0.01904, 0.01132}, // computation
+      {0.05973, 0.00734}, // point-to-point
+      {0.03781, 0.00786}, // collective
+      {0.15559, 0.00016}, // synchronization
+  }};
+  return T;
+}
+
+const std::array<RegionSummaryRow, NumLoops> &paper::table4() {
+  static const std::array<RegionSummaryRow, NumLoops> T = {{
+      {0.04809, 0.01311}, // loop 1
+      {0.00750, 0.00152}, // loop 2
+      {0.01798, 0.00280}, // loop 3
+      {0.03790, 0.00571}, // loop 4
+      {0.01655, 0.00214}, // loop 5
+      {0.13734, 0.00135}, // loop 6
+      {0.00760, 0.00003}, // loop 7
+  }};
+  return T;
+}
+
+const ProcessorFindings &paper::processorFindings() {
+  static const ProcessorFindings F;
+  return F;
+}
+
+namespace {
+
+using Direction = std::array<double, NumProcs>;
+
+/// Verifies sum(u) == 0 and |u| == 1 within tolerance.
+void checkDirection(const Direction &U) {
+  KahanSum Sum, Norm;
+  for (double V : U) {
+    Sum.add(V);
+    Norm.add(V * V);
+  }
+  assert(std::fabs(Sum.total()) < 1e-9 && "direction must sum to zero");
+  assert(std::fabs(Norm.total() - 1.0) < 1e-9 && "direction must be unit");
+  (void)Sum;
+  (void)Norm;
+}
+
+/// Direction with component \p Gamma pinned at \p Pinned; the remaining
+/// P-1 components take two levels (the first \p HighCount remaining slots
+/// the higher one) solving sum(u) = 0, |u| = 1.
+Direction pinnedDirection(unsigned Pinned, double Gamma, unsigned HighCount) {
+  assert(Pinned < NumProcs && "pinned processor out of range");
+  assert(std::fabs(Gamma) < 1.0 && "pinned component must have |g| < 1");
+  unsigned N1 = HighCount;
+  unsigned N2 = NumProcs - 1 - N1;
+  assert(N1 >= 1 && N2 >= 1 && "need both levels populated");
+  double S = -Gamma;          // Remaining components must sum to -Gamma.
+  double Q = 1.0 - Gamma * Gamma; // ...and carry the remaining norm.
+  // Solve N1*a + N2*b = S, N1*a^2 + N2*b^2 = Q with a > b: substitute
+  // a = (S - N2*b)/N1 and solve the quadratic for b.
+  double A = static_cast<double>(N2) * (N1 + N2);
+  double B = -2.0 * S * static_cast<double>(N2);
+  double C = S * S - static_cast<double>(N1) * Q;
+  double Disc = B * B - 4.0 * A * C;
+  assert(Disc > 0.0 && "pinned direction infeasible (norm too small)");
+  double BLow = (-B - std::sqrt(Disc)) / (2.0 * A);
+  double ALow = (S - static_cast<double>(N2) * BLow) / static_cast<double>(N1);
+
+  Direction U{};
+  U[Pinned] = Gamma;
+  unsigned Placed = 0;
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    if (P == Pinned)
+      continue;
+    U[P] = Placed < N1 ? ALow : BLow;
+    ++Placed;
+  }
+  checkDirection(U);
+  return U;
+}
+
+/// Direction from explicit raw levels: mean-centered and normalized.
+Direction layeredDirection(const std::array<double, NumProcs> &Raw) {
+  KahanSum Sum;
+  for (double V : Raw)
+    Sum.add(V);
+  double Mean = Sum.total() / NumProcs;
+  Direction U{};
+  KahanSum Norm;
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    U[P] = Raw[P] - Mean;
+    Norm.add(U[P] * U[P]);
+  }
+  double Scale = std::sqrt(Norm.total());
+  assert(Scale > 0.0 && "layered direction must not be constant");
+  for (double &V : U)
+    V /= Scale;
+  checkDirection(U);
+  return U;
+}
+
+/// Evenly alternating +/- direction (maximally spread, "balanced" look).
+Direction waveDirection() {
+  Direction U{};
+  double Level = 1.0 / std::sqrt(static_cast<double>(NumProcs));
+  for (unsigned P = 0; P != NumProcs; ++P)
+    U[P] = (P % 2 == 0 ? Level : -Level);
+  checkDirection(U);
+  return U;
+}
+
+/// Figure 1, loop 4: five processors in the upper band, the rest spread
+/// through the middle (slight jitter keeps them off the exact minimum).
+Direction loop4ComputationDirection() {
+  std::array<double, NumProcs> Raw{};
+  const bool High[NumProcs] = {false, false, false, true, false, true,
+                               false, false, true,  false, true, false,
+                               false, true,  false, false};
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    if (High[P])
+      Raw[P] = 1.0;
+    else
+      Raw[P] = -0.4545 + (P % 2 == 0 ? 0.10 : -0.10);
+  }
+  return layeredDirection(Raw);
+}
+
+/// Figure 1, loop 6: eleven processors in the lower band.
+Direction loop6ComputationDirection() {
+  std::array<double, NumProcs> Raw{};
+  const bool High[NumProcs] = {false, false, true,  false, false, false,
+                               true,  false, false, true,  false, false,
+                               true,  false, false, true};
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    if (High[P])
+      Raw[P] = 2.2;
+    else
+      Raw[P] = -1.0 + (P % 2 == 0 ? 0.04 : -0.04);
+  }
+  return layeredDirection(Raw);
+}
+
+/// Fills cube cell (Loop, Act) from the published total and index with
+/// the given direction.
+void fillCell(MeasurementCube &Cube, size_t Loop, size_t Act,
+              const Direction &U) {
+  double Total = table1()[Loop][Act];
+  double Index = table2()[Loop][Act];
+  assert(Total > 0.0 && "filling a cell the paper leaves empty");
+  for (unsigned P = 0; P != NumProcs; ++P) {
+    double Share = 1.0 / NumProcs + Index * U[P];
+    assert(Share >= 0.0 && "infeasible share (direction too extreme)");
+    Cube.at(Loop, Act, P) = Share * Total * NumProcs;
+  }
+}
+
+} // namespace
+
+MeasurementCube paper::buildCube() {
+  std::vector<std::string> Loops;
+  for (unsigned I = 1; I <= NumLoops; ++I)
+    Loops.push_back("loop" + std::to_string(I));
+  std::vector<std::string> Activities = {"computation", "point-to-point",
+                                         "collective", "synchronization"};
+  MeasurementCube Cube(std::move(Loops), std::move(Activities), NumProcs);
+  Cube.setProgramTime(ProgramTime);
+
+  // Loop 1: processor 2 (index 1) computation-starved and
+  // collective-heavy; solving the published ID_P = 0.25754 and the
+  // 15.93 s wall clock gives the pinned components -0.683 and +0.243.
+  fillCell(Cube, 0, Computation, pinnedDirection(1, -0.683, 7));
+  fillCell(Cube, 0, Collective, pinnedDirection(1, +0.243, 7));
+  fillCell(Cube, 0, Synchronization, pinnedDirection(8, +0.90, 7));
+
+  // Loop 2: most imbalanced processor is number 5 (index 4).
+  fillCell(Cube, 1, Computation, pinnedDirection(4, -0.50, 7));
+  fillCell(Cube, 1, Collective, waveDirection());
+
+  // Loop 3: processor 1 (index 0) point-to-point heavy -> its most
+  // imbalanced loop together with loop 7.
+  fillCell(Cube, 2, Computation, waveDirection());
+  fillCell(Cube, 2, PointToPoint, pinnedDirection(0, +0.90, 7));
+
+  // Loop 4: Figure 1 shows five processors in the upper computation
+  // band; processor 11 (index 10) dominates point-to-point.
+  fillCell(Cube, 3, Computation, loop4ComputationDirection());
+  fillCell(Cube, 3, PointToPoint, pinnedDirection(10, +0.70, 7));
+
+  // Loop 5: synchronization is extremely spread (ID = 0.30571).
+  fillCell(Cube, 4, Computation, pinnedDirection(6, -0.30, 7));
+  fillCell(Cube, 4, PointToPoint, pinnedDirection(12, +0.80, 7));
+  fillCell(Cube, 4, Collective, waveDirection());
+  fillCell(Cube, 4, Synchronization, pinnedDirection(12, +0.90, 7));
+
+  // Loop 6: Figure 1 shows eleven processors in the lower computation
+  // band; processor 15 (index 14) dominates the tiny p2p/sync work.
+  fillCell(Cube, 5, Computation, loop6ComputationDirection());
+  fillCell(Cube, 5, PointToPoint, pinnedDirection(14, +0.85, 7));
+  fillCell(Cube, 5, Synchronization, pinnedDirection(14, +0.90, 7));
+
+  // Loop 7: processor 1 (index 0) again dominates the collective.
+  fillCell(Cube, 6, Computation, waveDirection());
+  fillCell(Cube, 6, Collective, pinnedDirection(0, +0.90, 7));
+
+  cantFail(Cube.validate());
+  return Cube;
+}

@@ -1,0 +1,143 @@
+//===- core/PatternDiagram.cpp - Figure 1/2 pattern diagrams --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PatternDiagram.h"
+#include "stats/Descriptive.h"
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace lima;
+using namespace lima::core;
+
+char core::patternCategoryChar(PatternCategory Category) {
+  switch (Category) {
+  case PatternCategory::Maximum:
+    return 'M';
+  case PatternCategory::UpperBand:
+    return '+';
+  case PatternCategory::Middle:
+    return '.';
+  case PatternCategory::LowerBand:
+    return '-';
+  case PatternCategory::Minimum:
+    return 'm';
+  }
+  lima_unreachable("unknown PatternCategory");
+}
+
+size_t PatternDiagram::countInRow(size_t Row, PatternCategory Category) const {
+  assert(Row < Cells.size() && "row out of range");
+  return static_cast<size_t>(
+      std::count(Cells[Row].begin(), Cells[Row].end(), Category));
+}
+
+PatternDiagram core::computePatternDiagram(const MeasurementCube &Cube,
+                                           size_t Activity,
+                                           double BandFraction) {
+  assert(Activity < Cube.numActivities() && "activity out of range");
+  assert(BandFraction > 0.0 && BandFraction < 0.5 &&
+         "band fraction must be in (0, 0.5)");
+  PatternDiagram Diagram;
+  Diagram.Activity = Activity;
+  Diagram.BandFraction = BandFraction;
+
+  for (size_t I = 0; I != Cube.numRegions(); ++I) {
+    std::vector<double> Times = Cube.processorSlice(I, Activity);
+    if (stats::sum(Times) <= 0.0)
+      continue; // Region does not perform the activity.
+    Diagram.Regions.push_back(I);
+
+    double Max = stats::maximum(Times);
+    double Min = stats::minimum(Times);
+    double Range = Max - Min;
+    std::vector<PatternCategory> Row(Times.size(), PatternCategory::Middle);
+    if (Range > 0.0) {
+      double UpperCut = Max - BandFraction * Range;
+      double LowerCut = Min + BandFraction * Range;
+      // Only the first occurrence gets the Max/Min marker, matching the
+      // figures' single max/min color per row.
+      size_t MaxAt = stats::argMax(Times);
+      size_t MinAt = stats::argMin(Times);
+      for (size_t P = 0; P != Times.size(); ++P) {
+        if (P == MaxAt)
+          Row[P] = PatternCategory::Maximum;
+        else if (P == MinAt)
+          Row[P] = PatternCategory::Minimum;
+        else if (Times[P] >= UpperCut)
+          Row[P] = PatternCategory::UpperBand;
+        else if (Times[P] <= LowerCut)
+          Row[P] = PatternCategory::LowerBand;
+      }
+    }
+    Diagram.Cells.push_back(std::move(Row));
+  }
+  return Diagram;
+}
+
+std::string core::renderPatternASCII(const PatternDiagram &Diagram,
+                                     const MeasurementCube &Cube) {
+  std::string Out;
+  Out += Cube.activityName(Diagram.Activity);
+  Out += "\n";
+  size_t NameWidth = 0;
+  for (size_t Region : Diagram.Regions)
+    NameWidth = std::max(NameWidth, Cube.regionName(Region).size());
+  for (size_t Row = 0; Row != Diagram.Regions.size(); ++Row) {
+    const std::string &Name = Cube.regionName(Diagram.Regions[Row]);
+    Out += Name;
+    Out.append(NameWidth - Name.size() + 2, ' ');
+    Out += '[';
+    for (PatternCategory Category : Diagram.Cells[Row])
+      Out += patternCategoryChar(Category);
+    Out += "]\n";
+  }
+  Out += "legend: M=max  +=upper band  .=middle  -=lower band  m=min "
+         "(band = ";
+  // Integer percent is enough for the legend.
+  Out += std::to_string(static_cast<int>(Diagram.BandFraction * 100.0 + 0.5));
+  Out += "% of range)\n";
+  return Out;
+}
+
+std::string core::renderPatternPPM(const PatternDiagram &Diagram,
+                                   unsigned CellSize) {
+  assert(CellSize > 0 && "cell size must be positive");
+  struct RGB {
+    int R, G, B;
+  };
+  auto colorOf = [](PatternCategory Category) -> RGB {
+    switch (Category) {
+    case PatternCategory::Maximum:
+      return {180, 0, 0}; // dark red
+    case PatternCategory::UpperBand:
+      return {255, 140, 0}; // orange
+    case PatternCategory::Middle:
+      return {235, 235, 235}; // light gray
+    case PatternCategory::LowerBand:
+      return {120, 180, 255}; // light blue
+    case PatternCategory::Minimum:
+      return {0, 0, 160}; // dark blue
+    }
+    lima_unreachable("unknown PatternCategory");
+  };
+
+  size_t Rows = Diagram.Cells.size();
+  size_t Cols = Rows == 0 ? 0 : Diagram.Cells.front().size();
+  unsigned Width = static_cast<unsigned>(Cols) * CellSize;
+  unsigned Height = static_cast<unsigned>(Rows) * CellSize;
+  std::string Out = "P3\n" + std::to_string(Width) + " " +
+                    std::to_string(Height) + "\n255\n";
+  for (unsigned Y = 0; Y != Height; ++Y) {
+    for (unsigned X = 0; X != Width; ++X) {
+      RGB Color = colorOf(Diagram.Cells[Y / CellSize][X / CellSize]);
+      Out += std::to_string(Color.R) + " " + std::to_string(Color.G) + " " +
+             std::to_string(Color.B) + " ";
+    }
+    Out += '\n';
+  }
+  return Out;
+}

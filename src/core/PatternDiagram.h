@@ -1,0 +1,79 @@
+//===- core/PatternDiagram.h - Figure 1/2 pattern diagrams ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qualitative per-processor pattern diagrams of the paper's Figures
+/// 1 and 2: for one activity, each row is a code region performing it and
+/// each cell classifies one processor's wall-clock time against the
+/// row's range — the maximum, the minimum, the upper or lower 15% band of
+/// the range, or the middle.  Rendered as ASCII art or as a PPM image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_PATTERNDIAGRAM_H
+#define LIMA_CORE_PATTERNDIAGRAM_H
+
+#include "core/Measurement.h"
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Classification of one processor's time within its region row.
+enum class PatternCategory : uint8_t {
+  /// The largest time of the row.
+  Maximum,
+  /// Within the upper band (>= max - band * range), but not the maximum.
+  UpperBand,
+  /// Between the bands.
+  Middle,
+  /// Within the lower band (<= min + band * range), but not the minimum.
+  LowerBand,
+  /// The smallest time of the row.
+  Minimum,
+};
+
+/// Single-character mnemonic used by the ASCII rendering
+/// (M, +, ., -, m in the category order above).
+char patternCategoryChar(PatternCategory Category);
+
+/// The pattern diagram of one activity.
+struct PatternDiagram {
+  /// The activity the diagram describes.
+  size_t Activity = 0;
+  /// Band width as a fraction of the row range (paper: 0.15).
+  double BandFraction = 0.15;
+  /// Regions performing the activity, in region order (rows).
+  std::vector<size_t> Regions;
+  /// Cells[row][proc] classification.
+  std::vector<std::vector<PatternCategory>> Cells;
+
+  /// Number of processors of \p Category in \p Row.
+  size_t countInRow(size_t Row, PatternCategory Category) const;
+};
+
+/// Builds the diagram of \p Activity over \p Cube.  Regions with zero
+/// total time in the activity are omitted ("the diagrams plot only the
+/// loops performing the activity").  Rows whose times are all equal
+/// classify every processor as Middle (no meaningful extremes).
+PatternDiagram computePatternDiagram(const MeasurementCube &Cube,
+                                     size_t Activity,
+                                     double BandFraction = 0.15);
+
+/// Renders \p Diagram as ASCII art with a legend, one row per region.
+std::string renderPatternASCII(const PatternDiagram &Diagram,
+                               const MeasurementCube &Cube);
+
+/// Renders \p Diagram as a plain-text PPM (P3) image, \p CellSize pixels
+/// per cell, using the four-color scheme of the paper's figures.
+std::string renderPatternPPM(const PatternDiagram &Diagram,
+                             unsigned CellSize = 12);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_PATTERNDIAGRAM_H

@@ -1,0 +1,154 @@
+//===- core/PhaseAnalysis.cpp - Per-instance (temporal) analysis ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseAnalysis.h"
+#include "stats/Descriptive.h"
+#include "stats/Dispersion.h"
+#include "support/MathUtils.h"
+#include <cassert>
+
+using namespace lima;
+using namespace lima::core;
+using trace::Event;
+using trace::EventKind;
+
+Expected<PhaseResult> core::analyzePhases(const trace::Trace &T,
+                                          const ViewOptions &Options) {
+  if (auto Err = T.validate())
+    return Err;
+
+  size_t N = T.numRegions();
+  size_t K = T.numActivities();
+  unsigned P = T.numProcs();
+
+  // PerInstance[region][instance][activity][proc] accumulated times.
+  std::vector<std::vector<std::vector<std::vector<double>>>> PerInstance(N);
+  // Instance counter per (region, proc).
+  std::vector<std::vector<size_t>> InstanceCount(
+      N, std::vector<size_t>(P, 0));
+
+  for (unsigned Proc = 0; Proc != P; ++Proc) {
+    // Regions may nest; activity time goes to the innermost frame's
+    // instance (exclusive-time semantics, matching reduceTrace).
+    struct Frame {
+      uint32_t Region;
+      size_t Instance;
+    };
+    std::vector<Frame> Stack;
+    uint32_t OpenActivity = trace::Trace::InvalidId;
+    double ActivityBegin = 0.0;
+    for (const Event &E : T.events(Proc)) {
+      switch (E.Kind) {
+      case EventKind::RegionEnter: {
+        size_t Instance = InstanceCount[E.Id][Proc]++;
+        auto &Instances = PerInstance[E.Id];
+        if (Instances.size() <= Instance)
+          Instances.resize(Instance + 1,
+                           std::vector<std::vector<double>>(
+                               K, std::vector<double>(P, 0.0)));
+        Stack.push_back({E.Id, Instance});
+        break;
+      }
+      case EventKind::RegionExit:
+        Stack.pop_back();
+        break;
+      case EventKind::ActivityBegin:
+        OpenActivity = E.Id;
+        ActivityBegin = E.Time;
+        break;
+      case EventKind::ActivityEnd:
+        assert(!Stack.empty() &&
+               "validated trace has activities inside regions");
+        PerInstance[Stack.back().Region][Stack.back().Instance]
+                   [OpenActivity][Proc] += E.Time - ActivityBegin;
+        OpenActivity = trace::Trace::InvalidId;
+        break;
+      case EventKind::MessageSend:
+      case EventKind::MessageRecv:
+        break;
+      }
+    }
+  }
+
+  // All processors must agree on the instance count of each region they
+  // execute at all.
+  for (size_t I = 0; I != N; ++I) {
+    size_t Expected = 0;
+    for (unsigned Proc = 0; Proc != P; ++Proc)
+      Expected = std::max(Expected, InstanceCount[I][Proc]);
+    for (unsigned Proc = 0; Proc != P; ++Proc)
+      if (InstanceCount[I][Proc] != Expected)
+        return makeStringError(
+            "region '%s': processor %u executed %zu instances, others %zu "
+            "(phase analysis needs SPMD-shaped traces)",
+            T.regionName(static_cast<uint32_t>(I)).c_str(), Proc,
+            InstanceCount[I][Proc], Expected);
+  }
+
+  PhaseResult Result;
+  Result.Series.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    PhaseSeries &Series = Result.Series[I];
+    Series.Region = I;
+    for (const auto &Activities : PerInstance[I]) {
+      // Weighted dispersion across processors, exactly like ID_C but
+      // restricted to this instance.
+      double InstanceTotal = 0.0;
+      KahanSum Weighted;
+      for (size_t J = 0; J != K; ++J) {
+        double Tij = stats::sum(Activities[J]) / P;
+        if (Tij <= 0.0)
+          continue;
+        InstanceTotal += Tij;
+        Weighted.add(Tij *
+                     stats::imbalanceIndexAs(Options.Kind, Activities[J]));
+      }
+      Series.InstanceIndex.push_back(
+          InstanceTotal > 0.0 ? Weighted.total() / InstanceTotal : 0.0);
+      Series.InstanceTime.push_back(InstanceTotal);
+    }
+  }
+  return Result;
+}
+
+Trend core::linearTrend(const std::vector<double> &Values) {
+  Trend Result;
+  size_t N = Values.size();
+  if (N < 2)
+    return Result;
+  double MeanX = static_cast<double>(N - 1) / 2.0;
+  double MeanY = stats::mean(Values);
+  double Num = 0.0, Den = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    double DX = static_cast<double>(I) - MeanX;
+    Num += DX * (Values[I] - MeanY);
+    Den += DX * DX;
+  }
+  Result.Slope = Den > 0.0 ? Num / Den : 0.0;
+  Result.RelativeSlope = MeanY != 0.0 ? Result.Slope / MeanY : 0.0;
+  return Result;
+}
+
+std::string core::renderSparkline(const std::vector<double> &Values) {
+  static const char Levels[] = ".:-=+*#%@";
+  constexpr size_t NumLevels = sizeof(Levels) - 1;
+  if (Values.empty())
+    return "";
+  double Lo = stats::minimum(Values);
+  double Hi = stats::maximum(Values);
+  std::string Out;
+  Out.reserve(Values.size());
+  for (double V : Values) {
+    size_t Level = 0;
+    if (Hi > Lo)
+      Level = std::min(NumLevels - 1,
+                       static_cast<size_t>((V - Lo) / (Hi - Lo) *
+                                           (NumLevels - 1) +
+                                           0.5));
+    Out += Levels[Level];
+  }
+  return Out;
+}

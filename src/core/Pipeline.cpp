@@ -1,0 +1,51 @@
+//===- core/Pipeline.cpp - End-to-end analysis facade ---------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+using namespace lima;
+using namespace lima::core;
+
+Expected<AnalysisResult> core::analyze(const MeasurementCube &Cube,
+                                       const AnalysisOptions &Options) {
+  if (auto Err = Cube.validate())
+    return Err;
+  if (Cube.instrumentedTotal() <= 0.0)
+    return makeStringError("measurement cube carries no time");
+
+  AnalysisResult Result;
+  Result.Profile = computeCoarseProfile(Cube);
+  Result.Activities = computeActivityView(Cube, Options.Views);
+  Result.Regions = computeRegionView(Cube, Options.Views);
+  Result.Processors = computeProcessorView(Cube, Options.Views);
+
+  for (size_t J = 0; J != Cube.numActivities(); ++J) {
+    if (Cube.activityTime(J) <= 0.0)
+      continue;
+    Result.Patterns.push_back(
+        computePatternDiagram(Cube, J, Options.PatternBand));
+  }
+
+  if (Options.Clusters >= 2 && Cube.numRegions() >= 2) {
+    RegionClusteringOptions ClusterOpts = Options.Clustering;
+    ClusterOpts.K = Options.Clusters;
+    auto ClustersOrErr = clusterRegions(Cube, ClusterOpts);
+    if (ClustersOrErr) {
+      Result.Clusters = std::move(*ClustersOrErr);
+      Result.HasClusters = true;
+    } else {
+      // Too few distinct regions for the requested K: clustering is an
+      // optional refinement, so degrade gracefully.
+      ClustersOrErr.takeError().consume();
+    }
+  }
+
+  Result.RegionCandidates =
+      rankIndices(Result.Regions.ScaledIndex, Options.Ranking);
+  Result.ActivityCandidates =
+      rankIndices(Result.Activities.ScaledIndex, Options.Ranking);
+  return Result;
+}

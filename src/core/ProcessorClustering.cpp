@@ -1,0 +1,64 @@
+//===- core/ProcessorClustering.cpp - Grouping similar processors ---------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProcessorClustering.h"
+#include "cluster/ClusterSelection.h"
+#include "cluster/Silhouette.h"
+#include "stats/Standardize.h"
+
+using namespace lima;
+using namespace lima::core;
+
+std::vector<std::vector<double>>
+core::processorFeatureMatrix(const MeasurementCube &Cube) {
+  unsigned P = Cube.numProcs();
+  size_t Columns = Cube.numRegions() * Cube.numActivities();
+  std::vector<std::vector<double>> Features(
+      P, std::vector<double>(Columns, 0.0));
+  size_t Column = 0;
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J) {
+      std::vector<double> Shares =
+          stats::toShares(Cube.processorSlice(I, J));
+      for (unsigned Proc = 0; Proc != P; ++Proc)
+        Features[Proc][Column] = Shares[Proc];
+      ++Column;
+    }
+  return Features;
+}
+
+Expected<ProcessorClusters>
+core::clusterProcessors(const MeasurementCube &Cube,
+                        const ProcessorClusteringOptions &Options) {
+  std::vector<std::vector<double>> Features = processorFeatureMatrix(Cube);
+
+  ProcessorClusters Clusters;
+  if (Options.K == 0) {
+    auto ChoiceOrErr =
+        cluster::chooseClusterCount(Features, Options.MaxK, Options.KMeans);
+    if (auto Err = ChoiceOrErr.takeError())
+      return Err;
+    Clusters.Assignments = std::move(ChoiceOrErr->Result.Assignments);
+    Clusters.Silhouette = ChoiceOrErr->Silhouette;
+  } else {
+    cluster::KMeansOptions KOpts = Options.KMeans;
+    KOpts.K = Options.K;
+    auto ResultOrErr = cluster::kMeans(Features, KOpts);
+    if (auto Err = ResultOrErr.takeError())
+      return Err;
+    Clusters.Assignments = std::move(ResultOrErr->Assignments);
+    Clusters.Silhouette =
+        cluster::silhouetteScore(Features, Clusters.Assignments);
+  }
+
+  size_t K = 0;
+  for (size_t Group : Clusters.Assignments)
+    K = std::max(K, Group + 1);
+  Clusters.Groups.resize(K);
+  for (unsigned Proc = 0; Proc != Cube.numProcs(); ++Proc)
+    Clusters.Groups[Clusters.Assignments[Proc]].push_back(Proc);
+  return Clusters;
+}

@@ -1,0 +1,60 @@
+//===- core/ProcessorClustering.h - Grouping similar processors -*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dual of the region-clustering step: group *processors* whose
+/// behavior is alike.  Each processor is described by its standardized
+/// time share of every (region, activity) cell; k-means over those
+/// vectors exposes structural roles — edge vs interior ranks of a
+/// decomposition, a master vs its workers, a degraded node — without
+/// any prior knowledge of the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_PROCESSORCLUSTERING_H
+#define LIMA_CORE_PROCESSORCLUSTERING_H
+
+#include "cluster/KMeans.h"
+#include "core/Measurement.h"
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Processor-clustering configuration.
+struct ProcessorClusteringOptions {
+  /// Number of groups; 0 selects it by silhouette sweep up to MaxK.
+  size_t K = 0;
+  size_t MaxK = 4;
+  cluster::KMeansOptions KMeans;
+};
+
+/// Result of clustering processors.
+struct ProcessorClusters {
+  /// Group id per processor.
+  std::vector<size_t> Assignments;
+  /// Processors in each group, rank-ordered.
+  std::vector<std::vector<unsigned>> Groups;
+  /// Mean silhouette of the partition.
+  double Silhouette = 0.0;
+};
+
+/// The feature matrix: one row per processor; columns are that
+/// processor's share of each (region, activity) cell (its time divided
+/// by the cell's processor sum; all-zero cells contribute 0).  Shares
+/// make the grouping about behavioral *shape*, not absolute speed.
+std::vector<std::vector<double>>
+processorFeatureMatrix(const MeasurementCube &Cube);
+
+/// Clusters the cube's processors.
+Expected<ProcessorClusters>
+clusterProcessors(const MeasurementCube &Cube,
+                  const ProcessorClusteringOptions &Options = {});
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_PROCESSORCLUSTERING_H

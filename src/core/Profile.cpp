@@ -1,0 +1,75 @@
+//===- core/Profile.cpp - Coarse-grain performance properties -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profile.h"
+#include "stats/Descriptive.h"
+#include <limits>
+
+using namespace lima;
+using namespace lima::core;
+
+CoarseProfile core::computeCoarseProfile(const MeasurementCube &Cube) {
+  CoarseProfile Profile;
+  Profile.ProgramTime = Cube.programTime();
+  Profile.InstrumentedTime = Cube.instrumentedTotal();
+  double T = Profile.ProgramTime;
+  assert(T > 0.0 && "profile of an all-zero cube");
+
+  std::vector<double> ActivityTimes(Cube.numActivities());
+  for (size_t J = 0; J != Cube.numActivities(); ++J) {
+    ActivityTimes[J] = Cube.activityTime(J);
+    Profile.Activities.push_back({J, ActivityTimes[J], ActivityTimes[J] / T});
+  }
+
+  std::vector<double> RegionTimes(Cube.numRegions());
+  for (size_t I = 0; I != Cube.numRegions(); ++I) {
+    RegionTotal Row;
+    Row.Region = I;
+    Row.Time = Cube.regionTime(I);
+    Row.FractionOfProgram = Row.Time / T;
+    Row.ByActivity = Cube.activityProfile(I);
+    RegionTimes[I] = Row.Time;
+    Profile.Regions.push_back(std::move(Row));
+  }
+
+  Profile.DominantActivity = stats::argMax(ActivityTimes);
+  Profile.HeaviestRegion = stats::argMax(RegionTimes);
+
+  std::vector<double> DominantColumn(Cube.numRegions());
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    DominantColumn[I] = Profile.Regions[I].ByActivity[Profile.DominantActivity];
+  Profile.RegionDominatingDominantActivity = stats::argMax(DominantColumn);
+
+  for (size_t J = 0; J != Cube.numActivities(); ++J) {
+    ActivityExtremes Ext;
+    Ext.Activity = J;
+    Ext.WorstRegion = 0;
+    Ext.WorstTime = 0.0;
+    Ext.BestRegion = SIZE_MAX;
+    Ext.BestTime = std::numeric_limits<double>::infinity();
+    Ext.RegionsPerforming = 0;
+    for (size_t I = 0; I != Cube.numRegions(); ++I) {
+      double Tij = Profile.Regions[I].ByActivity[J];
+      if (Tij > Ext.WorstTime) {
+        Ext.WorstTime = Tij;
+        Ext.WorstRegion = I;
+      }
+      if (Tij <= 0.0)
+        continue;
+      ++Ext.RegionsPerforming;
+      if (Tij < Ext.BestTime) {
+        Ext.BestTime = Tij;
+        Ext.BestRegion = I;
+      }
+    }
+    if (Ext.RegionsPerforming == 0) {
+      Ext.BestTime = 0.0;
+      Ext.WorstTime = 0.0;
+    }
+    Profile.Extremes.push_back(Ext);
+  }
+  return Profile;
+}

@@ -1,0 +1,84 @@
+//===- core/Profile.h - Coarse-grain performance properties -----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coarse-grain characterization of Section 2 of the paper: wall
+/// clock breakdowns by activity and by code region, the dominant
+/// ("heaviest") activity and region, and the worst/best region for each
+/// activity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_PROFILE_H
+#define LIMA_CORE_PROFILE_H
+
+#include "core/Measurement.h"
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Per-activity summary (one row of the T_j breakdown).
+struct ActivityTotal {
+  size_t Activity;
+  /// T_j, seconds.
+  double Time;
+  /// T_j / T.
+  double FractionOfProgram;
+};
+
+/// Per-region summary (one row of the paper's Table 1).
+struct RegionTotal {
+  size_t Region;
+  /// t_i, seconds.
+  double Time;
+  /// t_i / T.
+  double FractionOfProgram;
+  /// t_ij for every activity j, seconds.
+  std::vector<double> ByActivity;
+};
+
+/// Worst/best region of one activity (max/min t_ij over i).
+struct ActivityExtremes {
+  size_t Activity;
+  /// Region with the largest t_ij.
+  size_t WorstRegion;
+  double WorstTime;
+  /// Region with the smallest *non-zero* t_ij; SIZE_MAX when the
+  /// activity is performed nowhere.
+  size_t BestRegion;
+  double BestTime;
+  /// Number of regions actually performing the activity (t_ij > 0).
+  size_t RegionsPerforming;
+};
+
+/// The complete coarse-grain profile.
+struct CoarseProfile {
+  /// T, seconds (explicit program total when the cube has one).
+  double ProgramTime;
+  /// Sum of all region times (instrumented coverage).
+  double InstrumentedTime;
+  /// Breakdown by activity, in activity order.
+  std::vector<ActivityTotal> Activities;
+  /// Breakdown by region with per-activity columns, in region order.
+  std::vector<RegionTotal> Regions;
+  /// The dominant activity (max T_j).
+  size_t DominantActivity;
+  /// The heaviest region (max t_i).
+  size_t HeaviestRegion;
+  /// The region with the maximum time spent in the dominant activity.
+  size_t RegionDominatingDominantActivity;
+  /// Worst and best regions per activity.
+  std::vector<ActivityExtremes> Extremes;
+};
+
+/// Computes the coarse-grain profile of \p Cube.
+CoarseProfile computeCoarseProfile(const MeasurementCube &Cube);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_PROFILE_H

@@ -1,0 +1,55 @@
+//===- core/Ranking.cpp - Severity ranking criteria -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Ranking.h"
+#include "stats/Descriptive.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::core;
+
+std::string_view core::rankCriterionName(RankCriterion Criterion) {
+  switch (Criterion) {
+  case RankCriterion::Maximum:
+    return "maximum";
+  case RankCriterion::Percentile:
+    return "percentile";
+  case RankCriterion::Threshold:
+    return "threshold";
+  }
+  lima_unreachable("unknown RankCriterion");
+}
+
+std::vector<RankedItem> core::rankIndices(const std::vector<double> &Values,
+                                          const RankingOptions &Options) {
+  assert(!Values.empty() && "ranking over an empty index set");
+  double Cutoff = 0.0;
+  switch (Options.Criterion) {
+  case RankCriterion::Maximum:
+    Cutoff = stats::maximum(Values);
+    break;
+  case RankCriterion::Percentile:
+    assert(Options.Percentile >= 0.0 && Options.Percentile <= 100.0 &&
+           "percentile out of range");
+    Cutoff = stats::percentile(Values, Options.Percentile);
+    break;
+  case RankCriterion::Threshold:
+    Cutoff = Options.Threshold;
+    break;
+  }
+
+  std::vector<RankedItem> Selected;
+  for (size_t I = 0; I != Values.size(); ++I)
+    if (Values[I] >= Cutoff)
+      Selected.push_back({I, Values[I]});
+  std::stable_sort(Selected.begin(), Selected.end(),
+                   [](const RankedItem &A, const RankedItem &B) {
+                     if (A.Value != B.Value)
+                       return A.Value > B.Value;
+                     return A.Item < B.Item;
+                   });
+  return Selected;
+}

@@ -1,0 +1,65 @@
+//===- core/Ranking.h - Severity ranking criteria ---------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The criteria of Section 3 for assessing the severity of dissimilarity
+/// indices: the maximum, the percentiles of their distribution, or
+/// predefined thresholds.  Each criterion selects "candidates for
+/// performance tuning" out of a labeled set of index values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_RANKING_H
+#define LIMA_CORE_RANKING_H
+
+#include "support/Compiler.h"
+#include <cassert>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// Which ranking criterion to apply.
+enum class RankCriterion {
+  /// Select only the item(s) attaining the maximum index.
+  Maximum,
+  /// Select items at or above the Q-th percentile of the index values.
+  Percentile,
+  /// Select items whose index exceeds a fixed threshold.
+  Threshold,
+};
+
+/// Human-readable criterion name.
+std::string_view rankCriterionName(RankCriterion Criterion);
+
+/// Ranking configuration.
+struct RankingOptions {
+  RankCriterion Criterion = RankCriterion::Maximum;
+  /// Percentile (0-100) for RankCriterion::Percentile.
+  double Percentile = 85.0;
+  /// Cutoff for RankCriterion::Threshold.
+  double Threshold = 0.1;
+};
+
+/// One selected candidate.
+struct RankedItem {
+  /// Index into the input vector.
+  size_t Item;
+  /// The index-of-dispersion value that selected it.
+  double Value;
+};
+
+/// Applies \p Options to \p Values and returns the selected candidates
+/// sorted by decreasing value (ties by increasing item index).
+std::vector<RankedItem> rankIndices(const std::vector<double> &Values,
+                                    const RankingOptions &Options = {});
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_RANKING_H

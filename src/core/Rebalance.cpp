@@ -1,0 +1,74 @@
+//===- core/Rebalance.cpp - Work redistribution planning ------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Rebalance.h"
+#include "stats/Descriptive.h"
+#include <cassert>
+
+using namespace lima;
+using namespace lima::core;
+
+RebalancePlan core::planRebalance(const MeasurementCube &Cube, size_t Region,
+                                  size_t Activity,
+                                  const RebalanceOptions &Options) {
+  assert(Region < Cube.numRegions() && "region out of range");
+  assert(Activity < Cube.numActivities() && "activity out of range");
+  assert(Options.StepFraction > 0.0 && Options.StepFraction <= 0.5 &&
+         "step fraction must be in (0, 0.5]");
+
+  RebalancePlan Plan;
+  Plan.Region = Region;
+  Plan.Activity = Activity;
+
+  std::vector<double> Times = Cube.processorSlice(Region, Activity);
+  Plan.InitialIndex = stats::imbalanceIndexAs(Options.Kind, Times);
+  Plan.FinalIndex = Plan.InitialIndex;
+  if (Plan.InitialIndex <= Options.TargetIndex)
+    return Plan;
+
+  for (unsigned Step = 0; Step != Options.MaxTransfers; ++Step) {
+    size_t Rich = stats::argMax(Times);
+    size_t Poor = stats::argMin(Times);
+    double Gap = Times[Rich] - Times[Poor];
+    if (Gap <= 0.0)
+      break;
+    double Amount = Options.StepFraction * Gap;
+    Times[Rich] -= Amount;
+    Times[Poor] += Amount;
+
+    Transfer Move;
+    Move.From = static_cast<unsigned>(Rich);
+    Move.To = static_cast<unsigned>(Poor);
+    Move.Seconds = Amount;
+    Move.PredictedIndex = stats::imbalanceIndexAs(Options.Kind, Times);
+    Plan.FinalIndex = Move.PredictedIndex;
+    Plan.Transfers.push_back(Move);
+    if (Plan.FinalIndex <= Options.TargetIndex)
+      break;
+  }
+  return Plan;
+}
+
+MeasurementCube core::applyRebalance(const MeasurementCube &Cube,
+                                     const RebalancePlan &Plan) {
+  MeasurementCube Result(Cube.regionNames(), Cube.activityNames(),
+                         Cube.numProcs());
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      for (unsigned P = 0; P != Cube.numProcs(); ++P)
+        Result.at(I, J, P) = Cube.time(I, J, P);
+  if (Cube.hasExplicitProgramTime())
+    Result.setProgramTime(Cube.programTime());
+
+  for (const Transfer &Move : Plan.Transfers) {
+    double &From = Result.at(Plan.Region, Plan.Activity, Move.From);
+    double &To = Result.at(Plan.Region, Plan.Activity, Move.To);
+    assert(From >= Move.Seconds - 1e-12 && "transfer exceeds donor work");
+    From -= Move.Seconds;
+    To += Move.Seconds;
+  }
+  return Result;
+}

@@ -1,0 +1,81 @@
+//===- core/Rebalance.h - Work redistribution planning ----------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "repair" step of the tuning loop the paper's Section 2 sketches
+/// (identify -> localize -> repair -> verify): given the dissimilarity
+/// analysis, propose a concrete work redistribution for a region — a
+/// sequence of Robin Hood transfers of computation time from the most
+/// to the least loaded processor — and *predict* the index of dispersion
+/// after each transfer, so the user can decide how far the rebalancing
+/// must go before the region stops being a candidate.  Majorization
+/// theory guarantees each transfer weakly decreases every Schur-convex
+/// index, so the predicted series is monotone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_REBALANCE_H
+#define LIMA_CORE_REBALANCE_H
+
+#include "core/Measurement.h"
+#include "stats/Dispersion.h"
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// One proposed transfer of work.
+struct Transfer {
+  /// Processors are 0-based here, like the cube.
+  unsigned From = 0;
+  unsigned To = 0;
+  /// Seconds of the activity's work to move.
+  double Seconds = 0.0;
+  /// Predicted region dispersion index after this transfer.
+  double PredictedIndex = 0.0;
+};
+
+/// A rebalancing plan for one (region, activity).
+struct RebalancePlan {
+  size_t Region = 0;
+  size_t Activity = 0;
+  /// Index before any transfer.
+  double InitialIndex = 0.0;
+  /// Proposed transfers, in application order.
+  std::vector<Transfer> Transfers;
+  /// Predicted index after the full plan.
+  double FinalIndex = 0.0;
+};
+
+/// Rebalancing knobs.
+struct RebalanceOptions {
+  /// Stop when the predicted index drops below this.
+  double TargetIndex = 0.01;
+  /// Never propose more transfers than this.
+  unsigned MaxTransfers = 16;
+  /// Each transfer moves this fraction of the max-min gap (must be in
+  /// (0, 0.5]; 0.5 fully levels the extreme pair each step).
+  double StepFraction = 0.5;
+  /// Index family used for the predictions.
+  stats::DispersionKind Kind = stats::DispersionKind::Euclidean;
+};
+
+/// Plans transfers for activity \p Activity of region \p Region.
+/// Returns an empty-transfer plan when the slice is already at or below
+/// the target.
+RebalancePlan planRebalance(const MeasurementCube &Cube, size_t Region,
+                            size_t Activity,
+                            const RebalanceOptions &Options = {});
+
+/// Applies \p Plan to a copy of \p Cube and returns it — the "verify"
+/// input for re-running the analysis.
+MeasurementCube applyRebalance(const MeasurementCube &Cube,
+                               const RebalancePlan &Plan);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_REBALANCE_H

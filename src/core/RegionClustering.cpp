@@ -1,0 +1,53 @@
+//===- core/RegionClustering.cpp - Grouping similar code regions ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegionClustering.h"
+#include "cluster/Silhouette.h"
+#include "stats/Descriptive.h"
+
+using namespace lima;
+using namespace lima::core;
+
+std::vector<std::vector<double>>
+core::regionFeatureMatrix(const MeasurementCube &Cube, bool Standardize) {
+  std::vector<std::vector<double>> Points;
+  Points.reserve(Cube.numRegions());
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    Points.push_back(Cube.activityProfile(I));
+  if (!Standardize)
+    return Points;
+  for (size_t J = 0; J != Cube.numActivities(); ++J) {
+    std::vector<double> Column(Cube.numRegions());
+    for (size_t I = 0; I != Cube.numRegions(); ++I)
+      Column[I] = Points[I][J];
+    double Mean = stats::mean(Column);
+    double Sd = stats::stdDev(Column);
+    for (size_t I = 0; I != Cube.numRegions(); ++I)
+      Points[I][J] = Sd > 0.0 ? (Points[I][J] - Mean) / Sd : 0.0;
+  }
+  return Points;
+}
+
+Expected<RegionClusters>
+core::clusterRegions(const MeasurementCube &Cube,
+                     const RegionClusteringOptions &Options) {
+  std::vector<std::vector<double>> Points =
+      regionFeatureMatrix(Cube, Options.StandardizeFeatures);
+
+  cluster::KMeansOptions KOpts = Options.KMeans;
+  KOpts.K = Options.K;
+  auto ResultOrErr = cluster::kMeans(Points, KOpts);
+  if (auto Err = ResultOrErr.takeError())
+    return Err;
+
+  RegionClusters Clusters;
+  Clusters.Assignments = ResultOrErr->Assignments;
+  Clusters.Groups = ResultOrErr->members();
+  Clusters.Inertia = ResultOrErr->Inertia;
+  Clusters.Silhouette =
+      cluster::silhouetteScore(Points, Clusters.Assignments);
+  return Clusters;
+}

@@ -1,0 +1,68 @@
+//===- core/Report.h - Table and report rendering ---------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the analysis results in the shape of the paper's Tables 1-4
+/// plus the processor-view and clustering summaries, as aligned text
+/// tables (and CSV through TextTable::toCSV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_REPORT_H
+#define LIMA_CORE_REPORT_H
+
+#include "core/Measurement.h"
+#include "core/Profile.h"
+#include "core/RegionClustering.h"
+#include "core/Views.h"
+#include "support/TableFormatter.h"
+
+namespace lima {
+namespace core {
+
+/// Table 1: per-region wall clock with the per-activity breakdown.
+/// Zero cells render as "-" like the paper.
+TextTable makeRegionBreakdownTable(const MeasurementCube &Cube,
+                                   const CoarseProfile &Profile);
+
+/// Table 2: the ID_ij dissimilarity matrix.
+TextTable makeDissimilarityTable(const MeasurementCube &Cube,
+                                 const ActivityView &View);
+
+/// Table 3: ID_A / SID_A per activity.
+TextTable makeActivityViewTable(const MeasurementCube &Cube,
+                                const ActivityView &View);
+
+/// Table 4: ID_C / SID_C per region.
+TextTable makeRegionViewTable(const MeasurementCube &Cube,
+                              const RegionView &View);
+
+/// Processor-view summary: per-region most imbalanced processor plus the
+/// most-frequently / longest-imbalanced findings.
+TextTable makeProcessorViewTable(const MeasurementCube &Cube,
+                                 const ProcessorView &View);
+
+/// The full ID_P matrix (one row per region, one column per processor);
+/// zero entries render as "-".
+TextTable makeProcessorMatrixTable(const MeasurementCube &Cube,
+                                   const ProcessorView &View);
+
+/// One-paragraph textual conclusion naming the tuning candidates, in the
+/// spirit of the paper's Section 4 discussion.
+std::string summarizeFindings(const MeasurementCube &Cube,
+                              const CoarseProfile &Profile,
+                              const ActivityView &AView,
+                              const RegionView &RView,
+                              const ProcessorView &PView);
+
+/// Cluster membership rendering ("group 0: loop1 loop2 ...").
+std::string describeClusters(const MeasurementCube &Cube,
+                             const RegionClusters &Clusters);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_REPORT_H

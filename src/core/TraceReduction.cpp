@@ -1,0 +1,86 @@
+//===- core/TraceReduction.cpp - Trace to measurement cube ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TraceReduction.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::core;
+using trace::Event;
+using trace::EventKind;
+
+Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
+                                            const ReductionOptions &Options) {
+  if (auto Err = T.validate())
+    return Err;
+  if (T.numRegions() == 0)
+    return makeStringError("trace declares no regions");
+  if (T.numActivities() == 0)
+    return makeStringError("trace declares no activities");
+  if (Options.AttributeGaps && Options.GapActivity >= T.numActivities())
+    return makeStringError("gap activity id %u out of range",
+                           Options.GapActivity);
+
+  MeasurementCube Cube(T.regionNames(), T.activityNames(), T.numProcs());
+  double Span = 0.0;
+
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    // Regions may nest; activity time is attributed to the *innermost*
+    // open region, yielding exclusive-time semantics per region.  Each
+    // frame keeps a gap cursor (end of its last attributed interval).
+    struct Frame {
+      uint32_t Region;
+      double Cursor;
+    };
+    std::vector<Frame> Stack;
+    uint32_t OpenActivity = trace::Trace::InvalidId;
+    double ActivityBeginTime = 0.0;
+
+    for (const Event &E : T.events(Proc)) {
+      Span = std::max(Span, E.Time);
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+        if (Options.AttributeGaps && !Stack.empty() &&
+            E.Time > Stack.back().Cursor)
+          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                          E.Time - Stack.back().Cursor);
+        Stack.push_back({E.Id, E.Time});
+        break;
+      case EventKind::RegionExit:
+        if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
+          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                          E.Time - Stack.back().Cursor);
+        Stack.pop_back();
+        // Time spent in the child is covered from the parent's view.
+        if (!Stack.empty())
+          Stack.back().Cursor = E.Time;
+        break;
+      case EventKind::ActivityBegin:
+        if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
+          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                          E.Time - Stack.back().Cursor);
+        OpenActivity = E.Id;
+        ActivityBeginTime = E.Time;
+        break;
+      case EventKind::ActivityEnd:
+        Cube.accumulate(Stack.back().Region, OpenActivity, Proc,
+                        E.Time - ActivityBeginTime);
+        Stack.back().Cursor = E.Time;
+        OpenActivity = trace::Trace::InvalidId;
+        break;
+      case EventKind::MessageSend:
+      case EventKind::MessageRecv:
+        break; // Message endpoints carry no attributable duration.
+      }
+    }
+  }
+
+  // The cube reports per-processor-mean aggregates, so the matching
+  // program total is the plain trace span (the program's duration).
+  if (Options.ProgramTimeFromSpan)
+    Cube.setProgramTime(Span);
+  return Cube;
+}

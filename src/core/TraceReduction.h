@@ -1,0 +1,47 @@
+//===- core/TraceReduction.h - Trace to measurement cube --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-mortem reduction of an event trace to the measurement cube: for
+/// every processor, activity intervals are attributed to the enclosing
+/// code region.  This is the "analyzing the performance measures post
+/// mortem" step of the paper's experimental approach.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_TRACEREDUCTION_H
+#define LIMA_CORE_TRACEREDUCTION_H
+
+#include "core/Measurement.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+
+namespace lima {
+namespace core {
+
+/// Options for reduceTrace.
+struct ReductionOptions {
+  /// When true, time inside a region not covered by any activity bracket
+  /// is attributed to GapActivity (by id); when false, gaps are dropped.
+  bool AttributeGaps = false;
+  /// Activity receiving gap time when AttributeGaps is set.
+  uint32_t GapActivity = 0;
+  /// Set the cube's explicit program time to the trace span (max event
+  /// time): the program's wall-clock duration, including uninstrumented
+  /// stretches between regions.
+  bool ProgramTimeFromSpan = true;
+};
+
+/// Reduces \p T to a cube with one region per trace region, one activity
+/// per trace activity and one column per processor.  Runs
+/// trace::Trace::validate() first and propagates its errors.
+Expected<MeasurementCube> reduceTrace(const trace::Trace &T,
+                                      const ReductionOptions &Options = {});
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_TRACEREDUCTION_H

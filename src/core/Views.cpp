@@ -1,0 +1,154 @@
+//===- core/Views.cpp - Processor, activity and region views --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Views.h"
+#include "stats/Descriptive.h"
+#include "stats/Standardize.h"
+#include "support/MathUtils.h"
+#include <cmath>
+
+using namespace lima;
+using namespace lima::core;
+
+std::vector<std::vector<double>>
+core::computeDissimilarityMatrix(const MeasurementCube &Cube,
+                                 const ViewOptions &Options) {
+  std::vector<std::vector<double>> Matrix(
+      Cube.numRegions(), std::vector<double>(Cube.numActivities(), 0.0));
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      Matrix[I][J] =
+          stats::imbalanceIndexAs(Options.Kind, Cube.processorSlice(I, J));
+  return Matrix;
+}
+
+ProcessorView core::computeProcessorView(const MeasurementCube &Cube,
+                                         const ViewOptions &Options) {
+  // The processor view compares whole activity-mix *vectors*, so the
+  // index family option does not apply here; the paper's Euclidean
+  // distance between a processor's standardized mix and the mean mix is
+  // used unconditionally.
+  (void)Options;
+
+  size_t N = Cube.numRegions();
+  size_t K = Cube.numActivities();
+  unsigned P = Cube.numProcs();
+
+  ProcessorView View;
+  View.Index.assign(N, std::vector<double>(P, 0.0));
+  View.MostImbalancedProc.assign(N, 0);
+  View.TimesMostImbalanced.assign(P, 0);
+  View.ImbalancedWallClock.assign(P, 0.0);
+
+  for (size_t I = 0; I != N; ++I) {
+    // Standardize each processor's times over its own total within the
+    // region ("...standardizing the t_ijp's over the sum of the times
+    // spent by each processor in the various activities performed within
+    // a given code region").
+    std::vector<std::vector<double>> Mix(P);
+    std::vector<bool> Active(P, false);
+    for (unsigned Q = 0; Q != P; ++Q) {
+      std::vector<double> Slice = Cube.activitySliceForProc(I, Q);
+      double Total = stats::sum(Slice);
+      if (Total > 0.0) {
+        Active[Q] = true;
+        Mix[Q] = stats::toShares(Slice);
+      } else {
+        Mix[Q].assign(K, 0.0); // Idle processor: excluded from the mean.
+      }
+    }
+    unsigned ActiveCount = 0;
+    std::vector<double> MeanMix(K, 0.0);
+    for (unsigned Q = 0; Q != P; ++Q) {
+      if (!Active[Q])
+        continue;
+      ++ActiveCount;
+      for (size_t J = 0; J != K; ++J)
+        MeanMix[J] += Mix[Q][J];
+    }
+    if (ActiveCount == 0)
+      continue; // Nobody executed this region: all indices stay 0.
+    for (size_t J = 0; J != K; ++J)
+      MeanMix[J] /= static_cast<double>(ActiveCount);
+
+    for (unsigned Q = 0; Q != P; ++Q) {
+      if (!Active[Q])
+        continue;
+      KahanSum Acc;
+      for (size_t J = 0; J != K; ++J)
+        Acc.add((Mix[Q][J] - MeanMix[J]) * (Mix[Q][J] - MeanMix[J]));
+      View.Index[I][Q] = std::sqrt(Acc.total());
+    }
+    View.MostImbalancedProc[I] =
+        static_cast<unsigned>(stats::argMax(View.Index[I]));
+  }
+
+  for (size_t I = 0; I != N; ++I) {
+    unsigned Worst = View.MostImbalancedProc[I];
+    ++View.TimesMostImbalanced[Worst];
+    View.ImbalancedWallClock[Worst] += Cube.procRegionTime(I, Worst);
+  }
+
+  std::vector<double> Freq(View.TimesMostImbalanced.begin(),
+                           View.TimesMostImbalanced.end());
+  View.MostFrequentlyImbalanced = static_cast<unsigned>(stats::argMax(Freq));
+  View.LongestImbalanced =
+      static_cast<unsigned>(stats::argMax(View.ImbalancedWallClock));
+  return View;
+}
+
+ActivityView core::computeActivityView(const MeasurementCube &Cube,
+                                       const ViewOptions &Options) {
+  ActivityView View;
+  View.Dissimilarity = computeDissimilarityMatrix(Cube, Options);
+  size_t N = Cube.numRegions();
+  size_t K = Cube.numActivities();
+  double T = Cube.programTime();
+  assert(T > 0.0 && "activity view of an all-zero cube");
+
+  View.Index.assign(K, 0.0);
+  View.ScaledIndex.assign(K, 0.0);
+  for (size_t J = 0; J != K; ++J) {
+    double Tj = Cube.activityTime(J);
+    if (Tj <= 0.0)
+      continue;
+    KahanSum Weighted;
+    for (size_t I = 0; I != N; ++I)
+      Weighted.add(Cube.regionActivityTime(I, J) * View.Dissimilarity[I][J]);
+    View.Index[J] = Weighted.total() / Tj;
+    View.ScaledIndex[J] = Tj / T * View.Index[J];
+  }
+  View.MostImbalanced = stats::argMax(View.Index);
+  View.MostImbalancedScaled = stats::argMax(View.ScaledIndex);
+  return View;
+}
+
+RegionView core::computeRegionView(const MeasurementCube &Cube,
+                                   const ViewOptions &Options) {
+  std::vector<std::vector<double>> Dissimilarity =
+      computeDissimilarityMatrix(Cube, Options);
+  size_t N = Cube.numRegions();
+  size_t K = Cube.numActivities();
+  double T = Cube.programTime();
+  assert(T > 0.0 && "region view of an all-zero cube");
+
+  RegionView View;
+  View.Index.assign(N, 0.0);
+  View.ScaledIndex.assign(N, 0.0);
+  for (size_t I = 0; I != N; ++I) {
+    double Ti = Cube.regionTime(I);
+    if (Ti <= 0.0)
+      continue;
+    KahanSum Weighted;
+    for (size_t J = 0; J != K; ++J)
+      Weighted.add(Cube.regionActivityTime(I, J) * Dissimilarity[I][J]);
+    View.Index[I] = Weighted.total() / Ti;
+    View.ScaledIndex[I] = Ti / T * View.Index[I];
+  }
+  View.MostImbalanced = stats::argMax(View.Index);
+  View.MostImbalancedScaled = stats::argMax(View.ScaledIndex);
+  return View;
+}

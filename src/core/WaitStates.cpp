@@ -1,0 +1,91 @@
+//===- core/WaitStates.cpp - Late-sender wait-state analysis --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WaitStates.h"
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+
+using namespace lima;
+using namespace lima::core;
+using trace::Event;
+using trace::EventKind;
+
+Expected<WaitStateReport> core::analyzeWaitStates(const trace::Trace &T) {
+  if (auto Err = T.validate())
+    return Err;
+
+  // Collect send timestamps per (from, to, bytes) channel, FIFO.
+  std::map<std::tuple<unsigned, unsigned, uint64_t>, std::deque<double>>
+      Sends;
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc)
+    for (const Event &E : T.events(Proc))
+      if (E.Kind == EventKind::MessageSend)
+        Sends[{Proc, E.Id, E.Bytes}].push_back(E.Time);
+
+  WaitStateReport Report;
+  Report.LateSender = MeasurementCube(
+      T.regionNames(), {"late-sender"}, T.numProcs());
+  std::map<std::pair<unsigned, unsigned>, ChannelWait> Channels;
+
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    std::vector<uint32_t> RegionStack;
+    double ActivityBegin = 0.0;
+    bool ActivityOpen = false;
+    for (const Event &E : T.events(Proc)) {
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+        RegionStack.push_back(E.Id);
+        break;
+      case EventKind::RegionExit:
+        RegionStack.pop_back();
+        break;
+      case EventKind::ActivityBegin:
+        ActivityBegin = E.Time;
+        ActivityOpen = true;
+        break;
+      case EventKind::ActivityEnd:
+        ActivityOpen = false;
+        break;
+      case EventKind::MessageRecv: {
+        ++Report.TotalReceives;
+        auto &Queue = Sends[{E.Id, Proc, E.Bytes}];
+        // validate() guarantees a matching send exists.
+        double SendTime = Queue.front();
+        Queue.pop_front();
+        // The receive call time is the enclosing p2p activity's begin
+        // (receives outside an activity bracket have no measurable
+        // blocking interval and are skipped).
+        if (!ActivityOpen || RegionStack.empty())
+          break;
+        double Wait = SendTime - ActivityBegin;
+        if (Wait <= 0.0)
+          break;
+        ++Report.LateReceives;
+        Report.TotalLateSender += Wait;
+        Report.LateSender.accumulate(RegionStack.back(), 0, Proc, Wait);
+        ChannelWait &Channel = Channels[{E.Id, Proc}];
+        Channel.From = E.Id;
+        Channel.To = Proc;
+        Channel.Seconds += Wait;
+        ++Channel.Messages;
+        break;
+      }
+      case EventKind::MessageSend:
+        break;
+      }
+    }
+  }
+
+  for (const auto &[Key, Channel] : Channels)
+    Report.Channels.push_back(Channel);
+  std::stable_sort(Report.Channels.begin(), Report.Channels.end(),
+                   [](const ChannelWait &A, const ChannelWait &B) {
+                     return A.Seconds > B.Seconds;
+                   });
+  return Report;
+}

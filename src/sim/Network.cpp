@@ -1,0 +1,84 @@
+//===- sim/Network.cpp - Network cost model -------------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+#include "support/Compiler.h"
+#include <cassert>
+
+using namespace lima;
+using namespace lima::sim;
+
+unsigned sim::ceilLog2(unsigned N) {
+  assert(N >= 1 && "ceilLog2 of zero");
+  unsigned Bits = 0;
+  unsigned Value = 1;
+  while (Value < N) {
+    Value *= 2;
+    ++Bits;
+  }
+  return Bits;
+}
+
+double NetworkModel::barrierTime(unsigned Procs) const {
+  if (Procs <= 1)
+    return 0.0;
+  return static_cast<double>(ceilLog2(Procs)) * Latency;
+}
+
+double NetworkModel::treeCollectiveTime(unsigned Procs, uint64_t Bytes) const {
+  if (Procs <= 1)
+    return 0.0;
+  return static_cast<double>(ceilLog2(Procs)) * pointToPointTime(Bytes);
+}
+
+double NetworkModel::allReduceTime(unsigned Procs, uint64_t Bytes) const {
+  return allReduceTimeAs(AllReduce, Procs, Bytes);
+}
+
+double NetworkModel::allReduceTimeAs(AllReduceAlgorithm Algorithm,
+                                     unsigned Procs, uint64_t Bytes) const {
+  if (Procs <= 1)
+    return 0.0;
+  double P = static_cast<double>(Procs);
+  double Wire = static_cast<double>(Bytes) / BytesPerSecond;
+  switch (Algorithm) {
+  case AllReduceAlgorithm::Tree:
+    // Reduce phase followed by broadcast phase.
+    return 2.0 * treeCollectiveTime(Procs, Bytes);
+  case AllReduceAlgorithm::RecursiveDoubling:
+    return static_cast<double>(ceilLog2(Procs)) * (Latency + Wire);
+  case AllReduceAlgorithm::Ring:
+    // Reduce-scatter + allgather, each (P-1) steps of m/P bytes.
+    return 2.0 * (P - 1.0) * Latency + 2.0 * ((P - 1.0) / P) * Wire;
+  }
+  lima_unreachable("unknown AllReduceAlgorithm");
+}
+
+std::string_view sim::allReduceAlgorithmName(AllReduceAlgorithm Algorithm) {
+  switch (Algorithm) {
+  case AllReduceAlgorithm::Tree:
+    return "tree";
+  case AllReduceAlgorithm::RecursiveDoubling:
+    return "recursive-doubling";
+  case AllReduceAlgorithm::Ring:
+    return "ring";
+  }
+  lima_unreachable("unknown AllReduceAlgorithm");
+}
+
+double NetworkModel::allToAllTime(unsigned Procs,
+                                  uint64_t BytesPerRank) const {
+  if (Procs <= 1)
+    return 0.0;
+  return static_cast<double>(Procs - 1) * pointToPointTime(BytesPerRank);
+}
+
+double NetworkModel::rootedLinearTime(unsigned Procs,
+                                      uint64_t BytesPerRank) const {
+  if (Procs <= 1)
+    return 0.0;
+  return static_cast<double>(Procs - 1) * pointToPointTime(BytesPerRank);
+}

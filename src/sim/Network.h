@@ -1,0 +1,92 @@
+//===- sim/Network.h - Network cost model -----------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic communication cost model for the discrete-event simulator: a
+/// latency/bandwidth (alpha-beta) point-to-point model and log-tree /
+/// linear collective models, in the spirit of the Hockney and LogP
+/// families.  Defaults approximate the interconnect class of the paper's
+/// IBM SP2 testbed (tens-of-microseconds latency, ~100 MB/s links); the
+/// methodology only needs plausible relative costs, not exact hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SIM_NETWORK_H
+#define LIMA_SIM_NETWORK_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace lima {
+namespace sim {
+
+/// Allreduce algorithm families with different latency/bandwidth
+/// trade-offs (the classic MPI implementation choices):
+///  - Tree: reduce-then-broadcast, 2*ceil(log2 P) * (a + m/b);
+///  - RecursiveDoubling: ceil(log2 P) * (a + m/b) — latency-optimal,
+///    best for small messages;
+///  - Ring: 2*(P-1)*a + 2*((P-1)/P) * m/b — bandwidth-optimal
+///    (Rabenseifner-style), best for large messages.
+/// The crossover between the last two is where a + m/b trade-offs flip;
+/// bench/collective_crossover maps it.
+enum class AllReduceAlgorithm {
+  Tree,
+  RecursiveDoubling,
+  Ring,
+};
+
+/// Human-readable algorithm name.
+std::string_view allReduceAlgorithmName(AllReduceAlgorithm Algorithm);
+
+/// Analytic cost model for all communication primitives.
+struct NetworkModel {
+  /// Per-message wire latency (alpha), seconds.
+  double Latency = 40e-6;
+  /// Link bandwidth (1/beta), bytes per second.
+  double BytesPerSecond = 100e6;
+  /// CPU-side overhead charged to the sender per send.
+  double SendOverhead = 5e-6;
+  /// CPU-side overhead charged to the receiver per receive.
+  double RecvOverhead = 5e-6;
+  /// Allreduce algorithm (see AllReduceAlgorithm).
+  AllReduceAlgorithm AllReduce = AllReduceAlgorithm::Tree;
+
+  /// Wire time of one point-to-point message of \p Bytes.
+  double pointToPointTime(uint64_t Bytes) const {
+    return Latency + static_cast<double>(Bytes) / BytesPerSecond;
+  }
+
+  /// Cost of a barrier across \p Procs processes after the last arrival
+  /// (dissemination/tree: ceil(log2 P) latency-bound stages).
+  double barrierTime(unsigned Procs) const;
+
+  /// Cost of a rooted tree collective (reduce, broadcast) moving
+  /// \p Bytes per stage across \p Procs processes.
+  double treeCollectiveTime(unsigned Procs, uint64_t Bytes) const;
+
+  /// Cost of an allreduce under the configured algorithm.
+  double allReduceTime(unsigned Procs, uint64_t Bytes) const;
+
+  /// Cost of an allreduce under a specific algorithm (for sweeps).
+  double allReduceTimeAs(AllReduceAlgorithm Algorithm, unsigned Procs,
+                         uint64_t Bytes) const;
+
+  /// Cost of an all-to-all personalized exchange of \p BytesPerRank
+  /// between every pair ((P-1) linear rounds).
+  double allToAllTime(unsigned Procs, uint64_t BytesPerRank) const;
+
+  /// Cost of gather/scatter with \p BytesPerRank per leaf
+  /// (root serializes P-1 messages).
+  double rootedLinearTime(unsigned Procs, uint64_t BytesPerRank) const;
+};
+
+/// ceil(log2(N)) for N >= 1.
+unsigned ceilLog2(unsigned N);
+
+} // namespace sim
+} // namespace lima
+
+#endif // LIMA_SIM_NETWORK_H

@@ -1,0 +1,735 @@
+//===- sim/Simulation.cpp - Discrete-event MPI-like simulator -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Scheduling scheme: every simulated rank runs its program on a dedicated
+// OS thread, but a token protocol guarantees that at most one thread (the
+// scheduler or exactly one rank) executes at any moment, so virtual time
+// advances deterministically regardless of OS scheduling.  Blocking
+// operations hand the token back to the scheduler, which always resumes
+// the ready rank with the smallest virtual clock (ties broken by rank).
+//
+// Exception note: LIMA library code otherwise avoids exceptions entirely;
+// the single exception type below (ShutdownSignal) is a private control
+// transfer used to unwind simulated programs during teardown after a
+// deadlock, collective mismatch or time-limit overrun.  It never crosses
+// the public API boundary: simulate() converts it into a lima::Error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulation.h"
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+using namespace lima;
+using namespace lima::sim;
+
+const char *const sim::ActivityNames[4] = {
+    "computation",
+    "point-to-point",
+    "collective",
+    "synchronization",
+};
+
+namespace {
+
+/// Private unwinding signal; see the file comment.
+struct ShutdownSignal {};
+
+enum class ProcState : uint8_t {
+  NotStarted,
+  Running,
+  Ready,
+  BlockedRecv,
+  BlockedCollective,
+  Finished,
+};
+
+enum class CollectiveKind : uint8_t {
+  Barrier,
+  Reduce,
+  AllReduce,
+  Broadcast,
+  AllToAll,
+  Gather,
+  Scatter,
+  Scan,
+};
+
+const char *collectiveKindName(CollectiveKind Kind) {
+  switch (Kind) {
+  case CollectiveKind::Barrier:
+    return "barrier";
+  case CollectiveKind::Reduce:
+    return "reduce";
+  case CollectiveKind::AllReduce:
+    return "allreduce";
+  case CollectiveKind::Broadcast:
+    return "broadcast";
+  case CollectiveKind::AllToAll:
+    return "alltoall";
+  case CollectiveKind::Gather:
+    return "gather";
+  case CollectiveKind::Scatter:
+    return "scatter";
+  case CollectiveKind::Scan:
+    return "scan";
+  }
+  lima_unreachable("unknown CollectiveKind");
+}
+
+struct Message {
+  double Arrival = 0.0;
+  uint64_t Bytes = 0;
+  std::vector<uint8_t> Data;
+};
+
+} // namespace
+
+namespace lima {
+namespace sim {
+
+/// The simulation engine: owns the ranks' threads, the virtual clocks,
+/// the mailboxes, the collective slots and the output trace.
+class Engine {
+public:
+  Engine(const SimulationOptions &Options, const ProgramFn &Program);
+
+  /// Runs the simulation to completion and returns the trace.
+  Expected<trace::Trace> run();
+
+  // Interface used by Comm (called on rank threads).
+  unsigned size() const { return Options.NumProcs; }
+  double now(unsigned Rank);
+  void compute(unsigned Rank, double Seconds);
+  void send(unsigned Rank, unsigned Dest, const void *Data, uint64_t Bytes,
+            int Tag);
+  /// Blocking receive; \p Src == AnySource accepts from every rank.
+  /// Returns the actual source and byte count.
+  static constexpr unsigned AnySource = UINT32_MAX;
+  Comm::RecvResult recv(unsigned Rank, unsigned Src, void *Buffer,
+                        uint64_t Capacity, int Tag);
+  Comm::Request postRecv(unsigned Rank, unsigned Src, void *Buffer,
+                         uint64_t Capacity, int Tag);
+  uint64_t waitRecv(unsigned Rank, Comm::Request Handle);
+  /// Runs one collective.  \p Value is accumulated across participants;
+  /// the sum is returned (to the root only for rooted reductions, but
+  /// the engine hands it to every rank and Comm filters).
+  double collective(unsigned Rank, CollectiveKind Kind, unsigned Root,
+                    uint64_t Bytes, uint32_t Activity, double Value);
+  void regionEnter(unsigned Rank, uint32_t RegionId);
+  void regionExit(unsigned Rank, uint32_t RegionId);
+
+private:
+  struct Proc {
+    double Clock = 0.0;
+    ProcState State = ProcState::NotStarted;
+    bool HasToken = false;
+    std::condition_variable CV;
+    std::thread Thread;
+    // Blocking-receive bookkeeping.
+    unsigned RecvSrc = 0;
+    int RecvTag = 0;
+    double BlockTime = 0.0;
+    Message Matched;
+    unsigned MatchedSrc = 0;
+    // Collective bookkeeping.
+    size_t CollectiveIndex = 0;
+    // Region bracket tracking for misuse assertions (regions may nest).
+    std::vector<uint32_t> RegionStack;
+    // Non-blocking receives posted with irecv, indexed by handle.
+    struct PostedRecv {
+      unsigned Src = 0;
+      int Tag = 0;
+      void *Buffer = nullptr;
+      uint64_t Capacity = 0;
+      bool Done = false;
+    };
+    std::vector<PostedRecv> Posted;
+  };
+
+  struct CollectiveSlot {
+    CollectiveKind Kind;
+    unsigned Root;
+    uint64_t Bytes;
+    uint32_t Activity;
+    unsigned Arrived = 0;
+    double MaxArrival = 0.0;
+    /// Accumulated value for value-carrying reductions.
+    double Sum = 0.0;
+    /// Per-rank contributions (kept for prefix scans).
+    std::vector<double> Values;
+  };
+
+  // All private methods below require Lock to be held by the caller.
+  void yieldToken(std::unique_lock<std::mutex> &Lk, unsigned Rank);
+  void blockUntilResumed(std::unique_lock<std::mutex> &Lk, unsigned Rank);
+  void initiateShutdown(std::string Reason);
+  void checkTimeLimit(unsigned Rank);
+  void appendEvent(const trace::Event &E) { Output.append(E); }
+  void appendActivityInterval(unsigned Rank, uint32_t Activity, double Begin,
+                              double End);
+  void threadBody(unsigned Rank);
+
+  const SimulationOptions &Options;
+  const ProgramFn &Program;
+  trace::Trace Output;
+
+  std::mutex Lock;
+  std::condition_variable SchedulerCV;
+  std::vector<Proc> Procs;
+  std::map<std::tuple<unsigned, unsigned, int>, std::deque<Message>>
+      Mailboxes;
+  std::vector<CollectiveSlot> Collectives;
+  bool ShuttingDown = false;
+  std::string FatalReason;
+  unsigned FinishedCount = 0;
+};
+
+} // namespace sim
+} // namespace lima
+
+Engine::Engine(const SimulationOptions &Options, const ProgramFn &Program)
+    : Options(Options), Program(Program), Output(Options.NumProcs),
+      Procs(Options.NumProcs) {
+  for (const std::string &Name : Options.RegionNames)
+    Output.addRegion(Name);
+  for (const char *Name : ActivityNames)
+    Output.addActivity(Name);
+}
+
+void Engine::appendActivityInterval(unsigned Rank, uint32_t Activity,
+                                    double Begin, double End) {
+  assert(End >= Begin && "activity interval runs backwards");
+  appendEvent({Begin, Rank, trace::EventKind::ActivityBegin, Activity, 0});
+  appendEvent({End, Rank, trace::EventKind::ActivityEnd, Activity, 0});
+}
+
+double Engine::now(unsigned Rank) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  return Procs[Rank].Clock;
+}
+
+void Engine::checkTimeLimit(unsigned Rank) {
+  if (Procs[Rank].Clock <= Options.TimeLimit)
+    return;
+  initiateShutdown("virtual time limit exceeded on rank " +
+                   std::to_string(Rank));
+  throw ShutdownSignal{};
+}
+
+void Engine::compute(unsigned Rank, double Seconds) {
+  assert(Seconds >= 0.0 && "compute time must be non-negative");
+  std::unique_lock<std::mutex> Lk(Lock);
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && "compute() outside any region");
+  double Speed = Options.ComputeSpeed.empty() ? 1.0
+                                              : Options.ComputeSpeed[Rank];
+  assert(Speed > 0.0 && "compute speed must be positive");
+  double Begin = P.Clock;
+  P.Clock += Seconds / Speed;
+  appendActivityInterval(Rank, ActComputation, Begin, P.Clock);
+  checkTimeLimit(Rank);
+}
+
+void Engine::send(unsigned Rank, unsigned Dest, const void *Data,
+                  uint64_t Bytes, int Tag) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  assert(Dest < Options.NumProcs && "send destination out of range");
+  assert(Dest != Rank && "self-send is not supported");
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && "send() outside any region");
+  double Begin = P.Clock;
+  P.Clock += Options.Network.SendOverhead;
+  double Arrival = P.Clock + Options.Network.pointToPointTime(Bytes);
+  appendEvent({Begin, Rank, trace::EventKind::ActivityBegin, ActPointToPoint,
+               0});
+  appendEvent({Begin, Rank, trace::EventKind::MessageSend, Dest, Bytes});
+  appendEvent({P.Clock, Rank, trace::EventKind::ActivityEnd, ActPointToPoint,
+               0});
+
+  Message Msg;
+  Msg.Arrival = Arrival;
+  Msg.Bytes = Bytes;
+  if (Data) {
+    const uint8_t *Raw = static_cast<const uint8_t *>(Data);
+    Msg.Data.assign(Raw, Raw + Bytes);
+  }
+
+  Proc &Receiver = Procs[Dest];
+  if (Receiver.State == ProcState::BlockedRecv &&
+      (Receiver.RecvSrc == Rank || Receiver.RecvSrc == AnySource) &&
+      Receiver.RecvTag == Tag) {
+    // Wake the blocked receiver directly with its completion time.
+    Receiver.Clock = std::max(Receiver.BlockTime, Arrival) +
+                     Options.Network.RecvOverhead;
+    Receiver.Matched = std::move(Msg);
+    Receiver.MatchedSrc = Rank;
+    Receiver.State = ProcState::Ready;
+  } else {
+    Mailboxes[{Rank, Dest, Tag}].push_back(std::move(Msg));
+  }
+  checkTimeLimit(Rank);
+}
+
+Comm::RecvResult Engine::recv(unsigned Rank, unsigned Src, void *Buffer,
+                              uint64_t Capacity, int Tag) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  assert((Src == AnySource || Src < Options.NumProcs) &&
+         "recv source out of range");
+  assert(Src != Rank && "self-receive is not supported");
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && "recv() outside any region");
+  double Begin = P.Clock;
+
+  // Find an already-delivered candidate: the named source's queue, or —
+  // for any-source receives — the earliest arrival over all sources
+  // (ties to the lowest source rank for determinism).
+  auto Box = Mailboxes.end();
+  unsigned From = Src;
+  if (Src != AnySource) {
+    Box = Mailboxes.find({Src, Rank, Tag});
+    if (Box != Mailboxes.end() && Box->second.empty())
+      Box = Mailboxes.end();
+  } else {
+    double BestArrival = 0.0;
+    for (unsigned Candidate = 0; Candidate != Options.NumProcs;
+         ++Candidate) {
+      auto It = Mailboxes.find({Candidate, Rank, Tag});
+      if (It == Mailboxes.end() || It->second.empty())
+        continue;
+      double Arrival = It->second.front().Arrival;
+      if (Box == Mailboxes.end() || Arrival < BestArrival) {
+        Box = It;
+        BestArrival = Arrival;
+        From = Candidate;
+      }
+    }
+  }
+
+  Message Msg;
+  if (Box != Mailboxes.end()) {
+    Msg = std::move(Box->second.front());
+    Box->second.pop_front();
+    P.Clock = std::max(Begin, Msg.Arrival) + Options.Network.RecvOverhead;
+  } else {
+    // Block until a matching send resumes us.
+    P.State = ProcState::BlockedRecv;
+    P.RecvSrc = Src;
+    P.RecvTag = Tag;
+    P.BlockTime = Begin;
+    yieldToken(Lk, Rank);
+    blockUntilResumed(Lk, Rank);
+    Msg = std::move(P.Matched); // Clock was set by the matching send.
+    From = P.MatchedSrc;
+    if (Src == AnySource) {
+      // The send that woke us matched eagerly, but other ranks may have
+      // executed earlier-arriving sends between the wake-up and now (the
+      // scheduler runs lower virtual clocks first, so every such send
+      // has already executed).  Honor arrival order: swap with the best
+      // mailbox candidate if it beats the eager match.
+      auto Better = Mailboxes.end();
+      unsigned BetterSrc = 0;
+      for (unsigned Candidate = 0; Candidate != Options.NumProcs;
+           ++Candidate) {
+        auto It = Mailboxes.find({Candidate, Rank, Tag});
+        if (It == Mailboxes.end() || It->second.empty())
+          continue;
+        double Arrival = It->second.front().Arrival;
+        double BestSoFar = Better == Mailboxes.end()
+                               ? Msg.Arrival
+                               : Better->second.front().Arrival;
+        unsigned BestSrc = Better == Mailboxes.end() ? From : BetterSrc;
+        if (Arrival < BestSoFar ||
+            (Arrival == BestSoFar && Candidate < BestSrc)) {
+          Better = It;
+          BetterSrc = Candidate;
+        }
+      }
+      if (Better != Mailboxes.end()) {
+        Message Winner = std::move(Better->second.front());
+        Better->second.pop_front();
+        // Keep FIFO order of the displaced sender's queue.
+        Mailboxes[{From, Rank, Tag}].push_front(std::move(Msg));
+        Msg = std::move(Winner);
+        From = BetterSrc;
+        P.Clock = std::max(P.BlockTime, Msg.Arrival) +
+                  Options.Network.RecvOverhead;
+      }
+    }
+  }
+  assert(From < Options.NumProcs && "receive matched no source");
+  if (Buffer && !Msg.Data.empty()) {
+    uint64_t Count = std::min<uint64_t>(Capacity, Msg.Data.size());
+    std::copy_n(Msg.Data.begin(), Count, static_cast<uint8_t *>(Buffer));
+  }
+  appendEvent({Begin, Rank, trace::EventKind::ActivityBegin, ActPointToPoint,
+               0});
+  appendEvent({P.Clock, Rank, trace::EventKind::MessageRecv, From,
+               Msg.Bytes});
+  appendEvent({P.Clock, Rank, trace::EventKind::ActivityEnd, ActPointToPoint,
+               0});
+  checkTimeLimit(Rank);
+  return {From, Msg.Bytes};
+}
+
+
+Comm::Request Engine::postRecv(unsigned Rank, unsigned Src, void *Buffer,
+                               uint64_t Capacity, int Tag) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  assert(Src < Options.NumProcs && "irecv source out of range");
+  assert(Src != Rank && "self-receive is not supported");
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && "irecv() outside any region");
+  P.Posted.push_back({Src, Tag, Buffer, Capacity, false});
+  return P.Posted.size() - 1;
+}
+
+uint64_t Engine::waitRecv(unsigned Rank, Comm::Request Handle) {
+  {
+    std::unique_lock<std::mutex> Lk(Lock);
+    Proc &P = Procs[Rank];
+    assert(Handle < P.Posted.size() && "wait on an unknown request");
+    Proc::PostedRecv &Request = P.Posted[Handle];
+    assert(!Request.Done && "request already waited on");
+    // FIFO matching discipline: requests for the same (source, tag) must
+    // complete in post order, or message ordering would be violated.
+    for (size_t Earlier = 0; Earlier != Handle; ++Earlier) {
+      [[maybe_unused]] const Proc::PostedRecv &Other = P.Posted[Earlier];
+      assert((Other.Done || Other.Src != Request.Src ||
+              Other.Tag != Request.Tag) &&
+             "wait() must complete same-(source, tag) requests in post "
+             "order");
+    }
+    Request.Done = true;
+  }
+  // Delegate to the blocking-receive machinery; the overlap benefit
+  // comes from the compute the program ran between post and wait.
+  Proc &P = Procs[Rank];
+  Proc::PostedRecv Request = P.Posted[Handle];
+  return recv(Rank, Request.Src, Request.Buffer, Request.Capacity,
+              Request.Tag).Bytes;
+}
+
+double Engine::collective(unsigned Rank, CollectiveKind Kind, unsigned Root,
+                          uint64_t Bytes, uint32_t Activity, double Value) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  assert(Root < Options.NumProcs && "collective root out of range");
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && "collective outside any region");
+  double Begin = P.Clock;
+
+  size_t Index = P.CollectiveIndex++;
+  if (Index >= Collectives.size()) {
+    assert(Index == Collectives.size() && "collective slots out of sync");
+    Collectives.push_back({Kind, Root, Bytes, Activity, 0, 0.0, 0.0, {}});
+  }
+  CollectiveSlot &Slot = Collectives[Index];
+  if (Slot.Values.empty())
+    Slot.Values.assign(Options.NumProcs, 0.0);
+  if (Slot.Kind != Kind || Slot.Root != Root || Slot.Bytes != Bytes) {
+    initiateShutdown(
+        "collective mismatch at operation " + std::to_string(Index) +
+        ": rank " + std::to_string(Rank) + " called " +
+        collectiveKindName(Kind) + " but another rank called " +
+        collectiveKindName(Slot.Kind));
+    throw ShutdownSignal{};
+  }
+  ++Slot.Arrived;
+  Slot.MaxArrival = std::max(Slot.MaxArrival, Begin);
+  Slot.Sum += Value;
+  Slot.Values[Rank] = Value;
+
+  if (Slot.Arrived < Options.NumProcs) {
+    // Not the last arriver: wait for completion.
+    P.State = ProcState::BlockedCollective;
+    P.BlockTime = Begin;
+    yieldToken(Lk, Rank);
+    blockUntilResumed(Lk, Rank);
+  } else {
+    // Last arriver completes the operation for everyone.
+    const NetworkModel &Net = Options.Network;
+    double Cost = 0.0;
+    switch (Kind) {
+    case CollectiveKind::Barrier:
+      Cost = Net.barrierTime(Options.NumProcs);
+      break;
+    case CollectiveKind::Reduce:
+    case CollectiveKind::Broadcast:
+      Cost = Net.treeCollectiveTime(Options.NumProcs, Bytes);
+      break;
+    case CollectiveKind::AllReduce:
+      Cost = Net.allReduceTime(Options.NumProcs, Bytes);
+      break;
+    case CollectiveKind::AllToAll:
+      Cost = Net.allToAllTime(Options.NumProcs, Bytes);
+      break;
+    case CollectiveKind::Gather:
+    case CollectiveKind::Scatter:
+      Cost = Net.rootedLinearTime(Options.NumProcs, Bytes);
+      break;
+    case CollectiveKind::Scan:
+      Cost = Net.treeCollectiveTime(Options.NumProcs, Bytes);
+      break;
+    }
+    double Leave = Slot.MaxArrival + Cost;
+    for (unsigned R = 0; R != Options.NumProcs; ++R) {
+      if (R == Rank)
+        continue;
+      Proc &Other = Procs[R];
+      assert(Other.State == ProcState::BlockedCollective &&
+             "collective participant in unexpected state");
+      Other.Clock = Leave;
+      Other.State = ProcState::Ready;
+    }
+    P.Clock = Leave;
+  }
+  appendActivityInterval(Rank, Activity, Begin, P.Clock);
+  checkTimeLimit(Rank);
+  // References into Collectives may be stale after blocking; re-index.
+  const CollectiveSlot &Done = Collectives[Index];
+  if (Kind == CollectiveKind::Scan) {
+    double Prefix = 0.0;
+    for (unsigned R = 0; R <= Rank; ++R)
+      Prefix += Done.Values[R];
+    return Prefix;
+  }
+  return Done.Sum;
+}
+
+void Engine::regionEnter(unsigned Rank, uint32_t RegionId) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  assert(RegionId < Output.numRegions() && "region id out of range");
+  Proc &P = Procs[Rank];
+  P.RegionStack.push_back(RegionId);
+  appendEvent({P.Clock, Rank, trace::EventKind::RegionEnter, RegionId, 0});
+}
+
+void Engine::regionExit(unsigned Rank, uint32_t RegionId) {
+  std::unique_lock<std::mutex> Lk(Lock);
+  Proc &P = Procs[Rank];
+  assert(!P.RegionStack.empty() && P.RegionStack.back() == RegionId &&
+         "regionExit does not match the innermost open region");
+  (void)RegionId;
+  P.RegionStack.pop_back();
+  appendEvent({P.Clock, Rank, trace::EventKind::RegionExit, RegionId, 0});
+}
+
+void Engine::yieldToken(std::unique_lock<std::mutex> &Lk, unsigned Rank) {
+  (void)Lk;
+  assert(Lk.owns_lock() && "token protocol requires the engine lock");
+  Proc &P = Procs[Rank];
+  assert(P.HasToken && "yielding a token the rank does not hold");
+  P.HasToken = false;
+  SchedulerCV.notify_all();
+}
+
+void Engine::blockUntilResumed(std::unique_lock<std::mutex> &Lk,
+                               unsigned Rank) {
+  Proc &P = Procs[Rank];
+  P.CV.wait(Lk, [&] { return P.HasToken || ShuttingDown; });
+  if (ShuttingDown)
+    throw ShutdownSignal{};
+  assert(P.State == ProcState::Running && "resumed rank not marked running");
+}
+
+void Engine::initiateShutdown(std::string Reason) {
+  if (!ShuttingDown) {
+    ShuttingDown = true;
+    FatalReason = std::move(Reason);
+  }
+  for (Proc &P : Procs)
+    P.CV.notify_all();
+  SchedulerCV.notify_all();
+}
+
+void Engine::threadBody(unsigned Rank) {
+  {
+    std::unique_lock<std::mutex> Lk(Lock);
+    Proc &P = Procs[Rank];
+    P.CV.wait(Lk, [&] { return P.HasToken || ShuttingDown; });
+    if (ShuttingDown) {
+      P.State = ProcState::Finished;
+      ++FinishedCount;
+      P.HasToken = false;
+      SchedulerCV.notify_all();
+      return;
+    }
+    P.State = ProcState::Running;
+  }
+
+  bool Aborted = false;
+  try {
+    Comm Handle(*this, Rank);
+    Program(Handle);
+  } catch (const ShutdownSignal &) {
+    Aborted = true;
+  }
+
+  std::unique_lock<std::mutex> Lk(Lock);
+  Proc &P = Procs[Rank];
+  if (!Aborted && !P.RegionStack.empty())
+    initiateShutdown("rank " + std::to_string(Rank) +
+                     " finished with an open region");
+  P.State = ProcState::Finished;
+  ++FinishedCount;
+  P.HasToken = false;
+  SchedulerCV.notify_all();
+}
+
+Expected<trace::Trace> Engine::run() {
+  for (unsigned R = 0; R != Options.NumProcs; ++R)
+    Procs[R].Thread = std::thread([this, R] { threadBody(R); });
+
+  {
+    std::unique_lock<std::mutex> Lk(Lock);
+    while (FinishedCount < Options.NumProcs && !ShuttingDown) {
+      // Pick the startable/ready rank with the smallest clock.
+      unsigned Next = Options.NumProcs;
+      for (unsigned R = 0; R != Options.NumProcs; ++R) {
+        Proc &P = Procs[R];
+        if (P.State != ProcState::Ready && P.State != ProcState::NotStarted)
+          continue;
+        if (Next == Options.NumProcs || P.Clock < Procs[Next].Clock)
+          Next = R;
+      }
+      if (Next == Options.NumProcs) {
+        // Nobody is runnable: every unfinished rank is blocked.
+        std::string Who;
+        for (unsigned R = 0; R != Options.NumProcs; ++R) {
+          Proc &P = Procs[R];
+          if (P.State == ProcState::BlockedRecv)
+            Who += " rank " + std::to_string(R) + " waits recv(src=" +
+                   std::to_string(P.RecvSrc) + ", tag=" +
+                   std::to_string(P.RecvTag) + ");";
+          else if (P.State == ProcState::BlockedCollective)
+            Who += " rank " + std::to_string(R) + " waits in a collective;";
+        }
+        initiateShutdown("deadlock:" + Who);
+        break;
+      }
+      Proc &P = Procs[Next];
+      if (P.State == ProcState::Ready)
+        P.State = ProcState::Running;
+      P.HasToken = true;
+      P.CV.notify_all();
+      SchedulerCV.wait(Lk, [&] { return !P.HasToken; });
+    }
+    // Teardown: wake every thread still parked so it can unwind.
+    if (FinishedCount < Options.NumProcs) {
+      ShuttingDown = true;
+      for (Proc &P : Procs)
+        P.CV.notify_all();
+      SchedulerCV.wait(Lk, [&] { return FinishedCount == Options.NumProcs; });
+    }
+  }
+
+  for (Proc &P : Procs)
+    P.Thread.join();
+
+  if (!FatalReason.empty())
+    return makeStringError("simulation failed: %s", FatalReason.c_str());
+  return std::move(Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Comm — thin forwarding layer.
+//===----------------------------------------------------------------------===//
+
+unsigned Comm::size() const { return Owner.size(); }
+double Comm::now() const { return Owner.now(Rank); }
+void Comm::compute(double Seconds) { Owner.compute(Rank, Seconds); }
+void Comm::send(unsigned Dest, uint64_t Bytes, int Tag) {
+  Owner.send(Rank, Dest, nullptr, Bytes, Tag);
+}
+void Comm::sendData(unsigned Dest, const void *Data, uint64_t Bytes,
+                    int Tag) {
+  assert(Data && "sendData requires a payload");
+  Owner.send(Rank, Dest, Data, Bytes, Tag);
+}
+uint64_t Comm::recv(unsigned Src, int Tag) {
+  return Owner.recv(Rank, Src, nullptr, 0, Tag).Bytes;
+}
+uint64_t Comm::recvData(unsigned Src, void *Buffer, uint64_t Capacity,
+                        int Tag) {
+  assert(Buffer && "recvData requires a buffer");
+  return Owner.recv(Rank, Src, Buffer, Capacity, Tag).Bytes;
+}
+Comm::RecvResult Comm::recvAny(int Tag, void *Buffer, uint64_t Capacity) {
+  return Owner.recv(Rank, Engine::AnySource, Buffer, Capacity, Tag);
+}
+Comm::Request Comm::irecv(unsigned Src, void *Buffer, uint64_t Capacity,
+                          int Tag) {
+  return Owner.postRecv(Rank, Src, Buffer, Capacity, Tag);
+}
+uint64_t Comm::wait(Request Handle) { return Owner.waitRecv(Rank, Handle); }
+void Comm::barrier() {
+  Owner.collective(Rank, CollectiveKind::Barrier, 0, 0, ActSynchronization,
+                   0.0);
+}
+void Comm::reduce(unsigned Root, uint64_t Bytes) {
+  Owner.collective(Rank, CollectiveKind::Reduce, Root, Bytes, ActCollective,
+                   0.0);
+}
+void Comm::allReduce(uint64_t Bytes) {
+  Owner.collective(Rank, CollectiveKind::AllReduce, 0, Bytes, ActCollective,
+                   0.0);
+}
+double Comm::allReduceSum(double Value) {
+  return Owner.collective(Rank, CollectiveKind::AllReduce, 0, sizeof(double),
+                          ActCollective, Value);
+}
+double Comm::reduceSum(unsigned Root, double Value) {
+  double Sum = Owner.collective(Rank, CollectiveKind::Reduce, Root,
+                                sizeof(double), ActCollective, Value);
+  return Rank == Root ? Sum : 0.0;
+}
+double Comm::scanSum(double Value) {
+  return Owner.collective(Rank, CollectiveKind::Scan, 0, sizeof(double),
+                          ActCollective, Value);
+}
+void Comm::broadcast(unsigned Root, uint64_t Bytes) {
+  Owner.collective(Rank, CollectiveKind::Broadcast, Root, Bytes,
+                   ActCollective, 0.0);
+}
+void Comm::allToAll(uint64_t BytesPerRank) {
+  Owner.collective(Rank, CollectiveKind::AllToAll, 0, BytesPerRank,
+                   ActCollective, 0.0);
+}
+void Comm::gather(unsigned Root, uint64_t BytesPerRank) {
+  Owner.collective(Rank, CollectiveKind::Gather, Root, BytesPerRank,
+                   ActCollective, 0.0);
+}
+void Comm::scatter(unsigned Root, uint64_t BytesPerRank) {
+  Owner.collective(Rank, CollectiveKind::Scatter, Root, BytesPerRank,
+                   ActCollective, 0.0);
+}
+void Comm::regionEnter(uint32_t RegionId) { Owner.regionEnter(Rank, RegionId); }
+void Comm::regionExit(uint32_t RegionId) { Owner.regionExit(Rank, RegionId); }
+
+//===----------------------------------------------------------------------===//
+// Entry point.
+//===----------------------------------------------------------------------===//
+
+Expected<trace::Trace> sim::simulate(const SimulationOptions &Options,
+                                     const ProgramFn &Program) {
+  if (Options.NumProcs == 0)
+    return makeStringError("simulation requires at least one process");
+  if (!Options.ComputeSpeed.empty() &&
+      Options.ComputeSpeed.size() != Options.NumProcs)
+    return makeStringError(
+        "ComputeSpeed must be empty or have one entry per process");
+  if (!Program)
+    return makeStringError("simulation requires a program");
+  Engine TheEngine(Options, Program);
+  return TheEngine.run();
+}

@@ -1,0 +1,222 @@
+//===- sim/Simulation.h - Discrete-event MPI-like simulator -----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic discrete-event simulator with an MPI-like programming
+/// interface.  Programs are ordinary C++ callables that receive a Comm
+/// handle; blocking semantics are provided by running each simulated rank
+/// on its own thread while a sequential scheduler guarantees that exactly
+/// one thread executes at a time, advancing virtual clocks in
+/// deterministic order.  The simulator emits a lima::trace::Trace with
+/// region and activity attribution — the substrate that replaces the
+/// paper's instrumented IBM SP2 runs.
+///
+/// Activity classification follows the paper's taxonomy:
+///   computation       — Comm::compute
+///   point-to-point    — Comm::send / Comm::recv
+///   collective        — reduce / allReduce / broadcast / allToAll /
+///                       gather / scatter
+///   synchronization   — Comm::barrier
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SIM_SIMULATION_H
+#define LIMA_SIM_SIMULATION_H
+
+#include "sim/Network.h"
+#include "support/Error.h"
+#include "trace/Trace.h"
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace sim {
+
+/// Built-in activity ids of simulator-produced traces (the paper's four
+/// activity classes).
+enum ActivityId : uint32_t {
+  ActComputation = 0,
+  ActPointToPoint = 1,
+  ActCollective = 2,
+  ActSynchronization = 3,
+};
+
+/// Names matching ActivityId, in order.
+extern const char *const ActivityNames[4];
+
+/// Configuration of one simulation run.
+struct SimulationOptions {
+  /// Number of simulated processes; must be >= 1.
+  unsigned NumProcs = 16;
+  /// Communication cost model.
+  NetworkModel Network;
+  /// Region (code-region / loop) names to pre-register; programs refer to
+  /// regions by index into this vector.
+  std::vector<std::string> RegionNames;
+  /// Optional per-process relative compute speed (1.0 = nominal); empty
+  /// means homogeneous.  compute(S) advances rank p's clock by
+  /// S / ComputeSpeed[p] — a way to model heterogeneous nodes.
+  std::vector<double> ComputeSpeed;
+  /// Abort the run with an error if any virtual clock exceeds this.
+  double TimeLimit = 1e9;
+};
+
+class Engine;
+
+/// Per-rank communication handle passed to the simulated program.
+///
+/// All methods advance the calling rank's virtual clock and append the
+/// corresponding region/activity/message events to the run's trace.
+/// Methods must only be called from inside the program function.
+class Comm {
+public:
+  /// This process's rank in [0, size()).
+  unsigned rank() const { return Rank; }
+
+  /// Number of simulated processes.
+  unsigned size() const;
+
+  /// Current virtual time of this rank, seconds.
+  double now() const;
+
+  /// Consumes \p Seconds of CPU time (scaled by this rank's speed),
+  /// attributed to the computation activity.
+  void compute(double Seconds);
+
+  /// Buffered (eager) send of \p Bytes to \p Dest: the sender is charged
+  /// only its send overhead; the message arrives after the wire time.
+  /// Attributed to the point-to-point activity.
+  void send(unsigned Dest, uint64_t Bytes, int Tag = 0);
+
+  /// Like send, but carries \p Bytes of real payload starting at
+  /// \p Data, delivered to the matching recv.
+  void sendData(unsigned Dest, const void *Data, uint64_t Bytes, int Tag = 0);
+
+  /// Blocking receive of the next matching message from \p Src.  Blocks
+  /// until the message's arrival time; returns its byte count.
+  /// Attributed to the point-to-point activity.
+  uint64_t recv(unsigned Src, int Tag = 0);
+
+  /// Like recv, but copies up to \p Capacity payload bytes into
+  /// \p Buffer.  Returns the message's byte count (which may exceed
+  /// \p Capacity; only min(Capacity, Bytes) are copied).
+  uint64_t recvData(unsigned Src, void *Buffer, uint64_t Capacity,
+                    int Tag = 0);
+
+  /// A received message's metadata (for recvAny).
+  struct RecvResult {
+    unsigned Source = 0;
+    uint64_t Bytes = 0;
+  };
+
+  /// Blocking receive from *any* source with tag \p Tag (the analogue of
+  /// MPI_ANY_SOURCE).  Among already-arrived candidates the earliest
+  /// arrival wins (ties to the lowest source rank).  Copies up to
+  /// \p Capacity payload bytes into \p Buffer when it is non-null.
+  RecvResult recvAny(int Tag = 0, void *Buffer = nullptr,
+                     uint64_t Capacity = 0);
+
+  /// Handle of a non-blocking receive posted with irecv.
+  using Request = uint64_t;
+
+  /// Posts a non-blocking receive (the analogue of MPI_Irecv): returns
+  /// immediately at no time cost; the message is bound and the payload
+  /// copied when wait() completes.  \p Buffer must stay valid until
+  /// then.  Enables communication/computation overlap: computation
+  /// executed between irecv and wait hides the message's flight time.
+  Request irecv(unsigned Src, void *Buffer = nullptr, uint64_t Capacity = 0,
+                int Tag = 0);
+
+  /// Completes a posted receive: blocks until the matching message's
+  /// arrival, charges the receive overhead, and returns its byte count.
+  /// Each request must be waited on exactly once, in any order.
+  uint64_t wait(Request Handle);
+
+  /// Barrier across all ranks; attributed to synchronization.
+  void barrier();
+
+  /// Rooted reduction of \p Bytes; attributed to collective.
+  void reduce(unsigned Root, uint64_t Bytes);
+
+  /// Allreduce of \p Bytes; attributed to collective.
+  void allReduce(uint64_t Bytes);
+
+  /// Value-carrying allreduce: returns the sum of every rank's
+  /// \p Value.  Timed as an 8-byte allreduce; attributed to collective.
+  double allReduceSum(double Value);
+
+  /// Value-carrying rooted reduction: on \p Root, returns the sum of
+  /// every rank's \p Value; on other ranks returns 0.  Timed as an
+  /// 8-byte reduce; attributed to collective.
+  double reduceSum(unsigned Root, double Value);
+
+  /// Inclusive prefix sum by rank (the analogue of MPI_Scan): rank r
+  /// receives the sum of the values of ranks 0..r.  Timed as an 8-byte
+  /// tree collective; attributed to collective.
+  double scanSum(double Value);
+
+  /// Rooted broadcast of \p Bytes; attributed to collective.
+  void broadcast(unsigned Root, uint64_t Bytes);
+
+  /// All-to-all personalized exchange of \p BytesPerRank; collective.
+  void allToAll(uint64_t BytesPerRank);
+
+  /// Rooted gather of \p BytesPerRank from each rank; collective.
+  void gather(unsigned Root, uint64_t BytesPerRank);
+
+  /// Rooted scatter of \p BytesPerRank to each rank; collective.
+  void scatter(unsigned Root, uint64_t BytesPerRank);
+
+  /// Enters code region \p RegionId (an index into
+  /// SimulationOptions::RegionNames).  Regions may nest (routines >
+  /// loops > statements); analysis attributes time to the innermost.
+  void regionEnter(uint32_t RegionId);
+
+  /// Exits code region \p RegionId, which must be the innermost open
+  /// region.
+  void regionExit(uint32_t RegionId);
+
+private:
+  friend class Engine;
+  Comm(Engine &Owner, unsigned Rank) : Owner(Owner), Rank(Rank) {}
+
+  Engine &Owner;
+  unsigned Rank;
+};
+
+/// RAII region bracket.
+class RegionScope {
+public:
+  RegionScope(Comm &C, uint32_t RegionId) : C(C), RegionId(RegionId) {
+    C.regionEnter(RegionId);
+  }
+  ~RegionScope() { C.regionExit(RegionId); }
+  RegionScope(const RegionScope &) = delete;
+  RegionScope &operator=(const RegionScope &) = delete;
+
+private:
+  Comm &C;
+  uint32_t RegionId;
+};
+
+/// The simulated program: invoked once per rank with that rank's Comm.
+using ProgramFn = std::function<void(Comm &)>;
+
+/// Runs \p Program on SimulationOptions::NumProcs simulated ranks and
+/// returns the recorded trace.
+///
+/// Fails on deadlock (all unfinished ranks blocked), mismatched
+/// collectives (ranks disagree on the k-th collective operation), or a
+/// virtual clock exceeding the time limit.
+Expected<trace::Trace> simulate(const SimulationOptions &Options,
+                                const ProgramFn &Program);
+
+} // namespace sim
+} // namespace lima
+
+#endif // LIMA_SIM_SIMULATION_H

@@ -1,0 +1,52 @@
+//===- stats/Bootstrap.cpp - Resampling confidence intervals --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Bootstrap.h"
+#include "stats/Descriptive.h"
+#include "support/RNG.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace lima;
+using namespace lima::stats;
+
+BootstrapInterval stats::bootstrapCI(
+    const std::vector<double> &Values,
+    const std::function<double(const std::vector<double> &)> &Statistic,
+    const BootstrapOptions &Options) {
+  assert(!Values.empty() && "bootstrap of empty sample");
+  assert(Options.Resamples > 0 && "need at least one resample");
+  assert(Options.Confidence > 0.0 && Options.Confidence < 1.0 &&
+         "confidence must be in (0, 1)");
+
+  BootstrapInterval Interval;
+  Interval.Confidence = Options.Confidence;
+  Interval.Estimate = Statistic(Values);
+
+  RNG Rng(Options.Seed);
+  std::vector<double> Resampled(Values.size());
+  std::vector<double> Statistics;
+  Statistics.reserve(Options.Resamples);
+  for (unsigned R = 0; R != Options.Resamples; ++R) {
+    for (double &V : Resampled)
+      V = Values[Rng.uniformInt(Values.size())];
+    Statistics.push_back(Statistic(Resampled));
+  }
+  double Alpha = (1.0 - Options.Confidence) / 2.0;
+  Interval.Lower = percentile(Statistics, 100.0 * Alpha);
+  Interval.Upper = percentile(Statistics, 100.0 * (1.0 - Alpha));
+  return Interval;
+}
+
+BootstrapInterval
+stats::bootstrapImbalanceCI(const std::vector<double> &Times,
+                            const BootstrapOptions &Options) {
+  return bootstrapCI(
+      Times, [](const std::vector<double> &Sample) {
+        return imbalanceIndex(Sample);
+      },
+      Options);
+}

@@ -1,0 +1,63 @@
+//===- stats/Bootstrap.h - Resampling confidence intervals ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bootstrap confidence intervals for the dispersion indices — one of
+/// the "new criteria for the identification ... of performance
+/// inefficiencies" the paper's future work asks for.  A measured index
+/// on P processors is a point estimate; resampling the processors with
+/// replacement yields a percentile interval, so an analyst can tell a
+/// genuinely imbalanced region from one whose index is within sampling
+/// noise of a balanced run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_STATS_BOOTSTRAP_H
+#define LIMA_STATS_BOOTSTRAP_H
+
+#include "stats/Dispersion.h"
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lima {
+namespace stats {
+
+/// A percentile bootstrap interval.
+struct BootstrapInterval {
+  /// Statistic on the original sample.
+  double Estimate = 0.0;
+  /// Lower / upper percentile bounds.
+  double Lower = 0.0;
+  double Upper = 0.0;
+  /// Confidence level used (e.g. 0.95).
+  double Confidence = 0.95;
+};
+
+/// Bootstrap configuration.
+struct BootstrapOptions {
+  unsigned Resamples = 1000;
+  double Confidence = 0.95;
+  uint64_t Seed = 12345;
+};
+
+/// Percentile bootstrap of an arbitrary statistic of \p Values.
+/// Asserts on empty input and Resamples == 0.
+BootstrapInterval
+bootstrapCI(const std::vector<double> &Values,
+            const std::function<double(const std::vector<double> &)>
+                &Statistic,
+            const BootstrapOptions &Options = {});
+
+/// Convenience: bootstrap interval of the imbalance index (standardize
+/// then Euclidean dispersion) of \p Times.
+BootstrapInterval bootstrapImbalanceCI(const std::vector<double> &Times,
+                                       const BootstrapOptions &Options = {});
+
+} // namespace stats
+} // namespace lima
+
+#endif // LIMA_STATS_BOOTSTRAP_H

@@ -1,0 +1,99 @@
+//===- stats/Descriptive.cpp - Descriptive statistics ---------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Descriptive.h"
+#include "support/MathUtils.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lima;
+
+double stats::sum(const std::vector<double> &Values) {
+  return sumKahan(Values);
+}
+
+double stats::mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of empty vector");
+  return sum(Values) / static_cast<double>(Values.size());
+}
+
+double stats::variance(const std::vector<double> &Values) {
+  assert(!Values.empty() && "variance of empty vector");
+  double Mu = mean(Values);
+  KahanSum Acc;
+  for (double V : Values)
+    Acc.add((V - Mu) * (V - Mu));
+  return Acc.total() / static_cast<double>(Values.size());
+}
+
+double stats::sampleVariance(const std::vector<double> &Values) {
+  assert(Values.size() >= 2 && "sample variance needs at least two values");
+  double Mu = mean(Values);
+  KahanSum Acc;
+  for (double V : Values)
+    Acc.add((V - Mu) * (V - Mu));
+  return Acc.total() / static_cast<double>(Values.size() - 1);
+}
+
+double stats::stdDev(const std::vector<double> &Values) {
+  return std::sqrt(variance(Values));
+}
+
+double stats::coefficientOfVariation(const std::vector<double> &Values) {
+  double Mu = mean(Values);
+  assert(Mu != 0.0 && "coefficient of variation undefined for zero mean");
+  return stdDev(Values) / Mu;
+}
+
+double stats::meanAbsoluteDeviation(const std::vector<double> &Values) {
+  assert(!Values.empty() && "MAD of empty vector");
+  double Mu = mean(Values);
+  KahanSum Acc;
+  for (double V : Values)
+    Acc.add(std::fabs(V - Mu));
+  return Acc.total() / static_cast<double>(Values.size());
+}
+
+double stats::minimum(const std::vector<double> &Values) {
+  assert(!Values.empty() && "minimum of empty vector");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double stats::maximum(const std::vector<double> &Values) {
+  assert(!Values.empty() && "maximum of empty vector");
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+double stats::median(const std::vector<double> &Values) {
+  return percentile(Values, 50.0);
+}
+
+double stats::percentile(const std::vector<double> &Values, double Q) {
+  assert(!Values.empty() && "percentile of empty vector");
+  assert(Q >= 0.0 && Q <= 100.0 && "percentile must be in [0, 100]");
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = Q / 100.0 * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + Frac * (Sorted[Hi] - Sorted[Lo]);
+}
+
+size_t stats::argMax(const std::vector<double> &Values) {
+  assert(!Values.empty() && "argMax of empty vector");
+  return static_cast<size_t>(
+      std::max_element(Values.begin(), Values.end()) - Values.begin());
+}
+
+size_t stats::argMin(const std::vector<double> &Values) {
+  assert(!Values.empty() && "argMin of empty vector");
+  return static_cast<size_t>(
+      std::min_element(Values.begin(), Values.end()) - Values.begin());
+}

@@ -1,0 +1,66 @@
+//===- stats/Descriptive.h - Descriptive statistics -------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics over double vectors: moments, order statistics
+/// and percentiles.  These are the primitives the dispersion indices of
+/// Section 3 of the paper are assembled from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_STATS_DESCRIPTIVE_H
+#define LIMA_STATS_DESCRIPTIVE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace lima {
+namespace stats {
+
+/// Sum using compensated summation.
+double sum(const std::vector<double> &Values);
+
+/// Arithmetic mean; asserts on empty input.
+double mean(const std::vector<double> &Values);
+
+/// Population variance (divides by N); asserts on empty input.
+double variance(const std::vector<double> &Values);
+
+/// Sample variance (divides by N-1); asserts on fewer than two values.
+double sampleVariance(const std::vector<double> &Values);
+
+/// Population standard deviation.
+double stdDev(const std::vector<double> &Values);
+
+/// Coefficient of variation stdDev/mean; asserts when the mean is zero.
+double coefficientOfVariation(const std::vector<double> &Values);
+
+/// Mean absolute deviation around the mean.
+double meanAbsoluteDeviation(const std::vector<double> &Values);
+
+/// Smallest element; asserts on empty input.
+double minimum(const std::vector<double> &Values);
+
+/// Largest element; asserts on empty input.
+double maximum(const std::vector<double> &Values);
+
+/// Median (linear-interpolated 50th percentile).
+double median(const std::vector<double> &Values);
+
+/// Percentile \p Q in [0, 100] with linear interpolation between order
+/// statistics (the "linear" / R type-7 rule); asserts on empty input.
+double percentile(const std::vector<double> &Values, double Q);
+
+/// Index of the largest element; ties resolve to the first occurrence.
+size_t argMax(const std::vector<double> &Values);
+
+/// Index of the smallest element; ties resolve to the first occurrence.
+size_t argMin(const std::vector<double> &Values);
+
+} // namespace stats
+} // namespace lima
+
+#endif // LIMA_STATS_DESCRIPTIVE_H

@@ -1,0 +1,94 @@
+//===- stats/Majorization.cpp - Majorization partial order ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Majorization.h"
+#include "stats/Descriptive.h"
+#include "support/MathUtils.h"
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace lima;
+using namespace lima::stats;
+
+bool stats::majorizes(const std::vector<double> &X,
+                      const std::vector<double> &Y, double Tol) {
+  assert(X.size() == Y.size() && "majorization needs equal-length vectors");
+  assert(!X.empty() && "majorization of empty vectors");
+  std::vector<double> XS(X), YS(Y);
+  std::sort(XS.begin(), XS.end(), std::greater<double>());
+  std::sort(YS.begin(), YS.end(), std::greater<double>());
+  KahanSum XAcc, YAcc;
+  for (size_t K = 0; K != XS.size(); ++K) {
+    XAcc.add(XS[K]);
+    YAcc.add(YS[K]);
+    if (K + 1 == XS.size()) {
+      // Totals must agree for majorization to be defined.
+      return almostEqual(XAcc.total(), YAcc.total(), Tol, Tol);
+    }
+    if (XAcc.total() < YAcc.total() - Tol)
+      return false;
+  }
+  return true;
+}
+
+bool stats::majorizationComparable(const std::vector<double> &X,
+                                   const std::vector<double> &Y, double Tol) {
+  return majorizes(X, Y, Tol) || majorizes(Y, X, Tol);
+}
+
+std::vector<double> stats::lorenzCurve(const std::vector<double> &Values) {
+  assert(!Values.empty() && "Lorenz curve of empty vector");
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end());
+  double Total = sum(Sorted);
+  std::vector<double> Curve;
+  Curve.reserve(Sorted.size() + 1);
+  Curve.push_back(0.0);
+  if (Total <= 0.0) {
+    // Degenerate all-zero input: define the curve as the diagonal.
+    for (size_t K = 1; K <= Sorted.size(); ++K)
+      Curve.push_back(static_cast<double>(K) /
+                      static_cast<double>(Sorted.size()));
+    return Curve;
+  }
+  KahanSum Acc;
+  for (double V : Sorted) {
+    Acc.add(V);
+    Curve.push_back(Acc.total() / Total);
+  }
+  Curve.back() = 1.0;
+  return Curve;
+}
+
+double stats::lorenzArea(const std::vector<double> &Values) {
+  std::vector<double> Curve = lorenzCurve(Values);
+  size_t N = Curve.size() - 1;
+  KahanSum Area;
+  for (size_t K = 0; K != N; ++K) {
+    double X0 = static_cast<double>(K) / static_cast<double>(N);
+    double X1 = static_cast<double>(K + 1) / static_cast<double>(N);
+    double DiagMid = (X0 + X1) / 2.0;
+    double CurveMid = (Curve[K] + Curve[K + 1]) / 2.0;
+    Area.add((DiagMid - CurveMid) * (X1 - X0));
+  }
+  return Area.total();
+}
+
+std::vector<double> stats::robinHoodTransfer(const std::vector<double> &Values,
+                                             double Amount) {
+  assert(Amount >= 0.0 && "transfer amount must be non-negative");
+  std::vector<double> Result(Values);
+  size_t Rich = argMax(Result);
+  size_t Poor = argMin(Result);
+  if (Rich == Poor)
+    return Result;
+  assert(Amount <= (Result[Rich] - Result[Poor]) / 2.0 &&
+         "transfer would overshoot the balanced point");
+  Result[Rich] -= Amount;
+  Result[Poor] += Amount;
+  return Result;
+}

@@ -1,0 +1,60 @@
+//===- stats/Majorization.h - Majorization partial order --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The majorization framework of Marshall & Olkin (1979) that the paper's
+/// dispersion metrics are grounded in.  A vector x majorizes y (written
+/// x ≻ y) when, after sorting both in decreasing order, every prefix sum
+/// of x dominates the corresponding prefix sum of y and the totals agree.
+/// Majorization partially orders share vectors by spread: the balanced
+/// vector (1/P, ..., 1/P) is the unique minimum, a one-hot vector the
+/// maximum.  An index of dispersion is consistent with this order exactly
+/// when it is Schur-convex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_STATS_MAJORIZATION_H
+#define LIMA_STATS_MAJORIZATION_H
+
+#include <vector>
+
+namespace lima {
+namespace stats {
+
+/// True when \p X majorizes \p Y (x ≻ y).  Requires equal length and
+/// equal sums (within \p Tol); asserts on length mismatch.
+bool majorizes(const std::vector<double> &X, const std::vector<double> &Y,
+               double Tol = 1e-9);
+
+/// True when \p X and \p Y are comparable under majorization (either
+/// direction holds).  Majorization is only a partial order, so
+/// incomparable pairs are common — that is why scalar dispersion indices
+/// exist in the first place.
+bool majorizationComparable(const std::vector<double> &X,
+                            const std::vector<double> &Y, double Tol = 1e-9);
+
+/// Points of the Lorenz curve of \p Values: cumulative shares of the
+/// sorted-increasing values at k/N, for k = 0..N.  First point is 0,
+/// last point is 1.  For equal values the curve is the diagonal; more
+/// spread bows the curve away from it.
+std::vector<double> lorenzCurve(const std::vector<double> &Values);
+
+/// Area between the diagonal and the Lorenz curve, in [0, 0.5); equals
+/// Gini/2 for share vectors (trapezoidal rule).
+double lorenzArea(const std::vector<double> &Values);
+
+/// One step of a Robin Hood (Dalton) transfer: moves \p Amount from the
+/// largest element to the smallest.  The result is majorized by the input
+/// (it is strictly "more balanced"), which makes this the canonical way
+/// to generate comparable pairs in property tests.  \p Amount must not
+/// exceed half the max-min gap (or the transfer would overshoot).
+std::vector<double> robinHoodTransfer(const std::vector<double> &Values,
+                                      double Amount);
+
+} // namespace stats
+} // namespace lima
+
+#endif // LIMA_STATS_MAJORIZATION_H

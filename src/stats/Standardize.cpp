@@ -1,0 +1,38 @@
+//===- stats/Standardize.cpp - Wall-clock time standardization ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Standardize.h"
+#include "stats/Descriptive.h"
+#include "support/MathUtils.h"
+#include <cassert>
+#include <cmath>
+
+using namespace lima;
+
+std::vector<double> stats::toShares(const std::vector<double> &Values) {
+  for ([[maybe_unused]] double V : Values)
+    assert(V >= 0.0 && "shares require non-negative values");
+  double Total = sum(Values);
+  std::vector<double> Shares(Values.size(), 0.0);
+  if (Total <= 0.0)
+    return Shares;
+  for (size_t I = 0; I != Values.size(); ++I)
+    Shares[I] = Values[I] / Total;
+  return Shares;
+}
+
+bool stats::isShareVector(const std::vector<double> &Shares, double Tol) {
+  bool AllZero = true;
+  for (double S : Shares) {
+    if (S < -Tol)
+      return false;
+    if (S != 0.0)
+      AllZero = false;
+  }
+  if (AllZero)
+    return true;
+  return std::fabs(sum(Shares) - 1.0) <= Tol;
+}

@@ -1,0 +1,103 @@
+//===- support/CSV.cpp - CSV reading and writing --------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CSV.h"
+
+using namespace lima;
+
+Expected<std::vector<std::vector<std::string>>>
+lima::parseCSV(std::string_view Text) {
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Row;
+  std::string Field;
+  bool InQuotes = false;
+  bool FieldStarted = false;
+
+  auto endField = [&] {
+    Row.push_back(std::move(Field));
+    Field.clear();
+    FieldStarted = false;
+  };
+  auto endRow = [&] {
+    endField();
+    Rows.push_back(std::move(Row));
+    Row.clear();
+  };
+
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InQuotes) {
+      if (C != '"') {
+        Field += C;
+        continue;
+      }
+      if (I + 1 < Text.size() && Text[I + 1] == '"') {
+        Field += '"';
+        ++I;
+        continue;
+      }
+      InQuotes = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      if (!Field.empty())
+        return makeStringError("CSV: quote inside unquoted field at byte %zu",
+                               I);
+      InQuotes = true;
+      FieldStarted = true;
+      break;
+    case ',':
+      endField();
+      FieldStarted = false;
+      break;
+    case '\r':
+      // Tolerate CRLF line endings; bare CR is treated as a terminator too.
+      break;
+    case '\n':
+      endRow();
+      break;
+    default:
+      Field += C;
+      FieldStarted = true;
+      break;
+    }
+  }
+  if (InQuotes)
+    return makeStringError("CSV: unterminated quoted field");
+  // Emit a final row only if the document does not end with a newline.
+  if (FieldStarted || !Field.empty() || !Row.empty())
+    endRow();
+  return Rows;
+}
+
+static void appendField(std::string &Out, const std::string &Field) {
+  bool NeedsQuoting = Field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!NeedsQuoting) {
+    Out += Field;
+    return;
+  }
+  Out += '"';
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string lima::writeCSV(const std::vector<std::vector<std::string>> &Rows) {
+  std::string Out;
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      appendField(Out, Row[C]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- support/CSV.h - CSV reading and writing ------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal RFC-4180-style CSV support: quoted fields, embedded commas and
+/// doubled quotes.  Embedded newlines inside quoted fields are supported
+/// by parseCSV (whole-document parsing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_CSV_H
+#define LIMA_SUPPORT_CSV_H
+
+#include "support/Error.h"
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+
+/// Parses a whole CSV document into rows of fields.
+///
+/// Handles quoted fields with embedded separators, quotes ("" escape) and
+/// newlines.  A trailing final newline does not produce an empty row.
+Expected<std::vector<std::vector<std::string>>> parseCSV(std::string_view Text);
+
+/// Serializes \p Rows as CSV, quoting fields only where required.
+std::string writeCSV(const std::vector<std::vector<std::string>> &Rows);
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_CSV_H

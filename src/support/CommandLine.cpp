@@ -1,0 +1,157 @@
+//===- support/CommandLine.cpp - Small command-line parser ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/raw_ostream.h"
+#include <cstdlib>
+
+using namespace lima;
+
+ArgParser::ArgParser(std::string ToolName, std::string Description)
+    : ToolName(std::move(ToolName)), Description(std::move(Description)) {}
+
+void ArgParser::addFlag(std::string Name, std::string Help) {
+  assert(!findFlag(Name) && !findOption(Name) && "duplicate argument name");
+  Flags.push_back({std::move(Name), std::move(Help), false});
+}
+
+void ArgParser::addOption(std::string Name, std::string Help,
+                          std::string Default) {
+  assert(!findFlag(Name) && !findOption(Name) && "duplicate argument name");
+  OptionSpec Spec;
+  Spec.Name = std::move(Name);
+  Spec.Help = std::move(Help);
+  Spec.Default = std::move(Default);
+  Spec.Value = Spec.Default;
+  Options.push_back(std::move(Spec));
+}
+
+void ArgParser::addPositional(std::string Name, std::string Help) {
+  PositionalSpecs.push_back({std::move(Name), std::move(Help)});
+}
+
+ArgParser::FlagSpec *ArgParser::findFlag(std::string_view Name) {
+  for (FlagSpec &Flag : Flags)
+    if (Flag.Name == Name)
+      return &Flag;
+  return nullptr;
+}
+
+ArgParser::OptionSpec *ArgParser::findOption(std::string_view Name) {
+  for (OptionSpec &Option : Options)
+    if (Option.Name == Name)
+      return &Option;
+  return nullptr;
+}
+
+const ArgParser::FlagSpec *ArgParser::findFlag(std::string_view Name) const {
+  return const_cast<ArgParser *>(this)->findFlag(Name);
+}
+
+const ArgParser::OptionSpec *
+ArgParser::findOption(std::string_view Name) const {
+  return const_cast<ArgParser *>(this)->findOption(Name);
+}
+
+Error ArgParser::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printHelp(outs());
+      outs().flush();
+      std::exit(0);
+    }
+    if (!Arg.starts_with("--")) {
+      Positionals.push_back(std::string(Arg));
+      continue;
+    }
+    std::string_view Body = Arg.substr(2);
+    std::string_view Name = Body;
+    std::string_view Inline;
+    bool HasInline = false;
+    if (size_t Eq = Body.find('='); Eq != std::string_view::npos) {
+      Name = Body.substr(0, Eq);
+      Inline = Body.substr(Eq + 1);
+      HasInline = true;
+    }
+    if (FlagSpec *Flag = findFlag(Name)) {
+      if (HasInline)
+        return makeStringError("flag --%.*s does not take a value",
+                               static_cast<int>(Name.size()), Name.data());
+      Flag->Value = true;
+      continue;
+    }
+    OptionSpec *Option = findOption(Name);
+    if (!Option)
+      return makeStringError("unknown option --%.*s",
+                             static_cast<int>(Name.size()), Name.data());
+    if (HasInline) {
+      Option->Value = std::string(Inline);
+      continue;
+    }
+    if (I + 1 >= Argc)
+      return makeStringError("option --%s requires a value",
+                             Option->Name.c_str());
+    Option->Value = Argv[++I];
+  }
+  if (Positionals.size() < PositionalSpecs.size())
+    return makeStringError("missing positional argument '%s'",
+                           PositionalSpecs[Positionals.size()].Name.c_str());
+  return Error::success();
+}
+
+bool ArgParser::getFlag(std::string_view Name) const {
+  const FlagSpec *Flag = findFlag(Name);
+  assert(Flag && "unregistered flag queried");
+  return Flag->Value;
+}
+
+const std::string &ArgParser::getString(std::string_view Name) const {
+  const OptionSpec *Option = findOption(Name);
+  assert(Option && "unregistered option queried");
+  return Option->Value;
+}
+
+uint64_t ArgParser::getUnsigned(std::string_view Name) const {
+  auto ValueOrErr = parseUnsigned(getString(Name));
+  if (!ValueOrErr) {
+    errs() << ToolName << ": --" << std::string(Name) << ": "
+           << ValueOrErr.takeError().message() << '\n';
+    std::exit(1);
+  }
+  return *ValueOrErr;
+}
+
+double ArgParser::getDouble(std::string_view Name) const {
+  auto ValueOrErr = parseDouble(getString(Name));
+  if (!ValueOrErr) {
+    errs() << ToolName << ": --" << std::string(Name) << ": "
+           << ValueOrErr.takeError().message() << '\n';
+    std::exit(1);
+  }
+  return *ValueOrErr;
+}
+
+void ArgParser::printHelp(raw_ostream &OS) const {
+  OS << "usage: " << ToolName << " [options]";
+  for (const PositionalSpec &Pos : PositionalSpecs)
+    OS << " <" << Pos.Name << '>';
+  OS << "\n\n" << Description << "\n\n";
+  if (!PositionalSpecs.empty()) {
+    OS << "positional arguments:\n";
+    for (const PositionalSpec &Pos : PositionalSpecs)
+      OS << "  " << Pos.Name << "  " << Pos.Help << '\n';
+    OS << '\n';
+  }
+  OS << "options:\n";
+  for (const FlagSpec &Flag : Flags)
+    OS << "  --" << Flag.Name << "  " << Flag.Help << '\n';
+  for (const OptionSpec &Option : Options)
+    OS << "  --" << Option.Name << " <value>  " << Option.Help
+       << " (default: " << Option.Default << ")\n";
+  OS << "  --help  print this message and exit\n";
+}

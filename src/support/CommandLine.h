@@ -1,0 +1,105 @@
+//===- support/CommandLine.h - Small command-line parser --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small declarative command-line parser used by the example tools and
+/// benchmark drivers.  Supports --flag, --option value, --option=value and
+/// positional arguments, with generated --help text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_COMMANDLINE_H
+#define LIMA_SUPPORT_COMMANDLINE_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lima {
+
+class raw_ostream;
+
+/// Declarative command-line parser.
+///
+/// \code
+///   ArgParser Parser("mytool", "does things");
+///   Parser.addFlag("verbose", "print more");
+///   Parser.addOption("procs", "number of processors", "16");
+///   if (auto Err = Parser.parse(Argc, Argv)) { ... }
+///   unsigned P = Parser.getUnsigned("procs");
+/// \endcode
+class ArgParser {
+public:
+  ArgParser(std::string ToolName, std::string Description);
+
+  /// Registers a boolean flag (--name).
+  void addFlag(std::string Name, std::string Help);
+
+  /// Registers a value option (--name value or --name=value) with a
+  /// default used when the option is absent.
+  void addOption(std::string Name, std::string Help, std::string Default);
+
+  /// Registers a named positional argument (for help text and count
+  /// validation).  Positional arguments are required in declaration order.
+  void addPositional(std::string Name, std::string Help);
+
+  /// Parses argv.  On --help, prints usage and exits with status 0.
+  Error parse(int Argc, const char *const *Argv);
+
+  /// True when the flag was given.
+  bool getFlag(std::string_view Name) const;
+
+  /// Raw string value of an option (default if not given).
+  const std::string &getString(std::string_view Name) const;
+
+  /// Option parsed as unsigned; aborts if the registered default was used
+  /// and is not numeric.  Returns an error for malformed user input at
+  /// parse() time, so this accessor cannot fail afterwards.
+  uint64_t getUnsigned(std::string_view Name) const;
+
+  /// Option parsed as double.
+  double getDouble(std::string_view Name) const;
+
+  /// Positional argument values in order.
+  const std::vector<std::string> &getPositionals() const { return Positionals; }
+
+  /// Prints the generated usage text.
+  void printHelp(raw_ostream &OS) const;
+
+private:
+  struct FlagSpec {
+    std::string Name;
+    std::string Help;
+    bool Value = false;
+  };
+  struct OptionSpec {
+    std::string Name;
+    std::string Help;
+    std::string Default;
+    std::string Value;
+  };
+  struct PositionalSpec {
+    std::string Name;
+    std::string Help;
+  };
+
+  FlagSpec *findFlag(std::string_view Name);
+  OptionSpec *findOption(std::string_view Name);
+  const FlagSpec *findFlag(std::string_view Name) const;
+  const OptionSpec *findOption(std::string_view Name) const;
+
+  std::string ToolName;
+  std::string Description;
+  std::vector<FlagSpec> Flags;
+  std::vector<OptionSpec> Options;
+  std::vector<PositionalSpec> PositionalSpecs;
+  std::vector<std::string> Positionals;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,42 @@
+//===- support/Compiler.h - Compiler abstraction helpers --------*- C++ -*-===//
+//
+// Part of LIMA, a reproduction of "Load Imbalance in Parallel Programs"
+// (Calzarossa, Massari, Tessera; 2003).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler abstraction macros used throughout LIMA, modeled after
+/// llvm/Support/Compiler.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_COMPILER_H
+#define LIMA_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lima {
+
+/// Reports a fatal internal error and aborts.
+///
+/// Used by limaUnreachable below and by internal invariant checks that must
+/// fire even in builds without assertions.
+[[noreturn]] inline void reportFatalInternalError(const char *Msg,
+                                                  const char *File,
+                                                  unsigned Line) {
+  std::fprintf(stderr, "fatal internal error: %s (at %s:%u)\n", Msg, File,
+               Line);
+  std::abort();
+}
+
+} // namespace lima
+
+/// Marks a point in control flow that must never be reached if program
+/// invariants hold.  Prints the message and aborts when reached.
+#define lima_unreachable(Msg)                                                  \
+  ::lima::reportFatalInternalError(Msg, __FILE__, __LINE__)
+
+#endif // LIMA_SUPPORT_COMPILER_H

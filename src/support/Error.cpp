@@ -1,0 +1,28 @@
+//===- support/Error.cpp - Recoverable error handling ---------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include <cstdarg>
+#include <vector>
+
+using namespace lima;
+
+Error lima::makeStringError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return Error::failure("<error formatting failed>");
+  }
+  std::vector<char> Buf(static_cast<size_t>(Len) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Error::failure(std::string(Buf.data(), static_cast<size_t>(Len)));
+}

@@ -1,0 +1,238 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++ -*-===//
+//
+// Part of LIMA, a reproduction of "Load Imbalance in Parallel Programs"
+// (Calzarossa, Massari, Tessera; 2003).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight checked-error facility modeled after llvm::Error and
+/// llvm::Expected.  Library code never throws; recoverable failures travel
+/// as Error / Expected<T> return values.  Every Error must be checked (or
+/// moved from) before destruction; violating that aborts in builds with
+/// assertions enabled, which makes accidentally dropped errors easy to find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_ERROR_H
+#define LIMA_SUPPORT_ERROR_H
+
+#include "support/Compiler.h"
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace lima {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// Success values are cheap (empty message).  The checked-flag discipline
+/// mirrors llvm::Error: an Error that is destroyed without having been
+/// tested via operator bool, consumed, or moved from trips an assertion.
+class Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value with message \p Msg.
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Msg = std::move(Msg);
+    E.Failed = true;
+    return E;
+  }
+
+  Error(Error &&Other) noexcept
+      : Msg(std::move(Other.Msg)), Failed(Other.Failed),
+        Checked(Other.Checked) {
+    Other.markConsumed();
+  }
+
+  Error &operator=(Error &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    assertChecked();
+    Msg = std::move(Other.Msg);
+    Failed = Other.Failed;
+    Checked = Other.Checked;
+    Other.markConsumed();
+    return *this;
+  }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  ~Error() { assertChecked(); }
+
+  /// Tests for failure: true means the Error holds a failure value.
+  /// Testing marks the error checked; a failure value must still be
+  /// consumed (via message()/consume() or by moving it onward).
+  explicit operator bool() {
+    Checked = !Failed;
+    return Failed;
+  }
+
+  /// Returns the failure message and marks the error consumed.
+  std::string message() {
+    assert(Failed && "message() called on a success value");
+    markConsumed();
+    return std::move(Msg);
+  }
+
+  /// Reads the failure message without consuming the error.
+  const std::string &peekMessage() const {
+    assert(Failed && "peekMessage() called on a success value");
+    return Msg;
+  }
+
+  /// Explicitly discards the error (success or failure).
+  void consume() { markConsumed(); }
+
+private:
+  Error() = default;
+
+  void markConsumed() {
+    Failed = false;
+    Checked = true;
+  }
+
+  void assertChecked() const {
+    assert(Checked && "Error must be checked before it is destroyed");
+    (void)Checked;
+  }
+
+  std::string Msg;
+  bool Failed = false;
+  bool Checked = false;
+};
+
+/// Builds a failure Error from a printf-style format string.
+Error makeStringError(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Either a value of type \p T or an Error, analogous to llvm::Expected.
+///
+/// Success state is queried with operator bool; the value is accessed via
+/// get()/operator*; on failure the error is extracted with takeError().
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : HasValue(true), Storage(std::move(Value)) {}
+
+  /// Constructs a failure value from \p E, which must hold a failure.
+  Expected(Error E) : HasValue(false) {
+    assert(static_cast<bool>(E) && "constructing Expected from success Error");
+    Err = E.message();
+  }
+
+  Expected(Expected &&Other) noexcept
+      : HasValue(Other.HasValue), Checked(Other.Checked) {
+    if (HasValue)
+      new (&Storage) T(std::move(Other.Storage));
+    else
+      Err = std::move(Other.Err);
+    Other.Checked = true;
+  }
+
+  Expected(const Expected &) = delete;
+  Expected &operator=(const Expected &) = delete;
+  Expected &operator=(Expected &&) = delete;
+
+  ~Expected() {
+    assert(Checked && "Expected must be checked before it is destroyed");
+    if (HasValue)
+      Storage.~T();
+  }
+
+  /// True when a value is present.
+  explicit operator bool() {
+    Checked = HasValue;
+    return HasValue;
+  }
+
+  /// Accesses the contained value.  Only valid in success state.
+  T &get() {
+    assert(HasValue && "get() called on an error value");
+    return Storage;
+  }
+  const T &get() const {
+    assert(HasValue && "get() called on an error value");
+    return Storage;
+  }
+  T &operator*() { return get(); }
+  T *operator->() { return &get(); }
+
+  /// Extracts the Error.  Returns a success Error when a value is present,
+  /// enabling the `if (auto Err = X.takeError()) return Err;` idiom.
+  Error takeError() {
+    Checked = true;
+    if (HasValue)
+      return Error::success();
+    return Error::failure(std::move(Err));
+  }
+
+  /// Moves the contained value into \p Out; on failure returns the Error.
+  template <typename U> Error moveInto(U &Out) {
+    if (!HasValue)
+      return takeError();
+    Checked = true;
+    Out = std::move(Storage);
+    return Error::success();
+  }
+
+private:
+  bool HasValue;
+  bool Checked = false;
+  union {
+    T Storage;
+  };
+  std::string Err;
+};
+
+/// Asserts that \p E is a success value and discards it.
+inline void cantFail(Error E) {
+  if (E)
+    lima_unreachable("cantFail called on a failure value");
+}
+
+/// Asserts that \p ValOrErr holds a value and unwraps it.
+template <typename T> T cantFail(Expected<T> ValOrErr) {
+  if (!ValOrErr)
+    lima_unreachable("cantFail called on a failure value");
+  return std::move(ValOrErr.get());
+}
+
+/// Tool-code helper: on failure prints the message to stderr and exits.
+///
+/// Declare one per tool (optionally with a banner) and wrap fallible calls:
+/// \code
+///   ExitOnError ExitOnErr("mytool: ");
+///   auto Cube = ExitOnErr(readCube(Path));
+/// \endcode
+class ExitOnError {
+public:
+  ExitOnError() = default;
+  explicit ExitOnError(std::string Banner) : Banner(std::move(Banner)) {}
+
+  void operator()(Error E) const {
+    if (!E)
+      return;
+    std::fprintf(stderr, "%s%s\n", Banner.c_str(), E.message().c_str());
+    std::exit(1);
+  }
+
+  template <typename T> T operator()(Expected<T> ValOrErr) const {
+    (*this)(ValOrErr.takeError());
+    return std::move(ValOrErr.get());
+  }
+
+private:
+  std::string Banner;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_ERROR_H

@@ -1,0 +1,37 @@
+//===- support/FileUtils.cpp - Whole-file I/O helpers ---------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileUtils.h"
+#include <cstdio>
+
+using namespace lima;
+
+Expected<std::string> lima::readFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return makeStringError("cannot open '%s' for reading", Path.c_str());
+  std::string Contents;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Contents.append(Buf, N);
+  bool Failed = std::ferror(File) != 0;
+  std::fclose(File);
+  if (Failed)
+    return makeStringError("read error on '%s'", Path.c_str());
+  return Contents;
+}
+
+Error lima::writeFile(const std::string &Path, std::string_view Contents) {
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return makeStringError("cannot open '%s' for writing", Path.c_str());
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), File);
+  bool CloseFailed = std::fclose(File) != 0;
+  if (Written != Contents.size() || CloseFailed)
+    return makeStringError("write error on '%s'", Path.c_str());
+  return Error::success();
+}

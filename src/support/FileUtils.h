@@ -1,0 +1,29 @@
+//===- support/FileUtils.h - Whole-file I/O helpers -------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fallible whole-file read/write used by the trace and report layers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_FILEUTILS_H
+#define LIMA_SUPPORT_FILEUTILS_H
+
+#include "support/Error.h"
+#include <string>
+#include <string_view>
+
+namespace lima {
+
+/// Reads the entire file at \p Path into a string.
+Expected<std::string> readFile(const std::string &Path);
+
+/// Writes \p Contents to \p Path, replacing any existing file.
+Error writeFile(const std::string &Path, std::string_view Contents);
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_FILEUTILS_H

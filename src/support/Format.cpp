@@ -1,0 +1,53 @@
+//===- support/Format.cpp - Text formatting helpers -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include <cstdio>
+
+using namespace lima;
+
+std::string lima::formatFixed(double Value, unsigned Precision) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Precision),
+                          Value);
+  return std::string(Buf, static_cast<size_t>(Len));
+}
+
+std::string lima::formatGeneral(double Value) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", Value);
+  return std::string(Buf, static_cast<size_t>(Len));
+}
+
+std::string lima::formatPercent(double Fraction, unsigned Precision) {
+  return formatFixed(Fraction * 100.0, Precision) + "%";
+}
+
+std::string lima::leftJustify(std::string_view Str, size_t Width) {
+  std::string Result(Str);
+  if (Result.size() < Width)
+    Result.append(Width - Result.size(), ' ');
+  return Result;
+}
+
+std::string lima::rightJustify(std::string_view Str, size_t Width) {
+  std::string Result;
+  if (Str.size() < Width)
+    Result.append(Width - Str.size(), ' ');
+  Result.append(Str);
+  return Result;
+}
+
+std::string lima::centerJustify(std::string_view Str, size_t Width) {
+  if (Str.size() >= Width)
+    return std::string(Str);
+  size_t Total = Width - Str.size();
+  size_t Left = Total / 2;
+  std::string Result(Left, ' ');
+  Result.append(Str);
+  Result.append(Total - Left, ' ');
+  return Result;
+}

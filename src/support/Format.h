@@ -1,0 +1,44 @@
+//===- support/Format.h - Text formatting helpers ---------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Number and column formatting helpers shared by the table renderers and
+/// report writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_FORMAT_H
+#define LIMA_SUPPORT_FORMAT_H
+
+#include <string>
+#include <string_view>
+
+namespace lima {
+
+/// Formats \p Value with \p Precision digits after the decimal point
+/// (fixed notation, e.g. formatFixed(0.12870, 5) == "0.12870").
+std::string formatFixed(double Value, unsigned Precision);
+
+/// Formats \p Value in the shortest round-trippable general notation.
+std::string formatGeneral(double Value);
+
+/// Formats \p Value as a percentage with \p Precision decimals
+/// ("27.1%" for formatPercent(0.2713, 1)).
+std::string formatPercent(double Fraction, unsigned Precision = 1);
+
+/// Pads \p Str on the right with spaces to \p Width columns.  Strings
+/// already wider than \p Width are returned unchanged.
+std::string leftJustify(std::string_view Str, size_t Width);
+
+/// Pads \p Str on the left with spaces to \p Width columns.
+std::string rightJustify(std::string_view Str, size_t Width);
+
+/// Centers \p Str within \p Width columns.
+std::string centerJustify(std::string_view Str, size_t Width);
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_FORMAT_H

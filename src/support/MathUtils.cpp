@@ -1,0 +1,16 @@
+//===- support/MathUtils.cpp - Numerical helpers --------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+using namespace lima;
+
+double lima::sumKahan(const std::vector<double> &Values) {
+  KahanSum Sum;
+  for (double Value : Values)
+    Sum.add(Value);
+  return Sum.total();
+}

@@ -1,0 +1,85 @@
+//===- support/RNG.cpp - Deterministic random number generation -----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include <cmath>
+
+using namespace lima;
+
+static uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl64(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+RNG::RNG(uint64_t Seed) {
+  uint64_t Mix = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(Mix);
+}
+
+uint64_t RNG::next() {
+  uint64_t Result = rotl64(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl64(State[3], 45);
+  return Result;
+}
+
+double RNG::uniform() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double RNG::uniformIn(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty interval");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t RNG::uniformInt(uint64_t Bound) {
+  assert(Bound > 0 && "uniformInt bound must be positive");
+  // Rejection sampling over the largest multiple of Bound.
+  uint64_t Threshold = (0ULL - Bound) % Bound;
+  while (true) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+double RNG::normal() {
+  if (HasCachedNormal) {
+    HasCachedNormal = false;
+    return CachedNormal;
+  }
+  // Box-Muller transform; uniform() can return 0, so flip to (0, 1].
+  double U1 = 1.0 - uniform();
+  double U2 = uniform();
+  double Radius = std::sqrt(-2.0 * std::log(U1));
+  double Angle = 2.0 * M_PI * U2;
+  CachedNormal = Radius * std::sin(Angle);
+  HasCachedNormal = true;
+  return Radius * std::cos(Angle);
+}
+
+double RNG::exponential(double Rate) {
+  assert(Rate > 0 && "exponential rate must be positive");
+  return -std::log(1.0 - uniform()) / Rate;
+}
+
+double RNG::logNormal(double Mu, double Sigma) {
+  return std::exp(Mu + Sigma * normal());
+}

@@ -1,0 +1,78 @@
+//===- support/RNG.h - Deterministic random number generation ---*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seedable random number generator (xoshiro256**) with
+/// the distributions LIMA's workload generators and clustering initializers
+/// need.  std::mt19937 + std::*_distribution are avoided because their
+/// output is not guaranteed identical across standard library versions;
+/// reproducibility of benchmarks requires bit-stable streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_RNG_H
+#define LIMA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lima {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// SplitMix64).  The same seed yields the same stream on every platform.
+class RNG {
+public:
+  /// Seeds the generator; the full 256-bit state is expanded from \p Seed
+  /// with SplitMix64 so that nearby seeds give uncorrelated streams.
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniformIn(double Lo, double Hi);
+
+  /// Uniform integer in [0, Bound) with rejection to avoid modulo bias.
+  /// \p Bound must be positive.
+  uint64_t uniformInt(uint64_t Bound);
+
+  /// Standard normal deviate (Box-Muller, cached pair).
+  double normal();
+
+  /// Normal deviate with the given \p Mean and \p StdDev.
+  double normalWith(double Mean, double StdDev) {
+    return Mean + StdDev * normal();
+  }
+
+  /// Exponential deviate with the given \p Rate (mean 1/Rate).
+  double exponential(double Rate);
+
+  /// Log-normal deviate where the underlying normal has \p Mu, \p Sigma.
+  double logNormal(double Mu, double Sigma);
+
+  /// Fisher-Yates shuffle of \p Values.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(uniformInt(I));
+      std::swap(Values[I - 1], Values[J]);
+    }
+  }
+
+private:
+  uint64_t State[4];
+  bool HasCachedNormal = false;
+  double CachedNormal = 0.0;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_RNG_H

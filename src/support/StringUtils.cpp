@@ -1,0 +1,108 @@
+//===- support/StringUtils.cpp - String manipulation helpers --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace lima;
+
+std::vector<std::string_view> lima::splitString(std::string_view Str,
+                                                char Sep) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Str.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.push_back(Str.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Str.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string_view> lima::splitWhitespace(std::string_view Str) {
+  std::vector<std::string_view> Fields;
+  size_t I = 0;
+  while (I < Str.size()) {
+    while (I < Str.size() && std::isspace(static_cast<unsigned char>(Str[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Str.size() && !std::isspace(static_cast<unsigned char>(Str[I])))
+      ++I;
+    if (I > Start)
+      Fields.push_back(Str.substr(Start, I - Start));
+  }
+  return Fields;
+}
+
+std::string_view lima::trimString(std::string_view Str) {
+  size_t Begin = 0;
+  while (Begin < Str.size() &&
+         std::isspace(static_cast<unsigned char>(Str[Begin])))
+    ++Begin;
+  size_t End = Str.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Str[End - 1])))
+    --End;
+  return Str.substr(Begin, End - Begin);
+}
+
+Expected<int64_t> lima::parseInt(std::string_view Str) {
+  if (Str.empty())
+    return makeStringError("cannot parse integer from empty string");
+  std::string Buf(Str);
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Buf.c_str(), &End, 10);
+  if (End != Buf.c_str() + Buf.size())
+    return makeStringError("invalid integer '%s'", Buf.c_str());
+  if (errno == ERANGE)
+    return makeStringError("integer '%s' out of range", Buf.c_str());
+  return static_cast<int64_t>(Value);
+}
+
+Expected<uint64_t> lima::parseUnsigned(std::string_view Str) {
+  if (Str.empty())
+    return makeStringError("cannot parse integer from empty string");
+  if (Str.front() == '-')
+    return makeStringError("negative value where unsigned expected");
+  std::string Buf(Str);
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Buf.c_str(), &End, 10);
+  if (End != Buf.c_str() + Buf.size())
+    return makeStringError("invalid integer '%s'", Buf.c_str());
+  if (errno == ERANGE)
+    return makeStringError("integer '%s' out of range", Buf.c_str());
+  return static_cast<uint64_t>(Value);
+}
+
+Expected<double> lima::parseDouble(std::string_view Str) {
+  if (Str.empty())
+    return makeStringError("cannot parse number from empty string");
+  std::string Buf(Str);
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size())
+    return makeStringError("invalid number '%s'", Buf.c_str());
+  if (errno == ERANGE)
+    return makeStringError("number '%s' out of range", Buf.c_str());
+  return Value;
+}
+
+std::string lima::joinStrings(const std::vector<std::string> &Parts,
+                              std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Result.append(Sep);
+    Result.append(Parts[I]);
+  }
+  return Result;
+}

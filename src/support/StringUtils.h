@@ -1,0 +1,49 @@
+//===- support/StringUtils.h - String manipulation helpers ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splitting, trimming and fallible number parsing used by the trace
+/// reader, the CSV layer and the command-line parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_STRINGUTILS_H
+#define LIMA_SUPPORT_STRINGUTILS_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+
+/// Splits \p Str on \p Sep.  Adjacent separators produce empty fields;
+/// an empty input produces a single empty field (CSV semantics).
+std::vector<std::string_view> splitString(std::string_view Str, char Sep);
+
+/// Splits \p Str on runs of whitespace; never produces empty fields.
+std::vector<std::string_view> splitWhitespace(std::string_view Str);
+
+/// Removes leading and trailing whitespace.
+std::string_view trimString(std::string_view Str);
+
+/// Parses a base-10 signed integer occupying the whole of \p Str.
+Expected<int64_t> parseInt(std::string_view Str);
+
+/// Parses an unsigned base-10 integer occupying the whole of \p Str.
+Expected<uint64_t> parseUnsigned(std::string_view Str);
+
+/// Parses a floating-point number occupying the whole of \p Str.
+Expected<double> parseDouble(std::string_view Str);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_STRINGUTILS_H

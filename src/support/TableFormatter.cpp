@@ -1,0 +1,125 @@
+//===- support/TableFormatter.cpp - Plain-text table rendering ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace lima;
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+  Alignments.assign(this->Header.size(), Align::Right);
+}
+
+void TextTable::setAlign(size_t Col, Align Alignment) {
+  assert(Col < Alignments.size() && "column out of range");
+  Alignments[Col] = Alignment;
+}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void TextTable::addSeparator() { SeparatorAfter.push_back(Rows.size()); }
+
+std::vector<size_t> TextTable::computeWidths() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+  return Widths;
+}
+
+static std::string alignCell(const std::string &Cell, size_t Width,
+                             Align Alignment) {
+  switch (Alignment) {
+  case Align::Left:
+    return leftJustify(Cell, Width);
+  case Align::Right:
+    return rightJustify(Cell, Width);
+  case Align::Center:
+    return centerJustify(Cell, Width);
+  }
+  return Cell;
+}
+
+void TextTable::print(raw_ostream &OS) const {
+  std::vector<size_t> Widths = computeWidths();
+
+  auto printRule = [&] {
+    for (size_t C = 0; C != Widths.size(); ++C) {
+      OS << '+';
+      OS.indent(static_cast<unsigned>(Widths[C]) + 2, '-');
+    }
+    OS << "+\n";
+  };
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      OS << "| " << alignCell(Row[C], Widths[C], Alignments[C]) << ' ';
+    OS << "|\n";
+  };
+  auto isSeparatorAfter = [&](size_t RowIndex) {
+    return std::find(SeparatorAfter.begin(), SeparatorAfter.end(), RowIndex) !=
+           SeparatorAfter.end();
+  };
+
+  if (!Title.empty())
+    OS << Title << '\n';
+  printRule();
+  printRow(Header);
+  printRule();
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    if (R != 0 && isSeparatorAfter(R))
+      printRule();
+    printRow(Rows[R]);
+  }
+  printRule();
+}
+
+std::string TextTable::toString() const {
+  std::string Buffer;
+  raw_string_ostream OS(Buffer);
+  print(OS);
+  return Buffer;
+}
+
+static void appendCSVField(std::string &Out, const std::string &Field) {
+  bool NeedsQuoting = Field.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting) {
+    Out += Field;
+    return;
+  }
+  Out += '"';
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string TextTable::toCSV() const {
+  std::string Out;
+  auto appendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      appendCSVField(Out, Row[C]);
+    }
+    Out += '\n';
+  };
+  appendRow(Header);
+  for (const auto &Row : Rows)
+    appendRow(Row);
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- support/TableFormatter.h - Plain-text table rendering ----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders rows of string cells as an aligned plain-text table.  Used by
+/// the report writers that regenerate the paper's Tables 1-4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_TABLEFORMATTER_H
+#define LIMA_SUPPORT_TABLEFORMATTER_H
+
+#include <string>
+#include <vector>
+
+namespace lima {
+
+class raw_ostream;
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right, Center };
+
+/// An aligned plain-text table builder.
+///
+/// Typical usage:
+/// \code
+///   TextTable Table({"loop", "overall", "computation"});
+///   Table.addRow({"1", "19.051", "12.24"});
+///   Table.print(outs());
+/// \endcode
+class TextTable {
+public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> Header);
+
+  /// Sets the alignment of column \p Col (default Right).
+  void setAlign(size_t Col, Align Alignment);
+
+  /// Sets an optional title printed above the table.
+  void setTitle(std::string NewTitle) { Title = std::move(NewTitle); }
+
+  /// Appends a data row; its size must match the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator rule at the current position.
+  void addSeparator();
+
+  /// Renders the table to \p OS.
+  void print(raw_ostream &OS) const;
+
+  /// Renders the table to a string.
+  std::string toString() const;
+
+  /// Emits the table as CSV (header row first, separators skipped).
+  std::string toCSV() const;
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Header.size(); }
+
+private:
+  std::vector<size_t> computeWidths() const;
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Align> Alignments;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<size_t> SeparatorAfter;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_TABLEFORMATTER_H

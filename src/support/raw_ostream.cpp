@@ -1,0 +1,56 @@
+//===- support/raw_ostream.cpp - Lightweight output streams ---------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/raw_ostream.h"
+#include <cinttypes>
+#include <cstdio>
+
+using namespace lima;
+
+raw_ostream::~raw_ostream() = default;
+
+raw_ostream &raw_ostream::operator<<(long long N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%lld", N);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(unsigned long long N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%llu", N);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(double D) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  writeImpl(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::indent(unsigned Count, char C) {
+  for (unsigned I = 0; I != Count; ++I)
+    *this << C;
+  return *this;
+}
+
+void raw_fd_ostream::writeImpl(const char *Ptr, size_t Size) {
+  std::fwrite(Ptr, 1, Size, File);
+}
+
+void raw_fd_ostream::flush() { std::fflush(File); }
+
+raw_ostream &lima::outs() {
+  static raw_fd_ostream Stream(stdout);
+  return Stream;
+}
+
+raw_ostream &lima::errs() {
+  static raw_fd_ostream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,112 @@
+//===- support/raw_ostream.h - Lightweight output streams -------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight output-stream facility modeled after llvm::raw_ostream.
+/// Library code writes through raw_ostream instead of <iostream> (which is
+/// forbidden by the coding standards because of its static constructors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_RAW_OSTREAM_H
+#define LIMA_SUPPORT_RAW_OSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lima {
+
+/// Abstract base class for buffered character output.
+///
+/// Subclasses implement writeImpl; the stream exposes operator<< for the
+/// common scalar and string types used throughout LIMA.
+class raw_ostream {
+public:
+  raw_ostream() = default;
+  raw_ostream(const raw_ostream &) = delete;
+  raw_ostream &operator=(const raw_ostream &) = delete;
+  virtual ~raw_ostream();
+
+  raw_ostream &operator<<(char C) {
+    writeImpl(&C, 1);
+    return *this;
+  }
+  raw_ostream &operator<<(std::string_view Str) {
+    writeImpl(Str.data(), Str.size());
+    return *this;
+  }
+  raw_ostream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  raw_ostream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  raw_ostream &operator<<(long long N);
+  raw_ostream &operator<<(unsigned long long N);
+  raw_ostream &operator<<(int N) { return *this << static_cast<long long>(N); }
+  raw_ostream &operator<<(unsigned N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  raw_ostream &operator<<(long N) {
+    return *this << static_cast<long long>(N);
+  }
+  raw_ostream &operator<<(unsigned long N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  raw_ostream &operator<<(double D);
+  raw_ostream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  /// Writes \p Count copies of \p C.
+  raw_ostream &indent(unsigned Count, char C = ' ');
+
+  /// Flushes buffered output (no-op for unbuffered sinks).
+  virtual void flush() {}
+
+private:
+  virtual void writeImpl(const char *Ptr, size_t Size) = 0;
+};
+
+/// A stream that writes to a stdio FILE handle (unowned).
+class raw_fd_ostream final : public raw_ostream {
+public:
+  /// Wraps \p File, which must outlive the stream.  Does not take ownership.
+  explicit raw_fd_ostream(std::FILE *File) : File(File) {}
+
+  void flush() override;
+
+private:
+  void writeImpl(const char *Ptr, size_t Size) override;
+
+  std::FILE *File;
+};
+
+/// A stream that appends to a std::string owned by the caller.
+class raw_string_ostream final : public raw_ostream {
+public:
+  explicit raw_string_ostream(std::string &Buffer) : Buffer(Buffer) {}
+
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+
+private:
+  void writeImpl(const char *Ptr, size_t Size) override {
+    Buffer.append(Ptr, Size);
+  }
+
+  std::string &Buffer;
+};
+
+/// Returns a stream bound to standard output.
+raw_ostream &outs();
+
+/// Returns a stream bound to standard error.
+raw_ostream &errs();
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_RAW_OSTREAM_H

@@ -1,0 +1,240 @@
+//===- trace/BinaryIO.cpp - Compact binary trace format -------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/BinaryIO.h"
+#include "support/FileUtils.h"
+#include "trace/TraceIO.h"
+#include <cstring>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+constexpr char Magic[4] = {'L', 'I', 'M', 'B'};
+constexpr uint32_t Version = 1;
+
+/// Little-endian append helpers.  The host is assumed little-endian (the
+/// build targets x86-64/AArch64 Linux); a big-endian port would swap here.
+template <typename T> void appendScalar(std::string &Out, T Value) {
+  char Buf[sizeof(T)];
+  std::memcpy(Buf, &Value, sizeof(T));
+  Out.append(Buf, sizeof(T));
+}
+
+void appendString(std::string &Out, const std::string &Str) {
+  appendScalar<uint32_t>(Out, static_cast<uint32_t>(Str.size()));
+  Out.append(Str);
+}
+
+/// Unsigned LEB128.
+void appendVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out.push_back(static_cast<char>(0x80 | (Value & 0x7F)));
+    Value >>= 7;
+  }
+  Out.push_back(static_cast<char>(Value));
+}
+
+/// Bounds-checked reader over the input buffer.
+class Reader {
+public:
+  explicit Reader(std::string_view Data) : Data(Data) {}
+
+  Expected<uint64_t> readVarint() {
+    uint64_t Value = 0;
+    unsigned Shift = 0;
+    while (true) {
+      if (Offset >= Data.size())
+        return makeStringError("binary trace truncated in varint at byte "
+                               "%zu",
+                               Offset);
+      uint8_t Byte = static_cast<uint8_t>(Data[Offset++]);
+      if (Shift >= 64 || (Shift == 63 && Byte > 1))
+        return makeStringError("binary trace: varint overflow");
+      Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+      if ((Byte & 0x80) == 0)
+        return Value;
+      Shift += 7;
+    }
+  }
+
+  template <typename T> Expected<T> read() {
+    if (Offset + sizeof(T) > Data.size())
+      return makeStringError("binary trace truncated at byte %zu", Offset);
+    T Value;
+    std::memcpy(&Value, Data.data() + Offset, sizeof(T));
+    Offset += sizeof(T);
+    return Value;
+  }
+
+  Expected<std::string> readString() {
+    auto LengthOrErr = read<uint32_t>();
+    if (auto Err = LengthOrErr.takeError())
+      return Err;
+    uint32_t Length = *LengthOrErr;
+    if (Length > (1u << 20))
+      return makeStringError("binary trace: unreasonable string length %u",
+                             Length);
+    if (Offset + Length > Data.size())
+      return makeStringError("binary trace truncated in string at byte %zu",
+                             Offset);
+    std::string Str(Data.substr(Offset, Length));
+    Offset += Length;
+    return Str;
+  }
+
+  bool atEnd() const { return Offset == Data.size(); }
+
+private:
+  std::string_view Data;
+  size_t Offset = 0;
+};
+
+} // namespace
+
+std::string trace::writeTraceBinary(const Trace &T) {
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  appendScalar<uint32_t>(Out, Version);
+  appendScalar<uint32_t>(Out, T.numProcs());
+  appendScalar<uint32_t>(Out, static_cast<uint32_t>(T.numRegions()));
+  for (size_t I = 0; I != T.numRegions(); ++I)
+    appendString(Out, T.regionName(static_cast<uint32_t>(I)));
+  appendScalar<uint32_t>(Out, static_cast<uint32_t>(T.numActivities()));
+  for (size_t I = 0; I != T.numActivities(); ++I)
+    appendString(Out, T.activityName(static_cast<uint32_t>(I)));
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    const auto &Events = T.events(Proc);
+    appendScalar<uint64_t>(Out, Events.size());
+    for (const Event &E : Events) {
+      appendScalar<double>(Out, E.Time);
+      appendScalar<uint8_t>(Out, static_cast<uint8_t>(E.Kind));
+      appendVarint(Out, E.Id);
+      appendVarint(Out, E.Bytes);
+    }
+  }
+  return Out;
+}
+
+Expected<Trace> trace::parseTraceBinary(std::string_view Data) {
+  if (Data.size() < sizeof(Magic) ||
+      std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0)
+    return makeStringError("binary trace: bad magic (expected 'LIMB')");
+  Reader In(Data.substr(sizeof(Magic)));
+
+  auto VersionOrErr = In.read<uint32_t>();
+  if (auto Err = VersionOrErr.takeError())
+    return Err;
+  if (*VersionOrErr != Version)
+    return makeStringError("binary trace: unsupported version %u",
+                           *VersionOrErr);
+
+  auto ProcsOrErr = In.read<uint32_t>();
+  if (auto Err = ProcsOrErr.takeError())
+    return Err;
+  if (*ProcsOrErr == 0 || *ProcsOrErr > (1u << 20))
+    return makeStringError("binary trace: processor count out of range");
+  Trace T(*ProcsOrErr);
+
+  auto RegionsOrErr = In.read<uint32_t>();
+  if (auto Err = RegionsOrErr.takeError())
+    return Err;
+  for (uint32_t I = 0; I != *RegionsOrErr; ++I) {
+    auto NameOrErr = In.readString();
+    if (auto Err = NameOrErr.takeError())
+      return Err;
+    T.addRegion(std::move(*NameOrErr));
+  }
+  auto ActivitiesOrErr = In.read<uint32_t>();
+  if (auto Err = ActivitiesOrErr.takeError())
+    return Err;
+  for (uint32_t I = 0; I != *ActivitiesOrErr; ++I) {
+    auto NameOrErr = In.readString();
+    if (auto Err = NameOrErr.takeError())
+      return Err;
+    T.addActivity(std::move(*NameOrErr));
+  }
+
+  for (uint32_t Proc = 0; Proc != *ProcsOrErr; ++Proc) {
+    auto CountOrErr = In.read<uint64_t>();
+    if (auto Err = CountOrErr.takeError())
+      return Err;
+    for (uint64_t I = 0; I != *CountOrErr; ++I) {
+      Event E;
+      E.Proc = Proc;
+      auto TimeOrErr = In.read<double>();
+      if (auto Err = TimeOrErr.takeError())
+        return Err;
+      E.Time = *TimeOrErr;
+      if (!(E.Time >= 0.0))
+        return makeStringError("binary trace: invalid event time");
+      auto KindOrErr = In.read<uint8_t>();
+      if (auto Err = KindOrErr.takeError())
+        return Err;
+      if (*KindOrErr > static_cast<uint8_t>(EventKind::MessageRecv))
+        return makeStringError("binary trace: unknown event kind %u",
+                               *KindOrErr);
+      E.Kind = static_cast<EventKind>(*KindOrErr);
+      auto IdOrErr = In.readVarint();
+      if (auto Err = IdOrErr.takeError())
+        return Err;
+      if (*IdOrErr > UINT32_MAX)
+        return makeStringError("binary trace: event id overflows u32");
+      E.Id = static_cast<uint32_t>(*IdOrErr);
+      auto BytesOrErr = In.readVarint();
+      if (auto Err = BytesOrErr.takeError())
+        return Err;
+      E.Bytes = *BytesOrErr;
+
+      // Range-check ids before appending (append asserts, the parser
+      // must reject gracefully).
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+      case EventKind::RegionExit:
+        if (E.Id >= T.numRegions())
+          return makeStringError("binary trace: region id out of range");
+        break;
+      case EventKind::ActivityBegin:
+      case EventKind::ActivityEnd:
+        if (E.Id >= T.numActivities())
+          return makeStringError("binary trace: activity id out of range");
+        break;
+      case EventKind::MessageSend:
+      case EventKind::MessageRecv:
+        if (E.Id >= T.numProcs())
+          return makeStringError("binary trace: peer out of range");
+        break;
+      }
+      T.append(E);
+    }
+  }
+  if (!In.atEnd())
+    return makeStringError("binary trace: trailing bytes after events");
+  return T;
+}
+
+Error trace::saveTraceBinary(const Trace &T, const std::string &Path) {
+  return writeFile(Path, writeTraceBinary(T));
+}
+
+Expected<Trace> trace::loadTraceBinary(const std::string &Path) {
+  auto DataOrErr = readFile(Path);
+  if (auto Err = DataOrErr.takeError())
+    return Err;
+  return parseTraceBinary(*DataOrErr);
+}
+
+Expected<Trace> trace::loadTraceAuto(const std::string &Path) {
+  auto DataOrErr = readFile(Path);
+  if (auto Err = DataOrErr.takeError())
+    return Err;
+  const std::string &Data = *DataOrErr;
+  if (Data.size() >= sizeof(Magic) &&
+      std::memcmp(Data.data(), Magic, sizeof(Magic)) == 0)
+    return parseTraceBinary(Data);
+  return parseTraceText(Data);
+}

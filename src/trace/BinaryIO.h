@@ -1,0 +1,53 @@
+//===- trace/BinaryIO.h - Compact binary trace format -----------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact little-endian binary encoding of traces ("LIMB" format),
+/// for runs where the text format's size and parse cost matter.  Layout:
+///
+///   magic "LIMB"            4 bytes
+///   version                 u32 (currently 1)
+///   numProcs                u32
+///   numRegions              u32, then per region: u32 length + bytes
+///   numActivities           u32, then per activity: u32 length + bytes
+///   per processor:          u64 event count, then per event:
+///     f64 time, u8 kind, varint id, varint bytes
+///
+/// Fixed-width integers are little-endian; event ids and byte counts
+/// use LEB128 varints (they are almost always tiny, which makes the
+/// format ~2x smaller than the text form).  The reader validates magic,
+/// version, counts and id ranges and reports structured errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_BINARYIO_H
+#define LIMA_TRACE_BINARYIO_H
+
+#include "support/Error.h"
+#include "trace/Trace.h"
+#include <string>
+
+namespace lima {
+namespace trace {
+
+/// Serializes \p T to the LIMB binary format.
+std::string writeTraceBinary(const Trace &T);
+
+/// Parses a LIMB buffer.
+Expected<Trace> parseTraceBinary(std::string_view Data);
+
+/// Whole-file helpers.
+Error saveTraceBinary(const Trace &T, const std::string &Path);
+Expected<Trace> loadTraceBinary(const std::string &Path);
+
+/// Loads a trace in either format, sniffing the magic: "LIMB" selects
+/// the binary parser, anything else the text parser.
+Expected<Trace> loadTraceAuto(const std::string &Path);
+
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_BINARYIO_H

@@ -1,0 +1,29 @@
+//===- trace/Event.cpp - Trace event model --------------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Event.h"
+#include "support/Compiler.h"
+
+using namespace lima;
+using namespace lima::trace;
+
+std::string_view trace::eventKindMnemonic(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::RegionEnter:
+    return "re";
+  case EventKind::RegionExit:
+    return "rx";
+  case EventKind::ActivityBegin:
+    return "ab";
+  case EventKind::ActivityEnd:
+    return "ae";
+  case EventKind::MessageSend:
+    return "ms";
+  case EventKind::MessageRecv:
+    return "mr";
+  }
+  lima_unreachable("unknown EventKind");
+}

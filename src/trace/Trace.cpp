@@ -1,0 +1,185 @@
+//===- trace/Trace.cpp - Trace container and validation -------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+#include "support/Compiler.h"
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+using namespace lima;
+using namespace lima::trace;
+
+Trace::Trace(unsigned NumProcs) : Streams(NumProcs) {
+  assert(NumProcs > 0 && "trace needs at least one processor");
+}
+
+uint32_t Trace::addRegion(std::string Name) {
+  assert(findRegion(Name) == InvalidId && "duplicate region name");
+  RegionNames.push_back(std::move(Name));
+  return static_cast<uint32_t>(RegionNames.size() - 1);
+}
+
+uint32_t Trace::addActivity(std::string Name) {
+  assert(findActivity(Name) == InvalidId && "duplicate activity name");
+  ActivityNames.push_back(std::move(Name));
+  return static_cast<uint32_t>(ActivityNames.size() - 1);
+}
+
+const std::string &Trace::regionName(uint32_t Id) const {
+  assert(Id < RegionNames.size() && "region id out of range");
+  return RegionNames[Id];
+}
+
+const std::string &Trace::activityName(uint32_t Id) const {
+  assert(Id < ActivityNames.size() && "activity id out of range");
+  return ActivityNames[Id];
+}
+
+uint32_t Trace::findRegion(std::string_view Name) const {
+  for (size_t I = 0; I != RegionNames.size(); ++I)
+    if (RegionNames[I] == Name)
+      return static_cast<uint32_t>(I);
+  return InvalidId;
+}
+
+uint32_t Trace::findActivity(std::string_view Name) const {
+  for (size_t I = 0; I != ActivityNames.size(); ++I)
+    if (ActivityNames[I] == Name)
+      return static_cast<uint32_t>(I);
+  return InvalidId;
+}
+
+void Trace::append(const Event &E) {
+  assert(E.Proc < Streams.size() && "event processor out of range");
+  switch (E.Kind) {
+  case EventKind::RegionEnter:
+  case EventKind::RegionExit:
+    assert(E.Id < RegionNames.size() && "event region out of range");
+    break;
+  case EventKind::ActivityBegin:
+  case EventKind::ActivityEnd:
+    assert(E.Id < ActivityNames.size() && "event activity out of range");
+    break;
+  case EventKind::MessageSend:
+  case EventKind::MessageRecv:
+    assert(E.Id < Streams.size() && "message peer out of range");
+    break;
+  }
+  Streams[E.Proc].push_back(E);
+}
+
+const std::vector<Event> &Trace::events(unsigned Proc) const {
+  assert(Proc < Streams.size() && "processor out of range");
+  return Streams[Proc];
+}
+
+size_t Trace::numEvents() const {
+  size_t Total = 0;
+  for (const auto &Stream : Streams)
+    Total += Stream.size();
+  return Total;
+}
+
+Error Trace::validate() const {
+  // Message matching: count (sender, receiver, bytes) triples from both
+  // sides; they must agree.
+  std::map<std::tuple<uint32_t, uint32_t, uint64_t>, int64_t> MessageBalance;
+
+  for (unsigned Proc = 0; Proc != numProcs(); ++Proc) {
+    const std::vector<Event> &Stream = Streams[Proc];
+    double LastTime = 0.0;
+    // Regions may nest (loops inside routines, statements inside loops);
+    // exits must match the innermost open region.
+    std::vector<uint32_t> RegionStack;
+    int64_t ActivityDepth = 0;
+    uint32_t OpenActivity = InvalidId;
+
+    for (size_t I = 0; I != Stream.size(); ++I) {
+      const Event &E = Stream[I];
+      if (E.Time < 0.0)
+        return makeStringError("proc %u event %zu: negative time %.9f", Proc,
+                               I, E.Time);
+      if (E.Time + 1e-12 < LastTime)
+        return makeStringError(
+            "proc %u event %zu: time goes backwards (%.9f after %.9f)", Proc,
+            I, E.Time, LastTime);
+      LastTime = std::max(LastTime, E.Time);
+
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+        if (ActivityDepth != 0)
+          return makeStringError("proc %u event %zu: region enters while an "
+                                 "activity is open",
+                                 Proc, I);
+        RegionStack.push_back(E.Id);
+        break;
+      case EventKind::RegionExit:
+        if (RegionStack.empty())
+          return makeStringError("proc %u event %zu: region exit without "
+                                 "matching enter",
+                                 Proc, I);
+        if (E.Id != RegionStack.back())
+          return makeStringError("proc %u event %zu: region exit id %u does "
+                                 "not match innermost open region %u",
+                                 Proc, I, E.Id, RegionStack.back());
+        if (ActivityDepth != 0)
+          return makeStringError("proc %u event %zu: region exits while an "
+                                 "activity is open",
+                                 Proc, I);
+        RegionStack.pop_back();
+        break;
+      case EventKind::ActivityBegin:
+        if (RegionStack.empty())
+          return makeStringError("proc %u event %zu: activity begins outside "
+                                 "any region",
+                                 Proc, I);
+        if (ActivityDepth != 0)
+          return makeStringError("proc %u event %zu: overlapping activities",
+                                 Proc, I);
+        ActivityDepth = 1;
+        OpenActivity = E.Id;
+        break;
+      case EventKind::ActivityEnd:
+        if (ActivityDepth != 1)
+          return makeStringError("proc %u event %zu: activity end without "
+                                 "matching begin",
+                                 Proc, I);
+        if (E.Id != OpenActivity)
+          return makeStringError("proc %u event %zu: activity end id %u does "
+                                 "not match open activity %u",
+                                 Proc, I, E.Id, OpenActivity);
+        ActivityDepth = 0;
+        OpenActivity = InvalidId;
+        break;
+      case EventKind::MessageSend:
+        ++MessageBalance[{Proc, E.Id, E.Bytes}];
+        break;
+      case EventKind::MessageRecv:
+        --MessageBalance[{E.Id, Proc, E.Bytes}];
+        break;
+      }
+    }
+    if (!RegionStack.empty())
+      return makeStringError("proc %u: region left open at end of trace",
+                             Proc);
+    if (ActivityDepth != 0)
+      return makeStringError("proc %u: activity left open at end of trace",
+                             Proc);
+  }
+
+  for (const auto &[Key, Balance] : MessageBalance) {
+    if (Balance == 0)
+      continue;
+    auto [From, To, Bytes] = Key;
+    return makeStringError("unmatched message %u -> %u (%llu bytes): "
+                           "balance %lld",
+                           From, To, static_cast<unsigned long long>(Bytes),
+                           static_cast<long long>(Balance));
+  }
+  return Error::success();
+}

@@ -1,0 +1,88 @@
+//===- trace/Trace.h - Trace container and validation -----------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Trace container: named regions and activities plus per-processor
+/// event streams, with structural validation (balanced brackets, monotone
+/// per-processor time, matching message endpoints).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_TRACE_H
+#define LIMA_TRACE_TRACE_H
+
+#include "support/Error.h"
+#include "trace/Event.h"
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace trace {
+
+/// A complete post-mortem trace of one program execution.
+///
+/// Events are kept per processor in append order, which validation checks
+/// is non-decreasing in time.  Region and activity ids index the name
+/// tables registered up front.
+class Trace {
+public:
+  /// Creates a trace for \p NumProcs processors.
+  explicit Trace(unsigned NumProcs);
+
+  unsigned numProcs() const { return static_cast<unsigned>(Streams.size()); }
+
+  /// Registers a region name, returning its id.  Names must be unique.
+  uint32_t addRegion(std::string Name);
+
+  /// Registers an activity name, returning its id.  Names must be unique.
+  uint32_t addActivity(std::string Name);
+
+  size_t numRegions() const { return RegionNames.size(); }
+  size_t numActivities() const { return ActivityNames.size(); }
+
+  const std::string &regionName(uint32_t Id) const;
+  const std::string &activityName(uint32_t Id) const;
+  const std::vector<std::string> &regionNames() const { return RegionNames; }
+  const std::vector<std::string> &activityNames() const {
+    return ActivityNames;
+  }
+
+  /// Looks up a region id by name; SIZE_MAX sentinel when absent.
+  static constexpr uint32_t InvalidId = UINT32_MAX;
+  uint32_t findRegion(std::string_view Name) const;
+  uint32_t findActivity(std::string_view Name) const;
+
+  /// Appends \p E to its processor's stream.  Asserts on out-of-range
+  /// processor/region/activity ids.
+  void append(const Event &E);
+
+  /// Events of processor \p Proc in append order.
+  const std::vector<Event> &events(unsigned Proc) const;
+
+  /// Total number of events across all processors.
+  size_t numEvents() const;
+
+  /// Structural validation:
+  ///  - per-processor event times are non-decreasing;
+  ///  - region enter/exit events are properly nested (regions MAY nest,
+  ///    modeling routines > loops > statements; exits must match the
+  ///    innermost open region) and activity begin/end pairs are balanced,
+  ///    lie inside a region, do not overlap, and do not straddle region
+  ///    boundaries;
+  ///  - every MessageSend has a matching MessageRecv on the peer with the
+  ///    same byte count, and vice versa.
+  Error validate() const;
+
+private:
+  std::vector<std::string> RegionNames;
+  std::vector<std::string> ActivityNames;
+  std::vector<std::vector<Event>> Streams;
+};
+
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_TRACE_H

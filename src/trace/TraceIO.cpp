@@ -1,0 +1,200 @@
+//===- trace/TraceIO.cpp - Text trace format ------------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+#include "support/FileUtils.h"
+#include "support/StringUtils.h"
+#include <cstdio>
+#include <optional>
+
+using namespace lima;
+using namespace lima::trace;
+
+static void appendEventLine(std::string &Out, const Event &E) {
+  char Buf[128];
+  int Len;
+  switch (E.Kind) {
+  case EventKind::MessageSend:
+  case EventKind::MessageRecv:
+    Len = std::snprintf(Buf, sizeof(Buf), "%.*s %u %.9f %u %llu\n", 2,
+                        eventKindMnemonic(E.Kind).data(), E.Proc, E.Time, E.Id,
+                        static_cast<unsigned long long>(E.Bytes));
+    break;
+  default:
+    Len = std::snprintf(Buf, sizeof(Buf), "%.*s %u %.9f %u\n", 2,
+                        eventKindMnemonic(E.Kind).data(), E.Proc, E.Time,
+                        E.Id);
+    break;
+  }
+  Out.append(Buf, static_cast<size_t>(Len));
+}
+
+std::string trace::writeTraceText(const Trace &T) {
+  std::string Out;
+  Out += "LIMATRACE 1\n";
+  Out += "procs " + std::to_string(T.numProcs()) + "\n";
+  for (size_t I = 0; I != T.numRegions(); ++I)
+    Out += "region " + std::to_string(I) + " " +
+           T.regionName(static_cast<uint32_t>(I)) + "\n";
+  for (size_t I = 0; I != T.numActivities(); ++I)
+    Out += "activity " + std::to_string(I) + " " +
+           T.activityName(static_cast<uint32_t>(I)) + "\n";
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc)
+    for (const Event &E : T.events(Proc))
+      appendEventLine(Out, E);
+  return Out;
+}
+
+static std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
+  if (Mnemonic == "re")
+    return EventKind::RegionEnter;
+  if (Mnemonic == "rx")
+    return EventKind::RegionExit;
+  if (Mnemonic == "ab")
+    return EventKind::ActivityBegin;
+  if (Mnemonic == "ae")
+    return EventKind::ActivityEnd;
+  if (Mnemonic == "ms")
+    return EventKind::MessageSend;
+  if (Mnemonic == "mr")
+    return EventKind::MessageRecv;
+  return std::nullopt;
+}
+
+Expected<Trace> trace::parseTraceText(std::string_view Text) {
+  std::vector<std::string_view> Lines = splitString(Text, '\n');
+  size_t LineNo = 0;
+
+  auto fail = [&](const char *What) {
+    return makeStringError("trace line %zu: %s", LineNo, What);
+  };
+
+  // Header.
+  std::optional<Trace> Result;
+  bool SawMagic = false;
+  std::vector<std::pair<uint32_t, std::string>> Regions, Activities;
+
+  for (const std::string_view RawLine : Lines) {
+    ++LineNo;
+    std::string_view Line = trimString(RawLine);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    std::vector<std::string_view> Fields = splitWhitespace(Line);
+
+    if (!SawMagic) {
+      if (Fields.size() != 2 || Fields[0] != "LIMATRACE" || Fields[1] != "1")
+        return fail("expected header 'LIMATRACE 1'");
+      SawMagic = true;
+      continue;
+    }
+
+    if (Fields[0] == "procs") {
+      if (Result)
+        return fail("duplicate 'procs' line");
+      if (Fields.size() != 2)
+        return fail("'procs' takes one argument");
+      auto CountOrErr = parseUnsigned(Fields[1]);
+      if (!CountOrErr)
+        return CountOrErr.takeError();
+      if (*CountOrErr == 0 || *CountOrErr > (1u << 20))
+        return fail("processor count out of range");
+      Result.emplace(static_cast<unsigned>(*CountOrErr));
+      continue;
+    }
+
+    if (Fields[0] == "region" || Fields[0] == "activity") {
+      if (!Result)
+        return fail("'procs' must precede declarations");
+      if (Fields.size() < 3)
+        return fail("declaration needs an id and a name");
+      auto IdOrErr = parseUnsigned(Fields[1]);
+      if (!IdOrErr)
+        return IdOrErr.takeError();
+      auto &List = Fields[0] == "region" ? Regions : Activities;
+      if (*IdOrErr != List.size())
+        return fail("declaration ids must be dense and in order");
+      List.emplace_back(static_cast<uint32_t>(*IdOrErr),
+                        std::string(Fields[2]));
+      // Register immediately so events can refer to it.
+      if (Fields[0] == "region")
+        Result->addRegion(std::string(Fields[2]));
+      else
+        Result->addActivity(std::string(Fields[2]));
+      continue;
+    }
+
+    std::optional<EventKind> Kind = kindFromMnemonic(Fields[0]);
+    if (!Kind)
+      return fail("unknown record type");
+    if (!Result)
+      return fail("'procs' must precede events");
+    bool IsMessage =
+        *Kind == EventKind::MessageSend || *Kind == EventKind::MessageRecv;
+    size_t Expect = IsMessage ? 5 : 4;
+    if (Fields.size() != Expect)
+      return fail("wrong field count for event");
+
+    Event E;
+    E.Kind = *Kind;
+    auto ProcOrErr = parseUnsigned(Fields[1]);
+    if (!ProcOrErr)
+      return ProcOrErr.takeError();
+    if (*ProcOrErr >= Result->numProcs())
+      return fail("event processor out of range");
+    E.Proc = static_cast<uint32_t>(*ProcOrErr);
+    auto TimeOrErr = parseDouble(Fields[2]);
+    if (!TimeOrErr)
+      return TimeOrErr.takeError();
+    if (*TimeOrErr < 0.0)
+      return fail("event time must be non-negative");
+    E.Time = *TimeOrErr;
+    auto IdOrErr = parseUnsigned(Fields[3]);
+    if (!IdOrErr)
+      return IdOrErr.takeError();
+    E.Id = static_cast<uint32_t>(*IdOrErr);
+    switch (E.Kind) {
+    case EventKind::RegionEnter:
+    case EventKind::RegionExit:
+      if (E.Id >= Result->numRegions())
+        return fail("event region out of range");
+      break;
+    case EventKind::ActivityBegin:
+    case EventKind::ActivityEnd:
+      if (E.Id >= Result->numActivities())
+        return fail("event activity out of range");
+      break;
+    case EventKind::MessageSend:
+    case EventKind::MessageRecv:
+      if (E.Id >= Result->numProcs())
+        return fail("message peer out of range");
+      break;
+    }
+    if (IsMessage) {
+      auto BytesOrErr = parseUnsigned(Fields[4]);
+      if (!BytesOrErr)
+        return BytesOrErr.takeError();
+      E.Bytes = *BytesOrErr;
+    }
+    Result->append(E);
+  }
+
+  if (!SawMagic)
+    return makeStringError("trace: missing 'LIMATRACE 1' header");
+  if (!Result)
+    return makeStringError("trace: missing 'procs' line");
+  return std::move(*Result);
+}
+
+Error trace::saveTrace(const Trace &T, const std::string &Path) {
+  return writeFile(Path, writeTraceText(T));
+}
+
+Expected<Trace> trace::loadTrace(const std::string &Path) {
+  auto TextOrErr = readFile(Path);
+  if (auto Err = TextOrErr.takeError())
+    return Err;
+  return parseTraceText(*TextOrErr);
+}

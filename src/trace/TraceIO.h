@@ -1,0 +1,56 @@
+//===- trace/TraceIO.h - Text trace format ----------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text interchange format for traces, so that producers
+/// other than the built-in simulator (e.g. a real MPI profiling layer) can
+/// feed the analysis.  Format:
+///
+/// \code
+///   LIMATRACE 1
+///   procs 16
+///   region 0 loop1
+///   activity 0 computation
+///   re <proc> <time> <region-id>      # region enter
+///   rx <proc> <time> <region-id>      # region exit
+///   ab <proc> <time> <activity-id>    # activity begin
+///   ae <proc> <time> <activity-id>    # activity end
+///   ms <proc> <time> <peer> <bytes>   # message send
+///   mr <proc> <time> <peer> <bytes>   # message recv
+/// \endcode
+///
+/// Lines starting with '#' and blank lines are ignored.  Times are
+/// seconds, printed with 9 decimals (nanosecond resolution round-trip).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_TRACEIO_H
+#define LIMA_TRACE_TRACEIO_H
+
+#include "support/Error.h"
+#include "trace/Trace.h"
+#include <string>
+
+namespace lima {
+namespace trace {
+
+/// Serializes \p T to the text format.
+std::string writeTraceText(const Trace &T);
+
+/// Parses the text format.  Structural validation (validate()) is not
+/// run automatically; callers decide how strict to be.
+Expected<Trace> parseTraceText(std::string_view Text);
+
+/// Convenience: writeTraceText to a file.
+Error saveTrace(const Trace &T, const std::string &Path);
+
+/// Convenience: read and parse a trace file.
+Expected<Trace> loadTrace(const std::string &Path);
+
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_TRACEIO_H

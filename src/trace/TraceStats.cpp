@@ -1,0 +1,83 @@
+//===- trace/TraceStats.cpp - Descriptive trace statistics ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+#include "support/Format.h"
+#include "support/TableFormatter.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::trace;
+
+TraceStats trace::computeTraceStats(const Trace &T) {
+  TraceStats Stats;
+  Stats.EventCounts.assign(6, 0);
+  Stats.Traffic.assign(T.numProcs(),
+                       std::vector<PairTraffic>(T.numProcs()));
+  Stats.RegionInstances.assign(T.numProcs(), 0);
+  Stats.BusyTime.assign(T.numProcs(), 0.0);
+
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    double ActivityBeginTime = 0.0;
+    bool ActivityOpen = false;
+    for (const Event &E : T.events(Proc)) {
+      ++Stats.EventCounts[static_cast<size_t>(E.Kind)];
+      ++Stats.TotalEvents;
+      Stats.Span = std::max(Stats.Span, E.Time);
+      switch (E.Kind) {
+      case EventKind::RegionEnter:
+        ++Stats.RegionInstances[Proc];
+        break;
+      case EventKind::ActivityBegin:
+        ActivityBeginTime = E.Time;
+        ActivityOpen = true;
+        break;
+      case EventKind::ActivityEnd:
+        if (ActivityOpen)
+          Stats.BusyTime[Proc] += E.Time - ActivityBeginTime;
+        ActivityOpen = false;
+        break;
+      case EventKind::MessageSend: {
+        PairTraffic &Pair = Stats.Traffic[Proc][E.Id];
+        ++Pair.Messages;
+        Pair.Bytes += E.Bytes;
+        ++Stats.TotalMessages;
+        Stats.TotalBytes += E.Bytes;
+        break;
+      }
+      case EventKind::RegionExit:
+      case EventKind::MessageRecv:
+        break;
+      }
+    }
+  }
+  return Stats;
+}
+
+std::string trace::renderCommunicationMatrix(const TraceStats &Stats) {
+  size_t P = Stats.Traffic.size();
+  std::vector<std::string> Header = {"from\\to"};
+  for (size_t To = 0; To != P; ++To)
+    Header.push_back("p" + std::to_string(To + 1));
+  TextTable Table(std::move(Header));
+  Table.setTitle("Point-to-point communication matrix (messages / bytes)");
+  Table.setAlign(0, Align::Left);
+  for (size_t From = 0; From != P; ++From) {
+    std::vector<std::string> Row;
+    Row.push_back("p" + std::to_string(From + 1));
+    for (size_t To = 0; To != P; ++To) {
+      const PairTraffic &Pair = Stats.Traffic[From][To];
+      if (Pair.Messages == 0) {
+        Row.push_back("-");
+        continue;
+      }
+      Row.push_back(std::to_string(Pair.Messages) + "/" +
+                    std::to_string(Pair.Bytes));
+    }
+    Table.addRow(std::move(Row));
+  }
+  return Table.toString();
+}

@@ -1,0 +1,69 @@
+//===- trace/TraceStats.h - Descriptive trace statistics --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics computed directly on an event trace: event
+/// counts by kind, per-processor activity totals, the point-to-point
+/// communication matrix (messages and bytes between every pair of
+/// processors) and span information.  These are the raw facts a
+/// performance analyst inspects before the imbalance methodology runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_TRACESTATS_H
+#define LIMA_TRACE_TRACESTATS_H
+
+#include "trace/Trace.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace trace {
+
+/// Point-to-point traffic between an ordered pair of processors.
+struct PairTraffic {
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+};
+
+/// Aggregated statistics of one trace.
+struct TraceStats {
+  /// Number of events of each EventKind, indexed by the enum value.
+  std::vector<uint64_t> EventCounts;
+  /// Total events.
+  uint64_t TotalEvents = 0;
+  /// Largest event time (the program span).
+  double Span = 0.0;
+  /// [From][To] traffic of MessageSend events.
+  std::vector<std::vector<PairTraffic>> Traffic;
+  /// Total messages and bytes sent.
+  uint64_t TotalMessages = 0;
+  uint64_t TotalBytes = 0;
+  /// Per-processor count of region instances executed.
+  std::vector<uint64_t> RegionInstances;
+  /// Per-processor busy time (sum of activity intervals).
+  std::vector<double> BusyTime;
+
+  /// Messages sent by \p From to \p To.
+  const PairTraffic &traffic(unsigned From, unsigned To) const {
+    return Traffic[From][To];
+  }
+};
+
+/// Computes the statistics of \p T in one pass.  The trace need not be
+/// validated first; unbalanced brackets simply truncate the affected
+/// intervals.
+TraceStats computeTraceStats(const Trace &T);
+
+/// Renders the communication matrix as an aligned text table
+/// ("messages/bytes" cells; "-" for idle pairs).
+std::string renderCommunicationMatrix(const TraceStats &Stats);
+
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_TRACESTATS_H

@@ -1,0 +1,114 @@
+//===- tests/BinaryIOTest.cpp - binary trace format tests -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "trace/BinaryIO.h"
+#include "trace/TraceIO.h"
+#include "TestHelpers.h"
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+Trace makeTrace() {
+  Trace T(2);
+  uint32_t R = T.addRegion("region-with-a-long-name");
+  uint32_t A = T.addActivity("computation");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.0, 0, EventKind::ActivityBegin, A, 0});
+  T.append({1.25, 0, EventKind::ActivityEnd, A, 0});
+  T.append({1.25, 0, EventKind::MessageSend, 1, 4096});
+  T.append({1.5, 0, EventKind::RegionExit, R, 0});
+  T.append({0.0, 1, EventKind::RegionEnter, R, 0});
+  T.append({2.0, 1, EventKind::MessageRecv, 0, 4096});
+  T.append({2.0, 1, EventKind::RegionExit, R, 0});
+  return T;
+}
+
+bool tracesEqual(const Trace &A, const Trace &B) {
+  return writeTraceText(A) == writeTraceText(B);
+}
+
+} // namespace
+
+TEST(BinaryIOTest, RoundTripsExactly) {
+  Trace T = makeTrace();
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinary(T)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+}
+
+TEST(BinaryIOTest, RoundTripsCfdTrace) {
+  cfd::CfdConfig Config;
+  Config.Procs = 6;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 2;
+  Trace T = cantFail(cfd::runCfd(Config)).Trace;
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinary(T)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+  Error E = Parsed.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(BinaryIOTest, MuchSmallerThanText) {
+  cfd::CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 3;
+  Trace T = cantFail(cfd::runCfd(Config)).Trace;
+  size_t TextSize = writeTraceText(T).size();
+  size_t BinarySize = writeTraceBinary(T).size();
+  EXPECT_LT(BinarySize, TextSize / 1.7);
+}
+
+TEST(BinaryIOTest, RejectsBadMagic) {
+  EXPECT_TRUE(testutil::failed(parseTraceBinary("NOPE00000000")));
+  EXPECT_TRUE(testutil::failed(parseTraceBinary("")));
+}
+
+TEST(BinaryIOTest, RejectsBadVersion) {
+  std::string Data = writeTraceBinary(makeTrace());
+  Data[4] = 99; // Version field.
+  EXPECT_TRUE(testutil::failed(parseTraceBinary(Data)));
+}
+
+TEST(BinaryIOTest, RejectsTruncation) {
+  std::string Data = writeTraceBinary(makeTrace());
+  for (size_t Cut : {Data.size() - 1, Data.size() / 2, size_t(6)})
+    EXPECT_TRUE(testutil::failed(
+        parseTraceBinary(std::string_view(Data).substr(0, Cut))))
+        << "cut at " << Cut;
+}
+
+TEST(BinaryIOTest, RejectsTrailingBytes) {
+  std::string Data = writeTraceBinary(makeTrace()) + "junk";
+  EXPECT_TRUE(testutil::failed(parseTraceBinary(Data)));
+}
+
+TEST(BinaryIOTest, RejectsOutOfRangeIds) {
+  Trace T = makeTrace();
+  std::string Data = writeTraceBinary(T);
+  // Corrupt the first event's id varint (after time f64 + kind u8).
+  // Header: magic 4 + version 4 + procs 4 + regions(4 + 4+23) +
+  // activities(4 + 4+11) + proc0 count 8 = 70; event time at 70.
+  size_t IdOffset = 70 + 8 + 1;
+  ASSERT_LT(IdOffset + 1, Data.size());
+  Data[IdOffset] = 0x7F; // Region id 127, far out of range.
+  EXPECT_TRUE(testutil::failed(parseTraceBinary(Data)));
+}
+
+TEST(BinaryIOTest, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/lima_binary_test.limb";
+  Trace T = makeTrace();
+  cantFail(saveTraceBinary(T, Path));
+  Trace Loaded = cantFail(loadTraceBinary(Path));
+  EXPECT_TRUE(tracesEqual(T, Loaded));
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,214 @@
+//===- tests/CfdTest.cpp - CFD application tests --------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/Profile.h"
+#include "core/TraceReduction.h"
+#include "core/Views.h"
+#include "trace/TraceIO.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::cfd;
+
+namespace {
+
+/// A small, fast configuration used by most tests.
+CfdConfig smallConfig() {
+  CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 48;
+  Config.RowsPerRank = 6;
+  Config.Iterations = 3;
+  return Config;
+}
+
+} // namespace
+
+TEST(CfdTest, RunsAndProducesValidTrace) {
+  auto Result = cantFail(runCfd(smallConfig()));
+  Error E = Result.Trace.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(Result.Trace.numProcs(), 8u);
+  EXPECT_EQ(Result.Trace.numRegions(), 7u);
+  EXPECT_EQ(Result.Trace.numActivities(), 4u);
+}
+
+TEST(CfdTest, ResidualDecreasesAcrossIterations) {
+  CfdConfig Config = smallConfig();
+  Config.Iterations = 6;
+  auto Result = cantFail(runCfd(Config));
+  ASSERT_EQ(Result.ResidualHistory.size(), 6u);
+  for (double R : Result.ResidualHistory) {
+    EXPECT_TRUE(std::isfinite(R));
+    EXPECT_GE(R, 0.0);
+  }
+  // The diffusive solver must make clear overall progress.
+  EXPECT_LT(Result.FinalResidual, 0.5 * Result.ResidualHistory.front());
+}
+
+TEST(CfdTest, DeterministicAcrossRuns) {
+  auto A = cantFail(runCfd(smallConfig()));
+  auto B = cantFail(runCfd(smallConfig()));
+  EXPECT_EQ(trace::writeTraceText(A.Trace), trace::writeTraceText(B.Trace));
+  EXPECT_DOUBLE_EQ(A.FinalResidual, B.FinalResidual);
+}
+
+TEST(CfdTest, WorkFactorsAreCenteredAndPositive) {
+  CfdConfig Config;
+  Config.Procs = 16;
+  for (unsigned Loop = 0; Loop != 7; ++Loop) {
+    double Sum = 0.0;
+    for (unsigned R = 0; R != Config.Procs; ++R) {
+      double F = cfdWorkFactor(Config, Loop, R);
+      EXPECT_GT(F, 0.0);
+      Sum += F;
+    }
+    EXPECT_NEAR(Sum / Config.Procs, 1.0, 1e-9) << "loop " << Loop;
+  }
+}
+
+TEST(CfdTest, ImbalanceScaleZeroBalancesWork) {
+  CfdConfig Config;
+  Config.Procs = 16;
+  Config.ImbalanceScale = 0.0;
+  for (unsigned Loop = 0; Loop != 7; ++Loop)
+    for (unsigned R = 0; R != Config.Procs; ++R)
+      EXPECT_DOUBLE_EQ(cfdWorkFactor(Config, Loop, R), 1.0);
+}
+
+TEST(CfdTest, RejectsDegenerateConfigs) {
+  CfdConfig Config = smallConfig();
+  Config.Procs = 1;
+  auto R1 = runCfd(Config);
+  EXPECT_FALSE(static_cast<bool>(R1));
+  R1.takeError().consume();
+
+  Config = smallConfig();
+  Config.Iterations = 0;
+  auto R2 = runCfd(Config);
+  EXPECT_FALSE(static_cast<bool>(R2));
+  R2.takeError().consume();
+
+  Config = smallConfig();
+  Config.Nx = 2; // Below the pipeline chunk count.
+  auto R3 = runCfd(Config);
+  EXPECT_FALSE(static_cast<bool>(R3));
+  R3.takeError().consume();
+}
+
+//===----------------------------------------------------------------------===//
+// Shape of the default (paper-like) run at P = 16.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+core::MeasurementCube defaultCube() {
+  CfdConfig Config;
+  Config.Iterations = 4; // Enough for stable shapes, fast enough for CI.
+  auto Result = cantFail(runCfd(Config));
+  return cantFail(core::reduceTrace(Result.Trace));
+}
+
+} // namespace
+
+TEST(CfdShapeTest, PressureLoopIsHeaviestAndComputationDominates) {
+  core::MeasurementCube Cube = defaultCube();
+  core::CoarseProfile Profile = core::computeCoarseProfile(Cube);
+  EXPECT_EQ(Cube.regionName(Profile.HeaviestRegion), "pressure");
+  EXPECT_EQ(Cube.activityName(Profile.DominantActivity), "computation");
+}
+
+TEST(CfdShapeTest, ImplicitSweepsLeadPointToPoint) {
+  core::MeasurementCube Cube = defaultCube();
+  core::CoarseProfile Profile = core::computeCoarseProfile(Cube);
+  // Loop 3 analogue: the pipelined sweeps spend the most p2p time, and
+  // comparable to their computation time (paper: 5.68 vs 5.22).
+  size_t P2P = 1; // activity order: computation, point-to-point, ...
+  EXPECT_EQ(Cube.regionName(Profile.Extremes[P2P].WorstRegion),
+            "implicit-sweeps");
+  size_t Sweeps = 2;
+  double Ratio = Cube.regionActivityTime(Sweeps, 1) /
+                 Cube.regionActivityTime(Sweeps, 0);
+  EXPECT_GT(Ratio, 0.5);
+  EXPECT_LT(Ratio, 2.0);
+}
+
+TEST(CfdShapeTest, CollectiveWaitTracksInjectedSkew) {
+  core::MeasurementCube Cube = defaultCube();
+  // Pressure loop: collective wait should be a substantial fraction of
+  // computation (paper: 6.75 / 12.24 ~ 0.55).
+  double Ratio = Cube.regionActivityTime(0, 2) / Cube.regionActivityTime(0, 0);
+  EXPECT_GT(Ratio, 0.25);
+  EXPECT_LT(Ratio, 1.0);
+}
+
+TEST(CfdShapeTest, BalancedRunHasFarSmallerDispersion) {
+  CfdConfig Skewed;
+  Skewed.Iterations = 3;
+  CfdConfig Balanced = Skewed;
+  Balanced.ImbalanceScale = 0.0;
+
+  auto SkewedCube =
+      cantFail(core::reduceTrace(cantFail(runCfd(Skewed)).Trace));
+  auto BalancedCube =
+      cantFail(core::reduceTrace(cantFail(runCfd(Balanced)).Trace));
+
+  core::RegionView SkewedView = core::computeRegionView(SkewedCube);
+  core::RegionView BalancedView = core::computeRegionView(BalancedCube);
+  // Pressure-loop dissimilarity collapses when the injection is off.
+  EXPECT_LT(BalancedView.Index[0], 0.2 * SkewedView.Index[0]);
+}
+
+TEST(CfdShapeTest, OnlyExpectedLoopsSynchronize) {
+  core::MeasurementCube Cube = defaultCube();
+  // Loops 1, 5 and 6 contain barriers (paper: three loops synchronize).
+  size_t Sync = 3;
+  unsigned Performing = 0;
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    if (Cube.regionActivityTime(I, Sync) > 0.0)
+      ++Performing;
+  EXPECT_EQ(Performing, 3u);
+}
+
+TEST(CfdShapeTest, LargerScaleIncreasesPressureImbalance) {
+  CfdConfig Mild;
+  Mild.Iterations = 3;
+  Mild.ImbalanceScale = 0.3;
+  CfdConfig Strong = Mild;
+  Strong.ImbalanceScale = 1.0;
+  auto MildCube = cantFail(core::reduceTrace(cantFail(runCfd(Mild)).Trace));
+  auto StrongCube =
+      cantFail(core::reduceTrace(cantFail(runCfd(Strong)).Trace));
+  auto MildMatrix = core::computeDissimilarityMatrix(MildCube);
+  auto StrongMatrix = core::computeDissimilarityMatrix(StrongCube);
+  EXPECT_GT(StrongMatrix[0][0], MildMatrix[0][0]);
+}
+
+TEST(CfdShapeTest, OverlappedHaloRemovesAdvectionWaits) {
+  CfdConfig Blocking;
+  Blocking.Iterations = 3;
+  CfdConfig Overlapped = Blocking;
+  Overlapped.OverlapHalo = true;
+
+  auto BlockingCube =
+      cantFail(core::reduceTrace(cantFail(runCfd(Blocking)).Trace));
+  auto OverlappedCube =
+      cantFail(core::reduceTrace(cantFail(runCfd(Overlapped)).Trace));
+
+  // Advection (region 3): p2p waits vanish when the exchange overlaps
+  // the compute; the pipelined sweeps (region 2) cannot benefit.
+  EXPECT_GT(BlockingCube.regionActivityTime(3, 1), 0.01);
+  EXPECT_LT(OverlappedCube.regionActivityTime(3, 1),
+            0.05 * BlockingCube.regionActivityTime(3, 1));
+  EXPECT_NEAR(OverlappedCube.regionActivityTime(2, 1),
+              BlockingCube.regionActivityTime(2, 1),
+              0.1 * BlockingCube.regionActivityTime(2, 1));
+  // The overlapped run must not be slower overall.
+  EXPECT_LE(OverlappedCube.programTime(),
+            BlockingCube.programTime() * 1.001);
+}

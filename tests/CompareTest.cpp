@@ -1,0 +1,164 @@
+//===- tests/CompareTest.cpp - run-comparison tests -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compare.h"
+#include "core/PaperDataset.h"
+#include "core/Rebalance.h"
+#include "stats/Bootstrap.h"
+#include "stats/Descriptive.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+namespace {
+
+MeasurementCube makeCube(double Skew) {
+  MeasurementCube Cube({"solve", "io"}, {"computation"}, 4);
+  const double Base[4] = {1.0, 1.0, 1.0, 1.0};
+  for (unsigned P = 0; P != 4; ++P) {
+    Cube.at(0, 0, P) = Base[P] + (P == 3 ? Skew : 0.0);
+    Cube.at(1, 0, P) = 0.1;
+  }
+  return Cube;
+}
+
+} // namespace
+
+TEST(CompareTest, DetectsImprovement) {
+  MeasurementCube Before = makeCube(2.0);
+  MeasurementCube After = makeCube(0.0);
+  RunComparison Comparison = cantFail(compareRuns(Before, After));
+  EXPECT_EQ(Comparison.Regions[0].Verdict, RegionVerdict::Improved);
+  EXPECT_EQ(Comparison.Regions[1].Verdict, RegionVerdict::Unchanged);
+  EXPECT_GT(Comparison.Speedup, 1.0);
+}
+
+TEST(CompareTest, DetectsRegression) {
+  MeasurementCube Before = makeCube(0.0);
+  MeasurementCube After = makeCube(2.0);
+  RunComparison Comparison = cantFail(compareRuns(Before, After));
+  EXPECT_EQ(Comparison.Regions[0].Verdict, RegionVerdict::Regressed);
+  EXPECT_LT(Comparison.Speedup, 1.0);
+}
+
+TEST(CompareTest, IdenticalRunsUnchanged) {
+  MeasurementCube Cube = makeCube(1.0);
+  RunComparison Comparison = cantFail(compareRuns(Cube, Cube));
+  for (const RegionDelta &Delta : Comparison.Regions)
+    EXPECT_EQ(Delta.Verdict, RegionVerdict::Unchanged);
+  EXPECT_DOUBLE_EQ(Comparison.Speedup, 1.0);
+}
+
+TEST(CompareTest, RejectsMismatchedShapes) {
+  MeasurementCube A({"x"}, {"computation"}, 2);
+  A.at(0, 0, 0) = 1.0;
+  MeasurementCube B({"y"}, {"computation"}, 2);
+  B.at(0, 0, 0) = 1.0;
+  EXPECT_TRUE(testutil::failed(compareRuns(A, B)));
+}
+
+TEST(CompareTest, DifferentProcCountsStillComparable) {
+  MeasurementCube Before = makeCube(2.0);
+  MeasurementCube After({"solve", "io"}, {"computation"}, 8);
+  for (unsigned P = 0; P != 8; ++P) {
+    After.at(0, 0, P) = 0.5;
+    After.at(1, 0, P) = 0.05;
+  }
+  RunComparison Comparison = cantFail(compareRuns(Before, After));
+  EXPECT_EQ(Comparison.Regions[0].Verdict, RegionVerdict::Improved);
+}
+
+TEST(CompareTest, RebalanceRepairVerifiesAsImproved) {
+  // The paper cube, repaired on loop 1, must verify as improved there
+  // and unchanged elsewhere — the closing step of the tuning cycle.
+  MeasurementCube Before = paper::buildCube();
+  RebalanceOptions Options;
+  Options.TargetIndex = 0.005;
+  MeasurementCube After = applyRebalance(
+      Before, planRebalance(Before, 0, paper::Computation, Options));
+  After = applyRebalance(
+      After, planRebalance(After, 0, paper::Collective, Options));
+
+  RunComparison Comparison = cantFail(compareRuns(Before, After));
+  EXPECT_EQ(Comparison.Regions[0].Verdict, RegionVerdict::Improved);
+  for (size_t I = 1; I != Comparison.Regions.size(); ++I)
+    EXPECT_EQ(Comparison.Regions[I].Verdict, RegionVerdict::Unchanged)
+        << "loop " << I + 1;
+}
+
+TEST(CompareTest, TableRendersVerdicts) {
+  MeasurementCube Before = makeCube(2.0);
+  MeasurementCube After = makeCube(0.0);
+  RunComparison Comparison = cantFail(compareRuns(Before, After));
+  std::string Out = makeComparisonTable(Before, Comparison).toString();
+  EXPECT_NE(Out.find("improved"), std::string::npos);
+  EXPECT_NE(Out.find("speedup"), std::string::npos);
+  EXPECT_NE(Out.find("solve"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Bootstrap confidence intervals
+//===----------------------------------------------------------------------===//
+
+TEST(BootstrapTest, IntervalBracketsTheEstimateForStableStatistics) {
+  std::vector<double> Times = {1.0, 1.2, 0.9, 1.1, 1.05, 0.95, 1.0, 1.1};
+  auto Interval = stats::bootstrapImbalanceCI(Times);
+  EXPECT_LE(Interval.Lower, Interval.Upper);
+  EXPECT_GE(Interval.Estimate, Interval.Lower * 0.5);
+  EXPECT_GT(Interval.Upper, 0.0);
+}
+
+TEST(BootstrapTest, ConstantSampleHasDegenerateInterval) {
+  std::vector<double> Times(8, 3.0);
+  auto Interval = stats::bootstrapImbalanceCI(Times);
+  EXPECT_DOUBLE_EQ(Interval.Estimate, 0.0);
+  EXPECT_DOUBLE_EQ(Interval.Lower, 0.0);
+  EXPECT_DOUBLE_EQ(Interval.Upper, 0.0);
+}
+
+TEST(BootstrapTest, SkewedSampleExcludesZero) {
+  std::vector<double> Times = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 10.0};
+  auto Interval = stats::bootstrapImbalanceCI(Times);
+  EXPECT_GT(Interval.Estimate, 0.3);
+  // Resamples dropping the outlier pull the lower bound down, but the
+  // upper bound stays high.
+  EXPECT_GT(Interval.Upper, 0.3);
+}
+
+TEST(BootstrapTest, DeterministicForFixedSeed) {
+  std::vector<double> Times = {1.0, 2.0, 3.0, 4.0};
+  auto A = stats::bootstrapImbalanceCI(Times);
+  auto B = stats::bootstrapImbalanceCI(Times);
+  EXPECT_DOUBLE_EQ(A.Lower, B.Lower);
+  EXPECT_DOUBLE_EQ(A.Upper, B.Upper);
+}
+
+TEST(BootstrapTest, GenericStatisticMeanCoverage) {
+  // Bootstrap the mean of a uniform sample: the true mean must fall in
+  // the 95% interval (deterministic seed, so no flakiness).
+  std::vector<double> Sample;
+  for (int I = 0; I != 100; ++I)
+    Sample.push_back(static_cast<double>(I % 10));
+  auto Interval = stats::bootstrapCI(
+      Sample,
+      [](const std::vector<double> &V) { return stats::mean(V); });
+  EXPECT_LT(Interval.Lower, 4.5);
+  EXPECT_GT(Interval.Upper, 4.5);
+  EXPECT_NEAR(Interval.Estimate, 4.5, 1e-12);
+}
+
+TEST(BootstrapTest, WiderConfidenceWidensInterval) {
+  std::vector<double> Times = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  stats::BootstrapOptions Narrow;
+  Narrow.Confidence = 0.5;
+  stats::BootstrapOptions Wide;
+  Wide.Confidence = 0.99;
+  auto A = stats::bootstrapImbalanceCI(Times, Narrow);
+  auto B = stats::bootstrapImbalanceCI(Times, Wide);
+  EXPECT_GE(B.Upper - B.Lower, A.Upper - A.Lower);
+}

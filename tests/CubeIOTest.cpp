@@ -1,0 +1,97 @@
+//===- tests/CubeIOTest.cpp - cube persistence tests ----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CubeIO.h"
+#include "core/PaperDataset.h"
+#include "core/Views.h"
+#include "TestHelpers.h"
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+TEST(CubeIOTest, RoundTripsPaperCube) {
+  MeasurementCube Original = paper::buildCube();
+  std::string CSV = writeCubeCSV(Original);
+  MeasurementCube Parsed = cantFail(parseCubeCSV(CSV));
+
+  ASSERT_EQ(Parsed.numRegions(), Original.numRegions());
+  ASSERT_EQ(Parsed.numActivities(), Original.numActivities());
+  ASSERT_EQ(Parsed.numProcs(), Original.numProcs());
+  EXPECT_DOUBLE_EQ(Parsed.programTime(), Original.programTime());
+  for (size_t I = 0; I != Original.numRegions(); ++I) {
+    EXPECT_EQ(Parsed.regionName(I), Original.regionName(I));
+    for (size_t J = 0; J != Original.numActivities(); ++J)
+      for (unsigned P = 0; P != Original.numProcs(); ++P)
+        EXPECT_NEAR(Parsed.time(I, J, P), Original.time(I, J, P), 1e-9);
+  }
+  // The round-tripped cube reproduces the same analysis.
+  auto MatrixA = computeDissimilarityMatrix(Original);
+  auto MatrixB = computeDissimilarityMatrix(Parsed);
+  for (size_t I = 0; I != Original.numRegions(); ++I)
+    for (size_t J = 0; J != Original.numActivities(); ++J)
+      EXPECT_NEAR(MatrixA[I][J], MatrixB[I][J], 1e-9);
+}
+
+TEST(CubeIOTest, HandWrittenCSVAccepted) {
+  std::string CSV = "region,activity,proc,seconds\n"
+                    "solve,comp,1,2.5\n"
+                    "solve,comp,2,3.5\n"
+                    "solve,comm,1,0.5\n"
+                    "io,comp,2,0.25\n";
+  MeasurementCube Cube = cantFail(parseCubeCSV(CSV));
+  EXPECT_EQ(Cube.numRegions(), 2u);
+  EXPECT_EQ(Cube.numActivities(), 2u);
+  EXPECT_EQ(Cube.numProcs(), 2u);
+  EXPECT_DOUBLE_EQ(Cube.time(0, 0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(Cube.time(1, 0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(Cube.time(1, 1, 0), 0.0);
+  EXPECT_FALSE(Cube.hasExplicitProgramTime());
+}
+
+TEST(CubeIOTest, ProgramTimePseudoRow) {
+  std::string CSV = "region,activity,proc,seconds\n"
+                    "#program-time,,,42.5\n"
+                    "r,a,1,1.0\n";
+  MeasurementCube Cube = cantFail(parseCubeCSV(CSV));
+  EXPECT_TRUE(Cube.hasExplicitProgramTime());
+  EXPECT_DOUBLE_EQ(Cube.programTime(), 42.5);
+}
+
+TEST(CubeIOTest, DuplicateCellsAccumulate) {
+  std::string CSV = "region,activity,proc,seconds\n"
+                    "r,a,1,1.0\n"
+                    "r,a,1,2.0\n";
+  MeasurementCube Cube = cantFail(parseCubeCSV(CSV));
+  EXPECT_DOUBLE_EQ(Cube.time(0, 0, 0), 3.0);
+}
+
+TEST(CubeIOTest, RejectsMalformedInput) {
+  EXPECT_TRUE(testutil::failed(parseCubeCSV("wrong,header\n")));
+  EXPECT_TRUE(testutil::failed(
+      parseCubeCSV("region,activity,proc,seconds\nr,a,0,1.0\n")));
+  EXPECT_TRUE(testutil::failed(
+      parseCubeCSV("region,activity,proc,seconds\nr,a,1,-1.0\n")));
+  EXPECT_TRUE(testutil::failed(
+      parseCubeCSV("region,activity,proc,seconds\nr,a,1\n")));
+  EXPECT_TRUE(testutil::failed(
+      parseCubeCSV("region,activity,proc,seconds\n")));
+  // Program time below the instrumented total fails cube validation.
+  EXPECT_TRUE(testutil::failed(
+      parseCubeCSV("region,activity,proc,seconds\n"
+                   "#program-time,,,0.1\nr,a,1,5.0\n")));
+}
+
+TEST(CubeIOTest, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/lima_cube_test.csv";
+  MeasurementCube Original = paper::buildCube();
+  cantFail(saveCube(Original, Path));
+  MeasurementCube Loaded = cantFail(loadCube(Path));
+  EXPECT_NEAR(Loaded.instrumentedTotal(), Original.instrumentedTotal(),
+              1e-9);
+  std::remove(Path.c_str());
+}

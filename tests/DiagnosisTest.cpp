@@ -1,0 +1,186 @@
+//===- tests/DiagnosisTest.cpp - rule-engine tests ------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Diagnosis.h"
+#include "core/PaperDataset.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+namespace {
+
+bool hasKind(const std::vector<Diagnosis> &Findings, DiagnosisKind Kind) {
+  return std::any_of(Findings.begin(), Findings.end(),
+                     [&](const Diagnosis &D) { return D.Kind == Kind; });
+}
+
+const Diagnosis *findKind(const std::vector<Diagnosis> &Findings,
+                          DiagnosisKind Kind) {
+  for (const Diagnosis &D : Findings)
+    if (D.Kind == Kind)
+      return &D;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(DiagnosisTest, PaperCubeFindingsMatchSection4Narrative) {
+  MeasurementCube Cube = paper::buildCube();
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  ASSERT_FALSE(Findings.empty());
+
+  // Loop 1 must be flagged as the load-imbalance tuning candidate.
+  const Diagnosis *Candidate =
+      findKind(Findings, DiagnosisKind::RegionLoadImbalance);
+  ASSERT_NE(Candidate, nullptr);
+  EXPECT_EQ(Candidate->Region, 0u);
+  EXPECT_NE(Candidate->Explanation.find("loop1"), std::string::npos);
+
+  // Loop 6's severe-but-negligible imbalance must be de-prioritized.
+  bool Loop6Negligible = false;
+  for (const Diagnosis &D : Findings) {
+    if (D.Kind == DiagnosisKind::NegligibleImbalance && D.Region == 5)
+      Loop6Negligible = true;
+  }
+  EXPECT_TRUE(Loop6Negligible);
+
+  // Synchronization (0.1% of T) must NOT be reported as overhead.
+  EXPECT_FALSE(hasKind(Findings, DiagnosisKind::SynchronizationOverhead));
+
+  // Processor 1 wins only 2 of 7 regions: just above the default 25%
+  // hotspot bar.
+  const Diagnosis *Hotspot =
+      findKind(Findings, DiagnosisKind::ProcessorHotspot);
+  ASSERT_NE(Hotspot, nullptr);
+  EXPECT_EQ(Hotspot->Proc, 0u);
+}
+
+TEST(DiagnosisTest, SortedBySeverityThenScore) {
+  MeasurementCube Cube = paper::buildCube();
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  for (size_t I = 1; I < Findings.size(); ++I) {
+    EXPECT_GE(static_cast<int>(Findings[I - 1].Level),
+              static_cast<int>(Findings[I].Level));
+    if (Findings[I - 1].Level == Findings[I].Level) {
+      EXPECT_GE(Findings[I - 1].Score, Findings[I].Score);
+    }
+  }
+}
+
+TEST(DiagnosisTest, BalancedProgramProducesNoImbalanceFindings) {
+  MeasurementCube Cube({"r0", "r1"}, {"computation", "point-to-point"}, 4);
+  for (size_t I = 0; I != 2; ++I)
+    for (unsigned P = 0; P != 4; ++P) {
+      Cube.at(I, 0, P) = 5.0;
+      Cube.at(I, 1, P) = 1.0;
+    }
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  EXPECT_FALSE(hasKind(Findings, DiagnosisKind::RegionLoadImbalance));
+  EXPECT_FALSE(hasKind(Findings, DiagnosisKind::ProcessorHotspot));
+}
+
+TEST(DiagnosisTest, SynchronizationOverheadRule) {
+  MeasurementCube Cube({"r"}, {"computation", "synchronization"}, 2);
+  for (unsigned P = 0; P != 2; ++P) {
+    Cube.at(0, 0, P) = 5.0;
+    Cube.at(0, 1, P) = 2.0; // ~29% synchronization.
+  }
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  const Diagnosis *Sync =
+      findKind(Findings, DiagnosisKind::SynchronizationOverhead);
+  ASSERT_NE(Sync, nullptr);
+  EXPECT_EQ(Sync->Level, Severity::Critical); // 29% >= 2 * 5%.
+  EXPECT_NEAR(Sync->Score, 2.0 / 7.0, 1e-9);
+}
+
+TEST(DiagnosisTest, CommunicationBoundRule) {
+  MeasurementCube Cube({"r"}, {"computation", "point-to-point",
+                               "collective"}, 2);
+  for (unsigned P = 0; P != 2; ++P) {
+    Cube.at(0, 0, P) = 2.0;
+    Cube.at(0, 1, P) = 3.0;
+    Cube.at(0, 2, P) = 3.0; // 75% communication.
+  }
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  const Diagnosis *Comm =
+      findKind(Findings, DiagnosisKind::CommunicationBound);
+  ASSERT_NE(Comm, nullptr);
+  EXPECT_NEAR(Comm->Score, 0.75, 1e-9);
+}
+
+TEST(DiagnosisTest, LowCoverageRule) {
+  MeasurementCube Cube({"r"}, {"computation"}, 2);
+  Cube.at(0, 0, 0) = 1.0;
+  Cube.at(0, 0, 1) = 1.0;
+  Cube.setProgramTime(10.0); // Regions cover only 10%.
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  const Diagnosis *Coverage = findKind(Findings, DiagnosisKind::LowCoverage);
+  ASSERT_NE(Coverage, nullptr);
+  EXPECT_NEAR(Coverage->Score, 0.1, 1e-9);
+}
+
+TEST(DiagnosisTest, SingleRegionDominanceRule) {
+  MeasurementCube Cube({"big", "small"}, {"computation"}, 2);
+  for (unsigned P = 0; P != 2; ++P) {
+    Cube.at(0, 0, P) = 9.0;
+    Cube.at(1, 0, P) = 1.0;
+  }
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  const Diagnosis *Dominance =
+      findKind(Findings, DiagnosisKind::SingleRegionDominance);
+  ASSERT_NE(Dominance, nullptr);
+  EXPECT_EQ(Dominance->Region, 0u);
+  EXPECT_NEAR(Dominance->Score, 0.9, 1e-9);
+}
+
+TEST(DiagnosisTest, ThresholdsAreConfigurable) {
+  MeasurementCube Cube = paper::buildCube();
+  auto Analysis = cantFail(analyze(Cube));
+  DiagnosisOptions Options;
+  Options.CandidateScaledIndex = 1.0; // Impossible bar.
+  Options.HotspotRegionFraction = 1.0;
+  auto Findings = diagnose(Cube, Analysis, Options);
+  EXPECT_FALSE(hasKind(Findings, DiagnosisKind::RegionLoadImbalance));
+  EXPECT_FALSE(hasKind(Findings, DiagnosisKind::ProcessorHotspot));
+}
+
+TEST(DiagnosisTest, RenderingNumbersAndSeverities) {
+  MeasurementCube Cube = paper::buildCube();
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  std::string Report = renderDiagnoses(Cube, Findings);
+  EXPECT_NE(Report.find("1. ["), std::string::npos);
+  EXPECT_NE(Report.find("->"), std::string::npos);
+  EXPECT_NE(Report.find("region-load-imbalance"), std::string::npos);
+}
+
+TEST(DiagnosisTest, EmptyFindingsRendering) {
+  MeasurementCube Cube({"r"}, {"computation"}, 2);
+  Cube.at(0, 0, 0) = 1.0;
+  Cube.at(0, 0, 1) = 1.0;
+  auto Analysis = cantFail(analyze(Cube));
+  auto Findings = diagnose(Cube, Analysis);
+  if (Findings.empty()) {
+    EXPECT_NE(renderDiagnoses(Cube, Findings).find("well balanced"),
+              std::string::npos);
+  }
+}
+
+TEST(DiagnosisTest, NamesAreStable) {
+  EXPECT_EQ(diagnosisKindName(DiagnosisKind::RegionLoadImbalance),
+            "region-load-imbalance");
+  EXPECT_EQ(severityName(Severity::Critical), "critical");
+  EXPECT_EQ(severityName(Severity::Info), "info");
+}

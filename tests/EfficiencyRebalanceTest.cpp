@@ -1,0 +1,168 @@
+//===- tests/EfficiencyRebalanceTest.cpp - efficiency & repair tests ------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/Efficiency.h"
+#include "core/TraceReduction.h"
+#include "core/PaperDataset.h"
+#include "core/Rebalance.h"
+#include "core/Views.h"
+#include "support/RNG.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+//===----------------------------------------------------------------------===//
+// Efficiency metrics
+//===----------------------------------------------------------------------===//
+
+TEST(EfficiencyTest, BalancedCubeIsFullyEfficient) {
+  MeasurementCube Cube({"r"}, {"computation"}, 4);
+  for (unsigned P = 0; P != 4; ++P)
+    Cube.at(0, 0, P) = 2.5;
+  EfficiencyReport Report = computeEfficiency(Cube);
+  EXPECT_DOUBLE_EQ(Report.LoadBalance, 1.0);
+  EXPECT_DOUBLE_EQ(Report.ComputationShare, 1.0);
+  EXPECT_DOUBLE_EQ(Report.ParallelEfficiency, 1.0);
+  EXPECT_DOUBLE_EQ(Report.WastedProcessorSeconds, 0.0);
+}
+
+TEST(EfficiencyTest, HandComputedImbalance) {
+  // Useful work {1, 2}: LB = 1.5/2, waste = (2-1) = 1 proc-second.
+  MeasurementCube Cube({"r"}, {"computation", "point-to-point"}, 2);
+  Cube.at(0, 0, 0) = 1.0;
+  Cube.at(0, 0, 1) = 2.0;
+  Cube.at(0, 1, 1) = 1.0;
+  EfficiencyReport Report = computeEfficiency(Cube);
+  EXPECT_DOUBLE_EQ(Report.BusyTime[0], 1.0);
+  EXPECT_DOUBLE_EQ(Report.BusyTime[1], 3.0);
+  EXPECT_DOUBLE_EQ(Report.UsefulWork[0], 1.0);
+  EXPECT_DOUBLE_EQ(Report.UsefulWork[1], 2.0);
+  EXPECT_NEAR(Report.LoadBalance, 0.75, 1e-12);
+  EXPECT_NEAR(Report.WastedProcessorSeconds, 1.0, 1e-12);
+  // Computation is 3 of the 4 busy seconds.
+  EXPECT_NEAR(Report.ComputationShare, 0.75, 1e-12);
+  EXPECT_NEAR(Report.ParallelEfficiency, 0.75 * 0.75, 1e-12);
+}
+
+TEST(EfficiencyTest, RegionLoadBalancePerRegion) {
+  MeasurementCube Cube({"balanced", "skewed"}, {"computation"}, 2);
+  Cube.at(0, 0, 0) = 1.0;
+  Cube.at(0, 0, 1) = 1.0;
+  Cube.at(1, 0, 0) = 1.0;
+  Cube.at(1, 0, 1) = 3.0;
+  EfficiencyReport Report = computeEfficiency(Cube);
+  EXPECT_DOUBLE_EQ(Report.RegionLoadBalance[0], 1.0);
+  EXPECT_NEAR(Report.RegionLoadBalance[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(EfficiencyTest, PaperCubeNumbersArePlausible) {
+  EfficiencyReport Report = computeEfficiency(paper::buildCube());
+  // The paper's program is imbalanced but not catastrophically so.
+  EXPECT_GT(Report.LoadBalance, 0.5);
+  EXPECT_LT(Report.LoadBalance, 1.0);
+  // Computation dominates (41.56 of 64.754 mean seconds).
+  EXPECT_NEAR(Report.ComputationShare, 41.56 / 64.754, 1e-3);
+}
+
+//===----------------------------------------------------------------------===//
+// Rebalancing
+//===----------------------------------------------------------------------===//
+
+TEST(RebalanceTest, PredictionsMonotoneAndReachTarget) {
+  MeasurementCube Cube = paper::buildCube();
+  RebalanceOptions Options;
+  Options.TargetIndex = 0.005;
+  RebalancePlan Plan = planRebalance(Cube, 0, paper::Computation, Options);
+  EXPECT_NEAR(Plan.InitialIndex, 0.03674, 1e-9);
+  ASSERT_FALSE(Plan.Transfers.empty());
+  double Previous = Plan.InitialIndex;
+  for (const Transfer &Move : Plan.Transfers) {
+    EXPECT_LT(Move.PredictedIndex, Previous + 1e-12);
+    EXPECT_GT(Move.Seconds, 0.0);
+    Previous = Move.PredictedIndex;
+  }
+  EXPECT_LE(Plan.FinalIndex, Options.TargetIndex);
+}
+
+TEST(RebalanceTest, AlreadyBalancedNeedsNoTransfers) {
+  MeasurementCube Cube({"r"}, {"computation"}, 4);
+  for (unsigned P = 0; P != 4; ++P)
+    Cube.at(0, 0, P) = 1.0;
+  RebalancePlan Plan = planRebalance(Cube, 0, 0);
+  EXPECT_TRUE(Plan.Transfers.empty());
+  EXPECT_DOUBLE_EQ(Plan.InitialIndex, 0.0);
+}
+
+TEST(RebalanceTest, ApplyMatchesPrediction) {
+  MeasurementCube Cube = paper::buildCube();
+  RebalanceOptions Options;
+  Options.TargetIndex = 0.002;
+  RebalancePlan Plan = planRebalance(Cube, 0, paper::Computation, Options);
+  MeasurementCube Fixed = applyRebalance(Cube, Plan);
+
+  // The repaired slice's measured index equals the last prediction.
+  auto Matrix = computeDissimilarityMatrix(Fixed);
+  EXPECT_NEAR(Matrix[0][paper::Computation], Plan.FinalIndex, 1e-9);
+  // Untouched slices are unchanged.
+  EXPECT_NEAR(Matrix[5][paper::Computation], 0.05017, 1e-9);
+  // Work is conserved.
+  EXPECT_NEAR(Fixed.regionActivityTime(0, paper::Computation), 12.24,
+              1e-9);
+}
+
+TEST(RebalanceTest, RepairedRegionStopsBeingTheCandidate) {
+  MeasurementCube Cube = paper::buildCube();
+  RegionView Before = computeRegionView(Cube);
+  ASSERT_EQ(Before.MostImbalancedScaled, 0u); // Loop 1, as in the paper.
+
+  // Repair loop 1's two heavy activities.
+  RebalanceOptions Options;
+  Options.TargetIndex = 0.001;
+  MeasurementCube Fixed = applyRebalance(
+      Cube, planRebalance(Cube, 0, paper::Computation, Options));
+  Fixed = applyRebalance(
+      Fixed, planRebalance(Fixed, 0, paper::Collective, Options));
+
+  RegionView After = computeRegionView(Fixed);
+  EXPECT_LT(After.ScaledIndex[0], 0.15 * Before.ScaledIndex[0]);
+  EXPECT_NE(After.MostImbalancedScaled, 0u);
+}
+
+TEST(RebalanceTest, RandomSlicesAlwaysConverge) {
+  RNG Rng(77);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    unsigned P = 2 + static_cast<unsigned>(Rng.uniformInt(14));
+    MeasurementCube Cube({"r"}, {"a"}, P);
+    for (unsigned Proc = 0; Proc != P; ++Proc)
+      Cube.at(0, 0, Proc) = Rng.uniformIn(0.0, 10.0);
+    RebalanceOptions Options;
+    Options.TargetIndex = 0.02;
+    Options.MaxTransfers = 64;
+    RebalancePlan Plan = planRebalance(Cube, 0, 0, Options);
+    EXPECT_LE(Plan.FinalIndex, Options.TargetIndex + 1e-9)
+        << "P=" << P << " trial " << Trial;
+  }
+}
+
+TEST(EfficiencyTest, CfdLoadBalanceTracksInjectedSkew) {
+  auto loadBalance = [](double Scale) {
+    cfd::CfdConfig Config;
+    Config.Procs = 8;
+    Config.Nx = 44;
+    Config.RowsPerRank = 4;
+    Config.Iterations = 2;
+    Config.ImbalanceScale = Scale;
+    auto Run = cantFail(cfd::runCfd(Config));
+    auto Cube = cantFail(core::reduceTrace(Run.Trace));
+    return computeEfficiency(Cube).LoadBalance;
+  };
+  double Balanced = loadBalance(0.0);
+  double Skewed = loadBalance(1.0);
+  EXPECT_GT(Balanced, 0.99);
+  EXPECT_LT(Skewed, Balanced - 0.05);
+}

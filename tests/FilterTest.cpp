@@ -1,0 +1,130 @@
+//===- tests/FilterTest.cpp - trace slicing tests -------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/TraceReduction.h"
+#include "trace/Filter.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+/// One proc, two regions, two instances of "hot": hot[0,1], cold[2,3],
+/// hot[4,5].  Every instance carries one computation activity.
+Trace makeFilterTrace() {
+  Trace T(1);
+  uint32_t Hot = T.addRegion("hot");
+  uint32_t Cold = T.addRegion("cold");
+  uint32_t A = T.addActivity("comp");
+  auto instance = [&](uint32_t Region, double Begin, double End) {
+    T.append({Begin, 0, EventKind::RegionEnter, Region, 0});
+    T.append({Begin, 0, EventKind::ActivityBegin, A, 0});
+    T.append({End, 0, EventKind::ActivityEnd, A, 0});
+    T.append({End, 0, EventKind::RegionExit, Region, 0});
+  };
+  instance(Hot, 0.0, 1.0);
+  instance(Cold, 2.0, 3.0);
+  instance(Hot, 4.0, 5.0);
+  return T;
+}
+
+} // namespace
+
+TEST(FilterTest, KeepsOnlyNamedRegions) {
+  FilterOptions Options;
+  Options.Regions = {"hot"};
+  Trace Sliced = cantFail(filterTrace(makeFilterTrace(), Options));
+  // Name tables intact, events reduced to the two hot instances.
+  EXPECT_EQ(Sliced.numRegions(), 2u);
+  EXPECT_EQ(Sliced.numEvents(), 8u);
+  Error E = Sliced.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+  auto Cube = cantFail(core::reduceTrace(Sliced));
+  EXPECT_DOUBLE_EQ(Cube.time(0, 0, 0), 2.0); // Both hot instances.
+  EXPECT_DOUBLE_EQ(Cube.time(1, 0, 0), 0.0); // Cold filtered out.
+}
+
+TEST(FilterTest, TimeWindowKeepsFullyContainedInstances) {
+  FilterOptions Options;
+  Options.TimeBegin = 1.5;
+  Options.TimeEnd = 5.5;
+  Trace Sliced = cantFail(filterTrace(makeFilterTrace(), Options));
+  // hot[0,1] starts before the window; cold[2,3] and hot[4,5] survive.
+  EXPECT_EQ(Sliced.numEvents(), 8u);
+  auto Cube = cantFail(core::reduceTrace(Sliced));
+  EXPECT_DOUBLE_EQ(Cube.time(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Cube.time(1, 0, 0), 1.0);
+}
+
+TEST(FilterTest, PartiallyOverlappingInstanceIsDropped) {
+  FilterOptions Options;
+  Options.TimeBegin = 0.5; // Cuts into hot[0,1].
+  Options.TimeEnd = 3.5;   // Cuts before hot[4,5].
+  Trace Sliced = cantFail(filterTrace(makeFilterTrace(), Options));
+  auto Cube = cantFail(core::reduceTrace(Sliced));
+  EXPECT_DOUBLE_EQ(Cube.time(0, 0, 0), 0.0); // Both hot instances cut.
+  EXPECT_DOUBLE_EQ(Cube.time(1, 0, 0), 1.0);
+}
+
+TEST(FilterTest, MessagesDroppedByDefault) {
+  Trace T(2);
+  uint32_t R = T.addRegion("r");
+  T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::MessageSend, 1, 64});
+  T.append({0.2, 0, EventKind::RegionExit, R, 0});
+  T.append({0.0, 1, EventKind::RegionEnter, R, 0});
+  T.append({0.3, 1, EventKind::MessageRecv, 0, 64});
+  T.append({0.4, 1, EventKind::RegionExit, R, 0});
+
+  Trace Sliced = cantFail(filterTrace(T, {}));
+  EXPECT_EQ(Sliced.numEvents(), 4u); // Only the region brackets.
+  Error E = Sliced.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+
+  FilterOptions Keep;
+  Keep.KeepMessages = true;
+  Trace WithMessages = cantFail(filterTrace(T, Keep));
+  EXPECT_EQ(WithMessages.numEvents(), 6u);
+}
+
+TEST(FilterTest, RejectsUnknownRegionAndEmptyWindow) {
+  FilterOptions Bad;
+  Bad.Regions = {"nonexistent"};
+  EXPECT_TRUE(testutil::failed(filterTrace(makeFilterTrace(), Bad)));
+
+  FilterOptions Empty;
+  Empty.TimeBegin = 5.0;
+  Empty.TimeEnd = 1.0;
+  EXPECT_TRUE(testutil::failed(filterTrace(makeFilterTrace(), Empty)));
+}
+
+TEST(FilterTest, CfdSliceAnalyzesStandalone) {
+  cfd::CfdConfig Config;
+  Config.Procs = 6;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 3;
+  auto Run = cantFail(cfd::runCfd(Config));
+
+  FilterOptions Options;
+  Options.Regions = {"pressure", "viscous"};
+  Trace Sliced = cantFail(filterTrace(Run.Trace, Options));
+  Error E = Sliced.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+
+  auto Full = cantFail(core::reduceTrace(Run.Trace));
+  auto Slice = cantFail(core::reduceTrace(Sliced));
+  // Kept regions carry identical times; dropped regions zero out.
+  for (size_t J = 0; J != Full.numActivities(); ++J)
+    for (unsigned P = 0; P != Full.numProcs(); ++P) {
+      EXPECT_NEAR(Slice.time(0, J, P), Full.time(0, J, P), 1e-12);
+      EXPECT_DOUBLE_EQ(Slice.time(2, J, P), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//===- tests/HtmlReportTest.cpp - HTML report tests -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+#include "core/PaperDataset.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+namespace {
+
+std::string paperReport() {
+  MeasurementCube Cube = paper::buildCube();
+  AnalysisResult Analysis = cantFail(analyze(Cube));
+  return renderHtmlReport(Cube, Analysis);
+}
+
+/// Counts occurrences of \p Needle in \p Haystack.
+size_t countOf(const std::string &Haystack, const std::string &Needle) {
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Haystack.find(Needle, Pos)) != std::string::npos) {
+    ++Count;
+    Pos += Needle.size();
+  }
+  return Count;
+}
+
+} // namespace
+
+TEST(HtmlReportTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(escapeHtml("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(escapeHtml("plain"), "plain");
+}
+
+TEST(HtmlReportTest, WellFormedSkeleton) {
+  std::string Html = paperReport();
+  EXPECT_EQ(Html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(Html.find("</html>"), std::string::npos);
+  // Balanced structural tags.
+  EXPECT_EQ(countOf(Html, "<table>"), countOf(Html, "</table>"));
+  EXPECT_EQ(countOf(Html, "<svg "), countOf(Html, "</svg>"));
+  EXPECT_EQ(countOf(Html, "<div "), countOf(Html, "</div>"));
+}
+
+TEST(HtmlReportTest, ContainsAllSections) {
+  std::string Html = paperReport();
+  EXPECT_NE(Html.find("Wall-clock breakdown"), std::string::npos);
+  EXPECT_NE(Html.find("Dissimilarity indices"), std::string::npos);
+  EXPECT_NE(Html.find("Scaled indices"), std::string::npos);
+  EXPECT_NE(Html.find("Per-processor patterns"), std::string::npos);
+  EXPECT_NE(Html.find("Findings"), std::string::npos);
+  // Region names and key numbers appear.
+  EXPECT_NE(Html.find("loop1"), std::string::npos);
+  EXPECT_NE(Html.find("0.30571"), std::string::npos); // Table 2 max.
+  EXPECT_NE(Html.find("region-load-imbalance"), std::string::npos);
+}
+
+TEST(HtmlReportTest, SectionsCanBeDisabled) {
+  MeasurementCube Cube = paper::buildCube();
+  AnalysisResult Analysis = cantFail(analyze(Cube));
+  HtmlReportOptions Options;
+  Options.IncludePatterns = false;
+  Options.IncludeDiagnosis = false;
+  Options.Title = "Custom <Title>";
+  std::string Html = renderHtmlReport(Cube, Analysis, Options);
+  EXPECT_EQ(Html.find("Per-processor patterns"), std::string::npos);
+  EXPECT_EQ(Html.find("Findings"), std::string::npos);
+  EXPECT_NE(Html.find("Custom &lt;Title&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, PatternHeatMapHasOneRectPerCell) {
+  MeasurementCube Cube = paper::buildCube();
+  AnalysisResult Analysis = cantFail(analyze(Cube));
+  HtmlReportOptions Options;
+  Options.IncludeDiagnosis = false;
+  std::string Html = renderHtmlReport(Cube, Analysis, Options);
+  // Rect count: pattern cells (7 + 4 + 4 + 3 rows) * 16 procs, plus
+  // 7 + 4 bars of the two charts.
+  size_t PatternCells = (7 + 4 + 4 + 3) * 16;
+  EXPECT_EQ(countOf(Html, "<rect "), PatternCells + 7 + 4);
+}

@@ -1,0 +1,138 @@
+//===- tests/IntegrationTest.cpp - cross-module integration tests ---------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end flows: simulated program -> trace -> text round trip ->
+// measurement cube -> full analysis -> rendered reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/PaperDataset.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/TraceReduction.h"
+#include "sim/Simulation.h"
+#include "trace/TraceIO.h"
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace lima;
+
+TEST(IntegrationTest, CfdTraceSurvivesTextRoundTrip) {
+  cfd::CfdConfig Config;
+  Config.Procs = 6;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 2;
+  auto Result = cantFail(cfd::runCfd(Config));
+
+  std::string Text = trace::writeTraceText(Result.Trace);
+  trace::Trace Loaded = cantFail(trace::parseTraceText(Text));
+  auto CubeA = cantFail(core::reduceTrace(Result.Trace));
+  auto CubeB = cantFail(core::reduceTrace(Loaded));
+  for (size_t I = 0; I != CubeA.numRegions(); ++I)
+    for (size_t J = 0; J != CubeA.numActivities(); ++J)
+      for (unsigned P = 0; P != CubeA.numProcs(); ++P)
+        EXPECT_NEAR(CubeA.time(I, J, P), CubeB.time(I, J, P), 1e-6);
+}
+
+TEST(IntegrationTest, CfdThroughFullPipeline) {
+  cfd::CfdConfig Config;
+  Config.Iterations = 3;
+  auto Result = cantFail(cfd::runCfd(Config));
+  auto Cube = cantFail(core::reduceTrace(Result.Trace));
+  auto Analysis = cantFail(core::analyze(Cube));
+
+  // Every activity actually performed gets a pattern diagram.
+  EXPECT_EQ(Analysis.Patterns.size(), 4u);
+  // Candidates come out non-empty and within range.
+  ASSERT_FALSE(Analysis.RegionCandidates.empty());
+  EXPECT_LT(Analysis.RegionCandidates[0].Item, Cube.numRegions());
+  // The pressure loop (region 0) dominates the scaled region view, like
+  // the paper's loop 1.
+  EXPECT_EQ(Analysis.Regions.MostImbalancedScaled, 0u);
+
+  // Rendered tables mention the region names.
+  TextTable Table1 = core::makeRegionBreakdownTable(Cube, Analysis.Profile);
+  EXPECT_NE(Table1.toString().find("pressure"), std::string::npos);
+  TextTable Table4 = core::makeRegionViewTable(Cube, Analysis.Regions);
+  EXPECT_NE(Table4.toString().find("SID_C"), std::string::npos);
+}
+
+TEST(IntegrationTest, SimulatedProgramMatchesManualCube) {
+  // A deliberately simple program whose cube is predictable: 2 ranks,
+  // rank 1 computes 3x longer, then both hit a barrier.
+  sim::SimulationOptions Options;
+  Options.NumProcs = 2;
+  Options.RegionNames = {"only"};
+  Options.Network.Latency = 0.0;
+  Options.Network.SendOverhead = 0.0;
+  Options.Network.RecvOverhead = 0.0;
+  auto Trace = cantFail(sim::simulate(Options, [](sim::Comm &C) {
+    sim::RegionScope Scope(C, 0);
+    C.compute(C.rank() == 0 ? 1.0 : 3.0);
+    C.barrier();
+  }));
+  auto Cube = cantFail(core::reduceTrace(Trace));
+  // Computation: mean of {1, 3} = 2; synchronization: mean of {2, 0} = 1.
+  EXPECT_NEAR(Cube.regionActivityTime(0, sim::ActComputation), 2.0, 1e-9);
+  EXPECT_NEAR(Cube.regionActivityTime(0, sim::ActSynchronization), 1.0,
+              1e-9);
+  // Program time = span = 3.
+  EXPECT_NEAR(Cube.programTime(), 3.0, 1e-9);
+  // Both dissimilarity indices are the two-processor maximum spread
+  // direction: shares {0.25, 0.75} and {1, 0}.
+  auto Matrix = core::computeDissimilarityMatrix(Cube);
+  EXPECT_NEAR(Matrix[0][sim::ActComputation], std::sqrt(2 * 0.25 * 0.25),
+              1e-9);
+  EXPECT_NEAR(Matrix[0][sim::ActSynchronization], std::sqrt(0.5), 1e-9);
+}
+
+TEST(IntegrationTest, PaperCubeSummaryReadsLikeSection4) {
+  auto Cube = core::paper::buildCube();
+  auto Analysis = cantFail(core::analyze(Cube));
+  std::string Summary = core::summarizeFindings(
+      Cube, Analysis.Profile, Analysis.Activities, Analysis.Regions,
+      Analysis.Processors);
+  EXPECT_NE(Summary.find("loop1"), std::string::npos);
+  EXPECT_NE(Summary.find("computation"), std::string::npos);
+  EXPECT_NE(Summary.find("synchronization"), std::string::npos);
+  EXPECT_NE(Summary.find("loop6"), std::string::npos);
+  EXPECT_NE(Summary.find("Processor 1"), std::string::npos);
+  EXPECT_NE(Summary.find("Processor 2"), std::string::npos);
+}
+
+TEST(IntegrationTest, TraceFileToAnalysisViaDisk) {
+  cfd::CfdConfig Config;
+  Config.Procs = 4;
+  Config.Nx = 24;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 2;
+  auto Result = cantFail(cfd::runCfd(Config));
+  std::string Path = ::testing::TempDir() + "/lima_integration.trace";
+  cantFail(trace::saveTrace(Result.Trace, Path));
+
+  trace::Trace Loaded = cantFail(trace::loadTrace(Path));
+  auto Cube = cantFail(core::reduceTrace(Loaded));
+  auto Analysis = cantFail(core::analyze(Cube));
+  EXPECT_EQ(Analysis.Profile.Regions.size(), 7u);
+  std::remove(Path.c_str());
+}
+
+TEST(IntegrationTest, AnalysisOptionsPlumbedThrough) {
+  auto Cube = core::paper::buildCube();
+  core::AnalysisOptions Options;
+  Options.Views.Kind = stats::DispersionKind::MeanAbsoluteDeviation;
+  Options.Ranking.Criterion = core::RankCriterion::Threshold;
+  Options.Ranking.Threshold = 0.0;
+  Options.Clusters = 3;
+  auto Analysis = cantFail(core::analyze(Cube, Options));
+  // Threshold 0 selects every region as a candidate.
+  EXPECT_EQ(Analysis.RegionCandidates.size(), Cube.numRegions());
+  ASSERT_TRUE(Analysis.HasClusters);
+  EXPECT_EQ(Analysis.Clusters.Groups.size(), 3u);
+}

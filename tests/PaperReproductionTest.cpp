@@ -1,0 +1,224 @@
+//===- tests/PaperReproductionTest.cpp - published-numbers tests ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the reconstruction of the paper's experiment: the rebuilt cube
+// must reproduce Table 1 and Table 2 essentially exactly (they are
+// construction targets), Tables 3-4 to within the rounding of the
+// published values, and the qualitative findings of the figures and the
+// processor view.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperDataset.h"
+#include "core/PatternDiagram.h"
+#include "core/Pipeline.h"
+#include "core/Profile.h"
+#include "cluster/ClusterSelection.h"
+#include "cluster/Hierarchical.h"
+#include "core/RegionClustering.h"
+#include "core/Views.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+namespace paper = lima::core::paper;
+
+namespace {
+
+const MeasurementCube &paperCube() {
+  static const MeasurementCube Cube = paper::buildCube();
+  return Cube;
+}
+
+} // namespace
+
+TEST(PaperDatasetTest, CubeShapeAndValidity) {
+  const MeasurementCube &Cube = paperCube();
+  EXPECT_EQ(Cube.numRegions(), paper::NumLoops);
+  EXPECT_EQ(Cube.numActivities(), paper::NumActivities);
+  EXPECT_EQ(Cube.numProcs(), paper::NumProcs);
+  EXPECT_DOUBLE_EQ(Cube.programTime(), paper::ProgramTime);
+  Error E = Cube.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(PaperDatasetTest, Table1ReproducedExactly) {
+  const MeasurementCube &Cube = paperCube();
+  const auto &T1 = paper::table1();
+  for (size_t I = 0; I != paper::NumLoops; ++I)
+    for (size_t J = 0; J != paper::NumActivities; ++J)
+      EXPECT_NEAR(Cube.regionActivityTime(I, J), T1[I][J], 1e-9)
+          << "loop " << I + 1 << ", activity " << J;
+  // Published per-loop overall values.
+  const double Overall[7] = {19.051, 14.22, 10.90, 10.54,
+                             9.041,  0.692, 0.31};
+  for (size_t I = 0; I != paper::NumLoops; ++I)
+    EXPECT_NEAR(Cube.regionTime(I), Overall[I], 1e-9);
+  // The instrumented loops sum to 64.754s of the 69.9s program.
+  EXPECT_NEAR(Cube.instrumentedTotal(), 64.754, 1e-9);
+}
+
+TEST(PaperDatasetTest, Table2ReproducedExactly) {
+  auto Matrix = computeDissimilarityMatrix(paperCube());
+  const auto &T2 = paper::table2();
+  for (size_t I = 0; I != paper::NumLoops; ++I)
+    for (size_t J = 0; J != paper::NumActivities; ++J)
+      EXPECT_NEAR(Matrix[I][J], T2[I][J], 1e-9)
+          << "loop " << I + 1 << ", activity " << J;
+}
+
+TEST(PaperDatasetTest, Table3ReproducedWithinRounding) {
+  ActivityView View = computeActivityView(paperCube());
+  const auto &T3 = paper::table3();
+  for (size_t J = 0; J != paper::NumActivities; ++J) {
+    EXPECT_NEAR(View.Index[J], T3[J].ID_A, 5e-4) << "activity " << J;
+    EXPECT_NEAR(View.ScaledIndex[J], T3[J].SID_A, 2e-5) << "activity " << J;
+  }
+  // The qualitative conclusions of Section 4.
+  EXPECT_EQ(View.MostImbalanced, paper::Synchronization);
+  EXPECT_EQ(View.MostImbalancedScaled, paper::Computation);
+}
+
+TEST(PaperDatasetTest, Table4ReproducedWithinRounding) {
+  RegionView View = computeRegionView(paperCube());
+  const auto &T4 = paper::table4();
+  for (size_t I = 0; I != paper::NumLoops; ++I) {
+    EXPECT_NEAR(View.Index[I], T4[I].ID_C, 5e-4) << "loop " << I + 1;
+    EXPECT_NEAR(View.ScaledIndex[I], T4[I].SID_C, 2e-5) << "loop " << I + 1;
+  }
+  // Loop 6 is the most imbalanced; loop 1 the best scaled candidate.
+  EXPECT_EQ(View.MostImbalanced, 5u);
+  EXPECT_EQ(View.MostImbalancedScaled, 0u);
+}
+
+TEST(PaperDatasetTest, DominanceFindingsMatchSection4) {
+  CoarseProfile Profile = computeCoarseProfile(paperCube());
+  // "the heaviest loop, that is, loop 1, accounts for about 27% of the
+  // overall wall clock time".
+  EXPECT_EQ(Profile.HeaviestRegion, 0u);
+  EXPECT_NEAR(Profile.Regions[0].FractionOfProgram, 0.2725, 0.005);
+  EXPECT_EQ(Profile.DominantActivity, paper::Computation);
+  // Loop 1 also leads the dominant activity.
+  EXPECT_EQ(Profile.RegionDominatingDominantActivity, 0u);
+  // "The loop which spends the longest time in point-to-point
+  // communications is loop 3."
+  EXPECT_EQ(Profile.Extremes[paper::PointToPoint].WorstRegion, 2u);
+  // "only three loops perform synchronizations".
+  EXPECT_EQ(Profile.Extremes[paper::Synchronization].RegionsPerforming, 3u);
+}
+
+TEST(PaperDatasetTest, KMeansSeparatesHeavyLoops) {
+  // "Clustering yields a partition of the loops into two groups.  The
+  // heaviest loops of the program, that is, loops 1 and 2, belong to one
+  // group, whereas the remaining loops belong to the second group."
+  auto Clusters = cantFail(clusterRegions(paperCube()));
+  EXPECT_EQ(Clusters.Assignments[0], Clusters.Assignments[1]);
+  for (size_t I = 2; I != paper::NumLoops; ++I)
+    EXPECT_NE(Clusters.Assignments[I], Clusters.Assignments[0])
+        << "loop " << I + 1;
+}
+
+TEST(PaperDatasetTest, Figure1PatternsReproduced) {
+  const MeasurementCube &Cube = paperCube();
+  PatternDiagram Fig1 = computePatternDiagram(Cube, paper::Computation);
+  // All seven loops perform computation.
+  EXPECT_EQ(Fig1.Regions.size(), 7u);
+  // "the times spent in computation by five out of 16 processors
+  // executing loop 4 belong to the upper 15% interval".
+  size_t Loop4Row = 3;
+  size_t Upper = Fig1.countInRow(Loop4Row, PatternCategory::Maximum) +
+                 Fig1.countInRow(Loop4Row, PatternCategory::UpperBand);
+  EXPECT_EQ(Upper, 5u);
+  // "on loop 6 the times of 11 out of 16 processors belong to the lower
+  // 15% interval".
+  size_t Loop6Row = 5;
+  size_t Lower = Fig1.countInRow(Loop6Row, PatternCategory::Minimum) +
+                 Fig1.countInRow(Loop6Row, PatternCategory::LowerBand);
+  EXPECT_EQ(Lower, 11u);
+}
+
+TEST(PaperDatasetTest, Figure2OnlyP2PLoopsPlotted) {
+  PatternDiagram Fig2 =
+      computePatternDiagram(paperCube(), paper::PointToPoint);
+  // Loops 3, 4, 5, 6 perform point-to-point communication.
+  ASSERT_EQ(Fig2.Regions.size(), 4u);
+  EXPECT_EQ(Fig2.Regions[0], 2u);
+  EXPECT_EQ(Fig2.Regions[1], 3u);
+  EXPECT_EQ(Fig2.Regions[2], 4u);
+  EXPECT_EQ(Fig2.Regions[3], 5u);
+}
+
+TEST(PaperDatasetTest, ProcessorViewFindingsReproduced) {
+  ProcessorView View = computeProcessorView(paperCube());
+  const auto &Findings = paper::processorFindings();
+  // Processor numbering in the paper is 1-based.
+  unsigned Proc1 = Findings.MostFrequentlyImbalanced - 1;
+  unsigned Proc2 = Findings.LongestImbalanced - 1;
+
+  // "processor 1 is the most frequently imbalanced as it is
+  // characterized by the largest values of the index of dispersion on
+  // two loops, namely, loops 3 and 7".
+  EXPECT_EQ(View.MostFrequentlyImbalanced, Proc1);
+  EXPECT_EQ(View.TimesMostImbalanced[Proc1], 2u);
+  EXPECT_EQ(View.MostImbalancedProc[2], Proc1);
+  EXPECT_EQ(View.MostImbalancedProc[6], Proc1);
+
+  // "Processor 2 is imbalanced for the longest time.  This processor is
+  // the most imbalanced on one loop only, namely, loop 1, with an index
+  // of dispersion equal to 0.25754 and a wall clock time equal to 15.93
+  // seconds."
+  EXPECT_EQ(View.LongestImbalanced, Proc2);
+  EXPECT_EQ(View.MostImbalancedProc[0], Proc2);
+  EXPECT_EQ(View.TimesMostImbalanced[Proc2], 1u);
+  EXPECT_NEAR(View.Index[0][Proc2], Findings.Proc2Loop1Index, 0.02);
+  EXPECT_NEAR(paperCube().procRegionTime(0, Proc2),
+              Findings.Proc2Loop1WallClock, 0.3);
+}
+
+TEST(PaperDatasetTest, FullPipelineConclusionMatchesPaper) {
+  auto Result = cantFail(analyze(paperCube()));
+  // The paper's bottom line: loop 1 is the best tuning candidate (large
+  // index *and* large scaled index), the dominant activity is
+  // computation, and synchronization's imbalance is negligible once
+  // scaled.
+  ASSERT_FALSE(Result.RegionCandidates.empty());
+  EXPECT_EQ(Result.RegionCandidates[0].Item, 0u);
+  EXPECT_LT(Result.Activities.ScaledIndex[paper::Synchronization], 0.001);
+  EXPECT_EQ(Result.Profile.DominantActivity, paper::Computation);
+}
+
+TEST(PaperDatasetTest, HierarchicalClusteringIsolatesLoopOne) {
+  // Cross-check with a different algorithm family: average-linkage
+  // agglomerative clustering on the same standardized features peels
+  // loop 1 off *first* — its synchronization share makes it an outlier
+  // in z-space.  A different partition than k-means' {1,2}/{3..7}, but
+  // the same conclusion: loop 1 is the special region.  (k-means is the
+  // paper's choice; this documents the sensitivity.)
+  auto Points = regionFeatureMatrix(paperCube(), /*Standardize=*/true);
+  auto Tree = cantFail(cluster::hierarchicalCluster(
+      Points, cluster::Metric::Euclidean, cluster::Linkage::Average));
+  auto Assignments = Tree.cut(2);
+  for (size_t I = 1; I != Assignments.size(); ++I) {
+    EXPECT_NE(Assignments[I], Assignments[0]) << "loop " << I + 1;
+    EXPECT_EQ(Assignments[I], Assignments[1]) << "loop " << I + 1;
+  }
+  // The light loops 6 and 7 merge first: they are the closest pair.
+  EXPECT_EQ(std::min(Tree.Merges[0].Left, Tree.Merges[0].Right), 5u);
+  EXPECT_EQ(std::max(Tree.Merges[0].Left, Tree.Merges[0].Right), 6u);
+}
+
+TEST(PaperDatasetTest, SilhouetteSweepOnSevenPointsPrefersFinerK) {
+  // With only 7 region points the silhouette criterion prefers K = 4
+  // (pairs of similar loops) over the paper's a-priori K = 2 — a known
+  // small-sample effect, documented here so the automated selection is
+  // not mistaken for a reproduction knob.
+  auto Points = regionFeatureMatrix(paperCube(), /*Standardize=*/true);
+  auto Choice = cantFail(cluster::chooseClusterCount(Points, 4));
+  EXPECT_EQ(Choice.K, 4u);
+  ASSERT_EQ(Choice.Sweep.size(), 3u); // K = 2, 3, 4.
+  EXPECT_GT(Choice.Sweep[2], Choice.Sweep[0]);
+}

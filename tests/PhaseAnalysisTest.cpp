@@ -1,0 +1,136 @@
+//===- tests/PhaseAnalysisTest.cpp - temporal analysis tests --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "apps/gallery/ParticleExchange.h"
+#include "core/PhaseAnalysis.h"
+#include "TestHelpers.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+using trace::EventKind;
+
+namespace {
+
+/// Two procs, one region, two instances: balanced first, skewed second.
+trace::Trace makePhaseTrace() {
+  trace::Trace T(2);
+  uint32_t R = T.addRegion("loop");
+  uint32_t A = T.addActivity("comp");
+  auto instance = [&](unsigned Proc, double Begin, double Work) {
+    T.append({Begin, Proc, EventKind::RegionEnter, R, 0});
+    T.append({Begin, Proc, EventKind::ActivityBegin, A, 0});
+    T.append({Begin + Work, Proc, EventKind::ActivityEnd, A, 0});
+    T.append({Begin + Work, Proc, EventKind::RegionExit, R, 0});
+  };
+  instance(0, 0.0, 1.0);
+  instance(0, 2.0, 1.0);
+  instance(1, 0.0, 1.0);
+  instance(1, 2.0, 3.0); // Skewed second instance.
+  return T;
+}
+
+} // namespace
+
+TEST(PhaseAnalysisTest, PerInstanceIndices) {
+  auto Result = cantFail(analyzePhases(makePhaseTrace()));
+  ASSERT_EQ(Result.Series.size(), 1u);
+  const PhaseSeries &Series = Result.Series[0];
+  ASSERT_EQ(Series.InstanceIndex.size(), 2u);
+  // First instance balanced, second skewed {1, 3}: shares {0.25, 0.75}.
+  EXPECT_NEAR(Series.InstanceIndex[0], 0.0, 1e-12);
+  EXPECT_NEAR(Series.InstanceIndex[1], std::sqrt(2 * 0.25 * 0.25), 1e-12);
+  EXPECT_NEAR(Series.InstanceTime[0], 1.0, 1e-12);
+  EXPECT_NEAR(Series.InstanceTime[1], 2.0, 1e-12);
+}
+
+TEST(PhaseAnalysisTest, RejectsMisalignedInstanceCounts) {
+  trace::Trace T(2);
+  uint32_t R = T.addRegion("loop");
+  uint32_t A = T.addActivity("comp");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.0, 0, EventKind::ActivityBegin, A, 0});
+  T.append({1.0, 0, EventKind::ActivityEnd, A, 0});
+  T.append({1.0, 0, EventKind::RegionExit, R, 0});
+  // Proc 1 never runs the region.
+  auto Result = analyzePhases(T);
+  EXPECT_TRUE(testutil::failed(std::move(Result)));
+}
+
+TEST(PhaseAnalysisTest, TrendDetectsSlope) {
+  Trend Up = linearTrend({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(Up.Slope, 1.0, 1e-12);
+  EXPECT_NEAR(Up.RelativeSlope, 0.4, 1e-12);
+  Trend Flat = linearTrend({2.0, 2.0, 2.0});
+  EXPECT_NEAR(Flat.Slope, 0.0, 1e-12);
+  Trend Short = linearTrend({5.0});
+  EXPECT_DOUBLE_EQ(Short.Slope, 0.0);
+}
+
+TEST(PhaseAnalysisTest, SparklineShape) {
+  EXPECT_EQ(renderSparkline({0.0, 1.0}), ".@");
+  EXPECT_EQ(renderSparkline({1.0, 1.0, 1.0}), "...");
+  EXPECT_EQ(renderSparkline({}), "");
+  std::string Ramp = renderSparkline({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(Ramp, ".:-=+*#%@");
+}
+
+TEST(PhaseAnalysisTest, StableCfdRunHasFlatIndexSeries) {
+  cfd::CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 48;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 6;
+  auto Run = cantFail(cfd::runCfd(Config));
+  auto Phases = cantFail(analyzePhases(Run.Trace));
+  // Pressure loop: per-iteration indices must stay near the aggregate
+  // (no drift configured).
+  const PhaseSeries &Pressure = Phases.Series[0];
+  ASSERT_EQ(Pressure.InstanceIndex.size(), 6u);
+  Trend T = linearTrend(Pressure.InstanceIndex);
+  EXPECT_LT(std::fabs(T.RelativeSlope), 0.05);
+}
+
+TEST(PhaseAnalysisTest, CfdDriftShowsIncreasingTrend) {
+  cfd::CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 48;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 6;
+  Config.ImbalanceScale = 0.3;
+  Config.ImbalanceDriftPerIteration = 0.5;
+  auto Run = cantFail(cfd::runCfd(Config));
+  auto Phases = cantFail(analyzePhases(Run.Trace));
+  const PhaseSeries &Pressure = Phases.Series[0];
+  Trend T = linearTrend(Pressure.InstanceIndex);
+  EXPECT_GT(T.RelativeSlope, 0.1);
+  // And the last instance is clearly worse than the first.
+  EXPECT_GT(Pressure.InstanceIndex.back(),
+            1.5 * Pressure.InstanceIndex.front());
+}
+
+TEST(PhaseAnalysisTest, ParticleMigrationDriftDetected) {
+  gallery::ParticleExchangeConfig Config;
+  Config.Procs = 8;
+  Config.Steps = 10;
+  Config.MigrationFraction = 0.1;
+  auto Trace = cantFail(gallery::runParticleExchange(Config));
+  auto Phases = cantFail(analyzePhases(Trace));
+  // Region 0 is the force computation whose load drifts to high ranks.
+  const PhaseSeries &Forces = Phases.Series[0];
+  ASSERT_EQ(Forces.InstanceIndex.size(), 10u);
+  Trend T = linearTrend(Forces.InstanceIndex);
+  EXPECT_GT(T.Slope, 0.0);
+  EXPECT_GT(Forces.InstanceIndex.back(), Forces.InstanceIndex.front());
+  // Without migration the series stays flat at zero.
+  Config.MigrationFraction = 0.0;
+  auto Balanced = cantFail(gallery::runParticleExchange(Config));
+  auto BalancedPhases = cantFail(analyzePhases(Balanced));
+  for (double Index : BalancedPhases.Series[0].InstanceIndex)
+    EXPECT_NEAR(Index, 0.0, 1e-9);
+}

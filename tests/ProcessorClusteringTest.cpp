@@ -1,0 +1,120 @@
+//===- tests/ProcessorClusteringTest.cpp - processor grouping tests -------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "apps/gallery/MasterWorker.h"
+#include "core/ProcessorClustering.h"
+#include "core/TraceReduction.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::core;
+
+TEST(ProcessorClusteringTest, FeatureMatrixRowsAreCellShares) {
+  MeasurementCube Cube({"r"}, {"a", "b"}, 2);
+  Cube.at(0, 0, 0) = 3.0;
+  Cube.at(0, 0, 1) = 1.0;
+  Cube.at(0, 1, 0) = 0.0;
+  Cube.at(0, 1, 1) = 2.0;
+  auto Features = processorFeatureMatrix(Cube);
+  ASSERT_EQ(Features.size(), 2u);
+  ASSERT_EQ(Features[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(Features[0][0], 0.75);
+  EXPECT_DOUBLE_EQ(Features[1][0], 0.25);
+  EXPECT_DOUBLE_EQ(Features[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(Features[1][1], 1.0);
+}
+
+TEST(ProcessorClusteringTest, SeparatesTwoBehavioralRoles) {
+  // Procs 0-2 compute-heavy, procs 3-5 communication-heavy.
+  MeasurementCube Cube({"r"}, {"comp", "comm"}, 6);
+  for (unsigned P = 0; P != 6; ++P) {
+    Cube.at(0, 0, P) = P < 3 ? 4.0 : 0.5;
+    Cube.at(0, 1, P) = P < 3 ? 0.5 : 4.0;
+  }
+  ProcessorClusteringOptions Options;
+  Options.K = 2;
+  auto Clusters = cantFail(clusterProcessors(Cube, Options));
+  EXPECT_EQ(Clusters.Assignments[0], Clusters.Assignments[1]);
+  EXPECT_EQ(Clusters.Assignments[0], Clusters.Assignments[2]);
+  EXPECT_EQ(Clusters.Assignments[3], Clusters.Assignments[4]);
+  EXPECT_NE(Clusters.Assignments[0], Clusters.Assignments[3]);
+  EXPECT_GT(Clusters.Silhouette, 0.5);
+}
+
+TEST(ProcessorClusteringTest, AutomaticKSeparatesMasterFromWorkers) {
+  gallery::MasterWorkerConfig Config;
+  Config.Procs = 8;
+  Config.Tasks = 120;
+  auto Trace = cantFail(gallery::runMasterWorker(Config));
+  auto Cube = cantFail(core::reduceTrace(Trace));
+  auto Clusters = cantFail(clusterProcessors(Cube));
+  // The master (rank 0) must sit in its own group; all workers together.
+  size_t MasterGroup = Clusters.Assignments[0];
+  unsigned GroupSize = 0;
+  for (size_t Group : Clusters.Assignments)
+    GroupSize += Group == MasterGroup;
+  EXPECT_EQ(GroupSize, 1u);
+  size_t WorkerGroup = Clusters.Assignments[1];
+  for (unsigned P = 2; P != Config.Procs; ++P)
+    EXPECT_EQ(Clusters.Assignments[P], WorkerGroup) << "worker " << P;
+}
+
+TEST(ProcessorClusteringTest, GroupsPartitionProcessors) {
+  MeasurementCube Cube({"r"}, {"a"}, 5);
+  for (unsigned P = 0; P != 5; ++P)
+    Cube.at(0, 0, P) = 1.0 + P;
+  ProcessorClusteringOptions Options;
+  Options.K = 2;
+  auto Clusters = cantFail(clusterProcessors(Cube, Options));
+  size_t Total = 0;
+  for (const auto &Group : Clusters.Groups)
+    Total += Group.size();
+  EXPECT_EQ(Total, 5u);
+}
+
+TEST(ProcessorClusteringTest, RejectsDegenerateInput) {
+  // All processors identical: a single distinct feature point.
+  MeasurementCube Cube({"r"}, {"a"}, 4);
+  for (unsigned P = 0; P != 4; ++P)
+    Cube.at(0, 0, P) = 1.0;
+  ProcessorClusteringOptions Options;
+  Options.K = 2;
+  EXPECT_TRUE(testutil::failed(clusterProcessors(Cube, Options)));
+}
+
+TEST(ProcessorClusteringTest, IsolatesDegradedNodeAndItsNeighbors) {
+  // A balanced program on a machine with one slow node (0-based rank 4
+  // of 8).  At K = 3 the behavioral grouping isolates the degraded rank
+  // as a singleton AND puts its pipeline neighbors (ranks 3 and 5, who
+  // absorb its lateness as extra p2p wait) in a second group — the
+  // clustering finds not just the fault but its blast radius.
+  cfd::CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 44;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 3;
+  Config.ImbalanceScale = 0.0;
+  Config.ComputeSpeed.assign(Config.Procs, 1.0);
+  Config.ComputeSpeed[4] = 0.5;
+  auto Run = cantFail(cfd::runCfd(Config));
+  auto Cube = cantFail(core::reduceTrace(Run.Trace));
+  ProcessorClusteringOptions Options;
+  Options.K = 3;
+  auto Clusters = cantFail(clusterProcessors(Cube, Options));
+
+  // Slow rank is a singleton.
+  size_t SlowGroup = Clusters.Assignments[4];
+  unsigned SlowGroupSize = 0;
+  for (size_t Group : Clusters.Assignments)
+    SlowGroupSize += Group == SlowGroup;
+  EXPECT_EQ(SlowGroupSize, 1u);
+  // Its neighbors share a group distinct from the healthy majority.
+  EXPECT_EQ(Clusters.Assignments[3], Clusters.Assignments[5]);
+  EXPECT_NE(Clusters.Assignments[3], Clusters.Assignments[0]);
+  EXPECT_NE(Clusters.Assignments[3], SlowGroup);
+}

@@ -1,0 +1,132 @@
+//===- tests/SimPropertyTest.cpp - simulator fuzz properties --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized-program properties of the discrete-event engine: for any
+// well-formed program (every rank derives the same communication
+// schedule from a shared seed, so all sends and collectives match), the
+// simulation must terminate, produce a structurally valid trace, reduce
+// to a valid cube, and be bit-identical across runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TraceReduction.h"
+#include "sim/Simulation.h"
+#include "support/RNG.h"
+#include "trace/TraceIO.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::sim;
+
+namespace {
+
+/// One randomly scheduled, always-well-formed program.  All ranks build
+/// the same schedule from \p Seed; per-rank variation only enters
+/// through rank-dependent compute amounts (which cannot deadlock).
+void randomProgram(Comm &C, uint64_t Seed, unsigned Steps) {
+  RNG Schedule(Seed); // Identical stream on every rank.
+  unsigned Rank = C.rank();
+  unsigned Procs = C.size();
+  RegionScope Scope(C, 0);
+  for (unsigned Step = 0; Step != Steps; ++Step) {
+    uint64_t Op = Schedule.uniformInt(6);
+    double Base = Schedule.uniformIn(0.0, 0.01);
+    uint64_t Bytes = 1 + Schedule.uniformInt(4096);
+    switch (Op) {
+    case 0: // Rank-skewed compute.
+      C.compute(Base * (1.0 + 0.3 * Rank));
+      break;
+    case 1: { // Ring shift.
+      unsigned Next = (Rank + 1) % Procs;
+      unsigned Prev = (Rank + Procs - 1) % Procs;
+      C.send(Next, Bytes, static_cast<int>(Step));
+      C.recv(Prev, static_cast<int>(Step));
+      break;
+    }
+    case 2: // Allreduce.
+      C.allReduce(Bytes);
+      break;
+    case 3: // Barrier.
+      C.barrier();
+      break;
+    case 4: // All-to-all.
+      C.allToAll(Bytes % 512);
+      break;
+    case 5: { // Gather to a schedule-chosen root.
+      unsigned Root = static_cast<unsigned>(Schedule.uniformInt(Procs));
+      C.gather(Root, Bytes % 256);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+class SimFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimFuzzTest, RandomProgramsProduceValidDeterministicTraces) {
+  uint64_t Seed = GetParam();
+  SimulationOptions Options;
+  Options.NumProcs = 2 + static_cast<unsigned>(Seed % 7);
+  Options.RegionNames = {"random"};
+
+  auto Run = [&] {
+    return cantFail(simulate(
+        Options, [&](Comm &C) { randomProgram(C, Seed, 40); }));
+  };
+  trace::Trace A = Run();
+  Error E = A.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+
+  // Deterministic replay.
+  trace::Trace B = Run();
+  EXPECT_EQ(trace::writeTraceText(A), trace::writeTraceText(B));
+
+  // Reduces to a valid cube with non-negative cells and sane totals.
+  auto Cube = cantFail(core::reduceTrace(A));
+  Error CubeErr = Cube.validate();
+  EXPECT_FALSE(static_cast<bool>(CubeErr));
+  EXPECT_GE(Cube.programTime(), Cube.instrumentedTotal() - 1e-9);
+
+  // Round-trips through the text format.
+  trace::Trace Parsed = cantFail(trace::parseTraceText(
+      trace::writeTraceText(A)));
+  Error ParsedErr = Parsed.validate();
+  EXPECT_FALSE(static_cast<bool>(ParsedErr));
+}
+
+TEST_P(SimFuzzTest, AnySourceServerDrainsAllClients) {
+  uint64_t Seed = GetParam();
+  SimulationOptions Options;
+  Options.NumProcs = 3 + static_cast<unsigned>(Seed % 6);
+  Options.RegionNames = {"server"};
+  unsigned Procs = Options.NumProcs;
+
+  std::vector<unsigned> SeenCount(Procs, 0);
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    RNG Rng(Seed + C.rank());
+    if (C.rank() == 0) {
+      for (unsigned I = 0; I + 1 != Procs; ++I) {
+        Comm::RecvResult R = C.recvAny(0);
+        ++SeenCount[R.Source];
+      }
+    } else {
+      C.compute(Rng.uniformIn(0.0, 0.05));
+      C.send(0, 16);
+    }
+  }));
+  EXPECT_EQ(SeenCount[0], 0u);
+  for (unsigned P = 1; P != Procs; ++P)
+    EXPECT_EQ(SeenCount[P], 1u) << "client " << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));

@@ -1,0 +1,643 @@
+//===- tests/SimTest.cpp - discrete-event simulator tests -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+#include "sim/Simulation.h"
+#include "core/TraceReduction.h"
+#include "trace/TraceIO.h"
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace lima;
+using namespace lima::sim;
+using trace::EventKind;
+
+namespace {
+
+/// Simulation options with a simple region set and round-number network
+/// costs so expected times are easy to compute by hand.
+SimulationOptions makeOptions(unsigned Procs) {
+  SimulationOptions Options;
+  Options.NumProcs = Procs;
+  Options.RegionNames = {"main", "aux"};
+  Options.Network.Latency = 1e-3;
+  Options.Network.BytesPerSecond = 1e6;
+  Options.Network.SendOverhead = 1e-4;
+  Options.Network.RecvOverhead = 1e-4;
+  return Options;
+}
+
+/// Total time proc \p Proc spent in activity \p Activity.
+double activityTime(const trace::Trace &T, unsigned Proc, uint32_t Activity) {
+  double Total = 0.0, Begin = 0.0;
+  for (const trace::Event &E : T.events(Proc)) {
+    if (E.Kind == EventKind::ActivityBegin && E.Id == Activity)
+      Begin = E.Time;
+    else if (E.Kind == EventKind::ActivityEnd && E.Id == Activity)
+      Total += E.Time - Begin;
+  }
+  return Total;
+}
+
+/// Last event time of \p Proc.
+double finalTime(const trace::Trace &T, unsigned Proc) {
+  return T.events(Proc).empty() ? 0.0 : T.events(Proc).back().Time;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Network model
+//===----------------------------------------------------------------------===//
+
+TEST(NetworkTest, CeilLog2) {
+  EXPECT_EQ(ceilLog2(1), 0u);
+  EXPECT_EQ(ceilLog2(2), 1u);
+  EXPECT_EQ(ceilLog2(3), 2u);
+  EXPECT_EQ(ceilLog2(16), 4u);
+  EXPECT_EQ(ceilLog2(17), 5u);
+}
+
+TEST(NetworkTest, CostFormulas) {
+  NetworkModel Net;
+  Net.Latency = 1e-3;
+  Net.BytesPerSecond = 1e6;
+  EXPECT_DOUBLE_EQ(Net.pointToPointTime(1000), 1e-3 + 1e-3);
+  EXPECT_DOUBLE_EQ(Net.barrierTime(16), 4e-3);
+  EXPECT_DOUBLE_EQ(Net.barrierTime(1), 0.0);
+  EXPECT_DOUBLE_EQ(Net.treeCollectiveTime(16, 1000), 4 * 2e-3);
+  EXPECT_DOUBLE_EQ(Net.allReduceTime(16, 1000), 8 * 2e-3);
+  EXPECT_DOUBLE_EQ(Net.allToAllTime(16, 1000), 15 * 2e-3);
+  EXPECT_DOUBLE_EQ(Net.rootedLinearTime(4, 500), 3 * 1.5e-3);
+}
+
+TEST(NetworkTest, AllReduceAlgorithmFormulas) {
+  NetworkModel Net;
+  Net.Latency = 1e-3;
+  Net.BytesPerSecond = 1e6;
+  // P = 8, 1000 bytes: wire = 1ms.
+  EXPECT_DOUBLE_EQ(
+      Net.allReduceTimeAs(AllReduceAlgorithm::Tree, 8, 1000),
+      2 * 3 * 2e-3);
+  EXPECT_DOUBLE_EQ(
+      Net.allReduceTimeAs(AllReduceAlgorithm::RecursiveDoubling, 8, 1000),
+      3 * 2e-3);
+  EXPECT_DOUBLE_EQ(Net.allReduceTimeAs(AllReduceAlgorithm::Ring, 8, 1000),
+                   2 * 7 * 1e-3 + 2 * (7.0 / 8.0) * 1e-3);
+  // Configured algorithm is used by allReduceTime.
+  Net.AllReduce = AllReduceAlgorithm::Ring;
+  EXPECT_DOUBLE_EQ(Net.allReduceTime(8, 1000),
+                   Net.allReduceTimeAs(AllReduceAlgorithm::Ring, 8, 1000));
+}
+
+TEST(NetworkTest, AllReduceCrossoverExists) {
+  NetworkModel Net; // Default alpha/beta.
+  // Small messages: latency-optimal recursive doubling wins.
+  EXPECT_LT(Net.allReduceTimeAs(AllReduceAlgorithm::RecursiveDoubling, 64,
+                                8),
+            Net.allReduceTimeAs(AllReduceAlgorithm::Ring, 64, 8));
+  // Large messages: bandwidth-optimal ring wins.
+  EXPECT_LT(Net.allReduceTimeAs(AllReduceAlgorithm::Ring, 64, 1 << 26),
+            Net.allReduceTimeAs(AllReduceAlgorithm::RecursiveDoubling, 64,
+                                1 << 26));
+  // Tree is never better than recursive doubling (it is exactly 2x).
+  for (uint64_t Bytes : {8ull, 4096ull, 1048576ull})
+    EXPECT_GT(Net.allReduceTimeAs(AllReduceAlgorithm::Tree, 16, Bytes),
+              Net.allReduceTimeAs(AllReduceAlgorithm::RecursiveDoubling,
+                                  16, Bytes));
+}
+
+TEST(NetworkTest, AlgorithmReachesSimulatedTimes) {
+  SimulationOptions Options = makeOptions(4);
+  Options.Network.AllReduce = AllReduceAlgorithm::Ring;
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.allReduce(1000);
+  }));
+  double Expected =
+      Options.Network.allReduceTimeAs(AllReduceAlgorithm::Ring, 4, 1000);
+  EXPECT_NEAR(finalTime(Trace, 0), Expected, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Point-to-point semantics
+//===----------------------------------------------------------------------===//
+
+TEST(SimTest, SendRecvTimingExact) {
+  SimulationOptions Options = makeOptions(2);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.compute(0.5);
+      C.send(1, 1000); // Wire time: 1ms + 1ms = 2ms.
+    } else {
+      C.recv(0);
+    }
+  }));
+  cantFail(Trace.validate());
+  // Sender: 0.5 compute + 1e-4 send overhead.
+  EXPECT_NEAR(finalTime(Trace, 0), 0.5 + 1e-4, 1e-12);
+  // Receiver: blocked from 0 until arrival (0.5001 + 0.002) + overhead.
+  EXPECT_NEAR(finalTime(Trace, 1), 0.5 + 1e-4 + 2e-3 + 1e-4, 1e-12);
+  // The whole wait is attributed to point-to-point on the receiver.
+  EXPECT_NEAR(activityTime(Trace, 1, ActPointToPoint), 0.5 + 1e-4 + 2e-3 +
+              1e-4, 1e-12);
+}
+
+TEST(SimTest, RecvAfterArrivalCostsOnlyOverhead) {
+  SimulationOptions Options = makeOptions(2);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, 1000);
+    } else {
+      C.compute(1.0); // Message arrives long before the recv.
+      C.recv(0);
+    }
+  }));
+  EXPECT_NEAR(finalTime(Trace, 1), 1.0 + 1e-4, 1e-12);
+}
+
+TEST(SimTest, PayloadDeliveredIntact) {
+  SimulationOptions Options = makeOptions(2);
+  std::vector<double> Received(4, 0.0);
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      double Payload[4] = {1.5, -2.5, 3.25, 0.0};
+      C.sendData(1, Payload, sizeof(Payload));
+    } else {
+      uint64_t Bytes =
+          C.recvData(0, Received.data(), Received.size() * sizeof(double));
+      EXPECT_EQ(Bytes, 4 * sizeof(double));
+    }
+  }));
+  cantFail(Trace.validate());
+  EXPECT_DOUBLE_EQ(Received[0], 1.5);
+  EXPECT_DOUBLE_EQ(Received[1], -2.5);
+  EXPECT_DOUBLE_EQ(Received[2], 3.25);
+}
+
+TEST(SimTest, TagsMatchSelectively) {
+  SimulationOptions Options = makeOptions(2);
+  std::vector<uint64_t> Sizes(2, 0);
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, 100, /*Tag=*/7);
+      C.send(1, 200, /*Tag=*/9);
+    } else {
+      Sizes[0] = C.recv(0, /*Tag=*/9); // Out of order by tag.
+      Sizes[1] = C.recv(0, /*Tag=*/7);
+    }
+  }));
+  EXPECT_EQ(Sizes[0], 200u);
+  EXPECT_EQ(Sizes[1], 100u);
+}
+
+TEST(SimTest, FifoWithinTag) {
+  SimulationOptions Options = makeOptions(2);
+  std::vector<uint64_t> Sizes;
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, 1);
+      C.send(1, 2);
+      C.send(1, 3);
+    } else {
+      for (int I = 0; I != 3; ++I)
+        Sizes.push_back(C.recv(0));
+    }
+  }));
+  EXPECT_EQ(Sizes, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// Collectives
+//===----------------------------------------------------------------------===//
+
+TEST(SimTest, BarrierSynchronizesToLastArrival) {
+  SimulationOptions Options = makeOptions(4);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.compute(0.1 * (C.rank() + 1)); // Rank 3 arrives at 0.4.
+    C.barrier();
+  }));
+  double Leave = 0.4 + Options.Network.barrierTime(4);
+  for (unsigned P = 0; P != 4; ++P)
+    EXPECT_NEAR(finalTime(Trace, P), Leave, 1e-12);
+  // Rank 0 waited longest: barrier time 0.3 + cost.
+  EXPECT_NEAR(activityTime(Trace, 0, ActSynchronization),
+              0.3 + Options.Network.barrierTime(4), 1e-12);
+  EXPECT_NEAR(activityTime(Trace, 3, ActSynchronization),
+              Options.Network.barrierTime(4), 1e-12);
+}
+
+TEST(SimTest, AllReduceSumCombinesValues) {
+  SimulationOptions Options = makeOptions(8);
+  std::vector<double> Results(8, -1.0);
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    Results[C.rank()] = C.allReduceSum(static_cast<double>(C.rank() + 1));
+  }));
+  for (double R : Results)
+    EXPECT_DOUBLE_EQ(R, 36.0); // 1 + 2 + ... + 8.
+}
+
+TEST(SimTest, ReduceSumDeliversToRootOnly) {
+  SimulationOptions Options = makeOptions(4);
+  std::vector<double> Results(4, -1.0);
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    Results[C.rank()] = C.reduceSum(2, 1.5);
+  }));
+  EXPECT_DOUBLE_EQ(Results[2], 6.0);
+  EXPECT_DOUBLE_EQ(Results[0], 0.0);
+  EXPECT_DOUBLE_EQ(Results[1], 0.0);
+  EXPECT_DOUBLE_EQ(Results[3], 0.0);
+}
+
+TEST(SimTest, CollectiveWaitAttributedToCollective) {
+  SimulationOptions Options = makeOptions(2);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 1)
+      C.compute(1.0);
+    C.allReduce(100);
+  }));
+  double Cost = Options.Network.allReduceTime(2, 100);
+  EXPECT_NEAR(activityTime(Trace, 0, ActCollective), 1.0 + Cost, 1e-12);
+  EXPECT_NEAR(activityTime(Trace, 1, ActCollective), Cost, 1e-12);
+}
+
+TEST(SimTest, MismatchedCollectivesFail) {
+  SimulationOptions Options = makeOptions(2);
+  auto Result = simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0)
+      C.barrier();
+    else
+      C.allReduce(8);
+  });
+  ASSERT_FALSE(static_cast<bool>(Result));
+  Error E = Result.takeError();
+  EXPECT_NE(E.message().find("mismatch"), std::string::npos);
+}
+
+TEST(SimTest, RootedCollectivesCostLinearTime) {
+  SimulationOptions Options = makeOptions(4);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.gather(0, 500);
+    C.scatter(0, 500);
+  }));
+  double PerOp = Options.Network.rootedLinearTime(4, 500);
+  for (unsigned P = 0; P != 4; ++P)
+    EXPECT_NEAR(finalTime(Trace, P), 2 * PerOp, 1e-12);
+}
+
+TEST(SimTest, BroadcastAndReduceCostTreeTime) {
+  SimulationOptions Options = makeOptions(8);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.broadcast(3, 100);
+    C.reduce(3, 100);
+  }));
+  double PerOp = Options.Network.treeCollectiveTime(8, 100);
+  EXPECT_NEAR(finalTime(Trace, 0), 2 * PerOp, 1e-12);
+}
+
+TEST(SimTest, ThreeHopRelayTimingExact) {
+  // 0 -> 1 -> 2 relay: each hop adds send overhead + wire + recv
+  // overhead on the critical path.
+  SimulationOptions Options = makeOptions(3);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, 1000);
+    } else if (C.rank() == 1) {
+      C.recv(0);
+      C.send(2, 1000);
+    } else {
+      C.recv(1);
+    }
+  }));
+  const NetworkModel &Net = Options.Network;
+  double Hop = Net.SendOverhead + Net.pointToPointTime(1000) +
+               Net.RecvOverhead;
+  EXPECT_NEAR(finalTime(Trace, 2), 2 * Hop, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure modes
+//===----------------------------------------------------------------------===//
+
+TEST(SimTest, DeadlockIsDetected) {
+  SimulationOptions Options = makeOptions(2);
+  auto Result = simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.recv(1 - C.rank()); // Both wait; nobody sends.
+  });
+  ASSERT_FALSE(static_cast<bool>(Result));
+  Error E = Result.takeError();
+  EXPECT_NE(E.message().find("deadlock"), std::string::npos);
+}
+
+TEST(SimTest, PartialDeadlockAlsoDetected) {
+  SimulationOptions Options = makeOptions(3);
+  auto Result = simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 2)
+      C.recv(0); // Never satisfied; ranks 0/1 finish.
+  });
+  ASSERT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(SimTest, TimeLimitEnforced) {
+  SimulationOptions Options = makeOptions(2);
+  Options.TimeLimit = 1.0;
+  auto Result = simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.compute(10.0);
+    C.barrier();
+  });
+  ASSERT_FALSE(static_cast<bool>(Result));
+  Error E = Result.takeError();
+  EXPECT_NE(E.message().find("time limit"), std::string::npos);
+}
+
+TEST(SimTest, RejectsZeroProcs) {
+  SimulationOptions Options = makeOptions(2);
+  Options.NumProcs = 0;
+  auto Result = simulate(Options, [](Comm &) {});
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(SimTest, RejectsBadComputeSpeedSize) {
+  SimulationOptions Options = makeOptions(4);
+  Options.ComputeSpeed = {1.0, 2.0}; // Wrong length.
+  auto Result = simulate(Options, [](Comm &) {});
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+//===----------------------------------------------------------------------===//
+// Heterogeneity and determinism
+//===----------------------------------------------------------------------===//
+
+TEST(SimTest, ComputeSpeedScalesTime) {
+  SimulationOptions Options = makeOptions(2);
+  Options.ComputeSpeed = {1.0, 2.0};
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.compute(1.0);
+  }));
+  EXPECT_NEAR(activityTime(Trace, 0, ActComputation), 1.0, 1e-12);
+  EXPECT_NEAR(activityTime(Trace, 1, ActComputation), 0.5, 1e-12);
+}
+
+TEST(SimTest, DeterministicAcrossRuns) {
+  SimulationOptions Options = makeOptions(8);
+  auto Program = [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.compute(0.01 * ((C.rank() * 7) % 5));
+    if (C.rank() + 1 < C.size())
+      C.send(C.rank() + 1, 100 * (C.rank() + 1));
+    if (C.rank() > 0)
+      C.recv(C.rank() - 1);
+    C.allReduce(64);
+    C.barrier();
+  };
+  auto A = cantFail(simulate(Options, Program));
+  auto B = cantFail(simulate(Options, Program));
+  EXPECT_EQ(trace::writeTraceText(A), trace::writeTraceText(B));
+}
+
+TEST(SimTest, ProducedTraceAlwaysValidates) {
+  SimulationOptions Options = makeOptions(6);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    {
+      RegionScope Scope(C, 0);
+      C.compute(0.1);
+      unsigned Right = (C.rank() + 1) % C.size();
+      unsigned Left = (C.rank() + C.size() - 1) % C.size();
+      C.send(Right, 128);
+      C.recv(Left);
+      C.allToAll(256);
+    }
+    {
+      RegionScope Scope(C, 1);
+      C.gather(0, 64);
+      C.scatter(0, 64);
+      C.broadcast(0, 32);
+      C.reduce(0, 16);
+      C.barrier();
+    }
+  }));
+  Error E = Trace.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(Trace.numRegions(), 2u);
+  EXPECT_EQ(Trace.numActivities(), 4u);
+}
+
+TEST(SimTest, RegionEventsBracketWork) {
+  SimulationOptions Options = makeOptions(2);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 1);
+    C.compute(0.25);
+  }));
+  const auto &Events = Trace.events(0);
+  ASSERT_GE(Events.size(), 4u);
+  EXPECT_EQ(Events.front().Kind, EventKind::RegionEnter);
+  EXPECT_EQ(Events.front().Id, 1u);
+  EXPECT_EQ(Events.back().Kind, EventKind::RegionExit);
+  EXPECT_NEAR(Events.back().Time, 0.25, 1e-12);
+}
+
+TEST(SimTest, RecvAnyPicksEarliestArrival) {
+  SimulationOptions Options = makeOptions(3);
+  std::vector<unsigned> Sources;
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.compute(1.0); // Let both senders finish first.
+      Sources.push_back(C.recvAny().Source);
+      Sources.push_back(C.recvAny().Source);
+    } else if (C.rank() == 1) {
+      C.compute(0.5); // Sends later than rank 2.
+      C.send(0, 100);
+    } else {
+      C.send(0, 100); // Arrives first.
+    }
+  }));
+  ASSERT_EQ(Sources.size(), 2u);
+  EXPECT_EQ(Sources[0], 2u);
+  EXPECT_EQ(Sources[1], 1u);
+}
+
+TEST(SimTest, RecvAnyBlocksUntilAnySend) {
+  SimulationOptions Options = makeOptions(3);
+  std::vector<unsigned> Sources;
+  auto Trace = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      Comm::RecvResult R = C.recvAny(7);
+      Sources.push_back(R.Source);
+      EXPECT_EQ(R.Bytes, 64u);
+    } else if (C.rank() == 2) {
+      C.compute(0.3);
+      C.send(0, 64, 7);
+    }
+    // Rank 1 does nothing.
+  }));
+  ASSERT_EQ(Sources.size(), 1u);
+  EXPECT_EQ(Sources[0], 2u);
+  // Rank 0 waited from t=0 to the arrival.
+  EXPECT_GT(finalTime(Trace, 0), 0.3);
+}
+
+TEST(SimTest, RecvAnyCarriesPayload) {
+  SimulationOptions Options = makeOptions(2);
+  double Received = 0.0;
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 1) {
+      double Value = 2.75;
+      C.sendData(0, &Value, sizeof(Value));
+    } else {
+      Comm::RecvResult R = C.recvAny(0, &Received, sizeof(Received));
+      EXPECT_EQ(R.Source, 1u);
+    }
+  }));
+  EXPECT_DOUBLE_EQ(Received, 2.75);
+}
+
+TEST(SimTest, IrecvOverlapHidesFlightTime) {
+  SimulationOptions Options = makeOptions(2);
+  // Wire time for 1 MB: 1ms latency + 1s transfer.
+  const uint64_t Bytes = 1000000;
+  auto Overlapped = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, Bytes);
+    } else {
+      Comm::Request R = C.irecv(0);
+      C.compute(2.0); // Overlaps the ~1s flight.
+      EXPECT_EQ(C.wait(R), Bytes);
+    }
+  }));
+  // Receiver: posting is free; compute 2.0 dominates the flight, so the
+  // wait only pays the receive overhead.
+  EXPECT_NEAR(finalTime(Overlapped, 1), 2.0 + 1e-4, 1e-9);
+  EXPECT_NEAR(activityTime(Overlapped, 1, ActPointToPoint), 1e-4, 1e-9);
+
+  auto Blocking = cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, Bytes);
+    } else {
+      C.recv(0);
+      C.compute(2.0);
+    }
+  }));
+  // Blocking: flight + compute serialize.
+  EXPECT_GT(finalTime(Blocking, 1), finalTime(Overlapped, 1) + 0.9);
+}
+
+TEST(SimTest, IrecvPayloadDelivered) {
+  SimulationOptions Options = makeOptions(2);
+  double Received = 0.0;
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      double Value = 6.25;
+      C.sendData(1, &Value, sizeof(Value));
+    } else {
+      Comm::Request R = C.irecv(0, &Received, sizeof(Received));
+      C.compute(0.1);
+      C.wait(R);
+    }
+  }));
+  EXPECT_DOUBLE_EQ(Received, 6.25);
+}
+
+TEST(SimTest, IrecvDifferentTagsWaitInAnyOrder) {
+  SimulationOptions Options = makeOptions(2);
+  std::vector<uint64_t> Sizes(2, 0);
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    if (C.rank() == 0) {
+      C.send(1, 111, /*Tag=*/1);
+      C.send(1, 222, /*Tag=*/2);
+    } else {
+      Comm::Request R1 = C.irecv(0, nullptr, 0, /*Tag=*/1);
+      Comm::Request R2 = C.irecv(0, nullptr, 0, /*Tag=*/2);
+      Sizes[1] = C.wait(R2); // Reverse order is fine across tags.
+      Sizes[0] = C.wait(R1);
+    }
+  }));
+  EXPECT_EQ(Sizes[0], 111u);
+  EXPECT_EQ(Sizes[1], 222u);
+}
+
+TEST(SimTest, ScanSumYieldsInclusivePrefixes) {
+  SimulationOptions Options = makeOptions(5);
+  std::vector<double> Results(5, -1.0);
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    Results[C.rank()] = C.scanSum(static_cast<double>(C.rank() + 1));
+  }));
+  // Inclusive prefixes of 1..5.
+  EXPECT_DOUBLE_EQ(Results[0], 1.0);
+  EXPECT_DOUBLE_EQ(Results[1], 3.0);
+  EXPECT_DOUBLE_EQ(Results[2], 6.0);
+  EXPECT_DOUBLE_EQ(Results[3], 10.0);
+  EXPECT_DOUBLE_EQ(Results[4], 15.0);
+}
+
+TEST(SimTest, ScanCostsOneTreePhase) {
+  SimulationOptions Options = makeOptions(8);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.scanSum(1.0);
+  }));
+  double Expected = Options.Network.treeCollectiveTime(8, sizeof(double));
+  EXPECT_NEAR(finalTime(Trace, 0), Expected, 1e-12);
+}
+
+TEST(SimTest, NestedRegionScopesProduceValidTraces) {
+  SimulationOptions Options = makeOptions(2);
+  auto Trace = cantFail(simulate(Options, [](Comm &C) {
+    RegionScope Outer(C, 0); // "main"
+    C.compute(0.1);
+    {
+      RegionScope Inner(C, 1); // "aux"
+      C.compute(0.2);
+    }
+    C.compute(0.1);
+  }));
+  Error E = Trace.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+  // Exclusive attribution: main 0.2, aux 0.2 per rank.
+  auto Cube = cantFail(core::reduceTrace(Trace));
+  EXPECT_NEAR(Cube.time(0, ActComputation, 0), 0.2, 1e-12);
+  EXPECT_NEAR(Cube.time(1, ActComputation, 0), 0.2, 1e-12);
+}
+
+TEST(SimTest, NowReflectsVirtualClock) {
+  SimulationOptions Options = makeOptions(2);
+  std::vector<double> Times(2, -1.0);
+  cantFail(simulate(Options, [&](Comm &C) {
+    RegionScope Scope(C, 0);
+    C.compute(0.5);
+    Times[C.rank()] = C.now();
+  }));
+  EXPECT_DOUBLE_EQ(Times[0], 0.5);
+  EXPECT_DOUBLE_EQ(Times[1], 0.5);
+}

@@ -1,0 +1,432 @@
+//===- tests/SupportTest.cpp - support library unit tests -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CSV.h"
+#include "support/CommandLine.h"
+#include "support/Error.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "support/MathUtils.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+#include "support/TableFormatter.h"
+#include "support/raw_ostream.h"
+#include "TestHelpers.h"
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace lima;
+
+//===----------------------------------------------------------------------===//
+// Error / Expected
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = Error::failure("boom");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "boom");
+}
+
+TEST(ErrorTest, MakeStringErrorFormats) {
+  Error E = makeStringError("code %d in %s", 42, "parser");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "code 42 in parser");
+}
+
+TEST(ErrorTest, MoveTransfersState) {
+  Error E = makeStringError("original");
+  Error Moved = std::move(E);
+  ASSERT_TRUE(static_cast<bool>(Moved));
+  EXPECT_EQ(Moved.message(), "original");
+}
+
+TEST(ErrorTest, ConsumeDiscards) {
+  Error E = makeStringError("ignored");
+  E.consume(); // Must not abort at destruction.
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> V(7);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 7);
+  cantFail(V.takeError());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> V(makeStringError("no value"));
+  ASSERT_FALSE(static_cast<bool>(V));
+  Error E = V.takeError();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "no value");
+}
+
+TEST(ExpectedTest, TakeErrorOnSuccessIsSuccess) {
+  Expected<std::string> V(std::string("ok"));
+  Error E = V.takeError();
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(V.get(), "ok");
+}
+
+TEST(ExpectedTest, MoveIntoAssigns) {
+  Expected<std::string> V(std::string("payload"));
+  std::string Out;
+  Error E = V.moveInto(Out);
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(Out, "payload");
+}
+
+TEST(ExpectedTest, MoveIntoPropagatesError) {
+  Expected<std::string> V(makeStringError("nope"));
+  std::string Out = "untouched";
+  Error E = V.moveInto(Out);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "nope");
+  EXPECT_EQ(Out, "untouched");
+}
+
+TEST(ExpectedTest, CantFailUnwraps) {
+  EXPECT_EQ(cantFail(Expected<int>(9)), 9);
+}
+
+//===----------------------------------------------------------------------===//
+// raw_ostream
+//===----------------------------------------------------------------------===//
+
+TEST(RawOstreamTest, WritesScalars) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS << "x=" << 42 << ' ' << -7L << ' ' << 3.5 << ' ' << true;
+  EXPECT_EQ(Buf, "x=42 -7 3.5 true");
+}
+
+TEST(RawOstreamTest, WritesUnsignedAndStrings) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS << static_cast<unsigned long long>(1) << std::string("/a/")
+     << std::string_view("b");
+  EXPECT_EQ(Buf, "1/a/b");
+}
+
+TEST(RawOstreamTest, IndentRepeats) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS.indent(3, '-') << "x";
+  EXPECT_EQ(Buf, "---x");
+}
+
+TEST(RawOstreamTest, OutsAndErrsAreDistinct) {
+  EXPECT_NE(&outs(), &errs());
+}
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(FormatTest, FixedPrecision) {
+  EXPECT_EQ(formatFixed(0.12870, 5), "0.12870");
+  EXPECT_EQ(formatFixed(19.051, 3), "19.051");
+  EXPECT_EQ(formatFixed(-1.5, 0), "-2"); // Round-half-even of snprintf.
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(formatPercent(0.2713, 1), "27.1%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, Justify) {
+  EXPECT_EQ(leftJustify("ab", 4), "ab  ");
+  EXPECT_EQ(rightJustify("ab", 4), "  ab");
+  EXPECT_EQ(centerJustify("ab", 5), " ab  ");
+  EXPECT_EQ(leftJustify("abcdef", 4), "abcdef"); // Never truncates.
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  auto Fields = splitString("a,,b,", ',');
+  ASSERT_EQ(Fields.size(), 4u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "");
+  EXPECT_EQ(Fields[2], "b");
+  EXPECT_EQ(Fields[3], "");
+}
+
+TEST(StringUtilsTest, SplitWhitespaceSkipsRuns) {
+  auto Fields = splitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[2], "c");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trimString("  x y \t"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(StringUtilsTest, ParseIntValid) {
+  EXPECT_EQ(cantFail(parseInt("-12")), -12);
+  EXPECT_EQ(cantFail(parseUnsigned("42")), 42u);
+  EXPECT_DOUBLE_EQ(cantFail(parseDouble("2.5e-3")), 2.5e-3);
+}
+
+TEST(StringUtilsTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(testutil::failed(parseInt("12x")));
+  EXPECT_TRUE(testutil::failed(parseInt("")));
+  EXPECT_TRUE(testutil::failed(parseUnsigned("-3")));
+  EXPECT_TRUE(testutil::failed(parseDouble("1.2.3")));
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+//===----------------------------------------------------------------------===//
+// CSV
+//===----------------------------------------------------------------------===//
+
+TEST(CSVTest, ParsesSimpleRows) {
+  auto Rows = cantFail(parseCSV("a,b\nc,d\n"));
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CSVTest, ParsesQuotedFields) {
+  auto Rows = cantFail(parseCSV("\"a,b\",\"c\"\"d\",\"e\nf\"\n"));
+  ASSERT_EQ(Rows.size(), 1u);
+  EXPECT_EQ(Rows[0][0], "a,b");
+  EXPECT_EQ(Rows[0][1], "c\"d");
+  EXPECT_EQ(Rows[0][2], "e\nf");
+}
+
+TEST(CSVTest, NoTrailingNewlineStillYieldsRow) {
+  auto Rows = cantFail(parseCSV("x,y"));
+  ASSERT_EQ(Rows.size(), 1u);
+  EXPECT_EQ(Rows[0][1], "y");
+}
+
+TEST(CSVTest, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(testutil::failed(parseCSV("\"abc")));
+}
+
+TEST(CSVTest, RejectsQuoteInsideField) {
+  EXPECT_TRUE(testutil::failed(parseCSV("ab\"c,d")));
+}
+
+TEST(CSVTest, RoundTrips) {
+  std::vector<std::vector<std::string>> Rows = {
+      {"plain", "with,comma", "with\"quote"},
+      {"line\nbreak", "", "end"},
+  };
+  auto Parsed = cantFail(parseCSV(writeCSV(Rows)));
+  EXPECT_EQ(Parsed, Rows);
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParser
+//===----------------------------------------------------------------------===//
+
+TEST(ArgParserTest, ParsesFlagsOptionsPositionals) {
+  ArgParser Parser("tool", "test tool");
+  Parser.addFlag("verbose", "more output");
+  Parser.addOption("procs", "processor count", "16");
+  Parser.addOption("scale", "imbalance", "1.0");
+  Parser.addPositional("input", "input file");
+  const char *Argv[] = {"tool", "--verbose", "--procs", "8",
+                        "--scale=0.5", "trace.txt"};
+  cantFail(Parser.parse(6, Argv));
+  EXPECT_TRUE(Parser.getFlag("verbose"));
+  EXPECT_EQ(Parser.getUnsigned("procs"), 8u);
+  EXPECT_DOUBLE_EQ(Parser.getDouble("scale"), 0.5);
+  ASSERT_EQ(Parser.getPositionals().size(), 1u);
+  EXPECT_EQ(Parser.getPositionals()[0], "trace.txt");
+}
+
+TEST(ArgParserTest, DefaultsApply) {
+  ArgParser Parser("tool", "test tool");
+  Parser.addOption("procs", "processor count", "16");
+  Parser.addFlag("verbose", "more output");
+  const char *Argv[] = {"tool"};
+  cantFail(Parser.parse(1, Argv));
+  EXPECT_EQ(Parser.getUnsigned("procs"), 16u);
+  EXPECT_FALSE(Parser.getFlag("verbose"));
+}
+
+TEST(ArgParserTest, RejectsUnknownOption) {
+  ArgParser Parser("tool", "test tool");
+  const char *Argv[] = {"tool", "--bogus"};
+  Error E = Parser.parse(2, Argv);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsMissingValue) {
+  ArgParser Parser("tool", "test tool");
+  Parser.addOption("procs", "processor count", "16");
+  const char *Argv[] = {"tool", "--procs"};
+  EXPECT_TRUE(testutil::failed(Parser.parse(2, Argv)));
+}
+
+TEST(ArgParserTest, RejectsMissingPositional) {
+  ArgParser Parser("tool", "test tool");
+  Parser.addPositional("input", "input file");
+  const char *Argv[] = {"tool"};
+  EXPECT_TRUE(testutil::failed(Parser.parse(1, Argv)));
+}
+
+TEST(ArgParserTest, RejectsValueOnFlag) {
+  ArgParser Parser("tool", "test tool");
+  Parser.addFlag("verbose", "more output");
+  const char *Argv[] = {"tool", "--verbose=yes"};
+  EXPECT_TRUE(testutil::failed(Parser.parse(2, Argv)));
+}
+
+//===----------------------------------------------------------------------===//
+// RNG
+//===----------------------------------------------------------------------===//
+
+TEST(RNGTest, SameSeedSameStream) {
+  RNG A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RNGTest, UniformInUnitInterval) {
+  RNG Rng(7);
+  for (int I = 0; I != 10000; ++I) {
+    double U = Rng.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RNGTest, UniformIntRespectsBound) {
+  RNG Rng(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = Rng.uniformInt(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 10u); // Every residue appears.
+}
+
+TEST(RNGTest, NormalMomentsRoughlyStandard) {
+  RNG Rng(11);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    double X = Rng.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.03);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(RNGTest, ExponentialMeanMatchesRate) {
+  RNG Rng(13);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    Sum += Rng.exponential(2.0);
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(RNGTest, ShuffleIsPermutation) {
+  RNG Rng(17);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  Rng.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// MathUtils
+//===----------------------------------------------------------------------===//
+
+TEST(MathUtilsTest, KahanBeatsNaiveSummation) {
+  // 1 + 1e-16 * 1e6 accumulations lose everything naively but not with
+  // compensation.
+  KahanSum Sum;
+  Sum.add(1.0);
+  for (int I = 0; I != 1000000; ++I)
+    Sum.add(1e-16);
+  EXPECT_NEAR(Sum.total() - 1.0, 1e-10, 1e-12);
+}
+
+TEST(MathUtilsTest, AlmostEqual) {
+  EXPECT_TRUE(almostEqual(1.0, 1.0 + 1e-13));
+  EXPECT_TRUE(almostEqual(1e9, 1e9 * (1.0 + 1e-10)));
+  EXPECT_FALSE(almostEqual(1.0, 1.001));
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable Table({"name", "value"});
+  Table.setAlign(0, Align::Left);
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "22"});
+  std::string Out = Table.toString();
+  EXPECT_NE(Out.find("| alpha | "), std::string::npos);
+  EXPECT_NE(Out.find("|    22 |"), std::string::npos);
+  EXPECT_NE(Out.find("+"), std::string::npos);
+}
+
+TEST(TextTableTest, TitleAppearsFirst) {
+  TextTable Table({"c"});
+  Table.setTitle("My Title");
+  Table.addRow({"x"});
+  EXPECT_EQ(Table.toString().rfind("My Title", 0), 0u);
+}
+
+TEST(TextTableTest, CSVEscapes) {
+  TextTable Table({"a", "b"});
+  Table.addRow({"x,y", "plain"});
+  EXPECT_EQ(Table.toCSV(), "a,b\n\"x,y\",plain\n");
+}
+
+//===----------------------------------------------------------------------===//
+// FileUtils
+//===----------------------------------------------------------------------===//
+
+TEST(FileUtilsTest, WriteReadRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/lima_file_test.txt";
+  cantFail(writeFile(Path, "hello\nworld"));
+  EXPECT_EQ(cantFail(readFile(Path)), "hello\nworld");
+  std::remove(Path.c_str());
+}
+
+TEST(FileUtilsTest, ReadMissingFileFails) {
+  auto Result = readFile("/nonexistent/path/file.txt");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}

@@ -1,0 +1,55 @@
+//===- tests/TestHelpers.h - shared test utilities --------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for testing fallible APIs under the checked-error discipline:
+/// a failure Error/Expected must be consumed before destruction, so
+/// "expect this to fail" assertions go through these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TESTS_TESTHELPERS_H
+#define LIMA_TESTS_TESTHELPERS_H
+
+#include "support/Error.h"
+#include <string>
+
+namespace lima {
+namespace testutil {
+
+/// True when \p E holds a failure; consumes it either way.
+inline bool failed(Error E) {
+  if (E) {
+    E.consume();
+    return true;
+  }
+  return false;
+}
+
+/// True when \p V holds an error; consumes the error.
+template <typename T> bool failed(Expected<T> V) {
+  if (V)
+    return false;
+  V.takeError().consume();
+  return true;
+}
+
+/// The failure message of \p E ("" for success).
+inline std::string messageOf(Error E) {
+  if (E)
+    return E.message();
+  return std::string();
+}
+
+/// The failure message of \p V ("" for success).
+template <typename T> std::string messageOf(Expected<T> V) {
+  return messageOf(V.takeError());
+}
+
+} // namespace testutil
+} // namespace lima
+
+#endif // LIMA_TESTS_TESTHELPERS_H

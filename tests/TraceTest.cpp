@@ -1,0 +1,288 @@
+//===- tests/TraceTest.cpp - trace library tests --------------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+#include "trace/TraceIO.h"
+#include "TestHelpers.h"
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+/// A tiny, structurally valid two-processor trace: each proc runs one
+/// region with one computation activity; proc 0 sends 64 bytes to proc 1.
+Trace makeValidTrace() {
+  Trace T(2);
+  uint32_t Loop = T.addRegion("loop");
+  uint32_t Comp = T.addActivity("computation");
+  uint32_t P2P = T.addActivity("p2p");
+
+  T.append({0.0, 0, EventKind::RegionEnter, Loop, 0});
+  T.append({0.0, 0, EventKind::ActivityBegin, Comp, 0});
+  T.append({1.0, 0, EventKind::ActivityEnd, Comp, 0});
+  T.append({1.0, 0, EventKind::ActivityBegin, P2P, 0});
+  T.append({1.0, 0, EventKind::MessageSend, 1, 64});
+  T.append({1.1, 0, EventKind::ActivityEnd, P2P, 0});
+  T.append({1.1, 0, EventKind::RegionExit, Loop, 0});
+
+  T.append({0.0, 1, EventKind::RegionEnter, Loop, 0});
+  T.append({0.0, 1, EventKind::ActivityBegin, P2P, 0});
+  T.append({1.2, 1, EventKind::MessageRecv, 0, 64});
+  T.append({1.2, 1, EventKind::ActivityEnd, P2P, 0});
+  T.append({1.2, 1, EventKind::RegionExit, Loop, 0});
+  return T;
+}
+
+} // namespace
+
+TEST(TraceTest, RegistersNamesAndIds) {
+  Trace T(4);
+  EXPECT_EQ(T.numProcs(), 4u);
+  uint32_t A = T.addRegion("alpha");
+  uint32_t B = T.addRegion("beta");
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(T.regionName(B), "beta");
+  EXPECT_EQ(T.findRegion("alpha"), 0u);
+  EXPECT_EQ(T.findRegion("gamma"), Trace::InvalidId);
+  uint32_t Act = T.addActivity("compute");
+  EXPECT_EQ(T.findActivity("compute"), Act);
+}
+
+TEST(TraceTest, ValidTracePasses) {
+  Trace T = makeValidTrace();
+  EXPECT_EQ(T.numEvents(), 12u);
+  Error E = T.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(TraceValidationTest, DetectsBackwardsTime) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  T.addActivity("a");
+  T.append({1.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.5, 0, EventKind::RegionExit, R, 0});
+  Error E = T.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("backwards"), std::string::npos);
+}
+
+TEST(TraceValidationTest, ProperlyNestedRegionsAreValid) {
+  // Regions may nest (routine > loop > statement granularity).
+  Trace T(1);
+  uint32_t Routine = T.addRegion("routine");
+  uint32_t Loop = T.addRegion("loop");
+  uint32_t A = T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, Routine, 0});
+  T.append({0.1, 0, EventKind::RegionEnter, Loop, 0});
+  T.append({0.1, 0, EventKind::ActivityBegin, A, 0});
+  T.append({0.5, 0, EventKind::ActivityEnd, A, 0});
+  T.append({0.5, 0, EventKind::RegionExit, Loop, 0});
+  T.append({0.9, 0, EventKind::RegionExit, Routine, 0});
+  Error E = T.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(TraceValidationTest, DetectsCrossedRegionBrackets) {
+  // Exits must match the innermost open region.
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  uint32_t S = T.addRegion("s");
+  T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::RegionEnter, S, 0});
+  T.append({0.2, 0, EventKind::RegionExit, R, 0}); // Crossed.
+  T.append({0.3, 0, EventKind::RegionExit, S, 0});
+  Error E = T.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("innermost"), std::string::npos);
+}
+
+TEST(TraceValidationTest, DetectsRegionEnterInsideActivity) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  uint32_t S = T.addRegion("s");
+  uint32_t A = T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::ActivityBegin, A, 0});
+  T.append({0.2, 0, EventKind::RegionEnter, S, 0}); // Inside activity.
+  EXPECT_TRUE(testutil::failed(T.validate()));
+}
+
+TEST(TraceValidationTest, DetectsMismatchedRegionExit) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  uint32_t S = T.addRegion("s");
+  T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::RegionExit, S, 0});
+  EXPECT_TRUE(testutil::failed(T.validate()));
+}
+
+TEST(TraceValidationTest, DetectsActivityOutsideRegion) {
+  Trace T(1);
+  T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  T.append({0.0, 0, EventKind::ActivityBegin, A, 0});
+  Error E = T.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("outside"), std::string::npos);
+}
+
+TEST(TraceValidationTest, DetectsOverlappingActivities) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  uint32_t B = T.addActivity("b");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::ActivityBegin, A, 0});
+  T.append({0.2, 0, EventKind::ActivityBegin, B, 0});
+  EXPECT_TRUE(testutil::failed(T.validate()));
+}
+
+TEST(TraceValidationTest, DetectsRegionExitWithOpenActivity) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  uint32_t A = T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::ActivityBegin, A, 0});
+  T.append({0.2, 0, EventKind::RegionExit, R, 0});
+  EXPECT_TRUE(testutil::failed(T.validate()));
+}
+
+TEST(TraceValidationTest, DetectsDanglingOpenRegion) {
+  Trace T(1);
+  uint32_t R = T.addRegion("r");
+  T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  Error E = T.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("open"), std::string::npos);
+}
+
+TEST(TraceValidationTest, DetectsUnmatchedSend) {
+  Trace T = makeValidTrace();
+  T.append({2.0, 0, EventKind::RegionEnter, 0, 0});
+  T.append({2.1, 0, EventKind::MessageSend, 1, 99});
+  T.append({2.2, 0, EventKind::RegionExit, 0, 0});
+  Error E = T.validate();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("unmatched"), std::string::npos);
+}
+
+TEST(TraceValidationTest, DetectsByteCountMismatch) {
+  Trace T(2);
+  uint32_t R = T.addRegion("r");
+  T.addActivity("a");
+  T.append({0.0, 0, EventKind::RegionEnter, R, 0});
+  T.append({0.1, 0, EventKind::MessageSend, 1, 10});
+  T.append({0.2, 0, EventKind::RegionExit, R, 0});
+  T.append({0.0, 1, EventKind::RegionEnter, R, 0});
+  T.append({0.3, 1, EventKind::MessageRecv, 0, 20});
+  T.append({0.4, 1, EventKind::RegionExit, R, 0});
+  EXPECT_TRUE(testutil::failed(T.validate()));
+}
+
+//===----------------------------------------------------------------------===//
+// Text format
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIOTest, RoundTripsExactly) {
+  Trace T = makeValidTrace();
+  std::string Text = writeTraceText(T);
+  Trace Parsed = cantFail(parseTraceText(Text));
+  EXPECT_EQ(Parsed.numProcs(), T.numProcs());
+  EXPECT_EQ(Parsed.numRegions(), T.numRegions());
+  EXPECT_EQ(Parsed.numActivities(), T.numActivities());
+  ASSERT_EQ(Parsed.numEvents(), T.numEvents());
+  for (unsigned P = 0; P != T.numProcs(); ++P) {
+    const auto &A = T.events(P);
+    const auto &B = Parsed.events(P);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(A[I].Kind, B[I].Kind);
+      EXPECT_EQ(A[I].Id, B[I].Id);
+      EXPECT_EQ(A[I].Bytes, B[I].Bytes);
+      EXPECT_NEAR(A[I].Time, B[I].Time, 1e-9);
+    }
+  }
+  // And the round-tripped trace still validates.
+  Error E = Parsed.validate();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(TraceIOTest, HeaderAndCommentsTolerated) {
+  std::string Text = "# comment\nLIMATRACE 1\nprocs 1\n\nregion 0 r\n"
+                     "activity 0 a\n# more\nre 0 0.0 0\nrx 0 1.0 0\n";
+  Trace T = cantFail(parseTraceText(Text));
+  EXPECT_EQ(T.numEvents(), 2u);
+}
+
+TEST(TraceIOTest, RejectsMissingMagic) {
+  auto Result = parseTraceText("procs 2\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsEventBeforeProcs) {
+  auto Result = parseTraceText("LIMATRACE 1\nre 0 0.0 0\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsOutOfRangeProc) {
+  auto Result = parseTraceText(
+      "LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\nre 3 0.0 0\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsOutOfRangeRegion) {
+  auto Result = parseTraceText(
+      "LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\nre 0 0.0 7\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsNegativeTime) {
+  auto Result = parseTraceText(
+      "LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\nre 0 -1.0 0\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsNonDenseDeclarationIds) {
+  auto Result = parseTraceText("LIMATRACE 1\nprocs 1\nregion 5 r\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, RejectsUnknownRecord) {
+  auto Result = parseTraceText("LIMATRACE 1\nprocs 1\nzz 0 0.0 0\n");
+  EXPECT_FALSE(static_cast<bool>(Result));
+  Result.takeError().consume();
+}
+
+TEST(TraceIOTest, SaveLoadRoundTrip) {
+  Trace T = makeValidTrace();
+  std::string Path = ::testing::TempDir() + "/lima_trace_test.trace";
+  cantFail(saveTrace(T, Path));
+  Trace Loaded = cantFail(loadTrace(Path));
+  EXPECT_EQ(Loaded.numEvents(), T.numEvents());
+  std::remove(Path.c_str());
+}
+
+TEST(EventTest, MnemonicsAreStable) {
+  EXPECT_EQ(eventKindMnemonic(EventKind::RegionEnter), "re");
+  EXPECT_EQ(eventKindMnemonic(EventKind::RegionExit), "rx");
+  EXPECT_EQ(eventKindMnemonic(EventKind::ActivityBegin), "ab");
+  EXPECT_EQ(eventKindMnemonic(EventKind::ActivityEnd), "ae");
+  EXPECT_EQ(eventKindMnemonic(EventKind::MessageSend), "ms");
+  EXPECT_EQ(eventKindMnemonic(EventKind::MessageRecv), "mr");
+}
