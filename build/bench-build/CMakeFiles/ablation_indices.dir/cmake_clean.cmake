@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_indices"
+  "../bench/ablation_indices.pdb"
+  "CMakeFiles/ablation_indices.dir/ablation_indices.cpp.o"
+  "CMakeFiles/ablation_indices.dir/ablation_indices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

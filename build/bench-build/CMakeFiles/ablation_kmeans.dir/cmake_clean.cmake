@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kmeans"
+  "../bench/ablation_kmeans.pdb"
+  "CMakeFiles/ablation_kmeans.dir/ablation_kmeans.cpp.o"
+  "CMakeFiles/ablation_kmeans.dir/ablation_kmeans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

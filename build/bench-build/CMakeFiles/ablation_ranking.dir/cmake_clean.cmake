@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ranking"
+  "../bench/ablation_ranking.pdb"
+  "CMakeFiles/ablation_ranking.dir/ablation_ranking.cpp.o"
+  "CMakeFiles/ablation_ranking.dir/ablation_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_standardization"
+  "../bench/ablation_standardization.pdb"
+  "CMakeFiles/ablation_standardization.dir/ablation_standardization.cpp.o"
+  "CMakeFiles/ablation_standardization.dir/ablation_standardization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_standardization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

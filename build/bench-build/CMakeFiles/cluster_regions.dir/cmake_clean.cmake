@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cluster_regions"
+  "../bench/cluster_regions.pdb"
+  "CMakeFiles/cluster_regions.dir/cluster_regions.cpp.o"
+  "CMakeFiles/cluster_regions.dir/cluster_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

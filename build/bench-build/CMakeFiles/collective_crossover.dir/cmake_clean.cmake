@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/collective_crossover"
+  "../bench/collective_crossover.pdb"
+  "CMakeFiles/collective_crossover.dir/collective_crossover.cpp.o"
+  "CMakeFiles/collective_crossover.dir/collective_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

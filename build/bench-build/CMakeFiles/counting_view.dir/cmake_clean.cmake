@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/counting_view"
+  "../bench/counting_view.pdb"
+  "CMakeFiles/counting_view.dir/counting_view.cpp.o"
+  "CMakeFiles/counting_view.dir/counting_view.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

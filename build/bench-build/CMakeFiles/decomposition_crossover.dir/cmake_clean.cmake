@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/decomposition_crossover"
+  "../bench/decomposition_crossover.pdb"
+  "CMakeFiles/decomposition_crossover.dir/decomposition_crossover.cpp.o"
+  "CMakeFiles/decomposition_crossover.dir/decomposition_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/e2e_cfd_pipeline"
+  "../bench/e2e_cfd_pipeline.pdb"
+  "CMakeFiles/e2e_cfd_pipeline.dir/e2e_cfd_pipeline.cpp.o"
+  "CMakeFiles/e2e_cfd_pipeline.dir/e2e_cfd_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_cfd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

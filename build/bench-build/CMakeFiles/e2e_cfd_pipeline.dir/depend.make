@@ -1,0 +1,2 @@
+# Empty dependencies file for e2e_cfd_pipeline.
+# This may be replaced when dependencies are built.

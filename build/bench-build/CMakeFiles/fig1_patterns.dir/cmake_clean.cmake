@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_patterns"
+  "../bench/fig1_patterns.pdb"
+  "CMakeFiles/fig1_patterns.dir/fig1_patterns.cpp.o"
+  "CMakeFiles/fig1_patterns.dir/fig1_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_patterns"
+  "../bench/fig2_patterns.pdb"
+  "CMakeFiles/fig2_patterns.dir/fig2_patterns.cpp.o"
+  "CMakeFiles/fig2_patterns.dir/fig2_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/heterogeneous_node"
+  "../bench/heterogeneous_node.pdb"
+  "CMakeFiles/heterogeneous_node.dir/heterogeneous_node.cpp.o"
+  "CMakeFiles/heterogeneous_node.dir/heterogeneous_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/phase_drift"
+  "../bench/phase_drift.pdb"
+  "CMakeFiles/phase_drift.dir/phase_drift.cpp.o"
+  "CMakeFiles/phase_drift.dir/phase_drift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

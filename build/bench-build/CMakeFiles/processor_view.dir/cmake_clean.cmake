@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/processor_view"
+  "../bench/processor_view.pdb"
+  "CMakeFiles/processor_view.dir/processor_view.cpp.o"
+  "CMakeFiles/processor_view.dir/processor_view.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

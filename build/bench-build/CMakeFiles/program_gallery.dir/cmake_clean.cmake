@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/program_gallery"
+  "../bench/program_gallery.pdb"
+  "CMakeFiles/program_gallery.dir/program_gallery.cpp.o"
+  "CMakeFiles/program_gallery.dir/program_gallery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repair_loop"
+  "../bench/repair_loop.pdb"
+  "CMakeFiles/repair_loop.dir/repair_loop.cpp.o"
+  "CMakeFiles/repair_loop.dir/repair_loop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_dispersion"
+  "../bench/table2_dispersion.pdb"
+  "CMakeFiles/table2_dispersion.dir/table2_dispersion.cpp.o"
+  "CMakeFiles/table2_dispersion.dir/table2_dispersion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

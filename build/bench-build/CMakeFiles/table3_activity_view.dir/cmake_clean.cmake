@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_activity_view"
+  "../bench/table3_activity_view.pdb"
+  "CMakeFiles/table3_activity_view.dir/table3_activity_view.cpp.o"
+  "CMakeFiles/table3_activity_view.dir/table3_activity_view.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_activity_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

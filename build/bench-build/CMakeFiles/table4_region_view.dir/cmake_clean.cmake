@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_region_view"
+  "../bench/table4_region_view.pdb"
+  "CMakeFiles/table4_region_view.dir/table4_region_view.cpp.o"
+  "CMakeFiles/table4_region_view.dir/table4_region_view.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_region_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wait_states"
+  "../bench/wait_states.pdb"
+  "CMakeFiles/wait_states.dir/wait_states.cpp.o"
+  "CMakeFiles/wait_states.dir/wait_states.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

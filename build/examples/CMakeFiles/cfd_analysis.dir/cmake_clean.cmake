@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_analysis.dir/cfd_analysis.cpp.o"
+  "CMakeFiles/cfd_analysis.dir/cfd_analysis.cpp.o.d"
+  "cfd_analysis"
+  "cfd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

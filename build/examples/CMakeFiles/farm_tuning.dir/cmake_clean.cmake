@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_tuning.dir/farm_tuning.cpp.o"
+  "CMakeFiles/farm_tuning.dir/farm_tuning.cpp.o.d"
+  "farm_tuning"
+  "farm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

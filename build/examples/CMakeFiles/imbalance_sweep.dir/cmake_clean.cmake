@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_sweep.dir/imbalance_sweep.cpp.o"
+  "CMakeFiles/imbalance_sweep.dir/imbalance_sweep.cpp.o.d"
+  "imbalance_sweep"
+  "imbalance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

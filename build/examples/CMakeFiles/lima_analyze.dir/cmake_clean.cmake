@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_analyze.dir/lima_analyze.cpp.o"
+  "CMakeFiles/lima_analyze.dir/lima_analyze.cpp.o.d"
+  "lima_analyze"
+  "lima_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_testbed.dir/make_testbed.cpp.o"
+  "CMakeFiles/make_testbed.dir/make_testbed.cpp.o.d"
+  "make_testbed"
+  "make_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cfd_analysis "/root/repo/build/examples/cfd_analysis" "--iterations" "3" "--procs" "8" "--save-trace" "/root/repo/build/examples/smoke.trace")
+set_tests_properties(example_cfd_analysis PROPERTIES  FIXTURES_SETUP "smoke_trace" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_imbalance_sweep "/root/repo/build/examples/imbalance_sweep" "--steps" "3" "--iterations" "2")
+set_tests_properties(example_imbalance_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lima_analyze "/root/repo/build/examples/lima_analyze" "/root/repo/build/examples/smoke.trace" "--diagnose" "--phases" "--counting" "--waitstates" "--timeline" "--traffic" "--patterns" "--html" "/root/repo/build/examples/smoke.html")
+set_tests_properties(example_lima_analyze PROPERTIES  FIXTURES_REQUIRED "smoke_trace" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_farm_tuning "/root/repo/build/examples/farm_tuning")
+set_tests_properties(example_farm_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paper_report "/root/repo/build/examples/paper_report" "--csv" "/root/repo/build/examples/smoke_cube.csv" "--html" "/root/repo/build/examples/smoke_paper.html")
+set_tests_properties(example_paper_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_make_testbed "/root/repo/build/examples/make_testbed" "--dir" "/root/repo/build/examples")
+set_tests_properties(example_make_testbed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_cfd.dir/Cfd.cpp.o"
+  "CMakeFiles/lima_cfd.dir/Cfd.cpp.o.d"
+  "liblima_cfd.a"
+  "liblima_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

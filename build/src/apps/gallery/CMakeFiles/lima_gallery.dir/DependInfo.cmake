@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gallery/BspStencil.cpp" "src/apps/gallery/CMakeFiles/lima_gallery.dir/BspStencil.cpp.o" "gcc" "src/apps/gallery/CMakeFiles/lima_gallery.dir/BspStencil.cpp.o.d"
+  "/root/repo/src/apps/gallery/Decomposition.cpp" "src/apps/gallery/CMakeFiles/lima_gallery.dir/Decomposition.cpp.o" "gcc" "src/apps/gallery/CMakeFiles/lima_gallery.dir/Decomposition.cpp.o.d"
+  "/root/repo/src/apps/gallery/MasterWorker.cpp" "src/apps/gallery/CMakeFiles/lima_gallery.dir/MasterWorker.cpp.o" "gcc" "src/apps/gallery/CMakeFiles/lima_gallery.dir/MasterWorker.cpp.o.d"
+  "/root/repo/src/apps/gallery/ParticleExchange.cpp" "src/apps/gallery/CMakeFiles/lima_gallery.dir/ParticleExchange.cpp.o" "gcc" "src/apps/gallery/CMakeFiles/lima_gallery.dir/ParticleExchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lima_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lima_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lima_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

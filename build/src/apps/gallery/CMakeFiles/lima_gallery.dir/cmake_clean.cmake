@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_gallery.dir/BspStencil.cpp.o"
+  "CMakeFiles/lima_gallery.dir/BspStencil.cpp.o.d"
+  "CMakeFiles/lima_gallery.dir/Decomposition.cpp.o"
+  "CMakeFiles/lima_gallery.dir/Decomposition.cpp.o.d"
+  "CMakeFiles/lima_gallery.dir/MasterWorker.cpp.o"
+  "CMakeFiles/lima_gallery.dir/MasterWorker.cpp.o.d"
+  "CMakeFiles/lima_gallery.dir/ParticleExchange.cpp.o"
+  "CMakeFiles/lima_gallery.dir/ParticleExchange.cpp.o.d"
+  "liblima_gallery.a"
+  "liblima_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

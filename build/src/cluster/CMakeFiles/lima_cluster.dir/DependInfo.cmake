@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/ClusterSelection.cpp" "src/cluster/CMakeFiles/lima_cluster.dir/ClusterSelection.cpp.o" "gcc" "src/cluster/CMakeFiles/lima_cluster.dir/ClusterSelection.cpp.o.d"
+  "/root/repo/src/cluster/Distance.cpp" "src/cluster/CMakeFiles/lima_cluster.dir/Distance.cpp.o" "gcc" "src/cluster/CMakeFiles/lima_cluster.dir/Distance.cpp.o.d"
+  "/root/repo/src/cluster/Hierarchical.cpp" "src/cluster/CMakeFiles/lima_cluster.dir/Hierarchical.cpp.o" "gcc" "src/cluster/CMakeFiles/lima_cluster.dir/Hierarchical.cpp.o.d"
+  "/root/repo/src/cluster/KMeans.cpp" "src/cluster/CMakeFiles/lima_cluster.dir/KMeans.cpp.o" "gcc" "src/cluster/CMakeFiles/lima_cluster.dir/KMeans.cpp.o.d"
+  "/root/repo/src/cluster/Silhouette.cpp" "src/cluster/CMakeFiles/lima_cluster.dir/Silhouette.cpp.o" "gcc" "src/cluster/CMakeFiles/lima_cluster.dir/Silhouette.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lima_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_cluster.dir/ClusterSelection.cpp.o"
+  "CMakeFiles/lima_cluster.dir/ClusterSelection.cpp.o.d"
+  "CMakeFiles/lima_cluster.dir/Distance.cpp.o"
+  "CMakeFiles/lima_cluster.dir/Distance.cpp.o.d"
+  "CMakeFiles/lima_cluster.dir/Hierarchical.cpp.o"
+  "CMakeFiles/lima_cluster.dir/Hierarchical.cpp.o.d"
+  "CMakeFiles/lima_cluster.dir/KMeans.cpp.o"
+  "CMakeFiles/lima_cluster.dir/KMeans.cpp.o.d"
+  "CMakeFiles/lima_cluster.dir/Silhouette.cpp.o"
+  "CMakeFiles/lima_cluster.dir/Silhouette.cpp.o.d"
+  "liblima_cluster.a"
+  "liblima_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Compare.cpp" "src/core/CMakeFiles/lima_core.dir/Compare.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Compare.cpp.o.d"
+  "/root/repo/src/core/CountingReduction.cpp" "src/core/CMakeFiles/lima_core.dir/CountingReduction.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/CountingReduction.cpp.o.d"
+  "/root/repo/src/core/CubeIO.cpp" "src/core/CMakeFiles/lima_core.dir/CubeIO.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/CubeIO.cpp.o.d"
+  "/root/repo/src/core/Diagnosis.cpp" "src/core/CMakeFiles/lima_core.dir/Diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Diagnosis.cpp.o.d"
+  "/root/repo/src/core/Efficiency.cpp" "src/core/CMakeFiles/lima_core.dir/Efficiency.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Efficiency.cpp.o.d"
+  "/root/repo/src/core/HtmlReport.cpp" "src/core/CMakeFiles/lima_core.dir/HtmlReport.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/HtmlReport.cpp.o.d"
+  "/root/repo/src/core/Measurement.cpp" "src/core/CMakeFiles/lima_core.dir/Measurement.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Measurement.cpp.o.d"
+  "/root/repo/src/core/PaperDataset.cpp" "src/core/CMakeFiles/lima_core.dir/PaperDataset.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/PaperDataset.cpp.o.d"
+  "/root/repo/src/core/PatternDiagram.cpp" "src/core/CMakeFiles/lima_core.dir/PatternDiagram.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/PatternDiagram.cpp.o.d"
+  "/root/repo/src/core/PhaseAnalysis.cpp" "src/core/CMakeFiles/lima_core.dir/PhaseAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/PhaseAnalysis.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/core/CMakeFiles/lima_core.dir/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/core/ProcessorClustering.cpp" "src/core/CMakeFiles/lima_core.dir/ProcessorClustering.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/ProcessorClustering.cpp.o.d"
+  "/root/repo/src/core/Profile.cpp" "src/core/CMakeFiles/lima_core.dir/Profile.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Profile.cpp.o.d"
+  "/root/repo/src/core/Ranking.cpp" "src/core/CMakeFiles/lima_core.dir/Ranking.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Ranking.cpp.o.d"
+  "/root/repo/src/core/Rebalance.cpp" "src/core/CMakeFiles/lima_core.dir/Rebalance.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Rebalance.cpp.o.d"
+  "/root/repo/src/core/RegionClustering.cpp" "src/core/CMakeFiles/lima_core.dir/RegionClustering.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/RegionClustering.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/lima_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/TraceReduction.cpp" "src/core/CMakeFiles/lima_core.dir/TraceReduction.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/TraceReduction.cpp.o.d"
+  "/root/repo/src/core/Views.cpp" "src/core/CMakeFiles/lima_core.dir/Views.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/Views.cpp.o.d"
+  "/root/repo/src/core/WaitStates.cpp" "src/core/CMakeFiles/lima_core.dir/WaitStates.cpp.o" "gcc" "src/core/CMakeFiles/lima_core.dir/WaitStates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/lima_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lima_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lima_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

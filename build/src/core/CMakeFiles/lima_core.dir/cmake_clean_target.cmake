@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblima_core.a"
+)

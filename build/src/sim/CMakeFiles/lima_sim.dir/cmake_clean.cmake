@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_sim.dir/Network.cpp.o"
+  "CMakeFiles/lima_sim.dir/Network.cpp.o.d"
+  "CMakeFiles/lima_sim.dir/Simulation.cpp.o"
+  "CMakeFiles/lima_sim.dir/Simulation.cpp.o.d"
+  "liblima_sim.a"
+  "liblima_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_stats.dir/Bootstrap.cpp.o"
+  "CMakeFiles/lima_stats.dir/Bootstrap.cpp.o.d"
+  "CMakeFiles/lima_stats.dir/Descriptive.cpp.o"
+  "CMakeFiles/lima_stats.dir/Descriptive.cpp.o.d"
+  "CMakeFiles/lima_stats.dir/Dispersion.cpp.o"
+  "CMakeFiles/lima_stats.dir/Dispersion.cpp.o.d"
+  "CMakeFiles/lima_stats.dir/Majorization.cpp.o"
+  "CMakeFiles/lima_stats.dir/Majorization.cpp.o.d"
+  "CMakeFiles/lima_stats.dir/Standardize.cpp.o"
+  "CMakeFiles/lima_stats.dir/Standardize.cpp.o.d"
+  "liblima_stats.a"
+  "liblima_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_support.dir/CSV.cpp.o"
+  "CMakeFiles/lima_support.dir/CSV.cpp.o.d"
+  "CMakeFiles/lima_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/lima_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/lima_support.dir/Error.cpp.o"
+  "CMakeFiles/lima_support.dir/Error.cpp.o.d"
+  "CMakeFiles/lima_support.dir/FileUtils.cpp.o"
+  "CMakeFiles/lima_support.dir/FileUtils.cpp.o.d"
+  "CMakeFiles/lima_support.dir/Format.cpp.o"
+  "CMakeFiles/lima_support.dir/Format.cpp.o.d"
+  "CMakeFiles/lima_support.dir/MathUtils.cpp.o"
+  "CMakeFiles/lima_support.dir/MathUtils.cpp.o.d"
+  "CMakeFiles/lima_support.dir/RNG.cpp.o"
+  "CMakeFiles/lima_support.dir/RNG.cpp.o.d"
+  "CMakeFiles/lima_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/lima_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/lima_support.dir/TableFormatter.cpp.o"
+  "CMakeFiles/lima_support.dir/TableFormatter.cpp.o.d"
+  "CMakeFiles/lima_support.dir/raw_ostream.cpp.o"
+  "CMakeFiles/lima_support.dir/raw_ostream.cpp.o.d"
+  "liblima_support.a"
+  "liblima_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

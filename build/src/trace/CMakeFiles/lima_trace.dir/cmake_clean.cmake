@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lima_trace.dir/BinaryIO.cpp.o"
+  "CMakeFiles/lima_trace.dir/BinaryIO.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/Event.cpp.o"
+  "CMakeFiles/lima_trace.dir/Event.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/Filter.cpp.o"
+  "CMakeFiles/lima_trace.dir/Filter.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/Timeline.cpp.o"
+  "CMakeFiles/lima_trace.dir/Timeline.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/Trace.cpp.o"
+  "CMakeFiles/lima_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/lima_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/lima_trace.dir/TraceStats.cpp.o"
+  "CMakeFiles/lima_trace.dir/TraceStats.cpp.o.d"
+  "liblima_trace.a"
+  "liblima_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lima_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_properties_test.dir/AnalysisPropertiesTest.cpp.o"
+  "CMakeFiles/analysis_properties_test.dir/AnalysisPropertiesTest.cpp.o.d"
+  "analysis_properties_test"
+  "analysis_properties_test.pdb"
+  "analysis_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_rebalance_test.dir/EfficiencyRebalanceTest.cpp.o"
+  "CMakeFiles/efficiency_rebalance_test.dir/EfficiencyRebalanceTest.cpp.o.d"
+  "efficiency_rebalance_test"
+  "efficiency_rebalance_test.pdb"
+  "efficiency_rebalance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_rebalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallery_test.dir/GalleryTest.cpp.o"
+  "CMakeFiles/gallery_test.dir/GalleryTest.cpp.o.d"
+  "gallery_test"
+  "gallery_test.pdb"
+  "gallery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

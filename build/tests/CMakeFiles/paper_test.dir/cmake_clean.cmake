@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_test.dir/PaperReproductionTest.cpp.o"
+  "CMakeFiles/paper_test.dir/PaperReproductionTest.cpp.o.d"
+  "paper_test"
+  "paper_test.pdb"
+  "paper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_clustering_test.dir/ProcessorClusteringTest.cpp.o"
+  "CMakeFiles/processor_clustering_test.dir/ProcessorClusteringTest.cpp.o.d"
+  "processor_clustering_test"
+  "processor_clustering_test.pdb"
+  "processor_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/sim_test.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/SimTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/cfd/CMakeFiles/lima_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/gallery/CMakeFiles/lima_gallery.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lima_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lima_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/lima_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lima_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lima_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_states_test.dir/WaitStatesTest.cpp.o"
+  "CMakeFiles/wait_states_test.dir/WaitStatesTest.cpp.o.d"
+  "wait_states_test"
+  "wait_states_test.pdb"
+  "wait_states_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_states_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_test[1]_include.cmake")
+include("/root/repo/build/tests/cfd_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/diagnosis_test[1]_include.cmake")
+include("/root/repo/build/tests/phase_test[1]_include.cmake")
+include("/root/repo/build/tests/gallery_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_io_test[1]_include.cmake")
+include("/root/repo/build/tests/efficiency_rebalance_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_io_test[1]_include.cmake")
+include("/root/repo/build/tests/compare_test[1]_include.cmake")
+include("/root/repo/build/tests/filter_test[1]_include.cmake")
+include("/root/repo/build/tests/html_report_test[1]_include.cmake")
+include("/root/repo/build/tests/processor_clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/wait_states_test[1]_include.cmake")
