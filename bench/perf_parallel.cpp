@@ -1,0 +1,255 @@
+//===- bench/perf_parallel.cpp - serial vs parallel analysis paths --------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Times the hot analysis paths serial (threads=1) against the thread
+// pool on a synthetic ~1M-event trace over 64 simulated processors, and
+// emits machine-readable JSON to seed the perf trajectory:
+//
+//   perf_parallel [--threads 8] [--procs 64] [--rounds 2000]
+//                 [--out BENCH_parallel.json]
+//
+// JSON schema: [{"name": ..., "threads": N, "events": E,
+//                "wall_ms": W, "speedup": S}, ...] where speedup is
+// wall_serial / wall at the same workload (1.0 for serial entries).
+// Every parallel result is checked bit-identical to its serial twin
+// before a line is emitted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/KMeans.h"
+#include "core/Pipeline.h"
+#include "core/TraceReduction.h"
+#include "stats/Bootstrap.h"
+#include "support/CommandLine.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "support/Parallel.h"
+#include "support/RNG.h"
+#include "support/raw_ostream.h"
+#include "trace/TraceStats.h"
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace lima;
+
+namespace {
+
+/// One emitted measurement.
+struct BenchRecord {
+  std::string Name;
+  unsigned Threads;
+  size_t Events;
+  double WallMs;
+  double Speedup;
+};
+
+/// Synthetic trace: \p Rounds nested-region rounds per processor, eight
+/// events per round, with per-processor skew and matched ring traffic.
+trace::Trace makeTrace(unsigned Procs, unsigned Rounds) {
+  trace::Trace T(Procs);
+  uint32_t Outer = T.addRegion("solve");
+  uint32_t Inner = T.addRegion("exchange");
+  uint32_t Comp = T.addActivity("computation");
+  uint32_t P2P = T.addActivity("point-to-point");
+
+  double MaxClock = 0.0;
+  for (unsigned P = 0; P != Procs; ++P) {
+    double Clock = 0.0001 * P;
+    for (unsigned R = 0; R != Rounds; ++R) {
+      double Work = 0.001 + 0.0001 * ((P * 13 + R) % 29);
+      T.append({Clock, P, trace::EventKind::RegionEnter, Outer, 0});
+      T.append({Clock, P, trace::EventKind::ActivityBegin, Comp, 0});
+      Clock += Work;
+      T.append({Clock, P, trace::EventKind::ActivityEnd, Comp, 0});
+      T.append({Clock, P, trace::EventKind::RegionEnter, Inner, 0});
+      T.append({Clock, P, trace::EventKind::ActivityBegin, P2P, 0});
+      Clock += Work * 0.25;
+      T.append({Clock, P, trace::EventKind::ActivityEnd, P2P, 0});
+      T.append({Clock, P, trace::EventKind::RegionExit, Inner, 0});
+      T.append({Clock, P, trace::EventKind::RegionExit, Outer, 0});
+    }
+    MaxClock = std::max(MaxClock, Clock);
+  }
+  for (unsigned P = 0; P != Procs; ++P)
+    T.append({MaxClock + 1.0, P, trace::EventKind::MessageSend,
+              (P + 1) % Procs, 4096});
+  for (unsigned P = 0; P != Procs; ++P)
+    T.append({MaxClock + 2.0, P, trace::EventKind::MessageRecv,
+              (P + Procs - 1) % Procs, 4096});
+  return T;
+}
+
+/// Milliseconds of the best of \p Reps runs of \p Fn.
+template <typename Fn> double timeMs(unsigned Reps, Fn &&Body) {
+  double Best = 0.0;
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    Body();
+    auto End = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    if (R == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+std::string toJSON(const std::vector<BenchRecord> &Records) {
+  std::string Out = "[\n";
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    Out += "  {\"name\": \"" + R.Name +
+           "\", \"threads\": " + std::to_string(R.Threads) +
+           ", \"events\": " + std::to_string(R.Events) +
+           ", \"wall_ms\": " + formatFixed(R.WallMs, 3) +
+           ", \"speedup\": " + formatFixed(R.Speedup, 3) + "}";
+    Out += I + 1 == Records.size() ? "\n" : ",\n";
+  }
+  Out += "]\n";
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ExitOnError ExitOnErr("perf_parallel: ");
+  ArgParser Parser("perf_parallel",
+                   "times serial vs thread-pool analysis paths on a "
+                   "synthetic 1M-event trace and writes "
+                   "BENCH_parallel.json");
+  Parser.addOption("threads", "parallel thread count to benchmark", "8");
+  Parser.addOption("procs", "simulated processors", "64");
+  Parser.addOption("rounds", "instrumented rounds per processor", "2000");
+  Parser.addOption("reps", "timing repetitions (best-of)", "3");
+  Parser.addOption("out", "JSON output path", "BENCH_parallel.json");
+  ExitOnErr(Parser.parse(Argc, Argv));
+
+  unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
+  unsigned Procs = static_cast<unsigned>(Parser.getUnsigned("procs"));
+  unsigned Rounds = static_cast<unsigned>(Parser.getUnsigned("rounds"));
+  unsigned Reps = static_cast<unsigned>(Parser.getUnsigned("reps"));
+
+  raw_ostream &OS = outs();
+  trace::Trace T = makeTrace(Procs, Rounds);
+  size_t Events = T.numEvents();
+  OS << "synthetic trace: " << Procs << " procs, " << Events
+     << " events; hardware threads: " << hardwareThreads() << "\n\n";
+
+  std::vector<BenchRecord> Records;
+  auto record = [&](const std::string &Name, size_t N, double SerialMs,
+                    double ParallelMs) {
+    Records.push_back({Name, 1, N, SerialMs, 1.0});
+    Records.push_back({Name, Threads, N, ParallelMs,
+                       ParallelMs > 0.0 ? SerialMs / ParallelMs : 0.0});
+    OS << leftJustify(Name, 12) << " serial " << formatFixed(SerialMs, 2)
+       << " ms, " << Threads << " threads " << formatFixed(ParallelMs, 2)
+       << " ms, speedup " << formatFixed(SerialMs / ParallelMs, 2) << "x\n";
+  };
+
+  // --- Trace reduction -------------------------------------------------
+  core::ReductionOptions Serial;
+  Serial.Threads = 1;
+  core::ReductionOptions Parallel;
+  Parallel.Threads = Threads;
+  core::MeasurementCube SerialCube = ExitOnErr(core::reduceTrace(T, Serial));
+  core::MeasurementCube ParallelCube =
+      ExitOnErr(core::reduceTrace(T, Parallel));
+  for (size_t I = 0; I != SerialCube.numRegions(); ++I)
+    for (size_t J = 0; J != SerialCube.numActivities(); ++J)
+      for (unsigned P = 0; P != SerialCube.numProcs(); ++P)
+        if (SerialCube.time(I, J, P) != ParallelCube.time(I, J, P))
+          ExitOnErr(makeStringError("parallel reduction diverged at "
+                                    "(%zu, %zu, %u)",
+                                    I, J, P));
+  record("reduce", Events,
+         timeMs(Reps, [&] { (void)cantFail(core::reduceTrace(T, Serial)); }),
+         timeMs(Reps,
+                [&] { (void)cantFail(core::reduceTrace(T, Parallel)); }));
+
+  // --- Trace statistics ------------------------------------------------
+  trace::TraceStats SerialStats = trace::computeTraceStats(T, 1);
+  trace::TraceStats ParallelStats = trace::computeTraceStats(T, Threads);
+  if (SerialStats.BusyTime != ParallelStats.BusyTime ||
+      SerialStats.TotalBytes != ParallelStats.TotalBytes)
+    ExitOnErr(makeStringError("parallel trace stats diverged"));
+  record("stats", Events,
+         timeMs(Reps, [&] { (void)trace::computeTraceStats(T, 1); }),
+         timeMs(Reps, [&] { (void)trace::computeTraceStats(T, Threads); }));
+
+  // --- Bootstrap -------------------------------------------------------
+  RNG Rng(3);
+  std::vector<double> Sample;
+  for (int I = 0; I != 4096; ++I)
+    Sample.push_back(Rng.uniformIn(0.5, 2.0));
+  stats::BootstrapOptions BootSerial;
+  BootSerial.Resamples = 4000;
+  BootSerial.Threads = 1;
+  stats::BootstrapOptions BootParallel = BootSerial;
+  BootParallel.Threads = Threads;
+  stats::BootstrapInterval SerialCI =
+      stats::bootstrapImbalanceCI(Sample, BootSerial);
+  stats::BootstrapInterval ParallelCI =
+      stats::bootstrapImbalanceCI(Sample, BootParallel);
+  if (SerialCI.Lower != ParallelCI.Lower ||
+      SerialCI.Upper != ParallelCI.Upper)
+    ExitOnErr(makeStringError("parallel bootstrap diverged"));
+  record("bootstrap", Sample.size() * BootSerial.Resamples,
+         timeMs(Reps,
+                [&] { (void)stats::bootstrapImbalanceCI(Sample, BootSerial); }),
+         timeMs(Reps, [&] {
+           (void)stats::bootstrapImbalanceCI(Sample, BootParallel);
+         }));
+
+  // --- k-means ---------------------------------------------------------
+  RNG PointRng(5);
+  std::vector<std::vector<double>> Points;
+  for (int I = 0; I != 10000; ++I) {
+    double Center = static_cast<double>(I % 6) * 8.0;
+    std::vector<double> Point(8);
+    for (double &D : Point)
+      D = Center + PointRng.normal();
+    Points.push_back(std::move(Point));
+  }
+  cluster::KMeansOptions KSerial;
+  KSerial.K = 6;
+  KSerial.Restarts = 2;
+  KSerial.Threads = 1;
+  cluster::KMeansOptions KParallel = KSerial;
+  KParallel.Threads = Threads;
+  cluster::KMeansResult SerialKM = cantFail(cluster::kMeans(Points, KSerial));
+  cluster::KMeansResult ParallelKM =
+      cantFail(cluster::kMeans(Points, KParallel));
+  if (SerialKM.Assignments != ParallelKM.Assignments ||
+      SerialKM.Inertia != ParallelKM.Inertia)
+    ExitOnErr(makeStringError("parallel k-means diverged"));
+  record("kmeans", Points.size(),
+         timeMs(Reps, [&] { (void)cantFail(cluster::kMeans(Points, KSerial)); }),
+         timeMs(Reps,
+                [&] { (void)cantFail(cluster::kMeans(Points, KParallel)); }));
+
+  // --- Full pipeline ---------------------------------------------------
+  core::AnalysisOptions ASerial;
+  ASerial.Threads = 1;
+  core::AnalysisOptions AParallel;
+  AParallel.Threads = Threads;
+  core::AnalysisResult SerialAn = cantFail(core::analyze(SerialCube, ASerial));
+  core::AnalysisResult ParallelAn =
+      cantFail(core::analyze(SerialCube, AParallel));
+  if (SerialAn.Regions.ScaledIndex != ParallelAn.Regions.ScaledIndex)
+    ExitOnErr(makeStringError("parallel analysis diverged"));
+  record("analyze", Events,
+         timeMs(Reps, [&] { (void)cantFail(core::analyze(SerialCube, ASerial)); }),
+         timeMs(Reps, [&] {
+           (void)cantFail(core::analyze(SerialCube, AParallel));
+         }));
+
+  std::string Path = Parser.getString("out");
+  ExitOnErr(writeFile(Path, toJSON(Records)));
+  OS << "\nJSON written to " << Path << '\n';
+  OS.flush();
+  return 0;
+}

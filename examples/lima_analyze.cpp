@@ -55,6 +55,10 @@ int main(int Argc, char **Argv) {
                    "range, gini",
                    "euclidean");
   Parser.addOption("clusters", "number of region clusters (0 = skip)", "2");
+  Parser.addOption("threads",
+                   "worker threads for reduction and analysis "
+                   "(0 = all hardware threads, 1 = serial)",
+                   "0");
   Parser.addFlag("csv", "emit tables as CSV instead of aligned text");
   Parser.addFlag("patterns", "also print the pattern diagrams");
   Parser.addFlag("diagnose", "run the rule-based diagnosis");
@@ -89,11 +93,15 @@ int main(int Argc, char **Argv) {
     Trace = ExitOnErr(trace::filterTrace(Trace, Filter));
   }
 
-  core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace));
+  unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
+  core::ReductionOptions Reduction;
+  Reduction.Threads = Threads;
+  core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace, Reduction));
 
   core::AnalysisOptions Options;
   Options.Views.Kind = ExitOnErr(parseKind(Parser.getString("index")));
   Options.Clusters = Parser.getUnsigned("clusters");
+  Options.Threads = Threads;
   core::AnalysisResult Result = ExitOnErr(core::analyze(Cube, Options));
 
   raw_ostream &OS = outs();
@@ -120,7 +128,8 @@ int main(int Argc, char **Argv) {
     OS << trace::renderTimeline(Trace) << '\n';
 
   if (Parser.getFlag("traffic"))
-    OS << trace::renderCommunicationMatrix(trace::computeTraceStats(Trace))
+    OS << trace::renderCommunicationMatrix(
+              trace::computeTraceStats(Trace, Threads))
        << '\n';
 
   if (Parser.getFlag("phases")) {

@@ -7,6 +7,7 @@
 #include "cluster/KMeans.h"
 #include "cluster/Distance.h"
 #include "support/Compiler.h"
+#include "support/Parallel.h"
 #include "support/RNG.h"
 #include <algorithm>
 #include <cassert>
@@ -157,16 +158,22 @@ KMeansResult runOnce(const Matrix &Points, const KMeansOptions &Options,
   assert(Centroids.size() == Options.K && "initialization came up short");
 
   std::vector<size_t> Assignments(Points.size(), 0);
+  // The assignment step is the Lloyd hot path: a pure nearest-centroid
+  // lookup per point, sharded across workers.  Each worker writes only
+  // per-point slots, so the step is bit-identical to the serial loop.
+  std::vector<unsigned char> ChangedSlot(Points.size(), 0);
   unsigned Iter = 0;
   for (; Iter != Options.MaxIterations; ++Iter) {
-    bool Changed = false;
-    for (size_t P = 0; P != Points.size(); ++P) {
+    std::fill(ChangedSlot.begin(), ChangedSlot.end(), 0);
+    parallelFor(Points.size(), Options.Threads, [&](size_t P) {
       size_t Nearest = nearestCentroid(Points[P], Centroids);
       if (Nearest != Assignments[P]) {
         Assignments[P] = Nearest;
-        Changed = true;
+        ChangedSlot[P] = 1;
       }
-    }
+    });
+    bool Changed = std::find(ChangedSlot.begin(), ChangedSlot.end(), 1) !=
+                   ChangedSlot.end();
     if (Iter != 0 && !Changed)
       break;
 

@@ -49,6 +49,11 @@ struct KMeansOptions {
   /// Run a Hartigan-Wong single-point improvement pass after Lloyd
   /// converges (can escape some Lloyd-stable local minima).
   bool HartiganRefinement = true;
+  /// Worker threads for the assignment step (0 = all hardware threads,
+  /// 1 = serial).  Assignments are pure per-point lookups written to
+  /// per-point slots; centroid updates stay serial, so clusterings are
+  /// bit-identical at any thread count.
+  unsigned Threads = 0;
 };
 
 /// Result of a k-means run.

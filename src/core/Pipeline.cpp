@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "support/Parallel.h"
+#include <functional>
 
 using namespace lima;
 using namespace lima::core;
@@ -17,21 +19,37 @@ Expected<AnalysisResult> core::analyze(const MeasurementCube &Cube,
     return makeStringError("measurement cube carries no time");
 
   AnalysisResult Result;
-  Result.Profile = computeCoarseProfile(Cube);
-  Result.Activities = computeActivityView(Cube, Options.Views);
-  Result.Regions = computeRegionView(Cube, Options.Views);
-  Result.Processors = computeProcessorView(Cube, Options.Views);
 
-  for (size_t J = 0; J != Cube.numActivities(); ++J) {
-    if (Cube.activityTime(J) <= 0.0)
-      continue;
-    Result.Patterns.push_back(
-        computePatternDiagram(Cube, J, Options.PatternBand));
-  }
+  // The profile, the three views and the pattern diagrams only read the
+  // cube and each fill their own result slot, so they run as one batch
+  // of independent tasks.  Ranking and clustering consume the views and
+  // follow serially.
+  std::vector<size_t> ActiveActivities;
+  for (size_t J = 0; J != Cube.numActivities(); ++J)
+    if (Cube.activityTime(J) > 0.0)
+      ActiveActivities.push_back(J);
+  Result.Patterns.resize(ActiveActivities.size());
+
+  std::vector<std::function<void()>> Tasks;
+  Tasks.push_back([&] { Result.Profile = computeCoarseProfile(Cube); });
+  Tasks.push_back(
+      [&] { Result.Activities = computeActivityView(Cube, Options.Views); });
+  Tasks.push_back(
+      [&] { Result.Regions = computeRegionView(Cube, Options.Views); });
+  Tasks.push_back(
+      [&] { Result.Processors = computeProcessorView(Cube, Options.Views); });
+  for (size_t Slot = 0; Slot != ActiveActivities.size(); ++Slot)
+    Tasks.push_back([&, Slot] {
+      Result.Patterns[Slot] = computePatternDiagram(
+          Cube, ActiveActivities[Slot], Options.PatternBand);
+    });
+  parallelFor(Tasks.size(), Options.Threads,
+              [&](size_t Task) { Tasks[Task](); });
 
   if (Options.Clusters >= 2 && Cube.numRegions() >= 2) {
     RegionClusteringOptions ClusterOpts = Options.Clustering;
     ClusterOpts.K = Options.Clusters;
+    ClusterOpts.KMeans.Threads = Options.Threads;
     auto ClustersOrErr = clusterRegions(Cube, ClusterOpts);
     if (ClustersOrErr) {
       Result.Clusters = std::move(*ClustersOrErr);

@@ -5,12 +5,91 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TraceReduction.h"
+#include "support/Parallel.h"
 #include <algorithm>
 
 using namespace lima;
 using namespace lima::core;
 using trace::Event;
 using trace::EventKind;
+
+namespace {
+
+/// Folds one processor's event stream into \p Cube.  Writes only cells
+/// of processor \p Proc (which no other worker touches), so concurrent
+/// folds over distinct processors are race-free and bit-identical to
+/// the serial processor-order loop.  On a malformed stream returns a
+/// descriptive message; empty string means success.
+std::string foldProcessor(const trace::Trace &T, unsigned Proc,
+                          const ReductionOptions &Options,
+                          MeasurementCube &Cube, double &Span) {
+  // Regions may nest; activity time is attributed to the *innermost*
+  // open region, yielding exclusive-time semantics per region.  Each
+  // frame keeps a gap cursor (end of its last attributed interval).
+  struct Frame {
+    uint32_t Region;
+    double Cursor;
+  };
+  std::vector<Frame> Stack;
+  uint32_t OpenActivity = trace::Trace::InvalidId;
+  double ActivityBeginTime = 0.0;
+
+  auto malformed = [&](size_t Index, const char *What) {
+    return "proc " + std::to_string(Proc) + " event " +
+           std::to_string(Index) + ": " + What;
+  };
+
+  const std::vector<Event> &Stream = T.events(Proc);
+  for (size_t Index = 0; Index != Stream.size(); ++Index) {
+    const Event &E = Stream[Index];
+    Span = std::max(Span, E.Time);
+    switch (E.Kind) {
+    case EventKind::RegionEnter:
+      if (Options.AttributeGaps && !Stack.empty() &&
+          E.Time > Stack.back().Cursor)
+        Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                        E.Time - Stack.back().Cursor);
+      Stack.push_back({E.Id, E.Time});
+      break;
+    case EventKind::RegionExit:
+      if (Stack.empty())
+        return malformed(Index, "region exit without matching enter");
+      if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
+        Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                        E.Time - Stack.back().Cursor);
+      Stack.pop_back();
+      // Time spent in the child is covered from the parent's view.
+      if (!Stack.empty())
+        Stack.back().Cursor = E.Time;
+      break;
+    case EventKind::ActivityBegin:
+      if (Stack.empty())
+        return malformed(Index, "activity begins outside any region");
+      if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
+        Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
+                        E.Time - Stack.back().Cursor);
+      OpenActivity = E.Id;
+      ActivityBeginTime = E.Time;
+      break;
+    case EventKind::ActivityEnd:
+      if (Stack.empty())
+        return malformed(Index, "activity ends outside any region");
+      if (OpenActivity == trace::Trace::InvalidId)
+        return malformed(Index, "activity end without matching begin");
+      Cube.accumulate(Stack.back().Region, OpenActivity, Proc,
+                      E.Time - ActivityBeginTime);
+      Stack.back().Cursor = E.Time;
+      OpenActivity = trace::Trace::InvalidId;
+      break;
+    case EventKind::MessageSend:
+    case EventKind::MessageRecv:
+      break; // Message endpoints carry no attributable duration.
+    }
+  }
+  return std::string();
+}
+
+} // namespace
 
 Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
                                             const ReductionOptions &Options) {
@@ -25,58 +104,25 @@ Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
                            Options.GapActivity);
 
   MeasurementCube Cube(T.regionNames(), T.activityNames(), T.numProcs());
+
+  // Shard per processor: every worker folds its own event stream into
+  // the cube's disjoint processor column and its own span/error slot,
+  // then the slots are merged in processor order.  No cell is written
+  // by two workers and no floating-point sum crosses a processor
+  // boundary, so the result is bit-identical at any thread count.
+  std::vector<double> Spans(T.numProcs(), 0.0);
+  std::vector<std::string> Errors(T.numProcs());
+  parallelFor(T.numProcs(), Options.Threads, [&](size_t Proc) {
+    Errors[Proc] = foldProcessor(T, static_cast<unsigned>(Proc), Options,
+                                 Cube, Spans[Proc]);
+  });
+
+  for (const std::string &Message : Errors)
+    if (!Message.empty())
+      return makeStringError("%s", Message.c_str());
   double Span = 0.0;
-
-  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
-    // Regions may nest; activity time is attributed to the *innermost*
-    // open region, yielding exclusive-time semantics per region.  Each
-    // frame keeps a gap cursor (end of its last attributed interval).
-    struct Frame {
-      uint32_t Region;
-      double Cursor;
-    };
-    std::vector<Frame> Stack;
-    uint32_t OpenActivity = trace::Trace::InvalidId;
-    double ActivityBeginTime = 0.0;
-
-    for (const Event &E : T.events(Proc)) {
-      Span = std::max(Span, E.Time);
-      switch (E.Kind) {
-      case EventKind::RegionEnter:
-        if (Options.AttributeGaps && !Stack.empty() &&
-            E.Time > Stack.back().Cursor)
-          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
-                          E.Time - Stack.back().Cursor);
-        Stack.push_back({E.Id, E.Time});
-        break;
-      case EventKind::RegionExit:
-        if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
-          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
-                          E.Time - Stack.back().Cursor);
-        Stack.pop_back();
-        // Time spent in the child is covered from the parent's view.
-        if (!Stack.empty())
-          Stack.back().Cursor = E.Time;
-        break;
-      case EventKind::ActivityBegin:
-        if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
-          Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
-                          E.Time - Stack.back().Cursor);
-        OpenActivity = E.Id;
-        ActivityBeginTime = E.Time;
-        break;
-      case EventKind::ActivityEnd:
-        Cube.accumulate(Stack.back().Region, OpenActivity, Proc,
-                        E.Time - ActivityBeginTime);
-        Stack.back().Cursor = E.Time;
-        OpenActivity = trace::Trace::InvalidId;
-        break;
-      case EventKind::MessageSend:
-      case EventKind::MessageRecv:
-        break; // Message endpoints carry no attributable duration.
-      }
-    }
-  }
+  for (double ProcSpan : Spans)
+    Span = std::max(Span, ProcSpan);
 
   // The cube reports per-processor-mean aggregates, so the matching
   // program total is the plain trace span (the program's duration).

@@ -33,11 +33,18 @@ struct ReductionOptions {
   /// time): the program's wall-clock duration, including uninstrumented
   /// stretches between regions.
   bool ProgramTimeFromSpan = true;
+  /// Worker threads for the per-processor reduction shards (0 = all
+  /// hardware threads, 1 = serial).  Results are bit-identical at any
+  /// setting: each processor's stream folds into disjoint cube cells.
+  unsigned Threads = 0;
 };
 
 /// Reduces \p T to a cube with one region per trace region, one activity
 /// per trace activity and one column per processor.  Runs
-/// trace::Trace::validate() first and propagates its errors.
+/// trace::Trace::validate() first and propagates its errors; the fold
+/// itself additionally rejects structurally impossible streams (region
+/// exit without enter, activity brackets outside any region) with a
+/// descriptive error rather than relying on validation having run.
 Expected<MeasurementCube> reduceTrace(const trace::Trace &T,
                                       const ReductionOptions &Options = {});
 

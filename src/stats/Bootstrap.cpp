@@ -6,6 +6,7 @@
 
 #include "stats/Bootstrap.h"
 #include "stats/Descriptive.h"
+#include "support/Parallel.h"
 #include "support/RNG.h"
 #include <algorithm>
 #include <cassert>
@@ -26,15 +27,20 @@ BootstrapInterval stats::bootstrapCI(
   Interval.Confidence = Options.Confidence;
   Interval.Estimate = Statistic(Values);
 
-  RNG Rng(Options.Seed);
-  std::vector<double> Resampled(Values.size());
-  std::vector<double> Statistics;
-  Statistics.reserve(Options.Resamples);
-  for (unsigned R = 0; R != Options.Resamples; ++R) {
-    for (double &V : Resampled)
-      V = Values[Rng.uniformInt(Values.size())];
-    Statistics.push_back(Statistic(Resampled));
-  }
+  // Every resample owns an RNG derived from its index, so the statistic
+  // in slot R is a pure function of (Seed, R) — independent of thread
+  // count and scheduling.  Chunks reuse one resampling buffer each.
+  std::vector<double> Statistics(Options.Resamples);
+  parallelChunks(Options.Resamples, Options.Threads,
+                 [&](size_t, size_t Begin, size_t End) {
+                   std::vector<double> Resampled(Values.size());
+                   for (size_t R = Begin; R != End; ++R) {
+                     RNG Rng(splitSeed(Options.Seed, R));
+                     for (double &V : Resampled)
+                       V = Values[Rng.uniformInt(Values.size())];
+                     Statistics[R] = Statistic(Resampled);
+                   }
+                 });
   double Alpha = (1.0 - Options.Confidence) / 2.0;
   Interval.Lower = percentile(Statistics, 100.0 * Alpha);
   Interval.Upper = percentile(Statistics, 100.0 * (1.0 - Alpha));

@@ -42,6 +42,11 @@ struct BootstrapOptions {
   unsigned Resamples = 1000;
   double Confidence = 0.95;
   uint64_t Seed = 12345;
+  /// Worker threads for the resampling loop (0 = all hardware threads,
+  /// 1 = serial).  Every resample R draws from its own RNG seeded
+  /// splitSeed(Seed, R) and writes its statistic into slot R, so the
+  /// interval is bit-identical at any thread count.
+  unsigned Threads = 0;
 };
 
 /// Percentile bootstrap of an arbitrary statistic of \p Values.

@@ -1,0 +1,114 @@
+//===- support/Parallel.cpp - Thread pool and parallel helpers ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace lima;
+
+unsigned lima::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+unsigned lima::resolveThreadCount(unsigned Requested) {
+  return Requested ? Requested : hardwareThreads();
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned N = resolveThreadCount(Threads);
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "submit on a stopping pool");
+    Queue.push_back(std::move(Task));
+    ++Unfinished;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Unfinished == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Unfinished == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+ThreadPool &lima::globalThreadPool() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+void lima::parallelChunks(
+    size_t N, unsigned Threads,
+    const std::function<void(size_t Chunk, size_t Begin, size_t End)>
+        &Body) {
+  if (N == 0)
+    return;
+  size_t Chunks = std::min<size_t>(resolveThreadCount(Threads), N);
+  if (Chunks <= 1) {
+    Body(0, 0, N);
+    return;
+  }
+
+  // Per-call latch: the caller runs the last chunk itself and waits for
+  // the submitted ones, so a busy pool delays but never deadlocks us.
+  struct Latch {
+    std::mutex Mutex;
+    std::condition_variable Done;
+    size_t Remaining;
+  } Latch{{}, {}, Chunks - 1};
+
+  ThreadPool &Pool = globalThreadPool();
+  for (size_t Chunk = 0; Chunk + 1 < Chunks; ++Chunk) {
+    size_t Begin = N * Chunk / Chunks;
+    size_t End = N * (Chunk + 1) / Chunks;
+    Pool.submit([&Body, &Latch, Chunk, Begin, End] {
+      Body(Chunk, Begin, End);
+      std::lock_guard<std::mutex> Lock(Latch.Mutex);
+      if (--Latch.Remaining == 0)
+        Latch.Done.notify_one();
+    });
+  }
+  Body(Chunks - 1, N * (Chunks - 1) / Chunks, N);
+  std::unique_lock<std::mutex> Lock(Latch.Mutex);
+  Latch.Done.wait(Lock, [&Latch] { return Latch.Remaining == 0; });
+}

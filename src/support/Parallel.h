@@ -1,0 +1,141 @@
+//===- support/Parallel.h - Thread pool and parallel helpers ----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel execution layer: a shared ThreadPool plus the
+/// parallelFor / parallelChunks / parallelReduce helpers the analysis
+/// paths are built on.  Design contract (see DESIGN.md, "Parallel
+/// execution layer"):
+///
+///  - A thread-count setting of 0 means "use all hardware threads";
+///    1 means "run exactly the serial code path on the calling thread"
+///    (no pool involvement, no scheduling jitter).
+///  - Work is split into contiguous chunks assigned in index order, and
+///    reductions merge partials in chunk order, so a fixed thread count
+///    is always deterministic.
+///  - Bit-identical results at *any* thread count additionally require
+///    the body to either write disjoint per-index slots or merge with an
+///    order-insensitive operation (integer sums, max).  Every LIMA use
+///    follows one of those two patterns; floating-point accumulation
+///    across chunk boundaries is never reassociated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_PARALLEL_H
+#define LIMA_SUPPORT_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lima {
+
+/// Number of hardware threads, at least 1.
+unsigned hardwareThreads();
+
+/// Resolves a user-facing thread-count setting: 0 selects
+/// hardwareThreads(), anything else is returned unchanged.
+unsigned resolveThreadCount(unsigned Requested);
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks must not throw (LIMA library code never does) and must not
+/// submit-and-wait on the same pool from inside a task; the parallel
+/// helpers below run one chunk on the calling thread and wait on a
+/// per-call latch, so they never deadlock against each other.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 = hardwareThreads()).
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t Unfinished = 0; // queued + currently running
+  bool Stopping = false;
+};
+
+/// The process-wide pool shared by all parallel helpers, lazily created
+/// with hardwareThreads() workers.  Helpers cap their concurrency to the
+/// requested thread count; the pool itself is only a worker supply.
+ThreadPool &globalThreadPool();
+
+/// Splits [0, N) into min(Threads, N) contiguous chunks and runs
+/// \p Body(Chunk, Begin, End) for each, concurrently.  Chunk boundaries
+/// depend only on N and the resolved thread count.  Threads <= 1 (after
+/// resolution) runs a single chunk inline on the calling thread.
+/// Returns only after every chunk finished.
+void parallelChunks(
+    size_t N, unsigned Threads,
+    const std::function<void(size_t Chunk, size_t Begin, size_t End)> &Body);
+
+/// Runs \p Body(I) for every I in [0, N), distributed over min(Threads,
+/// N) workers in contiguous index ranges.  The body must tolerate
+/// concurrent invocation on distinct indices (typically by writing only
+/// to per-index slots).
+inline void parallelFor(size_t N, unsigned Threads,
+                        const std::function<void(size_t)> &Body) {
+  parallelChunks(N, Threads, [&](size_t, size_t Begin, size_t End) {
+    for (size_t I = Begin; I != End; ++I)
+      Body(I);
+  });
+}
+
+/// Folds [0, N) in parallel: each chunk folds its contiguous range into
+/// a fresh copy of \p Init via \p Fold(Partial, I), and partials are
+/// merged into the final result *in chunk order* via \p Merge(Into,
+/// From).  With an order-insensitive Merge (integer sums, max) the
+/// result is bit-identical at every thread count; otherwise it is
+/// deterministic for a fixed thread count.
+template <typename T>
+T parallelReduce(size_t N, unsigned Threads, T Init,
+                 const std::function<void(T &, size_t)> &Fold,
+                 const std::function<void(T &, T &)> &Merge) {
+  unsigned Resolved = resolveThreadCount(Threads);
+  size_t Chunks = std::min<size_t>(Resolved, N ? N : 1);
+  if (Chunks <= 1) {
+    T Result = std::move(Init);
+    for (size_t I = 0; I != N; ++I)
+      Fold(Result, I);
+    return Result;
+  }
+  std::vector<T> Partials(Chunks, Init);
+  parallelChunks(N, Threads, [&](size_t Chunk, size_t Begin, size_t End) {
+    for (size_t I = Begin; I != End; ++I)
+      Fold(Partials[Chunk], I);
+  });
+  T Result = std::move(Init);
+  for (T &Partial : Partials)
+    Merge(Result, Partial);
+  return Result;
+}
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_PARALLEL_H

@@ -17,6 +17,11 @@ static uint64_t splitMix64(uint64_t &State) {
   return Z ^ (Z >> 31);
 }
 
+uint64_t lima::splitSeed(uint64_t Seed, uint64_t Stream) {
+  uint64_t State = Stream;
+  return Seed ^ splitMix64(State);
+}
+
 static uint64_t rotl64(uint64_t X, int K) {
   return (X << K) | (X >> (64 - K));
 }

@@ -24,6 +24,14 @@
 
 namespace lima {
 
+/// Derives the seed of an independent substream: `Seed ^ hash(Stream)`
+/// with a SplitMix64 finalizer as the hash.  Used wherever work that
+/// consumes randomness is split across threads (bootstrap resamples):
+/// each unit of work seeds its own RNG from its *index*, so the stream
+/// it sees is a function of (Seed, Stream) only — never of the thread
+/// count or scheduling order.
+uint64_t splitSeed(uint64_t Seed, uint64_t Stream);
+
 /// Deterministic pseudo-random generator (xoshiro256**, seeded via
 /// SplitMix64).  The same seed yields the same stream on every platform.
 class RNG {

@@ -6,13 +6,29 @@
 
 #include "trace/TraceStats.h"
 #include "support/Format.h"
+#include "support/Parallel.h"
 #include "support/TableFormatter.h"
 #include <algorithm>
 
 using namespace lima;
 using namespace lima::trace;
 
-TraceStats trace::computeTraceStats(const Trace &T) {
+namespace {
+
+/// The cross-processor scalar aggregates, accumulated per processor and
+/// merged in processor order.  Sums are integers and Span is a max, so
+/// the merged totals do not depend on how processors were sharded.
+struct ScalarTotals {
+  std::vector<uint64_t> EventCounts = std::vector<uint64_t>(6, 0);
+  uint64_t TotalEvents = 0;
+  uint64_t TotalMessages = 0;
+  uint64_t TotalBytes = 0;
+  double Span = 0.0;
+};
+
+} // namespace
+
+TraceStats trace::computeTraceStats(const Trace &T, unsigned Threads) {
   TraceStats Stats;
   Stats.EventCounts.assign(6, 0);
   Stats.Traffic.assign(T.numProcs(),
@@ -20,13 +36,18 @@ TraceStats trace::computeTraceStats(const Trace &T) {
   Stats.RegionInstances.assign(T.numProcs(), 0);
   Stats.BusyTime.assign(T.numProcs(), 0.0);
 
-  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+  // Shard per processor.  Each worker writes only its processor's
+  // Traffic row, RegionInstances and BusyTime cell, plus a private
+  // ScalarTotals slot; the slots are merged serially below.
+  std::vector<ScalarTotals> Totals(T.numProcs());
+  parallelFor(T.numProcs(), Threads, [&](size_t Proc) {
+    ScalarTotals &Local = Totals[Proc];
     double ActivityBeginTime = 0.0;
     bool ActivityOpen = false;
-    for (const Event &E : T.events(Proc)) {
-      ++Stats.EventCounts[static_cast<size_t>(E.Kind)];
-      ++Stats.TotalEvents;
-      Stats.Span = std::max(Stats.Span, E.Time);
+    for (const Event &E : T.events(static_cast<unsigned>(Proc))) {
+      ++Local.EventCounts[static_cast<size_t>(E.Kind)];
+      ++Local.TotalEvents;
+      Local.Span = std::max(Local.Span, E.Time);
       switch (E.Kind) {
       case EventKind::RegionEnter:
         ++Stats.RegionInstances[Proc];
@@ -44,8 +65,8 @@ TraceStats trace::computeTraceStats(const Trace &T) {
         PairTraffic &Pair = Stats.Traffic[Proc][E.Id];
         ++Pair.Messages;
         Pair.Bytes += E.Bytes;
-        ++Stats.TotalMessages;
-        Stats.TotalBytes += E.Bytes;
+        ++Local.TotalMessages;
+        Local.TotalBytes += E.Bytes;
         break;
       }
       case EventKind::RegionExit:
@@ -53,6 +74,15 @@ TraceStats trace::computeTraceStats(const Trace &T) {
         break;
       }
     }
+  });
+
+  for (const ScalarTotals &Local : Totals) {
+    for (size_t Kind = 0; Kind != Local.EventCounts.size(); ++Kind)
+      Stats.EventCounts[Kind] += Local.EventCounts[Kind];
+    Stats.TotalEvents += Local.TotalEvents;
+    Stats.TotalMessages += Local.TotalMessages;
+    Stats.TotalBytes += Local.TotalBytes;
+    Stats.Span = std::max(Stats.Span, Local.Span);
   }
   return Stats;
 }

@@ -56,8 +56,11 @@ struct TraceStats {
 
 /// Computes the statistics of \p T in one pass.  The trace need not be
 /// validated first; unbalanced brackets simply truncate the affected
-/// intervals.
-TraceStats computeTraceStats(const Trace &T);
+/// intervals.  Processor streams are sharded over \p Threads workers
+/// (0 = all hardware threads, 1 = serial); per-processor rows are
+/// written disjointly and the scalar totals are integer sums / maxima,
+/// so the result is bit-identical at any thread count.
+TraceStats computeTraceStats(const Trace &T, unsigned Threads = 0);
 
 /// Renders the communication matrix as an aligned text table
 /// ("messages/bytes" cells; "-" for idle pairs).
