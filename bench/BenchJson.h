@@ -1,0 +1,91 @@
+//===- bench/BenchJson.h - Shared BENCH_*.json envelope ---------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON envelope every BENCH_*.json emitter uses, so recorded
+/// measurements are self-describing and comparable across machines and
+/// revisions:
+///
+///   {
+///     "bench": "parallel",
+///     "schema_version": 1,
+///     "version": "0.2.0 (git abc1234)",
+///     "git_rev": "abc1234",
+///     "hardware_threads": 8,
+///     "timestamp": "2026-08-06T12:34:56Z",
+///     ...bench-specific fields...,
+///     "records": [ ...bench-specific array... ]
+///   }
+///
+/// Bench-specific fields and the records array are supplied pre-rendered
+/// (benches already format their own rows); the envelope adds the
+/// metadata that used to be silently missing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_BENCH_BENCHJSON_H
+#define LIMA_BENCH_BENCHJSON_H
+
+#include "support/Parallel.h"
+#include "support/Version.h"
+#include <ctime>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lima {
+namespace bench {
+
+/// Extra top-level fields: name -> pre-rendered JSON value (callers
+/// quote strings themselves; numbers and objects pass through as-is).
+using JsonFields = std::vector<std::pair<std::string, std::string>>;
+
+inline std::string jsonQuote(std::string_view Str) {
+  std::string Out = "\"";
+  for (char C : Str) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Current UTC wall-clock time as "YYYY-MM-DDTHH:MM:SSZ".
+inline std::string utcTimestamp() {
+  std::time_t Now = std::time(nullptr);
+  std::tm Utc{};
+  gmtime_r(&Now, &Utc);
+  char Buf[32];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ", &Utc);
+  return Buf;
+}
+
+/// Wraps \p RecordsArray (a rendered JSON array) in the shared envelope.
+inline std::string makeEnvelope(std::string_view BenchName,
+                                const JsonFields &Extra,
+                                std::string_view RecordsArray) {
+  std::string Out = "{\n";
+  Out += "  \"bench\": " + jsonQuote(BenchName) + ",\n";
+  Out += "  \"schema_version\": 1,\n";
+  Out += "  \"version\": " + jsonQuote(versionString()) + ",\n";
+  Out += "  \"git_rev\": " + jsonQuote(gitRevision()) + ",\n";
+  Out += "  \"hardware_threads\": " +
+         std::to_string(hardwareThreads()) + ",\n";
+  Out += "  \"timestamp\": " + jsonQuote(utcTimestamp()) + ",\n";
+  for (const auto &[Name, Value] : Extra)
+    Out += "  " + jsonQuote(Name) + ": " + Value + ",\n";
+  Out += "  \"records\": ";
+  Out += RecordsArray;
+  Out += "\n}\n";
+  return Out;
+}
+
+} // namespace bench
+} // namespace lima
+
+#endif // LIMA_BENCH_BENCHJSON_H

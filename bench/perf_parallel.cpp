@@ -11,14 +11,18 @@
 //   perf_parallel [--threads 8] [--procs 64] [--rounds 2000]
 //                 [--out BENCH_parallel.json]
 //
-// JSON schema: [{"name": ..., "threads": N, "events": E,
-//                "wall_ms": W, "speedup": S}, ...] where speedup is
-// wall_serial / wall at the same workload (1.0 for serial entries).
-// Every parallel result is checked bit-identical to its serial twin
-// before a line is emitted.
+// The JSON uses the shared bench envelope (BenchJson.h): version, git
+// revision, hardware-thread count and timestamp wrap a records array of
+// [{"name": ..., "threads": N, "events": E, "wall_ms": W,
+//   "speedup": S}, ...] where speedup is wall_serial / wall at the same
+// workload (1.0 for serial entries), plus a "telemetry" object with the
+// runtime-enabled overhead of the self-instrumentation layer.  Every
+// parallel result is checked bit-identical to its serial twin before a
+// line is emitted.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "cluster/KMeans.h"
 #include "core/Pipeline.h"
 #include "core/TraceReduction.h"
@@ -28,6 +32,7 @@
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 #include "support/raw_ostream.h"
 #include "trace/TraceStats.h"
 #include <chrono>
@@ -109,7 +114,7 @@ std::string toJSON(const std::vector<BenchRecord> &Records) {
            ", \"speedup\": " + formatFixed(R.Speedup, 3) + "}";
     Out += I + 1 == Records.size() ? "\n" : ",\n";
   }
-  Out += "]\n";
+  Out += "]";
   return Out;
 }
 
@@ -247,8 +252,50 @@ int main(int Argc, char **Argv) {
            (void)cantFail(core::analyze(SerialCube, AParallel));
          }));
 
+  // --- Telemetry overhead ----------------------------------------------
+  // The analysis paths above all ran with recording disabled (the
+  // shipping default); re-time the full pipeline with recording enabled
+  // to put a number on the instrumentation cost.  With telemetry
+  // compiled out both modes are identical by construction.
+  // Interleave the two modes (best-of per mode) so drift on a shared
+  // machine hits both sides instead of biasing whichever ran second.
+  auto pipelineOnce = [&] {
+    (void)cantFail(core::reduceTrace(T, Parallel));
+    (void)cantFail(core::analyze(SerialCube, AParallel));
+  };
+  double TelemetryOffMs = 0.0, TelemetryOnMs = 0.0;
+  telemetry::reset();
+  for (unsigned R = 0; R != Reps; ++R) {
+    double OffMs = timeMs(1, pipelineOnce);
+    telemetry::setEnabled(true);
+    double OnMs = timeMs(1, pipelineOnce);
+    telemetry::setEnabled(false);
+    if (R == 0 || OffMs < TelemetryOffMs)
+      TelemetryOffMs = OffMs;
+    if (R == 0 || OnMs < TelemetryOnMs)
+      TelemetryOnMs = OnMs;
+  }
+  size_t TelemetryEvents = telemetry::collect().Events.size();
+  double OverheadPct = TelemetryOffMs > 0.0
+                           ? (TelemetryOnMs - TelemetryOffMs) /
+                                 TelemetryOffMs * 100.0
+                           : 0.0;
+  OS << "\ntelemetry: off " << formatFixed(TelemetryOffMs, 2) << " ms, on "
+     << formatFixed(TelemetryOnMs, 2) << " ms (" << TelemetryEvents
+     << " events, " << formatFixed(OverheadPct, 1) << "% overhead)\n";
+
+  bench::JsonFields Extra = {
+      {"telemetry",
+       std::string("{\"compiled\": ") +
+           (LIMA_TELEMETRY ? "true" : "false") +
+           ", \"disabled_wall_ms\": " + formatFixed(TelemetryOffMs, 3) +
+           ", \"enabled_wall_ms\": " + formatFixed(TelemetryOnMs, 3) +
+           ", \"events\": " + std::to_string(TelemetryEvents) +
+           ", \"overhead_pct\": " + formatFixed(OverheadPct, 2) + "}"}};
+
   std::string Path = Parser.getString("out");
-  ExitOnErr(writeFile(Path, toJSON(Records)));
+  ExitOnErr(writeFile(
+      Path, bench::makeEnvelope("parallel", Extra, toJSON(Records))));
   OS << "\nJSON written to " << Path << '\n';
   OS.flush();
   return 0;

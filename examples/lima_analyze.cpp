@@ -20,6 +20,7 @@
 #include "core/PhaseAnalysis.h"
 #include "core/Pipeline.h"
 #include "core/Report.h"
+#include "core/SelfProfile.h"
 #include "core/TraceReduction.h"
 #include "core/WaitStates.h"
 #include "stats/Dispersion.h"
@@ -28,11 +29,15 @@
 #include "support/raw_ostream.h"
 #include "support/FileUtils.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "support/TraceEventExport.h"
+#include "support/Version.h"
 #include "trace/BinaryIO.h"
 #include "trace/Filter.h"
 #include "trace/Timeline.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
+#include <cstring>
 
 using namespace lima;
 
@@ -45,6 +50,15 @@ static Expected<stats::DispersionKind> parseKind(const std::string &Name) {
 
 int main(int Argc, char **Argv) {
   ExitOnError ExitOnErr("lima_analyze: ");
+
+  // --version short-circuits before the parser runs (the trace positional
+  // is otherwise required).
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], "--version") == 0) {
+      outs() << "lima_analyze " << versionString() << '\n';
+      outs().flush();
+      return 0;
+    }
 
   ArgParser Parser("lima_analyze",
                    "analyzes the load imbalance recorded in a LIMATRACE "
@@ -71,7 +85,28 @@ int main(int Argc, char **Argv) {
   Parser.addOption("window", "time window 'begin:end' in seconds", "");
   Parser.addOption("html", "also write a self-contained HTML report here",
                    "");
+  Parser.addFlag("version", "print the version and exit");
+  Parser.addFlag("quiet", "suppress the standard analysis report (file "
+                          "outputs like --html still happen)");
+  Parser.addFlag("self-profile",
+                 "dogfood: run LIMA's own telemetry through the imbalance "
+                 "analysis and print the result");
+  Parser.addOption("self-profile-json",
+                   "write machine-readable self-profile stats JSON here",
+                   "");
+  Parser.addOption("self-trace",
+                   "write a Chrome trace-event JSON of this run here "
+                   "(chrome://tracing, Perfetto)",
+                   "");
   ExitOnErr(Parser.parse(Argc, Argv));
+
+  bool SelfProfile = Parser.getFlag("self-profile") ||
+                     !Parser.getString("self-profile-json").empty() ||
+                     !Parser.getString("self-trace").empty();
+  if (SelfProfile) {
+    telemetry::reset();
+    telemetry::setEnabled(true);
+  }
 
   trace::Trace Trace =
       ExitOnErr(trace::loadTraceAuto(Parser.getPositionals()[0]));
@@ -106,6 +141,7 @@ int main(int Argc, char **Argv) {
 
   raw_ostream &OS = outs();
   bool CSV = Parser.getFlag("csv");
+  bool Quiet = Parser.getFlag("quiet");
   auto emit = [&](const TextTable &Table) {
     if (CSV)
       OS << Table.toCSV() << '\n';
@@ -114,11 +150,13 @@ int main(int Argc, char **Argv) {
       OS << '\n';
     }
   };
-  emit(core::makeRegionBreakdownTable(Cube, Result.Profile));
-  emit(core::makeDissimilarityTable(Cube, Result.Activities));
-  emit(core::makeActivityViewTable(Cube, Result.Activities));
-  emit(core::makeRegionViewTable(Cube, Result.Regions));
-  emit(core::makeProcessorViewTable(Cube, Result.Processors));
+  if (!Quiet) {
+    emit(core::makeRegionBreakdownTable(Cube, Result.Profile));
+    emit(core::makeDissimilarityTable(Cube, Result.Activities));
+    emit(core::makeActivityViewTable(Cube, Result.Activities));
+    emit(core::makeRegionViewTable(Cube, Result.Regions));
+    emit(core::makeProcessorViewTable(Cube, Result.Processors));
+  }
 
   if (Parser.getFlag("patterns"))
     for (const core::PatternDiagram &Diagram : Result.Patterns)
@@ -175,10 +213,12 @@ int main(int Argc, char **Argv) {
     OS << '\n';
   }
 
-  if (Result.HasClusters)
-    OS << core::describeClusters(Cube, Result.Clusters) << '\n';
-  OS << core::summarizeFindings(Cube, Result.Profile, Result.Activities,
-                                Result.Regions, Result.Processors);
+  if (!Quiet) {
+    if (Result.HasClusters)
+      OS << core::describeClusters(Cube, Result.Clusters) << '\n';
+    OS << core::summarizeFindings(Cube, Result.Profile, Result.Activities,
+                                  Result.Regions, Result.Processors);
+  }
 
   if (Parser.getFlag("diagnose")) {
     OS << "\nautomatic diagnosis:\n"
@@ -188,7 +228,61 @@ int main(int Argc, char **Argv) {
   if (!Parser.getString("html").empty()) {
     ExitOnErr(writeFile(Parser.getString("html"),
                         core::renderHtmlReport(Cube, Result)));
-    OS << "\nHTML report written to " << Parser.getString("html") << '\n';
+    if (!Quiet)
+      OS << "\nHTML report written to " << Parser.getString("html") << '\n';
+  }
+
+  if (SelfProfile) {
+    telemetry::setEnabled(false);
+    telemetry::Snapshot Snap = telemetry::collect();
+
+    if (!Parser.getString("self-trace").empty())
+      ExitOnErr(writeFile(Parser.getString("self-trace"),
+                          telemetry::exportChromeTrace(Snap)));
+    if (!Parser.getString("self-profile-json").empty())
+      ExitOnErr(writeFile(Parser.getString("self-profile-json"),
+                          telemetry::exportSelfProfileJson(Snap)));
+
+    if (Parser.getFlag("self-profile") && Snap.Stages.empty()) {
+      // Telemetry compiled out (LIMA_TELEMETRY=0): nothing recorded.
+      OS << "self-profile: no telemetry recorded (built with "
+            "LIMA_TELEMETRY=0?)\n";
+    } else if (Parser.getFlag("self-profile")) {
+      OS << "== self-profile: LIMA analyzed by LIMA ("
+         << Snap.NumWorkers << " worker"
+         << (Snap.NumWorkers == 1 ? "" : "s") << ", "
+         << formatFixed(Snap.SessionWallMs, 2) << " ms session) ==\n\n";
+      emit(telemetry::makeSpanSummaryTable(Snap));
+      emit(telemetry::makeStageBreakdownTable(Snap));
+      if (!Snap.Counters.empty())
+        emit(telemetry::makeCounterTable(Snap));
+
+      // The dogfood step: the pipeline's own per-stage, per-worker time
+      // becomes a measurement cube and goes through the same analysis
+      // the tool applies to foreign traces.
+      core::MeasurementCube SelfCube =
+          ExitOnErr(core::buildSelfProfileCube(Snap));
+      core::AnalysisOptions SelfOptions;
+      SelfOptions.Views.Kind = Options.Views.Kind;
+      SelfOptions.Clusters = 0;
+      SelfOptions.Threads = 1;
+      core::AnalysisResult SelfResult =
+          ExitOnErr(core::analyze(SelfCube, SelfOptions));
+      emit(core::makeRegionBreakdownTable(SelfCube, SelfResult.Profile));
+      emit(core::makeRegionViewTable(SelfCube, SelfResult.Regions));
+      emit(core::makeProcessorViewTable(SelfCube, SelfResult.Processors));
+      OS << core::summarizeFindings(SelfCube, SelfResult.Profile,
+                                    SelfResult.Activities, SelfResult.Regions,
+                                    SelfResult.Processors);
+    }
+    if (!Quiet) {
+      if (!Parser.getString("self-trace").empty())
+        OS << "self-trace written to " << Parser.getString("self-trace")
+           << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+      if (!Parser.getString("self-profile-json").empty())
+        OS << "self-profile stats written to "
+           << Parser.getString("self-profile-json") << '\n';
+    }
   }
   OS.flush();
   return 0;

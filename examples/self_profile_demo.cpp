@@ -1,0 +1,141 @@
+//===- examples/self_profile_demo.cpp - LIMA dogfooding itself ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability layer end to end: run the paper's CFD experiment
+// with telemetry recording, convert LIMA's own per-stage, per-worker
+// time into a measurement cube, and push that cube through the same
+// analysis the tool applies to foreign traces.  The demo asserts the
+// dogfooded cube is internally consistent — every stage the pipeline
+// spent wall time in is covered, and the reconstructed program time is
+// at least the instrumented pipeline time — so it doubles as an
+// integration check for the telemetry layer.
+//
+//   self_profile_demo [--procs 16] [--iterations 10] [--threads 0]
+//                     [--trace-out self_profile.json]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/cfd/Cfd.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/SelfProfile.h"
+#include "core/TraceReduction.h"
+#include "support/CommandLine.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include "support/Telemetry.h"
+#include "support/TraceEventExport.h"
+#include "support/raw_ostream.h"
+#include <cmath>
+
+using namespace lima;
+
+int main(int Argc, char **Argv) {
+  ExitOnError ExitOnErr("self_profile_demo: ");
+
+  ArgParser Parser("self_profile_demo",
+                   "runs the CFD experiment under telemetry and feeds "
+                   "LIMA's own execution profile through its analysis");
+  Parser.addOption("procs", "number of simulated processors", "16");
+  Parser.addOption("iterations", "time steps to simulate", "10");
+  Parser.addOption("threads",
+                   "worker threads (0 = all hardware threads)", "0");
+  Parser.addOption("trace-out",
+                   "also write a Chrome trace-event JSON here", "");
+  ExitOnErr(Parser.parse(Argc, Argv));
+
+  cfd::CfdConfig Config;
+  Config.Procs = static_cast<unsigned>(Parser.getUnsigned("procs"));
+  Config.Iterations =
+      static_cast<unsigned>(Parser.getUnsigned("iterations"));
+  unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
+
+  raw_ostream &OS = outs();
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  uint64_t PipelineStartNs = telemetry::nowNs();
+
+  cfd::CfdResult Run = ExitOnErr(cfd::runCfd(Config));
+  core::ReductionOptions Reduction;
+  Reduction.Threads = Threads;
+  core::MeasurementCube Cube =
+      ExitOnErr(core::reduceTrace(Run.Trace, Reduction));
+  core::AnalysisOptions Options;
+  Options.Threads = Threads;
+  core::AnalysisResult Result = ExitOnErr(core::analyze(Cube, Options));
+  (void)Result;
+
+  double PipelineMs =
+      static_cast<double>(telemetry::nowNs() - PipelineStartNs) / 1e6;
+  telemetry::setEnabled(false);
+  telemetry::Snapshot Snap = telemetry::collect();
+
+  OS << "CFD analysis pipeline: " << formatFixed(PipelineMs, 2)
+     << " ms wall, " << Snap.Events.size() << " telemetry events across "
+     << Snap.NumWorkers << " worker(s)\n\n";
+  telemetry::makeSpanSummaryTable(Snap).print(OS);
+  OS << '\n';
+  telemetry::makeStageBreakdownTable(Snap).print(OS);
+  OS << '\n';
+
+  if (Snap.Stages.empty()) {
+    // Telemetry compiled out: nothing to dogfood, and nothing to check.
+    OS << "telemetry is compiled out (LIMA_TELEMETRY=0); no self-profile "
+          "to analyze\n";
+    OS.flush();
+    return 0;
+  }
+
+  core::MeasurementCube Self = ExitOnErr(core::buildSelfProfileCube(Snap));
+  core::AnalysisOptions SelfOptions;
+  SelfOptions.Clusters = 0;
+  SelfOptions.Threads = 1;
+  core::AnalysisResult SelfResult =
+      ExitOnErr(core::analyze(Self, SelfOptions));
+
+  OS << "LIMA's own execution, through LIMA's analysis:\n\n";
+  core::makeRegionBreakdownTable(Self, SelfResult.Profile).print(OS);
+  OS << '\n';
+  core::makeRegionViewTable(Self, SelfResult.Regions).print(OS);
+  OS << '\n';
+  core::makeProcessorViewTable(Self, SelfResult.Processors).print(OS);
+  OS << '\n';
+  OS << core::summarizeFindings(Self, SelfResult.Profile,
+                                SelfResult.Activities, SelfResult.Regions,
+                                SelfResult.Processors);
+
+  // The integration check: the dogfooded cube must reproduce the
+  // pipeline's measured wall time.  Stage walls cover the instrumented
+  // pipeline stages (reduce and analyze; the CFD simulation runs before
+  // the first stage), so the cube's program time must account for at
+  // least the sum of stage walls and never exceed the measured pipeline
+  // by more than timer jitter.
+  double StageWallMs = 0.0;
+  for (const telemetry::StageStats &Stage : Snap.Stages)
+    StageWallMs += Stage.WallMs;
+  double ProgramMs = Self.programTime() * 1e3;
+  if (ProgramMs + 1e-6 < StageWallMs ||
+      ProgramMs > 1.5 * std::max(PipelineMs, Snap.SessionWallMs) + 1.0)
+    ExitOnErr(makeStringError(
+        "self-profile cube does not reproduce the pipeline wall time: "
+        "program %s ms, stages %s ms, pipeline %s ms",
+        formatFixed(ProgramMs, 3).c_str(),
+        formatFixed(StageWallMs, 3).c_str(),
+        formatFixed(PipelineMs, 3).c_str()));
+  OS << "\nself-profile consistency: program "
+     << formatFixed(ProgramMs, 2) << " ms covers stages "
+     << formatFixed(StageWallMs, 2) << " ms within pipeline "
+     << formatFixed(PipelineMs, 2) << " ms\n";
+
+  if (!Parser.getString("trace-out").empty()) {
+    ExitOnErr(writeFile(Parser.getString("trace-out"),
+                        telemetry::exportChromeTrace(Snap)));
+    OS << "Chrome trace written to " << Parser.getString("trace-out")
+       << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  OS.flush();
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "support/Compiler.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -164,6 +165,8 @@ KMeansResult runOnce(const Matrix &Points, const KMeansOptions &Options,
   std::vector<unsigned char> ChangedSlot(Points.size(), 0);
   unsigned Iter = 0;
   for (; Iter != Options.MaxIterations; ++Iter) {
+    LIMA_SPAN("kmeans.iteration");
+    LIMA_COUNTER_ADD("kmeans.iterations", 1);
     std::fill(ChangedSlot.begin(), ChangedSlot.end(), 0);
     parallelFor(Points.size(), Options.Threads, [&](size_t P) {
       size_t Nearest = nearestCentroid(Points[P], Centroids);
@@ -277,6 +280,7 @@ cluster::kMeans(const Matrix &Points, const KMeansOptions &Options) {
     return makeStringError("k-means needs at least K=%zu distinct points",
                            Options.K);
 
+  LIMA_SPAN("kmeans");
   RNG Rng(Options.Seed);
   KMeansResult Best;
   bool HaveBest = false;

@@ -6,6 +6,7 @@
 
 #include "core/Pipeline.h"
 #include "support/Parallel.h"
+#include "support/Telemetry.h"
 #include <functional>
 
 using namespace lima;
@@ -18,6 +19,7 @@ Expected<AnalysisResult> core::analyze(const MeasurementCube &Cube,
   if (Cube.instrumentedTotal() <= 0.0)
     return makeStringError("measurement cube carries no time");
 
+  LIMA_STAGE("analyze");
   AnalysisResult Result;
 
   // The profile, the three views and the pattern diagrams only read the
@@ -31,15 +33,25 @@ Expected<AnalysisResult> core::analyze(const MeasurementCube &Cube,
   Result.Patterns.resize(ActiveActivities.size());
 
   std::vector<std::function<void()>> Tasks;
-  Tasks.push_back([&] { Result.Profile = computeCoarseProfile(Cube); });
-  Tasks.push_back(
-      [&] { Result.Activities = computeActivityView(Cube, Options.Views); });
-  Tasks.push_back(
-      [&] { Result.Regions = computeRegionView(Cube, Options.Views); });
-  Tasks.push_back(
-      [&] { Result.Processors = computeProcessorView(Cube, Options.Views); });
+  Tasks.push_back([&] {
+    LIMA_SPAN("analyze.profile");
+    Result.Profile = computeCoarseProfile(Cube);
+  });
+  Tasks.push_back([&] {
+    LIMA_SPAN("analyze.activity-view");
+    Result.Activities = computeActivityView(Cube, Options.Views);
+  });
+  Tasks.push_back([&] {
+    LIMA_SPAN("analyze.region-view");
+    Result.Regions = computeRegionView(Cube, Options.Views);
+  });
+  Tasks.push_back([&] {
+    LIMA_SPAN("analyze.processor-view");
+    Result.Processors = computeProcessorView(Cube, Options.Views);
+  });
   for (size_t Slot = 0; Slot != ActiveActivities.size(); ++Slot)
     Tasks.push_back([&, Slot] {
+      LIMA_SPAN("analyze.pattern");
       Result.Patterns[Slot] = computePatternDiagram(
           Cube, ActiveActivities[Slot], Options.PatternBand);
     });
@@ -47,6 +59,7 @@ Expected<AnalysisResult> core::analyze(const MeasurementCube &Cube,
               [&](size_t Task) { Tasks[Task](); });
 
   if (Options.Clusters >= 2 && Cube.numRegions() >= 2) {
+    LIMA_SPAN("analyze.cluster");
     RegionClusteringOptions ClusterOpts = Options.Clustering;
     ClusterOpts.K = Options.Clusters;
     ClusterOpts.KMeans.Threads = Options.Threads;

@@ -1,0 +1,55 @@
+//===- core/SelfProfile.cpp - Dogfooded imbalance analysis ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SelfProfile.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::core;
+
+Expected<MeasurementCube>
+core::buildSelfProfileCube(const telemetry::Snapshot &S) {
+  if (S.Stages.empty())
+    return makeStringError(
+        "self-profile: no pipeline stages recorded (telemetry disabled, "
+        "compiled out, or no instrumented stage ran)");
+
+  std::vector<std::string> Regions;
+  for (const telemetry::StageStats &Stage : S.Stages)
+    Regions.push_back(Stage.Name);
+  MeasurementCube Cube(std::move(Regions),
+                       {"compute", "queue-wait", "idle"}, S.NumWorkers);
+
+  constexpr size_t Compute = 0, QueueWait = 1, Idle = 2;
+  double InstrumentedSec = 0.0;
+  for (size_t I = 0; I != S.Stages.size(); ++I) {
+    const telemetry::StageStats &Stage = S.Stages[I];
+    InstrumentedSec += Stage.WallMs / 1e3;
+    for (unsigned P = 0; P != S.NumWorkers; ++P) {
+      // Clamp so each row sums exactly to the stage wall: a task can end
+      // a hair after its stage closes, and queue waits of a backlog
+      // overlap each other, so the raw sums may exceed the wall time.
+      double ComputeMs = std::min(Stage.WorkerComputeMs[P], Stage.WallMs);
+      double WaitMs = std::min(Stage.WorkerQueueWaitMs[P],
+                               Stage.WallMs - ComputeMs);
+      double IdleMs = std::max(0.0, Stage.WallMs - ComputeMs - WaitMs);
+      Cube.accumulate(I, Compute, P, ComputeMs / 1e3);
+      Cube.accumulate(I, QueueWait, P, WaitMs / 1e3);
+      Cube.accumulate(I, Idle, P, IdleMs / 1e3);
+    }
+  }
+  if (InstrumentedSec <= 0.0)
+    return makeStringError("self-profile: recorded stages carry no time");
+
+  // The stages are sequential on the orchestrating thread, so the
+  // session wall clock is a valid program duration; clamp against the
+  // instrumented total to absorb timer jitter.
+  Cube.setProgramTime(
+      std::max(S.SessionWallMs / 1e3, Cube.instrumentedTotal()));
+  if (auto Err = Cube.validate())
+    return Err;
+  return Cube;
+}

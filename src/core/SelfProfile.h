@@ -1,0 +1,53 @@
+//===- core/SelfProfile.h - Dogfooded imbalance analysis --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop the paper's conclusion asks for: LIMA is itself a
+/// parallel program (the support/Parallel thread pool), so its own
+/// telemetry — per-worker busy time, queue wait and idle time per
+/// pipeline stage — is converted into the very MeasurementCube the
+/// methodology analyzes:
+///
+///   region    = pipeline stage   (load, reduce, analyze, ...)
+///   activity  = {compute, queue-wait, idle}
+///   processor = worker           (0 = orchestrating thread)
+///
+/// Running the cube through core::analyze yields Table-1-style
+/// breakdowns, ID_C / ID_P dispersion indices and ranked tuning
+/// candidates *for LIMA's own execution* (`lima_analyze --self-profile`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_SELFPROFILE_H
+#define LIMA_CORE_SELFPROFILE_H
+
+#include "core/Measurement.h"
+#include "support/Error.h"
+#include "support/Telemetry.h"
+
+namespace lima {
+namespace core {
+
+/// Builds the self-profile measurement cube from a telemetry snapshot.
+///
+/// Per stage i and worker p: compute = instrumented busy time (the
+/// interval union of tasks and spans), queue-wait =
+/// submit-to-start latency of the tasks p executed, idle = the remainder
+/// of the stage's wall time (clamped at zero under timer jitter).  Each
+/// worker's row therefore sums to (approximately) the stage wall time,
+/// so region times t_i reproduce the stage walls and imbalance across
+/// workers is exactly what the dispersion indices measure.  The explicit
+/// program time is the telemetry session wall clock.
+///
+/// Fails when the snapshot holds no stages or no wall time (telemetry
+/// disabled, compiled out, or nothing instrumented ran).
+Expected<MeasurementCube>
+buildSelfProfileCube(const telemetry::Snapshot &S);
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_SELFPROFILE_H

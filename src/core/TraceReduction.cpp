@@ -6,6 +6,7 @@
 
 #include "core/TraceReduction.h"
 #include "support/Parallel.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 
 using namespace lima;
@@ -103,6 +104,7 @@ Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
     return makeStringError("gap activity id %u out of range",
                            Options.GapActivity);
 
+  LIMA_STAGE("reduce");
   MeasurementCube Cube(T.regionNames(), T.activityNames(), T.numProcs());
 
   // Shard per processor: every worker folds its own event stream into
@@ -113,6 +115,8 @@ Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
   std::vector<double> Spans(T.numProcs(), 0.0);
   std::vector<std::string> Errors(T.numProcs());
   parallelFor(T.numProcs(), Options.Threads, [&](size_t Proc) {
+    LIMA_SPAN("reduce.shard");
+    LIMA_COUNTER_ADD("reduce.events", T.events(Proc).size());
     Errors[Proc] = foldProcessor(T, static_cast<unsigned>(Proc), Options,
                                  Cube, Spans[Proc]);
   });

@@ -7,6 +7,7 @@
 #include "stats/Bootstrap.h"
 #include "stats/Descriptive.h"
 #include "support/Parallel.h"
+#include "support/Telemetry.h"
 #include "support/RNG.h"
 #include <algorithm>
 #include <cassert>
@@ -23,6 +24,7 @@ BootstrapInterval stats::bootstrapCI(
   assert(Options.Confidence > 0.0 && Options.Confidence < 1.0 &&
          "confidence must be in (0, 1)");
 
+  LIMA_SPAN("bootstrap");
   BootstrapInterval Interval;
   Interval.Confidence = Options.Confidence;
   Interval.Estimate = Statistic(Values);
@@ -33,6 +35,8 @@ BootstrapInterval stats::bootstrapCI(
   std::vector<double> Statistics(Options.Resamples);
   parallelChunks(Options.Resamples, Options.Threads,
                  [&](size_t, size_t Begin, size_t End) {
+                   LIMA_SPAN("bootstrap.batch");
+                   LIMA_COUNTER_ADD("bootstrap.resamples", End - Begin);
                    std::vector<double> Resampled(Values.size());
                    for (size_t R = Begin; R != End; ++R) {
                      RNG Rng(splitSeed(Options.Seed, R));

@@ -57,6 +57,28 @@ ArgParser::findOption(std::string_view Name) const {
   return const_cast<ArgParser *>(this)->findOption(Name);
 }
 
+std::string ArgParser::suggestName(std::string_view Name) const {
+  // Suggest the nearest registered flag/option, but only when the typo
+  // is plausibly a typo: distance at most 1 + len/3 keeps "--cvs" ->
+  // "--csv" while refusing to map arbitrary words onto short flags.
+  size_t Limit = 1 + Name.size() / 3;
+  size_t BestDistance = Limit + 1;
+  std::string Best;
+  auto consider = [&](const std::string &Candidate) {
+    size_t Distance = editDistance(Name, Candidate);
+    if (Distance < BestDistance) {
+      BestDistance = Distance;
+      Best = Candidate;
+    }
+  };
+  for (const FlagSpec &Flag : Flags)
+    consider(Flag.Name);
+  for (const OptionSpec &Option : Options)
+    consider(Option.Name);
+  consider("help");
+  return BestDistance <= Limit ? Best : std::string();
+}
+
 Error ArgParser::parse(int Argc, const char *const *Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
@@ -86,9 +108,16 @@ Error ArgParser::parse(int Argc, const char *const *Argv) {
       continue;
     }
     OptionSpec *Option = findOption(Name);
-    if (!Option)
+    if (!Option) {
+      std::string Nearest = suggestName(Name);
+      if (!Nearest.empty())
+        return makeStringError("unknown option --%.*s (did you mean "
+                               "--%s?)",
+                               static_cast<int>(Name.size()), Name.data(),
+                               Nearest.c_str());
       return makeStringError("unknown option --%.*s",
                              static_cast<int>(Name.size()), Name.data());
+    }
     if (HasInline) {
       Option->Value = std::string(Inline);
       continue;

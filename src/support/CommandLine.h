@@ -92,6 +92,10 @@ private:
   const FlagSpec *findFlag(std::string_view Name) const;
   const OptionSpec *findOption(std::string_view Name) const;
 
+  /// Nearest registered argument name within a typo-sized edit distance,
+  /// or empty when nothing is close enough to suggest.
+  std::string suggestName(std::string_view Name) const;
+
   std::string ToolName;
   std::string Description;
   std::vector<FlagSpec> Flags;

@@ -5,10 +5,31 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Parallel.h"
+#include "support/Telemetry.h"
 #include <algorithm>
 #include <cassert>
 
 using namespace lima;
+
+namespace {
+
+/// Runs \p Body and records it as one pool-task execution (busy time,
+/// queue wait, worker id, pipeline stage) when telemetry is enabled.
+/// \p Stage is captured by the caller at submit time so a task finishing
+/// late still attributes to the stage that spawned it.
+template <typename Fn>
+void runRecorded(uint32_t Stage, uint64_t SubmitNs, const Fn &Body) {
+  if (!telemetry::enabled()) {
+    Body();
+    return;
+  }
+  uint64_t StartNs = telemetry::nowNs();
+  Body();
+  telemetry::recordTask(Stage, StartNs, telemetry::nowNs() - StartNs,
+                        StartNs > SubmitNs ? StartNs - SubmitNs : 0);
+}
+
+} // namespace
 
 unsigned lima::hardwareThreads() {
   unsigned N = std::thread::hardware_concurrency();
@@ -23,7 +44,12 @@ ThreadPool::ThreadPool(unsigned Threads) {
   unsigned N = resolveThreadCount(Threads);
   Workers.reserve(N);
   for (unsigned I = 0; I != N; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      // Worker ids start at 1; 0 always denotes the calling thread, so
+      // telemetry can attribute caller-run chunks separately.
+      telemetry::setWorkerId(I + 1);
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -85,7 +111,14 @@ void lima::parallelChunks(
     return;
   size_t Chunks = std::min<size_t>(resolveThreadCount(Threads), N);
   if (Chunks <= 1) {
-    Body(0, 0, N);
+    if (!telemetry::enabled()) {
+      Body(0, 0, N);
+      return;
+    }
+    // Serial path: still recorded as one caller-run task so a serial
+    // self-profile carries the same per-worker busy-time accounting.
+    runRecorded(telemetry::currentStage(), telemetry::nowNs(),
+                [&] { Body(0, 0, N); });
     return;
   }
 
@@ -97,18 +130,36 @@ void lima::parallelChunks(
     size_t Remaining;
   } Latch{{}, {}, Chunks - 1};
 
+  // Telemetry wrap at submit time: the task captures the submit
+  // timestamp (queue-wait = start - submit) and the pipeline stage that
+  // enqueued it, and records itself *before* the latch count-down so a
+  // collect() racing with the tail of a parallel section never misses a
+  // task event the section already waited for.
+  bool Recording = telemetry::enabled();
+  uint32_t Stage = Recording ? telemetry::currentStage()
+                             : telemetry::InvalidName;
   ThreadPool &Pool = globalThreadPool();
   for (size_t Chunk = 0; Chunk + 1 < Chunks; ++Chunk) {
     size_t Begin = N * Chunk / Chunks;
     size_t End = N * (Chunk + 1) / Chunks;
-    Pool.submit([&Body, &Latch, Chunk, Begin, End] {
-      Body(Chunk, Begin, End);
+    uint64_t SubmitNs = Recording ? telemetry::nowNs() : 0;
+    Pool.submit([&Body, &Latch, Chunk, Begin, End, Recording, Stage,
+                 SubmitNs] {
+      if (Recording)
+        runRecorded(Stage, SubmitNs, [&] { Body(Chunk, Begin, End); });
+      else
+        Body(Chunk, Begin, End);
       std::lock_guard<std::mutex> Lock(Latch.Mutex);
       if (--Latch.Remaining == 0)
         Latch.Done.notify_one();
     });
   }
-  Body(Chunks - 1, N * (Chunks - 1) / Chunks, N);
+  if (!telemetry::enabled())
+    Body(Chunks - 1, N * (Chunks - 1) / Chunks, N);
+  else
+    runRecorded(telemetry::currentStage(), telemetry::nowNs(), [&] {
+      Body(Chunks - 1, N * (Chunks - 1) / Chunks, N);
+    });
   std::unique_lock<std::mutex> Lock(Latch.Mutex);
   Latch.Done.wait(Lock, [&Latch] { return Latch.Remaining == 0; });
 }

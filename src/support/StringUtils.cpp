@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/StringUtils.h"
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -105,4 +106,22 @@ std::string lima::joinStrings(const std::vector<std::string> &Parts,
     Result.append(Parts[I]);
   }
   return Result;
+}
+
+size_t lima::editDistance(std::string_view A, std::string_view B) {
+  // One-row dynamic program; the inputs are short flag names, so the
+  // quadratic time is irrelevant.
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diagonal = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Substitute = Diagonal + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Diagonal = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Substitute});
+    }
+  }
+  return Row[B.size()];
 }

@@ -44,6 +44,10 @@ Expected<double> parseDouble(std::string_view Str);
 std::string joinStrings(const std::vector<std::string> &Parts,
                         std::string_view Sep);
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+/// Used for "did you mean" suggestions on unknown command-line flags.
+size_t editDistance(std::string_view A, std::string_view B);
+
 } // namespace lima
 
 #endif // LIMA_SUPPORT_STRINGUTILS_H

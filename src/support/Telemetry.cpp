@@ -1,0 +1,320 @@
+//===- support/Telemetry.cpp - Self-instrumentation layer -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+using namespace lima;
+using namespace lima::telemetry;
+
+std::atomic<bool> telemetry::detail::Enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's event buffer.  The owning thread appends under Mutex,
+/// which is uncontended except while collect() drains, so the enabled
+/// hot path never blocks on another recording thread.
+struct ThreadBuffer {
+  std::mutex Mutex;
+  std::vector<SpanEvent> Events;
+};
+
+/// A completed pipeline-stage scope (wall time on the recording thread).
+struct StageRecord {
+  uint32_t Name;
+  uint64_t StartNs;
+  uint64_t DurNs;
+};
+
+/// Process-wide registry.  Registration and collection lock Mutex; the
+/// recording fast path only touches the calling thread's buffer.
+struct Registry {
+  std::mutex Mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> Buffers;
+  std::vector<std::string> Names;
+  std::vector<StageRecord> Stages;
+  /// Stable-address counter storage (references escape to call sites).
+  std::deque<Counter> Counters;
+};
+
+/// Session epoch in steady-clock nanoseconds.  Atomic so nowNs() stays a
+/// single relaxed load on the recording hot path; only reset() writes it.
+int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+std::atomic<int64_t> EpochNs{steadyNowNs()};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+std::atomic<unsigned> MaxWorker{0};
+std::atomic<uint32_t> CurrentStage{InvalidName};
+
+thread_local unsigned TlsWorker = 0;
+thread_local std::shared_ptr<ThreadBuffer> TlsBuffer;
+
+ThreadBuffer &localBuffer() {
+  if (!TlsBuffer) {
+    TlsBuffer = std::make_shared<ThreadBuffer>();
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Buffers.push_back(TlsBuffer);
+  }
+  return *TlsBuffer;
+}
+
+double toMs(uint64_t Ns) { return static_cast<double>(Ns) / 1e6; }
+
+} // namespace
+
+void telemetry::setEnabled(bool On) {
+#if LIMA_TELEMETRY
+  detail::Enabled.store(On, std::memory_order_relaxed);
+#else
+  (void)On;
+#endif
+}
+
+void telemetry::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (const std::shared_ptr<ThreadBuffer> &Buffer : R.Buffers) {
+    std::lock_guard<std::mutex> BufferLock(Buffer->Mutex);
+    Buffer->Events.clear();
+  }
+  R.Stages.clear();
+  for (Counter &C : R.Counters)
+    C.zero();
+  EpochNs.store(steadyNowNs(), std::memory_order_relaxed);
+  CurrentStage.store(InvalidName, std::memory_order_relaxed);
+}
+
+uint64_t telemetry::nowNs() {
+  int64_t Delta = steadyNowNs() - EpochNs.load(std::memory_order_relaxed);
+  return Delta > 0 ? static_cast<uint64_t>(Delta) : 0;
+}
+
+uint32_t telemetry::internName(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (uint32_t Id = 0; Id != R.Names.size(); ++Id)
+    if (R.Names[Id] == Name)
+      return Id;
+  R.Names.emplace_back(Name);
+  return static_cast<uint32_t>(R.Names.size() - 1);
+}
+
+unsigned telemetry::workerId() { return TlsWorker; }
+
+void telemetry::setWorkerId(unsigned Worker) {
+  TlsWorker = Worker;
+  unsigned Seen = MaxWorker.load(std::memory_order_relaxed);
+  while (Worker > Seen &&
+         !MaxWorker.compare_exchange_weak(Seen, Worker,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+unsigned telemetry::numWorkers() {
+  return MaxWorker.load(std::memory_order_relaxed) + 1;
+}
+
+uint32_t telemetry::currentStage() {
+  return CurrentStage.load(std::memory_order_relaxed);
+}
+
+void telemetry::recordSpan(uint32_t Name, uint32_t Stage, uint64_t StartNs,
+                           uint64_t DurNs) {
+  ThreadBuffer &Buffer = localBuffer();
+  std::lock_guard<std::mutex> Lock(Buffer.Mutex);
+  Buffer.Events.push_back({Name, Stage, TlsWorker, StartNs, DurNs, 0});
+}
+
+void telemetry::recordTask(uint32_t Stage, uint64_t StartNs, uint64_t RunNs,
+                           uint64_t WaitNs) {
+  static const uint32_t TaskName = internName("pool.task");
+  ThreadBuffer &Buffer = localBuffer();
+  std::lock_guard<std::mutex> Lock(Buffer.Mutex);
+  Buffer.Events.push_back({TaskName, Stage, TlsWorker, StartNs, RunNs,
+                           WaitNs});
+}
+
+Counter &telemetry::counter(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (Counter &C : R.Counters)
+    if (C.name() == Name)
+      return C;
+  R.Counters.emplace_back(std::string(Name));
+  return R.Counters.back();
+}
+
+ScopedStage::ScopedStage(uint32_t Name) {
+  if (!enabled())
+    return;
+  Active_ = true;
+  Name_ = Name;
+  Prev_ = CurrentStage.load(std::memory_order_relaxed);
+  StartNs_ = nowNs();
+  CurrentStage.store(Name, std::memory_order_relaxed);
+}
+
+ScopedStage::~ScopedStage() {
+  if (!Active_)
+    return;
+  CurrentStage.store(Prev_, std::memory_order_relaxed);
+  uint64_t DurNs = nowNs() - StartNs_;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Stages.push_back({Name_, StartNs_, DurNs});
+}
+
+Snapshot telemetry::collect() {
+  Snapshot S;
+  std::vector<StageRecord> StageRecords;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    for (const std::shared_ptr<ThreadBuffer> &Buffer : R.Buffers) {
+      std::lock_guard<std::mutex> BufferLock(Buffer->Mutex);
+      S.Events.insert(S.Events.end(), Buffer->Events.begin(),
+                      Buffer->Events.end());
+      Buffer->Events.clear();
+    }
+    S.Names = R.Names;
+    StageRecords = R.Stages;
+    R.Stages.clear();
+    for (const Counter &C : R.Counters)
+      if (C.value() != 0)
+        S.Counters.push_back({C.name(), C.value()});
+  }
+  S.NumWorkers = numWorkers();
+
+  std::sort(S.Events.begin(), S.Events.end(),
+            [](const SpanEvent &A, const SpanEvent &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.Worker != B.Worker)
+                return A.Worker < B.Worker;
+              return A.Name < B.Name;
+            });
+  std::sort(S.Counters.begin(), S.Counters.end(),
+            [](const CounterValue &A, const CounterValue &B) {
+              return A.Name < B.Name;
+            });
+
+  // Per-name span aggregates.
+  std::vector<SpanStats> ByName(S.Names.size());
+  uint64_t MaxEndNs = 0;
+  for (const SpanEvent &E : S.Events) {
+    MaxEndNs = std::max(MaxEndNs, E.StartNs + E.DurNs);
+    if (E.Name >= ByName.size())
+      continue;
+    SpanStats &Stats = ByName[E.Name];
+    double Ms = toMs(E.DurNs);
+    if (Stats.Count == 0) {
+      Stats.Name = S.Names[E.Name];
+      Stats.MinMs = Ms;
+      Stats.MaxMs = Ms;
+      Stats.WorkerBusyMs.assign(S.NumWorkers, 0.0);
+    }
+    ++Stats.Count;
+    Stats.TotalMs += Ms;
+    Stats.MinMs = std::min(Stats.MinMs, Ms);
+    Stats.MaxMs = std::max(Stats.MaxMs, Ms);
+    if (E.Worker < Stats.WorkerBusyMs.size())
+      Stats.WorkerBusyMs[E.Worker] += Ms;
+  }
+  for (SpanStats &Stats : ByName)
+    if (Stats.Count != 0) {
+      Stats.MeanMs = Stats.TotalMs / static_cast<double>(Stats.Count);
+      S.Spans.push_back(std::move(Stats));
+    }
+  std::stable_sort(S.Spans.begin(), S.Spans.end(),
+                   [](const SpanStats &A, const SpanStats &B) {
+                     return A.TotalMs > B.TotalMs;
+                   });
+
+  // Stages in begin order, duplicates merged (e.g. two analyze calls).
+  std::sort(StageRecords.begin(), StageRecords.end(),
+            [](const StageRecord &A, const StageRecord &B) {
+              return A.StartNs < B.StartNs;
+            });
+  std::vector<size_t> StageIndexOfName(S.Names.size(), SIZE_MAX);
+  for (const StageRecord &Record : StageRecords) {
+    MaxEndNs = std::max(MaxEndNs, Record.StartNs + Record.DurNs);
+    if (Record.Name >= StageIndexOfName.size())
+      continue;
+    size_t &Index = StageIndexOfName[Record.Name];
+    if (Index == SIZE_MAX) {
+      Index = S.Stages.size();
+      S.Stages.push_back({});
+      StageStats &Stats = S.Stages.back();
+      Stats.Name = S.nameOf(Record.Name);
+      Stats.StartNs = Record.StartNs;
+      Stats.WorkerComputeMs.assign(S.NumWorkers, 0.0);
+      Stats.WorkerQueueWaitMs.assign(S.NumWorkers, 0.0);
+    }
+    S.Stages[Index].WallMs += toMs(Record.DurNs);
+  }
+
+  // Attribute busy time to (stage, worker) as the interval *union* of
+  // every event recorded there — spans nest inside pool tasks (and each
+  // other), so summing durations would double-count; the union is the
+  // instrumented-busy coverage of the stage's wall time.  Queue wait is
+  // carried by task events only and those never overlap on one worker,
+  // so a plain sum is exact.  Events are already sorted by StartNs, so
+  // the union is a linear sweep with one open interval per slot.
+  struct OpenInterval {
+    uint64_t StartNs = 0;
+    uint64_t EndNs = 0;
+  };
+  std::vector<OpenInterval> Open(S.Stages.size() * S.NumWorkers);
+  auto slotOf = [&](const SpanEvent &E) -> OpenInterval * {
+    if (E.Stage == InvalidName || E.Stage >= StageIndexOfName.size() ||
+        StageIndexOfName[E.Stage] == SIZE_MAX || E.Worker >= S.NumWorkers)
+      return nullptr;
+    return &Open[StageIndexOfName[E.Stage] * S.NumWorkers + E.Worker];
+  };
+  auto flush = [&](size_t Slot) {
+    OpenInterval &I = Open[Slot];
+    if (I.EndNs > I.StartNs)
+      S.Stages[Slot / S.NumWorkers]
+          .WorkerComputeMs[Slot % S.NumWorkers] += toMs(I.EndNs - I.StartNs);
+    I = OpenInterval{};
+  };
+  for (const SpanEvent &E : S.Events) {
+    OpenInterval *I = slotOf(E);
+    if (!I)
+      continue;
+    StageStats &Stats = S.Stages[StageIndexOfName[E.Stage]];
+    Stats.WorkerQueueWaitMs[E.Worker] += toMs(E.QueueWaitNs);
+    uint64_t EndNs = E.StartNs + E.DurNs;
+    if (I->EndNs == 0 && I->StartNs == 0) {
+      *I = {E.StartNs, EndNs};
+    } else if (E.StartNs > I->EndNs) {
+      flush(static_cast<size_t>(I - Open.data()));
+      *I = {E.StartNs, EndNs};
+    } else {
+      I->EndNs = std::max(I->EndNs, EndNs);
+    }
+  }
+  for (size_t Slot = 0; Slot != Open.size(); ++Slot)
+    flush(Slot);
+
+  S.SessionWallMs = toMs(MaxEndNs);
+  return S;
+}

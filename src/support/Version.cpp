@@ -1,0 +1,25 @@
+//===- support/Version.cpp - Build version identification -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Version.h"
+#include "support/VersionInfo.h" // generated at configure time
+#include <string>
+
+using namespace lima;
+
+std::string_view lima::versionString() {
+  static const std::string Version = [] {
+    std::string S = LIMA_VERSION_MAJOR_MINOR;
+    if (std::string_view(LIMA_GIT_REV) != "unknown")
+      S += " (git " LIMA_GIT_REV ")";
+    return S;
+  }();
+  return Version;
+}
+
+std::string_view lima::gitRevision() { return LIMA_GIT_REV; }
+
+std::string_view lima::gitDescribe() { return LIMA_GIT_DESCRIBE; }

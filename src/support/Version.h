@@ -1,0 +1,36 @@
+//===- support/Version.h - Build version identification ---------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Version and git-revision strings captured at configure time (CMake
+/// runs `git describe` / `git rev-parse` and generates VersionInfo.h).
+/// Used by `lima_analyze --version` and embedded in the BENCH_*.json
+/// envelopes so every recorded measurement is self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_VERSION_H
+#define LIMA_SUPPORT_VERSION_H
+
+#include <string_view>
+
+namespace lima {
+
+/// Human-facing version, e.g. "0.2.0 (git ae5bedd)".  Falls back to the
+/// project version alone when the source tree is not a git checkout.
+std::string_view versionString();
+
+/// Short git revision captured at configure time ("unknown" outside a
+/// checkout).  Stale by at most one configure run.
+std::string_view gitRevision();
+
+/// Full `git describe --always --dirty` output ("unknown" outside a
+/// checkout).
+std::string_view gitDescribe();
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_VERSION_H

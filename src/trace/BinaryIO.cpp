@@ -6,6 +6,7 @@
 
 #include "trace/BinaryIO.h"
 #include "support/FileUtils.h"
+#include "support/Telemetry.h"
 #include "trace/TraceIO.h"
 #include <cstring>
 
@@ -229,10 +230,16 @@ Expected<Trace> trace::loadTraceBinary(const std::string &Path) {
 }
 
 Expected<Trace> trace::loadTraceAuto(const std::string &Path) {
-  auto DataOrErr = readFile(Path);
+  LIMA_STAGE("load");
+  Expected<std::string> DataOrErr = [&] {
+    LIMA_SPAN("load.read");
+    return readFile(Path);
+  }();
   if (auto Err = DataOrErr.takeError())
     return Err;
   const std::string &Data = *DataOrErr;
+  LIMA_SPAN("load.parse");
+  LIMA_COUNTER_ADD("load.bytes", Data.size());
   if (Data.size() >= sizeof(Magic) &&
       std::memcmp(Data.data(), Magic, sizeof(Magic)) == 0)
     return parseTraceBinary(Data);
