@@ -22,7 +22,10 @@
 ///
 /// Bench-specific fields and the records array are supplied pre-rendered
 /// (benches already format their own rows); the envelope adds the
-/// metadata that used to be silently missing.
+/// metadata that used to be silently missing.  Established extra fields:
+/// "telemetry" (perf_parallel: self-instrumentation overhead) and
+/// "parse" (perf_parallel: strict vs lenient parse wall time per trace
+/// format, with overhead_pct the lenient-mode rent).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -16,9 +16,10 @@
 // [{"name": ..., "threads": N, "events": E, "wall_ms": W,
 //   "speedup": S}, ...] where speedup is wall_serial / wall at the same
 // workload (1.0 for serial entries), plus a "telemetry" object with the
-// runtime-enabled overhead of the self-instrumentation layer.  Every
-// parallel result is checked bit-identical to its serial twin before a
-// line is emitted.
+// runtime-enabled overhead of the self-instrumentation layer and a
+// "parse" object comparing strict against lenient trace parsing (the
+// input-hardening rent, text and binary).  Every parallel result is
+// checked bit-identical to its serial twin before a line is emitted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,8 +33,11 @@
 #include "support/Format.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
+#include "support/ParseLimits.h"
 #include "support/Telemetry.h"
 #include "support/raw_ostream.h"
+#include "trace/BinaryIO.h"
+#include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
 #include <chrono>
 #include <string>
@@ -284,7 +288,45 @@ int main(int Argc, char **Argv) {
      << formatFixed(TelemetryOnMs, 2) << " ms (" << TelemetryEvents
      << " events, " << formatFixed(OverheadPct, 1) << "% overhead)\n";
 
+  // --- Parse overhead: strict vs lenient -------------------------------
+  // Lenient parsing pays per-record bookkeeping (the drop check and the
+  // report counters) even on clean inputs; keep that rent visible for
+  // both trace formats.  Target: under 2% on the ~1M-event trace.
+  std::string TraceText = trace::writeTraceText(T);
+  std::string TraceBinary = trace::writeTraceBinary(T);
+  ParseOptions StrictParse;
+  ParseReport LenientReport;
+  ParseOptions LenientParse;
+  LenientParse.Mode = ParseMode::Lenient;
+  LenientParse.Report = &LenientReport;
+  auto parseOverhead = [&](const char *Name, auto &&Parse) {
+    double StrictMs =
+        timeMs(Reps, [&] { (void)cantFail(Parse(StrictParse)); });
+    double LenientMs =
+        timeMs(Reps, [&] { (void)cantFail(Parse(LenientParse)); });
+    double Pct = StrictMs > 0.0 ? (LenientMs - StrictMs) / StrictMs * 100.0
+                                : 0.0;
+    OS << "parse " << leftJustify(Name, 6) << " strict "
+       << formatFixed(StrictMs, 2) << " ms, lenient "
+       << formatFixed(LenientMs, 2) << " ms ("
+       << formatFixed(Pct, 1) << "% overhead)\n";
+    return "{\"strict_wall_ms\": " + formatFixed(StrictMs, 3) +
+           ", \"lenient_wall_ms\": " + formatFixed(LenientMs, 3) +
+           ", \"overhead_pct\": " + formatFixed(Pct, 2) + "}";
+  };
+  OS << '\n';
+  std::string TextParseJson = parseOverhead("text", [&](const ParseOptions &O) {
+    return trace::parseTraceText(TraceText, O);
+  });
+  std::string BinaryParseJson =
+      parseOverhead("binary", [&](const ParseOptions &O) {
+        return trace::parseTraceBinary(TraceBinary, O);
+      });
+
   bench::JsonFields Extra = {
+      {"parse", "{\"events\": " + std::to_string(Events) +
+                    ", \"text\": " + TextParseJson +
+                    ", \"binary\": " + BinaryParseJson + "}"},
       {"telemetry",
        std::string("{\"compiled\": ") +
            (LIMA_TELEMETRY ? "true" : "false") +

@@ -86,6 +86,11 @@ int main(int Argc, char **Argv) {
   Parser.addOption("html", "also write a self-contained HTML report here",
                    "");
   Parser.addFlag("version", "print the version and exit");
+  Parser.addFlag("strict",
+                 "abort on the first malformed trace record (default)");
+  Parser.addFlag("lenient",
+                 "skip malformed trace records and report what was "
+                 "dropped instead of aborting");
   Parser.addFlag("quiet", "suppress the standard analysis report (file "
                           "outputs like --html still happen)");
   Parser.addFlag("self-profile",
@@ -108,8 +113,17 @@ int main(int Argc, char **Argv) {
     telemetry::setEnabled(true);
   }
 
+  if (Parser.getFlag("strict") && Parser.getFlag("lenient"))
+    ExitOnErr(makeStringError("--strict and --lenient are mutually "
+                              "exclusive"));
+  bool Lenient = Parser.getFlag("lenient");
+  ParseReport Report;
+  ParseOptions Parse;
+  Parse.Mode = Lenient ? ParseMode::Lenient : ParseMode::Strict;
+  Parse.Report = Lenient ? &Report : nullptr;
+
   trace::Trace Trace =
-      ExitOnErr(trace::loadTraceAuto(Parser.getPositionals()[0]));
+      ExitOnErr(trace::loadTraceAuto(Parser.getPositionals()[0], Parse));
 
   if (!Parser.getString("regions").empty() ||
       !Parser.getString("window").empty()) {
@@ -131,7 +145,13 @@ int main(int Argc, char **Argv) {
   unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
   core::ReductionOptions Reduction;
   Reduction.Threads = Threads;
+  Reduction.Mode = Parse.Mode;
+  Reduction.Report = Parse.Report;
   core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace, Reduction));
+
+  // The lenient receipt goes to stderr so piped table output stays clean.
+  if (Lenient)
+    errs() << "parse report: " << Report.summary() << '\n';
 
   core::AnalysisOptions Options;
   Options.Views.Kind = ExitOnErr(parseKind(Parser.getString("index")));

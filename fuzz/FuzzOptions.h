@@ -1,0 +1,53 @@
+//===- fuzz/FuzzOptions.h - Shared fuzz-target parse options ----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ParseOptions shared by the fuzz targets.  Limits are pulled far below
+/// the defaults so hostile headers cannot make a target spend its budget
+/// allocating instead of parsing, and so OOM never masquerades as a
+/// finding.  Every target runs strict first and then lenient: strict
+/// exercises first-error propagation, lenient the skip-and-resync paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_FUZZ_FUZZOPTIONS_H
+#define LIMA_FUZZ_FUZZOPTIONS_H
+
+#include "support/ParseLimits.h"
+
+namespace lima {
+namespace fuzz {
+
+inline ParseLimits fuzzLimits() {
+  ParseLimits Limits;
+  Limits.MaxEvents = 1u << 16;
+  Limits.MaxProcs = 1u << 10;
+  Limits.MaxRegions = 1u << 10;
+  Limits.MaxActivities = 1u << 10;
+  Limits.MaxNameBytes = 1u << 10;
+  Limits.MaxLineBytes = 1u << 12;
+  Limits.MaxAllocBytes = 1ull << 24;
+  return Limits;
+}
+
+inline ParseOptions strictOptions() {
+  ParseOptions Options;
+  Options.Mode = ParseMode::Strict;
+  Options.Limits = fuzzLimits();
+  return Options;
+}
+
+inline ParseOptions lenientOptions(ParseReport &Report) {
+  ParseOptions Options = strictOptions();
+  Options.Mode = ParseMode::Lenient;
+  Options.Report = &Report;
+  return Options;
+}
+
+} // namespace fuzz
+} // namespace lima
+
+#endif // LIMA_FUZZ_FUZZOPTIONS_H

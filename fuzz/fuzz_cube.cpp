@@ -1,0 +1,25 @@
+//===- fuzz/fuzz_cube.cpp - Cube CSV parser fuzz target -------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzOptions.h"
+#include "core/CubeIO.h"
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+using namespace lima;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string_view Text(reinterpret_cast<const char *>(Data), Size);
+
+  auto Strict = core::parseCubeCSV(Text, fuzz::strictOptions());
+  Strict.takeError().consume();
+
+  ParseReport Report;
+  auto Lenient = core::parseCubeCSV(Text, fuzz::lenientOptions(Report));
+  Lenient.takeError().consume();
+  return 0;
+}

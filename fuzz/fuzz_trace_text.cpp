@@ -1,0 +1,25 @@
+//===- fuzz/fuzz_trace_text.cpp - LIMATRACE text parser fuzz target -------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzOptions.h"
+#include "trace/TraceIO.h"
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+using namespace lima;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string_view Text(reinterpret_cast<const char *>(Data), Size);
+
+  auto Strict = trace::parseTraceText(Text, fuzz::strictOptions());
+  Strict.takeError().consume();
+
+  ParseReport Report;
+  auto Lenient = trace::parseTraceText(Text, fuzz::lenientOptions(Report));
+  Lenient.takeError().consume();
+  return 0;
+}

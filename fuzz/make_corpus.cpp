@@ -1,0 +1,160 @@
+//===- fuzz/make_corpus.cpp - Seed corpus generator -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes the generated half of the fuzz seed corpus into
+/// <outdir>/<target>/.  Valid seeds come from the production writers, so
+/// they track the formats automatically; malformed seeds are
+/// deterministic mutations of the valid ones (truncations, corrupted
+/// magic/counts) that steer the fuzzers toward the error paths from the
+/// start.  Hand-written malformed cases live in fuzz/corpus/ in the
+/// source tree; this tool covers what is awkward to check in — above
+/// all the binary format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CubeIO.h"
+#include "core/TraceReduction.h"
+#include "support/CSV.h"
+#include "trace/BinaryIO.h"
+#include "trace/TraceIO.h"
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace lima;
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+namespace {
+
+/// Two processors, nested regions, activities and one message pair —
+/// touches every record kind each format can encode.
+Trace makeSeedTrace() {
+  Trace T(2);
+  uint32_t Main = T.addRegion("main");
+  uint32_t Loop = T.addRegion("loop");
+  uint32_t Comp = T.addActivity("computation");
+  uint32_t P2P = T.addActivity("p2p");
+
+  T.append({0.0, 0, EventKind::RegionEnter, Main, 0});
+  T.append({0.1, 0, EventKind::RegionEnter, Loop, 0});
+  T.append({0.1, 0, EventKind::ActivityBegin, Comp, 0});
+  T.append({1.0, 0, EventKind::ActivityEnd, Comp, 0});
+  T.append({1.0, 0, EventKind::ActivityBegin, P2P, 0});
+  T.append({1.0, 0, EventKind::MessageSend, 1, 64});
+  T.append({1.2, 0, EventKind::ActivityEnd, P2P, 0});
+  T.append({1.2, 0, EventKind::RegionExit, Loop, 0});
+  T.append({1.3, 0, EventKind::RegionExit, Main, 0});
+
+  T.append({0.0, 1, EventKind::RegionEnter, Main, 0});
+  T.append({0.2, 1, EventKind::RegionEnter, Loop, 0});
+  T.append({0.2, 1, EventKind::ActivityBegin, P2P, 0});
+  T.append({1.1, 1, EventKind::MessageRecv, 0, 64});
+  T.append({1.4, 1, EventKind::ActivityEnd, P2P, 0});
+  T.append({1.4, 1, EventKind::RegionExit, Loop, 0});
+  T.append({1.5, 1, EventKind::RegionExit, Main, 0});
+  return T;
+}
+
+bool write(const std::filesystem::path &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-directory>\n", Argv[0]);
+    return 1;
+  }
+  namespace fs = std::filesystem;
+  fs::path OutDir(Argv[1]);
+  std::error_code EC;
+  for (const char *Target : {"fuzz_trace_text", "fuzz_trace_binary",
+                             "fuzz_cube", "fuzz_csv"}) {
+    fs::create_directories(OutDir / Target, EC);
+    if (EC) {
+      std::fprintf(stderr, "error: cannot create %s: %s\n",
+                   (OutDir / Target).string().c_str(),
+                   EC.message().c_str());
+      return 1;
+    }
+  }
+  bool Ok = true;
+
+  Trace T = makeSeedTrace();
+
+  // --- LIMATRACE text -------------------------------------------------
+  std::string Text = trace::writeTraceText(T);
+  fs::path TextDir = OutDir / "fuzz_trace_text";
+  Ok &= write(TextDir / "valid.trace", Text);
+  Ok &= write(TextDir / "truncated.trace",
+              Text.substr(0, Text.size() * 2 / 3));
+  Ok &= write(TextDir / "bad-magic.trace", "LIMATRAC" + Text.substr(8));
+  Ok &= write(TextDir / "huge-procs.trace",
+              "LIMATRACE 1\nprocs 99999999\n");
+
+  // --- LIMB binary ----------------------------------------------------
+  std::string Binary = trace::writeTraceBinary(T);
+  fs::path BinDir = OutDir / "fuzz_trace_binary";
+  Ok &= write(BinDir / "valid.limb", Binary);
+  Ok &= write(BinDir / "truncated.limb",
+              Binary.substr(0, Binary.size() / 2));
+  std::string BadMagic = Binary;
+  BadMagic[0] = 'X';
+  Ok &= write(BinDir / "bad-magic.limb", BadMagic);
+  // Corrupt the version word (bytes 4..7, little-endian u32).
+  std::string BadVersion = Binary;
+  BadVersion[4] = '\x7f';
+  Ok &= write(BinDir / "bad-version.limb", BadVersion);
+  // An overlong varint: magic/version/counts, then garbage continuation
+  // bytes where the first event id would be.
+  std::string Overlong = Binary.substr(0, Binary.size() - 1);
+  Overlong.append(16, '\xff');
+  Ok &= write(BinDir / "overlong-varint.limb", Overlong);
+
+  // --- Cube CSV -------------------------------------------------------
+  core::ReductionOptions Reduction;
+  Reduction.Threads = 1;
+  auto CubeOrErr = core::reduceTrace(T, Reduction);
+  if (!CubeOrErr) {
+    std::fprintf(stderr, "error: seed reduction failed: %s\n",
+                 CubeOrErr.takeError().message().c_str());
+    return 1;
+  }
+  std::string CubeText = core::writeCubeCSV(*CubeOrErr);
+  fs::path CubeDir = OutDir / "fuzz_cube";
+  Ok &= write(CubeDir / "valid.cube.csv", CubeText);
+  Ok &= write(CubeDir / "truncated.cube.csv",
+              CubeText.substr(0, CubeText.size() / 2));
+  Ok &= write(CubeDir / "no-header.cube.csv",
+              CubeText.substr(CubeText.find('\n') + 1));
+
+  // --- Plain CSV ------------------------------------------------------
+  std::string Csv = writeCSV({{"name", "value"},
+                              {"plain", "1"},
+                              {"quoted,comma", "2"},
+                              {"embedded \"quote\"", "3"},
+                              {"multi\nline", "4"}});
+  fs::path CsvDir = OutDir / "fuzz_csv";
+  Ok &= write(CsvDir / "valid.csv", Csv);
+  Ok &= write(CsvDir / "unterminated-quote.csv", "a,\"open quote\nb,2\n");
+  Ok &= write(CsvDir / "stray-quote.csv", "a,b\"c,d\n");
+
+  if (!Ok)
+    return 1;
+  std::printf("corpus written to %s\n", OutDir.string().c_str());
+  return 0;
+}

@@ -43,14 +43,17 @@ std::string core::writeCubeCSV(const MeasurementCube &Cube) {
   return writeCSV(Rows);
 }
 
-Expected<MeasurementCube> core::parseCubeCSV(std::string_view Text) {
-  auto RowsOrErr = parseCSV(Text);
+Expected<MeasurementCube> core::parseCubeCSV(std::string_view Text,
+                                             const ParseOptions &Options) {
+  const ParseLimits &Limits = Options.Limits;
+  auto RowsOrErr = parseCSV(Text, Options);
   if (auto Err = RowsOrErr.takeError())
     return Err;
   const auto &Rows = *RowsOrErr;
   if (Rows.empty() || Rows[0] !=
       std::vector<std::string>{"region", "activity", "proc", "seconds"})
-    return makeStringError(
+    return makeCodedError(
+        ErrorCode::BadMagic,
         "cube CSV must start with 'region,activity,proc,seconds'");
 
   // First pass: discover names, processor count and the program total.
@@ -65,75 +68,139 @@ Expected<MeasurementCube> core::parseCubeCSV(std::string_view Text) {
   };
   std::vector<Cell> Cells;
 
+  auto internName = [&](const std::string &Name, bool IsRegion,
+                        size_t &IdOut) -> Error {
+    auto &Ids = IsRegion ? RegionIds : ActivityIds;
+    auto &Names = IsRegion ? Regions : Activities;
+    auto It = Ids.find(Name);
+    if (It != Ids.end()) {
+      IdOut = It->second;
+      return Error::success();
+    }
+    if (Names.size() >= (IsRegion ? Limits.MaxRegions : Limits.MaxActivities))
+      return makeCodedError(ErrorCode::LimitExceeded,
+                            "cube CSV: %s count exceeds the limit",
+                            IsRegion ? "region" : "activity");
+    IdOut = Names.size();
+    Ids.emplace(Name, IdOut);
+    Names.push_back(Name);
+    return Error::success();
+  };
+
   for (size_t RowIndex = 1; RowIndex != Rows.size(); ++RowIndex) {
     const auto &Row = Rows[RowIndex];
+    size_t RowNo = RowIndex + 1;
     if (Row.size() == 1 && Row[0].empty())
       continue; // Blank line.
-    if (Row.size() != 4)
-      return makeStringError("cube CSV row %zu: expected 4 fields, got %zu",
-                             RowIndex + 1, Row.size());
-    if (Row[0] == "#program-time") {
-      auto TimeOrErr = parseDouble(Row[3]);
-      if (auto Err = TimeOrErr.takeError())
-        return Err;
-      ProgramTime = *TimeOrErr;
-      continue;
-    }
-    if (Row[0] == "#procs") {
-      auto CountOrErr = parseUnsigned(Row[3]);
-      if (auto Err = CountOrErr.takeError())
-        return Err;
-      if (*CountOrErr == 0)
-        return makeStringError("cube CSV: processor count must be positive");
-      MaxProc = std::max<unsigned>(MaxProc,
-                                   static_cast<unsigned>(*CountOrErr) - 1);
-      continue;
-    }
-    if (Row[0] == "#region") {
-      if (!RegionIds.count(Row[1])) {
-        RegionIds.emplace(Row[1], Regions.size());
-        Regions.push_back(Row[1]);
-      }
-      continue;
-    }
-    if (Row[0] == "#activity") {
-      if (!ActivityIds.count(Row[1])) {
-        ActivityIds.emplace(Row[1], Activities.size());
-        Activities.push_back(Row[1]);
-      }
-      continue;
-    }
-    auto ProcOrErr = parseUnsigned(Row[2]);
-    if (auto Err = ProcOrErr.takeError())
-      return Err;
-    if (*ProcOrErr == 0)
-      return makeStringError("cube CSV row %zu: processors are numbered "
-                             "from 1",
-                             RowIndex + 1);
-    auto SecondsOrErr = parseDouble(Row[3]);
-    if (auto Err = SecondsOrErr.takeError())
-      return Err;
-    if (*SecondsOrErr < 0.0)
-      return makeStringError("cube CSV row %zu: negative time",
-                             RowIndex + 1);
 
-    auto RegionIt = RegionIds.find(Row[0]);
-    if (RegionIt == RegionIds.end()) {
-      RegionIt = RegionIds.emplace(Row[0], Regions.size()).first;
-      Regions.push_back(Row[0]);
+    // #-pseudo-rows declare dimensions and the program total; they are
+    // load-bearing headers, fatal in either mode.
+    if (!Row.empty() && !Row[0].empty() && Row[0].front() == '#') {
+      if (Row.size() != 4)
+        return makeParseError(ErrorCode::MalformedRecord, RowNo,
+                              NoByteOffset,
+                              "cube CSV row %zu: expected 4 fields, got %zu",
+                              RowNo, Row.size());
+      if (Row[0] == "#program-time") {
+        auto TimeOrErr = parseDouble(Row[3]);
+        if (auto Err = TimeOrErr.takeError())
+          return Err;
+        ProgramTime = *TimeOrErr;
+        continue;
+      }
+      if (Row[0] == "#procs") {
+        auto CountOrErr = parseUnsigned(Row[3]);
+        if (auto Err = CountOrErr.takeError())
+          return Err;
+        if (*CountOrErr == 0)
+          return makeParseError(ErrorCode::ValueOutOfRange, RowNo,
+                                NoByteOffset,
+                                "cube CSV: processor count must be positive");
+        if (*CountOrErr > Limits.MaxProcs)
+          return makeParseError(ErrorCode::LimitExceeded, RowNo,
+                                NoByteOffset,
+                                "cube CSV: processor count exceeds the "
+                                "limit");
+        MaxProc = std::max<unsigned>(MaxProc,
+                                     static_cast<unsigned>(*CountOrErr) - 1);
+        continue;
+      }
+      if (Row[0] == "#region" || Row[0] == "#activity") {
+        size_t Ignored;
+        if (auto Err = internName(Row[1], Row[0] == "#region", Ignored))
+          return Err;
+        continue;
+      }
+      return makeParseError(ErrorCode::MalformedRecord, RowNo, NoByteOffset,
+                            "cube CSV row %zu: unknown declaration '%s'",
+                            RowNo, Row[0].c_str());
     }
-    auto ActivityIt = ActivityIds.find(Row[1]);
-    if (ActivityIt == ActivityIds.end()) {
-      ActivityIt = ActivityIds.emplace(Row[1], Activities.size()).first;
-      Activities.push_back(Row[1]);
+
+    // Data rows are records: droppable in lenient mode.
+    Cell C{};
+    Error RecordErr = [&]() -> Error {
+      if (Row.size() != 4)
+        return makeParseError(ErrorCode::MalformedRecord, RowNo,
+                              NoByteOffset,
+                              "cube CSV row %zu: expected 4 fields, got %zu",
+                              RowNo, Row.size());
+      auto ProcOrErr = parseUnsigned(Row[2]);
+      if (!ProcOrErr)
+        return makeParseError(ErrorCode::BadNumber, RowNo, NoByteOffset,
+                              "cube CSV row %zu: %s", RowNo,
+                              ProcOrErr.takeError().message().c_str());
+      if (*ProcOrErr == 0)
+        return makeParseError(ErrorCode::ValueOutOfRange, RowNo,
+                              NoByteOffset,
+                              "cube CSV row %zu: processors are numbered "
+                              "from 1",
+                              RowNo);
+      if (*ProcOrErr > Limits.MaxProcs)
+        return makeParseError(ErrorCode::LimitExceeded, RowNo, NoByteOffset,
+                              "cube CSV row %zu: processor exceeds the "
+                              "limit",
+                              RowNo);
+      auto SecondsOrErr = parseDouble(Row[3]);
+      if (!SecondsOrErr)
+        return makeParseError(ErrorCode::BadNumber, RowNo, NoByteOffset,
+                              "cube CSV row %zu: %s", RowNo,
+                              SecondsOrErr.takeError().message().c_str());
+      if (*SecondsOrErr < 0.0)
+        return makeParseError(ErrorCode::ValueOutOfRange, RowNo,
+                              NoByteOffset, "cube CSV row %zu: negative time",
+                              RowNo);
+      if (auto Err = internName(Row[0], /*IsRegion=*/true, C.Region))
+        return Err;
+      if (auto Err = internName(Row[1], /*IsRegion=*/false, C.Activity))
+        return Err;
+      C.Proc = static_cast<unsigned>(*ProcOrErr) - 1;
+      C.Seconds = *SecondsOrErr;
+      return Error::success();
+    }();
+    if (RecordErr) {
+      // Limit violations are a resource guard, never droppable.
+      ParseError PE = RecordErr.toParseError();
+      if (PE.Code != ErrorCode::LimitExceeded && Options.dropRecord(PE))
+        continue;
+      return Error::fromParse(std::move(PE));
     }
-    unsigned Proc = static_cast<unsigned>(*ProcOrErr) - 1;
-    MaxProc = std::max(MaxProc, Proc);
-    Cells.push_back(
-        {RegionIt->second, ActivityIt->second, Proc, *SecondsOrErr});
+    MaxProc = std::max(MaxProc, C.Proc);
+    Cells.push_back(C);
   }
   if (Cells.empty())
-    return makeStringError("cube CSV contains no data rows");
+    return makeCodedError(ErrorCode::MissingSection,
+                          "cube CSV contains no data rows");
+
+  // The cube allocates regions x activities x processors cells; check
+  // the product against the cap before touching the allocator (the
+  // classic hostile-header amplification).
+  uint64_t CellBytes = static_cast<uint64_t>(Regions.size()) *
+                       Activities.size() * (MaxProc + 1) * sizeof(double);
+  if (CellBytes > Limits.MaxAllocBytes)
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "cube CSV: %zu x %zu x %u cells exceed the "
+                          "allocation cap",
+                          Regions.size(), Activities.size(), MaxProc + 1);
 
   MeasurementCube Cube(std::move(Regions), std::move(Activities),
                        MaxProc + 1);
@@ -150,9 +217,10 @@ Error core::saveCube(const MeasurementCube &Cube, const std::string &Path) {
   return writeFile(Path, writeCubeCSV(Cube));
 }
 
-Expected<MeasurementCube> core::loadCube(const std::string &Path) {
+Expected<MeasurementCube> core::loadCube(const std::string &Path,
+                                         const ParseOptions &Options) {
   auto TextOrErr = readFile(Path);
   if (auto Err = TextOrErr.takeError())
     return Err;
-  return parseCubeCSV(*TextOrErr);
+  return parseCubeCSV(*TextOrErr, Options);
 }

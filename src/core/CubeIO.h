@@ -19,6 +19,7 @@
 
 #include "core/Measurement.h"
 #include "support/Error.h"
+#include "support/ParseLimits.h"
 #include <string>
 
 namespace lima {
@@ -30,11 +31,19 @@ std::string writeCubeCSV(const MeasurementCube &Cube);
 /// Parses a cube from CSV produced by writeCubeCSV (or by hand/other
 /// tools).  Regions, activities and the processor count are inferred
 /// from the rows; region/activity order follows first appearance.
-Expected<MeasurementCube> parseCubeCSV(std::string_view Text);
+///
+/// The header row and #-pseudo-rows are load-bearing (fatal in either
+/// mode); data rows are records that ParseMode::Lenient drops (counted
+/// in Options.Report) when malformed.  ParseLimits bounds the declared
+/// dimensions and, crucially, the region x activity x processor cell
+/// allocation.
+Expected<MeasurementCube> parseCubeCSV(std::string_view Text,
+                                       const ParseOptions &Options = {});
 
 /// Convenience wrappers over whole files.
 Error saveCube(const MeasurementCube &Cube, const std::string &Path);
-Expected<MeasurementCube> loadCube(const std::string &Path);
+Expected<MeasurementCube> loadCube(const std::string &Path,
+                                   const ParseOptions &Options = {});
 
 } // namespace core
 } // namespace lima

@@ -19,11 +19,14 @@ namespace {
 /// Folds one processor's event stream into \p Cube.  Writes only cells
 /// of processor \p Proc (which no other worker touches), so concurrent
 /// folds over distinct processors are race-free and bit-identical to
-/// the serial processor-order loop.  On a malformed stream returns a
-/// descriptive message; empty string means success.
-std::string foldProcessor(const trace::Trace &T, unsigned Proc,
-                          const ReductionOptions &Options,
-                          MeasurementCube &Cube, double &Span) {
+/// the serial processor-order loop.  In strict mode a malformed stream
+/// stops the fold and fills \p ErrOut; in lenient mode the offending
+/// event is skipped and counted into \p Report instead.  Returns true
+/// on success.
+bool foldProcessor(const trace::Trace &T, unsigned Proc,
+                   const ReductionOptions &Options, MeasurementCube &Cube,
+                   double &Span, ParseReport &Report, ParseError &ErrOut) {
+  bool Lenient = Options.Mode == ParseMode::Lenient;
   // Regions may nest; activity time is attributed to the *innermost*
   // open region, yielding exclusive-time semantics per region.  Each
   // frame keeps a gap cursor (end of its last attributed interval).
@@ -35,12 +38,23 @@ std::string foldProcessor(const trace::Trace &T, unsigned Proc,
   uint32_t OpenActivity = trace::Trace::InvalidId;
   double ActivityBeginTime = 0.0;
 
+  // In lenient mode records the skipped event and keeps folding; in
+  // strict mode fills ErrOut and stops.
   auto malformed = [&](size_t Index, const char *What) {
-    return "proc " + std::to_string(Proc) + " event " +
-           std::to_string(Index) + ": " + What;
+    if (Lenient) {
+      Report.addDrop({ErrorCode::StructuralError, 0, NoByteOffset,
+                      "proc " + std::to_string(Proc) + " event " +
+                          std::to_string(Index) + ": " + What});
+      return true;
+    }
+    ErrOut = {ErrorCode::StructuralError, 0, NoByteOffset,
+              "proc " + std::to_string(Proc) + " event " +
+                  std::to_string(Index) + ": " + What};
+    return false;
   };
 
   const std::vector<Event> &Stream = T.events(Proc);
+  Report.TotalRecords += Stream.size();
   for (size_t Index = 0; Index != Stream.size(); ++Index) {
     const Event &E = Stream[Index];
     Span = std::max(Span, E.Time);
@@ -53,8 +67,11 @@ std::string foldProcessor(const trace::Trace &T, unsigned Proc,
       Stack.push_back({E.Id, E.Time});
       break;
     case EventKind::RegionExit:
-      if (Stack.empty())
-        return malformed(Index, "region exit without matching enter");
+      if (Stack.empty()) {
+        if (malformed(Index, "region exit without matching enter"))
+          continue;
+        return false;
+      }
       if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
         Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
                         E.Time - Stack.back().Cursor);
@@ -64,8 +81,11 @@ std::string foldProcessor(const trace::Trace &T, unsigned Proc,
         Stack.back().Cursor = E.Time;
       break;
     case EventKind::ActivityBegin:
-      if (Stack.empty())
-        return malformed(Index, "activity begins outside any region");
+      if (Stack.empty()) {
+        if (malformed(Index, "activity begins outside any region"))
+          continue;
+        return false;
+      }
       if (Options.AttributeGaps && E.Time > Stack.back().Cursor)
         Cube.accumulate(Stack.back().Region, Options.GapActivity, Proc,
                         E.Time - Stack.back().Cursor);
@@ -73,10 +93,16 @@ std::string foldProcessor(const trace::Trace &T, unsigned Proc,
       ActivityBeginTime = E.Time;
       break;
     case EventKind::ActivityEnd:
-      if (Stack.empty())
-        return malformed(Index, "activity ends outside any region");
-      if (OpenActivity == trace::Trace::InvalidId)
-        return malformed(Index, "activity end without matching begin");
+      if (Stack.empty()) {
+        if (malformed(Index, "activity ends outside any region"))
+          continue;
+        return false;
+      }
+      if (OpenActivity == trace::Trace::InvalidId) {
+        if (malformed(Index, "activity end without matching begin"))
+          continue;
+        return false;
+      }
       Cube.accumulate(Stack.back().Region, OpenActivity, Proc,
                       E.Time - ActivityBeginTime);
       Stack.back().Cursor = E.Time;
@@ -87,43 +113,56 @@ std::string foldProcessor(const trace::Trace &T, unsigned Proc,
       break; // Message endpoints carry no attributable duration.
     }
   }
-  return std::string();
+  return true;
 }
 
 } // namespace
 
 Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
                                             const ReductionOptions &Options) {
-  if (auto Err = T.validate())
-    return Err;
+  // Lenient mode exists to digest traces that validation would reject;
+  // the fold's own structural handling covers them event by event.
+  if (Options.Mode == ParseMode::Strict)
+    if (auto Err = T.validate())
+      return Err;
   if (T.numRegions() == 0)
-    return makeStringError("trace declares no regions");
+    return makeCodedError(ErrorCode::MissingSection,
+                          "trace declares no regions");
   if (T.numActivities() == 0)
-    return makeStringError("trace declares no activities");
+    return makeCodedError(ErrorCode::MissingSection,
+                          "trace declares no activities");
   if (Options.AttributeGaps && Options.GapActivity >= T.numActivities())
-    return makeStringError("gap activity id %u out of range",
-                           Options.GapActivity);
+    return makeCodedError(ErrorCode::ValueOutOfRange,
+                          "gap activity id %u out of range",
+                          Options.GapActivity);
 
   LIMA_STAGE("reduce");
   MeasurementCube Cube(T.regionNames(), T.activityNames(), T.numProcs());
 
   // Shard per processor: every worker folds its own event stream into
-  // the cube's disjoint processor column and its own span/error slot,
-  // then the slots are merged in processor order.  No cell is written
-  // by two workers and no floating-point sum crosses a processor
-  // boundary, so the result is bit-identical at any thread count.
+  // the cube's disjoint processor column and its own span/report/error
+  // slot, then the slots are merged in processor order.  No cell is
+  // written by two workers, no floating-point sum crosses a processor
+  // boundary and reports merge in a fixed order, so the result — cube
+  // AND dropped-record counts — is bit-identical at any thread count.
   std::vector<double> Spans(T.numProcs(), 0.0);
-  std::vector<std::string> Errors(T.numProcs());
+  std::vector<ParseError> Errors(T.numProcs());
+  std::vector<char> Failed(T.numProcs(), 0);
+  std::vector<ParseReport> Reports(T.numProcs());
   parallelFor(T.numProcs(), Options.Threads, [&](size_t Proc) {
     LIMA_SPAN("reduce.shard");
     LIMA_COUNTER_ADD("reduce.events", T.events(Proc).size());
-    Errors[Proc] = foldProcessor(T, static_cast<unsigned>(Proc), Options,
-                                 Cube, Spans[Proc]);
+    Failed[Proc] = !foldProcessor(T, static_cast<unsigned>(Proc), Options,
+                                  Cube, Spans[Proc], Reports[Proc],
+                                  Errors[Proc]);
   });
 
-  for (const std::string &Message : Errors)
-    if (!Message.empty())
-      return makeStringError("%s", Message.c_str());
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc)
+    if (Failed[Proc])
+      return Error::fromParse(std::move(Errors[Proc]));
+  if (Options.Report)
+    for (const ParseReport &Shard : Reports)
+      Options.Report->merge(Shard);
   double Span = 0.0;
   for (double ProcSpan : Spans)
     Span = std::max(Span, ProcSpan);

@@ -17,6 +17,7 @@
 
 #include "core/Measurement.h"
 #include "support/Error.h"
+#include "support/ParseLimits.h"
 #include "trace/Trace.h"
 
 namespace lima {
@@ -37,14 +38,26 @@ struct ReductionOptions {
   /// hardware threads, 1 = serial).  Results are bit-identical at any
   /// setting: each processor's stream folds into disjoint cube cells.
   unsigned Threads = 0;
+  /// Strict: the first structurally impossible event aborts the
+  /// reduction.  Lenient: such events are skipped (the fold continues
+  /// with the surrounding structure intact), counted into Report, and
+  /// full-trace validation is not run first — one bad event no longer
+  /// kills a million-event analysis.
+  ParseMode Mode = ParseMode::Strict;
+  /// Receives dropped-event counts in lenient mode.  Per-processor
+  /// shard reports are merged in processor order, so counts are
+  /// deterministic at any thread count.
+  ParseReport *Report = nullptr;
 };
 
 /// Reduces \p T to a cube with one region per trace region, one activity
-/// per trace activity and one column per processor.  Runs
+/// per trace activity and one column per processor.  In strict mode runs
 /// trace::Trace::validate() first and propagates its errors; the fold
 /// itself additionally rejects structurally impossible streams (region
 /// exit without enter, activity brackets outside any region) with a
-/// descriptive error rather than relying on validation having run.
+/// typed ErrorCode::StructuralError rather than relying on validation
+/// having run.  In lenient mode those events are dropped and counted
+/// instead (see ReductionOptions::Mode).
 Expected<MeasurementCube> reduceTrace(const trace::Trace &T,
                                       const ReductionOptions &Options = {});
 

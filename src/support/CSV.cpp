@@ -9,25 +9,58 @@
 using namespace lima;
 
 Expected<std::vector<std::vector<std::string>>>
-lima::parseCSV(std::string_view Text) {
+lima::parseCSV(std::string_view Text, const ParseOptions &Options) {
+  const ParseLimits &Limits = Options.Limits;
   std::vector<std::vector<std::string>> Rows;
   std::vector<std::string> Row;
   std::string Field;
   bool InQuotes = false;
   bool FieldStarted = false;
+  size_t RowNo = 1;
+  size_t RowStart = 0;
+  uint64_t AllocBytes = 0;
 
   auto endField = [&] {
+    AllocBytes += Field.size() + sizeof(std::string);
     Row.push_back(std::move(Field));
     Field.clear();
     FieldStarted = false;
   };
   auto endRow = [&] {
     endField();
+    AllocBytes += sizeof(std::vector<std::string>);
     Rows.push_back(std::move(Row));
     Row.clear();
+    if (Options.Report)
+      ++Options.Report->TotalRecords;
+    ++RowNo;
+  };
+  // Lenient recovery from a quoting error: discard the current row and
+  // resume at the next newline.  Returns the index to continue from.
+  auto skipRow = [&](size_t I) {
+    Field.clear();
+    Row.clear();
+    InQuotes = false;
+    FieldStarted = false;
+    size_t Next = Text.find('\n', I);
+    if (Next == std::string_view::npos)
+      return Text.size();
+    ++RowNo;
+    RowStart = Next + 1;
+    return Next + 1;
   };
 
   for (size_t I = 0; I != Text.size(); ++I) {
+    if (I - RowStart > Limits.MaxLineBytes)
+      return makeParseError(ErrorCode::LimitExceeded, RowNo, I,
+                            "CSV row %zu exceeds the length limit", RowNo);
+    if (Field.size() > Limits.MaxNameBytes)
+      return makeParseError(ErrorCode::LimitExceeded, RowNo, I,
+                            "CSV row %zu: field exceeds the length limit",
+                            RowNo);
+    if (AllocBytes > Limits.MaxAllocBytes)
+      return makeParseError(ErrorCode::LimitExceeded, RowNo, I,
+                            "CSV document exceeds the allocation cap");
     char C = Text[I];
     if (InQuotes) {
       if (C != '"') {
@@ -44,9 +77,18 @@ lima::parseCSV(std::string_view Text) {
     }
     switch (C) {
     case '"':
-      if (!Field.empty())
-        return makeStringError("CSV: quote inside unquoted field at byte %zu",
-                               I);
+      if (!Field.empty()) {
+        ParseError PE{ErrorCode::MalformedRecord, RowNo, I,
+                      "CSV: quote inside unquoted field at byte " +
+                          std::to_string(I)};
+        if (Options.dropRecord(PE)) {
+          if (Options.Report)
+            ++Options.Report->TotalRecords;
+          I = skipRow(I) - 1; // Loop increment lands on the next row.
+          continue;
+        }
+        return Error::fromParse(std::move(PE));
+      }
       InQuotes = true;
       FieldStarted = true;
       break;
@@ -59,6 +101,7 @@ lima::parseCSV(std::string_view Text) {
       break;
     case '\n':
       endRow();
+      RowStart = I + 1;
       break;
     default:
       Field += C;
@@ -66,8 +109,16 @@ lima::parseCSV(std::string_view Text) {
       break;
     }
   }
-  if (InQuotes)
-    return makeStringError("CSV: unterminated quoted field");
+  if (InQuotes) {
+    ParseError PE{ErrorCode::TruncatedInput, RowNo, Text.size(),
+                  "CSV: unterminated quoted field"};
+    if (Options.dropRecord(PE)) {
+      if (Options.Report)
+        ++Options.Report->TotalRecords;
+      return Rows;
+    }
+    return Error::fromParse(std::move(PE));
+  }
   // Emit a final row only if the document does not end with a newline.
   if (FieldStarted || !Field.empty() || !Row.empty())
     endRow();

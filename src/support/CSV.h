@@ -15,6 +15,7 @@
 #define LIMA_SUPPORT_CSV_H
 
 #include "support/Error.h"
+#include "support/ParseLimits.h"
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,7 +26,14 @@ namespace lima {
 ///
 /// Handles quoted fields with embedded separators, quotes ("" escape) and
 /// newlines.  A trailing final newline does not produce an empty row.
-Expected<std::vector<std::vector<std::string>>> parseCSV(std::string_view Text);
+///
+/// Every completed row counts as one record in Options.Report.  In
+/// ParseMode::Lenient a row with a quoting error is dropped (scanning
+/// resumes at the next newline) instead of aborting; ParseLimits bounds
+/// on row length, field length and total allocation are fatal in both
+/// modes.
+Expected<std::vector<std::vector<std::string>>>
+parseCSV(std::string_view Text, const ParseOptions &Options = {});
 
 /// Serializes \p Rows as CSV, quoting fields only where required.
 std::string writeCSV(const std::vector<std::vector<std::string>> &Rows);

@@ -10,19 +10,95 @@
 
 using namespace lima;
 
+std::string_view lima::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return "generic";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::BadMagic:
+    return "bad-magic";
+  case ErrorCode::UnsupportedVersion:
+    return "unsupported-version";
+  case ErrorCode::TruncatedInput:
+    return "truncated-input";
+  case ErrorCode::MalformedRecord:
+    return "malformed-record";
+  case ErrorCode::BadNumber:
+    return "bad-number";
+  case ErrorCode::ValueOutOfRange:
+    return "value-out-of-range";
+  case ErrorCode::DuplicateDeclaration:
+    return "duplicate-declaration";
+  case ErrorCode::MissingSection:
+    return "missing-section";
+  case ErrorCode::StructuralError:
+    return "structural-error";
+  case ErrorCode::LimitExceeded:
+    return "limit-exceeded";
+  }
+  lima_unreachable("unknown ErrorCode");
+}
+
+int lima::exitCodeFor(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Generic:
+    return 1;
+  case ErrorCode::IoError:
+    return 2;
+  case ErrorCode::BadMagic:
+  case ErrorCode::UnsupportedVersion:
+    return 3;
+  case ErrorCode::TruncatedInput:
+  case ErrorCode::MalformedRecord:
+  case ErrorCode::BadNumber:
+    return 4;
+  case ErrorCode::ValueOutOfRange:
+  case ErrorCode::DuplicateDeclaration:
+  case ErrorCode::MissingSection:
+    return 5;
+  case ErrorCode::StructuralError:
+    return 6;
+  case ErrorCode::LimitExceeded:
+    return 7;
+  }
+  lima_unreachable("unknown ErrorCode");
+}
+
+/// Shared printf-style formatting for the error constructors.
+static std::string formatMessage(const char *Fmt, va_list Args) {
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  if (Len < 0)
+    return "<error formatting failed>";
+  std::vector<char> Buf(static_cast<size_t>(Len) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+  return std::string(Buf.data(), static_cast<size_t>(Len));
+}
+
 Error lima::makeStringError(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  va_list ArgsCopy;
-  va_copy(ArgsCopy, Args);
-  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  std::string Msg = formatMessage(Fmt, Args);
   va_end(Args);
-  if (Len < 0) {
-    va_end(ArgsCopy);
-    return Error::failure("<error formatting failed>");
-  }
-  std::vector<char> Buf(static_cast<size_t>(Len) + 1);
-  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
-  va_end(ArgsCopy);
-  return Error::failure(std::string(Buf.data(), static_cast<size_t>(Len)));
+  return Error::failure(std::move(Msg));
+}
+
+Error lima::makeCodedError(ErrorCode Code, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = formatMessage(Fmt, Args);
+  va_end(Args);
+  return Error::coded(Code, std::move(Msg));
+}
+
+Error lima::makeParseError(ErrorCode Code, size_t Line, size_t Offset,
+                           const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = formatMessage(Fmt, Args);
+  va_end(Args);
+  return Error::coded(Code, std::move(Msg), Line, Offset);
 }

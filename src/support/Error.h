@@ -21,33 +21,98 @@
 #include "support/Compiler.h"
 #include <cassert>
 #include <cstdarg>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace lima {
+
+/// The error taxonomy shared by every byte-parsing entry point (trace
+/// text, trace binary, cube CSV, raw CSV) and the trace reduction.
+/// Codes are stable API: lima_analyze maps them to distinct exit
+/// statuses and the parse report buckets dropped records by code.
+enum class ErrorCode : uint8_t {
+  Generic = 0,          ///< Uncategorized failure (plain makeStringError).
+  IoError,              ///< File could not be read or written.
+  BadMagic,             ///< Input is not in the expected format at all.
+  UnsupportedVersion,   ///< Recognized format, unknown version.
+  TruncatedInput,       ///< Input ends mid-record; framing is lost.
+  MalformedRecord,      ///< A record violates the format grammar.
+  BadNumber,            ///< A numeric field failed to parse.
+  ValueOutOfRange,      ///< A well-formed value outside its legal range.
+  DuplicateDeclaration, ///< A header declaration repeated illegally.
+  MissingSection,       ///< A required header/section never appeared.
+  StructuralError,      ///< Event stream structurally impossible.
+  LimitExceeded,        ///< A ParseLimits resource bound was hit.
+};
+
+/// Number of distinct ErrorCode values (for per-code count arrays).
+inline constexpr unsigned NumErrorCodes = 12;
+
+/// Stable kebab-case name of \p Code ("bad-magic", "limit-exceeded", ...).
+std::string_view errorCodeName(ErrorCode Code);
+
+/// Process exit status a tool should use for \p Code.  Distinct codes map
+/// to distinct statuses so scripts can react without scraping stderr:
+/// 1 generic, 2 I/O, 3 format (magic/version), 4 corrupt record
+/// (truncated/malformed/bad number), 5 semantic (range/duplicate/missing),
+/// 6 structural, 7 resource limit.
+int exitCodeFor(ErrorCode Code);
+
+/// Sentinel for "byte offset unknown / not applicable".
+inline constexpr size_t NoByteOffset = static_cast<size_t>(-1);
+
+/// A structured parse failure: the taxonomy code, where in the input it
+/// happened (1-based line for text formats, byte offset for binary ones;
+/// 0 / NoByteOffset when unknown) and the human-readable message (which
+/// already embeds the location in rendered form).
+struct ParseError {
+  ErrorCode Code = ErrorCode::Generic;
+  size_t Line = 0;
+  size_t Offset = NoByteOffset;
+  std::string Msg;
+};
 
 /// A recoverable error carrying a human-readable message.
 ///
 /// Success values are cheap (empty message).  The checked-flag discipline
 /// mirrors llvm::Error: an Error that is destroyed without having been
 /// tested via operator bool, consumed, or moved from trips an assertion.
+/// Failures additionally carry the ErrorCode taxonomy and an optional
+/// input location, preserved through Expected round-trips.
 class Error {
 public:
   /// Creates a success value.
   static Error success() { return Error(); }
 
-  /// Creates a failure value with message \p Msg.
+  /// Creates a failure value with message \p Msg (code Generic).
   static Error failure(std::string Msg) {
+    return coded(ErrorCode::Generic, std::move(Msg));
+  }
+
+  /// Creates a failure value with an explicit taxonomy code and location.
+  static Error coded(ErrorCode Code, std::string Msg, size_t Line = 0,
+                     size_t Offset = NoByteOffset) {
     Error E;
     E.Msg = std::move(Msg);
+    E.Code = Code;
+    E.Line = Line;
+    E.Offset = Offset;
     E.Failed = true;
     return E;
   }
 
+  /// Creates a failure value from a structured ParseError.
+  static Error fromParse(ParseError PE) {
+    return coded(PE.Code, std::move(PE.Msg), PE.Line, PE.Offset);
+  }
+
   Error(Error &&Other) noexcept
-      : Msg(std::move(Other.Msg)), Failed(Other.Failed),
-        Checked(Other.Checked) {
+      : Msg(std::move(Other.Msg)), Code(Other.Code), Line(Other.Line),
+        Offset(Other.Offset), Failed(Other.Failed), Checked(Other.Checked) {
     Other.markConsumed();
   }
 
@@ -56,6 +121,9 @@ public:
       return *this;
     assertChecked();
     Msg = std::move(Other.Msg);
+    Code = Other.Code;
+    Line = Other.Line;
+    Offset = Other.Offset;
     Failed = Other.Failed;
     Checked = Other.Checked;
     Other.markConsumed();
@@ -88,6 +156,24 @@ public:
     return Msg;
   }
 
+  /// Taxonomy code of the failure.  Non-consuming (like peekMessage);
+  /// Generic for success values and uncategorized failures.
+  ErrorCode code() const { return Code; }
+
+  /// 1-based input line of the failure; 0 when unknown.  Non-consuming.
+  size_t line() const { return Line; }
+
+  /// Byte offset of the failure; NoByteOffset when unknown. Non-consuming.
+  size_t offset() const { return Offset; }
+
+  /// Extracts the structured form and marks the error consumed.
+  ParseError toParseError() {
+    assert(Failed && "toParseError() called on a success value");
+    ParseError PE{Code, Line, Offset, std::move(Msg)};
+    markConsumed();
+    return PE;
+  }
+
   /// Explicitly discards the error (success or failure).
   void consume() { markConsumed(); }
 
@@ -105,6 +191,9 @@ private:
   }
 
   std::string Msg;
+  ErrorCode Code = ErrorCode::Generic;
+  size_t Line = 0;
+  size_t Offset = NoByteOffset;
   bool Failed = false;
   bool Checked = false;
 };
@@ -112,6 +201,16 @@ private:
 /// Builds a failure Error from a printf-style format string.
 Error makeStringError(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Builds a failure Error with taxonomy code \p Code.
+Error makeCodedError(ErrorCode Code, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Builds a failure Error with taxonomy code and input location (pass
+/// Line 0 / NoByteOffset for whichever half does not apply).
+Error makeParseError(ErrorCode Code, size_t Line, size_t Offset,
+                     const char *Fmt, ...)
+    __attribute__((format(printf, 4, 5)));
 
 /// Either a value of type \p T or an Error, analogous to llvm::Expected.
 ///
@@ -125,7 +224,7 @@ public:
   /// Constructs a failure value from \p E, which must hold a failure.
   Expected(Error E) : HasValue(false) {
     assert(static_cast<bool>(E) && "constructing Expected from success Error");
-    Err = E.message();
+    Err = E.toParseError();
   }
 
   Expected(Expected &&Other) noexcept
@@ -171,7 +270,7 @@ public:
     Checked = true;
     if (HasValue)
       return Error::success();
-    return Error::failure(std::move(Err));
+    return Error::fromParse(std::move(Err));
   }
 
   /// Moves the contained value into \p Out; on failure returns the Error.
@@ -189,7 +288,7 @@ private:
   union {
     T Storage;
   };
-  std::string Err;
+  ParseError Err;
 };
 
 /// Asserts that \p E is a success value and discards it.
@@ -220,8 +319,9 @@ public:
   void operator()(Error E) const {
     if (!E)
       return;
+    int Status = exitCodeFor(E.code());
     std::fprintf(stderr, "%s%s\n", Banner.c_str(), E.message().c_str());
-    std::exit(1);
+    std::exit(Status);
   }
 
   template <typename T> T operator()(Expected<T> ValOrErr) const {

@@ -12,7 +12,7 @@ using namespace lima;
 Expected<std::string> lima::readFile(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
-    return makeStringError("cannot open '%s' for reading", Path.c_str());
+    return makeCodedError(ErrorCode::IoError, "cannot open '%s' for reading", Path.c_str());
   std::string Contents;
   char Buf[1 << 16];
   size_t N;
@@ -21,17 +21,17 @@ Expected<std::string> lima::readFile(const std::string &Path) {
   bool Failed = std::ferror(File) != 0;
   std::fclose(File);
   if (Failed)
-    return makeStringError("read error on '%s'", Path.c_str());
+    return makeCodedError(ErrorCode::IoError, "read error on '%s'", Path.c_str());
   return Contents;
 }
 
 Error lima::writeFile(const std::string &Path, std::string_view Contents) {
   std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
-    return makeStringError("cannot open '%s' for writing", Path.c_str());
+    return makeCodedError(ErrorCode::IoError, "cannot open '%s' for writing", Path.c_str());
   size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), File);
   bool CloseFailed = std::fclose(File) != 0;
   if (Written != Contents.size() || CloseFailed)
-    return makeStringError("write error on '%s'", Path.c_str());
+    return makeCodedError(ErrorCode::IoError, "write error on '%s'", Path.c_str());
   return Error::success();
 }

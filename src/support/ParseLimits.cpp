@@ -1,0 +1,68 @@
+//===- support/ParseLimits.cpp - Parser resource limits & modes -----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParseLimits.h"
+#include <limits>
+
+using namespace lima;
+
+ParseLimits ParseLimits::unlimited() {
+  ParseLimits L;
+  L.MaxEvents = std::numeric_limits<uint64_t>::max();
+  L.MaxProcs = std::numeric_limits<uint32_t>::max();
+  L.MaxRegions = std::numeric_limits<uint32_t>::max();
+  L.MaxActivities = std::numeric_limits<uint32_t>::max();
+  L.MaxNameBytes = std::numeric_limits<size_t>::max();
+  L.MaxLineBytes = std::numeric_limits<size_t>::max();
+  L.MaxAllocBytes = std::numeric_limits<uint64_t>::max();
+  return L;
+}
+
+void ParseReport::addDrop(ParseError PE) {
+  ++DroppedRecords;
+  ++DroppedByCode[static_cast<size_t>(PE.Code)];
+  if (Samples.size() < MaxSamples)
+    Samples.push_back(std::move(PE));
+}
+
+void ParseReport::merge(const ParseReport &Other) {
+  TotalRecords += Other.TotalRecords;
+  DroppedRecords += Other.DroppedRecords;
+  for (size_t I = 0; I != DroppedByCode.size(); ++I)
+    DroppedByCode[I] += Other.DroppedByCode[I];
+  for (const ParseError &PE : Other.Samples) {
+    if (Samples.size() >= MaxSamples)
+      break;
+    Samples.push_back(PE);
+  }
+}
+
+std::string ParseReport::summary() const {
+  std::string Out = "dropped " + std::to_string(DroppedRecords) + " of " +
+                    std::to_string(TotalRecords) + " records";
+  if (!anyDropped())
+    return Out;
+  Out += ':';
+  for (size_t I = 0; I != DroppedByCode.size(); ++I)
+    if (DroppedByCode[I] != 0) {
+      Out += "\n  ";
+      Out += errorCodeName(static_cast<ErrorCode>(I));
+      Out += ": " + std::to_string(DroppedByCode[I]);
+    }
+  for (const ParseError &PE : Samples) {
+    Out += "\n  e.g. ";
+    Out += PE.Msg;
+  }
+  return Out;
+}
+
+bool ParseOptions::dropRecord(ParseError &PE) const {
+  if (Mode != ParseMode::Lenient)
+    return false;
+  if (Report)
+    Report->addDrop(std::move(PE));
+  return true;
+}

@@ -1,0 +1,121 @@
+//===- support/ParseLimits.h - Parser resource limits & modes ---*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared robustness knobs for every byte-parsing entry point
+/// (trace text, trace binary, cube CSV, raw CSV) and the trace
+/// reduction:
+///
+///  - ParseLimits bounds what a parser will allocate on behalf of an
+///    input, so a hostile header (say, a declared processor count of
+///    10^9) fails fast with ErrorCode::LimitExceeded instead of driving
+///    unbounded allocation;
+///  - ParseMode selects strict (first malformed record is fatal) or
+///    lenient (malformed records are dropped and counted) parsing;
+///  - ParseReport is the lenient mode's receipt: exactly how many
+///    records were seen, how many were dropped, bucketed by ErrorCode,
+///    with the first few structured errors kept as samples.
+///
+/// All counts are deterministic: the same input produces the same
+/// report at any thread count (per-processor shards merge in processor
+/// order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_PARSELIMITS_H
+#define LIMA_SUPPORT_PARSELIMITS_H
+
+#include "support/Error.h"
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace lima {
+
+/// Resource bounds enforced while parsing untrusted input.  The
+/// defaults accept any plausible real trace (hundreds of millions of
+/// events, a million processors) while capping what a malicious or
+/// corrupt header can make the parser allocate.
+struct ParseLimits {
+  /// Total events across all processors.
+  uint64_t MaxEvents = 1ull << 28;
+  /// Declared processor count.
+  uint32_t MaxProcs = 1u << 20;
+  /// Declared region count.
+  uint32_t MaxRegions = 1u << 16;
+  /// Declared activity count.
+  uint32_t MaxActivities = 1u << 16;
+  /// Bytes in one region/activity name or CSV field.
+  size_t MaxNameBytes = 1u << 12;
+  /// Bytes in one text line / CSV row.
+  size_t MaxLineBytes = 1u << 16;
+  /// Approximate cap on bytes a parser may allocate for the parsed
+  /// result (event storage, name tables, cube cells).
+  uint64_t MaxAllocBytes = 4ull << 30;
+
+  /// A fully permissive instance (trusted input, e.g. self-written
+  /// intermediate files).
+  static ParseLimits unlimited();
+};
+
+/// Strictness of a parse.
+enum class ParseMode : uint8_t {
+  /// The first malformed record aborts the parse with a typed error.
+  Strict,
+  /// Malformed records are dropped and counted in a ParseReport; only
+  /// unrecoverable failures (bad magic, truncation that loses framing,
+  /// exceeded limits) abort.
+  Lenient,
+};
+
+/// Receipt of a lenient parse: what was seen and what was dropped.
+struct ParseReport {
+  /// Records inspected, including dropped ones.  What counts as a
+  /// record is per format: trace text counts event lines (not header/
+  /// declaration lines), the binary format counts event records, the
+  /// CSV layer counts rows, and the trace reduction counts events.
+  uint64_t TotalRecords = 0;
+  /// Records dropped as malformed.
+  uint64_t DroppedRecords = 0;
+  /// Dropped records bucketed by taxonomy code.
+  std::array<uint64_t, NumErrorCodes> DroppedByCode{};
+  /// First MaxSamples structured errors, for diagnostics.
+  std::vector<ParseError> Samples;
+
+  static constexpr size_t MaxSamples = 16;
+
+  /// Records one dropped record.
+  void addDrop(ParseError PE);
+
+  /// Folds \p Other into this report (sample list is truncated to
+  /// MaxSamples, counts add).  Merge order must be deterministic for
+  /// reproducible reports.
+  void merge(const ParseReport &Other);
+
+  bool anyDropped() const { return DroppedRecords != 0; }
+
+  /// Human-readable multi-line summary ("dropped 3 of 100 records: ...").
+  std::string summary() const;
+};
+
+/// Everything a parser needs to know about how careful to be.
+struct ParseOptions {
+  ParseMode Mode = ParseMode::Strict;
+  ParseLimits Limits;
+  /// When non-null, lenient drops (and totals) are recorded here.  The
+  /// report is not cleared first, so one report can span several files.
+  ParseReport *Report = nullptr;
+
+  /// True when a record-level error should be dropped rather than
+  /// propagated.  Moves \p PE into the report (when one is attached) and
+  /// returns true in lenient mode; leaves \p PE untouched and returns
+  /// false in strict mode, so the caller can propagate it.
+  bool dropRecord(ParseError &PE) const;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_PARSELIMITS_H

@@ -55,45 +55,45 @@ std::string_view lima::trimString(std::string_view Str) {
 
 Expected<int64_t> lima::parseInt(std::string_view Str) {
   if (Str.empty())
-    return makeStringError("cannot parse integer from empty string");
+    return makeCodedError(ErrorCode::BadNumber, "cannot parse integer from empty string");
   std::string Buf(Str);
   errno = 0;
   char *End = nullptr;
   long long Value = std::strtoll(Buf.c_str(), &End, 10);
   if (End != Buf.c_str() + Buf.size())
-    return makeStringError("invalid integer '%s'", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "invalid integer '%s'", Buf.c_str());
   if (errno == ERANGE)
-    return makeStringError("integer '%s' out of range", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "integer '%s' out of range", Buf.c_str());
   return static_cast<int64_t>(Value);
 }
 
 Expected<uint64_t> lima::parseUnsigned(std::string_view Str) {
   if (Str.empty())
-    return makeStringError("cannot parse integer from empty string");
+    return makeCodedError(ErrorCode::BadNumber, "cannot parse integer from empty string");
   if (Str.front() == '-')
-    return makeStringError("negative value where unsigned expected");
+    return makeCodedError(ErrorCode::BadNumber, "negative value where unsigned expected");
   std::string Buf(Str);
   errno = 0;
   char *End = nullptr;
   unsigned long long Value = std::strtoull(Buf.c_str(), &End, 10);
   if (End != Buf.c_str() + Buf.size())
-    return makeStringError("invalid integer '%s'", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "invalid integer '%s'", Buf.c_str());
   if (errno == ERANGE)
-    return makeStringError("integer '%s' out of range", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "integer '%s' out of range", Buf.c_str());
   return static_cast<uint64_t>(Value);
 }
 
 Expected<double> lima::parseDouble(std::string_view Str) {
   if (Str.empty())
-    return makeStringError("cannot parse number from empty string");
+    return makeCodedError(ErrorCode::BadNumber, "cannot parse number from empty string");
   std::string Buf(Str);
   errno = 0;
   char *End = nullptr;
   double Value = std::strtod(Buf.c_str(), &End);
   if (End != Buf.c_str() + Buf.size())
-    return makeStringError("invalid number '%s'", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "invalid number '%s'", Buf.c_str());
   if (errno == ERANGE)
-    return makeStringError("number '%s' out of range", Buf.c_str());
+    return makeCodedError(ErrorCode::BadNumber, "number '%s' out of range", Buf.c_str());
   return Value;
 }
 

@@ -40,22 +40,26 @@ void appendVarint(std::string &Out, uint64_t Value) {
   Out.push_back(static_cast<char>(Value));
 }
 
-/// Bounds-checked reader over the input buffer.
+/// Bounds-checked reader over the input buffer.  Offsets in errors are
+/// absolute (relative to the start of the file, including the magic).
 class Reader {
 public:
-  explicit Reader(std::string_view Data) : Data(Data) {}
+  Reader(std::string_view Data, size_t StartOffset, size_t MaxNameBytes)
+      : Data(Data), Offset(StartOffset), MaxNameBytes(MaxNameBytes) {}
 
   Expected<uint64_t> readVarint() {
     uint64_t Value = 0;
     unsigned Shift = 0;
     while (true) {
       if (Offset >= Data.size())
-        return makeStringError("binary trace truncated in varint at byte "
-                               "%zu",
-                               Offset);
+        return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                              "binary trace truncated in varint at byte %zu",
+                              Offset);
       uint8_t Byte = static_cast<uint8_t>(Data[Offset++]);
       if (Shift >= 64 || (Shift == 63 && Byte > 1))
-        return makeStringError("binary trace: varint overflow");
+        return makeParseError(ErrorCode::MalformedRecord, 0, Offset - 1,
+                              "binary trace: varint overflow at byte %zu",
+                              Offset - 1);
       Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
       if ((Byte & 0x80) == 0)
         return Value;
@@ -65,7 +69,8 @@ public:
 
   template <typename T> Expected<T> read() {
     if (Offset + sizeof(T) > Data.size())
-      return makeStringError("binary trace truncated at byte %zu", Offset);
+      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                            "binary trace truncated at byte %zu", Offset);
     T Value;
     std::memcpy(&Value, Data.data() + Offset, sizeof(T));
     Offset += sizeof(T);
@@ -73,26 +78,32 @@ public:
   }
 
   Expected<std::string> readString() {
+    size_t LengthOffset = Offset;
     auto LengthOrErr = read<uint32_t>();
     if (auto Err = LengthOrErr.takeError())
       return Err;
     uint32_t Length = *LengthOrErr;
-    if (Length > (1u << 20))
-      return makeStringError("binary trace: unreasonable string length %u",
-                             Length);
+    if (Length > MaxNameBytes)
+      return makeParseError(ErrorCode::LimitExceeded, 0, LengthOffset,
+                            "binary trace: string length %u exceeds the "
+                            "limit",
+                            Length);
     if (Offset + Length > Data.size())
-      return makeStringError("binary trace truncated in string at byte %zu",
-                             Offset);
+      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                            "binary trace truncated in string at byte %zu",
+                            Offset);
     std::string Str(Data.substr(Offset, Length));
     Offset += Length;
     return Str;
   }
 
   bool atEnd() const { return Offset == Data.size(); }
+  size_t offset() const { return Offset; }
 
 private:
   std::string_view Data;
   size_t Offset = 0;
+  size_t MaxNameBytes;
 };
 
 } // namespace
@@ -121,100 +132,175 @@ std::string trace::writeTraceBinary(const Trace &T) {
   return Out;
 }
 
-Expected<Trace> trace::parseTraceBinary(std::string_view Data) {
+Expected<Trace> trace::parseTraceBinary(std::string_view Data,
+                                        const ParseOptions &Options) {
+  const ParseLimits &Limits = Options.Limits;
   if (Data.size() < sizeof(Magic) ||
       std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0)
-    return makeStringError("binary trace: bad magic (expected 'LIMB')");
-  Reader In(Data.substr(sizeof(Magic)));
+    return makeCodedError(ErrorCode::BadMagic,
+                          "binary trace: bad magic (expected 'LIMB')");
+  Reader In(Data, sizeof(Magic), Limits.MaxNameBytes);
+  uint64_t AllocBytes = 0;
+  auto overAllocCap = [&](uint64_t More) {
+    AllocBytes += More;
+    return AllocBytes > Limits.MaxAllocBytes;
+  };
 
   auto VersionOrErr = In.read<uint32_t>();
   if (auto Err = VersionOrErr.takeError())
     return Err;
   if (*VersionOrErr != Version)
-    return makeStringError("binary trace: unsupported version %u",
-                           *VersionOrErr);
+    return makeCodedError(ErrorCode::UnsupportedVersion,
+                          "binary trace: unsupported version %u",
+                          *VersionOrErr);
 
   auto ProcsOrErr = In.read<uint32_t>();
   if (auto Err = ProcsOrErr.takeError())
     return Err;
   if (*ProcsOrErr == 0 || *ProcsOrErr > (1u << 20))
-    return makeStringError("binary trace: processor count out of range");
+    return makeCodedError(ErrorCode::ValueOutOfRange,
+                          "binary trace: processor count out of range");
+  if (*ProcsOrErr > Limits.MaxProcs ||
+      overAllocCap(*ProcsOrErr * sizeof(std::vector<Event>)))
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "binary trace: processor count exceeds the limit");
   Trace T(*ProcsOrErr);
 
   auto RegionsOrErr = In.read<uint32_t>();
   if (auto Err = RegionsOrErr.takeError())
     return Err;
+  if (*RegionsOrErr > Limits.MaxRegions)
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "binary trace: region count exceeds the limit");
   for (uint32_t I = 0; I != *RegionsOrErr; ++I) {
     auto NameOrErr = In.readString();
     if (auto Err = NameOrErr.takeError())
       return Err;
+    if (overAllocCap(NameOrErr->size() + sizeof(std::string)))
+      return makeCodedError(ErrorCode::LimitExceeded,
+                            "binary trace: name tables exceed the "
+                            "allocation cap");
     T.addRegion(std::move(*NameOrErr));
   }
   auto ActivitiesOrErr = In.read<uint32_t>();
   if (auto Err = ActivitiesOrErr.takeError())
     return Err;
+  if (*ActivitiesOrErr > Limits.MaxActivities)
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "binary trace: activity count exceeds the limit");
   for (uint32_t I = 0; I != *ActivitiesOrErr; ++I) {
     auto NameOrErr = In.readString();
     if (auto Err = NameOrErr.takeError())
       return Err;
+    if (overAllocCap(NameOrErr->size() + sizeof(std::string)))
+      return makeCodedError(ErrorCode::LimitExceeded,
+                            "binary trace: name tables exceed the "
+                            "allocation cap");
     T.addActivity(std::move(*NameOrErr));
   }
 
+  uint64_t TotalEvents = 0;
   for (uint32_t Proc = 0; Proc != *ProcsOrErr; ++Proc) {
     auto CountOrErr = In.read<uint64_t>();
     if (auto Err = CountOrErr.takeError())
       return Err;
     for (uint64_t I = 0; I != *CountOrErr; ++I) {
+      size_t RecordOffset = In.offset();
+      if (Options.Report)
+        ++Options.Report->TotalRecords;
       Event E;
       E.Proc = Proc;
+      // Field reads keep the stream framed even when values are bad,
+      // so value errors are record-level (droppable in lenient mode)
+      // while read failures (truncation, varint overflow) stay fatal.
       auto TimeOrErr = In.read<double>();
       if (auto Err = TimeOrErr.takeError())
         return Err;
       E.Time = *TimeOrErr;
-      if (!(E.Time >= 0.0))
-        return makeStringError("binary trace: invalid event time");
       auto KindOrErr = In.read<uint8_t>();
       if (auto Err = KindOrErr.takeError())
         return Err;
-      if (*KindOrErr > static_cast<uint8_t>(EventKind::MessageRecv))
-        return makeStringError("binary trace: unknown event kind %u",
-                               *KindOrErr);
-      E.Kind = static_cast<EventKind>(*KindOrErr);
       auto IdOrErr = In.readVarint();
       if (auto Err = IdOrErr.takeError())
         return Err;
-      if (*IdOrErr > UINT32_MAX)
-        return makeStringError("binary trace: event id overflows u32");
-      E.Id = static_cast<uint32_t>(*IdOrErr);
       auto BytesOrErr = In.readVarint();
       if (auto Err = BytesOrErr.takeError())
         return Err;
       E.Bytes = *BytesOrErr;
 
-      // Range-check ids before appending (append asserts, the parser
-      // must reject gracefully).
-      switch (E.Kind) {
-      case EventKind::RegionEnter:
-      case EventKind::RegionExit:
-        if (E.Id >= T.numRegions())
-          return makeStringError("binary trace: region id out of range");
-        break;
-      case EventKind::ActivityBegin:
-      case EventKind::ActivityEnd:
-        if (E.Id >= T.numActivities())
-          return makeStringError("binary trace: activity id out of range");
-        break;
-      case EventKind::MessageSend:
-      case EventKind::MessageRecv:
-        if (E.Id >= T.numProcs())
-          return makeStringError("binary trace: peer out of range");
-        break;
+      Error ValueErr = [&]() -> Error {
+        if (!(E.Time >= 0.0))
+          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                                "binary trace: invalid event time at byte "
+                                "%zu",
+                                RecordOffset);
+        if (*KindOrErr > static_cast<uint8_t>(EventKind::MessageRecv))
+          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                                "binary trace: unknown event kind %u at "
+                                "byte %zu",
+                                *KindOrErr, RecordOffset);
+        E.Kind = static_cast<EventKind>(*KindOrErr);
+        if (*IdOrErr > UINT32_MAX)
+          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                                "binary trace: event id overflows u32 at "
+                                "byte %zu",
+                                RecordOffset);
+        E.Id = static_cast<uint32_t>(*IdOrErr);
+        // Range-check ids before appending (append asserts, the parser
+        // must reject gracefully).
+        switch (E.Kind) {
+        case EventKind::RegionEnter:
+        case EventKind::RegionExit:
+          if (E.Id >= T.numRegions())
+            return makeParseError(ErrorCode::ValueOutOfRange, 0,
+                                  RecordOffset,
+                                  "binary trace: region id out of range at "
+                                  "byte %zu",
+                                  RecordOffset);
+          break;
+        case EventKind::ActivityBegin:
+        case EventKind::ActivityEnd:
+          if (E.Id >= T.numActivities())
+            return makeParseError(ErrorCode::ValueOutOfRange, 0,
+                                  RecordOffset,
+                                  "binary trace: activity id out of range "
+                                  "at byte %zu",
+                                  RecordOffset);
+          break;
+        case EventKind::MessageSend:
+        case EventKind::MessageRecv:
+          if (E.Id >= T.numProcs())
+            return makeParseError(ErrorCode::ValueOutOfRange, 0,
+                                  RecordOffset,
+                                  "binary trace: peer out of range at byte "
+                                  "%zu",
+                                  RecordOffset);
+          break;
+        }
+        return Error::success();
+      }();
+      if (ValueErr) {
+        ParseError PE = ValueErr.toParseError();
+        if (Options.dropRecord(PE))
+          continue;
+        return Error::fromParse(std::move(PE));
       }
+      if (++TotalEvents > Limits.MaxEvents)
+        return makeParseError(ErrorCode::LimitExceeded, 0, RecordOffset,
+                              "binary trace: event count exceeds the limit");
+      if (overAllocCap(sizeof(Event)))
+        return makeParseError(ErrorCode::LimitExceeded, 0, RecordOffset,
+                              "binary trace: event storage exceeds the "
+                              "allocation cap");
       T.append(E);
     }
   }
-  if (!In.atEnd())
-    return makeStringError("binary trace: trailing bytes after events");
+  if (!In.atEnd()) {
+    ParseError PE{ErrorCode::MalformedRecord, 0, In.offset(),
+                  "binary trace: trailing bytes after events"};
+    if (!Options.dropRecord(PE))
+      return Error::fromParse(std::move(PE));
+  }
   return T;
 }
 
@@ -222,14 +308,16 @@ Error trace::saveTraceBinary(const Trace &T, const std::string &Path) {
   return writeFile(Path, writeTraceBinary(T));
 }
 
-Expected<Trace> trace::loadTraceBinary(const std::string &Path) {
+Expected<Trace> trace::loadTraceBinary(const std::string &Path,
+                                       const ParseOptions &Options) {
   auto DataOrErr = readFile(Path);
   if (auto Err = DataOrErr.takeError())
     return Err;
-  return parseTraceBinary(*DataOrErr);
+  return parseTraceBinary(*DataOrErr, Options);
 }
 
-Expected<Trace> trace::loadTraceAuto(const std::string &Path) {
+Expected<Trace> trace::loadTraceAuto(const std::string &Path,
+                                     const ParseOptions &Options) {
   LIMA_STAGE("load");
   Expected<std::string> DataOrErr = [&] {
     LIMA_SPAN("load.read");
@@ -242,6 +330,6 @@ Expected<Trace> trace::loadTraceAuto(const std::string &Path) {
   LIMA_COUNTER_ADD("load.bytes", Data.size());
   if (Data.size() >= sizeof(Magic) &&
       std::memcmp(Data.data(), Magic, sizeof(Magic)) == 0)
-    return parseTraceBinary(Data);
-  return parseTraceText(Data);
+    return parseTraceBinary(Data, Options);
+  return parseTraceText(Data, Options);
 }

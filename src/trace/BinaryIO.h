@@ -27,6 +27,7 @@
 #define LIMA_TRACE_BINARYIO_H
 
 #include "support/Error.h"
+#include "support/ParseLimits.h"
 #include "trace/Trace.h"
 #include <string>
 
@@ -37,15 +38,24 @@ namespace trace {
 std::string writeTraceBinary(const Trace &T);
 
 /// Parses a LIMB buffer.
-Expected<Trace> parseTraceBinary(std::string_view Data);
+///
+/// Event records whose *values* are bad (unknown kind, negative time,
+/// id out of range) keep the stream framed, so ParseMode::Lenient drops
+/// them (counted in Options.Report) and keeps going.  Failures that
+/// lose framing — truncation, varint overflow — are fatal in both
+/// modes, as are ParseLimits violations.
+Expected<Trace> parseTraceBinary(std::string_view Data,
+                                 const ParseOptions &Options = {});
 
 /// Whole-file helpers.
 Error saveTraceBinary(const Trace &T, const std::string &Path);
-Expected<Trace> loadTraceBinary(const std::string &Path);
+Expected<Trace> loadTraceBinary(const std::string &Path,
+                                const ParseOptions &Options = {});
 
 /// Loads a trace in either format, sniffing the magic: "LIMB" selects
 /// the binary parser, anything else the text parser.
-Expected<Trace> loadTraceAuto(const std::string &Path);
+Expected<Trace> loadTraceAuto(const std::string &Path,
+                              const ParseOptions &Options = {});
 
 } // namespace trace
 } // namespace lima

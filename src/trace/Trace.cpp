@@ -102,10 +102,12 @@ Error Trace::validate() const {
     for (size_t I = 0; I != Stream.size(); ++I) {
       const Event &E = Stream[I];
       if (E.Time < 0.0)
-        return makeStringError("proc %u event %zu: negative time %.9f", Proc,
-                               I, E.Time);
+        return makeCodedError(ErrorCode::ValueOutOfRange,
+                              "proc %u event %zu: negative time %.9f", Proc,
+                              I, E.Time);
       if (E.Time + 1e-12 < LastTime)
-        return makeStringError(
+        return makeCodedError(
+            ErrorCode::StructuralError,
             "proc %u event %zu: time goes backwards (%.9f after %.9f)", Proc,
             I, E.Time, LastTime);
       LastTime = std::max(LastTime, E.Time);
@@ -113,46 +115,54 @@ Error Trace::validate() const {
       switch (E.Kind) {
       case EventKind::RegionEnter:
         if (ActivityDepth != 0)
-          return makeStringError("proc %u event %zu: region enters while an "
-                                 "activity is open",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: region enters while an "
+                                "activity is open",
+                                Proc, I);
         RegionStack.push_back(E.Id);
         break;
       case EventKind::RegionExit:
         if (RegionStack.empty())
-          return makeStringError("proc %u event %zu: region exit without "
-                                 "matching enter",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: region exit without "
+                                "matching enter",
+                                Proc, I);
         if (E.Id != RegionStack.back())
-          return makeStringError("proc %u event %zu: region exit id %u does "
-                                 "not match innermost open region %u",
-                                 Proc, I, E.Id, RegionStack.back());
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: region exit id %u does "
+                                "not match innermost open region %u",
+                                Proc, I, E.Id, RegionStack.back());
         if (ActivityDepth != 0)
-          return makeStringError("proc %u event %zu: region exits while an "
-                                 "activity is open",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: region exits while an "
+                                "activity is open",
+                                Proc, I);
         RegionStack.pop_back();
         break;
       case EventKind::ActivityBegin:
         if (RegionStack.empty())
-          return makeStringError("proc %u event %zu: activity begins outside "
-                                 "any region",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: activity begins outside "
+                                "any region",
+                                Proc, I);
         if (ActivityDepth != 0)
-          return makeStringError("proc %u event %zu: overlapping activities",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: overlapping activities",
+                                Proc, I);
         ActivityDepth = 1;
         OpenActivity = E.Id;
         break;
       case EventKind::ActivityEnd:
         if (ActivityDepth != 1)
-          return makeStringError("proc %u event %zu: activity end without "
-                                 "matching begin",
-                                 Proc, I);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: activity end without "
+                                "matching begin",
+                                Proc, I);
         if (E.Id != OpenActivity)
-          return makeStringError("proc %u event %zu: activity end id %u does "
-                                 "not match open activity %u",
-                                 Proc, I, E.Id, OpenActivity);
+          return makeCodedError(ErrorCode::StructuralError,
+                                "proc %u event %zu: activity end id %u does "
+                                "not match open activity %u",
+                                Proc, I, E.Id, OpenActivity);
         ActivityDepth = 0;
         OpenActivity = InvalidId;
         break;
@@ -165,21 +175,24 @@ Error Trace::validate() const {
       }
     }
     if (!RegionStack.empty())
-      return makeStringError("proc %u: region left open at end of trace",
-                             Proc);
+      return makeCodedError(ErrorCode::StructuralError,
+                            "proc %u: region left open at end of trace",
+                            Proc);
     if (ActivityDepth != 0)
-      return makeStringError("proc %u: activity left open at end of trace",
-                             Proc);
+      return makeCodedError(ErrorCode::StructuralError,
+                            "proc %u: activity left open at end of trace",
+                            Proc);
   }
 
   for (const auto &[Key, Balance] : MessageBalance) {
     if (Balance == 0)
       continue;
     auto [From, To, Bytes] = Key;
-    return makeStringError("unmatched message %u -> %u (%llu bytes): "
-                           "balance %lld",
-                           From, To, static_cast<unsigned long long>(Bytes),
-                           static_cast<long long>(Balance));
+    return makeCodedError(ErrorCode::StructuralError,
+                          "unmatched message %u -> %u (%llu bytes): "
+                          "balance %lld",
+                          From, To, static_cast<unsigned long long>(Bytes),
+                          static_cast<long long>(Balance));
   }
   return Error::success();
 }

@@ -31,6 +31,7 @@
 #define LIMA_TRACE_TRACEIO_H
 
 #include "support/Error.h"
+#include "support/ParseLimits.h"
 #include "trace/Trace.h"
 #include <string>
 
@@ -42,13 +43,21 @@ std::string writeTraceText(const Trace &T);
 
 /// Parses the text format.  Structural validation (validate()) is not
 /// run automatically; callers decide how strict to be.
-Expected<Trace> parseTraceText(std::string_view Text);
+///
+/// Header lines (magic, 'procs', declarations) are always load-bearing:
+/// errors there are fatal in either mode.  Event lines are records: in
+/// ParseMode::Lenient a malformed event is dropped (and counted in
+/// Options.Report) instead of aborting the parse.  ParseLimits
+/// violations are fatal in both modes.
+Expected<Trace> parseTraceText(std::string_view Text,
+                               const ParseOptions &Options = {});
 
 /// Convenience: writeTraceText to a file.
 Error saveTrace(const Trace &T, const std::string &Path);
 
 /// Convenience: read and parse a trace file.
-Expected<Trace> loadTrace(const std::string &Path);
+Expected<Trace> loadTrace(const std::string &Path,
+                          const ParseOptions &Options = {});
 
 } // namespace trace
 } // namespace lima
