@@ -16,7 +16,9 @@
 // [{"name": ..., "threads": N, "events": E, "wall_ms": W,
 //   "speedup": S}, ...] where speedup is wall_serial / wall at the same
 // workload (1.0 for serial entries), plus a "telemetry" object with the
-// runtime-enabled overhead of the self-instrumentation layer and a
+// runtime-enabled overhead of the self-instrumentation layer, a
+// "metrics" object with the enabled-vs-disabled cost of the metrics
+// registry (pipeline wall time plus per-count nanoseconds), and a
 // "parse" object comparing strict against lenient trace parsing (the
 // input-hardening rent, text and binary).  Every parallel result is
 // checked bit-identical to its serial twin before a line is emitted.
@@ -31,6 +33,7 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
 #include "support/ParseLimits.h"
@@ -288,6 +291,48 @@ int main(int Argc, char **Argv) {
      << formatFixed(TelemetryOnMs, 2) << " ms (" << TelemetryEvents
      << " events, " << formatFixed(OverheadPct, 1) << "% overhead)\n";
 
+  // --- Metrics overhead ------------------------------------------------
+  // Same interleaved protocol for the metrics registry: the pipeline is
+  // instrumented with LIMA_METRIC_COUNT/GAUGE sites that check one
+  // relaxed atomic when disabled and touch a sharded counter when
+  // enabled.  Target: under 2% enabled, unmeasurable disabled.
+  metrics::resetAll();
+  double MetricsOffMs = 0.0, MetricsOnMs = 0.0;
+  for (unsigned R = 0; R != Reps; ++R) {
+    double OffMs = timeMs(1, pipelineOnce);
+    metrics::setEnabled(true);
+    double OnMs = timeMs(1, pipelineOnce);
+    metrics::setEnabled(false);
+    if (R == 0 || OffMs < MetricsOffMs)
+      MetricsOffMs = OffMs;
+    if (R == 0 || OnMs < MetricsOnMs)
+      MetricsOnMs = OnMs;
+  }
+  double MetricsOverheadPct =
+      MetricsOffMs > 0.0
+          ? (MetricsOnMs - MetricsOffMs) / MetricsOffMs * 100.0
+          : 0.0;
+
+  // Microbenchmark the per-site cost in both states.
+  constexpr uint64_t MicroIters = 2000000;
+  auto microNs = [&] {
+    double Ms = timeMs(Reps, [&] {
+      for (uint64_t I = 0; I != MicroIters; ++I)
+        LIMA_METRIC_COUNT("bench.metrics.micro", 1);
+    });
+    return Ms * 1e6 / static_cast<double>(MicroIters);
+  };
+  double CountNsDisabled = microNs();
+  metrics::setEnabled(true);
+  double CountNsEnabled = microNs();
+  metrics::setEnabled(false);
+  metrics::resetAll();
+  OS << "metrics:   off " << formatFixed(MetricsOffMs, 2) << " ms, on "
+     << formatFixed(MetricsOnMs, 2) << " ms ("
+     << formatFixed(MetricsOverheadPct, 1) << "% overhead); per count "
+     << formatFixed(CountNsDisabled, 1) << " ns disabled, "
+     << formatFixed(CountNsEnabled, 1) << " ns enabled\n";
+
   // --- Parse overhead: strict vs lenient -------------------------------
   // Lenient parsing pays per-record bookkeeping (the drop check and the
   // report counters) even on clean inputs; keep that rent visible for
@@ -333,7 +378,16 @@ int main(int Argc, char **Argv) {
            ", \"disabled_wall_ms\": " + formatFixed(TelemetryOffMs, 3) +
            ", \"enabled_wall_ms\": " + formatFixed(TelemetryOnMs, 3) +
            ", \"events\": " + std::to_string(TelemetryEvents) +
-           ", \"overhead_pct\": " + formatFixed(OverheadPct, 2) + "}"}};
+           ", \"overhead_pct\": " + formatFixed(OverheadPct, 2) + "}"},
+      {"metrics",
+       std::string("{\"compiled\": ") +
+           (LIMA_TELEMETRY ? "true" : "false") +
+           ", \"disabled_wall_ms\": " + formatFixed(MetricsOffMs, 3) +
+           ", \"enabled_wall_ms\": " + formatFixed(MetricsOnMs, 3) +
+           ", \"overhead_pct\": " + formatFixed(MetricsOverheadPct, 2) +
+           ", \"count_ns_disabled\": " + formatFixed(CountNsDisabled, 2) +
+           ", \"count_ns_enabled\": " + formatFixed(CountNsEnabled, 2) +
+           "}"}};
 
   std::string Path = Parser.getString("out");
   ExitOnErr(writeFile(

@@ -26,6 +26,9 @@
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
+#include "support/Log.h"
+#include "support/Metrics.h"
+#include "support/MetricsExport.h"
 #include "support/raw_ostream.h"
 #include "support/FileUtils.h"
 #include "support/StringUtils.h"
@@ -103,7 +106,16 @@ int main(int Argc, char **Argv) {
                    "write a Chrome trace-event JSON of this run here "
                    "(chrome://tracing, Perfetto)",
                    "");
+  Parser.addOption("metrics-out",
+                   "record pipeline metrics and write them here in "
+                   "Prometheus text exposition format",
+                   "");
+  logging::addFlags(Parser);
   ExitOnErr(Parser.parse(Argc, Argv));
+
+  ExitOnErr(logging::configureFromFlags(Parser, Parser.getFlag("quiet")));
+  if (!Parser.getString("metrics-out").empty())
+    metrics::setEnabled(true);
 
   bool SelfProfile = Parser.getFlag("self-profile") ||
                      !Parser.getString("self-profile-json").empty() ||
@@ -149,9 +161,19 @@ int main(int Argc, char **Argv) {
   Reduction.Report = Parse.Report;
   core::MeasurementCube Cube = ExitOnErr(core::reduceTrace(Trace, Reduction));
 
-  // The lenient receipt goes to stderr so piped table output stays clean.
-  if (Lenient)
-    errs() << "parse report: " << Report.summary() << '\n';
+  // The lenient receipt goes through the log layer (stderr by default),
+  // so piped table output stays clean and --quiet / --log-json apply.
+  if (Lenient) {
+    std::vector<logging::Field> Fields = {
+        logging::field("total", Report.TotalRecords),
+        logging::field("dropped", Report.DroppedRecords)};
+    if (Report.anyDropped()) {
+      Fields.push_back(logging::field("detail", Report.summary()));
+      logging::warn("parse report", std::move(Fields));
+    } else {
+      logging::info("parse report", std::move(Fields));
+    }
+  }
 
   core::AnalysisOptions Options;
   Options.Views.Kind = ExitOnErr(parseKind(Parser.getString("index")));
@@ -304,6 +326,12 @@ int main(int Argc, char **Argv) {
            << Parser.getString("self-profile-json") << '\n';
     }
   }
+  if (!Parser.getString("metrics-out").empty()) {
+    ExitOnErr(metrics::writeMetricsFile(Parser.getString("metrics-out")));
+    if (!Quiet)
+      OS << "metrics written to " << Parser.getString("metrics-out") << '\n';
+  }
+
   OS.flush();
   return 0;
 }

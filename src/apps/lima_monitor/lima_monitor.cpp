@@ -1,0 +1,332 @@
+//===- apps/lima_monitor/lima_monitor.cpp - live imbalance monitor --------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tails a LIMATRACE text stream — a file being appended to, or stdin —
+// and turns the paper's post-mortem methodology into a rolling health
+// signal: the event stream is cut into fixed-width time windows, each
+// window's measurement cube is reduced incrementally, and the
+// per-window dispersion indices (SID_C per region, SID_A per activity,
+// ID_P per processor) are logged as they complete.  Regions whose
+// scaled index crosses --alert-threshold raise warnings, and the whole
+// run exports its metrics in Prometheus text exposition format
+// (--metrics-out, or SIGUSR1 for an on-demand dump).
+//
+//   lima_monitor run.trace --window 0.5 --follow
+//   cfd_sim | lima_monitor - --window 1 --log-json --metrics-out m.prom
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WindowedAnalysis.h"
+#include "stats/Dispersion.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Log.h"
+#include "support/Metrics.h"
+#include "support/MetricsExport.h"
+#include "support/Version.h"
+#include "support/raw_ostream.h"
+#include "trace/StreamParser.h"
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <optional>
+#include <thread>
+#include <unistd.h>
+
+using namespace lima;
+
+namespace {
+
+volatile std::sig_atomic_t DumpRequested = 0;
+
+void onSigUsr1(int) { DumpRequested = 1; }
+
+struct MonitorOptions {
+  double AlertThreshold = 0.0; ///< 0 disables alerting.
+  bool PerRegion = false;
+  std::string MetricsOut;
+};
+
+/// Emits one completed window: a structured log record, per-region
+/// gauge updates and alert checks.
+void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
+  metrics::counter("lima.monitor.windows_total").add(1);
+
+  if (W.Empty) {
+    logging::debug("window empty", {logging::field("window", W.Index),
+                                    logging::field("start", W.StartTime),
+                                    logging::field("end", W.EndTime)});
+    return;
+  }
+
+  size_t TopRegion = W.Regions.MostImbalancedScaled;
+  size_t TopActivity = W.Activities.MostImbalancedScaled;
+  logging::info(
+      "window",
+      {logging::field("window", W.Index),
+       logging::field("start", W.StartTime),
+       logging::field("end", W.EndTime),
+       logging::field("events", W.Events),
+       logging::field("top_region", W.Cube.regionName(TopRegion)),
+       logging::field("sid_c", W.Regions.ScaledIndex[TopRegion]),
+       logging::field("top_activity", W.Cube.activityName(TopActivity)),
+       logging::field("sid_a", W.Activities.ScaledIndex[TopActivity]),
+       logging::field("most_imbalanced_proc",
+                      W.Processors.MostFrequentlyImbalanced)});
+
+  for (size_t I = 0; I != W.Regions.ScaledIndex.size(); ++I) {
+    double SidC = W.Regions.ScaledIndex[I];
+    metrics::gauge("lima.window.sid_c{region=\"" + W.Cube.regionName(I) +
+                   "\"}")
+        .set(SidC);
+    if (Opts.PerRegion)
+      logging::info("region", {logging::field("window", W.Index),
+                               logging::field("region", W.Cube.regionName(I)),
+                               logging::field("id_c", W.Regions.Index[I]),
+                               logging::field("sid_c", SidC)});
+    if (Opts.AlertThreshold > 0.0 && SidC > Opts.AlertThreshold) {
+      metrics::counter("lima.monitor.alerts_total").add(1);
+      logging::warn("imbalance alert",
+                    {logging::field("window", W.Index),
+                     logging::field("region", W.Cube.regionName(I)),
+                     logging::field("sid_c", SidC),
+                     logging::field("threshold", Opts.AlertThreshold)});
+    }
+  }
+  for (size_t J = 0; J != W.Activities.ScaledIndex.size(); ++J)
+    metrics::gauge("lima.window.sid_a{activity=\"" + W.Cube.activityName(J) +
+                   "\"}")
+        .set(W.Activities.ScaledIndex[J]);
+}
+
+void dumpMetrics(const MonitorOptions &Opts) {
+  if (Opts.MetricsOut.empty()) {
+    errs() << metrics::writePrometheusText();
+    errs().flush();
+    return;
+  }
+  if (auto Err = metrics::writeMetricsFile(Opts.MetricsOut))
+    logging::error("metrics write failed",
+                   {logging::field("path", Opts.MetricsOut),
+                    logging::field("error", Err.message())});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ExitOnError ExitOnErr("lima_monitor: ");
+
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], "--version") == 0) {
+      outs() << "lima_monitor " << versionString() << '\n';
+      outs().flush();
+      return 0;
+    }
+
+  ArgParser Parser("lima_monitor",
+                   "tails a LIMATRACE stream and reports per-window "
+                   "imbalance indices live");
+  Parser.addPositional("trace", "path to the trace file, or '-' for stdin");
+  Parser.addOption("window", "window width in seconds", "1.0");
+  Parser.addOption("index",
+                   "dispersion index: euclidean, variance, cv, mad, max, "
+                   "range, gini",
+                   "euclidean");
+  Parser.addFlag("follow",
+                 "keep tailing the file after EOF (stdin always streams)");
+  Parser.addOption("interval-ms", "poll cadence while following", "200");
+  Parser.addOption("idle-exit-ms",
+                   "with --follow: finish after this long without new "
+                   "data (0 = follow forever)",
+                   "0");
+  Parser.addOption("alert-threshold",
+                   "warn when a region's per-window SID_C exceeds this "
+                   "(0 = no alerting)",
+                   "0");
+  Parser.addFlag("per-region", "log every region's indices per window");
+  Parser.addOption("metrics-out",
+                   "write Prometheus text exposition here on exit (and on "
+                   "SIGUSR1); without it SIGUSR1 dumps to stderr",
+                   "");
+  Parser.addOption("min-windows",
+                   "exit nonzero unless at least this many windows were "
+                   "emitted (smoke tests)",
+                   "0");
+  Parser.addFlag("strict",
+                 "abort on the first malformed trace record (default)");
+  Parser.addFlag("lenient",
+                 "skip malformed trace records and report what was dropped");
+  Parser.addFlag("quiet", "only errors (same as --log-level error)");
+  Parser.addFlag("version", "print the version and exit");
+  logging::addFlags(Parser);
+  ExitOnErr(Parser.parse(Argc, Argv));
+
+  // Window reports go to stdout — they are the tool's product; the
+  // default stderr sink stays for nothing (errors go through ExitOnErr).
+  // Repeat suppression is off for the same reason: every window record
+  // matters, even though the message text repeats.
+  logging::setSink(&outs());
+  logging::setRepeatWindowMs(0);
+  ExitOnErr(logging::configureFromFlags(Parser, Parser.getFlag("quiet")));
+  metrics::setEnabled(true);
+
+  if (Parser.getFlag("strict") && Parser.getFlag("lenient"))
+    ExitOnErr(makeStringError("--strict and --lenient are mutually "
+                              "exclusive"));
+
+  double WindowSeconds = Parser.getDouble("window");
+  if (!(WindowSeconds > 0.0))
+    ExitOnErr(makeStringError("--window must be positive"));
+
+  stats::DispersionKind Kind = stats::DispersionKind::Euclidean;
+  {
+    bool Known = false;
+    for (stats::DispersionKind K : stats::AllDispersionKinds)
+      if (stats::dispersionKindName(K) == Parser.getString("index")) {
+        Kind = K;
+        Known = true;
+      }
+    if (!Known)
+      ExitOnErr(makeStringError("unknown dispersion index '%s'",
+                                Parser.getString("index").c_str()));
+  }
+
+  MonitorOptions Monitor;
+  Monitor.AlertThreshold = Parser.getDouble("alert-threshold");
+  Monitor.PerRegion = Parser.getFlag("per-region");
+  Monitor.MetricsOut = Parser.getString("metrics-out");
+
+  bool Lenient = Parser.getFlag("lenient");
+  ParseReport Report;
+  ParseOptions Parse;
+  Parse.Mode = Lenient ? ParseMode::Lenient : ParseMode::Strict;
+  Parse.Report = Lenient ? &Report : nullptr;
+
+  const std::string &Path = Parser.getPositionals()[0];
+  bool Stdin = Path == "-";
+  bool Follow = Parser.getFlag("follow") || Stdin;
+  uint64_t IntervalMs = Parser.getUnsigned("interval-ms");
+  uint64_t IdleExitMs = Parser.getUnsigned("idle-exit-ms");
+
+  int Fd = 0;
+  if (!Stdin) {
+    Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0)
+      ExitOnErr(makeStringError("cannot open '%s': %s", Path.c_str(),
+                                std::strerror(errno)));
+  }
+  std::signal(SIGUSR1, onSigUsr1);
+
+  trace::StreamParser Stream(Parse);
+  std::optional<core::WindowedAnalyzer> Analyzer;
+  core::WindowedOptions WOpts;
+  WOpts.WindowSeconds = WindowSeconds;
+  WOpts.Views.Kind = Kind;
+  WOpts.Mode = Parse.Mode;
+  WOpts.Report = Parse.Report;
+
+  uint64_t WindowsEmitted = 0;
+  std::vector<trace::Event> Events;
+
+  auto consumeEvents = [&]() {
+    for (const trace::Event &E : Events) {
+      if (!Analyzer) {
+        // First event: the header tables are complete (declarations
+        // precede events in the format), size the analyzer from them.
+        if (Stream.regionNames().empty() || Stream.activityNames().empty())
+          ExitOnErr(makeStringError("trace declares no regions or "
+                                    "activities; nothing to monitor"));
+        Analyzer.emplace(Stream.regionNames(), Stream.activityNames(),
+                         Stream.numProcs(), WOpts);
+      }
+      ExitOnErr(Analyzer->addEvent(E));
+      metrics::counter("lima.monitor.events_total").add(1);
+    }
+    Events.clear();
+    if (!Analyzer)
+      return;
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<core::WindowResult> Done = Analyzer->drainCompleted();
+    for (const core::WindowResult &W : Done) {
+      reportWindow(W, Monitor);
+      ++WindowsEmitted;
+    }
+    if (!Done.empty()) {
+      double Sec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+      metrics::histogram("lima.monitor.drain_seconds",
+                         metrics::Histogram::exponentialBounds(1e-6, 10.0, 8))
+          .observe(Sec);
+    }
+    metrics::gauge("lima.monitor.watermark_seconds")
+        .set(Analyzer->watermark());
+  };
+
+  char Buf[1 << 16];
+  uint64_t IdleMs = 0;
+  for (;;) {
+    if (DumpRequested) {
+      DumpRequested = 0;
+      dumpMetrics(Monitor);
+    }
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ExitOnErr(makeStringError("read failed: %s", std::strerror(errno)));
+    }
+    if (N == 0) {
+      // EOF.  A pipe's EOF is final; a followed file may grow.
+      if (!Follow || Stdin)
+        break;
+      if (IdleExitMs != 0 && IdleMs >= IdleExitMs)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+      IdleMs += IntervalMs;
+      continue;
+    }
+    IdleMs = 0;
+    ExitOnErr(Stream.feed(std::string_view(Buf, static_cast<size_t>(N)),
+                          Events));
+    consumeEvents();
+    outs().flush();
+  }
+
+  ExitOnErr(Stream.finish(Events));
+  consumeEvents();
+  if (Analyzer)
+    for (const core::WindowResult &W : Analyzer->finish()) {
+      reportWindow(W, Monitor);
+      ++WindowsEmitted;
+    }
+  if (!Stdin)
+    ::close(Fd);
+
+  if (Lenient && Report.anyDropped())
+    logging::warn("parse report",
+                  {logging::field("dropped", Report.DroppedRecords),
+                   logging::field("total", Report.TotalRecords)});
+
+  logging::info("stream complete",
+                {logging::field("windows", WindowsEmitted),
+                 logging::field("events", Stream.eventsParsed()),
+                 logging::field("span",
+                                Analyzer ? Analyzer->spanEnd() : 0.0)});
+  outs().flush();
+
+  if (!Monitor.MetricsOut.empty())
+    dumpMetrics(Monitor);
+
+  uint64_t MinWindows = Parser.getUnsigned("min-windows");
+  if (WindowsEmitted < MinWindows)
+    ExitOnErr(makeStringError("emitted %llu windows, expected at least %llu",
+                              static_cast<unsigned long long>(WindowsEmitted),
+                              static_cast<unsigned long long>(MinWindows)));
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "cluster/KMeans.h"
 #include "cluster/Distance.h"
 #include "support/Compiler.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
 #include "support/Telemetry.h"
@@ -167,6 +168,7 @@ KMeansResult runOnce(const Matrix &Points, const KMeansOptions &Options,
   for (; Iter != Options.MaxIterations; ++Iter) {
     LIMA_SPAN("kmeans.iteration");
     LIMA_COUNTER_ADD("kmeans.iterations", 1);
+    LIMA_METRIC_COUNT("lima.kmeans.iterations_total", 1);
     std::fill(ChangedSlot.begin(), ChangedSlot.end(), 0);
     parallelFor(Points.size(), Options.Threads, [&](size_t P) {
       size_t Nearest = nearestCentroid(Points[P], Centroids);

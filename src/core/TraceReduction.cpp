@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TraceReduction.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Telemetry.h"
 #include <algorithm>
@@ -152,6 +153,7 @@ Expected<MeasurementCube> core::reduceTrace(const trace::Trace &T,
   parallelFor(T.numProcs(), Options.Threads, [&](size_t Proc) {
     LIMA_SPAN("reduce.shard");
     LIMA_COUNTER_ADD("reduce.events", T.events(Proc).size());
+    LIMA_METRIC_COUNT("lima.reduce.events_total", T.events(Proc).size());
     Failed[Proc] = !foldProcessor(T, static_cast<unsigned>(Proc), Options,
                                   Cube, Spans[Proc], Reports[Proc],
                                   Errors[Proc]);

@@ -6,6 +6,7 @@
 
 #include "stats/Bootstrap.h"
 #include "stats/Descriptive.h"
+#include "support/Metrics.h"
 #include "support/Parallel.h"
 #include "support/Telemetry.h"
 #include "support/RNG.h"
@@ -37,6 +38,8 @@ BootstrapInterval stats::bootstrapCI(
                  [&](size_t, size_t Begin, size_t End) {
                    LIMA_SPAN("bootstrap.batch");
                    LIMA_COUNTER_ADD("bootstrap.resamples", End - Begin);
+                   LIMA_METRIC_COUNT("lima.bootstrap.resamples_total",
+                                     End - Begin);
                    std::vector<double> Resampled(Values.size());
                    for (size_t R = Begin; R != End; ++R) {
                      RNG Rng(splitSeed(Options.Seed, R));

@@ -1,0 +1,277 @@
+//===- support/Log.cpp - Leveled structured logging -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/raw_ostream.h"
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+using namespace lima;
+using namespace lima::logging;
+
+namespace {
+
+/// Emission state behind one mutex: the sink, the JSON switch and the
+/// repeat-suppression table.  The level lives outside as an atomic so
+/// the disabled path never takes the lock.
+struct LoggerState {
+  std::mutex Mutex;
+  raw_ostream *Sink = nullptr; // nullptr = errs()
+  bool Json = false;
+  uint64_t RepeatWindowMs = 1000;
+
+  /// Suppression record per (level, message) key.
+  struct Repeat {
+    std::chrono::steady_clock::time_point LastEmit;
+    uint64_t Suppressed = 0;
+  };
+  std::unordered_map<std::string, Repeat> Repeats;
+};
+
+LoggerState &state() {
+  static LoggerState S;
+  return S;
+}
+
+std::atomic<uint8_t> CurrentLevel{static_cast<uint8_t>(Level::Info)};
+
+void appendJsonEscaped(std::string &Out, std::string_view Str) {
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Renders one record in the active format.  Caller holds the mutex.
+std::string render(const LoggerState &S, Level L, std::string_view Msg,
+                   const std::vector<Field> &Fields) {
+  std::string Out;
+  if (S.Json) {
+    Out += "{\"level\":\"";
+    Out += levelName(L);
+    Out += "\",\"msg\":\"";
+    appendJsonEscaped(Out, Msg);
+    Out += '"';
+    for (const Field &F : Fields) {
+      Out += ",\"";
+      appendJsonEscaped(Out, F.Key);
+      Out += "\":";
+      if (F.IsNumber) {
+        Out += F.Value;
+      } else {
+        Out += '"';
+        appendJsonEscaped(Out, F.Value);
+        Out += '"';
+      }
+    }
+    Out += "}\n";
+    return Out;
+  }
+  Out += '[';
+  Out += levelName(L);
+  Out += "] ";
+  Out += Msg;
+  for (const Field &F : Fields) {
+    Out += ' ';
+    Out += F.Key;
+    Out += '=';
+    // Quote strings containing whitespace so fields stay splittable.
+    bool NeedQuote = !F.IsNumber &&
+                     F.Value.find_first_of(" \t\n\"") != std::string::npos;
+    if (NeedQuote) {
+      Out += '"';
+      for (char C : F.Value)
+        if (C == '"')
+          Out += "\\\"";
+        else
+          Out += C;
+      Out += '"';
+    } else {
+      Out += F.Value;
+    }
+  }
+  Out += '\n';
+  return Out;
+}
+
+} // namespace
+
+std::string_view logging::levelName(Level L) {
+  switch (L) {
+  case Level::Debug:
+    return "debug";
+  case Level::Info:
+    return "info";
+  case Level::Warn:
+    return "warn";
+  case Level::Error:
+    return "error";
+  case Level::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+Expected<Level> logging::parseLevel(std::string_view Name) {
+  for (Level L : {Level::Debug, Level::Info, Level::Warn, Level::Error,
+                  Level::Off})
+    if (levelName(L) == Name)
+      return L;
+  return makeStringError("unknown log level '%.*s' (expected debug, info, "
+                         "warn, error or off)",
+                         static_cast<int>(Name.size()), Name.data());
+}
+
+void logging::setLevel(Level L) {
+  CurrentLevel.store(static_cast<uint8_t>(L), std::memory_order_relaxed);
+}
+
+Level logging::level() {
+  return static_cast<Level>(CurrentLevel.load(std::memory_order_relaxed));
+}
+
+bool logging::enabled(Level L) {
+  return static_cast<uint8_t>(L) >=
+         CurrentLevel.load(std::memory_order_relaxed);
+}
+
+void logging::setJson(bool On) {
+  std::lock_guard<std::mutex> Lock(state().Mutex);
+  state().Json = On;
+}
+
+bool logging::json() {
+  std::lock_guard<std::mutex> Lock(state().Mutex);
+  return state().Json;
+}
+
+void logging::setSink(raw_ostream *OS) {
+  std::lock_guard<std::mutex> Lock(state().Mutex);
+  state().Sink = OS;
+}
+
+void logging::setRepeatWindowMs(uint64_t Ms) {
+  std::lock_guard<std::mutex> Lock(state().Mutex);
+  state().RepeatWindowMs = Ms;
+}
+
+void logging::resetForTest() {
+  setLevel(Level::Info);
+  LoggerState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Json = false;
+  S.Sink = nullptr;
+  S.RepeatWindowMs = 1000;
+  S.Repeats.clear();
+}
+
+Field logging::field(std::string_view Key, std::string_view Value) {
+  return {std::string(Key), std::string(Value), false};
+}
+
+Field logging::field(std::string_view Key, const char *Value) {
+  return {std::string(Key), std::string(Value), false};
+}
+
+Field logging::field(std::string_view Key, double Value) {
+  return {std::string(Key), formatGeneral(Value), true};
+}
+
+Field logging::field(std::string_view Key, uint64_t Value) {
+  return {std::string(Key), std::to_string(Value), true};
+}
+
+Field logging::field(std::string_view Key, int64_t Value) {
+  return {std::string(Key), std::to_string(Value), true};
+}
+
+void logging::log(Level L, std::string_view Msg, std::vector<Field> Fields) {
+  if (!enabled(L) || L == Level::Off)
+    return;
+  LoggerState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+
+  // Repeat suppression: identical (level, message) pairs inside the
+  // window are counted instead of emitted; the count surfaces on the
+  // next emission as a "repeats" field.  Fields are deliberately not
+  // part of the key — a repeating diagnosis usually varies its fields
+  // (line numbers, counts) while the message stays constant.
+  if (S.RepeatWindowMs != 0) {
+    std::string Key = std::to_string(static_cast<int>(L)) + "\x1f" +
+                      std::string(Msg);
+    auto Now = std::chrono::steady_clock::now();
+    auto [It, Fresh] = S.Repeats.try_emplace(Key);
+    if (!Fresh) {
+      uint64_t SinceMs =
+          static_cast<uint64_t>(std::chrono::duration_cast<
+                                    std::chrono::milliseconds>(
+                                    Now - It->second.LastEmit)
+                                    .count());
+      if (SinceMs < S.RepeatWindowMs) {
+        ++It->second.Suppressed;
+        return;
+      }
+      if (It->second.Suppressed != 0) {
+        Fields.push_back(field("repeats", It->second.Suppressed));
+        It->second.Suppressed = 0;
+      }
+    }
+    It->second.LastEmit = Now;
+  }
+
+  raw_ostream &OS = S.Sink ? *S.Sink : errs();
+  OS << render(S, L, Msg, Fields);
+  OS.flush();
+}
+
+void logging::addFlags(ArgParser &Parser) {
+  Parser.addOption("log-level",
+                   "log threshold: debug, info, warn, error or off",
+                   "info");
+  Parser.addFlag("log-json",
+                 "emit log records as newline-delimited JSON");
+}
+
+Error logging::configureFromFlags(const ArgParser &Parser, bool Quiet) {
+  auto LevelOrErr = parseLevel(Parser.getString("log-level"));
+  if (!LevelOrErr)
+    return LevelOrErr.takeError();
+  Level L = *LevelOrErr;
+  // --quiet wins over --log-level: it means "errors only", matching its
+  // suppression of the table output.
+  if (Quiet && L < Level::Error)
+    L = Level::Error;
+  setLevel(L);
+  setJson(Parser.getFlag("log-json"));
+  return Error::success();
+}

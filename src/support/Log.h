@@ -1,0 +1,143 @@
+//===- support/Log.h - Leveled structured logging ---------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LIMA's structured logging layer: leveled messages carrying typed
+/// key/value fields, rendered either as human-readable text or as
+/// newline-delimited JSON (one object per line, ready for `jq` or a log
+/// shipper).  This is the second half of the observability story next to
+/// support/Metrics.h: metrics aggregate, logs narrate.
+///
+/// Design contract:
+///
+///  - One process-wide logger.  Emission is serialized by a mutex, so
+///    lines from concurrent threads never interleave mid-record.
+///    Logging is NOT a hot-path facility — hot paths use metrics; log
+///    call sites fire at most a few times per window/file/run.
+///  - Severity gate first: a call below the configured level costs one
+///    relaxed atomic load and never formats its fields.
+///  - Rate-limited repeats: an identical (level, message) pair emitted
+///    again within the repeat window is suppressed and counted; the next
+///    emission outside the window carries a "repeats" field with the
+///    suppressed count.  This keeps a misbehaving input from turning one
+///    diagnosis into a million identical lines.
+///  - The sink defaults to stderr; tools may redirect (lima_monitor logs
+///    windows to stdout, tests capture into a string).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_LOG_H
+#define LIMA_SUPPORT_LOG_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+
+class ArgParser;
+class raw_ostream;
+
+namespace logging {
+
+/// Severity levels, ordered; Off disables everything.
+enum class Level : uint8_t { Debug = 0, Info, Warn, Error, Off };
+
+/// Stable lower-case name ("debug", "info", "warn", "error", "off").
+std::string_view levelName(Level L);
+
+/// Parses a level name; fails with a helpful message on anything else.
+Expected<Level> parseLevel(std::string_view Name);
+
+/// Sets / reads the emission threshold (default Info).
+void setLevel(Level L);
+Level level();
+
+/// True when a message at \p L would be emitted.  One relaxed load.
+bool enabled(Level L);
+
+/// Selects newline-delimited JSON output instead of human text.
+void setJson(bool On);
+bool json();
+
+/// Redirects emission; nullptr restores the default (stderr).  The
+/// stream must outlive all logging or the next setSink call.
+void setSink(raw_ostream *OS);
+
+/// Sets the repeat-suppression window in milliseconds (default 1000).
+/// 0 disables suppression entirely (every call emits) — tests use this
+/// for determinism.
+void setRepeatWindowMs(uint64_t Ms);
+
+/// Restores defaults (level Info, text output, stderr sink, 1000 ms
+/// repeat window) and clears the repeat-suppression table.
+void resetForTest();
+
+/// One typed key/value pair attached to a message.  Numbers render
+/// unquoted in JSON; strings are escaped and quoted.
+struct Field {
+  std::string Key;
+  std::string Value;
+  bool IsNumber = false;
+};
+
+/// Builds a string-valued field.
+Field field(std::string_view Key, std::string_view Value);
+Field field(std::string_view Key, const char *Value);
+/// Builds numeric fields.  Doubles use shortest round-trip formatting.
+Field field(std::string_view Key, double Value);
+Field field(std::string_view Key, uint64_t Value);
+Field field(std::string_view Key, int64_t Value);
+inline Field field(std::string_view Key, int Value) {
+  return field(Key, static_cast<int64_t>(Value));
+}
+inline Field field(std::string_view Key, unsigned Value) {
+  return field(Key, static_cast<uint64_t>(Value));
+}
+
+/// Emits one record.  Below-threshold calls return immediately.
+void log(Level L, std::string_view Msg, std::vector<Field> Fields = {});
+
+inline void debug(std::string_view Msg, std::vector<Field> Fields = {}) {
+  if (enabled(Level::Debug))
+    log(Level::Debug, Msg, std::move(Fields));
+}
+inline void info(std::string_view Msg, std::vector<Field> Fields = {}) {
+  if (enabled(Level::Info))
+    log(Level::Info, Msg, std::move(Fields));
+}
+inline void warn(std::string_view Msg, std::vector<Field> Fields = {}) {
+  if (enabled(Level::Warn))
+    log(Level::Warn, Msg, std::move(Fields));
+}
+inline void error(std::string_view Msg, std::vector<Field> Fields = {}) {
+  if (enabled(Level::Error))
+    log(Level::Error, Msg, std::move(Fields));
+}
+
+//===----------------------------------------------------------------------===//
+// Command-line integration
+//===----------------------------------------------------------------------===//
+
+/// Registers the shared logging options on \p Parser:
+///   --log-level {debug,info,warn,error}   (default "info")
+///   --log-json                            (newline-delimited JSON)
+/// Used by lima_analyze and lima_monitor so the flags mean the same
+/// thing everywhere.
+void addFlags(ArgParser &Parser);
+
+/// Applies the flags registered by addFlags after Parser.parse().
+/// \p Quiet (the tool's own --quiet flag) raises the threshold to
+/// Error so routine output is suppressed consistently with tables.
+/// Fails on an unrecognized --log-level value.
+Error configureFromFlags(const ArgParser &Parser, bool Quiet = false);
+
+} // namespace logging
+} // namespace lima
+
+#endif // LIMA_SUPPORT_LOG_H

@@ -1,0 +1,212 @@
+//===- support/Metrics.cpp - Process-wide metrics registry ----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace lima;
+using namespace lima::metrics;
+
+std::atomic<bool> metrics::detail::Enabled{false};
+
+void metrics::setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+unsigned metrics::detail::threadShard() {
+  static std::atomic<unsigned> Next{0};
+  // Round-robin shard assignment on first use per thread: spreads any
+  // set of concurrently-live threads across shards without hashing.
+  static thread_local unsigned Shard =
+      Next.fetch_add(1, std::memory_order_relaxed) % NumShards;
+  return Shard;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::string Name, std::vector<double> UpperBounds)
+    : Name_(std::move(Name)), UpperBounds_(std::move(UpperBounds)) {
+  assert(!UpperBounds_.empty() && "histogram needs at least one bound");
+  assert(std::is_sorted(UpperBounds_.begin(), UpperBounds_.end()) &&
+         "histogram bounds must be increasing");
+  for (ShardData &S : Shards_)
+    S.Counts = std::vector<std::atomic<uint64_t>>(UpperBounds_.size() + 1);
+}
+
+void Histogram::observeShard(double V, unsigned Shard) {
+  // First bucket whose upper bound covers the value ("le" semantics);
+  // everything above the last bound lands in the overflow slot.
+  size_t Bucket = static_cast<size_t>(
+      std::lower_bound(UpperBounds_.begin(), UpperBounds_.end(), V) -
+      UpperBounds_.begin());
+  ShardData &S = Shards_[Shard % NumShards];
+  S.Counts[Bucket].fetch_add(1, std::memory_order_relaxed);
+  double Cur = S.Sum.load(std::memory_order_relaxed);
+  while (!S.Sum.compare_exchange_weak(Cur, Cur + V,
+                                      std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot Snap;
+  Snap.UpperBounds = UpperBounds_;
+  Snap.Counts.assign(UpperBounds_.size() + 1, 0);
+  for (const ShardData &S : Shards_) {
+    for (size_t I = 0; I != S.Counts.size(); ++I)
+      Snap.Counts[I] += S.Counts[I].load(std::memory_order_relaxed);
+    Snap.Sum += S.Sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t C : Snap.Counts)
+    Snap.Count += C;
+  return Snap;
+}
+
+double Histogram::Snapshot::quantile(double Q) const {
+  if (Count == 0 || UpperBounds.empty())
+    return 0.0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  double Rank = Q * static_cast<double>(Count);
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I != Counts.size(); ++I) {
+    uint64_t InBucket = Counts[I];
+    if (static_cast<double>(Cumulative + InBucket) < Rank || InBucket == 0) {
+      Cumulative += InBucket;
+      continue;
+    }
+    // Overflow bucket: no finite upper edge, clamp to the last bound.
+    if (I == UpperBounds.size())
+      return UpperBounds.back();
+    double Lo = I == 0 ? 0.0 : UpperBounds[I - 1];
+    double Hi = UpperBounds[I];
+    // Linear interpolation inside the bucket — the histogram_quantile
+    // estimator, so local readings match what Prometheus computes from
+    // the exported buckets.
+    return Lo + (Hi - Lo) * (Rank - static_cast<double>(Cumulative)) /
+                    static_cast<double>(InBucket);
+  }
+  return UpperBounds.back();
+}
+
+void Histogram::zero() {
+  for (ShardData &S : Shards_) {
+    for (std::atomic<uint64_t> &C : S.Counts)
+      C.store(0, std::memory_order_relaxed);
+    S.Sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::exponentialBounds(double Start, double Factor,
+                                                 unsigned N) {
+  assert(Start > 0.0 && Factor > 1.0 && N > 0 &&
+         "exponential bounds need positive start and factor > 1");
+  std::vector<double> Bounds;
+  Bounds.reserve(N);
+  double B = Start;
+  for (unsigned I = 0; I != N; ++I, B *= Factor)
+    Bounds.push_back(B);
+  return Bounds;
+}
+
+std::vector<double> Histogram::linearBounds(double Start, double Step,
+                                            unsigned N) {
+  assert(Step > 0.0 && N > 0 && "linear bounds need a positive step");
+  std::vector<double> Bounds;
+  Bounds.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Bounds.push_back(Start + Step * static_cast<double>(I));
+  return Bounds;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The process-wide registry.  std::map keeps iteration (and therefore
+/// every snapshot and exposition) sorted by name; unique_ptr keeps
+/// references stable across rehash-free growth.
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+Counter &metrics::counter(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Counters.find(Name);
+  if (It == R.Counters.end())
+    It = R.Counters
+             .emplace(std::string(Name),
+                      std::make_unique<Counter>(std::string(Name)))
+             .first;
+  return *It->second;
+}
+
+Gauge &metrics::gauge(std::string_view Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Gauges.find(Name);
+  if (It == R.Gauges.end())
+    It = R.Gauges
+             .emplace(std::string(Name),
+                      std::make_unique<Gauge>(std::string(Name)))
+             .first;
+  return *It->second;
+}
+
+Histogram &metrics::histogram(std::string_view Name,
+                              const std::vector<double> &UpperBounds) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = R.Histograms.find(Name);
+  if (It == R.Histograms.end())
+    It = R.Histograms
+             .emplace(std::string(Name),
+                      std::make_unique<Histogram>(std::string(Name),
+                                                  UpperBounds))
+             .first;
+  return *It->second;
+}
+
+RegistrySnapshot metrics::snapshotAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  RegistrySnapshot Snap;
+  for (const auto &[Name, C] : R.Counters)
+    Snap.Counters.push_back({Name, C->value()});
+  for (const auto &[Name, G] : R.Gauges)
+    Snap.Gauges.push_back({Name, G->value()});
+  for (const auto &[Name, H] : R.Histograms)
+    Snap.Histograms.push_back({Name, H->snapshot()});
+  return Snap;
+}
+
+void metrics::resetAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (auto &[Name, C] : R.Counters)
+    C->zero();
+  for (auto &[Name, G] : R.Gauges)
+    G->zero();
+  for (auto &[Name, H] : R.Histograms)
+    H->zero();
+}

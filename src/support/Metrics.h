@@ -1,0 +1,299 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregated runtime metrics: named monotonic counters, gauges and
+/// fixed-bucket histograms with quantile extraction, kept in one
+/// process-wide registry and exported in Prometheus text exposition
+/// format (support/MetricsExport.h).  Where the telemetry layer
+/// (support/Telemetry.h) records individual spans for one-shot
+/// profiling, this layer keeps cheap running aggregates, the shape a
+/// long-lived service (lima_monitor) reports continuously.
+///
+/// Cost model:
+///
+///  - Compile-time: the LIMA_METRIC_* macros compile to nothing under
+///    -DLIMA_TELEMETRY=0 (the same switch as the span macros — one knob
+///    governs all self-instrumentation).  The classes themselves always
+///    compile, so lima_monitor links and runs in a compiled-out build
+///    with its own directly-registered metrics intact.
+///  - Runtime: the macros gate on one relaxed atomic load; recording is
+///    off until metrics::setEnabled(true) (lima_analyze flips it for
+///    --metrics-out, lima_monitor always does).
+///  - Hot path: counters and histograms are sharded — each thread picks
+///    a fixed shard of cache-line-padded atomics, so concurrent
+///    increments from different threads do not ping-pong one line.
+///    Reads merge shards; merged totals are exact (integer adds).
+///
+/// Histograms use fixed upper-bucket bounds chosen at registration;
+/// quantiles (p50/p90/p99) are extracted from the merged bucket counts
+/// by linear interpolation inside the selected bucket — the same
+/// estimator Prometheus's histogram_quantile() applies server-side, so
+/// local and scraped readings agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_METRICS_H
+#define LIMA_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef LIMA_TELEMETRY
+#define LIMA_TELEMETRY 1
+#endif
+
+namespace lima {
+namespace metrics {
+
+/// Shards per counter/histogram.  Eight covers the contention any
+/// realistic LIMA thread count produces without bloating tiny metrics.
+constexpr unsigned NumShards = 8;
+
+namespace detail {
+extern std::atomic<bool> Enabled;
+/// The calling thread's shard index (stable per thread, round-robin
+/// assigned on first use).
+unsigned threadShard();
+} // namespace detail
+
+/// True when the LIMA_METRIC_* macros record.  Direct method calls on
+/// registry objects are not gated — a tool that owns its metrics always
+/// records them.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns macro recording on or off (off by default).
+void setEnabled(bool On);
+
+//===----------------------------------------------------------------------===//
+// Counter
+//===----------------------------------------------------------------------===//
+
+/// A monotonic counter.  add() is one relaxed fetch_add on the calling
+/// thread's shard; value() sums the shards (exact).
+class Counter {
+public:
+  explicit Counter(std::string Name) : Name_(std::move(Name)) {}
+
+  void add(uint64_t N) { addShard(N, detail::threadShard()); }
+
+  /// Shard-explicit variant (tests pin shards to prove merge = total).
+  void addShard(uint64_t N, unsigned Shard) {
+    Shards_[Shard % NumShards].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const PaddedAtomic &S : Shards_)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  const std::string &name() const { return Name_; }
+
+  /// Not safe against concurrent add(); used by resetAll()/tests.
+  void zero() {
+    for (PaddedAtomic &S : Shards_)
+      S.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(64) PaddedAtomic {
+    std::atomic<uint64_t> V{0};
+  };
+  std::string Name_;
+  std::array<PaddedAtomic, NumShards> Shards_;
+};
+
+//===----------------------------------------------------------------------===//
+// Gauge
+//===----------------------------------------------------------------------===//
+
+/// A last-value-wins instantaneous reading (queue depth, watermark,
+/// latest index value).  Unsharded: set() is one relaxed store.
+class Gauge {
+public:
+  explicit Gauge(std::string Name) : Name_(std::move(Name)) {}
+
+  void set(double V) { Value_.store(V, std::memory_order_relaxed); }
+
+  void add(double Delta) {
+    double Cur = Value_.load(std::memory_order_relaxed);
+    while (!Value_.compare_exchange_weak(Cur, Cur + Delta,
+                                         std::memory_order_relaxed))
+      ;
+  }
+
+  double value() const { return Value_.load(std::memory_order_relaxed); }
+  const std::string &name() const { return Name_; }
+  void zero() { Value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+  std::string Name_;
+  std::atomic<double> Value_{0.0};
+};
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+/// A fixed-bucket histogram.  A sample lands in the first bucket whose
+/// upper bound is >= the value (Prometheus "le" semantics); samples
+/// above every bound land in the overflow (+Inf) bucket.  observe() is
+/// two relaxed adds on the calling thread's shard.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly increasing and non-empty.
+  Histogram(std::string Name, std::vector<double> UpperBounds);
+
+  void observe(double V) { observeShard(V, detail::threadShard()); }
+
+  /// Shard-explicit variant (tests pin shards to prove merge = total).
+  void observeShard(double V, unsigned Shard);
+
+  /// Merged, point-in-time reading.
+  struct Snapshot {
+    std::vector<double> UpperBounds;
+    /// Per-bucket counts, size UpperBounds.size() + 1; the final entry
+    /// is the overflow (+Inf) bucket.
+    std::vector<uint64_t> Counts;
+    uint64_t Count = 0;
+    double Sum = 0.0;
+
+    /// Quantile estimate for \p Q in (0, 1) by linear interpolation
+    /// inside the selected bucket (the histogram_quantile estimator).
+    /// Returns 0 for an empty histogram; a quantile landing in the
+    /// overflow bucket clamps to the largest finite bound.
+    double quantile(double Q) const;
+  };
+
+  Snapshot snapshot() const;
+  double quantile(double Q) const { return snapshot().quantile(Q); }
+
+  const std::string &name() const { return Name_; }
+  const std::vector<double> &upperBounds() const { return UpperBounds_; }
+
+  /// Not safe against concurrent observe(); used by resetAll()/tests.
+  void zero();
+
+  /// \p N bounds starting at \p Start, each \p Factor times the last
+  /// (e.g. 0.001, 0.01, ... for latencies in seconds).
+  static std::vector<double> exponentialBounds(double Start, double Factor,
+                                               unsigned N);
+  /// \p N bounds Start, Start + Step, Start + 2*Step, ...
+  static std::vector<double> linearBounds(double Start, double Step,
+                                          unsigned N);
+
+private:
+  struct alignas(64) ShardData {
+    /// Bucket counts followed by the overflow slot (size Bounds + 1),
+    /// plus the running sum of observed values.
+    std::vector<std::atomic<uint64_t>> Counts;
+    std::atomic<double> Sum{0.0};
+  };
+
+  std::string Name_;
+  std::vector<double> UpperBounds_;
+  std::array<ShardData, NumShards> Shards_;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// Returns the process-wide counter/gauge registered under \p Name,
+/// creating it on first use.  References stay valid for the process
+/// lifetime.  Names may carry Prometheus-style labels in braces
+/// (`lima.window.sid_c{region="loop1"}`); the exporter splits them off.
+Counter &counter(std::string_view Name);
+Gauge &gauge(std::string_view Name);
+
+/// Returns the process-wide histogram under \p Name; \p UpperBounds is
+/// consulted only on first registration.
+Histogram &histogram(std::string_view Name,
+                     const std::vector<double> &UpperBounds);
+
+/// Point-in-time reading of every registered metric, each family sorted
+/// by name so output is deterministic.
+struct RegistrySnapshot {
+  struct CounterValue {
+    std::string Name;
+    uint64_t Value;
+  };
+  struct GaugeValue {
+    std::string Name;
+    double Value;
+  };
+  struct HistogramValue {
+    std::string Name;
+    Histogram::Snapshot Snap;
+  };
+  std::vector<CounterValue> Counters;
+  std::vector<GaugeValue> Gauges;
+  std::vector<HistogramValue> Histograms;
+};
+
+RegistrySnapshot snapshotAll();
+
+/// Zeroes every registered metric (names stay registered).  Not safe
+/// against concurrent recording; tests and tool startup only.
+void resetAll();
+
+} // namespace metrics
+} // namespace lima
+
+//===----------------------------------------------------------------------===//
+// Instrumentation macros (compiled out with the telemetry switch)
+//===----------------------------------------------------------------------===//
+
+#if LIMA_TELEMETRY
+
+/// Adds \p N to the counter named \p NameLit when metrics are enabled.
+#define LIMA_METRIC_COUNT(NameLit, N)                                          \
+  do {                                                                         \
+    if (::lima::metrics::enabled()) {                                          \
+      static ::lima::metrics::Counter &LimaMetricC_ =                          \
+          ::lima::metrics::counter(NameLit);                                   \
+      LimaMetricC_.add(N);                                                     \
+    }                                                                          \
+  } while (false)
+
+/// Sets the gauge named \p NameLit to \p V when metrics are enabled.
+#define LIMA_METRIC_GAUGE_SET(NameLit, V)                                      \
+  do {                                                                         \
+    if (::lima::metrics::enabled()) {                                          \
+      static ::lima::metrics::Gauge &LimaMetricG_ =                            \
+          ::lima::metrics::gauge(NameLit);                                     \
+      LimaMetricG_.set(V);                                                     \
+    }                                                                          \
+  } while (false)
+
+/// Observes \p V into the histogram named \p NameLit (bounds from
+/// \p BoundsExpr, evaluated once) when metrics are enabled.
+#define LIMA_METRIC_OBSERVE(NameLit, V, BoundsExpr)                            \
+  do {                                                                         \
+    if (::lima::metrics::enabled()) {                                          \
+      static ::lima::metrics::Histogram &LimaMetricH_ =                        \
+          ::lima::metrics::histogram(NameLit, BoundsExpr);                     \
+      LimaMetricH_.observe(V);                                                 \
+    }                                                                          \
+  } while (false)
+
+#else
+
+#define LIMA_METRIC_COUNT(NameLit, N) ((void)0)
+#define LIMA_METRIC_GAUGE_SET(NameLit, V) ((void)0)
+#define LIMA_METRIC_OBSERVE(NameLit, V, BoundsExpr) ((void)0)
+
+#endif // LIMA_TELEMETRY
+
+#endif // LIMA_SUPPORT_METRICS_H

@@ -1,0 +1,116 @@
+//===- support/MetricsExport.cpp - Prometheus text exposition -------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MetricsExport.h"
+#include "support/FileUtils.h"
+#include "support/Format.h"
+#include <set>
+
+using namespace lima;
+using namespace lima::metrics;
+
+namespace {
+
+bool validNameChar(char C, bool First) {
+  if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+      C == ':')
+    return true;
+  return !First && C >= '0' && C <= '9';
+}
+
+std::string sanitizeBase(std::string_view Base) {
+  std::string Out;
+  Out.reserve(Base.size());
+  for (size_t I = 0; I != Base.size(); ++I)
+    Out += validNameChar(Base[I], I == 0) ? Base[I] : '_';
+  return Out.empty() ? std::string("_") : Out;
+}
+
+/// Emits one `# TYPE` line per base name, first time it is seen.
+void emitType(std::string &Out, std::set<std::string> &Seen,
+              const std::string &Base, const char *Type) {
+  if (!Seen.insert(Base).second)
+    return;
+  Out += "# TYPE " + Base + " " + Type + "\n";
+}
+
+/// `name{labels} value` or `name value`.
+void emitSample(std::string &Out, const std::string &Base,
+                const std::string &Labels, const std::string &Value) {
+  Out += Base;
+  if (!Labels.empty())
+    Out += "{" + Labels + "}";
+  Out += " " + Value + "\n";
+}
+
+/// Joins an existing label block with one extra label.
+std::string withLabel(const std::string &Labels, const std::string &Extra) {
+  return Labels.empty() ? Extra : Labels + "," + Extra;
+}
+
+std::string formatValue(double V) { return formatGeneral(V); }
+
+} // namespace
+
+SplitName metrics::splitMetricName(std::string_view Name) {
+  SplitName Split;
+  size_t Brace = Name.find('{');
+  if (Brace == std::string_view::npos) {
+    Split.Base = sanitizeBase(Name);
+    return Split;
+  }
+  Split.Base = sanitizeBase(Name.substr(0, Brace));
+  std::string_view Rest = Name.substr(Brace + 1);
+  if (!Rest.empty() && Rest.back() == '}')
+    Rest.remove_suffix(1);
+  Split.Labels = std::string(Rest);
+  return Split;
+}
+
+std::string metrics::writePrometheusText(const RegistrySnapshot &Snap) {
+  std::string Out;
+  std::set<std::string> Seen;
+
+  for (const RegistrySnapshot::CounterValue &C : Snap.Counters) {
+    SplitName N = splitMetricName(C.Name);
+    emitType(Out, Seen, N.Base, "counter");
+    emitSample(Out, N.Base, N.Labels, std::to_string(C.Value));
+  }
+
+  for (const RegistrySnapshot::GaugeValue &G : Snap.Gauges) {
+    SplitName N = splitMetricName(G.Name);
+    emitType(Out, Seen, N.Base, "gauge");
+    emitSample(Out, N.Base, N.Labels, formatValue(G.Value));
+  }
+
+  for (const RegistrySnapshot::HistogramValue &H : Snap.Histograms) {
+    SplitName N = splitMetricName(H.Name);
+    emitType(Out, Seen, N.Base, "histogram");
+    uint64_t Cumulative = 0;
+    for (size_t I = 0; I != H.Snap.Counts.size(); ++I) {
+      Cumulative += H.Snap.Counts[I];
+      std::string Le =
+          I < H.Snap.UpperBounds.size()
+              ? "le=\"" + formatValue(H.Snap.UpperBounds[I]) + "\""
+              : std::string("le=\"+Inf\"");
+      emitSample(Out, N.Base + "_bucket", withLabel(N.Labels, Le),
+                 std::to_string(Cumulative));
+    }
+    emitSample(Out, N.Base + "_sum", N.Labels, formatValue(H.Snap.Sum));
+    emitSample(Out, N.Base + "_count", N.Labels,
+               std::to_string(H.Snap.Count));
+  }
+
+  return Out;
+}
+
+std::string metrics::writePrometheusText() {
+  return writePrometheusText(snapshotAll());
+}
+
+Error metrics::writeMetricsFile(const std::string &Path) {
+  return writeFile(Path, writePrometheusText());
+}

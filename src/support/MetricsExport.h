@@ -1,0 +1,54 @@
+//===- support/MetricsExport.h - Prometheus text exposition -----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a metrics registry snapshot in the Prometheus text
+/// exposition format (version 0.0.4): one `# TYPE` comment per metric
+/// family followed by its samples, histograms expanded into cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+///
+/// Metric names may carry a label block in braces
+/// (`lima.window.sid_c{region="loop1"}`); the braces split off into the
+/// sample's label set and the base name is sanitized to the Prometheus
+/// charset ([a-zA-Z0-9_:], dots become underscores).  Families sharing
+/// a base name emit one TYPE line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_METRICSEXPORT_H
+#define LIMA_SUPPORT_METRICSEXPORT_H
+
+#include "support/Error.h"
+#include "support/Metrics.h"
+#include <string>
+
+namespace lima {
+namespace metrics {
+
+/// Renders \p Snap as Prometheus text exposition.  Families are emitted
+/// counters first, then gauges, then histograms, each sorted by name
+/// (the snapshot's order), so output is deterministic.
+std::string writePrometheusText(const RegistrySnapshot &Snap);
+
+/// Convenience: snapshotAll() rendered as text exposition.
+std::string writePrometheusText();
+
+/// Convenience: snapshotAll() exposition written to \p Path.
+Error writeMetricsFile(const std::string &Path);
+
+/// Sanitizes \p Name's base (everything before an optional '{') to the
+/// Prometheus metric-name charset and returns base plus the untouched
+/// label block, split.  Exposed for the exporter's tests.
+struct SplitName {
+  std::string Base;
+  std::string Labels; ///< Contents inside the braces, or empty.
+};
+SplitName splitMetricName(std::string_view Name);
+
+} // namespace metrics
+} // namespace lima
+
+#endif // LIMA_SUPPORT_METRICSEXPORT_H

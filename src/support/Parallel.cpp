@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Parallel.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include <algorithm>
 #include <cassert>
@@ -68,6 +69,9 @@ void ThreadPool::submit(std::function<void()> Task) {
     assert(!Stopping && "submit on a stopping pool");
     Queue.push_back(std::move(Task));
     ++Unfinished;
+    LIMA_METRIC_COUNT("lima.pool.tasks_total", 1);
+    LIMA_METRIC_GAUGE_SET("lima.pool.queue_depth",
+                          static_cast<double>(Queue.size()));
   }
   WorkAvailable.notify_one();
 }
@@ -88,6 +92,8 @@ void ThreadPool::workerLoop() {
         return; // Stopping and drained.
       Task = std::move(Queue.front());
       Queue.pop_front();
+      LIMA_METRIC_GAUGE_SET("lima.pool.queue_depth",
+                            static_cast<double>(Queue.size()));
     }
     Task();
     {

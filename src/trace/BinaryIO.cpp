@@ -6,6 +6,7 @@
 
 #include "trace/BinaryIO.h"
 #include "support/FileUtils.h"
+#include "support/Metrics.h"
 #include "support/Telemetry.h"
 #include "trace/TraceIO.h"
 #include <cstring>
@@ -301,6 +302,7 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
     if (!Options.dropRecord(PE))
       return Error::fromParse(std::move(PE));
   }
+  LIMA_METRIC_COUNT("lima.parse.binary.events_total", TotalEvents);
   return T;
 }
 

@@ -1,0 +1,230 @@
+//===- trace/StreamParser.cpp - Incremental LIMATRACE parser --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/StreamParser.h"
+#include "support/Metrics.h"
+#include "support/StringUtils.h"
+#include <optional>
+
+using namespace lima;
+using namespace lima::trace;
+
+StreamParser::StreamParser(ParseOptions Opts) : Options(std::move(Opts)) {}
+
+static std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
+  if (Mnemonic == "re")
+    return EventKind::RegionEnter;
+  if (Mnemonic == "rx")
+    return EventKind::RegionExit;
+  if (Mnemonic == "ab")
+    return EventKind::ActivityBegin;
+  if (Mnemonic == "ae")
+    return EventKind::ActivityEnd;
+  if (Mnemonic == "ms")
+    return EventKind::MessageSend;
+  if (Mnemonic == "mr")
+    return EventKind::MessageRecv;
+  return std::nullopt;
+}
+
+Error StreamParser::parseLine(std::string_view RawLine,
+                              std::vector<Event> &Out) {
+  const ParseLimits &Limits = Options.Limits;
+  ++LineNo;
+  size_t LineOffset = StreamOffset;
+
+  auto fail = [&](ErrorCode Code, const char *What) {
+    return makeParseError(Code, LineNo, LineOffset, "trace line %zu: %s",
+                          LineNo, What);
+  };
+  auto failNumber = [&](Error E) {
+    return makeParseError(ErrorCode::BadNumber, LineNo, LineOffset,
+                          "trace line %zu: %s", LineNo, E.message().c_str());
+  };
+
+  if (RawLine.size() > Limits.MaxLineBytes)
+    return fail(ErrorCode::LimitExceeded, "line exceeds the length limit");
+  std::string_view Line = trimString(RawLine);
+  if (Line.empty() || Line.front() == '#')
+    return Error::success();
+  std::vector<std::string_view> Fields = splitWhitespace(Line);
+
+  if (!SawMagic) {
+    if (Fields.size() == 2 && Fields[0] == "LIMATRACE" && Fields[1] != "1")
+      return fail(ErrorCode::UnsupportedVersion,
+                  "unsupported LIMATRACE version");
+    if (Fields.size() != 2 || Fields[0] != "LIMATRACE" || Fields[1] != "1")
+      return fail(ErrorCode::BadMagic, "expected header 'LIMATRACE 1'");
+    SawMagic = true;
+    return Error::success();
+  }
+
+  if (Fields[0] == "procs") {
+    if (SawProcs)
+      return fail(ErrorCode::DuplicateDeclaration, "duplicate 'procs' line");
+    if (Fields.size() != 2)
+      return fail(ErrorCode::MalformedRecord, "'procs' takes one argument");
+    auto CountOrErr = parseUnsigned(Fields[1]);
+    if (!CountOrErr)
+      return failNumber(CountOrErr.takeError());
+    if (*CountOrErr == 0 || *CountOrErr > (1u << 20))
+      return fail(ErrorCode::ValueOutOfRange, "processor count out of range");
+    if (*CountOrErr > Limits.MaxProcs)
+      return fail(ErrorCode::LimitExceeded,
+                  "processor count exceeds the limit");
+    SawProcs = true;
+    NumProcs = static_cast<unsigned>(*CountOrErr);
+    return Error::success();
+  }
+
+  if (Fields[0] == "region" || Fields[0] == "activity") {
+    if (!SawProcs)
+      return fail(ErrorCode::MissingSection,
+                  "'procs' must precede declarations");
+    if (Fields.size() < 3)
+      return fail(ErrorCode::MalformedRecord,
+                  "declaration needs an id and a name");
+    auto IdOrErr = parseUnsigned(Fields[1]);
+    if (!IdOrErr)
+      return failNumber(IdOrErr.takeError());
+    bool IsRegion = Fields[0] == "region";
+    std::vector<std::string> &Table = IsRegion ? Regions : Activities;
+    if (*IdOrErr != Table.size())
+      return fail(ErrorCode::MalformedRecord,
+                  "declaration ids must be dense and in order");
+    if (Table.size() >= (IsRegion ? Limits.MaxRegions : Limits.MaxActivities))
+      return fail(ErrorCode::LimitExceeded,
+                  "declaration count exceeds the limit");
+    if (Fields[2].size() > Limits.MaxNameBytes)
+      return fail(ErrorCode::LimitExceeded,
+                  "declaration name exceeds the length limit");
+    AllocBytes += Fields[2].size() + sizeof(std::string);
+    if (AllocBytes > Limits.MaxAllocBytes)
+      return fail(ErrorCode::LimitExceeded,
+                  "name tables exceed the allocation cap");
+    Table.push_back(std::string(Fields[2]));
+    return Error::success();
+  }
+
+  // Event record.
+  if (Options.Report)
+    ++Options.Report->TotalRecords;
+  Event E;
+  Error RecordErr = [&]() -> Error {
+    std::optional<EventKind> Kind = kindFromMnemonic(Fields[0]);
+    if (!Kind)
+      return fail(ErrorCode::MalformedRecord, "unknown record type");
+    if (!SawProcs)
+      return fail(ErrorCode::MissingSection, "'procs' must precede events");
+    bool IsMessage =
+        *Kind == EventKind::MessageSend || *Kind == EventKind::MessageRecv;
+    size_t Expect = IsMessage ? 5 : 4;
+    if (Fields.size() != Expect)
+      return fail(ErrorCode::MalformedRecord, "wrong field count for event");
+
+    E.Kind = *Kind;
+    auto ProcOrErr = parseUnsigned(Fields[1]);
+    if (!ProcOrErr)
+      return failNumber(ProcOrErr.takeError());
+    if (*ProcOrErr >= NumProcs)
+      return fail(ErrorCode::ValueOutOfRange, "event processor out of range");
+    E.Proc = static_cast<uint32_t>(*ProcOrErr);
+    auto TimeOrErr = parseDouble(Fields[2]);
+    if (!TimeOrErr)
+      return failNumber(TimeOrErr.takeError());
+    if (*TimeOrErr < 0.0)
+      return fail(ErrorCode::ValueOutOfRange,
+                  "event time must be non-negative");
+    E.Time = *TimeOrErr;
+    auto IdOrErr = parseUnsigned(Fields[3]);
+    if (!IdOrErr)
+      return failNumber(IdOrErr.takeError());
+    if (*IdOrErr > UINT32_MAX)
+      return fail(ErrorCode::ValueOutOfRange, "event id overflows u32");
+    E.Id = static_cast<uint32_t>(*IdOrErr);
+    switch (E.Kind) {
+    case EventKind::RegionEnter:
+    case EventKind::RegionExit:
+      if (E.Id >= Regions.size())
+        return fail(ErrorCode::ValueOutOfRange, "event region out of range");
+      break;
+    case EventKind::ActivityBegin:
+    case EventKind::ActivityEnd:
+      if (E.Id >= Activities.size())
+        return fail(ErrorCode::ValueOutOfRange,
+                    "event activity out of range");
+      break;
+    case EventKind::MessageSend:
+    case EventKind::MessageRecv:
+      if (E.Id >= NumProcs)
+        return fail(ErrorCode::ValueOutOfRange, "message peer out of range");
+      break;
+    }
+    if (IsMessage) {
+      auto BytesOrErr = parseUnsigned(Fields[4]);
+      if (!BytesOrErr)
+        return failNumber(BytesOrErr.takeError());
+      E.Bytes = *BytesOrErr;
+    }
+    return Error::success();
+  }();
+  if (RecordErr) {
+    ParseError PE = RecordErr.toParseError();
+    if (PE.Code != ErrorCode::MissingSection && Options.dropRecord(PE)) {
+      LIMA_METRIC_COUNT("lima.stream.dropped_total", 1);
+      return Error::success();
+    }
+    return Error::fromParse(std::move(PE));
+  }
+  if (++TotalEvents > Limits.MaxEvents)
+    return fail(ErrorCode::LimitExceeded, "event count exceeds the limit");
+  LIMA_METRIC_COUNT("lima.stream.events_total", 1);
+  Out.push_back(E);
+  return Error::success();
+}
+
+Error StreamParser::feed(std::string_view Bytes, std::vector<Event> &Out) {
+  Buffer.append(Bytes);
+  size_t Start = 0;
+  for (;;) {
+    size_t Newline = Buffer.find('\n', Start);
+    if (Newline == std::string::npos)
+      break;
+    std::string_view Line(Buffer.data() + Start, Newline - Start);
+    Error Err = parseLine(Line, Out);
+    StreamOffset += Newline - Start + 1;
+    Start = Newline + 1;
+    if (Err) {
+      Buffer.erase(0, Start);
+      return Err;
+    }
+  }
+  Buffer.erase(0, Start);
+  // A partial line longer than the limit can never become valid; fail
+  // now instead of buffering unboundedly.
+  if (Buffer.size() > Options.Limits.MaxLineBytes)
+    return makeParseError(ErrorCode::LimitExceeded, LineNo + 1, StreamOffset,
+                          "trace line %zu: line exceeds the length limit",
+                          LineNo + 1);
+  return Error::success();
+}
+
+Error StreamParser::finish(std::vector<Event> &Out) {
+  if (!Buffer.empty()) {
+    std::string Last;
+    Last.swap(Buffer);
+    if (auto Err = parseLine(Last, Out))
+      return Err;
+    StreamOffset += Last.size();
+  }
+  if (!SawMagic)
+    return makeCodedError(ErrorCode::BadMagic,
+                          "trace: missing 'LIMATRACE 1' header");
+  if (!SawProcs)
+    return makeCodedError(ErrorCode::MissingSection,
+                          "trace: missing 'procs' line");
+  return Error::success();
+}

@@ -6,6 +6,7 @@
 
 #include "trace/TraceIO.h"
 #include "support/FileUtils.h"
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 #include <cstdio>
 #include <optional>
@@ -254,6 +255,8 @@ Expected<Trace> trace::parseTraceText(std::string_view Text,
   if (!Result)
     return makeCodedError(ErrorCode::MissingSection,
                           "trace: missing 'procs' line");
+  LIMA_METRIC_COUNT("lima.parse.text.events_total", TotalEvents);
+  LIMA_METRIC_COUNT("lima.parse.text.lines_total", LineNo);
   return std::move(*Result);
 }
 

@@ -1,0 +1,134 @@
+//===- tests/LogTest.cpp - Structured logging tests -----------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+#include "TestHelpers.h"
+#include <chrono>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace lima;
+using namespace lima::logging;
+
+namespace {
+
+/// Captures log output into a string for the duration of a test.
+class LogTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    resetForTest();
+    setSink(&OS);
+    setRepeatWindowMs(0); // Determinism: every call emits.
+  }
+  void TearDown() override { resetForTest(); }
+
+  /// Returns everything captured since the last call.
+  std::string taken() {
+    OS.flush();
+    std::string Out = Captured;
+    Captured.clear();
+    return Out;
+  }
+
+  std::string Captured;
+  raw_string_ostream OS{Captured};
+};
+
+} // namespace
+
+TEST_F(LogTest, TextFormat) {
+  info("reduced trace", {field("events", uint64_t(42)),
+                         field("path", "a b.trace")});
+  EXPECT_EQ(taken(), "[info] reduced trace events=42 path=\"a b.trace\"\n");
+}
+
+TEST_F(LogTest, LevelsBelowThresholdDropped) {
+  setLevel(Level::Warn);
+  debug("nope");
+  info("nope");
+  warn("yes");
+  error("also");
+  EXPECT_EQ(taken(), "[warn] yes\n[error] also\n");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  setLevel(Level::Off);
+  error("nope");
+  EXPECT_EQ(taken(), "");
+}
+
+TEST_F(LogTest, JsonFormat) {
+  setJson(true);
+  warn("drop", {field("count", uint64_t(3)), field("why", "bad record"),
+                field("ratio", 0.5)});
+  EXPECT_EQ(taken(), "{\"level\":\"warn\",\"msg\":\"drop\",\"count\":3,"
+                     "\"why\":\"bad record\",\"ratio\":0.5}\n");
+}
+
+TEST_F(LogTest, JsonEscapesSpecials) {
+  setJson(true);
+  info("a\"b\\c\nd");
+  EXPECT_EQ(taken(),
+            "{\"level\":\"info\",\"msg\":\"a\\\"b\\\\c\\nd\"}\n");
+}
+
+TEST_F(LogTest, RepeatSuppressionCountsAndReemits) {
+  setRepeatWindowMs(40);
+  info("dup");
+  info("dup"); // Suppressed.
+  info("dup"); // Suppressed.
+  EXPECT_EQ(taken(), "[info] dup\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  info("dup"); // Outside the window: emits with the suppressed count.
+  EXPECT_EQ(taken(), "[info] dup repeats=2\n");
+}
+
+TEST_F(LogTest, DifferentMessagesDoNotSuppressEachOther) {
+  setRepeatWindowMs(60000);
+  info("one");
+  info("two");
+  warn("one"); // Different level: its own key.
+  EXPECT_EQ(taken(), "[info] one\n[info] two\n[warn] one\n");
+}
+
+TEST(LogLevelTest, ParseLevelRoundTrips) {
+  for (Level L : {Level::Debug, Level::Info, Level::Warn, Level::Error,
+                  Level::Off}) {
+    auto Parsed = parseLevel(levelName(L));
+    ASSERT_TRUE(static_cast<bool>(Parsed));
+    EXPECT_EQ(*Parsed, L);
+  }
+  EXPECT_TRUE(testutil::failed(parseLevel("loud")));
+}
+
+TEST_F(LogTest, ConfigureFromFlags) {
+  ArgParser Parser("t", "test");
+  addFlags(Parser);
+  const char *Argv[] = {"t", "--log-level", "debug", "--log-json"};
+  ASSERT_FALSE(Parser.parse(4, Argv));
+  ASSERT_FALSE(configureFromFlags(Parser));
+  EXPECT_EQ(level(), Level::Debug);
+  EXPECT_TRUE(json());
+}
+
+TEST_F(LogTest, QuietOverridesLogLevel) {
+  ArgParser Parser("t", "test");
+  addFlags(Parser);
+  const char *Argv[] = {"t", "--log-level", "debug"};
+  ASSERT_FALSE(Parser.parse(3, Argv));
+  ASSERT_FALSE(configureFromFlags(Parser, /*Quiet=*/true));
+  EXPECT_EQ(level(), Level::Error);
+}
+
+TEST_F(LogTest, BadLevelRejected) {
+  ArgParser Parser("t", "test");
+  addFlags(Parser);
+  const char *Argv[] = {"t", "--log-level", "loud"};
+  ASSERT_FALSE(Parser.parse(3, Argv));
+  EXPECT_TRUE(testutil::failed(configureFromFlags(Parser)));
+}

@@ -1,0 +1,270 @@
+//===- tests/MetricsTest.cpp - Metrics registry & exporter tests ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/MetricsExport.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace lima;
+using namespace lima::metrics;
+
+//===----------------------------------------------------------------------===//
+// Histogram quantiles
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, ExactQuantilesOnKnownDistribution) {
+  // Bounds 10, 20, ..., 100; observations 1..100 — every bucket holds
+  // exactly 10 samples, so the interpolated quantiles are exact.
+  Histogram H("h", Histogram::linearBounds(10.0, 10.0, 10));
+  for (int V = 1; V <= 100; ++V)
+    H.observe(static_cast<double>(V));
+
+  Histogram::Snapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Count, 100u);
+  EXPECT_DOUBLE_EQ(Snap.Sum, 5050.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(Snap.quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
+  // One bucket [0, 10] with 4 samples: rank q*4 lands at 10 * q*4/4.
+  Histogram H("h", {10.0, 20.0});
+  for (int I = 0; I != 4; ++I)
+    H.observe(5.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 2.5);
+}
+
+TEST(HistogramTest, OverflowBucketClampsToLargestBound) {
+  Histogram H("h", {1.0, 2.0});
+  H.observe(1000.0);
+  H.observe(2000.0);
+  Histogram::Snapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Counts.back(), 2u);
+  EXPECT_DOUBLE_EQ(Snap.quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  Histogram H("h", {1.0});
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, MergeOfShardsEqualsSingleShard) {
+  std::vector<double> Bounds = Histogram::exponentialBounds(1.0, 2.0, 8);
+  Histogram Single("s", Bounds);
+  Histogram Spread("m", Bounds);
+  for (int V = 0; V != 200; ++V) {
+    double X = static_cast<double>(V % 97);
+    Single.observeShard(X, 0);
+    Spread.observeShard(X, static_cast<unsigned>(V) % NumShards);
+  }
+  Histogram::Snapshot A = Single.snapshot();
+  Histogram::Snapshot B = Spread.snapshot();
+  EXPECT_EQ(A.Counts, B.Counts);
+  EXPECT_EQ(A.Count, B.Count);
+  EXPECT_DOUBLE_EQ(A.Sum, B.Sum);
+  EXPECT_DOUBLE_EQ(A.quantile(0.5), B.quantile(0.5));
+  EXPECT_DOUBLE_EQ(A.quantile(0.99), B.quantile(0.99));
+}
+
+TEST(HistogramTest, QuantilesMonotonicInQ) {
+  Histogram H("h", Histogram::exponentialBounds(0.001, 10.0, 7));
+  // A skewed distribution across several buckets.
+  for (int I = 0; I != 500; ++I)
+    H.observe(0.0005 * static_cast<double>(1 + (I * I) % 4000));
+  Histogram::Snapshot Snap = H.snapshot();
+  double Prev = 0.0;
+  for (double Q = 0.05; Q <= 1.0; Q += 0.05) {
+    double Est = Snap.quantile(Q);
+    EXPECT_GE(Est, Prev) << "quantile not monotone at q=" << Q;
+    Prev = Est;
+  }
+}
+
+TEST(HistogramTest, BucketSelectionUsesLeSemantics) {
+  Histogram H("h", {1.0, 2.0});
+  H.observe(1.0); // == bound -> first bucket (le="1").
+  H.observe(1.5);
+  Histogram::Snapshot Snap = H.snapshot();
+  EXPECT_EQ(Snap.Counts[0], 1u);
+  EXPECT_EQ(Snap.Counts[1], 1u);
+  EXPECT_EQ(Snap.Counts[2], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Counter / gauge
+//===----------------------------------------------------------------------===//
+
+TEST(CounterTest, ShardMergeIsExact) {
+  Counter C("c");
+  uint64_t Expect = 0;
+  for (unsigned I = 0; I != 100; ++I) {
+    C.addShard(I, I % NumShards);
+    Expect += I;
+  }
+  EXPECT_EQ(C.value(), Expect);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    Counter C("c");
+    constexpr uint64_t PerThread = 20000;
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&C] {
+        for (uint64_t I = 0; I != PerThread; ++I)
+          C.add(1);
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    EXPECT_EQ(C.value(), PerThread * Threads) << Threads << " threads";
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    Histogram H("h", {0.5, 1.5, 2.5});
+    constexpr uint64_t PerThread = 10000;
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&H, T] {
+        for (uint64_t I = 0; I != PerThread; ++I)
+          H.observe(static_cast<double>(T % 3));
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    EXPECT_EQ(H.snapshot().Count, PerThread * Threads)
+        << Threads << " threads";
+  }
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge G("g");
+  G.set(4.0);
+  EXPECT_DOUBLE_EQ(G.value(), 4.0);
+  G.add(-1.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistryTest, SameNameReturnsSameObject) {
+  Counter &A = counter("test.registry.same");
+  Counter &B = counter("test.registry.same");
+  EXPECT_EQ(&A, &B);
+  Histogram &H1 = histogram("test.registry.hist", {1.0, 2.0});
+  // Bounds are fixed at first registration; a later conflicting request
+  // still returns the registered instance.
+  Histogram &H2 = histogram("test.registry.hist", {9.0});
+  EXPECT_EQ(&H1, &H2);
+  EXPECT_EQ(H2.upperBounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  counter("test.sort.b").add(1);
+  counter("test.sort.a").add(1);
+  RegistrySnapshot Snap = snapshotAll();
+  std::string Prev;
+  for (const RegistrySnapshot::CounterValue &C : Snap.Counters) {
+    EXPECT_LE(Prev, C.Name);
+    Prev = C.Name;
+  }
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsRegistration) {
+  Counter &C = counter("test.reset.c");
+  C.add(7);
+  resetAll();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(&counter("test.reset.c"), &C);
+}
+
+#if LIMA_TELEMETRY
+TEST(MetricsRegistryTest, MacrosGateOnEnabled) {
+  resetAll();
+  setEnabled(false);
+  LIMA_METRIC_COUNT("test.gate.counter", 5);
+  EXPECT_EQ(counter("test.gate.counter").value(), 0u);
+  setEnabled(true);
+  LIMA_METRIC_COUNT("test.gate.counter", 5);
+  EXPECT_EQ(counter("test.gate.counter").value(), 5u);
+  setEnabled(false);
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// Prometheus exporter
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsExportTest, SplitMetricNameSanitizesAndSplitsLabels) {
+  SplitName Plain = splitMetricName("lima.reduce.events_total");
+  EXPECT_EQ(Plain.Base, "lima_reduce_events_total");
+  EXPECT_TRUE(Plain.Labels.empty());
+
+  SplitName Labeled = splitMetricName("lima.window.sid_c{region=\"loop 1\"}");
+  EXPECT_EQ(Labeled.Base, "lima_window_sid_c");
+  EXPECT_EQ(Labeled.Labels, "region=\"loop 1\"");
+
+  EXPECT_EQ(splitMetricName("9starts.with.digit").Base,
+            "_starts_with_digit");
+}
+
+TEST(MetricsExportTest, ExpositionFormat) {
+  // A hand-built snapshot gives a fully deterministic exposition.
+  RegistrySnapshot Snap;
+  Snap.Counters.push_back({"app.requests_total", 3});
+  Snap.Gauges.push_back({"app.depth", 2.5});
+  Histogram::Snapshot H;
+  H.UpperBounds = {1.0, 2.0};
+  H.Counts = {1, 2, 1}; // le=1: 1, le=2: 2, +Inf: 1.
+  H.Count = 4;
+  H.Sum = 7.5;
+  Snap.Histograms.push_back({"app.latency_seconds", H});
+
+  std::string Text = writePrometheusText(Snap);
+  EXPECT_EQ(Text, "# TYPE app_requests_total counter\n"
+                  "app_requests_total 3\n"
+                  "# TYPE app_depth gauge\n"
+                  "app_depth 2.5\n"
+                  "# TYPE app_latency_seconds histogram\n"
+                  "app_latency_seconds_bucket{le=\"1\"} 1\n"
+                  "app_latency_seconds_bucket{le=\"2\"} 3\n"
+                  "app_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+                  "app_latency_seconds_sum 7.5\n"
+                  "app_latency_seconds_count 4\n");
+}
+
+TEST(MetricsExportTest, LabeledSamplesShareOneTypeLine) {
+  RegistrySnapshot Snap;
+  Snap.Gauges.push_back({"app.sid{region=\"a\"}", 1.0});
+  Snap.Gauges.push_back({"app.sid{region=\"b\"}", 2.0});
+  std::string Text = writePrometheusText(Snap);
+  EXPECT_EQ(Text, "# TYPE app_sid gauge\n"
+                  "app_sid{region=\"a\"} 1\n"
+                  "app_sid{region=\"b\"} 2\n");
+}
+
+TEST(MetricsExportTest, HistogramLabelsComposeWithLe) {
+  RegistrySnapshot Snap;
+  Histogram::Snapshot H;
+  H.UpperBounds = {1.0};
+  H.Counts = {1, 0};
+  H.Count = 1;
+  H.Sum = 0.5;
+  Snap.Histograms.push_back({"app.lat{stage=\"reduce\"}", H});
+  std::string Text = writePrometheusText(Snap);
+  EXPECT_NE(Text.find("app_lat_bucket{stage=\"reduce\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("app_lat_sum{stage=\"reduce\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(Text.find("app_lat_count{stage=\"reduce\"} 1"),
+            std::string::npos);
+}

@@ -1,0 +1,155 @@
+//===- tests/StreamParserTest.cpp - Incremental parser tests --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/StreamParser.h"
+#include "trace/TraceIO.h"
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+const char *SampleTrace = "LIMATRACE 1\n"
+                          "procs 2\n"
+                          "region 0 main\n"
+                          "activity 0 comp\n"
+                          "# a comment\n"
+                          "re 0 0.0 0\n"
+                          "ab 0 0.0 0\n"
+                          "ae 0 1.0 0\n"
+                          "rx 0 1.0 0\n"
+                          "re 1 0.0 0\n"
+                          "ab 1 0.0 0\n"
+                          "ae 1 2.0 0\n"
+                          "rx 1 2.0 0\n";
+
+/// Feeds \p Text in chunks of \p ChunkSize bytes and returns all events.
+Expected<std::vector<Event>> parseChunked(std::string_view Text,
+                                          size_t ChunkSize,
+                                          ParseOptions Options = {}) {
+  StreamParser P(Options);
+  std::vector<Event> Events;
+  for (size_t I = 0; I < Text.size(); I += ChunkSize) {
+    if (auto Err = P.feed(Text.substr(I, ChunkSize), Events))
+      return Err;
+  }
+  if (auto Err = P.finish(Events))
+    return Err;
+  return Events;
+}
+
+} // namespace
+
+TEST(StreamParserTest, MatchesBatchParserAtAnyChunkSize) {
+  Trace Whole = cantFail(parseTraceText(SampleTrace));
+  for (size_t Chunk : {size_t(1), size_t(7), size_t(64), size_t(4096)}) {
+    auto EventsOrErr = parseChunked(SampleTrace, Chunk);
+    ASSERT_TRUE(static_cast<bool>(EventsOrErr)) << "chunk " << Chunk;
+    size_t Total = 0;
+    for (unsigned P = 0; P != Whole.numProcs(); ++P)
+      Total += Whole.events(P).size();
+    EXPECT_EQ(EventsOrErr->size(), Total) << "chunk " << Chunk;
+  }
+}
+
+TEST(StreamParserTest, HeaderTablesExposed) {
+  StreamParser P;
+  std::vector<Event> Events;
+  ASSERT_FALSE(P.feed(SampleTrace, Events));
+  EXPECT_TRUE(P.headerComplete());
+  EXPECT_EQ(P.numProcs(), 2u);
+  ASSERT_EQ(P.regionNames().size(), 1u);
+  EXPECT_EQ(P.regionNames()[0], "main");
+  ASSERT_EQ(P.activityNames().size(), 1u);
+  EXPECT_EQ(P.activityNames()[0], "comp");
+  EXPECT_EQ(P.eventsParsed(), 8u);
+}
+
+TEST(StreamParserTest, TrailingLineParsedAtFinish) {
+  StreamParser P;
+  std::vector<Event> Events;
+  // No trailing newline on the last event.
+  ASSERT_FALSE(P.feed("LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\n"
+                      "re 0 0.5 0",
+                      Events));
+  EXPECT_EQ(Events.size(), 0u); // Line incomplete until finish.
+  ASSERT_FALSE(P.finish(Events));
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Kind, EventKind::RegionEnter);
+  EXPECT_DOUBLE_EQ(Events[0].Time, 0.5);
+}
+
+TEST(StreamParserTest, MissingHeaderFailsAtFinish) {
+  StreamParser P;
+  std::vector<Event> Events;
+  EXPECT_TRUE(testutil::failed(P.finish(Events)));
+
+  StreamParser P2;
+  ASSERT_FALSE(P2.feed("LIMATRACE 1\n", Events));
+  EXPECT_TRUE(testutil::failed(P2.finish(Events))); // No 'procs'.
+}
+
+TEST(StreamParserTest, BadMagicFailsImmediately) {
+  StreamParser P;
+  std::vector<Event> Events;
+  EXPECT_TRUE(testutil::failed(P.feed("NOTATRACE 1\n", Events)));
+}
+
+TEST(StreamParserTest, StrictModeFailsOnMalformedRecord) {
+  StreamParser P;
+  std::vector<Event> Events;
+  EXPECT_TRUE(testutil::failed(
+      P.feed("LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\n"
+             "re 0 notanumber 0\n",
+             Events)));
+}
+
+TEST(StreamParserTest, LenientModeDropsAndCounts) {
+  ParseReport Report;
+  ParseOptions Options;
+  Options.Mode = ParseMode::Lenient;
+  Options.Report = &Report;
+  StreamParser P(Options);
+  std::vector<Event> Events;
+  ASSERT_FALSE(P.feed("LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\n"
+                      "re 0 notanumber 0\n"
+                      "zz 0 1.0 0\n"
+                      "re 0 1.0 0\n",
+                      Events));
+  ASSERT_FALSE(P.finish(Events));
+  EXPECT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Report.TotalRecords, 3u);
+  EXPECT_EQ(Report.DroppedRecords, 2u);
+}
+
+TEST(StreamParserTest, OverlongPartialLineRejected) {
+  ParseOptions Options;
+  Options.Limits.MaxLineBytes = 16;
+  StreamParser P(Options);
+  std::vector<Event> Events;
+  std::string Long(64, 'x'); // No newline: still must fail fast.
+  EXPECT_TRUE(testutil::failed(P.feed(Long, Events)));
+}
+
+TEST(StreamParserTest, EventLimitEnforced) {
+  ParseOptions Options;
+  Options.Limits.MaxEvents = 2;
+  StreamParser P(Options);
+  std::vector<Event> Events;
+  EXPECT_TRUE(testutil::failed(
+      P.feed("LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\n"
+             "re 0 0.0 0\nab 0 0.1 0\nae 0 0.2 0\n",
+             Events)));
+}
+
+TEST(StreamParserTest, DuplicateProcsRejected) {
+  StreamParser P;
+  std::vector<Event> Events;
+  EXPECT_TRUE(testutil::failed(
+      P.feed("LIMATRACE 1\nprocs 2\nprocs 2\n", Events)));
+}

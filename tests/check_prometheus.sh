@@ -1,0 +1,89 @@
+#!/bin/sh
+# Validates a Prometheus text-exposition (0.0.4) file:
+#  - every sample line is `name{labels} value` or `name value` with a
+#    legal metric name and a numeric value;
+#  - every sample's family has a preceding `# TYPE family kind` line;
+#  - histogram `_bucket` series are cumulative (non-decreasing in le
+#    order as emitted), end in `le="+Inf"`, and the +Inf count equals
+#    the family's `_count` sample.
+# Usage: check_prometheus.sh FILE
+set -eu
+
+File="$1"
+[ -s "$File" ] || { echo "check_prometheus: $File missing or empty" >&2; exit 1; }
+
+awk '
+function fail(msg) { printf "check_prometheus: line %d: %s\n", NR, msg > "/dev/stderr"; bad = 1 }
+function base_of(name) {
+  # Strip a histogram suffix to find the family the TYPE line declared.
+  if (name ~ /_bucket$/) return substr(name, 1, length(name) - 7)
+  if (name ~ /_sum$/) return substr(name, 1, length(name) - 4)
+  if (name ~ /_count$/) return substr(name, 1, length(name) - 6)
+  return name
+}
+/^#/ {
+  if ($0 ~ /^# TYPE /) {
+    if (NF != 4) { fail("malformed TYPE line"); next }
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram" && $4 != "summary" && $4 != "untyped")
+      fail("unknown metric type " $4)
+    type[$3] = $4
+  }
+  next
+}
+/^$/ { next }
+{
+  # Split "name{labels} value" / "name value".
+  line = $0
+  name = line; labels = ""
+  brace = index(line, "{")
+  if (brace > 0) {
+    close_brace = index(line, "}")
+    if (close_brace <= brace) { fail("unbalanced braces"); next }
+    name = substr(line, 1, brace - 1)
+    labels = substr(line, brace + 1, close_brace - brace - 1)
+    rest = substr(line, close_brace + 1)
+  } else {
+    sp = index(line, " ")
+    if (sp == 0) { fail("no value"); next }
+    name = substr(line, 1, sp - 1)
+    rest = substr(line, sp)
+  }
+  sub(/^ +/, "", rest)
+  value = rest
+  if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) { fail("bad metric name " name); next }
+  if (value !~ /^[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[0-9]+\.?[0-9]*([eE][-+]?[0-9]+)?|NaN|[-+]?Inf)$/)
+    fail("bad sample value \"" value "\" for " name)
+  fam = base_of(name)
+  if (!(fam in type) && !(name in type)) fail("sample " name " has no TYPE line")
+  if (labels != "" && labels !~ /^[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*$/)
+    fail("bad label block {" labels "}")
+
+  if (name ~ /_bucket$/) {
+    # Cumulative check per family+non-le labels.
+    lbl = labels
+    sub(/(^|,)le="[^"]*"/, "", lbl)
+    key = fam "|" lbl
+    if (value + 0 < last_bucket[key] + 0) fail("bucket counts not cumulative for " name)
+    last_bucket[key] = value
+    if (labels ~ /le="\+Inf"/) inf_count[key] = value
+    seen_inf[key] = (labels ~ /le="\+Inf"/) ? 1 : seen_inf[key]
+    bucket_fam[key] = fam
+  }
+  if (name ~ /_count$/) count_val[fam "|" labels] = value
+}
+END {
+  for (key in bucket_fam) {
+    if (!seen_inf[key]) { printf "check_prometheus: histogram %s missing +Inf bucket\n", key > "/dev/stderr"; bad = 1 }
+    fam = bucket_fam[key]
+    split(key, parts, "|")
+    ckey = parts[1] "|" parts[2]
+    if ((ckey in count_val) && inf_count[key] + 0 != count_val[ckey] + 0) {
+      printf "check_prometheus: histogram %s +Inf (%s) != _count (%s)\n", key, inf_count[key], count_val[ckey] > "/dev/stderr"
+      bad = 1
+    }
+  }
+  exit bad ? 1 : 0
+}
+' "$File"
+
+echo "check_prometheus: $File OK"
