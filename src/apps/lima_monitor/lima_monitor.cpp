@@ -81,8 +81,8 @@ void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
 
   for (size_t I = 0; I != W.Regions.ScaledIndex.size(); ++I) {
     double SidC = W.Regions.ScaledIndex[I];
-    metrics::gauge("lima.window.sid_c{region=\"" + W.Cube.regionName(I) +
-                   "\"}")
+    metrics::gauge("lima.window.sid_c{region=\"" +
+                   metrics::escapeLabelValue(W.Cube.regionName(I)) + "\"}")
         .set(SidC);
     if (Opts.PerRegion)
       logging::info("region", {logging::field("window", W.Index),
@@ -99,8 +99,8 @@ void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
     }
   }
   for (size_t J = 0; J != W.Activities.ScaledIndex.size(); ++J)
-    metrics::gauge("lima.window.sid_a{activity=\"" + W.Cube.activityName(J) +
-                   "\"}")
+    metrics::gauge("lima.window.sid_a{activity=\"" +
+                   metrics::escapeLabelValue(W.Cube.activityName(J)) + "\"}")
         .set(W.Activities.ScaledIndex[J]);
 }
 
@@ -220,7 +220,16 @@ int main(int Argc, char **Argv) {
       ExitOnErr(makeStringError("cannot open '%s': %s", Path.c_str(),
                                 std::strerror(errno)));
   }
-  std::signal(SIGUSR1, onSigUsr1);
+  // sigaction without SA_RESTART: std::signal on glibc restarts a
+  // blocking read() after the handler runs, deferring the metrics dump
+  // until new data arrives; without it read() fails with EINTR and the
+  // loop services DumpRequested promptly even on a quiet stream.
+  struct sigaction DumpAction;
+  std::memset(&DumpAction, 0, sizeof(DumpAction));
+  DumpAction.sa_handler = onSigUsr1;
+  sigemptyset(&DumpAction.sa_mask);
+  DumpAction.sa_flags = 0;
+  ::sigaction(SIGUSR1, &DumpAction, nullptr);
 
   trace::StreamParser Stream(Parse);
   std::optional<core::WindowedAnalyzer> Analyzer;

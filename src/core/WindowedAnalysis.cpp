@@ -30,26 +30,49 @@ WindowedAnalyzer::WindowedAnalyzer(std::vector<std::string> Regions,
 
 uint64_t WindowedAnalyzer::windowIndexOf(double Time) const {
   double K = std::floor(Time / Options.WindowSeconds);
-  return K <= 0.0 ? 0 : static_cast<uint64_t>(K);
+  if (K <= 0.0)
+    return 0;
+  // Casting a double at or beyond 2^64 to uint64_t is undefined
+  // behavior; saturate instead (the limit checks reject such indices
+  // long before 2^64 anyway).
+  if (K >= 18446744073709551616.0) // 2^64
+    return UINT64_MAX;
+  return static_cast<uint64_t>(K);
 }
 
-WindowedAnalyzer::WindowAccum &WindowedAnalyzer::windowAt(uint64_t Index) {
+WindowedAnalyzer::WindowAccum *WindowedAnalyzer::windowAt(uint64_t Index) {
   auto It = Windows.find(Index);
-  if (It == Windows.end())
+  if (It == Windows.end()) {
+    if (Windows.size() >= Options.MaxWindowsInFlight)
+      return nullptr;
     It = Windows
              .emplace(Index, WindowAccum(MeasurementCube(
                                  RegionNames, ActivityNames, NumProcs)))
              .first;
-  return It->second;
+  }
+  return &It->second;
 }
 
-void WindowedAnalyzer::accumulateInterval(uint32_t Region, uint32_t Activity,
-                                          unsigned Proc, double Begin,
-                                          double End) {
-  if (End <= Begin)
-    return; // Zero-length intervals add nothing (reduceTrace adds 0.0).
+Error WindowedAnalyzer::accumulateInterval(uint32_t Region, uint32_t Activity,
+                                           unsigned Proc, double Begin,
+                                           double End) {
+  if (End <= Begin) // Zero-length intervals add nothing (reduceTrace adds 0.0).
+    return Error::success();
   double W = Options.WindowSeconds;
-  for (uint64_t K = windowIndexOf(Begin);; ++K) {
+  uint64_t First = windowIndexOf(Begin);
+  // Fail before allocating: a finite but absurd end time (say 1e15 s
+  // with a 1 s window) would otherwise drive one cube allocation per
+  // window across the whole span.
+  uint64_t Last = windowIndexOf(End);
+  if (Last - First >= Options.MaxIntervalWindows)
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "proc %u: interval [%.9f, %.9f) spans more than "
+                          "%llu windows of %.9f s",
+                          Proc, Begin, End,
+                          static_cast<unsigned long long>(
+                              Options.MaxIntervalWindows),
+                          W);
+  for (uint64_t K = First;; ++K) {
     double WinStart = static_cast<double>(K) * W;
     if (WinStart >= End)
       break;
@@ -60,11 +83,18 @@ void WindowedAnalyzer::accumulateInterval(uint32_t Region, uint32_t Activity,
     double Lo = std::max(Begin, WinStart);
     double Hi = std::min(End, WinEnd);
     if (Hi > Lo) {
-      WindowAccum &Accum = windowAt(K);
-      Accum.Cube.accumulate(Region, Activity, Proc, Hi - Lo);
-      Accum.AnyTime = true;
+      WindowAccum *Accum = windowAt(K);
+      if (!Accum)
+        return makeCodedError(ErrorCode::LimitExceeded,
+                              "more than %llu windows in flight; drain "
+                              "more often or widen --window",
+                              static_cast<unsigned long long>(
+                                  Options.MaxWindowsInFlight));
+      Accum->Cube.accumulate(Region, Activity, Proc, Hi - Lo);
+      Accum->AnyTime = true;
     }
   }
+  return Error::success();
 }
 
 Error WindowedAnalyzer::addEvent(const Event &E) {
@@ -74,6 +104,14 @@ Error WindowedAnalyzer::addEvent(const Event &E) {
                           "event processor %u out of range (trace declares "
                           "%u)",
                           E.Proc, NumProcs);
+  // The parsers reject non-finite times, but events can also arrive
+  // from in-memory traces; a non-finite time would poison the window
+  // index arithmetic, so it is always an error here too.
+  if (!std::isfinite(E.Time) || E.Time < 0.0)
+    return makeCodedError(ErrorCode::ValueOutOfRange,
+                          "proc %u event time %f is not finite and "
+                          "non-negative",
+                          E.Proc, E.Time);
   ProcState &P = Procs[E.Proc];
   if (P.AnyEvents && E.Time < P.LastTime)
     return makeCodedError(ErrorCode::StructuralError,
@@ -83,7 +121,11 @@ Error WindowedAnalyzer::addEvent(const Event &E) {
     ++Options.Report->TotalRecords;
 
   // Mirrors TraceReduction's lenient contract: a structurally
-  // impossible event is dropped and counted instead of aborting.
+  // impossible event is dropped and counted instead of aborting.  A
+  // drop returns success so the event still reaches the timeline
+  // updates below — its timestamp advances the processor clock and the
+  // watermark, exactly like reduceTrace's span — it just attributes no
+  // time.
   auto malformed = [&](const char *What) -> Error {
     ParseError PE{ErrorCode::StructuralError, 0, NoByteOffset,
                   "proc " + std::to_string(E.Proc) + ": " + What};
@@ -103,28 +145,36 @@ Error WindowedAnalyzer::addEvent(const Event &E) {
     P.Stack.push_back({E.Id});
     break;
   case EventKind::RegionExit:
-    if (P.Stack.empty())
-      return malformed("region exit without matching enter");
-    else
+    if (P.Stack.empty()) {
+      if (auto Err = malformed("region exit without matching enter"))
+        return Err;
+    } else
       P.Stack.pop_back();
     break;
   case EventKind::ActivityBegin:
     if (E.Id >= ActivityNames.size())
       return makeCodedError(ErrorCode::ValueOutOfRange,
                             "event activity %u out of range", E.Id);
-    if (P.Stack.empty())
-      return malformed("activity begins outside any region");
-    P.OpenActivity = E.Id;
-    P.ActivityBeginTime = E.Time;
+    if (P.Stack.empty()) {
+      if (auto Err = malformed("activity begins outside any region"))
+        return Err;
+    } else {
+      P.OpenActivity = E.Id;
+      P.ActivityBeginTime = E.Time;
+    }
     break;
   case EventKind::ActivityEnd:
-    if (P.Stack.empty())
-      return malformed("activity ends outside any region");
-    else if (P.OpenActivity == trace::Trace::InvalidId)
-      return malformed("activity end without matching begin");
-    else {
-      accumulateInterval(P.Stack.back().Region, P.OpenActivity, E.Proc,
-                         P.ActivityBeginTime, E.Time);
+    if (P.Stack.empty()) {
+      if (auto Err = malformed("activity ends outside any region"))
+        return Err;
+    } else if (P.OpenActivity == trace::Trace::InvalidId) {
+      if (auto Err = malformed("activity end without matching begin"))
+        return Err;
+    } else {
+      if (auto Err = accumulateInterval(P.Stack.back().Region,
+                                        P.OpenActivity, E.Proc,
+                                        P.ActivityBeginTime, E.Time))
+        return Err;
       P.OpenActivity = trace::Trace::InvalidId;
     }
     break;
@@ -137,7 +187,14 @@ Error WindowedAnalyzer::addEvent(const Event &E) {
   P.AnyEvents = true;
   MaxTime = std::max(MaxTime, E.Time);
   ++EventsSeen;
-  windowAt(windowIndexOf(E.Time)).Events += 1;
+  WindowAccum *Accum = windowAt(windowIndexOf(E.Time));
+  if (!Accum)
+    return makeCodedError(ErrorCode::LimitExceeded,
+                          "more than %llu windows in flight; drain more "
+                          "often or widen --window",
+                          static_cast<unsigned long long>(
+                              Options.MaxWindowsInFlight));
+  Accum->Events += 1;
   LIMA_METRIC_COUNT("lima.windowed.events_total", 1);
   return Error::success();
 }

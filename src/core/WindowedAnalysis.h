@@ -67,6 +67,15 @@ struct WindowedOptions {
   /// computed over an all-zero cube); set to true to receive them
   /// anyway with Empty = true.
   bool EmitEmptyWindows = false;
+  /// Caps on windowed bookkeeping, in the spirit of ParseLimits: a
+  /// finite but absurd timestamp must not drive unbounded work.  A
+  /// closed interval may span at most MaxIntervalWindows windows, and
+  /// at most MaxWindowsInFlight windows may be held before draining;
+  /// exceeding either fails addEvent with ErrorCode::LimitExceeded.
+  /// The defaults accept any plausible real cadence (a million windows
+  /// is 11 days at 1 s width) while bounding allocation.
+  uint64_t MaxIntervalWindows = 1ull << 20;
+  uint64_t MaxWindowsInFlight = 1ull << 20;
 };
 
 /// One completed window with its cube and index views.
@@ -101,8 +110,12 @@ public:
 
   /// Consumes one event.  Structural violations (exit without enter,
   /// activity outside a region, end without begin) fail in strict mode
-  /// and are dropped + counted in lenient mode.  Out-of-range ids and
-  /// time regressions within a processor are always errors.
+  /// and are dropped + counted in lenient mode; a dropped event still
+  /// advances the processor's clock, the watermark, and the event
+  /// counters (mirroring reduceTrace, whose span includes dropped
+  /// events), it just attributes no time.  Out-of-range ids,
+  /// non-finite or negative times, and time regressions within a
+  /// processor are always errors.
   Error addEvent(const trace::Event &E);
 
   /// Convenience: feeds every event of \p T in processor-major order
@@ -147,12 +160,16 @@ private:
   };
 
   uint64_t windowIndexOf(double Time) const;
-  WindowAccum &windowAt(uint64_t Index);
+  /// The accumulator for window \p Index, or null when allocating it
+  /// would exceed MaxWindowsInFlight.
+  WindowAccum *windowAt(uint64_t Index);
   /// Splits [Begin, End) across windows and accumulates into cell
   /// (Region, Activity, Proc).  An interval inside one window is added
-  /// as a single plain difference.
-  void accumulateInterval(uint32_t Region, uint32_t Activity, unsigned Proc,
-                          double Begin, double End);
+  /// as a single plain difference.  Fails with LimitExceeded when the
+  /// interval spans more than MaxIntervalWindows windows or the
+  /// in-flight cap is hit.
+  Error accumulateInterval(uint32_t Region, uint32_t Activity, unsigned Proc,
+                           double Begin, double End);
   WindowResult emitWindow(uint64_t Index, WindowAccum &&Accum);
   std::vector<WindowResult> drainUpTo(double Bound, bool Flush);
 

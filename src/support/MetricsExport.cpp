@@ -55,6 +55,27 @@ std::string formatValue(double V) { return formatGeneral(V); }
 
 } // namespace
 
+std::string metrics::escapeLabelValue(std::string_view Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
 SplitName metrics::splitMetricName(std::string_view Name) {
   SplitName Split;
   size_t Brace = Name.find('{');

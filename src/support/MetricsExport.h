@@ -48,6 +48,13 @@ struct SplitName {
 };
 SplitName splitMetricName(std::string_view Name);
 
+/// Escapes \p Value for use inside a Prometheus label value: backslash,
+/// double quote, and newline become \\, \", and \n (the exposition
+/// format's escape rules).  Callers embedding untrusted strings (say,
+/// region names from a trace) into a label block must escape them, or
+/// a name containing '"' yields invalid exposition output.
+std::string escapeLabelValue(std::string_view Value);
+
 } // namespace metrics
 } // namespace lima
 

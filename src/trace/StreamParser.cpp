@@ -7,6 +7,7 @@
 #include "trace/StreamParser.h"
 #include "support/Metrics.h"
 #include "support/StringUtils.h"
+#include <cmath>
 #include <optional>
 
 using namespace lima;
@@ -135,9 +136,12 @@ Error StreamParser::parseLine(std::string_view RawLine,
     auto TimeOrErr = parseDouble(Fields[2]);
     if (!TimeOrErr)
       return failNumber(TimeOrErr.takeError());
-    if (*TimeOrErr < 0.0)
+    // strtod accepts "inf" and "nan"; a non-finite time would propagate
+    // into window arithmetic (floor casts, interval splitting) where it
+    // causes undefined behavior or non-termination, so reject it here.
+    if (!std::isfinite(*TimeOrErr) || *TimeOrErr < 0.0)
       return fail(ErrorCode::ValueOutOfRange,
-                  "event time must be non-negative");
+                  "event time must be finite and non-negative");
     E.Time = *TimeOrErr;
     auto IdOrErr = parseUnsigned(Fields[3]);
     if (!IdOrErr)

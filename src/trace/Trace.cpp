@@ -8,6 +8,7 @@
 #include "support/Compiler.h"
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 #include <tuple>
 
@@ -101,10 +102,11 @@ Error Trace::validate() const {
 
     for (size_t I = 0; I != Stream.size(); ++I) {
       const Event &E = Stream[I];
-      if (E.Time < 0.0)
+      if (!std::isfinite(E.Time) || E.Time < 0.0)
         return makeCodedError(ErrorCode::ValueOutOfRange,
-                              "proc %u event %zu: negative time %.9f", Proc,
-                              I, E.Time);
+                              "proc %u event %zu: time %.9f is not finite "
+                              "and non-negative",
+                              Proc, I, E.Time);
       if (E.Time + 1e-12 < LastTime)
         return makeCodedError(
             ErrorCode::StructuralError,

@@ -8,6 +8,7 @@
 #include "support/FileUtils.h"
 #include "support/Metrics.h"
 #include "support/StringUtils.h"
+#include <cmath>
 #include <cstdio>
 #include <optional>
 
@@ -194,9 +195,11 @@ Expected<Trace> trace::parseTraceText(std::string_view Text,
       auto TimeOrErr = parseDouble(Fields[2]);
       if (!TimeOrErr)
         return failNumber(TimeOrErr.takeError());
-      if (*TimeOrErr < 0.0)
+      // strtod accepts "inf" and "nan"; non-finite times break every
+      // downstream time computation, so reject them at the boundary.
+      if (!std::isfinite(*TimeOrErr) || *TimeOrErr < 0.0)
         return fail(ErrorCode::ValueOutOfRange,
-                    "event time must be non-negative");
+                    "event time must be finite and non-negative");
       E.Time = *TimeOrErr;
       auto IdOrErr = parseUnsigned(Fields[3]);
       if (!IdOrErr)

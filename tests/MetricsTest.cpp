@@ -252,6 +252,19 @@ TEST(MetricsExportTest, LabeledSamplesShareOneTypeLine) {
                   "app_sid{region=\"b\"} 2\n");
 }
 
+TEST(MetricsExportTest, EscapeLabelValue) {
+  EXPECT_EQ(escapeLabelValue("plain"), "plain");
+  EXPECT_EQ(escapeLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  // An escaped hostile name embedded the way lima_monitor builds its
+  // per-region gauges yields valid exposition output.
+  RegistrySnapshot Snap;
+  Snap.Gauges.push_back(
+      {"app.sid{region=\"" + escapeLabelValue("evil\"}\nname") + "\"}", 1.0});
+  std::string Text = writePrometheusText(Snap);
+  EXPECT_EQ(Text, "# TYPE app_sid gauge\n"
+                  "app_sid{region=\"evil\\\"}\\nname\"} 1\n");
+}
+
 TEST(MetricsExportTest, HistogramLabelsComposeWithLe) {
   RegistrySnapshot Snap;
   Histogram::Snapshot H;

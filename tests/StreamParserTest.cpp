@@ -127,6 +127,20 @@ TEST(StreamParserTest, LenientModeDropsAndCounts) {
   EXPECT_EQ(Report.DroppedRecords, 2u);
 }
 
+TEST(StreamParserTest, NonFiniteTimesRejected) {
+  // strtod accepts "inf" and "nan"; a non-finite time reaching the
+  // windowed analyzer would hang or invoke undefined behavior, so the
+  // parser must reject it like a negative time.
+  for (const char *Time : {"inf", "-inf", "nan", "Infinity", "NAN"}) {
+    StreamParser P;
+    std::vector<Event> Events;
+    std::string Text = "LIMATRACE 1\nprocs 1\nregion 0 r\nactivity 0 a\n"
+                       "re 0 " +
+                       std::string(Time) + " 0\n";
+    EXPECT_TRUE(testutil::failed(P.feed(Text, Events))) << Time;
+  }
+}
+
 TEST(StreamParserTest, OverlongPartialLineRejected) {
   ParseOptions Options;
   Options.Limits.MaxLineBytes = 16;

@@ -8,6 +8,7 @@
 #include "core/TraceReduction.h"
 #include "TestHelpers.h"
 #include <gtest/gtest.h>
+#include <limits>
 
 using namespace lima;
 using namespace lima::core;
@@ -254,6 +255,67 @@ TEST(WindowedAnalysisTest, RejectsOutOfRangeAndTimeRegression) {
   ASSERT_FALSE(A.addEvent({1.0, 0, EventKind::RegionEnter, 0, 0}));
   EXPECT_TRUE(testutil::failed(
       A.addEvent({0.5, 0, EventKind::RegionEnter, 0, 0}))); // Backwards.
+}
+
+TEST(WindowedAnalysisTest, RejectsNonFiniteTimes) {
+  WindowedOptions Opts;
+  Opts.WindowSeconds = 1.0;
+  WindowedAnalyzer A({"r"}, {"a"}, 1, Opts);
+  double Inf = std::numeric_limits<double>::infinity();
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({Inf, 0, EventKind::RegionEnter, 0, 0})));
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({NaN, 0, EventKind::RegionEnter, 0, 0})));
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({-1.0, 0, EventKind::RegionEnter, 0, 0})));
+}
+
+TEST(WindowedAnalysisTest, HugeIntervalSpanFailsWithLimitExceeded) {
+  WindowedOptions Opts;
+  Opts.WindowSeconds = 1.0;
+  WindowedAnalyzer A({"r"}, {"a"}, 1, Opts);
+  ASSERT_FALSE(A.addEvent({0.0, 0, EventKind::RegionEnter, 0, 0}));
+  ASSERT_FALSE(A.addEvent({0.0, 0, EventKind::ActivityBegin, 0, 0}));
+  // A finite but absurd end time must fail fast instead of allocating
+  // one cube per window across 1e15 seconds (the test finishing at all
+  // is the point).
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({1e15, 0, EventKind::ActivityEnd, 0, 0})));
+}
+
+TEST(WindowedAnalysisTest, WindowsInFlightCapEnforced) {
+  WindowedOptions Opts;
+  Opts.WindowSeconds = 1.0;
+  Opts.MaxWindowsInFlight = 4;
+  WindowedAnalyzer A({"r"}, {"a"}, 1, Opts);
+  // Message events touch only the per-window event counter; each lands
+  // in its own window and nothing is drained in between.
+  for (int T = 0; T != 4; ++T)
+    ASSERT_FALSE(A.addEvent({double(T), 0, EventKind::MessageSend, 0, 8}));
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({4.0, 0, EventKind::MessageSend, 0, 8})));
+}
+
+TEST(WindowedAnalysisTest, LenientDropAdvancesTimeline) {
+  ParseReport Report;
+  WindowedOptions Opts;
+  Opts.WindowSeconds = 1.0;
+  Opts.Mode = ParseMode::Lenient;
+  Opts.Report = &Report;
+  WindowedAnalyzer A({"r"}, {"a"}, 1, Opts);
+  // A dropped malformed event still advances the processor clock, the
+  // watermark, and the event counters — mirroring reduceTrace, whose
+  // span includes dropped events — it just attributes no time.
+  ASSERT_FALSE(A.addEvent({2.5, 0, EventKind::RegionExit, 0, 0}));
+  EXPECT_EQ(Report.DroppedRecords, 1u);
+  EXPECT_DOUBLE_EQ(A.watermark(), 2.5);
+  EXPECT_DOUBLE_EQ(A.spanEnd(), 2.5);
+  EXPECT_EQ(A.eventsSeen(), 1u);
+  // Later events are judged against the dropped event's time, so the
+  // strict-mode and lenient-mode timelines agree.
+  EXPECT_TRUE(testutil::failed(
+      A.addEvent({1.0, 0, EventKind::MessageSend, 0, 8})));
 }
 
 TEST(WindowedAnalysisTest, EmptyWindowsSkippedUnlessRequested) {
