@@ -134,8 +134,12 @@ int main(int Argc, char **Argv) {
   Parse.Mode = Lenient ? ParseMode::Lenient : ParseMode::Strict;
   Parse.Report = Lenient ? &Report : nullptr;
 
-  trace::Trace Trace =
-      ExitOnErr(trace::loadTraceAuto(Parser.getPositionals()[0], Parse));
+  // --threads drives ingestion too: text traces parse sharded (and
+  // bit-identical to the sequential parser) on the same setting the
+  // analysis stages use.
+  unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
+  trace::Trace Trace = ExitOnErr(
+      trace::loadTraceAuto(Parser.getPositionals()[0], Parse, Threads));
 
   if (!Parser.getString("regions").empty() ||
       !Parser.getString("window").empty()) {
@@ -154,7 +158,6 @@ int main(int Argc, char **Argv) {
     Trace = ExitOnErr(trace::filterTrace(Trace, Filter));
   }
 
-  unsigned Threads = static_cast<unsigned>(Parser.getUnsigned("threads"));
   core::ReductionOptions Reduction;
   Reduction.Threads = Threads;
   Reduction.Mode = Parse.Mode;

@@ -7,6 +7,7 @@
 #include "core/CubeIO.h"
 #include "support/CSV.h"
 #include "support/FileUtils.h"
+#include "support/MappedFile.h"
 #include "support/StringUtils.h"
 #include <cstdio>
 #include <map>
@@ -219,8 +220,8 @@ Error core::saveCube(const MeasurementCube &Cube, const std::string &Path) {
 
 Expected<MeasurementCube> core::loadCube(const std::string &Path,
                                          const ParseOptions &Options) {
-  auto TextOrErr = readFile(Path);
-  if (auto Err = TextOrErr.takeError())
+  auto FileOrErr = MappedFile::open(Path);
+  if (auto Err = FileOrErr.takeError())
     return Err;
-  return parseCubeCSV(*TextOrErr, Options);
+  return parseCubeCSV(FileOrErr->view(), Options);
 }

@@ -1,0 +1,80 @@
+//===- support/MappedFile.cpp - Read-only mapped file views ---------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MappedFile.h"
+#include "support/FileUtils.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LIMA_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define LIMA_HAVE_MMAP 0
+#endif
+
+using namespace lima;
+
+MappedFile &MappedFile::operator=(MappedFile &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  reset();
+  Mapping = Other.Mapping;
+  MappedSize = Other.MappedSize;
+  Fallback = std::move(Other.Fallback);
+  Other.Mapping = nullptr;
+  Other.MappedSize = 0;
+  Other.Fallback.clear();
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() {
+#if LIMA_HAVE_MMAP
+  if (Mapping)
+    ::munmap(Mapping, MappedSize);
+#endif
+  Mapping = nullptr;
+  MappedSize = 0;
+}
+
+Expected<MappedFile> MappedFile::open(const std::string &Path) {
+  MappedFile Result;
+#if LIMA_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd >= 0) {
+    struct stat St;
+    bool Mapped = false;
+    // Only regular, non-empty files map usefully; pipes and character
+    // devices (stdin redirections) take the heap fallback below.
+    if (::fstat(Fd, &St) == 0 && S_ISREG(St.st_mode) && St.st_size > 0) {
+      size_t Size = static_cast<size_t>(St.st_size);
+      void *Base = ::mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, Fd, 0);
+      if (Base != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        // The parsers stream front to back; let readahead know.
+        ::madvise(Base, Size, MADV_SEQUENTIAL);
+#endif
+        Result.Mapping = Base;
+        Result.MappedSize = Size;
+        Mapped = true;
+      }
+    }
+    ::close(Fd);
+    if (Mapped)
+      return Result;
+  }
+#endif
+  // Heap fallback: anything readFile() accepts (including files open()
+  // could not map) still loads, just with one copy.
+  auto ContentsOrErr = readFile(Path);
+  if (auto Err = ContentsOrErr.takeError())
+    return Err;
+  Result.Fallback = std::move(*ContentsOrErr);
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- support/MappedFile.h - Read-only mapped file views -------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-copy file input for the ingestion fast path: a MappedFile holds
+/// an entire file as a read-only byte view, mmap-backed when the
+/// platform and the file cooperate (a regular file on POSIX) and backed
+/// by an ordinary heap read otherwise (pipes, /dev/stdin, empty files,
+/// platforms without mmap).  Parsers consume the view() without ever
+/// copying the underlying bytes; anything they keep (names, events) is
+/// copied out during parsing, so the parsed result never borrows from
+/// the mapping and the MappedFile may be dropped as soon as parsing
+/// returns (see DESIGN.md, "Ingestion fast path": lifetime rules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_MAPPEDFILE_H
+#define LIMA_SUPPORT_MAPPEDFILE_H
+
+#include "support/Error.h"
+#include <string>
+#include <string_view>
+
+namespace lima {
+
+/// A whole file as a contiguous read-only byte range.
+///
+/// Move-only; the mapping (or the fallback buffer) lives exactly as
+/// long as the object.  The view is NOT NUL-terminated.
+class MappedFile {
+public:
+  /// Opens and maps \p Path.  Non-regular files and mmap failures fall
+  /// back to reading the contents onto the heap, so open() succeeds for
+  /// anything readFile() could read.
+  static Expected<MappedFile> open(const std::string &Path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile &&Other) noexcept { *this = std::move(Other); }
+  MappedFile &operator=(MappedFile &&Other) noexcept;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  ~MappedFile();
+
+  /// The file contents.  Valid until the MappedFile is destroyed.
+  std::string_view view() const {
+    return Mapping ? std::string_view(static_cast<const char *>(Mapping),
+                                      MappedSize)
+                   : std::string_view(Fallback);
+  }
+
+  size_t size() const { return view().size(); }
+
+  /// True when the bytes come from an mmap rather than the heap.
+  bool isMapped() const { return Mapping != nullptr; }
+
+private:
+  void reset();
+
+  void *Mapping = nullptr; ///< mmap base, or null when using Fallback.
+  size_t MappedSize = 0;
+  std::string Fallback;
+};
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_MAPPEDFILE_H

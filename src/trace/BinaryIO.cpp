@@ -6,8 +6,10 @@
 
 #include "trace/BinaryIO.h"
 #include "support/FileUtils.h"
+#include "support/MappedFile.h"
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
+#include "trace/ParallelParse.h"
 #include "trace/TraceIO.h"
 #include <cstring>
 
@@ -312,26 +314,27 @@ Error trace::saveTraceBinary(const Trace &T, const std::string &Path) {
 
 Expected<Trace> trace::loadTraceBinary(const std::string &Path,
                                        const ParseOptions &Options) {
-  auto DataOrErr = readFile(Path);
-  if (auto Err = DataOrErr.takeError())
+  auto FileOrErr = MappedFile::open(Path);
+  if (auto Err = FileOrErr.takeError())
     return Err;
-  return parseTraceBinary(*DataOrErr, Options);
+  return parseTraceBinary(FileOrErr->view(), Options);
 }
 
 Expected<Trace> trace::loadTraceAuto(const std::string &Path,
-                                     const ParseOptions &Options) {
+                                     const ParseOptions &Options,
+                                     unsigned Threads) {
   LIMA_STAGE("load");
-  Expected<std::string> DataOrErr = [&] {
-    LIMA_SPAN("load.read");
-    return readFile(Path);
+  Expected<MappedFile> FileOrErr = [&] {
+    LIMA_SPAN("load.map");
+    return MappedFile::open(Path);
   }();
-  if (auto Err = DataOrErr.takeError())
+  if (auto Err = FileOrErr.takeError())
     return Err;
-  const std::string &Data = *DataOrErr;
+  std::string_view Data = FileOrErr->view();
   LIMA_SPAN("load.parse");
   LIMA_COUNTER_ADD("load.bytes", Data.size());
   if (Data.size() >= sizeof(Magic) &&
       std::memcmp(Data.data(), Magic, sizeof(Magic)) == 0)
     return parseTraceBinary(Data, Options);
-  return parseTraceText(Data, Options);
+  return parseTraceTextParallel(Data, Options, Threads);
 }

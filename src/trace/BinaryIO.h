@@ -53,9 +53,14 @@ Expected<Trace> loadTraceBinary(const std::string &Path,
                                 const ParseOptions &Options = {});
 
 /// Loads a trace in either format, sniffing the magic: "LIMB" selects
-/// the binary parser, anything else the text parser.
+/// the binary parser, anything else the text parser.  The file is
+/// mmapped when possible and parsed zero-copy; text traces parse on
+/// \p Threads threads (0 = all hardware threads, 1 = sequential) via
+/// parseTraceTextParallel, which is bit-identical to the sequential
+/// parser at every thread count.
 Expected<Trace> loadTraceAuto(const std::string &Path,
-                              const ParseOptions &Options = {});
+                              const ParseOptions &Options = {},
+                              unsigned Threads = 1);
 
 } // namespace trace
 } // namespace lima

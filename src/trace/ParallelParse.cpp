@@ -1,0 +1,292 @@
+//===- trace/ParallelParse.cpp - Sharded LIMATRACE text parsing -----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Structure of a parallel parse:
+//
+//   prologue   sequential TextTraceParser until the first event line
+//   scan       shard the rest at newline boundaries; per shard, count
+//              lines and look for stray directives (pass A, parallel)
+//   parse      per shard, run the shared event-record grammar into
+//              shard-local events + ParseReport (pass B, parallel)
+//   merge      fold shard results back in shard order (sequential)
+//
+// Everything that could make the sharded result differ from the
+// sequential one — a directive in the event section (it would mutate
+// the tables later events validate against), or an event-count /
+// allocation limit that could trip midway (the failing line depends on
+// global position) — is caught after pass A and routed to the
+// sequential parser instead.  That keeps the fast path simple and the
+// equivalence argument airtight: shards only ever parse self-contained
+// event lines against frozen tables, with limits proven untrippable up
+// front.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/ParallelParse.h"
+#include "support/MappedFile.h"
+#include "support/Metrics.h"
+#include "support/Parallel.h"
+#include "support/Telemetry.h"
+#include "trace/TextParserDetail.h"
+#include <cstring>
+#include <optional>
+
+using namespace lima;
+using namespace lima::trace;
+
+namespace {
+
+/// Below this many event-section bytes the pool overhead outweighs the
+/// parse; run sequentially.
+constexpr size_t MinParallelBytes = 64 * 1024;
+
+struct Shard {
+  size_t Begin = 0; ///< Lines starting in [Begin, End) belong here.
+  size_t End = 0;
+  bool Last = false; ///< Owns the trailing unterminated segment.
+
+  // Pass A results.
+  uint64_t Lines = 0;
+  bool SawDirective = false;
+
+  // Pass B inputs/results.
+  size_t FirstLineNo = 0; ///< 1-based number of the shard's first line.
+  std::vector<Event> Events;
+  ParseReport Report;
+  std::optional<ParseError> Err;
+};
+
+/// Calls \p F(Begin, End) for every line segment starting in
+/// [\p Begin, \p End), replicating splitString(Text, '\n') segmentation:
+/// the shard marked Last additionally owns the final (possibly empty)
+/// segment after the last '\n' of the input.  Stops early when \p F
+/// returns false.
+template <typename Fn>
+void forEachSegment(std::string_view Text, const Shard &S, Fn &&F) {
+  size_t Pos = S.Begin;
+  bool Trailing = S.Last;
+  while (Pos < S.End) {
+    const void *Nl = std::memchr(Text.data() + Pos, '\n', S.End - Pos);
+    if (!Nl) {
+      // Unterminated final line; only the last shard can get here.
+      F(Pos, S.End);
+      return;
+    }
+    size_t SegEnd =
+        static_cast<size_t>(static_cast<const char *>(Nl) - Text.data());
+    if (!F(Pos, SegEnd))
+      return;
+    Pos = SegEnd + 1;
+  }
+  if (Trailing)
+    F(S.End, S.End);
+}
+
+/// True when the first whitespace-delimited token of the segment is a
+/// header directive, i.e. the sequential parser would not treat this
+/// line as an event record.
+bool isDirectiveLine(std::string_view Line) {
+  Line = scan::skipLeadingSpace(Line);
+  if (Line.empty())
+    return false;
+  // Directives all start with 'p', 'r' or 'a'; cheap reject first.
+  char C = Line.front();
+  if (C != 'p' && C != 'r' && C != 'a')
+    return false;
+  size_t TokEnd = 0;
+  while (TokEnd < Line.size() && !scan::isSpaceByte(Line[TokEnd]))
+    ++TokEnd;
+  std::string_view Tok = Line.substr(0, TokEnd);
+  return Tok == "procs" || Tok == "region" || Tok == "activity";
+}
+
+/// Pass A: line count + directive detection for one shard.
+void scanShard(std::string_view Text, Shard &S) {
+  forEachSegment(Text, S, [&](size_t Begin, size_t End) {
+    ++S.Lines;
+    if (!S.SawDirective &&
+        isDirectiveLine(Text.substr(Begin, End - Begin)))
+      S.SawDirective = true;
+    return true;
+  });
+}
+
+/// Pass B: parses one shard's event lines against the frozen \p Tables.
+/// Limits that depend on global state (event count, allocation cap)
+/// were proven untrippable before pass B started; the per-line length
+/// limit is still enforced here and is fatal, exactly as in the
+/// sequential parser.
+void parseShard(std::string_view Text, Shard &S,
+                const ParseOptions &Options,
+                const scan::EventTables &Tables) {
+  ParseOptions Local = Options;
+  Local.Report = Options.Report ? &S.Report : nullptr;
+  const ParseLimits &Limits = Options.Limits;
+  size_t LineNo = S.FirstLineNo - 1;
+  uint64_t Records = 0; // flushed to S.Report after the walk
+
+  forEachSegment(Text, S, [&](size_t Begin, size_t End) {
+    std::string_view RawLine = Text.substr(Begin, End - Begin);
+    size_t LineOffset = Begin;
+    ++LineNo;
+    if (RawLine.size() > Limits.MaxLineBytes) {
+      S.Err = makeParseError(ErrorCode::LimitExceeded, LineNo, LineOffset,
+                             "trace line %zu: line exceeds the length limit",
+                             LineNo)
+                  .toParseError();
+      return false;
+    }
+    std::string_view Line = scan::skipLeadingSpace(RawLine);
+    if (Line.empty() || Line.front() == '#')
+      return true;
+    std::string_view Fields[scan::MaxFields];
+    size_t NumFields = scan::splitFields(Line, Fields);
+    ++Records;
+    Event E;
+    Error RecordErr =
+        scan::parseEventRecord(Fields, NumFields, Tables, LineNo,
+                               LineOffset, E);
+    if (RecordErr) {
+      ParseError PE = RecordErr.toParseError();
+      if (PE.Code != ErrorCode::MissingSection && Local.dropRecord(PE))
+        return true;
+      S.Err = std::move(PE);
+      return false;
+    }
+    S.Events.push_back(E);
+    return true;
+  });
+  if (Local.Report)
+    Local.Report->TotalRecords += Records;
+}
+
+} // namespace
+
+Expected<Trace> trace::parseTraceTextParallel(std::string_view Text,
+                                              const ParseOptions &Options,
+                                              unsigned Threads) {
+  Threads = resolveThreadCount(Threads);
+
+  // Phase 1: the header prologue is inherently sequential (each
+  // declaration changes the tables the next line validates against).
+  detail::TextTraceParser Parser(Text, Options);
+  if (auto Err = Parser.parsePrologue())
+    return Err;
+  scan::EventTables Tables = Parser.tables();
+  size_t EvStart = Parser.position();
+  size_t Remain = Text.size() - EvStart;
+  if (Parser.atEnd() || !Tables.SawProcs || Threads <= 1 ||
+      Remain < MinParallelBytes) {
+    // Nothing shardable (or not worth sharding): finish sequentially.
+    // !SawProcs means the next line fails with MissingSection; let the
+    // sequential parser produce that error verbatim.
+    if (auto Err = Parser.parseAll())
+      return Err;
+    return Parser.take();
+  }
+
+  // Phase 2: shard [EvStart, end) at newline boundaries.
+  LIMA_STAGE("ingest");
+  std::vector<Shard> Shards;
+  {
+    LIMA_SPAN("ingest.scan");
+    size_t ChunkBytes = Remain / Threads;
+    size_t Begin = EvStart;
+    for (unsigned I = 0; I != Threads && Begin <= Text.size(); ++I) {
+      Shard S;
+      S.Begin = Begin;
+      if (I + 1 == Threads) {
+        S.End = Text.size();
+      } else {
+        size_t Target = std::min(EvStart + (I + 1) * ChunkBytes,
+                                 Text.size());
+        Target = std::max(Target, Begin);
+        const void *Nl = std::memchr(Text.data() + Target, '\n',
+                                     Text.size() - Target);
+        S.End = Nl ? static_cast<size_t>(static_cast<const char *>(Nl) -
+                                         Text.data()) +
+                         1
+                   : Text.size();
+      }
+      Begin = S.End;
+      Shards.push_back(S);
+    }
+    Shards.back().End = Text.size();
+    Shards.back().Last = true;
+
+    // Pass A: count lines, look for stray directives.
+    parallelFor(Shards.size(), Threads,
+                [&](size_t I) { scanShard(Text, Shards[I]); });
+  }
+
+  uint64_t RemainLines = 0;
+  bool SawDirective = false;
+  for (const Shard &S : Shards) {
+    RemainLines += S.Lines;
+    SawDirective |= S.SawDirective;
+  }
+
+  // Sequential fallbacks: a directive mid-events mutates the tables
+  // later events validate against, and a limit that could trip
+  // mid-section fails on a line that depends on global event/byte
+  // totals.  Both are position-dependent in a way shards cannot see,
+  // so replay them through the sequential parser (bit-identical by
+  // construction).  RemainLines over-approximates remaining events, so
+  // passing these checks proves no shard can trip either limit.
+  const ParseLimits &Limits = Options.Limits;
+  if (SawDirective ||
+      Parser.totalEvents() + RemainLines > Limits.MaxEvents ||
+      Parser.allocBytes() + RemainLines * sizeof(Event) >
+          Limits.MaxAllocBytes) {
+    LIMA_METRIC_COUNT("lima.ingest.fallback_total", 1);
+    if (auto Err = Parser.parseAll())
+      return Err;
+    return Parser.take();
+  }
+
+  // Phase 3: parse shards concurrently.
+  {
+    LIMA_SPAN("ingest.parse");
+    size_t NextLine = Parser.nextLineNumber();
+    for (Shard &S : Shards) {
+      S.FirstLineNo = NextLine;
+      NextLine += S.Lines;
+    }
+    parallelFor(Shards.size(), Threads, [&](size_t I) {
+      parseShard(Text, Shards[I], Options, Tables);
+    });
+  }
+
+  // Phase 4: merge in shard order.  The first erroring shard (lowest
+  // byte offset) wins; its report — and those of the shards before it —
+  // are exactly what the sequential parser would have accumulated up to
+  // and including the failing line.
+  LIMA_SPAN("ingest.merge");
+  LIMA_METRIC_COUNT("lima.ingest.shards", Shards.size());
+  uint64_t MergedEvents = 0;
+  for (Shard &S : Shards) {
+    if (Options.Report)
+      Options.Report->merge(S.Report);
+    if (S.Err)
+      return Error::fromParse(std::move(*S.Err));
+    MergedEvents += S.Events.size();
+  }
+  for (const Shard &S : Shards)
+    for (const Event &E : S.Events)
+      Parser.appendEvent(E);
+  Parser.noteShardedSection(RemainLines, MergedEvents,
+                            MergedEvents * sizeof(Event));
+  return Parser.take();
+}
+
+Expected<Trace> trace::loadTraceParallel(const std::string &Path,
+                                         const ParseOptions &Options,
+                                         unsigned Threads) {
+  auto FileOrErr = MappedFile::open(Path);
+  if (auto Err = FileOrErr.takeError())
+    return Err;
+  return parseTraceTextParallel(FileOrErr->view(), Options, Threads);
+}

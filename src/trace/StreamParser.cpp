@@ -6,30 +6,12 @@
 
 #include "trace/StreamParser.h"
 #include "support/Metrics.h"
-#include "support/StringUtils.h"
-#include <cmath>
-#include <optional>
+#include "trace/TextScan.h"
 
 using namespace lima;
 using namespace lima::trace;
 
 StreamParser::StreamParser(ParseOptions Opts) : Options(std::move(Opts)) {}
-
-static std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
-  if (Mnemonic == "re")
-    return EventKind::RegionEnter;
-  if (Mnemonic == "rx")
-    return EventKind::RegionExit;
-  if (Mnemonic == "ab")
-    return EventKind::ActivityBegin;
-  if (Mnemonic == "ae")
-    return EventKind::ActivityEnd;
-  if (Mnemonic == "ms")
-    return EventKind::MessageSend;
-  if (Mnemonic == "mr")
-    return EventKind::MessageRecv;
-  return std::nullopt;
-}
 
 Error StreamParser::parseLine(std::string_view RawLine,
                               std::vector<Event> &Out) {
@@ -48,16 +30,17 @@ Error StreamParser::parseLine(std::string_view RawLine,
 
   if (RawLine.size() > Limits.MaxLineBytes)
     return fail(ErrorCode::LimitExceeded, "line exceeds the length limit");
-  std::string_view Line = trimString(RawLine);
+  std::string_view Line = scan::skipLeadingSpace(RawLine);
   if (Line.empty() || Line.front() == '#')
     return Error::success();
-  std::vector<std::string_view> Fields = splitWhitespace(Line);
+  std::string_view Fields[scan::MaxFields];
+  size_t NumFields = scan::splitFields(Line, Fields);
 
   if (!SawMagic) {
-    if (Fields.size() == 2 && Fields[0] == "LIMATRACE" && Fields[1] != "1")
+    if (NumFields == 2 && Fields[0] == "LIMATRACE" && Fields[1] != "1")
       return fail(ErrorCode::UnsupportedVersion,
                   "unsupported LIMATRACE version");
-    if (Fields.size() != 2 || Fields[0] != "LIMATRACE" || Fields[1] != "1")
+    if (NumFields != 2 || Fields[0] != "LIMATRACE" || Fields[1] != "1")
       return fail(ErrorCode::BadMagic, "expected header 'LIMATRACE 1'");
     SawMagic = true;
     return Error::success();
@@ -66,9 +49,9 @@ Error StreamParser::parseLine(std::string_view RawLine,
   if (Fields[0] == "procs") {
     if (SawProcs)
       return fail(ErrorCode::DuplicateDeclaration, "duplicate 'procs' line");
-    if (Fields.size() != 2)
+    if (NumFields != 2)
       return fail(ErrorCode::MalformedRecord, "'procs' takes one argument");
-    auto CountOrErr = parseUnsigned(Fields[1]);
+    auto CountOrErr = scan::scanUnsigned(Fields[1]);
     if (!CountOrErr)
       return failNumber(CountOrErr.takeError());
     if (*CountOrErr == 0 || *CountOrErr > (1u << 20))
@@ -85,10 +68,10 @@ Error StreamParser::parseLine(std::string_view RawLine,
     if (!SawProcs)
       return fail(ErrorCode::MissingSection,
                   "'procs' must precede declarations");
-    if (Fields.size() < 3)
+    if (NumFields < 3)
       return fail(ErrorCode::MalformedRecord,
                   "declaration needs an id and a name");
-    auto IdOrErr = parseUnsigned(Fields[1]);
+    auto IdOrErr = scan::scanUnsigned(Fields[1]);
     if (!IdOrErr)
       return failNumber(IdOrErr.takeError());
     bool IsRegion = Fields[0] == "region";
@@ -102,7 +85,7 @@ Error StreamParser::parseLine(std::string_view RawLine,
     if (Fields[2].size() > Limits.MaxNameBytes)
       return fail(ErrorCode::LimitExceeded,
                   "declaration name exceeds the length limit");
-    AllocBytes += Fields[2].size() + sizeof(std::string);
+    AllocBytes += scan::nameAllocCost(Fields[2].size());
     if (AllocBytes > Limits.MaxAllocBytes)
       return fail(ErrorCode::LimitExceeded,
                   "name tables exceed the allocation cap");
@@ -110,71 +93,18 @@ Error StreamParser::parseLine(std::string_view RawLine,
     return Error::success();
   }
 
-  // Event record.
+  // Event record: the grammar lives in scan::parseEventRecord, shared
+  // with the batch and sharded parsers so the three cannot drift.
   if (Options.Report)
     ++Options.Report->TotalRecords;
+  scan::EventTables Tables;
+  Tables.SawProcs = SawProcs;
+  Tables.NumProcs = NumProcs;
+  Tables.NumRegions = Regions.size();
+  Tables.NumActivities = Activities.size();
   Event E;
-  Error RecordErr = [&]() -> Error {
-    std::optional<EventKind> Kind = kindFromMnemonic(Fields[0]);
-    if (!Kind)
-      return fail(ErrorCode::MalformedRecord, "unknown record type");
-    if (!SawProcs)
-      return fail(ErrorCode::MissingSection, "'procs' must precede events");
-    bool IsMessage =
-        *Kind == EventKind::MessageSend || *Kind == EventKind::MessageRecv;
-    size_t Expect = IsMessage ? 5 : 4;
-    if (Fields.size() != Expect)
-      return fail(ErrorCode::MalformedRecord, "wrong field count for event");
-
-    E.Kind = *Kind;
-    auto ProcOrErr = parseUnsigned(Fields[1]);
-    if (!ProcOrErr)
-      return failNumber(ProcOrErr.takeError());
-    if (*ProcOrErr >= NumProcs)
-      return fail(ErrorCode::ValueOutOfRange, "event processor out of range");
-    E.Proc = static_cast<uint32_t>(*ProcOrErr);
-    auto TimeOrErr = parseDouble(Fields[2]);
-    if (!TimeOrErr)
-      return failNumber(TimeOrErr.takeError());
-    // strtod accepts "inf" and "nan"; a non-finite time would propagate
-    // into window arithmetic (floor casts, interval splitting) where it
-    // causes undefined behavior or non-termination, so reject it here.
-    if (!std::isfinite(*TimeOrErr) || *TimeOrErr < 0.0)
-      return fail(ErrorCode::ValueOutOfRange,
-                  "event time must be finite and non-negative");
-    E.Time = *TimeOrErr;
-    auto IdOrErr = parseUnsigned(Fields[3]);
-    if (!IdOrErr)
-      return failNumber(IdOrErr.takeError());
-    if (*IdOrErr > UINT32_MAX)
-      return fail(ErrorCode::ValueOutOfRange, "event id overflows u32");
-    E.Id = static_cast<uint32_t>(*IdOrErr);
-    switch (E.Kind) {
-    case EventKind::RegionEnter:
-    case EventKind::RegionExit:
-      if (E.Id >= Regions.size())
-        return fail(ErrorCode::ValueOutOfRange, "event region out of range");
-      break;
-    case EventKind::ActivityBegin:
-    case EventKind::ActivityEnd:
-      if (E.Id >= Activities.size())
-        return fail(ErrorCode::ValueOutOfRange,
-                    "event activity out of range");
-      break;
-    case EventKind::MessageSend:
-    case EventKind::MessageRecv:
-      if (E.Id >= NumProcs)
-        return fail(ErrorCode::ValueOutOfRange, "message peer out of range");
-      break;
-    }
-    if (IsMessage) {
-      auto BytesOrErr = parseUnsigned(Fields[4]);
-      if (!BytesOrErr)
-        return failNumber(BytesOrErr.takeError());
-      E.Bytes = *BytesOrErr;
-    }
-    return Error::success();
-  }();
+  Error RecordErr =
+      scan::parseEventRecord(Fields, NumFields, Tables, LineNo, LineOffset, E);
   if (RecordErr) {
     ParseError PE = RecordErr.toParseError();
     if (PE.Code != ErrorCode::MissingSection && Options.dropRecord(PE)) {

@@ -1,0 +1,232 @@
+//===- trace/TextScan.h - LIMATRACE text scanning primitives ----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation-free scanning core shared by every LIMATRACE text
+/// consumer — the batch parser (parseTraceText), the sharded parallel
+/// parser (parseTraceTextParallel) and the incremental StreamParser.
+/// Three layers:
+///
+///  - splitFields: an in-place cursor tokenizer that replaces the
+///    per-line splitWhitespace() vector (one heap allocation per line)
+///    with a fixed field array on the caller's stack;
+///  - scanUnsigned / scanDouble: std::from_chars fast paths that fall
+///    back to the historical strtoX-based StringUtils parsers whenever
+///    from_chars does not cleanly consume the token, so the accepted
+///    grammar, the produced values and the BadNumber error messages are
+///    bit-identical to the pre-fast-path parsers (leading '+', hex
+///    floats, out-of-range and subnormal handling all route through the
+///    old code);
+///  - parseEventRecord: the one event-record grammar, shared so the
+///    three consumers cannot drift apart in error codes, messages or
+///    range checks.
+///
+/// Everything here is internal to lima_trace; no stability promises.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_TEXTSCAN_H
+#define LIMA_TRACE_TEXTSCAN_H
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+#include "trace/Event.h"
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lima {
+namespace trace {
+namespace scan {
+
+/// The C-locale isspace() set, which is what splitWhitespace() and
+/// trimString() match under the never-changed default locale.
+inline bool isSpaceByte(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\v' || C == '\f' ||
+         C == '\r';
+}
+
+/// Widest record is a message event (5 fields); one extra slot lets
+/// every "wrong field count" check distinguish <= 5 from "too many".
+inline constexpr size_t MaxFields = 6;
+
+/// Tokenizes \p Line on whitespace runs into \p Fields[0..MaxFields).
+/// Returns the number of fields stored, saturating at MaxFields (a
+/// return of MaxFields means "MaxFields or more"); every grammar check
+/// compares against counts <= 5, so saturation never changes a verdict.
+inline size_t splitFields(std::string_view Line, std::string_view *Fields) {
+  size_t N = 0;
+  const char *P = Line.data();
+  const char *End = P + Line.size();
+  while (P != End) {
+    while (P != End && isSpaceByte(*P))
+      ++P;
+    const char *Tok = P;
+    while (P != End && !isSpaceByte(*P))
+      ++P;
+    if (P == Tok)
+      break;
+    Fields[N++] = std::string_view(Tok, static_cast<size_t>(P - Tok));
+    if (N == MaxFields)
+      break;
+  }
+  return N;
+}
+
+/// Left-trim only: line classification ("blank or comment?") never
+/// looks past the first non-space byte.
+inline std::string_view skipLeadingSpace(std::string_view Str) {
+  size_t Begin = 0;
+  while (Begin < Str.size() && isSpaceByte(Str[Begin]))
+    ++Begin;
+  return Str.substr(Begin);
+}
+
+/// parseUnsigned() semantics at from_chars speed.  Tokens from_chars
+/// does not cleanly consume (leading '+', embedded 'x', overflow) are
+/// re-parsed by the historical strtoull path so the accept set and the
+/// error messages stay identical.
+inline Expected<uint64_t> scanUnsigned(std::string_view Tok) {
+  uint64_t Value;
+  auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), Value);
+  if (Ec == std::errc() && Ptr == Tok.data() + Tok.size())
+    return Value;
+  return parseUnsigned(Tok);
+}
+
+/// parseDouble() semantics at from_chars speed.  The fallback covers
+/// everything from_chars and strtod disagree on: '+' signs, hex floats,
+/// overflow/underflow (strtod's ERANGE becomes BadNumber) and subnormal
+/// results (glibc flags those ERANGE too, from_chars does not).
+inline Expected<double> scanDouble(std::string_view Tok) {
+  double Value;
+  auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), Value);
+  if (Ec == std::errc() && Ptr == Tok.data() + Tok.size() &&
+      (Value == 0.0 || std::fpclassify(Value) != FP_SUBNORMAL))
+    return Value;
+  return parseDouble(Tok);
+}
+
+/// Event mnemonic table ("re", "rx", "ab", "ae", "ms", "mr").
+inline std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
+  if (Mnemonic == "re")
+    return EventKind::RegionEnter;
+  if (Mnemonic == "rx")
+    return EventKind::RegionExit;
+  if (Mnemonic == "ab")
+    return EventKind::ActivityBegin;
+  if (Mnemonic == "ae")
+    return EventKind::ActivityEnd;
+  if (Mnemonic == "ms")
+    return EventKind::MessageSend;
+  if (Mnemonic == "mr")
+    return EventKind::MessageRecv;
+  return std::nullopt;
+}
+
+/// The name tables an event record validates against.  Parsers that
+/// build a Trace pass the trace's table sizes; the stream parser passes
+/// its own vectors' sizes.
+struct EventTables {
+  bool SawProcs = false;
+  unsigned NumProcs = 0;
+  size_t NumRegions = 0;
+  size_t NumActivities = 0;
+};
+
+/// Parses \p Fields[0..NumFields) as one event record into \p E.
+/// Grammar, range checks, error codes and messages are the historical
+/// per-line parser's, verbatim; callers own drop-vs-abort policy.
+inline Error parseEventRecord(const std::string_view *Fields,
+                              size_t NumFields, const EventTables &Tables,
+                              size_t LineNo, size_t LineOffset, Event &E) {
+  auto fail = [&](ErrorCode Code, const char *What) {
+    return makeParseError(Code, LineNo, LineOffset, "trace line %zu: %s",
+                          LineNo, What);
+  };
+  auto failNumber = [&](Error Err) {
+    return makeParseError(ErrorCode::BadNumber, LineNo, LineOffset,
+                          "trace line %zu: %s", LineNo,
+                          Err.message().c_str());
+  };
+
+  std::optional<EventKind> Kind = kindFromMnemonic(Fields[0]);
+  if (!Kind)
+    return fail(ErrorCode::MalformedRecord, "unknown record type");
+  if (!Tables.SawProcs)
+    return fail(ErrorCode::MissingSection, "'procs' must precede events");
+  bool IsMessage =
+      *Kind == EventKind::MessageSend || *Kind == EventKind::MessageRecv;
+  size_t Expect = IsMessage ? 5 : 4;
+  if (NumFields != Expect)
+    return fail(ErrorCode::MalformedRecord, "wrong field count for event");
+
+  E.Kind = *Kind;
+  auto ProcOrErr = scanUnsigned(Fields[1]);
+  if (!ProcOrErr)
+    return failNumber(ProcOrErr.takeError());
+  if (*ProcOrErr >= Tables.NumProcs)
+    return fail(ErrorCode::ValueOutOfRange, "event processor out of range");
+  E.Proc = static_cast<uint32_t>(*ProcOrErr);
+  auto TimeOrErr = scanDouble(Fields[2]);
+  if (!TimeOrErr)
+    return failNumber(TimeOrErr.takeError());
+  // "inf" and "nan" parse as numbers; non-finite times break every
+  // downstream time computation, so reject them at the boundary.
+  if (!std::isfinite(*TimeOrErr) || *TimeOrErr < 0.0)
+    return fail(ErrorCode::ValueOutOfRange,
+                "event time must be finite and non-negative");
+  E.Time = *TimeOrErr;
+  auto IdOrErr = scanUnsigned(Fields[3]);
+  if (!IdOrErr)
+    return failNumber(IdOrErr.takeError());
+  if (*IdOrErr > UINT32_MAX)
+    return fail(ErrorCode::ValueOutOfRange, "event id overflows u32");
+  E.Id = static_cast<uint32_t>(*IdOrErr);
+  switch (E.Kind) {
+  case EventKind::RegionEnter:
+  case EventKind::RegionExit:
+    if (E.Id >= Tables.NumRegions)
+      return fail(ErrorCode::ValueOutOfRange, "event region out of range");
+    break;
+  case EventKind::ActivityBegin:
+  case EventKind::ActivityEnd:
+    if (E.Id >= Tables.NumActivities)
+      return fail(ErrorCode::ValueOutOfRange, "event activity out of range");
+    break;
+  case EventKind::MessageSend:
+  case EventKind::MessageRecv:
+    if (E.Id >= Tables.NumProcs)
+      return fail(ErrorCode::ValueOutOfRange, "message peer out of range");
+    break;
+  }
+  if (IsMessage) {
+    auto BytesOrErr = scanUnsigned(Fields[4]);
+    if (!BytesOrErr)
+      return failNumber(BytesOrErr.takeError());
+    E.Bytes = *BytesOrErr;
+  }
+  return Error::success();
+}
+
+/// Heap bytes a registered name of \p Len bytes actually costs: the
+/// std::string header always, plus the out-of-line buffer only past the
+/// small-string capacity.  This is the tightened ParseLimits accounting
+/// the zero-alloc scanner charges (the legacy parser over-charged short
+/// names by their length and ignored SSO entirely).
+inline uint64_t nameAllocCost(size_t Len) {
+  static const size_t SsoCapacity = std::string().capacity();
+  return sizeof(std::string) + (Len > SsoCapacity ? Len + 1 : 0);
+}
+
+} // namespace scan
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_TEXTSCAN_H

@@ -3,13 +3,34 @@
 // Part of LIMA. SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// Two generations of the text parser live here on purpose:
+//
+//  - parseTraceText: the shipping single-pass scanner.  One walk over
+//    the mapped bytes, an in-place field cursor (no per-line vector),
+//    from_chars number parsing (TextScan.h) and the tightened
+//    ParseLimits accounting.  The sequential engine is
+//    detail::TextTraceParser so the sharded parser (ParallelParse.cpp)
+//    can reuse it for the header prologue and as its exact-semantics
+//    fallback.
+//
+//  - parseTraceTextLegacy: the frozen pre-fast-path implementation
+//    (split-into-vectors, strtod).  It is the reference the golden
+//    equivalence suite and bench/perf_parallel compare against; do not
+//    "improve" it — its value is that it does not change.
+//
+//===----------------------------------------------------------------------===//
 
 #include "trace/TraceIO.h"
 #include "support/FileUtils.h"
+#include "support/MappedFile.h"
 #include "support/Metrics.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
+#include "trace/TextParserDetail.h"
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <optional>
 
 using namespace lima;
@@ -50,7 +71,215 @@ std::string trace::writeTraceText(const Trace &T) {
   return Out;
 }
 
-static std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
+//===----------------------------------------------------------------------===//
+// The single-pass scanner (detail::TextTraceParser).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// End of the line starting at \p Pos: index of the next '\n', or
+/// Text.size() for the final (possibly empty) unterminated segment.
+size_t lineEnd(std::string_view Text, size_t Pos) {
+  const void *Nl =
+      std::memchr(Text.data() + Pos, '\n', Text.size() - Pos);
+  return Nl ? static_cast<size_t>(static_cast<const char *>(Nl) -
+                                  Text.data())
+            : Text.size();
+}
+
+} // namespace
+
+scan::EventTables detail::TextTraceParser::tables() const {
+  scan::EventTables T;
+  if (Result) {
+    T.SawProcs = true;
+    T.NumProcs = Result->numProcs();
+    T.NumRegions = Result->numRegions();
+    T.NumActivities = Result->numActivities();
+  }
+  return T;
+}
+
+bool detail::TextTraceParser::nextLineIsEvent() const {
+  size_t End = lineEnd(Text, Pos);
+  std::string_view Line =
+      scan::skipLeadingSpace(Text.substr(Pos, End - Pos));
+  if (Line.empty() || Line.front() == '#')
+    return false;
+  if (!SawMagic)
+    return false; // The first substantive line is the magic line.
+  size_t TokEnd = 0;
+  while (TokEnd < Line.size() && !scan::isSpaceByte(Line[TokEnd]))
+    ++TokEnd;
+  std::string_view Tok = Line.substr(0, TokEnd);
+  return Tok != "procs" && Tok != "region" && Tok != "activity";
+}
+
+Error detail::TextTraceParser::consumeLine() {
+  const ParseLimits &Limits = Options.Limits;
+  size_t End = lineEnd(Text, Pos);
+  std::string_view RawLine = Text.substr(Pos, End - Pos);
+  size_t LineOffset = Pos;
+  ++LineNo;
+  if (End == Text.size())
+    Done = true;
+  else
+    Pos = End + 1;
+
+  auto fail = [&](ErrorCode Code, const char *What) {
+    return makeParseError(Code, LineNo, LineOffset, "trace line %zu: %s",
+                          LineNo, What);
+  };
+  auto failNumber = [&](Error E) {
+    return makeParseError(ErrorCode::BadNumber, LineNo, LineOffset,
+                          "trace line %zu: %s", LineNo, E.message().c_str());
+  };
+
+  if (RawLine.size() > Limits.MaxLineBytes)
+    return fail(ErrorCode::LimitExceeded, "line exceeds the length limit");
+  std::string_view Line = scan::skipLeadingSpace(RawLine);
+  if (Line.empty() || Line.front() == '#')
+    return Error::success();
+  std::string_view Fields[scan::MaxFields];
+  size_t NumFields = scan::splitFields(Line, Fields);
+
+  if (!SawMagic) {
+    if (NumFields == 2 && Fields[0] == "LIMATRACE" && Fields[1] != "1")
+      return fail(ErrorCode::UnsupportedVersion,
+                  "unsupported LIMATRACE version");
+    if (NumFields != 2 || Fields[0] != "LIMATRACE" || Fields[1] != "1")
+      return fail(ErrorCode::BadMagic, "expected header 'LIMATRACE 1'");
+    SawMagic = true;
+    return Error::success();
+  }
+
+  if (Fields[0] == "procs") {
+    if (Result)
+      return fail(ErrorCode::DuplicateDeclaration, "duplicate 'procs' line");
+    if (NumFields != 2)
+      return fail(ErrorCode::MalformedRecord, "'procs' takes one argument");
+    auto CountOrErr = scan::scanUnsigned(Fields[1]);
+    if (!CountOrErr)
+      return failNumber(CountOrErr.takeError());
+    if (*CountOrErr == 0 || *CountOrErr > (1u << 20))
+      return fail(ErrorCode::ValueOutOfRange, "processor count out of range");
+    if (*CountOrErr > Limits.MaxProcs)
+      return fail(ErrorCode::LimitExceeded,
+                  "processor count exceeds the limit");
+    AllocBytes += *CountOrErr * sizeof(std::vector<Event>);
+    if (AllocBytes > Limits.MaxAllocBytes)
+      return fail(ErrorCode::LimitExceeded,
+                  "processor table exceeds the allocation cap");
+    Result.emplace(static_cast<unsigned>(*CountOrErr));
+    return Error::success();
+  }
+
+  if (Fields[0] == "region" || Fields[0] == "activity") {
+    if (!Result)
+      return fail(ErrorCode::MissingSection,
+                  "'procs' must precede declarations");
+    if (NumFields < 3)
+      return fail(ErrorCode::MalformedRecord,
+                  "declaration needs an id and a name");
+    auto IdOrErr = scan::scanUnsigned(Fields[1]);
+    if (!IdOrErr)
+      return failNumber(IdOrErr.takeError());
+    bool IsRegion = Fields[0] == "region";
+    size_t Declared =
+        IsRegion ? Result->numRegions() : Result->numActivities();
+    if (*IdOrErr != Declared)
+      return fail(ErrorCode::MalformedRecord,
+                  "declaration ids must be dense and in order");
+    if (Declared >= (IsRegion ? Limits.MaxRegions : Limits.MaxActivities))
+      return fail(ErrorCode::LimitExceeded,
+                  "declaration count exceeds the limit");
+    if (Fields[2].size() > Limits.MaxNameBytes)
+      return fail(ErrorCode::LimitExceeded,
+                  "declaration name exceeds the length limit");
+    AllocBytes += scan::nameAllocCost(Fields[2].size());
+    if (AllocBytes > Limits.MaxAllocBytes)
+      return fail(ErrorCode::LimitExceeded,
+                  "name tables exceed the allocation cap");
+    // Register immediately so events can refer to it.
+    if (IsRegion)
+      Result->addRegion(std::string(Fields[2]));
+    else
+      Result->addActivity(std::string(Fields[2]));
+    return Error::success();
+  }
+
+  // Everything else is an event record; in lenient mode a malformed
+  // one is dropped instead of aborting the parse.  Attempted records
+  // are counted locally and flushed to Options.Report on exit.
+  ++Records;
+  Event E;
+  Error RecordErr = scan::parseEventRecord(Fields, NumFields, tables(),
+                                           LineNo, LineOffset, E);
+  if (RecordErr) {
+    // 'procs' missing is a header problem, not a record problem:
+    // nothing later can succeed, so it stays fatal in lenient mode.
+    ParseError PE = RecordErr.toParseError();
+    if (PE.Code != ErrorCode::MissingSection && Options.dropRecord(PE))
+      return Error::success();
+    return Error::fromParse(std::move(PE));
+  }
+  if (++TotalEvents > Limits.MaxEvents)
+    return fail(ErrorCode::LimitExceeded, "event count exceeds the limit");
+  AllocBytes += sizeof(Event);
+  if (AllocBytes > Limits.MaxAllocBytes)
+    return fail(ErrorCode::LimitExceeded,
+                "event storage exceeds the allocation cap");
+  Result->append(E);
+  return Error::success();
+}
+
+Error detail::TextTraceParser::parseAll() {
+  while (!Done)
+    if (auto Err = consumeLine()) {
+      flushRecords();
+      return Err;
+    }
+  flushRecords();
+  return Error::success();
+}
+
+Error detail::TextTraceParser::parsePrologue() {
+  while (!Done && !nextLineIsEvent())
+    if (auto Err = consumeLine()) {
+      flushRecords();
+      return Err;
+    }
+  flushRecords();
+  return Error::success();
+}
+
+Expected<Trace> detail::TextTraceParser::take() {
+  flushRecords();
+  if (!SawMagic)
+    return makeCodedError(ErrorCode::BadMagic,
+                          "trace: missing 'LIMATRACE 1' header");
+  if (!Result)
+    return makeCodedError(ErrorCode::MissingSection,
+                          "trace: missing 'procs' line");
+  LIMA_METRIC_COUNT("lima.parse.text.events_total", TotalEvents);
+  LIMA_METRIC_COUNT("lima.parse.text.lines_total", LineNo);
+  return std::move(*Result);
+}
+
+Expected<Trace> trace::parseTraceText(std::string_view Text,
+                                      const ParseOptions &Options) {
+  detail::TextTraceParser Parser(Text, Options);
+  if (auto Err = Parser.parseAll())
+    return Err;
+  return Parser.take();
+}
+
+//===----------------------------------------------------------------------===//
+// The frozen reference parser.
+//===----------------------------------------------------------------------===//
+
+static std::optional<EventKind>
+legacyKindFromMnemonic(std::string_view Mnemonic) {
   if (Mnemonic == "re")
     return EventKind::RegionEnter;
   if (Mnemonic == "rx")
@@ -66,8 +295,8 @@ static std::optional<EventKind> kindFromMnemonic(std::string_view Mnemonic) {
   return std::nullopt;
 }
 
-Expected<Trace> trace::parseTraceText(std::string_view Text,
-                                      const ParseOptions &Options) {
+Expected<Trace> trace::parseTraceTextLegacy(std::string_view Text,
+                                            const ParseOptions &Options) {
   const ParseLimits &Limits = Options.Limits;
   std::vector<std::string_view> Lines = splitString(Text, '\n');
   size_t LineNo = 0;
@@ -172,7 +401,7 @@ Expected<Trace> trace::parseTraceText(std::string_view Text,
       ++Options.Report->TotalRecords;
     Event E;
     Error RecordErr = [&]() -> Error {
-      std::optional<EventKind> Kind = kindFromMnemonic(Fields[0]);
+      std::optional<EventKind> Kind = legacyKindFromMnemonic(Fields[0]);
       if (!Kind)
         return fail(ErrorCode::MalformedRecord, "unknown record type");
       if (!Result)
@@ -258,8 +487,6 @@ Expected<Trace> trace::parseTraceText(std::string_view Text,
   if (!Result)
     return makeCodedError(ErrorCode::MissingSection,
                           "trace: missing 'procs' line");
-  LIMA_METRIC_COUNT("lima.parse.text.events_total", TotalEvents);
-  LIMA_METRIC_COUNT("lima.parse.text.lines_total", LineNo);
   return std::move(*Result);
 }
 
@@ -269,8 +496,8 @@ Error trace::saveTrace(const Trace &T, const std::string &Path) {
 
 Expected<Trace> trace::loadTrace(const std::string &Path,
                                  const ParseOptions &Options) {
-  auto TextOrErr = readFile(Path);
-  if (auto Err = TextOrErr.takeError())
+  auto FileOrErr = MappedFile::open(Path);
+  if (auto Err = FileOrErr.takeError())
     return Err;
-  return parseTraceText(*TextOrErr, Options);
+  return parseTraceText(FileOrErr->view(), Options);
 }

@@ -52,10 +52,21 @@ std::string writeTraceText(const Trace &T);
 Expected<Trace> parseTraceText(std::string_view Text,
                                const ParseOptions &Options = {});
 
+/// The pre-fast-path text parser, kept verbatim as the behavioral
+/// reference: the golden-equivalence suite asserts parseTraceText and
+/// parseTraceTextParallel match it bit for bit, and bench/perf_parallel
+/// reports the fast path's speedup against it.  Not for production use;
+/// it allocates per line and charges the old (looser) ParseLimits
+/// allocation accounting.
+Expected<Trace> parseTraceTextLegacy(std::string_view Text,
+                                     const ParseOptions &Options = {});
+
 /// Convenience: writeTraceText to a file.
 Error saveTrace(const Trace &T, const std::string &Path);
 
-/// Convenience: read and parse a trace file.
+/// Convenience: parse a trace file.  The file is mmapped when possible
+/// (see support/MappedFile.h) and parsed in place; no byte of the file
+/// is copied on the way to the parser.
 Expected<Trace> loadTrace(const std::string &Path,
                           const ParseOptions &Options = {});
 

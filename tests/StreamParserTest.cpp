@@ -5,8 +5,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "trace/StreamParser.h"
+#include "support/FileUtils.h"
+#include "support/MappedFile.h"
 #include "trace/TraceIO.h"
 #include "TestHelpers.h"
+#include <cstdio>
 #include <gtest/gtest.h>
 
 using namespace lima;
@@ -166,4 +169,37 @@ TEST(StreamParserTest, DuplicateProcsRejected) {
   std::vector<Event> Events;
   EXPECT_TRUE(testutil::failed(
       P.feed("LIMATRACE 1\nprocs 2\nprocs 2\n", Events)));
+}
+
+TEST(StreamParserTest, ChunkedStreamMatchesMappedBatchLoad) {
+  // Chunk-boundary parity extended to the mmap-backed path: a stream
+  // parse reassembled from 7-byte chunks must see exactly the events
+  // loadTrace() produces when it parses the same bytes in place from a
+  // MappedFile view.
+  std::string Path = ::testing::TempDir() + "/lima_stream_mmap.trace";
+  cantFail(writeFile(Path, SampleTrace));
+  Trace Loaded = cantFail(loadTrace(Path));
+  std::remove(Path.c_str());
+
+  auto StreamedOrErr = parseChunked(SampleTrace, 7);
+  ASSERT_TRUE(static_cast<bool>(StreamedOrErr));
+  ASSERT_EQ(StreamedOrErr->size(), Loaded.numEvents());
+  Trace Rebuilt(Loaded.numProcs());
+  Rebuilt.addRegion("main");
+  Rebuilt.addActivity("comp");
+  for (const Event &E : *StreamedOrErr)
+    Rebuilt.append(E);
+  EXPECT_EQ(writeTraceText(Rebuilt), writeTraceText(Loaded));
+}
+
+TEST(StreamParserTest, MappedFileViewsAreZeroCopyForRegularFiles) {
+  std::string Path = ::testing::TempDir() + "/lima_mapped_file.trace";
+  cantFail(writeFile(Path, SampleTrace));
+  MappedFile File = cantFail(MappedFile::open(Path));
+  EXPECT_TRUE(File.isMapped());
+  EXPECT_EQ(File.view(), SampleTrace);
+  std::remove(Path.c_str());
+
+  EXPECT_TRUE(testutil::failed(
+      MappedFile::open(::testing::TempDir() + "/lima_no_such_file")));
 }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_parallel.json envelope produced by bench/perf_parallel.
+
+Used by the bench_smoke ctest and the CI bench-smoke leg: parses the
+file, checks the envelope fields and the per-section schema (including
+the ingest section added with the parallel-ingestion fast path), and
+exits non-zero with a readable message on the first violation.  Timing
+values are only checked for type/positivity, never magnitude, so the
+check is stable on loaded CI machines.
+"""
+
+import json
+import sys
+
+REQUIRED_ENVELOPE = {
+    "bench": str,
+    "schema_version": int,
+    "version": str,
+    "git_rev": str,
+    "hardware_threads": int,
+    "timestamp": str,
+    "records": list,
+}
+
+PARSE_LEG = {"strict_wall_ms": float, "lenient_wall_ms": float,
+             "overhead_pct": float}
+
+INGEST_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
+              "speedup_vs_legacy": float}
+
+RECORD = {"name": str, "threads": int, "events": int,
+          "wall_ms": float, "speedup": float}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_object(obj, schema, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected an object, got {type(obj).__name__}")
+    for key, kind in schema.items():
+        if key not in obj:
+            fail(f"{where}: missing key '{key}'")
+        value = obj[key]
+        if kind is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where}.{key}: expected a number, got {value!r}")
+            # Overheads can legitimately dip below zero (timing noise);
+            # wall-clock and throughput values cannot.
+            if value < 0 and ("wall_ms" in key or "_per_s" in key):
+                fail(f"{where}.{key}: negative timing value {value!r}")
+        elif not isinstance(value, kind) or isinstance(value, bool) != (
+                kind is bool):
+            fail(f"{where}.{key}: expected {kind.__name__}, got {value!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py <BENCH_parallel.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {sys.argv[1]}: {err}")
+
+    check_object(doc, REQUIRED_ENVELOPE, "envelope")
+    if doc["bench"] != "parallel":
+        fail(f"envelope.bench: expected 'parallel', got {doc['bench']!r}")
+    if doc["schema_version"] < 1:
+        fail(f"envelope.schema_version: bad value {doc['schema_version']!r}")
+
+    # Sections.
+    parse = doc.get("parse")
+    check_object(parse, {"events": int}, "parse")
+    check_object(parse.get("text"), PARSE_LEG, "parse.text")
+    check_object(parse.get("binary"), PARSE_LEG, "parse.binary")
+
+    ingest = doc.get("ingest")
+    check_object(ingest, {
+        "events": int, "bytes": int, "hardware_threads": int,
+        "lenient_overhead_pct": float, "lenient_overhead_target_pct": float,
+        "lenient_overhead_ok": bool,
+    }, "ingest")
+    for leg in ("legacy", "scanner", "sharded_1", "sharded_hw"):
+        check_object(ingest.get(leg), INGEST_LEG, f"ingest.{leg}")
+    if ingest["legacy"]["speedup_vs_legacy"] != 1.0:
+        fail("ingest.legacy.speedup_vs_legacy: must be 1.0 by definition")
+
+    for section in ("telemetry", "metrics"):
+        check_object(doc.get(section), {"compiled": bool,
+                                        "disabled_wall_ms": float,
+                                        "enabled_wall_ms": float,
+                                        "overhead_pct": float}, section)
+
+    if not doc["records"]:
+        fail("records: empty")
+    for i, record in enumerate(doc["records"]):
+        check_object(record, RECORD, f"records[{i}]")
+
+    print(f"check_bench_json: OK ({sys.argv[1]}: "
+          f"{len(doc['records'])} records, ingest scanner speedup "
+          f"{ingest['scanner']['speedup_vs_legacy']}x)")
+
+
+if __name__ == "__main__":
+    main()
