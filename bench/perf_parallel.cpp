@@ -20,8 +20,11 @@
 // "metrics" object with the enabled-vs-disabled cost of the metrics
 // registry (pipeline wall time plus per-count nanoseconds), and a
 // "parse" object comparing strict against lenient trace parsing (the
-// input-hardening rent, text and binary).  Every parallel result is
-// checked bit-identical to its serial twin before a line is emitted.
+// input-hardening rent, text and binary), and an "http" object costing
+// the status server's /metrics exposition (render wall time over ~200
+// labeled series plus loopback scrape latency under writer load).
+// Every parallel result is checked bit-identical to its serial twin
+// before a line is emitted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +36,9 @@
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
 #include "support/Format.h"
+#include "support/HttpServer.h"
 #include "support/Metrics.h"
+#include "support/MetricsExport.h"
 #include "support/Parallel.h"
 #include "support/RNG.h"
 #include "support/ParseLimits.h"
@@ -43,8 +48,15 @@
 #include "trace/ParallelParse.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
+#include <algorithm>
+#include <arpa/inet.h>
+#include <atomic>
 #include <chrono>
+#include <netinet/in.h>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace lima;
@@ -334,6 +346,91 @@ int main(int Argc, char **Argv) {
      << formatFixed(CountNsDisabled, 1) << " ns disabled, "
      << formatFixed(CountNsEnabled, 1) << " ns enabled\n";
 
+  // --- Status-server exposition ----------------------------------------
+  // The /metrics handler runs on the status server's single thread, so
+  // render time is time the server cannot accept other requests.  Cost
+  // it against a realistically wide registry (~200 labeled series) and
+  // measure end-to-end loopback scrape latency while a writer thread
+  // keeps the counters hot.  Target: render under 10 ms.
+  constexpr unsigned HttpSeries = 200;
+  for (unsigned I = 0; I != HttpSeries; ++I) {
+    std::string Name =
+        "bench.http.series{idx=\"" + std::to_string(I) + "\"}";
+    if (I % 2 == 0)
+      metrics::counter(Name).add(I);
+    else
+      metrics::gauge(Name).set(static_cast<double>(I));
+  }
+  double RenderMs = timeMs(Reps, [] { (void)metrics::writePrometheusText(); });
+  constexpr double RenderTargetMs = 10.0;
+  bool RenderOk = RenderMs <= RenderTargetMs;
+
+  http::HttpServer Scraped;
+  Scraped.handle("/metrics", [](const http::Request &) {
+    http::Response R;
+    R.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    R.Body = metrics::writePrometheusText();
+    return R;
+  });
+  ExitOnErr(Scraped.start("127.0.0.1:0"));
+  std::atomic<bool> WriterStop{false};
+  std::thread Writer([&] {
+    metrics::Counter &Hot = metrics::counter("bench.http.hot");
+    while (!WriterStop.load(std::memory_order_relaxed))
+      Hot.add(1);
+  });
+  constexpr unsigned ScrapeRequests = 50;
+  std::vector<double> ScrapeMs;
+  ScrapeMs.reserve(ScrapeRequests);
+  for (unsigned I = 0; I != ScrapeRequests; ++I) {
+    auto Begin = std::chrono::steady_clock::now();
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      break;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Scraped.port());
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    bool Ok = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)) == 0;
+    const char Req[] = "GET /metrics HTTP/1.1\r\nHost: bench\r\n"
+                       "Connection: close\r\n\r\n";
+    Ok = Ok && ::send(Fd, Req, sizeof(Req) - 1, 0) ==
+                   static_cast<ssize_t>(sizeof(Req) - 1);
+    char Buf[4096];
+    while (Ok) {
+      ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (N < 0)
+        Ok = false;
+      if (N <= 0)
+        break;
+    }
+    ::close(Fd);
+    if (Ok)
+      ScrapeMs.push_back(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - Begin)
+                             .count());
+  }
+  WriterStop.store(true, std::memory_order_relaxed);
+  Writer.join();
+  Scraped.stop();
+  metrics::resetAll();
+  std::sort(ScrapeMs.begin(), ScrapeMs.end());
+  auto percentile = [&](double P) {
+    if (ScrapeMs.empty())
+      return 0.0;
+    size_t Idx = static_cast<size_t>(P * (ScrapeMs.size() - 1));
+    return ScrapeMs[Idx];
+  };
+  double ScrapeP50Ms = percentile(0.50);
+  double ScrapeP99Ms = percentile(0.99);
+  OS << "http:      render " << formatFixed(RenderMs, 2) << " ms over "
+     << HttpSeries << " series (target <= " << formatFixed(RenderTargetMs, 1)
+     << " ms: " << (RenderOk ? "PASS" : "FAIL") << "); scrape p50 "
+     << formatFixed(ScrapeP50Ms, 2) << " ms, p99 "
+     << formatFixed(ScrapeP99Ms, 2) << " ms over " << ScrapeMs.size()
+     << " requests under writer load\n";
+
   // --- Parse overhead: strict vs lenient -------------------------------
   // Lenient parsing pays per-record bookkeeping (the drop check and the
   // report counters) even on clean inputs; keep that rent visible for
@@ -455,7 +552,15 @@ int main(int Argc, char **Argv) {
            ", \"overhead_pct\": " + formatFixed(MetricsOverheadPct, 2) +
            ", \"count_ns_disabled\": " + formatFixed(CountNsDisabled, 2) +
            ", \"count_ns_enabled\": " + formatFixed(CountNsEnabled, 2) +
-           "}"}};
+           "}"},
+      {"http",
+       "{\"series\": " + std::to_string(HttpSeries) +
+           ", \"render_wall_ms\": " + formatFixed(RenderMs, 3) +
+           ", \"render_target_ms\": " + formatFixed(RenderTargetMs, 1) +
+           ", \"render_ok\": " + (RenderOk ? "true" : "false") +
+           ", \"scrape_requests\": " + std::to_string(ScrapeMs.size()) +
+           ", \"scrape_p50_ms\": " + formatFixed(ScrapeP50Ms, 3) +
+           ", \"scrape_p99_ms\": " + formatFixed(ScrapeP99Ms, 3) + "}"}};
 
   std::string Path = Parser.getString("out");
   ExitOnErr(writeFile(

@@ -25,10 +25,13 @@
 #include "core/WaitStates.h"
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
+#include "support/CrashDump.h"
 #include "support/Format.h"
 #include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/MetricsExport.h"
+#include "support/ProcessMetrics.h"
+#include "support/StatusServer.h"
 #include "support/raw_ostream.h"
 #include "support/FileUtils.h"
 #include "support/StringUtils.h"
@@ -40,6 +43,7 @@
 #include "trace/Timeline.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
+#include <atomic>
 #include <cstring>
 
 using namespace lima;
@@ -110,12 +114,29 @@ int main(int Argc, char **Argv) {
                    "record pipeline metrics and write them here in "
                    "Prometheus text exposition format",
                    "");
+  Parser.addOption("http",
+                   "serve /metrics, /healthz, /readyz, /varz and "
+                   "/debug/spans on this address while the analysis runs "
+                   "(host:port; port 0 picks an ephemeral one)",
+                   "");
+  Parser.addOption("flight-recorder",
+                   "keep the most recent N spans in a lock-free ring for "
+                   "/debug/spans and crash dumps (0 disables)",
+                   "4096");
+  Parser.addOption("crash-dump",
+                   "on SIGSEGV/SIGBUS/SIGABRT, write the flight recorder "
+                   "and recent log records to this file before dying",
+                   "");
   logging::addFlags(Parser);
   ExitOnErr(Parser.parse(Argc, Argv));
 
   ExitOnErr(logging::configureFromFlags(Parser, Parser.getFlag("quiet")));
-  if (!Parser.getString("metrics-out").empty())
+  bool Http = !Parser.getString("http").empty();
+  if (!Parser.getString("metrics-out").empty() || Http)
     metrics::setEnabled(true);
+
+  if (!Parser.getString("crash-dump").empty())
+    ExitOnErr(crashdump::install(Parser.getString("crash-dump")));
 
   bool SelfProfile = Parser.getFlag("self-profile") ||
                      !Parser.getString("self-profile-json").empty() ||
@@ -123,6 +144,39 @@ int main(int Argc, char **Argv) {
   if (SelfProfile) {
     telemetry::reset();
     telemetry::setEnabled(true);
+  }
+
+  // The flight recorder needs a consumer (/debug/spans or a crash
+  // dump).  Ring-only unless --self-profile also wants the collect()
+  // buffers: with no one draining them they would only grow.
+  uint64_t FlightCapacity = Parser.getUnsigned("flight-recorder");
+  if (FlightCapacity != 0 &&
+      (Http || !Parser.getString("crash-dump").empty())) {
+    telemetry::enableFlightRecorder(FlightCapacity);
+    telemetry::setRingOnly(!SelfProfile);
+    telemetry::setEnabled(true);
+  }
+
+  // The status server runs for the whole analysis: a long reduction can
+  // be scraped and probed while it works.  AnalysisDone drives /readyz.
+  std::atomic<bool> AnalysisDone{false};
+  status::StatusServer Status;
+  if (Http) {
+    Status.addHealthProbe("analyze", [] {
+      return status::ProbeResult{true, "running"};
+    });
+    Status.addReadyProbe("analysis", [&AnalysisDone] {
+      bool Done = AnalysisDone.load(std::memory_order_relaxed);
+      return status::ProbeResult{Done, Done ? "complete" : "in progress"};
+    });
+    Status.addVar("analysis_done", [&AnalysisDone] {
+      return AnalysisDone.load(std::memory_order_relaxed)
+                 ? std::string("true")
+                 : std::string("false");
+    });
+    ExitOnErr(Status.start(Parser.getString("http")));
+    logging::info("status server listening",
+                  {logging::field("address", Status.address())});
   }
 
   if (Parser.getFlag("strict") && Parser.getFlag("lenient"))
@@ -329,12 +383,16 @@ int main(int Argc, char **Argv) {
            << Parser.getString("self-profile-json") << '\n';
     }
   }
+  AnalysisDone.store(true, std::memory_order_relaxed);
+
   if (!Parser.getString("metrics-out").empty()) {
+    metrics::sampleProcessMetrics();
     ExitOnErr(metrics::writeMetricsFile(Parser.getString("metrics-out")));
     if (!Quiet)
       OS << "metrics written to " << Parser.getString("metrics-out") << '\n';
   }
 
   OS.flush();
+  Status.stop();
   return 0;
 }

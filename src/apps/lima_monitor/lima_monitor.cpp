@@ -22,13 +22,18 @@
 #include "core/WindowedAnalysis.h"
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
+#include "support/CrashDump.h"
 #include "support/Format.h"
 #include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/MetricsExport.h"
+#include "support/ProcessMetrics.h"
+#include "support/StatusServer.h"
+#include "support/Telemetry.h"
 #include "support/Version.h"
 #include "support/raw_ostream.h"
 #include "trace/StreamParser.h"
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -43,8 +48,10 @@ using namespace lima;
 namespace {
 
 volatile std::sig_atomic_t DumpRequested = 0;
+volatile std::sig_atomic_t StopRequested = 0;
 
 void onSigUsr1(int) { DumpRequested = 1; }
+void onStopSignal(int) { StopRequested = 1; }
 
 struct MonitorOptions {
   double AlertThreshold = 0.0; ///< 0 disables alerting.
@@ -105,6 +112,9 @@ void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
 }
 
 void dumpMetrics(const MonitorOptions &Opts) {
+  // Keep the process.* self-metrics as fresh in file dumps as the
+  // /metrics endpoint keeps them per scrape.
+  metrics::sampleProcessMetrics();
   if (Opts.MetricsOut.empty()) {
     errs() << metrics::writePrometheusText();
     errs().flush();
@@ -157,6 +167,20 @@ int main(int Argc, char **Argv) {
                    "exit nonzero unless at least this many windows were "
                    "emitted (smoke tests)",
                    "0");
+  Parser.addOption("http",
+                   "serve /metrics, /healthz, /readyz, /varz and "
+                   "/debug/spans on this address (host:port; port 0 picks "
+                   "an ephemeral one, logged at startup)",
+                   "");
+  Parser.addOption("flight-recorder",
+                   "keep the most recent N spans in a lock-free ring for "
+                   "/debug/spans and crash dumps (0 disables; on by "
+                   "default when --http is set)",
+                   "4096");
+  Parser.addOption("crash-dump",
+                   "on SIGSEGV/SIGBUS/SIGABRT, write the flight recorder "
+                   "and recent log records to this file before dying",
+                   "");
   Parser.addFlag("strict",
                  "abort on the first malformed trace record (default)");
   Parser.addFlag("lenient",
@@ -201,6 +225,25 @@ int main(int Argc, char **Argv) {
   Monitor.PerRegion = Parser.getFlag("per-region");
   Monitor.MetricsOut = Parser.getString("metrics-out");
 
+  uint64_t MinWindows = Parser.getUnsigned("min-windows");
+  bool Http = !Parser.getString("http").empty();
+
+  // Crash dumps come first: everything after this line runs covered.
+  if (!Parser.getString("crash-dump").empty())
+    ExitOnErr(crashdump::install(Parser.getString("crash-dump")));
+
+  // The flight recorder only earns its keep when something can read it
+  // (/debug/spans or a crash dump).  Ring-only mode: nothing ever
+  // drains collect() in a long-lived monitor, so the per-thread
+  // buffers must not accumulate.
+  uint64_t FlightCapacity = Parser.getUnsigned("flight-recorder");
+  if (FlightCapacity != 0 &&
+      (Http || !Parser.getString("crash-dump").empty())) {
+    telemetry::enableFlightRecorder(FlightCapacity);
+    telemetry::setRingOnly(true);
+    telemetry::setEnabled(true);
+  }
+
   bool Lenient = Parser.getFlag("lenient");
   ParseReport Report;
   ParseOptions Parse;
@@ -231,6 +274,18 @@ int main(int Argc, char **Argv) {
   DumpAction.sa_flags = 0;
   ::sigaction(SIGUSR1, &DumpAction, nullptr);
 
+  // SIGTERM/SIGINT request a graceful wind-down: finish the current
+  // read, flush pending windows, dump metrics, stop the status server
+  // and exit 0 — so `kill` on a supervised monitor is a clean stop,
+  // not an abort.  Same no-SA_RESTART reasoning as above.
+  struct sigaction StopAction;
+  std::memset(&StopAction, 0, sizeof(StopAction));
+  StopAction.sa_handler = onStopSignal;
+  sigemptyset(&StopAction.sa_mask);
+  StopAction.sa_flags = 0;
+  ::sigaction(SIGTERM, &StopAction, nullptr);
+  ::sigaction(SIGINT, &StopAction, nullptr);
+
   trace::StreamParser Stream(Parse);
   std::optional<core::WindowedAnalyzer> Analyzer;
   core::WindowedOptions WOpts;
@@ -239,7 +294,10 @@ int main(int Argc, char **Argv) {
   WOpts.Mode = Parse.Mode;
   WOpts.Report = Parse.Report;
 
-  uint64_t WindowsEmitted = 0;
+  // Atomics: the status-server thread reads these while the main
+  // thread ingests.
+  std::atomic<uint64_t> WindowsEmitted{0};
+  std::atomic<uint64_t> DroppedRecords{0};
   std::vector<trace::Event> Events;
 
   auto consumeEvents = [&]() {
@@ -259,6 +317,7 @@ int main(int Argc, char **Argv) {
     Events.clear();
     if (!Analyzer)
       return;
+    LIMA_SPAN("monitor.drain");
     auto T0 = std::chrono::steady_clock::now();
     std::vector<core::WindowResult> Done = Analyzer->drainCompleted();
     for (const core::WindowResult &W : Done) {
@@ -275,7 +334,39 @@ int main(int Argc, char **Argv) {
     }
     metrics::gauge("lima.monitor.watermark_seconds")
         .set(Analyzer->watermark());
+    if (Parse.Report)
+      DroppedRecords.store(Parse.Report->DroppedRecords,
+                           std::memory_order_relaxed);
   };
+
+  status::StatusServer Status;
+  if (Http) {
+    Status.addHealthProbe("stream", [] {
+      return status::ProbeResult{true, "ingesting"};
+    });
+    Status.addReadyProbe("windows", [&WindowsEmitted, MinWindows] {
+      uint64_t N = WindowsEmitted.load(std::memory_order_relaxed);
+      status::ProbeResult R;
+      R.Ok = N >= MinWindows;
+      R.Detail = "emitted " + std::to_string(N) + " windows (min " +
+                 std::to_string(MinWindows) + ")";
+      return R;
+    });
+    Status.addVar("windows_emitted", [&WindowsEmitted] {
+      return std::to_string(WindowsEmitted.load(std::memory_order_relaxed));
+    });
+    Status.addVar("events_total", [] {
+      return std::to_string(
+          metrics::counter("lima.monitor.events_total").value());
+    });
+    Status.addVar("dropped_records", [&DroppedRecords] {
+      return std::to_string(DroppedRecords.load(std::memory_order_relaxed));
+    });
+    ExitOnErr(Status.start(Parser.getString("http")));
+    // Smoke tests bind port 0 and learn the real port from this line.
+    logging::info("status server listening",
+                  {logging::field("address", Status.address())});
+  }
 
   char Buf[1 << 16];
   uint64_t IdleMs = 0;
@@ -284,6 +375,8 @@ int main(int Argc, char **Argv) {
       DumpRequested = 0;
       dumpMetrics(Monitor);
     }
+    if (StopRequested)
+      break;
     ssize_t N = ::read(Fd, Buf, sizeof(Buf));
     if (N < 0) {
       if (errno == EINTR)
@@ -301,8 +394,11 @@ int main(int Argc, char **Argv) {
       continue;
     }
     IdleMs = 0;
-    ExitOnErr(Stream.feed(std::string_view(Buf, static_cast<size_t>(N)),
-                          Events));
+    {
+      LIMA_SPAN("monitor.feed");
+      ExitOnErr(Stream.feed(std::string_view(Buf, static_cast<size_t>(N)),
+                            Events));
+    }
     consumeEvents();
     outs().flush();
   }
@@ -323,7 +419,8 @@ int main(int Argc, char **Argv) {
                    logging::field("total", Report.TotalRecords)});
 
   logging::info("stream complete",
-                {logging::field("windows", WindowsEmitted),
+                {logging::field("windows",
+                                WindowsEmitted.load(std::memory_order_relaxed)),
                  logging::field("events", Stream.eventsParsed()),
                  logging::field("span",
                                 Analyzer ? Analyzer->spanEnd() : 0.0)});
@@ -332,10 +429,14 @@ int main(int Argc, char **Argv) {
   if (!Monitor.MetricsOut.empty())
     dumpMetrics(Monitor);
 
-  uint64_t MinWindows = Parser.getUnsigned("min-windows");
-  if (WindowsEmitted < MinWindows)
+  // Graceful last: scrapers in flight get their response before the
+  // socket goes away.
+  Status.stop();
+
+  uint64_t FinalWindows = WindowsEmitted.load(std::memory_order_relaxed);
+  if (FinalWindows < MinWindows)
     ExitOnErr(makeStringError("emitted %llu windows, expected at least %llu",
-                              static_cast<unsigned long long>(WindowsEmitted),
+                              static_cast<unsigned long long>(FinalWindows),
                               static_cast<unsigned long long>(MinWindows)));
   return 0;
 }

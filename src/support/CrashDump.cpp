@@ -1,0 +1,110 @@
+//===- support/CrashDump.cpp - Fatal-signal flight-data dump --------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashDump.h"
+#include "support/Log.h"
+#include "support/SignalSafe.h"
+#include "support/Telemetry.h"
+#include "support/Version.h"
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace lima;
+using namespace lima::crashdump;
+
+namespace {
+
+// The handler may only touch fixed storage: the path and the version
+// line are copied here at install() time.
+char DumpPath[512];
+char VersionLine[128];
+std::atomic<bool> Installed{false};
+std::atomic<int> DumpStarted{0};
+
+constexpr int FatalSignals[] = {SIGSEGV, SIGBUS, SIGABRT};
+
+std::string_view signalName(int Sig) {
+  switch (Sig) {
+  case SIGSEGV:
+    return "SIGSEGV";
+  case SIGBUS:
+    return "SIGBUS";
+  case SIGABRT:
+    return "SIGABRT";
+  }
+  return "signal";
+}
+
+void handler(int Sig) {
+  // Restore default dispositions first: a fault inside the dump path
+  // then terminates the process instead of recursing.
+  for (int S : FatalSignals)
+    ::signal(S, SIG_DFL);
+  // First fatal signal wins; a second faulting thread re-raises only.
+  if (DumpStarted.exchange(1, std::memory_order_relaxed) == 0) {
+    int Fd = ::open(DumpPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      writeDump(Fd, Sig);
+      ::close(Fd);
+    }
+  }
+  ::raise(Sig);
+}
+
+} // namespace
+
+Error crashdump::install(const std::string &Path) {
+  if (Path.empty())
+    return makeStringError("crash-dump path must not be empty");
+  if (Path.size() >= sizeof(DumpPath))
+    return makeStringError("crash-dump path too long (%zu bytes, max %zu)",
+                           Path.size(), sizeof(DumpPath) - 1);
+  std::memcpy(DumpPath, Path.data(), Path.size());
+  DumpPath[Path.size()] = '\0';
+
+  std::string_view Version = versionString();
+  size_t Len = Version.size() < sizeof(VersionLine) - 1
+                   ? Version.size()
+                   : sizeof(VersionLine) - 1;
+  std::memcpy(VersionLine, Version.data(), Len);
+  VersionLine[Len] = '\0';
+
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = handler;
+  sigemptyset(&SA.sa_mask);
+  for (int S : FatalSignals)
+    if (::sigaction(S, &SA, nullptr) != 0)
+      return makeStringError("sigaction(%.*s) failed",
+                             static_cast<int>(signalName(S).size()),
+                             signalName(S).data());
+  Installed.store(true, std::memory_order_release);
+  return Error::success();
+}
+
+bool crashdump::installed() {
+  return Installed.load(std::memory_order_acquire);
+}
+
+void crashdump::writeDump(int Fd, int Sig) {
+  sigsafe::writeStr(Fd, "==== lima crash dump ====\n");
+  sigsafe::writeStr(Fd, "signal: ");
+  sigsafe::writeStr(Fd, signalName(Sig));
+  sigsafe::writeStr(Fd, " (");
+  sigsafe::writeInt(Fd, Sig);
+  sigsafe::writeStr(Fd, ")\nversion: ");
+  sigsafe::writeAll(Fd, VersionLine, std::strlen(VersionLine));
+  sigsafe::writeStr(Fd, "\npid: ");
+  sigsafe::writeInt(Fd, static_cast<int64_t>(::getpid()));
+  sigsafe::writeStr(Fd, "\n\n-- recent log records (oldest first) --\n");
+  logging::crashWriteRecent(Fd);
+  sigsafe::writeStr(Fd, "\n-- flight-recorder spans (oldest first) --\n");
+  telemetry::crashWriteSpans(Fd);
+  sigsafe::writeStr(Fd, "==== end of crash dump ====\n");
+}

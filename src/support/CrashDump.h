@@ -1,0 +1,50 @@
+//===- support/CrashDump.h - Fatal-signal flight-data dump ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Last-gasp observability: a fatal-signal handler (SIGSEGV, SIGBUS,
+/// SIGABRT) that writes the flight-recorder span ring and the most
+/// recent structured log records to a crash file, then restores the
+/// default disposition and re-raises so the process still dies with the
+/// original signal (and core dump, if enabled).
+///
+/// Everything on the crash path is async-signal-safe: open(2), write(2),
+/// lock-free atomic loads and the helpers in support/SignalSafe.h.  No
+/// allocation, no locks, no stdio.  The dump is best-effort by design —
+/// a slot caught mid-write is skipped, not waited for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_CRASHDUMP_H
+#define LIMA_SUPPORT_CRASHDUMP_H
+
+#include "support/Error.h"
+#include <string>
+
+namespace lima {
+namespace crashdump {
+
+/// Installs the SIGSEGV/SIGBUS/SIGABRT handlers.  \p Path is where the
+/// dump is written (created/truncated at crash time, mode 0644); it is
+/// copied into a fixed buffer so the handler never touches heap memory.
+/// Fails if \p Path is too long (> 500 bytes) or sigaction fails.
+/// Calling again replaces the path.  Not undoable — the handlers stay
+/// for the life of the process.
+Error install(const std::string &Path);
+
+/// True once install() has succeeded.
+bool installed();
+
+/// Writes the dump body — signal identification, build version, recent
+/// log records, flight-recorder spans — to \p Fd using only
+/// async-signal-safe calls.  Exposed so tests can exercise the writer
+/// directly without taking a real fault.
+void writeDump(int Fd, int Sig);
+
+} // namespace crashdump
+} // namespace lima
+
+#endif // LIMA_SUPPORT_CRASHDUMP_H

@@ -5,7 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FileUtils.h"
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
 
 using namespace lima;
 
@@ -33,5 +38,49 @@ Error lima::writeFile(const std::string &Path, std::string_view Contents) {
   bool CloseFailed = std::fclose(File) != 0;
   if (Written != Contents.size() || CloseFailed)
     return makeCodedError(ErrorCode::IoError, "write error on '%s'", Path.c_str());
+  return Error::success();
+}
+
+Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents) {
+  // The temporary must live in the destination's directory: rename(2)
+  // is only atomic within one filesystem.
+  size_t Slash = Path.find_last_of('/');
+  std::string Tmp = (Slash == std::string::npos
+                         ? std::string()
+                         : Path.substr(0, Slash + 1)) +
+                    ".tmp." +
+                    (Slash == std::string::npos ? Path : Path.substr(Slash + 1)) +
+                    ".XXXXXX";
+  std::string TmpBuf = Tmp; // mkstemp rewrites the template in place
+  int Fd = ::mkstemp(TmpBuf.data());
+  if (Fd < 0)
+    return makeCodedError(ErrorCode::IoError,
+                          "cannot create temporary for '%s': %s", Path.c_str(),
+                          std::strerror(errno));
+  const char *Data = Contents.data();
+  size_t Len = Contents.size();
+  while (Len != 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(TmpBuf.c_str());
+      return makeCodedError(ErrorCode::IoError, "write error on '%s': %s",
+                            TmpBuf.c_str(), std::strerror(errno));
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  if (::close(Fd) != 0) {
+    ::unlink(TmpBuf.c_str());
+    return makeCodedError(ErrorCode::IoError, "close error on '%s': %s",
+                          TmpBuf.c_str(), std::strerror(errno));
+  }
+  if (::rename(TmpBuf.c_str(), Path.c_str()) != 0) {
+    ::unlink(TmpBuf.c_str());
+    return makeCodedError(ErrorCode::IoError, "cannot rename '%s' to '%s': %s",
+                          TmpBuf.c_str(), Path.c_str(), std::strerror(errno));
+  }
   return Error::success();
 }

@@ -24,6 +24,14 @@ Expected<std::string> readFile(const std::string &Path);
 /// Writes \p Contents to \p Path, replacing any existing file.
 Error writeFile(const std::string &Path, std::string_view Contents);
 
+/// Writes \p Contents to \p Path atomically: the bytes go to a
+/// mkstemp(3) temporary in the same directory, then rename(2) over the
+/// destination.  A concurrent reader sees either the old file or the
+/// complete new one, never a torn mixture — this is what --metrics-out
+/// uses so a scraper polling the file cannot observe a half-written
+/// exposition.  The temporary is unlinked on any failure.
+Error writeFileAtomic(const std::string &Path, std::string_view Contents);
+
 } // namespace lima
 
 #endif // LIMA_SUPPORT_FILEUTILS_H

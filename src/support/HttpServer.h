@@ -1,0 +1,159 @@
+//===- support/HttpServer.h - Embedded HTTP/1.1 status server ---*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free HTTP/1.1 server for LIMA's observability
+/// surface (support/StatusServer.h mounts the actual endpoints).  It is
+/// deliberately not a general web server:
+///
+///  - GET and HEAD only; anything else is answered 405 and the
+///    connection closed.  Request bodies are rejected (400): a status
+///    surface has no uploads.
+///  - One background thread multiplexes every connection with poll(2);
+///    handlers run on that thread, so they must be cheap (a render of
+///    in-memory state) and must only touch thread-safe state — the
+///    metrics registry, the telemetry flight ring, and atomics all
+///    qualify.
+///  - Request-line and header limits follow the ParseLimits philosophy:
+///    a hostile peer can make the server answer 4xx, never allocate
+///    without bound.  Oversized request lines get 414, oversized or
+///    too-many headers 431, malformed framing 400.
+///  - Keep-alive is supported (HTTP/1.1 default, opt-in for 1.0) with a
+///    per-connection request cap and an idle timeout, so one scraper
+///    can reuse its connection but a stuck peer cannot pin a slot
+///    forever.
+///  - stop() is graceful: the listener closes first, in-flight
+///    responses get a short grace period to flush, then everything is
+///    torn down and the thread joined.
+///
+/// Handlers are registered before start() and are immutable while the
+/// server runs; every other cross-thread touchpoint (port, request
+/// counter, stop flag) is atomic, which keeps the whole layer TSan-clean
+/// while the application thread mutates its own state under scrape load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_HTTPSERVER_H
+#define LIMA_SUPPORT_HTTPSERVER_H
+
+#include "support/Error.h"
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lima {
+namespace http {
+
+/// Resource bounds enforced on every connection, in the spirit of
+/// ParseLimits: generous for any real client, hard caps for a hostile
+/// one.
+struct ServerLimits {
+  /// Bytes in the request line (method + target + version).
+  size_t MaxRequestLineBytes = 8 * 1024;
+  /// Combined bytes of all header lines.
+  size_t MaxHeaderBytes = 16 * 1024;
+  /// Number of header lines.
+  unsigned MaxHeaderCount = 64;
+  /// Concurrently open connections; excess connects are answered 503
+  /// and closed.
+  unsigned MaxConnections = 64;
+  /// Requests served on one keep-alive connection before the server
+  /// sends Connection: close.
+  uint64_t MaxRequestsPerConnection = 10000;
+  /// A connection idle (no bytes either way) longer than this is
+  /// closed.  0 disables the timeout.
+  uint64_t IdleTimeoutMs = 30000;
+};
+
+/// One parsed request, handed to the matching handler.
+struct Request {
+  std::string Method;  ///< "GET" or "HEAD" (anything else never dispatches).
+  std::string Path;    ///< Decoded-nothing target path, query split off.
+  std::string Query;   ///< Bytes after '?', or empty.
+  std::string Version; ///< "HTTP/1.0" or "HTTP/1.1".
+  std::vector<std::pair<std::string, std::string>> Headers;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string *header(std::string_view Name) const;
+};
+
+/// What a handler returns; the server adds framing headers.
+struct Response {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+
+  static Response text(int Status, std::string Body) {
+    Response R;
+    R.Status = Status;
+    R.Body = std::move(Body);
+    return R;
+  }
+  static Response json(std::string Body) {
+    Response R;
+    R.ContentType = "application/json; charset=utf-8";
+    R.Body = std::move(Body);
+    return R;
+  }
+};
+
+/// Standard reason phrase for \p Status ("OK", "Not Found", ...).
+std::string_view statusReason(int Status);
+
+/// Splits "host:port" / ":port" / "port" into a numeric IPv4 host
+/// (default 127.0.0.1) and a port.  Accepts "localhost" as an alias for
+/// 127.0.0.1; anything non-numeric otherwise fails (no resolver — the
+/// status server binds addresses, it does not chase DNS).
+Expected<std::pair<std::string, uint16_t>>
+parseAddress(const std::string &Address);
+
+/// The server.  Lifecycle: construct, handle() for every path, start(),
+/// eventually stop() (the destructor stops too).
+class HttpServer {
+public:
+  using Handler = std::function<Response(const Request &)>;
+
+  HttpServer();
+  explicit HttpServer(ServerLimits Limits);
+  ~HttpServer();
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Mounts \p H at exactly \p Path.  Must be called before start().
+  void handle(std::string Path, Handler H);
+
+  /// Binds \p Address (see parseAddress; port 0 picks an ephemeral
+  /// port — read it back with port()) and spawns the serving thread.
+  Error start(const std::string &Address);
+
+  /// Graceful shutdown: stop accepting, give in-flight responses a
+  /// short flush window, close everything, join.  Idempotent.
+  void stop();
+
+  bool running() const;
+
+  /// The bound port (resolves port 0) — valid after start().
+  uint16_t port() const;
+
+  /// "host:port" actually bound — valid after start().
+  std::string address() const;
+
+  /// Requests answered so far (any status).  Atomic.
+  uint64_t requestsServed() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace http
+} // namespace lima
+
+#endif // LIMA_SUPPORT_HTTPSERVER_H

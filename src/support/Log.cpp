@@ -7,9 +7,11 @@
 #include "support/Log.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
+#include "support/SignalSafe.h"
 #include "support/raw_ostream.h"
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <unordered_map>
 
@@ -41,6 +43,36 @@ LoggerState &state() {
 }
 
 std::atomic<uint8_t> CurrentLevel{static_cast<uint8_t>(Level::Info)};
+
+/// Crash-dump ring of recently rendered lines.  Appends are serialized
+/// by the logger mutex; the fatal-signal handler reads with plain
+/// atomic loads and write(2) only.  A slot's sequence number is even
+/// while the slot is stable and odd while it is being rewritten, so a
+/// handler that interrupts a writer mid-copy skips that slot instead of
+/// emitting a torn line.
+constexpr size_t CrashRingSlots = 64;
+constexpr size_t CrashRingLineBytes = 240;
+
+struct CrashSlot {
+  std::atomic<uint32_t> Seq{0};
+  std::atomic<uint32_t> Len{0};
+  char Text[CrashRingLineBytes];
+};
+
+CrashSlot CrashRing[CrashRingSlots];
+std::atomic<uint64_t> CrashRingHead{0};
+
+void crashRingAppend(const std::string &Line) {
+  uint64_t Claim = CrashRingHead.load(std::memory_order_relaxed);
+  CrashSlot &Slot = CrashRing[Claim % CrashRingSlots];
+  uint32_t Len = static_cast<uint32_t>(
+      Line.size() < CrashRingLineBytes ? Line.size() : CrashRingLineBytes);
+  Slot.Seq.fetch_add(1, std::memory_order_relaxed); // odd: rewrite begins
+  std::memcpy(Slot.Text, Line.data(), Len);
+  Slot.Len.store(Len, std::memory_order_relaxed);
+  Slot.Seq.fetch_add(1, std::memory_order_release); // even: stable
+  CrashRingHead.store(Claim + 1, std::memory_order_release);
+}
 
 void appendJsonEscaped(std::string &Out, std::string_view Str) {
   for (char C : Str) {
@@ -249,9 +281,28 @@ void logging::log(Level L, std::string_view Msg, std::vector<Field> Fields) {
     It->second.LastEmit = Now;
   }
 
+  std::string Line = render(S, L, Msg, Fields);
+  crashRingAppend(Line);
   raw_ostream &OS = S.Sink ? *S.Sink : errs();
-  OS << render(S, L, Msg, Fields);
+  OS << Line;
   OS.flush();
+}
+
+void logging::crashWriteRecent(int Fd) {
+  uint64_t Head = CrashRingHead.load(std::memory_order_acquire);
+  uint64_t Count = Head < CrashRingSlots ? Head : CrashRingSlots;
+  for (uint64_t I = Head - Count; I != Head; ++I) {
+    CrashSlot &Slot = CrashRing[I % CrashRingSlots];
+    uint32_t Seq = Slot.Seq.load(std::memory_order_acquire);
+    if (Seq & 1)
+      continue; // caught mid-rewrite; a torn line helps nobody
+    uint32_t Len = Slot.Len.load(std::memory_order_relaxed);
+    if (Len == 0 || Len > CrashRingLineBytes)
+      continue;
+    sigsafe::writeAll(Fd, Slot.Text, Len);
+    if (Slot.Text[Len - 1] != '\n')
+      sigsafe::writeStr(Fd, "\n");
+  }
 }
 
 void logging::addFlags(ArgParser &Parser) {

@@ -103,6 +103,13 @@ inline Field field(std::string_view Key, unsigned Value) {
 /// Emits one record.  Below-threshold calls return immediately.
 void log(Level L, std::string_view Msg, std::vector<Field> Fields = {});
 
+/// Async-signal-safe: writes the most recently emitted log lines (a
+/// bounded in-process ring of rendered records, oldest first) to \p Fd
+/// using only write(2) and atomic loads.  A slot the handler caught
+/// mid-rewrite is skipped rather than emitted torn.  Called by
+/// support/CrashDump from a fatal-signal handler.
+void crashWriteRecent(int Fd);
+
 inline void debug(std::string_view Msg, std::vector<Field> Fields = {}) {
   if (enabled(Level::Debug))
     log(Level::Debug, Msg, std::move(Fields));

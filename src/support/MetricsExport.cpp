@@ -133,5 +133,7 @@ std::string metrics::writePrometheusText() {
 }
 
 Error metrics::writeMetricsFile(const std::string &Path) {
-  return writeFile(Path, writePrometheusText());
+  // Atomic replace: a scraper polling the file sees either the previous
+  // exposition or this one in full, never a torn prefix.
+  return writeFileAtomic(Path, writePrometheusText());
 }

@@ -1,0 +1,170 @@
+//===- support/ProcessMetrics.cpp - Process self-metrics ------------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ProcessMetrics.h"
+#include "support/FileUtils.h"
+#include "support/Metrics.h"
+#include <cstdint>
+#include <cstdlib>
+#include <dirent.h>
+#include <string>
+#include <string_view>
+#include <unistd.h>
+
+using namespace lima;
+using namespace lima::metrics;
+
+namespace {
+
+/// Splits whitespace-separated tokens; returns false when \p Index is
+/// out of range.  Tolerates the ragged spacing /proc uses.
+bool token(std::string_view Text, size_t Index, std::string_view &Out) {
+  size_t Pos = 0;
+  for (size_t I = 0;; ++I) {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\n'))
+      ++Pos;
+    if (Pos >= Text.size())
+      return false;
+    size_t End = Pos;
+    while (End < Text.size() && Text[End] != ' ' && Text[End] != '\n')
+      ++End;
+    if (I == Index) {
+      Out = Text.substr(Pos, End - Pos);
+      return true;
+    }
+    Pos = End;
+  }
+}
+
+bool parseU64(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+/// RSS in bytes from /proc/self/statm (second field, in pages).
+bool sampleRss(double &Bytes) {
+  auto Contents = readFile("/proc/self/statm");
+  if (!Contents) {
+    Contents.takeError().consume();
+    return false;
+  }
+  std::string_view Tok;
+  uint64_t Pages;
+  if (!token(*Contents, 1, Tok) || !parseU64(Tok, Pages))
+    return false;
+  long PageSize = ::sysconf(_SC_PAGESIZE);
+  if (PageSize <= 0)
+    return false;
+  Bytes = static_cast<double>(Pages) * static_cast<double>(PageSize);
+  return true;
+}
+
+/// CPU seconds (utime+stime) and start time from /proc/self/stat.  The
+/// comm field may contain spaces, so fields are counted from the last
+/// ')' — after it, state is field 3, utime 14, stime 15, starttime 22.
+bool sampleStat(double &CpuSeconds, uint64_t &StartTicks) {
+  auto Contents = readFile("/proc/self/stat");
+  if (!Contents) {
+    Contents.takeError().consume();
+    return false;
+  }
+  size_t Paren = Contents->rfind(')');
+  if (Paren == std::string::npos)
+    return false;
+  std::string_view Rest(*Contents);
+  Rest.remove_prefix(Paren + 1);
+  std::string_view UtimeTok, StimeTok, StartTok;
+  uint64_t Utime, Stime;
+  // Token 0 after ')' is field 3 (state), so field N is token N - 3.
+  if (!token(Rest, 14 - 3, UtimeTok) || !token(Rest, 15 - 3, StimeTok) ||
+      !token(Rest, 22 - 3, StartTok) || !parseU64(UtimeTok, Utime) ||
+      !parseU64(StimeTok, Stime) || !parseU64(StartTok, StartTicks))
+    return false;
+  long Ticks = ::sysconf(_SC_CLK_TCK);
+  if (Ticks <= 0)
+    return false;
+  CpuSeconds = static_cast<double>(Utime + Stime) / static_cast<double>(Ticks);
+  return true;
+}
+
+/// Boot time (unix seconds) from the /proc/stat "btime" line.
+bool bootTime(uint64_t &Btime) {
+  auto Contents = readFile("/proc/stat");
+  if (!Contents) {
+    Contents.takeError().consume();
+    return false;
+  }
+  size_t Pos = 0;
+  while (Pos < Contents->size()) {
+    size_t End = Contents->find('\n', Pos);
+    if (End == std::string::npos)
+      End = Contents->size();
+    std::string_view Line(*Contents);
+    Line = Line.substr(Pos, End - Pos);
+    if (Line.size() > 6 && Line.substr(0, 6) == "btime ") {
+      std::string_view Tok;
+      return token(Line.substr(6), 0, Tok) && parseU64(Tok, Btime);
+    }
+    Pos = End + 1;
+  }
+  return false;
+}
+
+/// Open descriptor count: entries in /proc/self/fd minus "." and ".."
+/// (the opendir descriptor itself is included, matching other process
+/// exporters' behavior).
+bool sampleOpenFds(double &Count) {
+  DIR *Dir = ::opendir("/proc/self/fd");
+  if (!Dir)
+    return false;
+  uint64_t N = 0;
+  while (struct dirent *Entry = ::readdir(Dir)) {
+    std::string_view Name = Entry->d_name;
+    if (Name != "." && Name != "..")
+      ++N;
+  }
+  ::closedir(Dir);
+  Count = static_cast<double>(N);
+  return true;
+}
+
+} // namespace
+
+void metrics::sampleProcessMetrics() {
+  double Rss;
+  if (sampleRss(Rss))
+    gauge("process.resident_memory_bytes").set(Rss);
+
+  double Cpu = 0.0;
+  uint64_t StartTicks = 0;
+  if (sampleStat(Cpu, StartTicks)) {
+    gauge("process.cpu_seconds_total").set(Cpu);
+    // Start time never changes; compute it once and keep re-publishing
+    // the cached value so a late /proc/stat hiccup cannot blank it.
+    static double StartSeconds = [&] {
+      uint64_t Btime;
+      long Ticks = ::sysconf(_SC_CLK_TCK);
+      if (!bootTime(Btime) || Ticks <= 0)
+        return 0.0;
+      return static_cast<double>(Btime) +
+             static_cast<double>(StartTicks) / static_cast<double>(Ticks);
+    }();
+    if (StartSeconds > 0.0)
+      gauge("process.start_time_seconds").set(StartSeconds);
+  }
+
+  double Fds;
+  if (sampleOpenFds(Fds))
+    gauge("process.open_fds").set(Fds);
+}

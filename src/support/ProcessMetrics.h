@@ -1,0 +1,41 @@
+//===- support/ProcessMetrics.h - Process self-metrics ----------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Samples the standard process-level health gauges from /proc/self and
+/// publishes them through metrics::Registry, so every exposition path
+/// (--metrics-out files, the /metrics HTTP endpoint) carries them
+/// alongside the domain metrics:
+///
+///   process.resident_memory_bytes   RSS right now
+///   process.cpu_seconds_total       user + system CPU since start
+///   process.start_time_seconds      unix time the process started
+///   process.open_fds                open file descriptors right now
+///
+/// The names follow the Prometheus process-metrics convention once the
+/// exporter's dots-to-underscores sanitization is applied.  sample() is
+/// cheap (four small /proc reads) and is called before every dump or
+/// scrape rather than on a timer — values are as fresh as the last
+/// exposition, which is exactly when anyone looks.  On non-Linux
+/// systems or a hidden /proc, unavailable gauges are simply left unset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_PROCESSMETRICS_H
+#define LIMA_SUPPORT_PROCESSMETRICS_H
+
+namespace lima {
+namespace metrics {
+
+/// Reads /proc/self and updates the four process.* gauges in the
+/// registry.  Safe to call from any thread and at any frequency;
+/// concurrent calls race benignly (last writer wins per gauge).
+void sampleProcessMetrics();
+
+} // namespace metrics
+} // namespace lima
+
+#endif // LIMA_SUPPORT_PROCESSMETRICS_H

@@ -1,0 +1,80 @@
+//===- support/SignalSafe.h - Async-signal-safe output helpers --*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny formatting helpers that are safe to call from a signal handler:
+/// nothing here allocates, locks, or calls into stdio — only raw
+/// write(2) plus in-place integer-to-decimal conversion.  The crash-dump
+/// path (support/CrashDump.h) is the only intended consumer; ordinary
+/// code should keep using raw_ostream.
+///
+/// POSIX guarantees write() is async-signal-safe; lock-free atomic loads
+/// are plain memory reads, so walking the flight-recorder ring and the
+/// recent-log ring from a handler is safe as long as the walk sticks to
+/// these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_SIGNALSAFE_H
+#define LIMA_SUPPORT_SIGNALSAFE_H
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <unistd.h>
+
+namespace lima {
+namespace sigsafe {
+
+/// Writes all of \p Data to \p Fd, retrying on short writes and EINTR.
+/// Errors are swallowed: in a crash handler there is nobody to tell.
+inline void writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+/// Writes a string literal / string_view (no allocation; the view must
+/// point at memory that is valid in the handler, e.g. a literal).
+inline void writeStr(int Fd, std::string_view Str) {
+  writeAll(Fd, Str.data(), Str.size());
+}
+
+/// Writes \p Value in decimal.
+inline void writeUint(int Fd, uint64_t Value) {
+  char Buf[24];
+  char *End = Buf + sizeof(Buf);
+  char *Cur = End;
+  do {
+    *--Cur = static_cast<char>('0' + Value % 10);
+    Value /= 10;
+  } while (Value != 0);
+  writeAll(Fd, Cur, static_cast<size_t>(End - Cur));
+}
+
+/// Writes \p Value in decimal with a leading '-' when negative.
+inline void writeInt(int Fd, int64_t Value) {
+  if (Value < 0) {
+    writeStr(Fd, "-");
+    // Negate via uint64 so INT64_MIN does not overflow.
+    writeUint(Fd, static_cast<uint64_t>(~Value) + 1);
+    return;
+  }
+  writeUint(Fd, static_cast<uint64_t>(Value));
+}
+
+} // namespace sigsafe
+} // namespace lima
+
+#endif // LIMA_SUPPORT_SIGNALSAFE_H

@@ -1,0 +1,172 @@
+//===- support/StatusServer.cpp - Live observability endpoints ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StatusServer.h"
+#include "support/MetricsExport.h"
+#include "support/ProcessMetrics.h"
+#include "support/Telemetry.h"
+#include "support/TraceEventExport.h"
+#include "support/Version.h"
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <unistd.h>
+
+using namespace lima;
+using namespace lima::status;
+
+namespace {
+
+std::string jsonEscape(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size() + 2);
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string jsonString(std::string_view Str) {
+  return '"' + jsonEscape(Str) + '"';
+}
+
+/// Renders a probe list: "ok\n" / "unhealthy\n" first line, then one
+/// "[+|-] name: detail" line per probe.  503 when any probe fails.
+http::Response renderProbes(
+    const std::vector<std::pair<std::string, Probe>> &Probes,
+    std::string_view OkWord, std::string_view FailWord) {
+  bool AllOk = true;
+  std::string Lines;
+  for (const auto &[Name, P] : Probes) {
+    ProbeResult R = P();
+    AllOk = AllOk && R.Ok;
+    Lines += R.Ok ? "[+] " : "[-] ";
+    Lines += Name;
+    if (!R.Detail.empty()) {
+      Lines += ": ";
+      Lines += R.Detail;
+    }
+    Lines += '\n';
+  }
+  std::string Body(AllOk ? OkWord : FailWord);
+  Body += '\n';
+  Body += Lines;
+  return http::Response::text(AllOk ? 200 : 503, std::move(Body));
+}
+
+uint64_t wallSeconds() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<
+                                   std::chrono::seconds>(
+                                   std::chrono::system_clock::now()
+                                       .time_since_epoch())
+                                   .count());
+}
+
+} // namespace
+
+StatusServer::StatusServer() = default;
+
+StatusServer::~StatusServer() { stop(); }
+
+void StatusServer::addHealthProbe(std::string Name, Probe P) {
+  HealthProbes.emplace_back(std::move(Name), std::move(P));
+}
+
+void StatusServer::addReadyProbe(std::string Name, Probe P) {
+  ReadyProbes.emplace_back(std::move(Name), std::move(P));
+}
+
+void StatusServer::addVar(std::string Key, VarProducer Producer) {
+  Vars.emplace_back(std::move(Key), std::move(Producer));
+}
+
+Error StatusServer::start(const std::string &Address) {
+  StartWallSeconds = wallSeconds();
+
+  Server.handle("/", [](const http::Request &) {
+    return http::Response::text(
+        200, "lima status server\n"
+             "  /metrics      Prometheus text exposition\n"
+             "  /healthz      liveness probes\n"
+             "  /readyz       readiness probes\n"
+             "  /varz         build/runtime variables (JSON)\n"
+             "  /debug/spans  flight-recorder spans (Chrome trace JSON)\n");
+  });
+
+  Server.handle("/metrics", [](const http::Request &) {
+    // Self-metrics sampled per scrape: as fresh as the exposition.
+    metrics::sampleProcessMetrics();
+    http::Response R;
+    R.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    R.Body = metrics::writePrometheusText();
+    return R;
+  });
+
+  Server.handle("/healthz", [this](const http::Request &) {
+    return renderProbes(HealthProbes, "ok", "unhealthy");
+  });
+
+  Server.handle("/readyz", [this](const http::Request &) {
+    return renderProbes(ReadyProbes, "ready", "not ready");
+  });
+
+  Server.handle("/varz", [this](const http::Request &) {
+    std::string Out = "{\n";
+    Out += "  \"version\": " + jsonString(versionString()) + ",\n";
+    Out += "  \"git_rev\": " + jsonString(gitRevision()) + ",\n";
+    Out += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
+    Out += "  \"hardware_threads\": " +
+           std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    Out += "  \"uptime_seconds\": " +
+           std::to_string(wallSeconds() - StartWallSeconds) + ",\n";
+    Out += "  \"requests_served\": " +
+           std::to_string(Server.requestsServed()) + ",\n";
+    Out += "  \"flight_recorder\": " +
+           std::string(telemetry::flightRecorderEnabled() ? "true" : "false");
+    for (const auto &[Key, Producer] : Vars) {
+      Out += ",\n  " + jsonString(Key) + ": " + Producer();
+    }
+    Out += "\n}\n";
+    return http::Response::json(std::move(Out));
+  });
+
+  Server.handle("/debug/spans", [](const http::Request &) {
+    return http::Response::json(
+        telemetry::exportChromeTrace(telemetry::flightSnapshot()));
+  });
+
+  return Server.start(Address);
+}
+
+void StatusServer::stop() { Server.stop(); }
+
+bool StatusServer::running() const { return Server.running(); }
+
+uint16_t StatusServer::port() const { return Server.port(); }
+
+std::string StatusServer::address() const { return Server.address(); }
+
+uint64_t StatusServer::requestsServed() const {
+  return Server.requestsServed();
+}

@@ -1,0 +1,103 @@
+//===- support/StatusServer.h - Live observability endpoints ----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application-facing status server: an HttpServer with the LIMA
+/// observability surface mounted on it.
+///
+///   /            index of endpoints (plain text)
+///   /metrics     Prometheus text exposition of the metrics registry,
+///                including the process.* self-metrics sampled fresh on
+///                every scrape
+///   /healthz     liveness: 200 when every registered health probe
+///                passes, 503 otherwise, with one line per probe
+///   /readyz      readiness: same shape over the readiness probes
+///   /varz        one JSON object of build/runtime variables (version,
+///                git revision, pid, hardware threads, uptime) plus any
+///                app-registered vars
+///   /debug/spans recent spans from the telemetry flight recorder as
+///                Chrome trace-event JSON (load in Perfetto)
+///
+/// Threading contract: probes and vars are registered before start()
+/// and run on the server's own thread, concurrently with the
+/// application.  They must therefore only read thread-safe state —
+/// metric registry atomics, the flight-recorder ring, the app's own
+/// std::atomic flags.  Handlers that would need a lock shared with a
+/// hot path do not belong here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_STATUSSERVER_H
+#define LIMA_SUPPORT_STATUSSERVER_H
+
+#include "support/Error.h"
+#include "support/HttpServer.h"
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lima {
+namespace status {
+
+/// One probe outcome: passing plus a short human detail ("drained 12
+/// windows").  The detail lands verbatim in the response body.
+struct ProbeResult {
+  bool Ok = true;
+  std::string Detail;
+};
+
+using Probe = std::function<ProbeResult()>;
+
+/// Producer of one /varz value.  Returns a raw JSON value — already
+/// quoted if it is a string ("\"abc\""), bare if a number — so vars can
+/// be any JSON type without the server guessing.
+using VarProducer = std::function<std::string()>;
+
+class StatusServer {
+public:
+  StatusServer();
+  ~StatusServer();
+  StatusServer(const StatusServer &) = delete;
+  StatusServer &operator=(const StatusServer &) = delete;
+
+  /// Registers a liveness probe under \p Name.  Register before
+  /// start(); the probe runs on the server thread.
+  void addHealthProbe(std::string Name, Probe P);
+
+  /// Registers a readiness probe under \p Name ("monitor has drained at
+  /// least --min-windows windows").
+  void addReadyProbe(std::string Name, Probe P);
+
+  /// Registers an extra /varz entry.  \p Producer returns a raw JSON
+  /// value; it runs on the server thread.
+  void addVar(std::string Key, VarProducer Producer);
+
+  /// Binds and serves on \p Address ("host:port", ":port" or "port";
+  /// port 0 picks an ephemeral one — read it back with address()).
+  /// Mounts all endpoints, then starts the HttpServer thread.
+  Error start(const std::string &Address);
+
+  /// Graceful shutdown; idempotent.
+  void stop();
+
+  bool running() const;
+  uint16_t port() const;
+  std::string address() const;
+  uint64_t requestsServed() const;
+
+private:
+  http::HttpServer Server;
+  std::vector<std::pair<std::string, Probe>> HealthProbes;
+  std::vector<std::pair<std::string, Probe>> ReadyProbes;
+  std::vector<std::pair<std::string, VarProducer>> Vars;
+  uint64_t StartWallSeconds = 0;
+};
+
+} // namespace status
+} // namespace lima
+
+#endif // LIMA_SUPPORT_STATUSSERVER_H

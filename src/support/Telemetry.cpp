@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Telemetry.h"
+#include "support/SignalSafe.h"
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -63,6 +65,71 @@ Registry &registry() {
 std::atomic<unsigned> MaxWorker{0};
 std::atomic<uint32_t> CurrentStage{InvalidName};
 
+//===----------------------------------------------------------------------===//
+// Flight recorder ring
+//===----------------------------------------------------------------------===//
+
+/// One ring slot.  Every field is a relaxed atomic: writers never lock,
+/// readers validate the sequence word before and after copying the
+/// payload and drop slots a concurrent writer was filling.  Seq holds
+/// 2*claim+1 while the payload is being written and 2*claim+2 once it
+/// is stable (0 = never written).
+struct FlightSlot {
+  std::atomic<uint64_t> Seq{0};
+  std::atomic<uint64_t> NameStage{0}; ///< Name << 32 | Stage.
+  std::atomic<uint64_t> Worker{0};
+  std::atomic<uint64_t> StartNs{0};
+  std::atomic<uint64_t> DurNs{0};
+  std::atomic<uint64_t> WaitNs{0};
+};
+
+struct FlightRing {
+  std::unique_ptr<FlightSlot[]> Slots;
+  size_t Mask = 0;
+  std::atomic<uint64_t> Head{0};
+};
+
+/// The active ring, raw-pointer for the lock-free record path.  Retired
+/// rings (tests reconfigure capacities) are parked in RetiredRings so a
+/// racing writer holding an old pointer never touches freed memory;
+/// they are reclaimed at process exit, which keeps LeakSanitizer quiet.
+std::atomic<FlightRing *> ActiveRing{nullptr};
+std::mutex FlightMutex;
+std::vector<std::unique_ptr<FlightRing>> &retiredRings() {
+  static std::vector<std::unique_ptr<FlightRing>> Rings;
+  return Rings;
+}
+
+std::atomic<bool> RingOnly{false};
+
+/// Crash name table: a bounded, append-only copy of interned names in
+/// plain chars, readable from a signal handler without locking the
+/// registry (whose std::strings may be mid-mutation when we crash).
+constexpr uint32_t CrashNameCap = 512;
+constexpr size_t CrashNameLen = 48;
+char CrashNames[CrashNameCap][CrashNameLen];
+std::atomic<uint32_t> CrashNameCount{0};
+
+void flightRecord(const SpanEvent &E) {
+  FlightRing *Ring = ActiveRing.load(std::memory_order_acquire);
+  if (!Ring)
+    return;
+  uint64_t Claim = Ring->Head.fetch_add(1, std::memory_order_relaxed);
+  FlightSlot &Slot = Ring->Slots[Claim & Ring->Mask];
+  // Fence-free seqlock (GCC's TSan cannot instrument
+  // atomic_thread_fence): release payload stores keep the odd Seq
+  // store ordered before them, so a reader that still sees the old
+  // even Seq after copying cannot have read a half-written payload.
+  Slot.Seq.store(Claim * 2 + 1, std::memory_order_release);
+  Slot.NameStage.store((static_cast<uint64_t>(E.Name) << 32) | E.Stage,
+                       std::memory_order_release);
+  Slot.Worker.store(E.Worker, std::memory_order_release);
+  Slot.StartNs.store(E.StartNs, std::memory_order_release);
+  Slot.DurNs.store(E.DurNs, std::memory_order_release);
+  Slot.WaitNs.store(E.QueueWaitNs, std::memory_order_release);
+  Slot.Seq.store(Claim * 2 + 2, std::memory_order_release);
+}
+
 thread_local unsigned TlsWorker = 0;
 thread_local std::shared_ptr<ThreadBuffer> TlsBuffer;
 
@@ -114,7 +181,16 @@ uint32_t telemetry::internName(std::string_view Name) {
     if (R.Names[Id] == Name)
       return Id;
   R.Names.emplace_back(Name);
-  return static_cast<uint32_t>(R.Names.size() - 1);
+  uint32_t Id = static_cast<uint32_t>(R.Names.size() - 1);
+  // Mirror into the crash name table (fixed chars, readable from a
+  // signal handler).  Names beyond the cap dump as their raw id.
+  if (Id < CrashNameCap) {
+    size_t N = std::min(Name.size(), CrashNameLen - 1);
+    std::memcpy(CrashNames[Id], Name.data(), N);
+    CrashNames[Id][N] = '\0';
+    CrashNameCount.store(Id + 1, std::memory_order_release);
+  }
+  return Id;
 }
 
 unsigned telemetry::workerId() { return TlsWorker; }
@@ -138,18 +214,141 @@ uint32_t telemetry::currentStage() {
 
 void telemetry::recordSpan(uint32_t Name, uint32_t Stage, uint64_t StartNs,
                            uint64_t DurNs) {
+  SpanEvent E{Name, Stage, TlsWorker, StartNs, DurNs, 0};
+  flightRecord(E);
+  if (RingOnly.load(std::memory_order_relaxed))
+    return;
   ThreadBuffer &Buffer = localBuffer();
   std::lock_guard<std::mutex> Lock(Buffer.Mutex);
-  Buffer.Events.push_back({Name, Stage, TlsWorker, StartNs, DurNs, 0});
+  Buffer.Events.push_back(E);
 }
 
 void telemetry::recordTask(uint32_t Stage, uint64_t StartNs, uint64_t RunNs,
                            uint64_t WaitNs) {
   static const uint32_t TaskName = internName("pool.task");
+  SpanEvent E{TaskName, Stage, TlsWorker, StartNs, RunNs, WaitNs};
+  flightRecord(E);
+  if (RingOnly.load(std::memory_order_relaxed))
+    return;
   ThreadBuffer &Buffer = localBuffer();
   std::lock_guard<std::mutex> Lock(Buffer.Mutex);
-  Buffer.Events.push_back({TaskName, Stage, TlsWorker, StartNs, RunNs,
-                           WaitNs});
+  Buffer.Events.push_back(E);
+}
+
+void telemetry::enableFlightRecorder(size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(FlightMutex);
+  FlightRing *Old = ActiveRing.load(std::memory_order_acquire);
+  if (Capacity == 0) {
+    ActiveRing.store(nullptr, std::memory_order_release);
+    (void)Old; // stays parked in retiredRings()
+    return;
+  }
+  size_t Pow2 = 1;
+  while (Pow2 < Capacity)
+    Pow2 <<= 1;
+  auto Ring = std::make_unique<FlightRing>();
+  Ring->Slots = std::make_unique<FlightSlot[]>(Pow2);
+  Ring->Mask = Pow2 - 1;
+  ActiveRing.store(Ring.get(), std::memory_order_release);
+  retiredRings().push_back(std::move(Ring));
+}
+
+bool telemetry::flightRecorderEnabled() {
+  return ActiveRing.load(std::memory_order_acquire) != nullptr;
+}
+
+void telemetry::setRingOnly(bool On) {
+  RingOnly.store(On, std::memory_order_relaxed);
+}
+
+FlightSnapshot telemetry::flightSnapshot() {
+  FlightSnapshot S;
+  FlightRing *Ring = ActiveRing.load(std::memory_order_acquire);
+  if (!Ring)
+    return S;
+  uint64_t Head = Ring->Head.load(std::memory_order_acquire);
+  S.TotalRecorded = Head;
+  size_t Cap = Ring->Mask + 1;
+  uint64_t First = Head > Cap ? Head - Cap : 0;
+  S.Events.reserve(static_cast<size_t>(Head - First));
+  for (uint64_t Claim = First; Claim != Head; ++Claim) {
+    FlightSlot &Slot = Ring->Slots[Claim & Ring->Mask];
+    uint64_t Before = Slot.Seq.load(std::memory_order_acquire);
+    if (Before != Claim * 2 + 2)
+      continue; // Torn by a newer writer, or never completed.
+    // Acquire payload loads pair with the writer's release stores and
+    // keep the Seq re-validation below ordered after the copy.
+    uint64_t NameStage = Slot.NameStage.load(std::memory_order_acquire);
+    SpanEvent E;
+    E.Name = static_cast<uint32_t>(NameStage >> 32);
+    E.Stage = static_cast<uint32_t>(NameStage);
+    E.Worker =
+        static_cast<uint32_t>(Slot.Worker.load(std::memory_order_acquire));
+    E.StartNs = Slot.StartNs.load(std::memory_order_acquire);
+    E.DurNs = Slot.DurNs.load(std::memory_order_acquire);
+    E.QueueWaitNs = Slot.WaitNs.load(std::memory_order_acquire);
+    if (Slot.Seq.load(std::memory_order_acquire) != Before)
+      continue; // Overwritten while we copied.
+    S.Events.push_back(E);
+  }
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    S.Names = R.Names;
+  }
+  return S;
+}
+
+void telemetry::crashWriteSpans(int Fd) {
+  using namespace sigsafe;
+  FlightRing *Ring = ActiveRing.load(std::memory_order_acquire);
+  if (!Ring) {
+    writeStr(Fd, "(flight recorder not enabled)\n");
+    return;
+  }
+  uint64_t Head = Ring->Head.load(std::memory_order_relaxed);
+  size_t Cap = Ring->Mask + 1;
+  uint64_t First = Head > Cap ? Head - Cap : 0;
+  uint32_t NamedCount = CrashNameCount.load(std::memory_order_acquire);
+  writeStr(Fd, "spans recorded: ");
+  writeUint(Fd, Head);
+  writeStr(Fd, ", retained: ");
+  writeUint(Fd, Head - First);
+  writeStr(Fd, " (oldest first)\n");
+  for (uint64_t Claim = First; Claim != Head; ++Claim) {
+    FlightSlot &Slot = Ring->Slots[Claim & Ring->Mask];
+    if (Slot.Seq.load(std::memory_order_relaxed) != Claim * 2 + 2)
+      continue;
+    uint64_t NameStage = Slot.NameStage.load(std::memory_order_relaxed);
+    uint32_t Name = static_cast<uint32_t>(NameStage >> 32);
+    uint32_t Stage = static_cast<uint32_t>(NameStage);
+    writeStr(Fd, "span ");
+    if (Name < NamedCount) {
+      writeStr(Fd, CrashNames[Name]);
+    } else {
+      writeStr(Fd, "name#");
+      writeUint(Fd, Name);
+    }
+    writeStr(Fd, " stage=");
+    if (Stage == InvalidName)
+      writeStr(Fd, "(none)");
+    else if (Stage < NamedCount)
+      writeStr(Fd, CrashNames[Stage]);
+    else
+      writeUint(Fd, Stage);
+    writeStr(Fd, " worker=");
+    writeUint(Fd, Slot.Worker.load(std::memory_order_relaxed));
+    writeStr(Fd, " start_ns=");
+    writeUint(Fd, Slot.StartNs.load(std::memory_order_relaxed));
+    writeStr(Fd, " dur_ns=");
+    writeUint(Fd, Slot.DurNs.load(std::memory_order_relaxed));
+    uint64_t Wait = Slot.WaitNs.load(std::memory_order_relaxed);
+    if (Wait != 0) {
+      writeStr(Fd, " wait_ns=");
+      writeUint(Fd, Wait);
+    }
+    writeStr(Fd, "\n");
+  }
 }
 
 Counter &telemetry::counter(std::string_view Name) {

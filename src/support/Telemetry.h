@@ -222,6 +222,60 @@ struct Snapshot {
 Snapshot collect();
 
 //===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+//
+// A bounded, lock-free ring of the most recent closed spans, kept for
+// post-mortem debugging: /debug/spans serves it live and the crash-dump
+// path (support/CrashDump.h) write()s it from a signal handler.  Writers
+// claim a slot with one fetch_add and fill it with relaxed atomic
+// stores; a per-slot sequence word lets readers detect and discard
+// slots torn by a concurrent writer, so snapshots are consistent
+// without ever blocking the recording path.
+
+/// Turns the flight recorder on with capacity \p Capacity (rounded up
+/// to a power of two; 0 turns it off).  Spans recorded while telemetry
+/// is enabled are mirrored into the ring.  Reconfiguring keeps old
+/// rings alive until process exit so racing writers never touch freed
+/// memory.
+void enableFlightRecorder(size_t Capacity);
+
+/// True when a ring is installed.
+bool flightRecorderEnabled();
+
+/// When on, spans and tasks go *only* to the flight ring, skipping the
+/// per-thread collect() buffers.  This is the long-lived-daemon mode
+/// (lima_monitor --http): nobody ever drains collect(), so the buffers
+/// would otherwise grow without bound.
+void setRingOnly(bool On);
+
+/// Point-in-time copy of the ring.
+struct FlightSnapshot {
+  /// Retained events, oldest first (by claim order).
+  std::vector<SpanEvent> Events;
+  /// Interned-name table (index == id) at snapshot time.
+  std::vector<std::string> Names;
+  /// Spans recorded into the ring since it was installed — events
+  /// beyond Events.size() have been overwritten.
+  uint64_t TotalRecorded = 0;
+
+  const std::string &nameOf(uint32_t Id) const {
+    static const std::string None = "(none)";
+    return Id < Names.size() ? Names[Id] : None;
+  }
+};
+
+/// Copies the ring without disturbing it (non-destructive, unlike
+/// collect()).  Slots being overwritten mid-copy are skipped.
+FlightSnapshot flightSnapshot();
+
+/// Async-signal-safe: walks the ring with plain atomic loads and
+/// write(2)s one line per span to \p Fd, resolving names through a
+/// fixed-size crash name table.  Only the crash-dump path should call
+/// this; everything else wants flightSnapshot().
+void crashWriteSpans(int Fd);
+
+//===----------------------------------------------------------------------===//
 // RAII recorders
 //===----------------------------------------------------------------------===//
 

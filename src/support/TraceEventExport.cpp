@@ -179,6 +179,41 @@ std::string telemetry::exportChromeTrace(const Snapshot &S) {
   return Out;
 }
 
+std::string telemetry::exportChromeTrace(const FlightSnapshot &S) {
+  std::string Out = "{\"displayTimeUnit\": \"ms\", \"total_recorded\": " +
+                    std::to_string(S.TotalRecorded) +
+                    ", \"retained\": " + std::to_string(S.Events.size()) +
+                    ", \"traceEvents\": [\n";
+  std::vector<SpanEvent> Events = S.Events;
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const SpanEvent &A, const SpanEvent &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+  std::vector<std::string> Lines;
+  for (const SpanEvent &E : Events) {
+    std::string Args;
+    if (E.Stage != InvalidName)
+      Args = "\"stage\": " + quoted(S.nameOf(E.Stage));
+    if (E.QueueWaitNs != 0) {
+      if (!Args.empty())
+        Args += ", ";
+      Args += "\"queue_wait_us\": " + toUs(E.QueueWaitNs);
+    }
+    Lines.push_back(
+        "{\"name\": " + quoted(S.nameOf(E.Name)) +
+        ", \"cat\": \"lima\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+        std::to_string(E.Worker) + ", \"ts\": " + toUs(E.StartNs) +
+        ", \"dur\": " + toUs(E.DurNs) +
+        (Args.empty() ? std::string() : ", \"args\": {" + Args + "}") + "}");
+  }
+  for (size_t I = 0; I != Lines.size(); ++I) {
+    Out += "  " + Lines[I];
+    Out += I + 1 == Lines.size() ? "\n" : ",\n";
+  }
+  Out += "]}\n";
+  return Out;
+}
+
 std::string telemetry::exportSelfProfileJson(const Snapshot &S) {
   std::string Out = "{\n";
   Out += "  \"version\": " + quoted(versionString()) + ",\n";

@@ -42,6 +42,13 @@ std::string exportChromeTrace(const Snapshot &S);
 /// span aggregates and counters, plus the build version.
 std::string exportSelfProfileJson(const Snapshot &S);
 
+/// Chrome trace-event JSON of a flight-recorder snapshot (the
+/// /debug/spans payload): the same "X"-event shape as
+/// exportChromeTrace, in non-decreasing timestamp order, plus
+/// "total_recorded"/"retained" metadata so consumers can tell how much
+/// history the bounded ring has dropped.
+std::string exportChromeTrace(const FlightSnapshot &S);
+
 } // namespace telemetry
 } // namespace lima
 

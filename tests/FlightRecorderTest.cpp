@@ -1,0 +1,272 @@
+//===- tests/FlightRecorderTest.cpp - Flight-recorder ring tests ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashDump.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include "support/TraceEventExport.h"
+#include "support/raw_ostream.h"
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace lima;
+using namespace lima::telemetry;
+
+namespace {
+
+// Each gtest runs in its own process (gtest_discover_tests), so tests
+// may reconfigure the global ring freely without cross-test pollution.
+
+class FlightRecorderTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    reset();
+    setEnabled(true);
+  }
+  void TearDown() override {
+    setRingOnly(false);
+    enableFlightRecorder(0);
+    setEnabled(false);
+  }
+};
+
+/// Reads back everything an async-signal-safe writer wrote to a temp
+/// file through \p Write.
+template <typename Fn> std::string captureFd(Fn Write) {
+  char Path[] = "/tmp/lima_flight_test_XXXXXX";
+  int Fd = ::mkstemp(Path);
+  EXPECT_GE(Fd, 0);
+  Write(Fd);
+  ::lseek(Fd, 0, SEEK_SET);
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  ::unlink(Path);
+  return Out;
+}
+
+TEST_F(FlightRecorderTest, DisabledByDefault) {
+  EXPECT_FALSE(flightRecorderEnabled());
+  // Recording with no ring installed is safe and retains nothing.
+  recordSpan(internName("noring"), InvalidName, 10, 5);
+  FlightSnapshot S = flightSnapshot();
+  EXPECT_EQ(S.TotalRecorded, 0u);
+  EXPECT_TRUE(S.Events.empty());
+}
+
+TEST_F(FlightRecorderTest, RecordsAndSnapshots) {
+  enableFlightRecorder(16);
+  EXPECT_TRUE(flightRecorderEnabled());
+  uint32_t Name = internName("work");
+  for (uint64_t I = 0; I < 5; ++I)
+    recordSpan(Name, InvalidName, 100 * I, 50);
+
+  FlightSnapshot S = flightSnapshot();
+  EXPECT_EQ(S.TotalRecorded, 5u);
+  ASSERT_EQ(S.Events.size(), 5u);
+  // Oldest first, payloads intact.
+  for (size_t I = 0; I < 5; ++I) {
+    EXPECT_EQ(S.Events[I].StartNs, 100 * I);
+    EXPECT_EQ(S.Events[I].DurNs, 50u);
+    EXPECT_EQ(S.nameOf(S.Events[I].Name), "work");
+  }
+  // Non-destructive: a second snapshot sees the same events.
+  FlightSnapshot S2 = flightSnapshot();
+  EXPECT_EQ(S2.Events.size(), 5u);
+  EXPECT_EQ(S2.TotalRecorded, 5u);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsMostRecent) {
+  enableFlightRecorder(8);
+  uint32_t Name = internName("wrap");
+  for (uint64_t I = 0; I < 20; ++I)
+    recordSpan(Name, InvalidName, I, 1);
+
+  FlightSnapshot S = flightSnapshot();
+  EXPECT_EQ(S.TotalRecorded, 20u);
+  ASSERT_EQ(S.Events.size(), 8u);
+  // The retained window is the last 8 claims: StartNs 12..19 in order.
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(S.Events[I].StartNs, 12 + I);
+}
+
+TEST_F(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  enableFlightRecorder(5); // rounds to 8
+  uint32_t Name = internName("cap");
+  for (uint64_t I = 0; I < 8; ++I)
+    recordSpan(Name, InvalidName, I, 1);
+  EXPECT_EQ(flightSnapshot().Events.size(), 8u);
+}
+
+TEST_F(FlightRecorderTest, ReconfigureParksOldRing) {
+  enableFlightRecorder(8);
+  recordSpan(internName("old"), InvalidName, 1, 1);
+  enableFlightRecorder(16);
+  // New ring starts empty; the old one is parked, not freed.
+  FlightSnapshot S = flightSnapshot();
+  EXPECT_EQ(S.TotalRecorded, 0u);
+  EXPECT_TRUE(S.Events.empty());
+  enableFlightRecorder(0);
+  EXPECT_FALSE(flightRecorderEnabled());
+}
+
+TEST_F(FlightRecorderTest, RingOnlySkipsCollectBuffers) {
+  enableFlightRecorder(16);
+  setRingOnly(true);
+  recordSpan(internName("daemon"), InvalidName, 5, 5);
+  recordSpan(internName("daemon"), InvalidName, 15, 5);
+
+  // The ring sees the spans; the collect() path does not, so a
+  // long-lived daemon that never drains cannot grow without bound.
+  EXPECT_EQ(flightSnapshot().Events.size(), 2u);
+  EXPECT_TRUE(collect().Events.empty());
+
+  setRingOnly(false);
+  recordSpan(internName("daemon"), InvalidName, 25, 5);
+  EXPECT_EQ(flightSnapshot().Events.size(), 3u);
+  EXPECT_EQ(collect().Events.size(), 1u);
+}
+
+TEST_F(FlightRecorderTest, DisabledModeRecordsNothingThroughSpan) {
+  setEnabled(false);
+  enableFlightRecorder(16);
+  {
+    // A disabled Span never reads the clock or records — the
+    // disabled-mode cost is one relaxed load at construction.
+    Span S(internName("off"));
+  }
+  EXPECT_EQ(flightSnapshot().TotalRecorded, 0u);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentRecordingStaysConsistent) {
+  enableFlightRecorder(64);
+  uint32_t Name = internName("mt");
+  constexpr int Threads = 4;
+  constexpr uint64_t PerThread = 2000;
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        recordSpan(Name, InvalidName, I + 1, static_cast<uint64_t>(T) + 1);
+      // Snapshot while other writers are racing: torn slots must be
+      // skipped, never surfaced with garbage payloads.
+      FlightSnapshot S = flightSnapshot();
+      for (const SpanEvent &E : S.Events) {
+        EXPECT_EQ(E.Name, Name);
+        EXPECT_GE(E.DurNs, 1u);
+        EXPECT_LE(E.DurNs, static_cast<uint64_t>(Threads));
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+
+  FlightSnapshot S = flightSnapshot();
+  EXPECT_EQ(S.TotalRecorded, Threads * PerThread);
+  EXPECT_EQ(S.Events.size(), 64u);
+}
+
+TEST_F(FlightRecorderTest, ChromeTraceExportShape) {
+  enableFlightRecorder(8);
+  recordSpan(internName("render"), internName("stage.a"), 2000, 3000);
+  recordSpan(internName("flush"), InvalidName, 1000, 500);
+
+  std::string Json = exportChromeTrace(flightSnapshot());
+  EXPECT_NE(Json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"total_recorded\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"retained\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"render\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"flush\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  // Events are emitted in non-decreasing timestamp order, so "flush"
+  // (ts 1us) must appear before "render" (ts 2us).
+  EXPECT_LT(Json.find("\"name\": \"flush\""), Json.find("\"name\": \"render\""));
+  // Balanced braces/brackets — cheap well-formedness check (no string
+  // values here contain brackets).
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+}
+
+TEST_F(FlightRecorderTest, ChromeTraceExportEmptyRing) {
+  enableFlightRecorder(8);
+  std::string Json = exportChromeTrace(flightSnapshot());
+  EXPECT_NE(Json.find("\"total_recorded\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+}
+
+TEST_F(FlightRecorderTest, CrashWriteSpansIsReadable) {
+  enableFlightRecorder(8);
+  recordSpan(internName("crashy"), InvalidName, 100, 25);
+  std::string Out = captureFd([](int Fd) { crashWriteSpans(Fd); });
+  EXPECT_NE(Out.find("spans recorded: 1, retained: 1"), std::string::npos);
+  EXPECT_NE(Out.find("span crashy"), std::string::npos);
+  EXPECT_NE(Out.find("start_ns=100"), std::string::npos);
+  EXPECT_NE(Out.find("dur_ns=25"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, CrashWriteSpansWithoutRing) {
+  std::string Out = captureFd([](int Fd) { crashWriteSpans(Fd); });
+  EXPECT_NE(Out.find("(flight recorder not enabled)"), std::string::npos);
+}
+
+TEST(CrashLogRingTest, RecentRecordsAreReplayed) {
+  std::string Captured;
+  raw_string_ostream OS(Captured);
+  logging::setSink(&OS);
+  logging::setLevel(logging::Level::Info);
+  logging::info("first record", {logging::field("k", 1)});
+  logging::info("second record", {logging::field("k", 2)});
+  logging::setSink(nullptr);
+
+  std::string Out = captureFd([](int Fd) { logging::crashWriteRecent(Fd); });
+  EXPECT_NE(Out.find("first record"), std::string::npos);
+  EXPECT_NE(Out.find("second record"), std::string::npos);
+  // Oldest first.
+  EXPECT_LT(Out.find("first record"), Out.find("second record"));
+}
+
+TEST(CrashDumpTest, WriteDumpContainsAllSections) {
+  telemetry::setEnabled(true);
+  telemetry::enableFlightRecorder(8);
+  telemetry::recordSpan(telemetry::internName("dumped"), InvalidName, 7, 3);
+
+  std::string Captured;
+  raw_string_ostream OS(Captured);
+  logging::setSink(&OS);
+  logging::info("pre-crash state", {});
+  logging::setSink(nullptr);
+
+  std::string Out =
+      captureFd([](int Fd) { crashdump::writeDump(Fd, SIGSEGV); });
+  EXPECT_NE(Out.find("==== lima crash dump ===="), std::string::npos);
+  EXPECT_NE(Out.find("signal: SIGSEGV (11)"), std::string::npos);
+  EXPECT_NE(Out.find("recent log records"), std::string::npos);
+  EXPECT_NE(Out.find("pre-crash state"), std::string::npos);
+  EXPECT_NE(Out.find("flight-recorder spans"), std::string::npos);
+  EXPECT_NE(Out.find("span dumped"), std::string::npos);
+  EXPECT_NE(Out.find("==== end of crash dump ===="), std::string::npos);
+
+  telemetry::enableFlightRecorder(0);
+  telemetry::setEnabled(false);
+}
+
+} // namespace

@@ -31,6 +31,10 @@ INGEST_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
 RECORD = {"name": str, "threads": int, "events": int,
           "wall_ms": float, "speedup": float}
 
+HTTP = {"series": int, "render_wall_ms": float, "render_target_ms": float,
+        "render_ok": bool, "scrape_requests": int,
+        "scrape_p50_ms": float, "scrape_p99_ms": float}
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
@@ -94,6 +98,13 @@ def main():
                                         "enabled_wall_ms": float,
                                         "overhead_pct": float}, section)
 
+    http = doc.get("http")
+    check_object(http, HTTP, "http")
+    if http["series"] < 1:
+        fail(f"http.series: expected >= 1, got {http['series']!r}")
+    if http["scrape_p50_ms"] > http["scrape_p99_ms"]:
+        fail("http: scrape_p50_ms exceeds scrape_p99_ms")
+
     if not doc["records"]:
         fail("records: empty")
     for i, record in enumerate(doc["records"]):
@@ -101,7 +112,8 @@ def main():
 
     print(f"check_bench_json: OK ({sys.argv[1]}: "
           f"{len(doc['records'])} records, ingest scanner speedup "
-          f"{ingest['scanner']['speedup_vs_legacy']}x)")
+          f"{ingest['scanner']['speedup_vs_legacy']}x, "
+          f"http render {http['render_wall_ms']} ms)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,51 @@
+//===- tests/crash_dump_harness.cpp - Induced-crash test binary -----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Installs the crash-dump handler, records some telemetry, then takes a
+// real SIGSEGV so crash_smoke.sh can assert the dump file contents and
+// the signal-death exit status.  Not a gtest: it must die.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashDump.h"
+#include "support/Log.h"
+#include "support/Telemetry.h"
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+using namespace lima;
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <dump-path>\n", argv[0]);
+    return 2;
+  }
+
+  if (Error E = crashdump::install(argv[1])) {
+    E.consume();
+    std::fprintf(stderr, "crashdump::install failed\n");
+    return 2;
+  }
+
+  telemetry::setEnabled(true);
+  telemetry::enableFlightRecorder(16);
+  telemetry::setRingOnly(true);
+
+  logging::setLevel(logging::Level::Info);
+  logging::info("harness starting", {logging::field("pid", getpid())});
+  logging::info("about to fault", {logging::field("step", 2)});
+
+  uint32_t Name = telemetry::internName("harness.work");
+  for (uint64_t I = 0; I < 6; ++I)
+    telemetry::recordSpan(Name, telemetry::InvalidName, 1000 * I, 500);
+
+  // Take a genuine fault so the signal path — not a direct writeDump()
+  // call — produces the dump.
+  volatile int *Null = nullptr;
+  *Null = 42;
+  return 0; // unreachable
+}

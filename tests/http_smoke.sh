@@ -1,0 +1,123 @@
+#!/bin/sh
+# End-to-end smoke test for the status server: starts lima_monitor
+# following a growing trace with --http on an ephemeral port, scrapes
+# /healthz and /metrics (validated with check_prometheus.sh), appends
+# more trace while scraping, checks /readyz, /varz and /debug/spans
+# (JSON-validated with python3), then sends SIGTERM and requires a clean
+# exit.  Skips (exit 77) when curl is unavailable.
+# Usage: http_smoke.sh LIMA_MONITOR_BIN WORK_DIR CHECKER_SH
+set -u
+
+Monitor="$1"
+Work="$2"
+Checker="$3"
+
+command -v curl > /dev/null 2>&1 || { echo "http_smoke: SKIP (no curl)"; exit 77; }
+
+rm -rf "$Work"
+mkdir -p "$Work"
+Trace="$Work/smoke.trace"
+Out="$Work/monitor.out"
+
+cat > "$Trace" <<'EOF'
+LIMATRACE 1
+procs 2
+region 0 loop
+activity 0 comp
+activity 1 comm
+re 0 0.0 0
+ab 0 0.0 0
+ae 0 0.9 0
+re 1 0.0 0
+ab 1 0.0 0
+ae 1 1.25 0
+EOF
+
+"$Monitor" "$Trace" --window 1 --follow --idle-exit-ms 0 --interval-ms 50 \
+    --log-json --http 127.0.0.1:0 --flight-recorder 1024 \
+    > "$Out" 2>&1 &
+Pid=$!
+
+fail() {
+  echo "http_smoke: $1" >&2
+  cat "$Out" >&2
+  kill "$Pid" 2> /dev/null
+  exit 1
+}
+
+# The monitor logs the bound address once the server is up; poll for it.
+Addr=""
+Tries=0
+while [ "$Tries" -lt 100 ]; do
+  Addr=$(sed -n 's/.*status server listening.*"address":"\([^"]*\)".*/\1/p' "$Out")
+  [ -n "$Addr" ] && break
+  kill -0 "$Pid" 2> /dev/null || fail "monitor died before listening"
+  sleep 0.1
+  Tries=$((Tries + 1))
+done
+[ -n "$Addr" ] || fail "status server never announced an address"
+
+Base="http://$Addr"
+
+curl -fsS "$Base/healthz" > "$Work/healthz" || fail "GET /healthz failed"
+grep -q '^ok$' "$Work/healthz" || fail "/healthz did not report ok"
+
+curl -fsS "$Base/metrics" > "$Work/metrics" || fail "GET /metrics failed"
+sh "$Checker" "$Work/metrics" || fail "/metrics failed Prometheus validation"
+grep -q '^process_resident_memory_bytes ' "$Work/metrics" \
+    || fail "/metrics missing process self-metrics"
+
+# Grow the trace while the server is live: scrape-during-ingest.
+cat >> "$Trace" <<'EOF'
+ab 0 0.9 1
+ae 0 1.1 1
+ab 1 1.25 1
+ae 1 1.4 1
+ab 0 1.1 0
+ae 0 2.6 0
+rx 0 2.6 0
+ab 1 1.4 0
+ae 1 2.3 0
+rx 1 2.3 0
+EOF
+
+# Wait for the monitor to ingest the appended events and emit windows.
+Tries=0
+while [ "$Tries" -lt 100 ]; do
+  Windows=$(grep -c '"msg":"window"' "$Out" || true)
+  [ "$Windows" -ge 2 ] && break
+  sleep 0.1
+  Tries=$((Tries + 1))
+done
+[ "${Windows:-0}" -ge 2 ] || fail "expected >=2 windows while following"
+
+curl -fsS "$Base/readyz" > "$Work/readyz" || fail "GET /readyz failed"
+grep -q '^ready$' "$Work/readyz" || fail "/readyz did not report ready"
+
+curl -fsS "$Base/varz" > "$Work/varz" || fail "GET /varz failed"
+curl -fsS "$Base/debug/spans" > "$Work/spans" || fail "GET /debug/spans failed"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$Work/varz" "$Work/spans" <<'EOF' || fail "JSON validation failed"
+import json, sys
+varz = json.load(open(sys.argv[1]))
+assert "version" in varz and "windows_emitted" in varz, varz.keys()
+assert varz["flight_recorder"] is True
+spans = json.load(open(sys.argv[2]))
+assert "traceEvents" in spans and isinstance(spans["traceEvents"], list)
+EOF
+fi
+
+# 404 for unknown paths, with the server still healthy afterwards.
+Code=$(curl -s -o /dev/null -w '%{http_code}' "$Base/nope")
+[ "$Code" = "404" ] || fail "expected 404 for /nope, got $Code"
+curl -fsS "$Base/healthz" > /dev/null || fail "server unhealthy after 404"
+
+kill -TERM "$Pid"
+Status=0
+wait "$Pid" || Status=$?
+[ "$Status" -eq 0 ] || fail "expected clean exit after SIGTERM, got $Status"
+
+grep -q '"msg":"stream complete"' "$Out" || fail "missing stream-complete record"
+
+echo "http_smoke: OK ($Windows windows, addr $Addr)"
