@@ -20,7 +20,11 @@
 // "metrics" object with the enabled-vs-disabled cost of the metrics
 // registry (pipeline wall time plus per-count nanoseconds), and a
 // "parse" object comparing strict against lenient trace parsing (the
-// input-hardening rent, text and binary), and an "http" object costing
+// input-hardening rent, text and binary), a "binary_ingest" object
+// comparing the v1 sequential binary reader against the v2
+// block-indexed reader at one thread and at the hardware thread count
+// (events/s, MB/s, and the on-disk index overhead, which must stay
+// under 2% of the file), and an "http" object costing
 // the status server's /metrics exposition (render wall time over ~200
 // labeled series plus loopback scrape latency under writer load).
 // Every parallel result is checked bit-identical to its serial twin
@@ -45,6 +49,7 @@
 #include "support/Telemetry.h"
 #include "support/raw_ostream.h"
 #include "trace/BinaryIO.h"
+#include "trace/ParallelBinary.h"
 #include "trace/ParallelParse.h"
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
@@ -532,11 +537,74 @@ int main(int Argc, char **Argv) {
       ", \"lenient_overhead_ok\": " +
       (LenientTargetOk ? "true" : "false") + "}";
 
+  // --- Binary ingestion ------------------------------------------------
+  // v1 sequential reader vs the v2 block-indexed reader at one thread
+  // and at the hardware thread count, over the same logical trace.  The
+  // v2 numbers include index validation and the SoA block decode.  The
+  // block index must stay cheap on disk: overhead vs v1 under 2%.
+  std::string BinaryV1 = trace::writeTraceBinaryV1(T);
+  auto binaryLeg = [&](const char *Name, const std::string &Bytes,
+                       double WallMs, double BaseMs) {
+    double EventsPerS = WallMs > 0.0 ? Events / (WallMs / 1e3) : 0.0;
+    double MbPerS =
+        WallMs > 0.0 ? Bytes.size() / 1e6 / (WallMs / 1e3) : 0.0;
+    double Speedup = WallMs > 0.0 ? BaseMs / WallMs : 0.0;
+    OS << "binary " << leftJustify(Name, 12) << formatFixed(WallMs, 2)
+       << " ms, " << formatFixed(EventsPerS / 1e6, 2) << " Mevents/s, "
+       << formatFixed(MbPerS, 1) << " MB/s, " << formatFixed(Speedup, 2)
+       << "x vs v1\n";
+    return "{\"wall_ms\": " + formatFixed(WallMs, 3) +
+           ", \"events_per_s\": " + formatFixed(EventsPerS, 0) +
+           ", \"mb_per_s\": " + formatFixed(MbPerS, 2) +
+           ", \"speedup_vs_v1\": " + formatFixed(Speedup, 3) + "}";
+  };
+  OS << '\n';
+  double BinV1Ms = timeMs(Reps, [&] {
+    (void)cantFail(trace::parseTraceBinary(BinaryV1, StrictParse));
+  });
+  double BinV2SeqMs = timeMs(Reps, [&] {
+    (void)cantFail(
+        trace::parseTraceBinaryParallel(TraceBinary, StrictParse, 1));
+  });
+  double BinV2ParMs = timeMs(Reps, [&] {
+    (void)cantFail(trace::parseTraceBinaryParallel(TraceBinary, StrictParse,
+                                                   HwThreads));
+  });
+  std::string BinV1Json = binaryLeg("v1", BinaryV1, BinV1Ms, BinV1Ms);
+  std::string BinV2SeqJson =
+      binaryLeg("v2@1", TraceBinary, BinV2SeqMs, BinV1Ms);
+  std::string BinV2ParJson =
+      binaryLeg(("v2@" + std::to_string(HwThreads)).c_str(), TraceBinary,
+                BinV2ParMs, BinV1Ms);
+  double IndexOverheadPct =
+      TraceBinary.size() > BinaryV1.size()
+          ? 100.0 * static_cast<double>(TraceBinary.size() - BinaryV1.size()) /
+                static_cast<double>(TraceBinary.size())
+          : 0.0;
+  constexpr double IndexOverheadTargetPct = 2.0;
+  bool IndexOverheadOk = IndexOverheadPct <= IndexOverheadTargetPct;
+  OS << "binary index overhead " << formatFixed(IndexOverheadPct, 2)
+     << "% of file (target <= " << formatFixed(IndexOverheadTargetPct, 1)
+     << "%: " << (IndexOverheadOk ? "PASS" : "FAIL") << ")\n";
+  std::string BinaryIngestJson =
+      "{\"events\": " + std::to_string(Events) +
+      ", \"v1_bytes\": " + std::to_string(BinaryV1.size()) +
+      ", \"v2_bytes\": " + std::to_string(TraceBinary.size()) +
+      ", \"hardware_threads\": " + std::to_string(HwThreads) +
+      ", \"v1\": " + BinV1Json + ", \"v2_seq\": " + BinV2SeqJson +
+      ", \"v2_sharded\": " + BinV2ParJson +
+      ", \"index_overhead_pct\": " + formatFixed(IndexOverheadPct, 2) +
+      ", \"index_overhead_target_pct\": " +
+      formatFixed(IndexOverheadTargetPct, 1) +
+      ", \"index_overhead_ok\": " + (IndexOverheadOk ? "true" : "false") +
+      "}";
+
   bench::JsonFields Extra = {
       {"parse", "{\"events\": " + std::to_string(Events) +
                     ", \"text\": " + TextParseJson +
                     ", \"binary\": " + BinaryParseJson + "}"},
       {"ingest", IngestJson},
+      {"binary_ingest", BinaryIngestJson},
       {"telemetry",
        std::string("{\"compiled\": ") +
            (LIMA_TELEMETRY ? "true" : "false") +

@@ -19,9 +19,11 @@
 #include "core/CubeIO.h"
 #include "core/TraceReduction.h"
 #include "support/CSV.h"
+#include "support/Checksum.h"
 #include "trace/BinaryIO.h"
 #include "trace/TraceIO.h"
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -60,6 +62,30 @@ Trace makeSeedTrace() {
   T.append({1.4, 1, EventKind::RegionExit, Loop, 0});
   T.append({1.5, 1, EventKind::RegionExit, Main, 0});
   return T;
+}
+
+constexpr size_t FooterSize = 24;
+
+/// Reads the footer's u64 index-offset field of a LIMB v2 buffer.
+size_t indexStart(const std::string &V2) {
+  uint64_t Offset;
+  std::memcpy(&Offset, V2.data() + V2.size() - FooterSize, sizeof(Offset));
+  return static_cast<size_t>(Offset);
+}
+
+uint32_t readU32(const std::string &V2, size_t At) {
+  uint32_t V;
+  std::memcpy(&V, V2.data() + At, sizeof(V));
+  return V;
+}
+
+/// Recomputes the footer's index CRC after an index mutation, so the
+/// seed exercises the semantic index validation, not the CRC gate.
+void resignIndex(std::string &V2) {
+  std::string_view Index(V2.data() + indexStart(V2),
+                         V2.size() - FooterSize - indexStart(V2));
+  uint32_t Crc = crc32(Index);
+  std::memcpy(V2.data() + V2.size() - FooterSize + 12, &Crc, sizeof(Crc));
 }
 
 bool write(const std::filesystem::path &Path, const std::string &Bytes) {
@@ -120,10 +146,64 @@ int main(int Argc, char **Argv) {
   BadVersion[4] = '\x7f';
   Ok &= write(BinDir / "bad-version.limb", BadVersion);
   // An overlong varint: magic/version/counts, then garbage continuation
-  // bytes where the first event id would be.
-  std::string Overlong = Binary.substr(0, Binary.size() - 1);
+  // bytes where the last event's payload would be.  Pinned to v1 — the
+  // v2 payload is self-framing, so the same mutation there is just a
+  // damaged index that salvages cleanly.
+  std::string V1 = trace::writeTraceBinaryV1(T);
+  Ok &= write(BinDir / "valid-v1.limb", V1);
+  std::string Overlong = V1.substr(0, V1.size() - 1);
   Overlong.append(16, '\xff');
   Ok &= write(BinDir / "overlong-varint.limb", Overlong);
+
+  // --- LIMB v2 block-index mutations ----------------------------------
+  // A tiny block size forces several index entries from the 16-event
+  // seed, so every mutation below has structure to chew on.  Each seed
+  // lands in a distinct row of the fallback matrix: index damage keeps
+  // the self-framed payload readable (sequential salvage), while
+  // payload damage under a valid index is caught by the block CRC.
+  trace::BinaryWriteOptions SmallBlocks;
+  SmallBlocks.BlockEvents = 5;
+  std::string V2 = trace::writeTraceBinary(T, SmallBlocks);
+  Ok &= write(BinDir / "valid-v2.limb", V2);
+
+  // Footer intact, index region clipped: offsets no longer line up.
+  Ok &= write(BinDir / "truncated-index.limb",
+              V2.substr(0, indexStart(V2) + 8) + V2.substr(V2.size() - 8));
+
+  // Footer points past the end of the file.
+  std::string PastEof = V2;
+  uint64_t Bogus = PastEof.size() + 4096;
+  std::memcpy(PastEof.data() + PastEof.size() - FooterSize, &Bogus,
+              sizeof(Bogus));
+  Ok &= write(BinDir / "index-offset-past-eof.limb", PastEof);
+
+  // First block's first run claims one extra event; CRC re-signed so
+  // the run-sum consistency check (not the CRC) rejects the index.
+  // Entry layout: u64 offset, u32 bytes, u32 events, f64 first, f64
+  // last, u32 crc, u32 runCount, then u32 proc + u32 count per run.
+  std::string CountMismatch = V2;
+  size_t Entry0 = indexStart(V2) + 4;
+  size_t Run0Count = Entry0 + 40 + 4;
+  uint32_t Count = readU32(CountMismatch, Run0Count) + 1;
+  std::memcpy(CountMismatch.data() + Run0Count, &Count, sizeof(Count));
+  resignIndex(CountMismatch);
+  Ok &= write(BinDir / "count-mismatch.limb", CountMismatch);
+
+  // Second block's offset rewound onto the first: blocks overlap
+  // instead of tiling the payload.
+  std::string Overlap = V2;
+  size_t Entry1 = Entry0 + 40 + 8 * readU32(V2, Entry0 + 36);
+  uint64_t Block0Offset;
+  std::memcpy(&Block0Offset, V2.data() + Entry0, sizeof(Block0Offset));
+  std::memcpy(Overlap.data() + Entry1, &Block0Offset, sizeof(Block0Offset));
+  resignIndex(Overlap);
+  Ok &= write(BinDir / "overlapping-blocks.limb", Overlap);
+
+  // Valid index, one payload byte flipped: the per-block CRC catches
+  // it (strict error, lenient whole-block drop).
+  std::string BadCrc = V2;
+  BadCrc[indexStart(V2) / 2] ^= 0x40;
+  Ok &= write(BinDir / "bad-block-crc.limb", BadCrc);
 
   // --- Cube CSV -------------------------------------------------------
   core::ReductionOptions Reduction;

@@ -215,7 +215,7 @@ Expected<MeasurementCube> core::parseCubeCSV(std::string_view Text,
 }
 
 Error core::saveCube(const MeasurementCube &Cube, const std::string &Path) {
-  return writeFile(Path, writeCubeCSV(Cube));
+  return writeFileAtomic(Path, writeCubeCSV(Cube));
 }
 
 Expected<MeasurementCube> core::loadCube(const std::string &Path,

@@ -54,10 +54,16 @@ bool foldProcessor(const trace::Trace &T, unsigned Proc,
     return false;
   };
 
-  const std::vector<Event> &Stream = T.events(Proc);
+  // Read the stream through its columns: the fold touches time, kind
+  // and id but never the message byte counts, so the SoA layout keeps
+  // one whole column out of the cache entirely.
+  const trace::Trace::EventsRef Stream = T.events(Proc);
+  const double *Times = Stream.times();
+  const EventKind *Kinds = Stream.kinds();
+  const uint32_t *Ids = Stream.ids();
   Report.TotalRecords += Stream.size();
   for (size_t Index = 0; Index != Stream.size(); ++Index) {
-    const Event &E = Stream[Index];
+    const Event E{Times[Index], Proc, Kinds[Index], Ids[Index], 0};
     Span = std::max(Span, E.Time);
     switch (E.Kind) {
     case EventKind::RegionEnter:

@@ -1,0 +1,35 @@
+//===- support/Checksum.h - CRC32 checksums ---------------------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) for
+/// integrity-checking binary file sections.  Not cryptographic: the
+/// point is detecting torn writes and bit rot, not adversaries — a
+/// hostile file can always recompute its own checksums, so parsers must
+/// stay robust to arbitrary bytes regardless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_CHECKSUM_H
+#define LIMA_SUPPORT_CHECKSUM_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace lima {
+
+/// CRC-32 of \p Data (initial value 0, i.e. the conventional
+/// 0xFFFFFFFF pre/post-conditioning is applied internally).
+uint32_t crc32(std::string_view Data);
+
+/// Streaming form: feeds \p Data into a running checksum previously
+/// returned by crc32() or crc32Update().  crc32(X + Y) ==
+/// crc32Update(crc32(X), Y).
+uint32_t crc32Update(uint32_t Crc, std::string_view Data);
+
+} // namespace lima
+
+#endif // LIMA_SUPPORT_CHECKSUM_H

@@ -1,0 +1,237 @@
+//===- trace/BinaryDetail.h - Shared LIMB reader internals ------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared between the sequential LIMB reader/writer
+/// (trace/BinaryIO.cpp) and the block-indexed sharded reader
+/// (trace/ParallelBinary.cpp): format constants, the bounds-checked
+/// byte reader, the v2 header/index model and the per-event value
+/// validation that both the v1 record loop and the v2 block decoder
+/// apply verbatim.  Internal to lima_trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_BINARYDETAIL_H
+#define LIMA_TRACE_BINARYDETAIL_H
+
+#include "support/Error.h"
+#include "support/ParseLimits.h"
+#include "trace/Trace.h"
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace lima {
+namespace trace {
+namespace detail {
+
+constexpr char BinaryMagic[4] = {'L', 'I', 'M', 'B'};
+constexpr uint32_t BinaryVersion1 = 1;
+constexpr uint32_t BinaryVersion2 = 2;
+
+/// v2 header flag: every index entry carries a CRC32 of its block's
+/// payload bytes (written by default; readers tolerate files without).
+constexpr uint32_t BinaryFlagBlockCrc = 1u << 0;
+constexpr uint32_t BinaryKnownFlags = BinaryFlagBlockCrc;
+
+/// The v2 footer is the last 24 bytes of the file:
+///   u64 index offset, u32 index size, u32 index CRC32, char[8] magic.
+constexpr char BinaryFooterMagic[8] = {'L', 'I', 'M', 'B', 'I', 'D', 'X', '2'};
+constexpr size_t BinaryFooterSize = 8 + 4 + 4 + 8;
+
+/// Smallest possible serialized index entry (all fixed-width fields
+/// plus one run), used to sanity-bound a declared block count before
+/// reserving index storage.
+constexpr size_t BinaryMinIndexEntry = 8 + 4 + 4 + 8 + 8 + 4 + 4 + (4 + 4);
+
+/// Bounds-checked reader over the input buffer.  Offsets in errors are
+/// absolute (relative to the start of the file, including the magic).
+class ByteReader {
+public:
+  ByteReader(std::string_view Data, size_t StartOffset, size_t MaxNameBytes)
+      : Data(Data), Offset(StartOffset), MaxNameBytes(MaxNameBytes) {}
+
+  Expected<uint64_t> readVarint() {
+    uint64_t Value = 0;
+    unsigned Shift = 0;
+    while (true) {
+      if (Offset >= Data.size())
+        return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                              "binary trace truncated in varint at byte %zu",
+                              Offset);
+      uint8_t Byte = static_cast<uint8_t>(Data[Offset++]);
+      if (Shift >= 64 || (Shift == 63 && Byte > 1))
+        return makeParseError(ErrorCode::MalformedRecord, 0, Offset - 1,
+                              "binary trace: varint overflow at byte %zu",
+                              Offset - 1);
+      Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+      if ((Byte & 0x80) == 0)
+        return Value;
+      Shift += 7;
+    }
+  }
+
+  template <typename T> Expected<T> read() {
+    if (Offset + sizeof(T) > Data.size())
+      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                            "binary trace truncated at byte %zu", Offset);
+    T Value;
+    std::memcpy(&Value, Data.data() + Offset, sizeof(T));
+    Offset += sizeof(T);
+    return Value;
+  }
+
+  Expected<std::string> readString() {
+    size_t LengthOffset = Offset;
+    auto LengthOrErr = read<uint32_t>();
+    if (auto Err = LengthOrErr.takeError())
+      return Err;
+    uint32_t Length = *LengthOrErr;
+    if (Length > MaxNameBytes)
+      return makeParseError(ErrorCode::LimitExceeded, 0, LengthOffset,
+                            "binary trace: string length %u exceeds the "
+                            "limit",
+                            Length);
+    if (Offset + Length > Data.size())
+      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
+                            "binary trace truncated in string at byte %zu",
+                            Offset);
+    std::string Str(Data.substr(Offset, Length));
+    Offset += Length;
+    return Str;
+  }
+
+  bool atEnd() const { return Offset == Data.size(); }
+  size_t offset() const { return Offset; }
+
+private:
+  std::string_view Data;
+  size_t Offset = 0;
+  size_t MaxNameBytes;
+};
+
+/// Everything the header declares, minus the name tables (those land
+/// directly in the Trace under construction).
+struct BinaryHeader {
+  uint32_t Version = 0;
+  uint32_t Flags = 0;
+  uint32_t NumProcs = 0;
+  /// v2 only: total events across all processors, enabling the limits
+  /// pre-check and the sequential no-index walk.
+  uint64_t TotalEvents = 0;
+  /// Byte offset of the first payload (event-section) byte.
+  size_t PayloadStart = 0;
+};
+
+/// One (processor, count) slice of a block, in file order.
+struct BlockRun {
+  uint32_t Proc = 0;
+  uint32_t Count = 0;
+};
+
+/// One index entry.  Runs live in BinaryIndex::Runs[FirstRun,
+/// FirstRun+NumRuns).
+struct BlockInfo {
+  uint64_t Offset = 0; ///< Absolute file offset of the block payload.
+  uint32_t Bytes = 0;  ///< Payload size in bytes.
+  uint32_t Events = 0; ///< Events in the block (== sum of run counts).
+  double FirstTime = 0.0;
+  double LastTime = 0.0;
+  uint32_t Crc = 0; ///< CRC32 of the payload (when the flag is set).
+  uint32_t FirstRun = 0;
+  uint32_t NumRuns = 0;
+};
+
+/// The validated block index of a v2 file.
+struct BinaryIndex {
+  std::vector<BlockInfo> Blocks;
+  std::vector<BlockRun> Runs;
+};
+
+/// Parses magic/version/flags/processor count/name tables (and, for
+/// v2, the event total) into \p H and a fresh Trace in \p TOut,
+/// enforcing the same ParseLimits checks and allocation accounting as
+/// the original v1 reader.  \p AllocBytes accumulates the accounting so
+/// callers can extend it over the event section.
+Error parseBinaryHeader(std::string_view Data, const ParseOptions &Options,
+                        BinaryHeader &H, std::optional<Trace> &TOut,
+                        uint64_t &AllocBytes);
+
+/// Locates and validates the v2 footer and block index.  Returns
+/// nullopt — never a hard error — when the file carries no usable
+/// index: missing/truncated footer, bad footer magic, index bounds that
+/// do not tile [PayloadStart, EOF), an index CRC mismatch, or entries
+/// that are internally inconsistent (non-contiguous blocks, run counts
+/// that do not sum to the block's event count, run processors out of
+/// range, totals that disagree with the header).  Callers fall back to
+/// the sequential no-index walk.
+std::optional<BinaryIndex> readBinaryIndex(std::string_view Data,
+                                           const BinaryHeader &H);
+
+/// Validates one decoded event record's values exactly like the v1
+/// reader: non-negative finite-or-not time semantics (`!(Time >= 0)`
+/// rejects NaN and negatives), known kind, id within u32 and within the
+/// table its kind indexes.  On success fills \p E (Time/Kind/Id/Bytes;
+/// the caller sets Proc).
+inline Error validateEventValues(double Time, uint8_t Kind, uint64_t Id,
+                                 uint64_t Bytes, size_t RecordOffset,
+                                 const Trace &T, Event &E) {
+  E.Time = Time;
+  E.Bytes = Bytes;
+  if (!(Time >= 0.0))
+    return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                          "binary trace: invalid event time at byte "
+                          "%zu",
+                          RecordOffset);
+  if (Kind > static_cast<uint8_t>(EventKind::MessageRecv))
+    return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                          "binary trace: unknown event kind %u at "
+                          "byte %zu",
+                          Kind, RecordOffset);
+  E.Kind = static_cast<EventKind>(Kind);
+  if (Id > UINT32_MAX)
+    return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                          "binary trace: event id overflows u32 at "
+                          "byte %zu",
+                          RecordOffset);
+  E.Id = static_cast<uint32_t>(Id);
+  // Range-check ids before appending (append asserts, the parser
+  // must reject gracefully).
+  switch (E.Kind) {
+  case EventKind::RegionEnter:
+  case EventKind::RegionExit:
+    if (E.Id >= T.numRegions())
+      return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                            "binary trace: region id out of range at "
+                            "byte %zu",
+                            RecordOffset);
+    break;
+  case EventKind::ActivityBegin:
+  case EventKind::ActivityEnd:
+    if (E.Id >= T.numActivities())
+      return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                            "binary trace: activity id out of range "
+                            "at byte %zu",
+                            RecordOffset);
+    break;
+  case EventKind::MessageSend:
+  case EventKind::MessageRecv:
+    if (E.Id >= T.numProcs())
+      return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
+                            "binary trace: peer out of range at byte "
+                            "%zu",
+                            RecordOffset);
+    break;
+  }
+  return Error::success();
+}
+
+} // namespace detail
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_BINARYDETAIL_H

@@ -5,21 +5,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "trace/BinaryIO.h"
+#include "support/Checksum.h"
 #include "support/FileUtils.h"
 #include "support/MappedFile.h"
 #include "support/Metrics.h"
 #include "support/Telemetry.h"
+#include "trace/BinaryDetail.h"
+#include "trace/ParallelBinary.h"
 #include "trace/ParallelParse.h"
 #include "trace/TraceIO.h"
+#include <algorithm>
 #include <cstring>
 
 using namespace lima;
 using namespace lima::trace;
+using namespace lima::trace::detail;
 
 namespace {
-
-constexpr char Magic[4] = {'L', 'I', 'M', 'B'};
-constexpr uint32_t Version = 1;
 
 /// Little-endian append helpers.  The host is assumed little-endian (the
 /// build targets x86-64/AArch64 Linux); a big-endian port would swap here.
@@ -43,78 +45,14 @@ void appendVarint(std::string &Out, uint64_t Value) {
   Out.push_back(static_cast<char>(Value));
 }
 
-/// Bounds-checked reader over the input buffer.  Offsets in errors are
-/// absolute (relative to the start of the file, including the magic).
-class Reader {
-public:
-  Reader(std::string_view Data, size_t StartOffset, size_t MaxNameBytes)
-      : Data(Data), Offset(StartOffset), MaxNameBytes(MaxNameBytes) {}
-
-  Expected<uint64_t> readVarint() {
-    uint64_t Value = 0;
-    unsigned Shift = 0;
-    while (true) {
-      if (Offset >= Data.size())
-        return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
-                              "binary trace truncated in varint at byte %zu",
-                              Offset);
-      uint8_t Byte = static_cast<uint8_t>(Data[Offset++]);
-      if (Shift >= 64 || (Shift == 63 && Byte > 1))
-        return makeParseError(ErrorCode::MalformedRecord, 0, Offset - 1,
-                              "binary trace: varint overflow at byte %zu",
-                              Offset - 1);
-      Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
-      if ((Byte & 0x80) == 0)
-        return Value;
-      Shift += 7;
-    }
-  }
-
-  template <typename T> Expected<T> read() {
-    if (Offset + sizeof(T) > Data.size())
-      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
-                            "binary trace truncated at byte %zu", Offset);
-    T Value;
-    std::memcpy(&Value, Data.data() + Offset, sizeof(T));
-    Offset += sizeof(T);
-    return Value;
-  }
-
-  Expected<std::string> readString() {
-    size_t LengthOffset = Offset;
-    auto LengthOrErr = read<uint32_t>();
-    if (auto Err = LengthOrErr.takeError())
-      return Err;
-    uint32_t Length = *LengthOrErr;
-    if (Length > MaxNameBytes)
-      return makeParseError(ErrorCode::LimitExceeded, 0, LengthOffset,
-                            "binary trace: string length %u exceeds the "
-                            "limit",
-                            Length);
-    if (Offset + Length > Data.size())
-      return makeParseError(ErrorCode::TruncatedInput, 0, Offset,
-                            "binary trace truncated in string at byte %zu",
-                            Offset);
-    std::string Str(Data.substr(Offset, Length));
-    Offset += Length;
-    return Str;
-  }
-
-  bool atEnd() const { return Offset == Data.size(); }
-  size_t offset() const { return Offset; }
-
-private:
-  std::string_view Data;
-  size_t Offset = 0;
-  size_t MaxNameBytes;
-};
-
-} // namespace
-
-std::string trace::writeTraceBinary(const Trace &T) {
-  std::string Out;
-  Out.append(Magic, sizeof(Magic));
+/// Serializes the header fields shared by both versions: magic,
+/// version, (v2: flags,) processor count and the two name tables.
+void appendHeaderCommon(std::string &Out, const Trace &T, uint32_t Version,
+                        uint32_t Flags) {
+  Out.append(BinaryMagic, sizeof(BinaryMagic));
   appendScalar<uint32_t>(Out, Version);
+  if (Version >= BinaryVersion2)
+    appendScalar<uint32_t>(Out, Flags);
   appendScalar<uint32_t>(Out, T.numProcs());
   appendScalar<uint32_t>(Out, static_cast<uint32_t>(T.numRegions()));
   for (size_t I = 0; I != T.numRegions(); ++I)
@@ -122,6 +60,26 @@ std::string trace::writeTraceBinary(const Trace &T) {
   appendScalar<uint32_t>(Out, static_cast<uint32_t>(T.numActivities()));
   for (size_t I = 0; I != T.numActivities(); ++I)
     appendString(Out, T.activityName(static_cast<uint32_t>(I)));
+}
+
+/// One run of a planned block: \p Count events of processor \p Proc
+/// starting at stream index \p First.
+struct PlanRun {
+  uint32_t Proc;
+  uint64_t First;
+  uint32_t Count;
+};
+
+struct PlanBlock {
+  std::vector<PlanRun> Runs;
+  uint64_t Events = 0;
+};
+
+} // namespace
+
+std::string trace::writeTraceBinaryV1(const Trace &T) {
+  std::string Out;
+  appendHeaderCommon(Out, T, BinaryVersion1, 0);
   for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
     const auto &Events = T.events(Proc);
     appendScalar<uint64_t>(Out, Events.size());
@@ -135,15 +93,122 @@ std::string trace::writeTraceBinary(const Trace &T) {
   return Out;
 }
 
-Expected<Trace> trace::parseTraceBinary(std::string_view Data,
-                                        const ParseOptions &Options) {
+std::string trace::writeTraceBinary(const Trace &T,
+                                    const BinaryWriteOptions &Options) {
+  std::string Out;
+  appendHeaderCommon(Out, T, BinaryVersion2,
+                     Options.BlockCrc ? BinaryFlagBlockCrc : 0);
+  appendScalar<uint64_t>(Out, T.numEvents());
+
+  // Plan blocks processor-major.  The cap keeps a block's event count
+  // and byte size comfortably inside the index's u32 fields.
+  const uint64_t BlockEvents = std::clamp<uint64_t>(
+      Options.BlockEvents, 1, uint64_t(1) << 26);
+  std::vector<PlanBlock> Plan;
+  uint64_t Space = 0;
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc) {
+    uint64_t Remaining = T.events(Proc).size();
+    uint64_t First = 0;
+    while (Remaining != 0) {
+      if (Space == 0) {
+        Plan.emplace_back();
+        Space = BlockEvents;
+      }
+      uint64_t Take = std::min(Remaining, Space);
+      Plan.back().Runs.push_back(
+          {Proc, First, static_cast<uint32_t>(Take)});
+      Plan.back().Events += Take;
+      First += Take;
+      Remaining -= Take;
+      Space -= Take;
+    }
+  }
+
+  // Serialize the blocks, collecting the index as we go.
+  struct IndexEntry {
+    uint64_t Offset;
+    uint32_t Bytes;
+    uint32_t Events;
+    double First;
+    double Last;
+    uint32_t Crc;
+  };
+  std::vector<IndexEntry> Index(Plan.size());
+  for (size_t B = 0; B != Plan.size(); ++B) {
+    const PlanBlock &PB = Plan[B];
+    const size_t BlockStart = Out.size();
+    appendVarint(Out, PB.Runs.size());
+    bool Any = false;
+    double FirstTime = 0.0, LastTime = 0.0;
+    for (const PlanRun &R : PB.Runs) {
+      appendVarint(Out, R.Proc);
+      appendVarint(Out, R.Count);
+      const Trace::EventsRef Events = T.events(R.Proc);
+      const double *Times = Events.times();
+      const EventKind *Kinds = Events.kinds();
+      const uint32_t *Ids = Events.ids();
+      const uint64_t *Bytes = Events.bytes();
+      for (uint64_t J = R.First; J != R.First + R.Count; ++J) {
+        appendScalar<double>(Out, Times[J]);
+        appendScalar<uint8_t>(Out, static_cast<uint8_t>(Kinds[J]));
+        appendVarint(Out, Ids[J]);
+        appendVarint(Out, Bytes[J]);
+      }
+      if (!Any) {
+        FirstTime = Times[R.First];
+        Any = true;
+      }
+      LastTime = Times[R.First + R.Count - 1];
+    }
+    IndexEntry &E = Index[B];
+    E.Offset = BlockStart;
+    E.Bytes = static_cast<uint32_t>(Out.size() - BlockStart);
+    E.Events = static_cast<uint32_t>(PB.Events);
+    E.First = FirstTime;
+    E.Last = LastTime;
+    E.Crc = Options.BlockCrc
+                ? crc32(std::string_view(Out).substr(BlockStart))
+                : 0;
+  }
+
+  // Index section, then the fixed-size footer locating it.
+  const size_t IndexStart = Out.size();
+  appendScalar<uint32_t>(Out, static_cast<uint32_t>(Plan.size()));
+  for (size_t B = 0; B != Plan.size(); ++B) {
+    const IndexEntry &E = Index[B];
+    appendScalar<uint64_t>(Out, E.Offset);
+    appendScalar<uint32_t>(Out, E.Bytes);
+    appendScalar<uint32_t>(Out, E.Events);
+    appendScalar<double>(Out, E.First);
+    appendScalar<double>(Out, E.Last);
+    appendScalar<uint32_t>(Out, E.Crc);
+    appendScalar<uint32_t>(Out,
+                           static_cast<uint32_t>(Plan[B].Runs.size()));
+    for (const PlanRun &R : Plan[B].Runs) {
+      appendScalar<uint32_t>(Out, R.Proc);
+      appendScalar<uint32_t>(Out, R.Count);
+    }
+  }
+  const size_t IndexBytes = Out.size() - IndexStart;
+  const uint32_t IndexCrc =
+      crc32(std::string_view(Out).substr(IndexStart, IndexBytes));
+  appendScalar<uint64_t>(Out, IndexStart);
+  appendScalar<uint32_t>(Out, static_cast<uint32_t>(IndexBytes));
+  appendScalar<uint32_t>(Out, IndexCrc);
+  Out.append(BinaryFooterMagic, sizeof(BinaryFooterMagic));
+  return Out;
+}
+
+Error detail::parseBinaryHeader(std::string_view Data,
+                                const ParseOptions &Options, BinaryHeader &H,
+                                std::optional<Trace> &TOut,
+                                uint64_t &AllocBytes) {
   const ParseLimits &Limits = Options.Limits;
-  if (Data.size() < sizeof(Magic) ||
-      std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0)
+  if (Data.size() < sizeof(BinaryMagic) ||
+      std::memcmp(Data.data(), BinaryMagic, sizeof(BinaryMagic)) != 0)
     return makeCodedError(ErrorCode::BadMagic,
                           "binary trace: bad magic (expected 'LIMB')");
-  Reader In(Data, sizeof(Magic), Limits.MaxNameBytes);
-  uint64_t AllocBytes = 0;
+  ByteReader In(Data, sizeof(BinaryMagic), Limits.MaxNameBytes);
   auto overAllocCap = [&](uint64_t More) {
     AllocBytes += More;
     return AllocBytes > Limits.MaxAllocBytes;
@@ -152,10 +217,21 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
   auto VersionOrErr = In.read<uint32_t>();
   if (auto Err = VersionOrErr.takeError())
     return Err;
-  if (*VersionOrErr != Version)
+  if (*VersionOrErr != BinaryVersion1 && *VersionOrErr != BinaryVersion2)
     return makeCodedError(ErrorCode::UnsupportedVersion,
                           "binary trace: unsupported version %u",
                           *VersionOrErr);
+  H.Version = *VersionOrErr;
+  if (H.Version >= BinaryVersion2) {
+    auto FlagsOrErr = In.read<uint32_t>();
+    if (auto Err = FlagsOrErr.takeError())
+      return Err;
+    if ((*FlagsOrErr & ~BinaryKnownFlags) != 0)
+      return makeCodedError(ErrorCode::UnsupportedVersion,
+                            "binary trace: unknown format flags 0x%x",
+                            *FlagsOrErr);
+    H.Flags = *FlagsOrErr;
+  }
 
   auto ProcsOrErr = In.read<uint32_t>();
   if (auto Err = ProcsOrErr.takeError())
@@ -167,6 +243,7 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
       overAllocCap(*ProcsOrErr * sizeof(std::vector<Event>)))
     return makeCodedError(ErrorCode::LimitExceeded,
                           "binary trace: processor count exceeds the limit");
+  H.NumProcs = *ProcsOrErr;
   Trace T(*ProcsOrErr);
 
   auto RegionsOrErr = In.read<uint32_t>();
@@ -202,8 +279,38 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
     T.addActivity(std::move(*NameOrErr));
   }
 
+  if (H.Version >= BinaryVersion2) {
+    auto TotalOrErr = In.read<uint64_t>();
+    if (auto Err = TotalOrErr.takeError())
+      return Err;
+    H.TotalEvents = *TotalOrErr;
+  }
+  H.PayloadStart = In.offset();
+  TOut.emplace(std::move(T));
+  return Error::success();
+}
+
+namespace {
+
+/// The original v1 decode path: per-processor u64 counts, events until
+/// each count is satisfied, nothing after the last processor.
+Expected<Trace> parseTraceBinaryV1Impl(std::string_view Data,
+                                       const ParseOptions &Options) {
+  const ParseLimits &Limits = Options.Limits;
+  BinaryHeader H;
+  std::optional<Trace> TOpt;
+  uint64_t AllocBytes = 0;
+  if (auto Err = parseBinaryHeader(Data, Options, H, TOpt, AllocBytes))
+    return Err;
+  Trace &T = *TOpt;
+  ByteReader In(Data, H.PayloadStart, Limits.MaxNameBytes);
+  auto overAllocCap = [&](uint64_t More) {
+    AllocBytes += More;
+    return AllocBytes > Limits.MaxAllocBytes;
+  };
+
   uint64_t TotalEvents = 0;
-  for (uint32_t Proc = 0; Proc != *ProcsOrErr; ++Proc) {
+  for (uint32_t Proc = 0; Proc != H.NumProcs; ++Proc) {
     auto CountOrErr = In.read<uint64_t>();
     if (auto Err = CountOrErr.takeError())
       return Err;
@@ -211,15 +318,12 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
       size_t RecordOffset = In.offset();
       if (Options.Report)
         ++Options.Report->TotalRecords;
-      Event E;
-      E.Proc = Proc;
       // Field reads keep the stream framed even when values are bad,
       // so value errors are record-level (droppable in lenient mode)
       // while read failures (truncation, varint overflow) stay fatal.
       auto TimeOrErr = In.read<double>();
       if (auto Err = TimeOrErr.takeError())
         return Err;
-      E.Time = *TimeOrErr;
       auto KindOrErr = In.read<uint8_t>();
       if (auto Err = KindOrErr.takeError())
         return Err;
@@ -229,59 +333,11 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
       auto BytesOrErr = In.readVarint();
       if (auto Err = BytesOrErr.takeError())
         return Err;
-      E.Bytes = *BytesOrErr;
 
-      Error ValueErr = [&]() -> Error {
-        if (!(E.Time >= 0.0))
-          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
-                                "binary trace: invalid event time at byte "
-                                "%zu",
-                                RecordOffset);
-        if (*KindOrErr > static_cast<uint8_t>(EventKind::MessageRecv))
-          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
-                                "binary trace: unknown event kind %u at "
-                                "byte %zu",
-                                *KindOrErr, RecordOffset);
-        E.Kind = static_cast<EventKind>(*KindOrErr);
-        if (*IdOrErr > UINT32_MAX)
-          return makeParseError(ErrorCode::ValueOutOfRange, 0, RecordOffset,
-                                "binary trace: event id overflows u32 at "
-                                "byte %zu",
-                                RecordOffset);
-        E.Id = static_cast<uint32_t>(*IdOrErr);
-        // Range-check ids before appending (append asserts, the parser
-        // must reject gracefully).
-        switch (E.Kind) {
-        case EventKind::RegionEnter:
-        case EventKind::RegionExit:
-          if (E.Id >= T.numRegions())
-            return makeParseError(ErrorCode::ValueOutOfRange, 0,
-                                  RecordOffset,
-                                  "binary trace: region id out of range at "
-                                  "byte %zu",
-                                  RecordOffset);
-          break;
-        case EventKind::ActivityBegin:
-        case EventKind::ActivityEnd:
-          if (E.Id >= T.numActivities())
-            return makeParseError(ErrorCode::ValueOutOfRange, 0,
-                                  RecordOffset,
-                                  "binary trace: activity id out of range "
-                                  "at byte %zu",
-                                  RecordOffset);
-          break;
-        case EventKind::MessageSend:
-        case EventKind::MessageRecv:
-          if (E.Id >= T.numProcs())
-            return makeParseError(ErrorCode::ValueOutOfRange, 0,
-                                  RecordOffset,
-                                  "binary trace: peer out of range at byte "
-                                  "%zu",
-                                  RecordOffset);
-          break;
-        }
-        return Error::success();
-      }();
+      Event E;
+      E.Proc = Proc;
+      Error ValueErr = validateEventValues(*TimeOrErr, *KindOrErr, *IdOrErr,
+                                           *BytesOrErr, RecordOffset, T, E);
       if (ValueErr) {
         ParseError PE = ValueErr.toParseError();
         if (Options.dropRecord(PE))
@@ -305,11 +361,30 @@ Expected<Trace> trace::parseTraceBinary(std::string_view Data,
       return Error::fromParse(std::move(PE));
   }
   LIMA_METRIC_COUNT("lima.parse.binary.events_total", TotalEvents);
-  return T;
+  return std::move(T);
+}
+
+} // namespace
+
+Expected<Trace> trace::parseTraceBinary(std::string_view Data,
+                                        const ParseOptions &Options) {
+  // v2 buffers route through the block-indexed reader at one thread
+  // (identical results, one implementation); everything else — v1,
+  // bad magic, unknown versions — goes down the v1 path, which
+  // produces the structured error for the latter two.
+  if (Data.size() >= sizeof(BinaryMagic) + sizeof(uint32_t) &&
+      std::memcmp(Data.data(), BinaryMagic, sizeof(BinaryMagic)) == 0) {
+    uint32_t Version;
+    std::memcpy(&Version, Data.data() + sizeof(BinaryMagic),
+                sizeof(Version));
+    if (Version == BinaryVersion2)
+      return parseTraceBinaryParallel(Data, Options, 1);
+  }
+  return parseTraceBinaryV1Impl(Data, Options);
 }
 
 Error trace::saveTraceBinary(const Trace &T, const std::string &Path) {
-  return writeFile(Path, writeTraceBinary(T));
+  return writeFileAtomic(Path, writeTraceBinary(T));
 }
 
 Expected<Trace> trace::loadTraceBinary(const std::string &Path,
@@ -333,8 +408,8 @@ Expected<Trace> trace::loadTraceAuto(const std::string &Path,
   std::string_view Data = FileOrErr->view();
   LIMA_SPAN("load.parse");
   LIMA_COUNTER_ADD("load.bytes", Data.size());
-  if (Data.size() >= sizeof(Magic) &&
-      std::memcmp(Data.data(), Magic, sizeof(Magic)) == 0)
-    return parseTraceBinary(Data, Options);
+  if (Data.size() >= sizeof(BinaryMagic) &&
+      std::memcmp(Data.data(), BinaryMagic, sizeof(BinaryMagic)) == 0)
+    return parseTraceBinaryParallel(Data, Options, Threads);
   return parseTraceTextParallel(Data, Options, Threads);
 }

@@ -6,15 +6,46 @@
 ///
 /// \file
 /// A compact little-endian binary encoding of traces ("LIMB" format),
-/// for runs where the text format's size and parse cost matter.  Layout:
+/// for runs where the text format's size and parse cost matter.  Two
+/// on-disk versions exist; both share the header prefix:
 ///
 ///   magic "LIMB"            4 bytes
-///   version                 u32 (currently 1)
+///   version                 u32 (1 or 2)
+///
+/// Version 1 (legacy, still fully readable):
+///
 ///   numProcs                u32
 ///   numRegions              u32, then per region: u32 length + bytes
 ///   numActivities           u32, then per activity: u32 length + bytes
 ///   per processor:          u64 event count, then per event:
 ///     f64 time, u8 kind, varint id, varint bytes
+///
+/// Version 2 (the default writer output) groups events into fixed-count
+/// blocks and appends a block index, so readers can decode blocks in
+/// parallel and pre-size storage before touching the payload:
+///
+///   flags                   u32 (bit 0: per-block payload CRC32)
+///   numProcs                u32
+///   numRegions              u32, then per region: u32 length + bytes
+///   numActivities           u32, then per activity: u32 length + bytes
+///   totalEvents             u64
+///   per block:              varint run count, then per run:
+///     varint proc, varint count, then count events:
+///       f64 time, u8 kind, varint id, varint bytes
+///   index:                  u32 block count, then per block:
+///     u64 offset, u32 bytes, u32 events, f64 first time, f64 last
+///     time, u32 crc32, u32 run count, then per run: u32 proc, u32 count
+///   footer (last 24 bytes): u64 index offset, u32 index bytes,
+///     u32 index crc32, char[8] "LIMBIDX2"
+///
+/// Blocks cover events processor-major (all of processor 0's events,
+/// then processor 1's, ...), each block holding at most a fixed number
+/// of events, so one block can end with the tail of one processor's
+/// stream and begin with the head of the next.  The payload is
+/// self-framing (run counts are in-band and the header carries the
+/// event total), so a reader that cannot validate the index — truncated
+/// footer, CRC mismatch, inconsistent entries — falls back to a
+/// sequential walk of the blocks and ignores the trailing index bytes.
 ///
 /// Fixed-width integers are little-endian; event ids and byte counts
 /// use LEB128 varints (they are almost always tiny, which makes the
@@ -29,35 +60,63 @@
 #include "support/Error.h"
 #include "support/ParseLimits.h"
 #include "trace/Trace.h"
+#include <cstddef>
 #include <string>
 
 namespace lima {
 namespace trace {
 
-/// Serializes \p T to the LIMB binary format.
-std::string writeTraceBinary(const Trace &T);
+/// Writer knobs for the v2 format.
+struct BinaryWriteOptions {
+  /// Maximum events per block.  The default keeps blocks around 1-2 MB
+  /// — big enough to amortize per-block index overhead to well under
+  /// 2 % of the file, small enough that a multi-core reader has
+  /// parallelism to exploit on any trace worth sharding.
+  size_t BlockEvents = 64 * 1024;
+  /// Emit a CRC32 of each block's payload bytes into the index.
+  bool BlockCrc = true;
+};
 
-/// Parses a LIMB buffer.
+/// Serializes \p T to the LIMB v2 (block-indexed) binary format.
+std::string writeTraceBinary(const Trace &T,
+                             const BinaryWriteOptions &Options = {});
+
+/// Serializes \p T to the legacy LIMB v1 format (no blocks, no index).
+/// Kept for format-compatibility tests and for benchmarking the v1
+/// sequential decode path against v2.
+std::string writeTraceBinaryV1(const Trace &T);
+
+/// Parses a LIMB buffer of either version.
 ///
 /// Event records whose *values* are bad (unknown kind, negative time,
 /// id out of range) keep the stream framed, so ParseMode::Lenient drops
 /// them (counted in Options.Report) and keeps going.  Failures that
 /// lose framing — truncation, varint overflow — are fatal in both
-/// modes, as are ParseLimits violations.
+/// modes, as are ParseLimits violations.  In a v2 file with a valid
+/// index, framing damage is confined to the enclosing block: strict
+/// mode fails with the first bad block's error, lenient mode drops the
+/// whole block (its declared events are counted as dropped) and keeps
+/// going.
+///
+/// v2 buffers are decoded through the block-indexed reader at a single
+/// thread; use parseTraceBinaryParallel (trace/ParallelBinary.h) to
+/// decode blocks concurrently.  Results are bit-identical either way.
 Expected<Trace> parseTraceBinary(std::string_view Data,
                                  const ParseOptions &Options = {});
 
-/// Whole-file helpers.
+/// Whole-file helpers.  saveTraceBinary writes atomically (temp file +
+/// rename), so readers never observe a half-written trace.
 Error saveTraceBinary(const Trace &T, const std::string &Path);
 Expected<Trace> loadTraceBinary(const std::string &Path,
                                 const ParseOptions &Options = {});
 
 /// Loads a trace in either format, sniffing the magic: "LIMB" selects
 /// the binary parser, anything else the text parser.  The file is
-/// mmapped when possible and parsed zero-copy; text traces parse on
+/// mmapped when possible and parsed zero-copy; both formats parse on
 /// \p Threads threads (0 = all hardware threads, 1 = sequential) via
-/// parseTraceTextParallel, which is bit-identical to the sequential
-/// parser at every thread count.
+/// parseTraceTextParallel / parseTraceBinaryParallel, which are
+/// bit-identical to their sequential counterparts at every thread
+/// count.
 Expected<Trace> loadTraceAuto(const std::string &Path,
                               const ParseOptions &Options = {},
                               unsigned Threads = 1);

@@ -1,0 +1,61 @@
+//===- trace/ParallelBinary.h - Sharded LIMB binary parsing -----*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-parallel decoding of LIMB v2 traces.  The v2 block index
+/// (trace/BinaryIO.h describes the format) gives each block's byte
+/// range, event count and per-processor destination ranges up front, so
+/// the reader can:
+///
+///   1. validate the header and index, and prove the ParseLimits event
+///      and allocation bounds from the declared totals before touching
+///      the payload;
+///   2. pre-size every processor's columnar stream and hand each block
+///      to a pool worker, which decodes straight into its final
+///      positions — no per-event push_back, no merge copy;
+///   3. merge per-block ParseReports in block order, so strict and
+///      lenient results (counts, samples, error codes and offsets) are
+///      bit-identical at any thread count.
+///
+/// Fallbacks keep every input readable: v1 buffers take the sequential
+/// v1 path, and v2 buffers whose index cannot be validated (truncated
+/// or missing footer, CRC mismatch, entries that do not tile the
+/// payload) take a sequential self-framed walk of the blocks.  With a
+/// valid index, payload damage is confined to the enclosing block:
+/// strict mode fails with the lowest-offset bad block's error, lenient
+/// mode drops the whole block and counts its declared events as
+/// dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_TRACE_PARALLELBINARY_H
+#define LIMA_TRACE_PARALLELBINARY_H
+
+#include "support/Error.h"
+#include "support/ParseLimits.h"
+#include "trace/Trace.h"
+#include <string>
+#include <string_view>
+
+namespace lima {
+namespace trace {
+
+/// Parses a LIMB buffer of either version, decoding v2 blocks on
+/// \p Threads threads (0 = all hardware threads, 1 = sequential).
+/// Bit-identical to parseTraceBinary at every thread count.
+Expected<Trace> parseTraceBinaryParallel(std::string_view Data,
+                                         const ParseOptions &Options = {},
+                                         unsigned Threads = 0);
+
+/// Maps \p Path and parses it with parseTraceBinaryParallel.
+Expected<Trace> loadTraceBinaryParallel(const std::string &Path,
+                                        const ParseOptions &Options = {},
+                                        unsigned Threads = 0);
+
+} // namespace trace
+} // namespace lima
+
+#endif // LIMA_TRACE_PARALLELBINARY_H

@@ -71,12 +71,33 @@ void Trace::append(const Event &E) {
     assert(E.Id < Streams.size() && "message peer out of range");
     break;
   }
-  Streams[E.Proc].push_back(E);
+  Stream &S = Streams[E.Proc];
+  S.Times.push_back(E.Time);
+  S.Kinds.push_back(E.Kind);
+  S.Ids.push_back(E.Id);
+  S.Bytes.push_back(E.Bytes);
 }
 
-const std::vector<Event> &Trace::events(unsigned Proc) const {
+Trace::EventsRef Trace::events(unsigned Proc) const {
   assert(Proc < Streams.size() && "processor out of range");
-  return Streams[Proc];
+  return EventsRef(&Streams[Proc], Proc);
+}
+
+void Trace::resizeStream(unsigned Proc, size_t N) {
+  assert(Proc < Streams.size() && "processor out of range");
+  Streams[Proc].resize(N);
+}
+
+void Trace::truncateStream(unsigned Proc, size_t N) {
+  assert(Proc < Streams.size() && "processor out of range");
+  assert(N <= Streams[Proc].size() && "truncation cannot grow a stream");
+  Streams[Proc].resize(N);
+}
+
+Trace::StreamColumns Trace::streamColumns(unsigned Proc) {
+  assert(Proc < Streams.size() && "processor out of range");
+  Stream &S = Streams[Proc];
+  return {S.Times.data(), S.Kinds.data(), S.Ids.data(), S.Bytes.data()};
 }
 
 size_t Trace::numEvents() const {
@@ -92,7 +113,7 @@ Error Trace::validate() const {
   std::map<std::tuple<uint32_t, uint32_t, uint64_t>, int64_t> MessageBalance;
 
   for (unsigned Proc = 0; Proc != numProcs(); ++Proc) {
-    const std::vector<Event> &Stream = Streams[Proc];
+    const EventsRef Stream = events(Proc);
     double LastTime = 0.0;
     // Regions may nest (loops inside routines, statements inside loops);
     // exits must match the innermost open region.

@@ -491,7 +491,7 @@ Expected<Trace> trace::parseTraceTextLegacy(std::string_view Text,
 }
 
 Error trace::saveTrace(const Trace &T, const std::string &Path) {
-  return writeFile(Path, writeTraceText(T));
+  return writeFileAtomic(Path, writeTraceText(T));
 }
 
 Expected<Trace> trace::loadTrace(const std::string &Path,

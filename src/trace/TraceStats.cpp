@@ -44,29 +44,39 @@ TraceStats trace::computeTraceStats(const Trace &T, unsigned Threads) {
     ScalarTotals &Local = Totals[Proc];
     double ActivityBeginTime = 0.0;
     bool ActivityOpen = false;
-    for (const Event &E : T.events(static_cast<unsigned>(Proc))) {
-      ++Local.EventCounts[static_cast<size_t>(E.Kind)];
+    // Column reads: Id and Bytes are only needed on MessageSend, so the
+    // SoA layout streams mostly times and kinds.
+    const Trace::EventsRef Stream =
+        T.events(static_cast<unsigned>(Proc));
+    const double *Times = Stream.times();
+    const EventKind *Kinds = Stream.kinds();
+    const uint32_t *Ids = Stream.ids();
+    const uint64_t *Bytes = Stream.bytes();
+    for (size_t I = 0; I != Stream.size(); ++I) {
+      const double Time = Times[I];
+      const EventKind Kind = Kinds[I];
+      ++Local.EventCounts[static_cast<size_t>(Kind)];
       ++Local.TotalEvents;
-      Local.Span = std::max(Local.Span, E.Time);
-      switch (E.Kind) {
+      Local.Span = std::max(Local.Span, Time);
+      switch (Kind) {
       case EventKind::RegionEnter:
         ++Stats.RegionInstances[Proc];
         break;
       case EventKind::ActivityBegin:
-        ActivityBeginTime = E.Time;
+        ActivityBeginTime = Time;
         ActivityOpen = true;
         break;
       case EventKind::ActivityEnd:
         if (ActivityOpen)
-          Stats.BusyTime[Proc] += E.Time - ActivityBeginTime;
+          Stats.BusyTime[Proc] += Time - ActivityBeginTime;
         ActivityOpen = false;
         break;
       case EventKind::MessageSend: {
-        PairTraffic &Pair = Stats.Traffic[Proc][E.Id];
+        PairTraffic &Pair = Stats.Traffic[Proc][Ids[I]];
         ++Pair.Messages;
-        Pair.Bytes += E.Bytes;
+        Pair.Bytes += Bytes[I];
         ++Local.TotalMessages;
-        Local.TotalBytes += E.Bytes;
+        Local.TotalBytes += Bytes[I];
         break;
       }
       case EventKind::RegionExit:

@@ -79,22 +79,46 @@ TEST(BinaryIOTest, RejectsBadVersion) {
   EXPECT_TRUE(testutil::failed(parseTraceBinary(Data)));
 }
 
-TEST(BinaryIOTest, RejectsTruncation) {
-  std::string Data = writeTraceBinary(makeTrace());
+TEST(BinaryIOTest, RejectsTruncationV1) {
+  std::string Data = writeTraceBinaryV1(makeTrace());
   for (size_t Cut : {Data.size() - 1, Data.size() / 2, size_t(6)})
     EXPECT_TRUE(testutil::failed(
         parseTraceBinary(std::string_view(Data).substr(0, Cut))))
         << "cut at " << Cut;
 }
 
-TEST(BinaryIOTest, RejectsTrailingBytes) {
-  std::string Data = writeTraceBinary(makeTrace()) + "junk";
+TEST(BinaryIOTest, TruncationV2) {
+  // Clipping into the header or payload is fatal; clipping only the
+  // index/footer falls back to the sequential block walk and still
+  // yields the complete trace (the payload is self-framing).
+  Trace T = makeTrace();
+  std::string Data = writeTraceBinary(T);
+  for (size_t Cut : {Data.size() / 2, size_t(6)})
+    EXPECT_TRUE(testutil::failed(
+        parseTraceBinary(std::string_view(Data).substr(0, Cut))))
+        << "cut at " << Cut;
+  Trace Salvaged = cantFail(
+      parseTraceBinary(std::string_view(Data).substr(0, Data.size() - 1)));
+  EXPECT_TRUE(tracesEqual(T, Salvaged));
+}
+
+TEST(BinaryIOTest, RejectsTrailingBytesV1) {
+  std::string Data = writeTraceBinaryV1(makeTrace()) + "junk";
   EXPECT_TRUE(testutil::failed(parseTraceBinary(Data)));
+}
+
+TEST(BinaryIOTest, TrailingBytesV2AreADamagedIndex) {
+  // Appended bytes shift the footer, so the index no longer validates;
+  // the reader salvages the self-framed payload and ignores the tail.
+  Trace T = makeTrace();
+  std::string Data = writeTraceBinary(T) + "junk";
+  Trace Salvaged = cantFail(parseTraceBinary(Data));
+  EXPECT_TRUE(tracesEqual(T, Salvaged));
 }
 
 TEST(BinaryIOTest, RejectsOutOfRangeIds) {
   Trace T = makeTrace();
-  std::string Data = writeTraceBinary(T);
+  std::string Data = writeTraceBinaryV1(T);
   // Corrupt the first event's id varint (after time f64 + kind u8).
   // Header: magic 4 + version 4 + procs 4 + regions(4 + 4+23) +
   // activities(4 + 4+11) + proc0 count 8 = 70; event time at 70.
@@ -111,4 +135,63 @@ TEST(BinaryIOTest, FileRoundTrip) {
   Trace Loaded = cantFail(loadTraceBinary(Path));
   EXPECT_TRUE(tracesEqual(T, Loaded));
   std::remove(Path.c_str());
+}
+
+TEST(BinaryIOTest, RoundTripsV1Format) {
+  Trace T = makeTrace();
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinaryV1(T)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+}
+
+TEST(BinaryIOTest, RoundTripsTinyBlocks) {
+  // A 3-event block size forces many blocks, several of which straddle
+  // processors (runs from two streams in one block).
+  cfd::CfdConfig Config;
+  Config.Procs = 5;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 2;
+  Trace T = cantFail(cfd::runCfd(Config)).Trace;
+  BinaryWriteOptions Options;
+  Options.BlockEvents = 3;
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinary(T, Options)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+}
+
+TEST(BinaryIOTest, RoundTripsWithoutBlockCrc) {
+  Trace T = makeTrace();
+  BinaryWriteOptions Options;
+  Options.BlockCrc = false;
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinary(T, Options)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+}
+
+TEST(BinaryIOTest, V2FooterAndIndexOverhead) {
+  cfd::CfdConfig Config;
+  Config.Procs = 8;
+  Config.Nx = 32;
+  Config.RowsPerRank = 4;
+  Config.Iterations = 50;
+  Trace T = cantFail(cfd::runCfd(Config)).Trace;
+  std::string V2 = writeTraceBinary(T);
+  std::string V1 = writeTraceBinaryV1(T);
+  // Fixed footer magic in the last 8 bytes.
+  ASSERT_GE(V2.size(), 8u);
+  EXPECT_EQ(V2.substr(V2.size() - 8), "LIMBIDX2");
+  // Index + footer + header growth stay under 2 % of the file at the
+  // default block size.
+  ASSERT_GT(V2.size(), V1.size());
+  double OverheadPct =
+      100.0 * double(V2.size() - V1.size()) / double(V2.size());
+  EXPECT_LT(OverheadPct, 2.0);
+}
+
+TEST(BinaryIOTest, EmptyStreamsRoundTrip) {
+  Trace T(3);
+  T.addRegion("r");
+  T.addActivity("a");
+  // No events at all: zero blocks, empty index, just header + footer.
+  Trace Parsed = cantFail(parseTraceBinary(writeTraceBinary(T)));
+  EXPECT_TRUE(tracesEqual(T, Parsed));
+  EXPECT_EQ(Parsed.numEvents(), 0u);
 }

@@ -131,7 +131,7 @@ TEST(ParseErrorTest, CsvFixtures) {
 }
 
 TEST(ParseErrorTest, BinaryErrors) {
-  std::string Bytes = trace::writeTraceBinary(makeValidTrace());
+  std::string Bytes = trace::writeTraceBinaryV1(makeValidTrace());
 
   std::string BadMagic = Bytes;
   BadMagic[0] = 'X';
@@ -172,6 +172,33 @@ TEST(ParseErrorTest, BinaryErrors) {
   EXPECT_EQ(Reparsed.numEvents(), makeValidTrace().numEvents());
   EXPECT_EQ(Report.DroppedRecords, 1u);
   EXPECT_EQ(Report.DroppedByCode[size_t(ErrorCode::MalformedRecord)], 1u);
+}
+
+TEST(ParseErrorTest, BinaryV2Errors) {
+  std::string Bytes = trace::writeTraceBinary(makeValidTrace());
+
+  // Header errors carry the same taxonomy as v1.
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_EQ(takeParseError(trace::parseTraceBinary(BadMagic)).Code,
+            ErrorCode::BadMagic);
+  std::string BadVersion = Bytes;
+  BadVersion[4] = 0x7f;
+  EXPECT_EQ(takeParseError(trace::parseTraceBinary(BadVersion)).Code,
+            ErrorCode::UnsupportedVersion);
+
+  // Unknown format flags are an unsupported dialect, not garbage.
+  std::string BadFlags = Bytes;
+  BadFlags[8] = char(0x80); // Flags field follows the version.
+  EXPECT_EQ(takeParseError(trace::parseTraceBinary(BadFlags)).Code,
+            ErrorCode::UnsupportedVersion);
+
+  // Truncation inside the payload loses framing even for v2 (the index
+  // is gone too, so the sequential walk hits the cliff).
+  ParseError PE = takeParseError(trace::parseTraceBinary(
+      std::string_view(Bytes).substr(0, Bytes.size() / 2)));
+  EXPECT_EQ(PE.Code, ErrorCode::TruncatedInput);
+  EXPECT_LE(PE.Offset, Bytes.size() / 2);
 }
 
 TEST(ParseErrorTest, LenientTraceTextDropsAreDeterministic) {

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/CSV.h"
+#include "support/Checksum.h"
 #include "support/CommandLine.h"
 #include "support/Error.h"
 #include "support/FileUtils.h"
@@ -429,4 +430,32 @@ TEST(FileUtilsTest, ReadMissingFileFails) {
   auto Result = readFile("/nonexistent/path/file.txt");
   EXPECT_FALSE(static_cast<bool>(Result));
   Result.takeError().consume();
+}
+
+//===----------------------------------------------------------------------===//
+// Checksum
+//===----------------------------------------------------------------------===//
+
+TEST(ChecksumTest, Crc32KnownAnswers) {
+  // The CRC-32/IEEE check value every implementation must reproduce,
+  // plus vectors spanning the slicing-by-8 fast loop (>= 8 bytes), its
+  // scalar tail, and the empty input.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+  std::string Zeros(32, '\0');
+  EXPECT_EQ(crc32(Zeros), 0x190A55ADu);
+}
+
+TEST(ChecksumTest, Crc32UpdateChainsAcrossAnySplit) {
+  std::string Data = "block-index-payload-0123456789-abcdefghijklmnop";
+  uint32_t Whole = crc32(Data);
+  for (size_t Split = 0; Split <= Data.size(); ++Split) {
+    std::string_view View(Data);
+    EXPECT_EQ(crc32Update(crc32(View.substr(0, Split)), View.substr(Split)),
+              Whole)
+        << "split at " << Split;
+  }
 }

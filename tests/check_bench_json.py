@@ -3,14 +3,36 @@
 
 Used by the bench_smoke ctest and the CI bench-smoke leg: parses the
 file, checks the envelope fields and the per-section schema (including
-the ingest section added with the parallel-ingestion fast path), and
-exits non-zero with a readable message on the first violation.  Timing
-values are only checked for type/positivity, never magnitude, so the
-check is stable on loaded CI machines.
+the ingest and binary_ingest sections), and exits non-zero with a
+readable message on the first violation.  Timing values are only
+checked for type/positivity, never magnitude, so the check is stable on
+loaded CI machines.
+
+Compare mode:
+
+    check_bench_json.py BENCH_parallel.json --compare bench/baseline.json
+
+validates the file as above, then compares wall-clock numbers of the
+hot sections (ingest, binary_ingest, reduce records) against a
+checked-in baseline.  Only slowdowns beyond SLOWDOWN_LIMIT (2x) fail —
+shared CI runners jitter far too much for tight thresholds, but a 2x
+regression on the same workload is a real change.  Keys missing from
+either side are skipped, so adding or renaming sections never breaks
+the gate before the baseline is refreshed.
 """
 
+import argparse
 import json
 import sys
+
+# A section must be at least this many times slower than the baseline
+# before compare mode fails.  Deliberately loose: the gate exists to
+# catch algorithmic regressions, not scheduler noise.
+SLOWDOWN_LIMIT = 2.0
+
+# Wall-clock values below this are pure noise on any machine; skip the
+# ratio check for them so microsecond legs cannot flip the gate.
+MIN_COMPARABLE_MS = 5.0
 
 REQUIRED_ENVELOPE = {
     "bench": str,
@@ -27,6 +49,9 @@ PARSE_LEG = {"strict_wall_ms": float, "lenient_wall_ms": float,
 
 INGEST_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
               "speedup_vs_legacy": float}
+
+BINARY_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
+              "speedup_vs_v1": float}
 
 RECORD = {"name": str, "threads": int, "events": int,
           "wall_ms": float, "speedup": float}
@@ -60,15 +85,7 @@ def check_object(obj, schema, where):
             fail(f"{where}.{key}: expected {kind.__name__}, got {value!r}")
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py <BENCH_parallel.json>")
-    try:
-        with open(sys.argv[1], encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        fail(f"cannot parse {sys.argv[1]}: {err}")
-
+def validate(doc, path):
     check_object(doc, REQUIRED_ENVELOPE, "envelope")
     if doc["bench"] != "parallel":
         fail(f"envelope.bench: expected 'parallel', got {doc['bench']!r}")
@@ -92,6 +109,24 @@ def main():
     if ingest["legacy"]["speedup_vs_legacy"] != 1.0:
         fail("ingest.legacy.speedup_vs_legacy: must be 1.0 by definition")
 
+    binary = doc.get("binary_ingest")
+    check_object(binary, {
+        "events": int, "v1_bytes": int, "v2_bytes": int,
+        "hardware_threads": int, "index_overhead_pct": float,
+        "index_overhead_target_pct": float, "index_overhead_ok": bool,
+    }, "binary_ingest")
+    for leg in ("v1", "v2_seq", "v2_sharded"):
+        check_object(binary.get(leg), BINARY_LEG, f"binary_ingest.{leg}")
+    if binary["v1"]["speedup_vs_v1"] != 1.0:
+        fail("binary_ingest.v1.speedup_vs_v1: must be 1.0 by definition")
+    # The on-disk block index is a hard size budget, not a timing: a
+    # violation means the writer grew the format, so it fails even on
+    # the noisiest runner.
+    if not binary["index_overhead_ok"]:
+        fail(f"binary_ingest: index overhead "
+             f"{binary['index_overhead_pct']}% exceeds "
+             f"{binary['index_overhead_target_pct']}% of the file")
+
     for section in ("telemetry", "metrics"):
         check_object(doc.get(section), {"compiled": bool,
                                         "disabled_wall_ms": float,
@@ -110,10 +145,87 @@ def main():
     for i, record in enumerate(doc["records"]):
         check_object(record, RECORD, f"records[{i}]")
 
-    print(f"check_bench_json: OK ({sys.argv[1]}: "
+    print(f"check_bench_json: OK ({path}: "
           f"{len(doc['records'])} records, ingest scanner speedup "
           f"{ingest['scanner']['speedup_vs_legacy']}x, "
-          f"http render {http['render_wall_ms']} ms)")
+          f"binary v2 sharded "
+          f"{binary['v2_sharded']['speedup_vs_v1']}x vs v1)")
+
+
+def comparable_walls(doc):
+    """Yields (label, wall_ms) pairs for the sections the regression
+    gate watches.  Missing sections or legs are silently skipped so the
+    gate tolerates schema evolution until the baseline is refreshed."""
+    for section, legs in (("ingest", ("legacy", "scanner", "sharded_1",
+                                      "sharded_hw")),
+                          ("binary_ingest", ("v1", "v2_seq", "v2_sharded"))):
+        obj = doc.get(section)
+        if not isinstance(obj, dict):
+            continue
+        for leg in legs:
+            wall = obj.get(leg, {}).get("wall_ms") \
+                if isinstance(obj.get(leg), dict) else None
+            if isinstance(wall, (int, float)):
+                yield f"{section}.{leg}", float(wall)
+    for record in doc.get("records", []):
+        if not isinstance(record, dict):
+            continue
+        name, threads = record.get("name"), record.get("threads")
+        wall = record.get("wall_ms")
+        if name in ("reduce", "stats", "bootstrap",
+                    "kmeans") and isinstance(wall, (int, float)):
+            yield f"records.{name}@{threads}", float(wall)
+
+
+def compare(doc, baseline_path):
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse baseline {baseline_path}: {err}")
+
+    base_walls = dict(comparable_walls(base))
+    checked = 0
+    worst = ("", 0.0)
+    for label, wall in comparable_walls(doc):
+        base_wall = base_walls.get(label)
+        if base_wall is None or base_wall < MIN_COMPARABLE_MS:
+            continue
+        ratio = wall / base_wall
+        checked += 1
+        if ratio > worst[1]:
+            worst = (label, ratio)
+        if ratio > SLOWDOWN_LIMIT:
+            fail(f"regression: {label} took {wall:.1f} ms vs baseline "
+                 f"{base_wall:.1f} ms ({ratio:.2f}x > {SLOWDOWN_LIMIT}x)")
+    if checked == 0:
+        print("check_bench_json: compare: no overlapping sections above "
+              f"{MIN_COMPARABLE_MS} ms; baseline likely needs a refresh")
+    else:
+        print(f"check_bench_json: compare OK ({checked} sections vs "
+              f"{baseline_path}; worst {worst[0]} at {worst[1]:.2f}x, "
+              f"limit {SLOWDOWN_LIMIT}x)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate (and optionally baseline-compare) "
+                    "BENCH_parallel.json")
+    parser.add_argument("bench_json")
+    parser.add_argument("--compare", metavar="BASELINE_JSON",
+                        help="also compare wall-clock numbers against a "
+                             "checked-in baseline (fails only on "
+                             f">{SLOWDOWN_LIMIT}x slowdowns)")
+    args = parser.parse_args()
+    try:
+        with open(args.bench_json, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {args.bench_json}: {err}")
+
+    validate(doc, args.bench_json)
+    if args.compare:
+        compare(doc, args.compare)
 
 
 if __name__ == "__main__":
