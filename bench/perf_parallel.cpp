@@ -34,8 +34,10 @@
 
 #include "BenchJson.h"
 #include "cluster/KMeans.h"
+#include "core/Dashboard.h"
 #include "core/Pipeline.h"
 #include "core/TraceReduction.h"
+#include "core/WindowHistory.h"
 #include "stats/Bootstrap.h"
 #include "support/CommandLine.h"
 #include "support/FileUtils.h"
@@ -436,6 +438,106 @@ int main(int Argc, char **Argv) {
      << formatFixed(ScrapeP99Ms, 2) << " ms over " << ScrapeMs.size()
      << " requests under writer load\n";
 
+  // --- Live stream fan-out and history render --------------------------
+  // The SSE hub pushes every published frame to every subscriber from
+  // the server's poll loop, so fan-out throughput bounds how fast
+  // windows can drain before live dashboards lag.  The history render
+  // is the /api/windows JSON for a full 512-window ring; like
+  // /metrics, it runs on the server thread and its wall time is time
+  // the server answers nothing else.
+  constexpr unsigned SseSubscribers = 8;
+  constexpr unsigned SseFrames = 1000;
+  auto Hub = std::make_shared<http::StreamHub>();
+  http::HttpServer SseServer;
+  SseServer.handle("/events", [&Hub](const http::Request &) {
+    return http::Response::stream("text/event-stream", Hub);
+  });
+  ExitOnErr(SseServer.start("127.0.0.1:0"));
+  std::vector<std::thread> Readers;
+  std::vector<double> ReaderMs(SseSubscribers, 0.0);
+  std::atomic<unsigned> ReadersDone{0};
+  auto SseBegin = std::chrono::steady_clock::now();
+  for (unsigned S = 0; S != SseSubscribers; ++S)
+    Readers.emplace_back([&, S] {
+      int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (Fd < 0)
+        return;
+      sockaddr_in Addr{};
+      Addr.sin_family = AF_INET;
+      Addr.sin_port = htons(SseServer.port());
+      Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                    sizeof(Addr)) == 0) {
+        const char Req[] = "GET /events HTTP/1.1\r\nHost: bench\r\n\r\n";
+        if (::send(Fd, Req, sizeof(Req) - 1, 0) ==
+            static_cast<ssize_t>(sizeof(Req) - 1)) {
+          // Accumulate the chunked stream until the publisher's final
+          // sentinel frame arrives, then stamp this reader's wall
+          // clock.
+          std::string Got;
+          char Buf[8192];
+          ssize_t N;
+          while (Got.find("event: done") == std::string::npos &&
+                 (N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+            Got.append(Buf, static_cast<size_t>(N));
+          ReaderMs[S] = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - SseBegin)
+                            .count();
+        }
+      }
+      ::close(Fd);
+      ReadersDone.fetch_add(1, std::memory_order_relaxed);
+    });
+  // Publish once every subscriber is attached, so each frame fans out
+  // SseSubscribers ways.
+  while (Hub->subscribers() != SseSubscribers &&
+         ReadersDone.load(std::memory_order_relaxed) == 0)
+    std::this_thread::yield();
+  const std::string FramePayload(180, 'w');
+  for (unsigned F = 0; F != SseFrames; ++F)
+    Hub->publish("event: window\ndata: {\"id\":" + std::to_string(F) +
+                 ",\"pad\":\"" + FramePayload + "\"}\n\n");
+  Hub->publish("event: done\ndata: {}\n\n");
+  for (std::thread &R : Readers)
+    R.join();
+  SseServer.stop();
+  double SseWallMs = *std::max_element(ReaderMs.begin(), ReaderMs.end());
+  double SseFanoutPerS =
+      SseWallMs > 0.0 ? double(SseFrames) * SseSubscribers / SseWallMs * 1e3
+                      : 0.0;
+
+  constexpr size_t HistoryWindows = 512;
+  core::WindowHistory History(HistoryWindows);
+  {
+    std::vector<std::string> RegionNames, ActivityNames;
+    for (unsigned I = 0; I != 12; ++I)
+      RegionNames.push_back("region" + std::to_string(I));
+    for (unsigned J = 0; J != 4; ++J)
+      ActivityNames.push_back("activity" + std::to_string(J));
+    History.setNames(std::move(RegionNames), std::move(ActivityNames));
+  }
+  for (size_t W = 0; W != HistoryWindows; ++W) {
+    core::WindowSummary S;
+    S.Index = W;
+    S.StartTime = double(W);
+    S.EndTime = double(W + 1);
+    S.Events = 1000 + W;
+    S.ProcLoad.assign(8, 0.125 * double(W % 7));
+    S.RegionIdC.assign(12, 0.3);
+    S.RegionSidC.assign(12, 0.05 * double(W % 11));
+    S.ActivityIdA.assign(4, 0.2);
+    S.ActivitySidA.assign(4, 0.1);
+    S.MaxSidC = 0.05 * double(W % 11);
+    History.append(std::move(S));
+  }
+  double HistoryRenderMs =
+      timeMs(Reps, [&] { (void)core::dash::windowsJson(History); });
+  OS << "dashboard: SSE fan-out " << formatFixed(SseFanoutPerS / 1e3, 1)
+     << "k frames/s to " << SseSubscribers << " subscribers ("
+     << SseFrames << " frames in " << formatFixed(SseWallMs, 2)
+     << " ms); /api/windows render " << formatFixed(HistoryRenderMs, 2)
+     << " ms over " << HistoryWindows << " windows\n";
+
   // --- Parse overhead: strict vs lenient -------------------------------
   // Lenient parsing pays per-record bookkeeping (the drop check and the
   // report counters) even on clean inputs; keep that rent visible for
@@ -628,7 +730,14 @@ int main(int Argc, char **Argv) {
            ", \"render_ok\": " + (RenderOk ? "true" : "false") +
            ", \"scrape_requests\": " + std::to_string(ScrapeMs.size()) +
            ", \"scrape_p50_ms\": " + formatFixed(ScrapeP50Ms, 3) +
-           ", \"scrape_p99_ms\": " + formatFixed(ScrapeP99Ms, 3) + "}"}};
+           ", \"scrape_p99_ms\": " + formatFixed(ScrapeP99Ms, 3) +
+           ", \"sse_subscribers\": " + std::to_string(SseSubscribers) +
+           ", \"sse_frames\": " + std::to_string(SseFrames) +
+           ", \"sse_wall_ms\": " + formatFixed(SseWallMs, 3) +
+           ", \"sse_fanout_frames_per_s\": " + formatFixed(SseFanoutPerS, 1) +
+           ", \"history_windows\": " + std::to_string(HistoryWindows) +
+           ", \"history_render_wall_ms\": " + formatFixed(HistoryRenderMs, 3) +
+           "}"}};
 
   std::string Path = Parser.getString("out");
   ExitOnErr(writeFile(

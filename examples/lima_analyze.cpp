@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/CountingReduction.h"
+#include "core/Dashboard.h"
 #include "core/Diagnosis.h"
 #include "core/HtmlReport.h"
 #include "core/PhaseAnalysis.h"
@@ -23,6 +24,8 @@
 #include "core/SelfProfile.h"
 #include "core/TraceReduction.h"
 #include "core/WaitStates.h"
+#include "core/WindowHistory.h"
+#include "core/WindowedAnalysis.h"
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
 #include "support/CrashDump.h"
@@ -44,7 +47,10 @@
 #include "trace/TraceIO.h"
 #include "trace/TraceStats.h"
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <memory>
+#include <thread>
 
 using namespace lima;
 
@@ -115,10 +121,24 @@ int main(int Argc, char **Argv) {
                    "Prometheus text exposition format",
                    "");
   Parser.addOption("http",
-                   "serve /metrics, /healthz, /readyz, /varz and "
-                   "/debug/spans on this address while the analysis runs "
-                   "(host:port; port 0 picks an ephemeral one)",
+                   "serve /metrics, /healthz, /readyz, /varz, /debug/spans, "
+                   "/api/windows and /dashboard on this address while the "
+                   "analysis runs (host:port; port 0 picks an ephemeral "
+                   "one)",
                    "");
+  Parser.addOption("windowed",
+                   "with --http: also run a windowed analysis at this "
+                   "width in seconds and serve the per-window history on "
+                   "/api/windows and /dashboard (0 = skip)",
+                   "0");
+  Parser.addOption("history",
+                   "retain at most N window summaries from --windowed",
+                   "512");
+  Parser.addOption("linger-ms",
+                   "with --http: keep serving this long after the "
+                   "analysis completes, so the dashboard and history can "
+                   "be inspected (0 = stop immediately)",
+                   "0");
   Parser.addOption("flight-recorder",
                    "keep the most recent N spans in a lock-free ring for "
                    "/debug/spans and crash dumps (0 disables)",
@@ -161,7 +181,21 @@ int main(int Argc, char **Argv) {
   // be scraped and probed while it works.  AnalysisDone drives /readyz.
   std::atomic<bool> AnalysisDone{false};
   status::StatusServer Status;
+  std::shared_ptr<core::WindowHistory> History;
+  std::shared_ptr<http::StreamHub> EventsHub;
   if (Http) {
+    uint64_t HistoryCap = Parser.getUnsigned("history");
+    if (HistoryCap == 0)
+      ExitOnErr(makeStringError("--history must be positive"));
+    History = std::make_shared<core::WindowHistory>(
+        static_cast<size_t>(HistoryCap));
+    EventsHub = std::make_shared<http::StreamHub>();
+    Status.addVar("history_windows", [History] {
+      return std::to_string(History->size());
+    });
+    core::dash::DashboardOptions DashOpts;
+    DashOpts.Title = "LIMA analysis dashboard";
+    core::dash::mountDashboard(Status, History, EventsHub, DashOpts);
     Status.addHealthProbe("analyze", [] {
       return status::ProbeResult{true, "running"};
     });
@@ -210,6 +244,33 @@ int main(int Argc, char **Argv) {
       Filter.TimeEnd = ExitOnErr(parseDouble(Parts[1]));
     }
     Trace = ExitOnErr(trace::filterTrace(Trace, Filter));
+  }
+
+  // Batch windowed history: the whole (already filtered) trace goes
+  // through the windowed analyzer once and every window's summary is
+  // retained for /api/windows and /dashboard — the post-mortem
+  // counterpart of lima_monitor's live drain.  Frames are published
+  // too, so an SSE client attached early sees the run play out.
+  double WindowedSeconds = Parser.getDouble("windowed");
+  if (History && WindowedSeconds > 0.0) {
+    core::WindowedOptions WOpts;
+    WOpts.WindowSeconds = WindowedSeconds;
+    WOpts.Views.Kind = ExitOnErr(parseKind(Parser.getString("index")));
+    WOpts.Mode = Parse.Mode;
+    core::WindowedAnalyzer Analyzer(Trace.regionNames(),
+                                    Trace.activityNames(), Trace.numProcs(),
+                                    WOpts);
+    ExitOnErr(Analyzer.addTrace(Trace));
+    History->setNames(Trace.regionNames(), Trace.activityNames());
+    for (const core::WindowResult &W : Analyzer.finish()) {
+      core::WindowSummary S = core::WindowHistory::summarize(W);
+      History->append(S);
+      EventsHub->publish(core::dash::sseWindowFrame(S, Trace.regionNames(),
+                                                    Trace.activityNames()));
+    }
+    logging::info("windowed history populated",
+                  {logging::field("windows", History->size()),
+                   logging::field("window_seconds", WindowedSeconds)});
   }
 
   core::ReductionOptions Reduction;
@@ -393,6 +454,13 @@ int main(int Argc, char **Argv) {
   }
 
   OS.flush();
+  uint64_t LingerMs = Parser.getUnsigned("linger-ms");
+  if (Http && LingerMs != 0) {
+    logging::info("lingering for inspection",
+                  {logging::field("address", Status.address()),
+                   logging::field("linger_ms", LingerMs)});
+    std::this_thread::sleep_for(std::chrono::milliseconds(LingerMs));
+  }
   Status.stop();
   return 0;
 }

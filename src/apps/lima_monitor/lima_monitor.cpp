@@ -19,6 +19,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Dashboard.h"
+#include "core/WindowHistory.h"
 #include "core/WindowedAnalysis.h"
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
@@ -57,12 +59,28 @@ struct MonitorOptions {
   double AlertThreshold = 0.0; ///< 0 disables alerting.
   bool PerRegion = false;
   std::string MetricsOut;
+  /// Non-null with --http: retained summaries for /api/windows and the
+  /// SSE fan-out for /events.
+  std::shared_ptr<core::WindowHistory> History;
+  std::shared_ptr<http::StreamHub> Events;
 };
 
 /// Emits one completed window: a structured log record, per-region
-/// gauge updates and alert checks.
-void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
+/// gauge updates, history retention, SSE fan-out and alert checks.
+/// \p DroppedDelta is the lenient-mode drop count observed since the
+/// previous drain, attributed to this window.
+void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts,
+                  uint64_t DroppedDelta) {
   metrics::counter("lima.monitor.windows_total").add(1);
+
+  if (Opts.History) {
+    core::WindowSummary S = core::WindowHistory::summarize(W, DroppedDelta);
+    Opts.History->setNames(W.Cube.regionNames(), W.Cube.activityNames());
+    Opts.History->append(S);
+    if (Opts.Events)
+      Opts.Events->publish(core::dash::sseWindowFrame(
+          S, W.Cube.regionNames(), W.Cube.activityNames()));
+  }
 
   if (W.Empty) {
     logging::debug("window empty", {logging::field("window", W.Index),
@@ -103,6 +121,9 @@ void reportWindow(const core::WindowResult &W, const MonitorOptions &Opts) {
                      logging::field("region", W.Cube.regionName(I)),
                      logging::field("sid_c", SidC),
                      logging::field("threshold", Opts.AlertThreshold)});
+      if (Opts.Events)
+        Opts.Events->publish(core::dash::sseAlertFrame(
+            W.Index, I, W.Cube.regionName(I), SidC, Opts.AlertThreshold));
     }
   }
   for (size_t J = 0; J != W.Activities.ScaledIndex.size(); ++J)
@@ -168,10 +189,16 @@ int main(int Argc, char **Argv) {
                    "emitted (smoke tests)",
                    "0");
   Parser.addOption("http",
-                   "serve /metrics, /healthz, /readyz, /varz and "
-                   "/debug/spans on this address (host:port; port 0 picks "
-                   "an ephemeral one, logged at startup)",
+                   "serve /metrics, /healthz, /readyz, /varz, /debug/spans, "
+                   "/api/windows, /events and /dashboard on this address "
+                   "(host:port; port 0 picks an ephemeral one, logged at "
+                   "startup)",
                    "");
+  Parser.addOption("history",
+                   "retain the most recent N window summaries for "
+                   "/api/windows and /dashboard (evictions are counted in "
+                   "lima_history_evictions_total)",
+                   "512");
   Parser.addOption("flight-recorder",
                    "keep the most recent N spans in a lock-free ring for "
                    "/debug/spans and crash dumps (0 disables; on by "
@@ -227,6 +254,14 @@ int main(int Argc, char **Argv) {
 
   uint64_t MinWindows = Parser.getUnsigned("min-windows");
   bool Http = !Parser.getString("http").empty();
+  uint64_t HistoryCap = Parser.getUnsigned("history");
+  if (HistoryCap == 0)
+    ExitOnErr(makeStringError("--history must be positive"));
+  if (Http) {
+    Monitor.History =
+        std::make_shared<core::WindowHistory>(static_cast<size_t>(HistoryCap));
+    Monitor.Events = std::make_shared<http::StreamHub>();
+  }
 
   // Crash dumps come first: everything after this line runs covered.
   if (!Parser.getString("crash-dump").empty())
@@ -299,6 +334,9 @@ int main(int Argc, char **Argv) {
   std::atomic<uint64_t> WindowsEmitted{0};
   std::atomic<uint64_t> DroppedRecords{0};
   std::vector<trace::Event> Events;
+  // Lenient-mode drops already attributed to a reported window; the
+  // delta since the last drain rides on each batch's first window.
+  uint64_t AttributedDrops = 0;
 
   auto consumeEvents = [&]() {
     for (const trace::Event &E : Events) {
@@ -320,8 +358,13 @@ int main(int Argc, char **Argv) {
     LIMA_SPAN("monitor.drain");
     auto T0 = std::chrono::steady_clock::now();
     std::vector<core::WindowResult> Done = Analyzer->drainCompleted();
+    uint64_t NowDropped = Parse.Report ? Parse.Report->DroppedRecords : 0;
+    uint64_t DropDelta = NowDropped - AttributedDrops;
+    if (!Done.empty())
+      AttributedDrops = NowDropped;
     for (const core::WindowResult &W : Done) {
-      reportWindow(W, Monitor);
+      reportWindow(W, Monitor, DropDelta);
+      DropDelta = 0;
       ++WindowsEmitted;
     }
     if (!Done.empty()) {
@@ -362,6 +405,22 @@ int main(int Argc, char **Argv) {
     Status.addVar("dropped_records", [&DroppedRecords] {
       return std::to_string(DroppedRecords.load(std::memory_order_relaxed));
     });
+    Status.addVar("history_windows", [History = Monitor.History] {
+      return std::to_string(History->size());
+    });
+    Status.addVar("history_capacity", [History = Monitor.History] {
+      return std::to_string(History->capacity());
+    });
+    Status.addVar("history_evictions", [History = Monitor.History] {
+      return std::to_string(History->evictions());
+    });
+    Status.addVar("sse_subscribers", [Events = Monitor.Events] {
+      return std::to_string(Events->subscribers());
+    });
+    Status.addVar("sse_frames_published", [Events = Monitor.Events] {
+      return std::to_string(Events->framesPublished());
+    });
+    core::dash::mountDashboard(Status, Monitor.History, Monitor.Events);
     ExitOnErr(Status.start(Parser.getString("http")));
     // Smoke tests bind port 0 and learn the real port from this line.
     logging::info("status server listening",
@@ -405,11 +464,16 @@ int main(int Argc, char **Argv) {
 
   ExitOnErr(Stream.finish(Events));
   consumeEvents();
-  if (Analyzer)
+  if (Analyzer) {
+    uint64_t NowDropped = Parse.Report ? Parse.Report->DroppedRecords : 0;
+    uint64_t DropDelta = NowDropped - AttributedDrops;
+    AttributedDrops = NowDropped;
     for (const core::WindowResult &W : Analyzer->finish()) {
-      reportWindow(W, Monitor);
+      reportWindow(W, Monitor, DropDelta);
+      DropDelta = 0;
       ++WindowsEmitted;
     }
+  }
   if (!Stdin)
     ::close(Fd);
 

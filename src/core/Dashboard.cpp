@@ -1,0 +1,345 @@
+//===- core/Dashboard.cpp - Live window API + dashboard endpoints ---------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dashboard.h"
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lima;
+using namespace lima::core;
+
+namespace {
+
+std::string jsonEscape(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string jsonString(std::string_view Str) {
+  return '"' + jsonEscape(Str) + '"';
+}
+
+/// Compact finite JSON number.  Non-finite dispersion values cannot
+/// occur, but JSON has no NaN/Inf — emit 0 rather than corrupt the
+/// document.
+std::string num(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+std::string numArray(const std::vector<double> &Values) {
+  std::string Out = "[";
+  for (size_t I = 0; I != Values.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += num(Values[I]);
+  }
+  Out += ']';
+  return Out;
+}
+
+std::string nameArray(const std::vector<std::string> &Names) {
+  std::string Out = "[";
+  for (size_t I = 0; I != Names.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += jsonString(Names[I]);
+  }
+  Out += ']';
+  return Out;
+}
+
+/// Full-string unsigned decimal parse; rejects empty, signs, suffixes.
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno != 0 || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+const std::string &nameAt(const std::vector<std::string> &Names, size_t I) {
+  static const std::string Empty;
+  return I < Names.size() ? Names[I] : Empty;
+}
+
+} // namespace
+
+std::string dash::windowJson(const WindowSummary &S,
+                             const std::vector<std::string> &RegionNames,
+                             const std::vector<std::string> &ActivityNames) {
+  std::string Out = "{\"id\":" + std::to_string(S.Index);
+  Out += ",\"start\":" + num(S.StartTime);
+  Out += ",\"end\":" + num(S.EndTime);
+  Out += ",\"events\":" + std::to_string(S.Events);
+  Out += ",\"empty\":";
+  Out += S.Empty ? "true" : "false";
+  Out += ",\"proc_load\":" + numArray(S.ProcLoad);
+  Out += ",\"regions\":[";
+  for (size_t I = 0; I != S.RegionIdC.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += "{\"name\":" + jsonString(nameAt(RegionNames, I));
+    Out += ",\"id_c\":" + num(S.RegionIdC[I]);
+    Out += ",\"sid_c\":" +
+           num(I < S.RegionSidC.size() ? S.RegionSidC[I] : 0.0) + "}";
+  }
+  Out += "],\"activities\":[";
+  for (size_t J = 0; J != S.ActivityIdA.size(); ++J) {
+    if (J)
+      Out += ',';
+    Out += "{\"name\":" + jsonString(nameAt(ActivityNames, J));
+    Out += ",\"id_a\":" + num(S.ActivityIdA[J]);
+    Out += ",\"sid_a\":" +
+           num(J < S.ActivitySidA.size() ? S.ActivitySidA[J] : 0.0) + "}";
+  }
+  Out += "],\"top_region\":" + std::to_string(S.TopRegion);
+  Out += ",\"top_activity\":" + std::to_string(S.TopActivity);
+  Out += ",\"most_imbalanced_proc\":" + std::to_string(S.MostImbalancedProc);
+  Out += ",\"max_sid_c\":" + num(S.MaxSidC);
+  Out += ",\"dropped\":" + std::to_string(S.DroppedRecords);
+  Out += "}";
+  return Out;
+}
+
+std::string dash::windowsJson(const WindowHistory &History, uint64_t Since,
+                              size_t Limit) {
+  std::vector<WindowSummary> Wins = History.snapshot(Since, Limit);
+  std::vector<std::string> Regions = History.regionNames();
+  std::vector<std::string> Activities = History.activityNames();
+  std::string Out = "{\"capacity\":" + std::to_string(History.capacity());
+  Out += ",\"size\":" + std::to_string(History.size());
+  Out += ",\"appended\":" + std::to_string(History.appended());
+  Out += ",\"evictions\":" + std::to_string(History.evictions());
+  Out += ",\"regions\":" + nameArray(Regions);
+  Out += ",\"activities\":" + nameArray(Activities);
+  Out += ",\"windows\":[";
+  for (size_t I = 0; I != Wins.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += windowJson(Wins[I], Regions, Activities);
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+std::string dash::sseWindowFrame(const WindowSummary &S,
+                                 const std::vector<std::string> &RegionNames,
+                                 const std::vector<std::string> &ActivityNames) {
+  return "event: window\ndata: " +
+         windowJson(S, RegionNames, ActivityNames) + "\n\n";
+}
+
+std::string dash::sseAlertFrame(uint64_t WindowIndex, size_t Region,
+                                const std::string &RegionName, double SidC,
+                                double Threshold) {
+  std::string Out = "event: alert\ndata: {\"window\":";
+  Out += std::to_string(WindowIndex);
+  Out += ",\"region\":" + std::to_string(Region);
+  Out += ",\"region_name\":" + jsonString(RegionName);
+  Out += ",\"sid_c\":" + num(SidC);
+  Out += ",\"threshold\":" + num(Threshold);
+  Out += "}\n\n";
+  return Out;
+}
+
+std::string dash::dashboardHtml(const std::string &Title) {
+  // One self-contained page: styling mirrors core/HtmlReport, all
+  // script inline, zero external fetches beyond /api + /events.
+  std::string Html =
+      "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
+      jsonEscape(Title) + // HTML-safe for our titles (no <>&)
+      "</title><style>"
+      "body{font-family:sans-serif;max-width:960px;margin:2em auto;}"
+      "table{border-collapse:collapse;margin:1em 0;}"
+      "th,td{border:1px solid #bbb;padding:3px 9px;font-size:13px;"
+      "text-align:right;}"
+      "th:first-child,td:first-child{text-align:left;}"
+      "h2{border-bottom:1px solid #ddd;padding-bottom:4px;}"
+      "#mode{float:right;font-size:12px;color:#666;font-weight:normal;}"
+      "canvas{border:1px solid #ddd;display:block;margin:0.5em 0;}"
+      ".alert{margin:6px 0;padding:6px 10px;border-left:4px solid #b40000;"
+      "background:#fff0f0;font-size:13px;}"
+      "</style></head><body><h1>" +
+      jsonEscape(Title) + "<span id=\"mode\">connecting\xE2\x80\xA6</span></h1>";
+  Html += R"HTML(
+<div id="alerts"></div>
+<h2>max SID_C per window</h2>
+<canvas id="spark" width="920" height="120"></canvas>
+<h2>per-processor load heatmap</h2>
+<canvas id="heat" width="920" height="160"></canvas>
+<h2>latest window</h2>
+<div id="latest">waiting for data&hellip;</div>
+<script>
+'use strict';
+var MAXW = 120, wins = [], poller = null, es = null;
+function setMode(t) { document.getElementById('mode').textContent = t; }
+function esc(s) {
+  var d = document.createElement('span');
+  d.textContent = s == null ? '' : s;
+  return d.innerHTML;
+}
+function addWin(w) {
+  if (wins.length && wins[wins.length - 1].id >= w.id) return;
+  wins.push(w);
+  if (wins.length > MAXW) wins.shift();
+  render();
+}
+function showAlert(a) {
+  var d = document.createElement('div');
+  d.className = 'alert';
+  d.textContent = 'window ' + a.window + ': region ' +
+      (a.region_name || a.region) + ' SID_C ' + a.sid_c.toFixed(3) +
+      ' over threshold ' + a.threshold.toFixed(3);
+  var box = document.getElementById('alerts');
+  box.insertBefore(d, box.firstChild);
+  while (box.childNodes.length > 5) box.removeChild(box.lastChild);
+}
+function render() {
+  var spark = document.getElementById('spark'), g = spark.getContext('2d');
+  g.clearRect(0, 0, spark.width, spark.height);
+  if (!wins.length) return;
+  var max = 0;
+  wins.forEach(function (w) { if (w.max_sid_c > max) max = w.max_sid_c; });
+  var bw = spark.width / Math.max(wins.length, 1);
+  wins.forEach(function (w, i) {
+    var h = max > 0 ? (w.max_sid_c / max) * (spark.height - 10) : 0;
+    g.fillStyle = '#2a7ae2';
+    g.fillRect(i * bw + 1, spark.height - h, Math.max(bw - 2, 1), h);
+  });
+  var heat = document.getElementById('heat'), hg = heat.getContext('2d');
+  hg.clearRect(0, 0, heat.width, heat.height);
+  var procs = wins[wins.length - 1].proc_load.length;
+  var ch = heat.height / Math.max(procs, 1), cw = heat.width / wins.length;
+  var lmax = 0;
+  wins.forEach(function (w) {
+    w.proc_load.forEach(function (v) { if (v > lmax) lmax = v; });
+  });
+  wins.forEach(function (w, i) {
+    w.proc_load.forEach(function (v, p) {
+      var t = lmax > 0 ? v / lmax : 0;
+      hg.fillStyle = 'rgb(' + Math.round(255 * t) + ',64,' +
+          Math.round(255 * (1 - t)) + ')';
+      hg.fillRect(i * cw, p * ch, Math.ceil(cw), Math.ceil(ch));
+    });
+  });
+  var w = wins[wins.length - 1];
+  var html = '<p>window ' + w.id + ' [' + w.start.toFixed(2) + ', ' +
+      w.end.toFixed(2) + ') &mdash; ' + w.events +
+      ' events, most imbalanced proc ' + w.most_imbalanced_proc + '</p>';
+  html += '<table><tr><th>region</th><th>ID_C</th><th>SID_C</th></tr>';
+  w.regions.forEach(function (r) {
+    html += '<tr><td>' + esc(r.name) + '</td><td>' + r.id_c.toFixed(4) +
+        '</td><td>' + r.sid_c.toFixed(4) + '</td></tr>';
+  });
+  html += '</table>';
+  document.getElementById('latest').innerHTML = html;
+}
+function seed() {
+  return fetch('/api/windows').then(function (r) { return r.json(); })
+      .then(function (j) { wins = j.windows.slice(-MAXW); render(); })
+      .catch(function () {});
+}
+function startPolling() {
+  if (poller) return;
+  setMode('polling /api/windows');
+  poller = setInterval(seed, 2000);
+}
+function connect() {
+  if (!window.EventSource) { startPolling(); return; }
+  es = new EventSource('/events');
+  es.addEventListener('window', function (e) { addWin(JSON.parse(e.data)); });
+  es.addEventListener('alert', function (e) { showAlert(JSON.parse(e.data)); });
+  es.onopen = function () { setMode('live (SSE)'); };
+  es.onerror = function () { es.close(); startPolling(); };
+}
+seed().then(connect);
+</script>
+</body></html>
+)HTML";
+  return Html;
+}
+
+void dash::mountDashboard(status::StatusServer &Server,
+                          std::shared_ptr<WindowHistory> History,
+                          std::shared_ptr<http::StreamHub> Events,
+                          DashboardOptions Options) {
+  Server.handle("/api/windows", [History](const http::Request &Req) {
+    uint64_t Since = 0;
+    uint64_t Limit = 0;
+    std::string SinceStr = Req.queryParam("since");
+    if (!SinceStr.empty() && !parseU64(SinceStr, Since))
+      return http::Response::text(400, "bad since parameter\n");
+    std::string LimitStr = Req.queryParam("limit");
+    if (!LimitStr.empty() && !parseU64(LimitStr, Limit))
+      return http::Response::text(400, "bad limit parameter\n");
+    return http::Response::json(
+        windowsJson(*History, Since, static_cast<size_t>(Limit)));
+  });
+
+  Server.handlePrefix("/api/windows/", [History](const http::Request &Req) {
+    std::string IdStr = Req.Path.substr(sizeof("/api/windows/") - 1);
+    uint64_t Id = 0;
+    if (!parseU64(IdStr, Id))
+      return http::Response::text(400, "bad window id\n");
+    std::optional<WindowSummary> S = History->get(Id);
+    if (!S)
+      return http::Response::text(404, "window not retained\n");
+    return http::Response::json(windowJson(*S, History->regionNames(),
+                                           History->activityNames()) +
+                                "\n");
+  });
+
+  Server.handle("/events", [Events](const http::Request &) {
+    // The comment line tests reachability; the retry hint keeps
+    // browser reconnects gentle.
+    return http::Response::stream("text/event-stream", Events,
+                                  ": lima-events\nretry: 2000\n\n");
+  });
+
+  std::string Page = dashboardHtml(Options.Title);
+  Server.handle("/dashboard", [Page](const http::Request &) {
+    http::Response R;
+    R.ContentType = "text/html; charset=utf-8";
+    R.Body = Page;
+    return R;
+  });
+
+  Server.describeEndpoint(
+      "  /api/windows  retained window summaries (JSON; ?since= &limit=)");
+  Server.describeEndpoint("  /events       live window/alert stream (SSE)");
+  Server.describeEndpoint("  /dashboard    live imbalance dashboard (HTML)");
+}

@@ -1,0 +1,94 @@
+//===- core/Dashboard.h - Live window API + dashboard endpoints -*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability surface over a WindowHistory: JSON history
+/// queries, a Server-Sent-Events stream, and a dependency-free HTML
+/// dashboard, mounted onto a status::StatusServer.  This lives in core
+/// (not support) because it renders core analysis types — support
+/// cannot depend on core, so the endpoints come to the server through
+/// StatusServer::handle/handlePrefix.
+///
+///   /api/windows        every retained window summary as JSON;
+///                       ?since=K cuts windows below index K, ?limit=N
+///                       caps the count
+///   /api/windows/<id>   one window's summary, 404 when evicted/unknown
+///   /events             SSE stream: a `window` event per drained
+///                       window, an `alert` event when the monitor's
+///                       threshold fires (frames published by the app
+///                       through the shared StreamHub)
+///   /dashboard          inline HTML/JS page: live sparkline of the
+///                       per-window max SID_C, a proc x window load
+///                       heatmap, and the latest window's region table,
+///                       fed by /events with automatic fallback to
+///                       polling /api/windows.  Zero external assets.
+///
+/// The JSON renderers are pure functions, exposed so tests can pin the
+/// wire format and the monitor can build its SSE frames without a
+/// server.  All JSON is emitted single-line (SSE `data:` framing is
+/// line-delimited).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_DASHBOARD_H
+#define LIMA_CORE_DASHBOARD_H
+
+#include "core/WindowHistory.h"
+#include "support/HttpServer.h"
+#include "support/StatusServer.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace core {
+namespace dash {
+
+/// One summary as a single-line JSON object.  Names label the region /
+/// activity vectors; shorter name vectors leave entries unnamed.
+std::string windowJson(const WindowSummary &Summary,
+                       const std::vector<std::string> &RegionNames,
+                       const std::vector<std::string> &ActivityNames);
+
+/// The /api/windows payload: ring stats, dimension names, and every
+/// retained summary with Index >= \p Since (at most \p Limit, 0 = all).
+std::string windowsJson(const WindowHistory &History, uint64_t Since = 0,
+                        size_t Limit = 0);
+
+/// A complete SSE frame ("event: window\ndata: {...}\n\n") for one
+/// drained window.
+std::string sseWindowFrame(const WindowSummary &Summary,
+                           const std::vector<std::string> &RegionNames,
+                           const std::vector<std::string> &ActivityNames);
+
+/// A complete SSE frame ("event: alert\ndata: {...}\n\n") carrying the
+/// triggering window id, region, its SID_C and the configured
+/// threshold.
+std::string sseAlertFrame(uint64_t WindowIndex, size_t Region,
+                          const std::string &RegionName, double SidC,
+                          double Threshold);
+
+/// The dashboard page (static: state arrives over /events + /api).
+std::string dashboardHtml(const std::string &Title);
+
+struct DashboardOptions {
+  std::string Title = "LIMA live imbalance dashboard";
+};
+
+/// Mounts the four endpoints.  \p History and \p Events are shared with
+/// the producing application (the monitor appends summaries and
+/// publishes frames); both must outlive the server.  Call before
+/// StatusServer::start().
+void mountDashboard(status::StatusServer &Server,
+                    std::shared_ptr<WindowHistory> History,
+                    std::shared_ptr<http::StreamHub> Events,
+                    DashboardOptions Options = {});
+
+} // namespace dash
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_DASHBOARD_H

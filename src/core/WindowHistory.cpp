@@ -1,0 +1,128 @@
+//===- core/WindowHistory.cpp - Bounded ring of window summaries ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WindowHistory.h"
+#include "support/Metrics.h"
+#include <algorithm>
+
+using namespace lima;
+using namespace lima::core;
+
+WindowHistory::WindowHistory(size_t Cap) : Cap(std::max<size_t>(Cap, 1)) {}
+
+WindowSummary WindowHistory::summarize(const WindowResult &Result,
+                                       uint64_t DroppedRecords) {
+  WindowSummary S;
+  S.Index = Result.Index;
+  S.StartTime = Result.StartTime;
+  S.EndTime = Result.EndTime;
+  S.Events = Result.Events;
+  S.Empty = Result.Empty;
+  S.DroppedRecords = DroppedRecords;
+
+  const MeasurementCube &Cube = Result.Cube;
+  S.ProcLoad.assign(Cube.numProcs(), 0.0);
+  for (size_t I = 0; I != Cube.numRegions(); ++I)
+    for (size_t J = 0; J != Cube.numActivities(); ++J)
+      for (unsigned P = 0; P != Cube.numProcs(); ++P)
+        S.ProcLoad[P] += Cube.time(I, J, P);
+
+  S.RegionIdC = Result.Regions.Index;
+  S.RegionSidC = Result.Regions.ScaledIndex;
+  S.ActivityIdA = Result.Activities.Index;
+  S.ActivitySidA = Result.Activities.ScaledIndex;
+  S.TopRegion = Result.Regions.MostImbalancedScaled;
+  S.TopActivity = Result.Activities.MostImbalancedScaled;
+  S.MostImbalancedProc = Result.Processors.MostFrequentlyImbalanced;
+  S.MaxSidC = S.RegionSidC.empty()
+                  ? 0.0
+                  : *std::max_element(S.RegionSidC.begin(), S.RegionSidC.end());
+  return S;
+}
+
+void WindowHistory::append(WindowSummary Summary) {
+  bool Evict;
+  size_t Size;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Ring.push_back(std::move(Summary));
+    Evict = Ring.size() > Cap;
+    if (Evict) {
+      Ring.pop_front();
+      ++Evicted;
+    }
+    ++Appended;
+    Size = Ring.size();
+  }
+  // Direct registry calls (not LIMA_METRIC macros): the history owns
+  // these series, so they exist in telemetry-off builds too and the
+  // smoke test can assert on them unconditionally.
+  if (Evict)
+    metrics::counter("lima.history.evictions_total").add(1);
+  metrics::gauge("lima.history.windows").set(static_cast<double>(Size));
+}
+
+void WindowHistory::appendResult(const WindowResult &Result,
+                                 uint64_t DroppedRecords) {
+  setNames(Result.Cube.regionNames(), Result.Cube.activityNames());
+  append(summarize(Result, DroppedRecords));
+}
+
+void WindowHistory::setNames(std::vector<std::string> NewRegionNames,
+                             std::vector<std::string> NewActivityNames) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (RegionNames.empty())
+    RegionNames = std::move(NewRegionNames);
+  if (ActivityNames.empty())
+    ActivityNames = std::move(NewActivityNames);
+}
+
+std::vector<WindowSummary> WindowHistory::snapshot(uint64_t SinceIndex,
+                                                   size_t Limit) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<WindowSummary> Out;
+  for (const WindowSummary &S : Ring) {
+    if (S.Index < SinceIndex)
+      continue;
+    Out.push_back(S);
+    if (Limit != 0 && Out.size() == Limit)
+      break;
+  }
+  return Out;
+}
+
+std::optional<WindowSummary> WindowHistory::get(uint64_t Index) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const WindowSummary &S : Ring)
+    if (S.Index == Index)
+      return S;
+  return std::nullopt;
+}
+
+size_t WindowHistory::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ring.size();
+}
+
+uint64_t WindowHistory::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Evicted;
+}
+
+uint64_t WindowHistory::appended() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Appended;
+}
+
+std::vector<std::string> WindowHistory::regionNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return RegionNames;
+}
+
+std::vector<std::string> WindowHistory::activityNames() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ActivityNames;
+}

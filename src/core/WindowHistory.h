@@ -1,0 +1,139 @@
+//===- core/WindowHistory.h - Bounded ring of window summaries --*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, thread-safe ring of per-window imbalance summaries — the
+/// retained form of the windowed analysis.  The windowed analyzer
+/// computes a full MeasurementCube per window and lima_monitor used to
+/// reduce it to one log line; the history keeps the part an operator
+/// asks about afterwards (which processors, which regions, when) at
+/// O(procs + regions + activities) bytes per window, so a
+/// million-window run holds memory at Cap summaries, not Cap cubes.
+///
+/// Contents per window (WindowSummary): the window id and time span,
+/// the per-processor load vector (each processor's wall clock inside
+/// the window, summed over the cube), the per-region ID_C/SID_C and
+/// per-activity ID_A/SID_A dispersion indices, the most-imbalanced
+/// region/activity/processor picks, and the drop count the producer
+/// attributes to the window.  Region/activity names are stored once on
+/// the history (identical across windows — they come from the trace
+/// header), not per summary.
+///
+/// Concurrency: one mutex guards the deque; append() runs on the
+/// analysis thread while snapshot()/get() run on the HTTP server
+/// thread.  Summaries are value types, so a snapshot hands back copies
+/// and readers never observe a summary mid-mutation.  Evictions are
+/// counted directly into the metrics registry
+/// (lima.history.evictions_total) — a direct Counter call, not a
+/// LIMA_METRIC macro, so the count exists in telemetry-off builds too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_CORE_WINDOWHISTORY_H
+#define LIMA_CORE_WINDOWHISTORY_H
+
+#include "core/WindowedAnalysis.h"
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lima {
+namespace core {
+
+/// The compact retained form of one drained WindowResult.
+struct WindowSummary {
+  uint64_t Index = 0;     ///< Window number k; covers [k*W, (k+1)*W).
+  double StartTime = 0.0;
+  double EndTime = 0.0;
+  uint64_t Events = 0;    ///< Events whose timestamp fell in the window.
+  bool Empty = false;     ///< Nothing attributed (EmitEmptyWindows only).
+
+  /// Per-processor wall clock inside the window: sum over the cube of
+  /// t[.][.][p].  The dashboard's heatmap rows.
+  std::vector<double> ProcLoad;
+  /// Per-region ID_C / SID_C (code-region view).
+  std::vector<double> RegionIdC;
+  std::vector<double> RegionSidC;
+  /// Per-activity ID_A / SID_A (activity view).
+  std::vector<double> ActivityIdA;
+  std::vector<double> ActivitySidA;
+
+  /// Region with the largest SID_C — where the scaled imbalance lives.
+  size_t TopRegion = 0;
+  /// Activity with the largest SID_A.
+  size_t TopActivity = 0;
+  /// The processor most frequently the most-imbalanced one.
+  unsigned MostImbalancedProc = 0;
+  /// max over regions of SID_C — the scalar the monitor alerts on.
+  double MaxSidC = 0.0;
+
+  /// Records the producer attributed to this window but had to drop
+  /// (lenient-mode structural violations since the previous drain).
+  uint64_t DroppedRecords = 0;
+};
+
+/// Bounded ring of WindowSummary, newest at the back.
+class WindowHistory {
+public:
+  /// \p Cap is the retention bound; appending the Cap+1st summary
+  /// evicts the oldest.  A cap of 0 is clamped to 1 (an eviction-only
+  /// history retains nothing worth serving).
+  explicit WindowHistory(size_t Cap);
+
+  /// Extracts the retained summary from a drained window.  Pure
+  /// function of the result (plus the producer's drop attribution);
+  /// exposed for tests to prove summary-vs-cube equivalence.
+  static WindowSummary summarize(const WindowResult &Result,
+                                 uint64_t DroppedRecords = 0);
+
+  /// Appends \p Summary, evicting the oldest entry past the cap.
+  void append(WindowSummary Summary);
+
+  /// summarize() + append(), capturing region/activity names from the
+  /// first result's cube (identical on every later one).
+  void appendResult(const WindowResult &Result, uint64_t DroppedRecords = 0);
+
+  /// Sets the dimension names served alongside summaries (no-op when
+  /// already set; appendResult does this automatically).
+  void setNames(std::vector<std::string> RegionNames,
+                std::vector<std::string> ActivityNames);
+
+  /// Copies of retained summaries in ascending window order, starting
+  /// at the first window with Index >= \p SinceIndex, at most \p Limit
+  /// entries (0 = no limit).
+  std::vector<WindowSummary> snapshot(uint64_t SinceIndex = 0,
+                                      size_t Limit = 0) const;
+
+  /// The summary of window \p Index, if retained.
+  std::optional<WindowSummary> get(uint64_t Index) const;
+
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+  /// Summaries evicted over the history's lifetime.
+  uint64_t evictions() const;
+  /// Total summaries ever appended.
+  uint64_t appended() const;
+
+  std::vector<std::string> regionNames() const;
+  std::vector<std::string> activityNames() const;
+
+private:
+  const size_t Cap;
+  mutable std::mutex Mu;
+  std::deque<WindowSummary> Ring;
+  std::vector<std::string> RegionNames;
+  std::vector<std::string> ActivityNames;
+  uint64_t Evicted = 0;
+  uint64_t Appended = 0;
+};
+
+} // namespace core
+} // namespace lima
+
+#endif // LIMA_CORE_WINDOWHISTORY_H

@@ -3,10 +3,43 @@
 // Part of LIMA. SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// Two implementations of the same reflected-0xEDB88320 CRC:
+//
+//  - Slicing-by-8 tables (portable): 8 bytes per iteration through 8
+//    position-specific lookup tables.
+//  - PCLMUL folding (x86 with pclmulqdq + sse4.1, runtime-detected):
+//    four 128-bit lanes folded 64 bytes at a time with carry-less
+//    multiplies, then reduced 512->128->64->32 bits via Barrett
+//    reduction.  This is the standard Intel folding scheme (the one
+//    zlib and chromium ship); the constants below are the precomputed
+//    x^N mod P(x) factors for the IEEE polynomial.
+//
+// Note on the ISA menu: SSE4.2's dedicated `crc32` instruction is NOT
+// usable here — it hardwires the Castagnoli polynomial (CRC-32C,
+// 0x1EDC6F41), while every LIMB v2 file in the wild carries checksums
+// of the IEEE polynomial this module has always used.  PCLMUL folding
+// is polynomial-agnostic, so it accelerates the existing format
+// bit-compatibly.
+//
+// Dispatch: one CPUID probe cached on first use; buffers shorter than
+// 64 bytes take the table path regardless (folding needs a full block
+// and the fixed reduction tail would dominate).  Both paths are
+// exposed (crc32UpdateSoftware/Hardware) so tests pin known answers on each.
+//
+//===----------------------------------------------------------------------===//
 
 #include "support/Checksum.h"
 #include <array>
 #include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define LIMA_CRC32_PCLMUL 1
+#include <cpuid.h>
+#include <immintrin.h>
+#else
+#define LIMA_CRC32_PCLMUL 0
+#endif
 
 using namespace lima;
 
@@ -39,13 +72,10 @@ const std::array<std::array<uint32_t, 256>, 8> &tables() {
   return Tables;
 }
 
-} // namespace
-
-uint32_t lima::crc32Update(uint32_t Crc, std::string_view Data) {
+/// The table path over the raw (pre/post-conditioning already applied)
+/// CRC state.
+uint32_t softwareState(uint32_t C, const char *P, size_t N) {
   const auto &T = tables();
-  uint32_t C = Crc ^ 0xFFFFFFFFu;
-  const char *P = Data.data();
-  size_t N = Data.size();
   // 8 bytes per iteration: XOR the running CRC into the first word,
   // then fold both words through the position-specific tables.  Loads
   // go through memcpy, so alignment is the compiler's problem.
@@ -62,6 +92,147 @@ uint32_t lima::crc32Update(uint32_t Crc, std::string_view Data) {
   }
   for (; N != 0; ++P, --N)
     C = T[0][(C ^ static_cast<uint8_t>(*P)) & 0xFFu] ^ (C >> 8);
+  return C;
+}
+
+#if LIMA_CRC32_PCLMUL
+
+/// Folding constants for the reflected IEEE polynomial: x^(512+32),
+/// x^(512-32), x^(128+32), x^(128-32), x^64 mod P, and the Barrett
+/// pair (P', mu).  Standard values from Intel's "Fast CRC Computation
+/// Using PCLMULQDQ" white paper.
+alignas(16) const uint64_t K1K2[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) const uint64_t K3K4[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) const uint64_t K5K0[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) const uint64_t PolyMu[2] = {0x01db710641, 0x01f7011641};
+
+/// Folds \p N bytes (N >= 64 and a multiple of 16) into the raw CRC
+/// state with carry-less multiplies.  Compiled for pclmul+sse4.1 and
+/// only ever called behind the CPUID probe.
+__attribute__((target("pclmul,sse4.1"))) uint32_t
+pclmulState(uint32_t C, const char *P, size_t N) {
+  const __m128i *Buf = reinterpret_cast<const __m128i *>(P);
+
+  // Load the first 64 bytes into four lanes, CRC into lane 0.
+  __m128i X1 = _mm_xor_si128(_mm_loadu_si128(Buf + 0),
+                             _mm_cvtsi32_si128(static_cast<int>(C)));
+  __m128i X2 = _mm_loadu_si128(Buf + 1);
+  __m128i X3 = _mm_loadu_si128(Buf + 2);
+  __m128i X4 = _mm_loadu_si128(Buf + 3);
+  Buf += 4;
+  N -= 64;
+
+  // Fold four lanes in parallel, 64 bytes per iteration.
+  __m128i K = _mm_load_si128(reinterpret_cast<const __m128i *>(K1K2));
+  while (N >= 64) {
+    __m128i L1 = _mm_clmulepi64_si128(X1, K, 0x00);
+    __m128i L2 = _mm_clmulepi64_si128(X2, K, 0x00);
+    __m128i L3 = _mm_clmulepi64_si128(X3, K, 0x00);
+    __m128i L4 = _mm_clmulepi64_si128(X4, K, 0x00);
+    X1 = _mm_clmulepi64_si128(X1, K, 0x11);
+    X2 = _mm_clmulepi64_si128(X2, K, 0x11);
+    X3 = _mm_clmulepi64_si128(X3, K, 0x11);
+    X4 = _mm_clmulepi64_si128(X4, K, 0x11);
+    X1 = _mm_xor_si128(_mm_xor_si128(X1, L1), _mm_loadu_si128(Buf + 0));
+    X2 = _mm_xor_si128(_mm_xor_si128(X2, L2), _mm_loadu_si128(Buf + 1));
+    X3 = _mm_xor_si128(_mm_xor_si128(X3, L3), _mm_loadu_si128(Buf + 2));
+    X4 = _mm_xor_si128(_mm_xor_si128(X4, L4), _mm_loadu_si128(Buf + 3));
+    Buf += 4;
+    N -= 64;
+  }
+
+  // Fold the four lanes down to one.
+  K = _mm_load_si128(reinterpret_cast<const __m128i *>(K3K4));
+  __m128i L = _mm_clmulepi64_si128(X1, K, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, K, 0x11);
+  X1 = _mm_xor_si128(_mm_xor_si128(X1, L), X2);
+  L = _mm_clmulepi64_si128(X1, K, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, K, 0x11);
+  X1 = _mm_xor_si128(_mm_xor_si128(X1, L), X3);
+  L = _mm_clmulepi64_si128(X1, K, 0x00);
+  X1 = _mm_clmulepi64_si128(X1, K, 0x11);
+  X1 = _mm_xor_si128(_mm_xor_si128(X1, L), X4);
+
+  // Single-lane folds over any remaining 16-byte chunks.
+  while (N >= 16) {
+    L = _mm_clmulepi64_si128(X1, K, 0x00);
+    X1 = _mm_clmulepi64_si128(X1, K, 0x11);
+    X1 = _mm_xor_si128(_mm_xor_si128(X1, L), _mm_loadu_si128(Buf));
+    ++Buf;
+    N -= 16;
+  }
+
+  // Reduce 128 -> 64 bits.
+  const __m128i Mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  __m128i R = _mm_clmulepi64_si128(X1, K, 0x10);
+  X1 = _mm_xor_si128(_mm_srli_si128(X1, 8), R);
+  K = _mm_loadl_epi64(reinterpret_cast<const __m128i *>(K5K0));
+  R = _mm_srli_si128(X1, 4);
+  X1 = _mm_and_si128(X1, Mask32);
+  X1 = _mm_clmulepi64_si128(X1, K, 0x00);
+  X1 = _mm_xor_si128(X1, R);
+
+  // Barrett reduction 64 -> 32 bits.
+  K = _mm_load_si128(reinterpret_cast<const __m128i *>(PolyMu));
+  R = _mm_and_si128(X1, Mask32);
+  R = _mm_clmulepi64_si128(R, K, 0x10);
+  R = _mm_and_si128(R, Mask32);
+  R = _mm_clmulepi64_si128(R, K, 0x00);
+  X1 = _mm_xor_si128(X1, R);
+  return static_cast<uint32_t>(_mm_extract_epi32(X1, 1));
+}
+
+#endif // LIMA_CRC32_PCLMUL
+
+/// Hardware path over the raw state: fold the largest 16-byte-aligned
+/// prefix (>= 64 bytes), table-walk the tail.
+uint32_t hardwareState(uint32_t C, const char *P, size_t N) {
+#if LIMA_CRC32_PCLMUL
+  size_t Body = N & ~static_cast<size_t>(15);
+  if (Body >= 64) {
+    C = pclmulState(C, P, Body);
+    P += Body;
+    N -= Body;
+  }
+#endif
+  return softwareState(C, P, N);
+}
+
+} // namespace
+
+bool lima::crc32HardwareAvailable() {
+#if LIMA_CRC32_PCLMUL
+  static const bool Available = [] {
+    unsigned Eax = 0, Ebx = 0, Ecx = 0, Edx = 0;
+    if (!__get_cpuid(1, &Eax, &Ebx, &Ecx, &Edx))
+      return false;
+    const unsigned NeedEcx = (1u << 1) | (1u << 19); // PCLMULQDQ | SSE4.1
+    return (Ecx & NeedEcx) == NeedEcx;
+  }();
+  return Available;
+#else
+  return false;
+#endif
+}
+
+uint32_t lima::crc32UpdateSoftware(uint32_t Crc, std::string_view Data) {
+  return softwareState(Crc ^ 0xFFFFFFFFu, Data.data(), Data.size()) ^
+         0xFFFFFFFFu;
+}
+
+uint32_t lima::crc32UpdateHardware(uint32_t Crc, std::string_view Data) {
+  if (!crc32HardwareAvailable())
+    return crc32UpdateSoftware(Crc, Data);
+  return hardwareState(Crc ^ 0xFFFFFFFFu, Data.data(), Data.size()) ^
+         0xFFFFFFFFu;
+}
+
+uint32_t lima::crc32Update(uint32_t Crc, std::string_view Data) {
+  uint32_t C = Crc ^ 0xFFFFFFFFu;
+  if (Data.size() >= 64 && crc32HardwareAvailable())
+    C = hardwareState(C, Data.data(), Data.size());
+  else
+    C = softwareState(C, Data.data(), Data.size());
   return C ^ 0xFFFFFFFFu;
 }
 

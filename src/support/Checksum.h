@@ -28,7 +28,23 @@ uint32_t crc32(std::string_view Data);
 /// Streaming form: feeds \p Data into a running checksum previously
 /// returned by crc32() or crc32Update().  crc32(X + Y) ==
 /// crc32Update(crc32(X), Y).
+///
+/// Dispatches at runtime between a portable slicing-by-8 table walk
+/// and, on x86 CPUs with PCLMULQDQ, a carry-less-multiply folding
+/// path; both compute the identical IEEE polynomial.
 uint32_t crc32Update(uint32_t Crc, std::string_view Data);
+
+/// True when the CPU supports the PCLMUL folding path (cached CPUID
+/// probe).  The public crc32Update() consults this automatically; it
+/// is exposed so tests can report which paths they exercised.
+bool crc32HardwareAvailable();
+
+/// Implementation pins for tests: compute the update with exactly one
+/// path, bypassing dispatch.  crc32UpdateHardware() falls back to the
+/// software path on CPUs without PCLMUL so known-answer tests stay
+/// portable.
+uint32_t crc32UpdateSoftware(uint32_t Crc, std::string_view Data);
+uint32_t crc32UpdateHardware(uint32_t Crc, std::string_view Data);
 
 } // namespace lima
 

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/HttpServer.h"
+#include "support/Metrics.h"
+#include "support/MetricsExport.h"
 #include <algorithm>
 #include <arpa/inet.h>
 #include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
@@ -74,6 +77,81 @@ const std::string *Request::header(std::string_view Name) const {
   return nullptr;
 }
 
+std::string Request::queryParam(std::string_view Name) const {
+  std::string_view Rest = Query;
+  while (!Rest.empty()) {
+    size_t Amp = Rest.find('&');
+    std::string_view Pair =
+        Amp == std::string_view::npos ? Rest : Rest.substr(0, Amp);
+    size_t Eq = Pair.find('=');
+    if (Eq != std::string_view::npos && Pair.substr(0, Eq) == Name)
+      return std::string(Pair.substr(Eq + 1));
+    if (Eq == std::string_view::npos && Pair == Name)
+      return std::string(); // bare "?flag" — present but valueless
+    if (Amp == std::string_view::npos)
+      break;
+    Rest.remove_prefix(Amp + 1);
+  }
+  return std::string();
+}
+
+//===----------------------------------------------------------------------===//
+// StreamHub
+//===----------------------------------------------------------------------===//
+
+StreamHub::StreamHub(size_t MaxPendingBytes)
+    : MaxPendingBytes(MaxPendingBytes) {}
+
+void StreamHub::publish(std::string_view Frame) {
+  Published.fetch_add(1, std::memory_order_relaxed);
+  // Collect the wakers under the lock, run them outside it: a waker is
+  // a pipe write, but holding Mu across foreign code invites deadlock.
+  std::vector<std::function<void()>> Wakers;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (Subscriber &S : Subs) {
+      if (S.Pending.size() + Frame.size() > MaxPendingBytes) {
+        Dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      S.Pending.append(Frame);
+      if (S.Waker)
+        Wakers.push_back(S.Waker);
+    }
+  }
+  for (const auto &Wake : Wakers)
+    Wake();
+}
+
+uint64_t StreamHub::subscribe(std::function<void()> Waker) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Id = NextId++;
+  Subs.push_back(Subscriber{Id, std::string(), std::move(Waker)});
+  NumSubs.store(Subs.size(), std::memory_order_relaxed);
+  return Id;
+}
+
+bool StreamHub::drain(uint64_t Id, std::string &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Subscriber &S : Subs)
+    if (S.Id == Id) {
+      Out = std::move(S.Pending);
+      S.Pending.clear();
+      return true;
+    }
+  return false;
+}
+
+void StreamHub::unsubscribe(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t I = 0; I != Subs.size(); ++I)
+    if (Subs[I].Id == Id) {
+      Subs.erase(Subs.begin() + static_cast<ptrdiff_t>(I));
+      break;
+    }
+  NumSubs.store(Subs.size(), std::memory_order_relaxed);
+}
+
 Expected<std::pair<std::string, uint16_t>>
 http::parseAddress(const std::string &Address) {
   if (Address.empty())
@@ -127,6 +205,7 @@ enum class HeadState { NeedMore, Ready, Fail };
 struct HttpServer::Impl {
   ServerLimits Limits;
   std::vector<std::pair<std::string, Handler>> Handlers;
+  std::vector<std::pair<std::string, Handler>> PrefixHandlers;
 
   std::thread Thread;
   std::atomic<bool> Running{false};
@@ -147,15 +226,23 @@ struct HttpServer::Impl {
     uint64_t Served = 0;
     uint64_t LastActiveMs = 0;
     bool CloseAfterWrite = false;
+    /// Non-null once a streaming response was dispatched: the
+    /// connection is dedicated to pushing this hub's frames.
+    std::shared_ptr<StreamHub> Hub;
+    uint64_t SubId = 0;
+    bool Chunked = false;
   };
   std::vector<Conn> Conns;
 
   ~Impl() { closeFds(); }
 
   void closeFds() {
-    for (Conn &C : Conns)
+    for (Conn &C : Conns) {
+      if (C.Hub)
+        C.Hub->unsubscribe(C.SubId);
       if (C.Fd >= 0)
         ::close(C.Fd);
+    }
     Conns.clear();
     for (int *Fd : {&ListenFd, &WakeRead, &WakeWrite})
       if (*Fd >= 0) {
@@ -164,11 +251,38 @@ struct HttpServer::Impl {
       }
   }
 
-  const Handler *findHandler(const std::string &Path) const {
+  /// The handler for \p Path plus the mount string it matched (the
+  /// bounded-cardinality path label for self-metrics).  Exact mounts
+  /// win; among prefixes the longest match wins.
+  std::pair<const Handler *, std::string_view>
+  findHandler(const std::string &Path) const {
     for (const auto &[Mount, H] : Handlers)
       if (Mount == Path)
-        return &H;
-    return nullptr;
+        return {&H, Mount};
+    const Handler *Best = nullptr;
+    std::string_view BestMount;
+    for (const auto &[Prefix, H] : PrefixHandlers)
+      if (Path.compare(0, Prefix.size(), Prefix) == 0 &&
+          (!Best || Prefix.size() > BestMount.size())) {
+        Best = &H;
+        BestMount = Prefix;
+      }
+    return {Best, BestMount};
+  }
+
+  /// Self-metrics: one labeled count per answered request.  The path
+  /// label is always a mount string or a fixed sentinel, never the raw
+  /// request target, so cardinality stays bounded under hostile load.
+  static void recordRequest(std::string_view PathLabel, int Status) {
+#if LIMA_TELEMETRY
+    LIMA_METRIC_COUNT_DYN("lima.http.requests_total{path=\"" +
+                              metrics::escapeLabelValue(PathLabel) +
+                              "\",status=\"" + std::to_string(Status) + "\"}",
+                          1);
+#else
+    (void)PathLabel;
+    (void)Status;
+#endif
   }
 
   /// Serializes \p R onto the connection's output buffer.  \p Head
@@ -203,6 +317,72 @@ struct HttpServer::Impl {
                                             (Detail.empty() ? "" : ": ") +
                                             std::string(Detail) + "\n");
     enqueue(C, R, /*Head=*/false, /*KeepAlive=*/false);
+    recordRequest("<bad-request>", Status);
+  }
+
+  /// Appends \p Data as stream payload: chunk-framed on HTTP/1.1,
+  /// raw bytes on an HTTP/1.0 close-delimited stream.
+  static void appendStreamPayload(Conn &C, std::string_view Data) {
+    if (Data.empty())
+      return;
+    if (C.Chunked) {
+      char Hex[2 * sizeof(size_t) + 1];
+      std::snprintf(Hex, sizeof(Hex), "%zx", Data.size());
+      C.Out += Hex;
+      C.Out += "\r\n";
+      C.Out.append(Data);
+      C.Out += "\r\n";
+    } else {
+      C.Out.append(Data);
+    }
+  }
+
+  /// Serializes a streaming response's head and subscribes the
+  /// connection to the hub.  The stream is the connection's last
+  /// request: Connection: close, and keep-alive never resumes.
+  void enqueueStream(Conn &C, const Response &R, bool Head, bool Http11) {
+    std::string &Out = C.Out;
+    Out += "HTTP/1.1 ";
+    Out += std::to_string(R.Status);
+    Out += ' ';
+    Out += statusReason(R.Status);
+    Out += "\r\nServer: lima\r\nContent-Type: ";
+    Out += R.ContentType;
+    Out += "\r\nCache-Control: no-cache";
+    if (Http11 && !Head)
+      Out += "\r\nTransfer-Encoding: chunked";
+    Out += "\r\nConnection: close\r\n\r\n";
+    Requests.fetch_add(1, std::memory_order_relaxed);
+    if (Head) {
+      // HEAD probes the endpoint without tying up a stream slot.
+      C.CloseAfterWrite = true;
+      return;
+    }
+    C.Chunked = Http11;
+    C.Hub = R.Stream;
+    int WakeFd = WakeWrite;
+    C.SubId = C.Hub->subscribe([WakeFd] {
+      char Byte = 's';
+      (void)!::write(WakeFd, &Byte, 1);
+    });
+    appendStreamPayload(C, R.Body);
+  }
+
+  /// Moves any frames the hub has pending for this connection onto its
+  /// output buffer.  Runs every poll tick (a publish wakes the loop).
+  void pumpStream(Conn &C) {
+    if (!C.Hub)
+      return;
+    // Don't pull new frames while earlier output is still unflushed:
+    // leaving them in the hub's per-subscriber buffer is what makes
+    // the MaxPendingBytes cap actually bind for a stalled client —
+    // draining eagerly would just relocate the backlog into C.Out,
+    // which has no bound of its own.
+    if (C.OutOff < C.Out.size())
+      return;
+    std::string Frames;
+    if (C.Hub->drain(C.SubId, Frames) && !Frames.empty())
+      appendStreamPayload(C, Frames);
   }
 
   /// Tries to cut one complete request head off C.In.  Returns NeedMore
@@ -315,6 +495,12 @@ struct HttpServer::Impl {
   /// Parses and answers every complete request buffered on \p C.
   /// Returns false when the connection must close once Out drains.
   bool processInput(Conn &C) {
+    // A streaming connection accepts no further requests; whatever the
+    // client still sends is discarded (SSE clients send nothing).
+    if (C.Hub) {
+      C.In.clear();
+      return true;
+    }
     for (;;) {
       Request Req;
       size_t Consumed = 0;
@@ -348,13 +534,34 @@ struct HttpServer::Impl {
         enqueueError(C, 405, "only GET and HEAD");
         return false;
       }
-      const Handler *H = findHandler(Req.Path);
+      auto [H, Mount] = findHandler(Req.Path);
       if (!H) {
         enqueue(C, Response::text(404, "not found: " + Req.Path + "\n"),
                 Head, KeepAlive);
-      } else {
-        enqueue(C, (*H)(Req), Head, KeepAlive);
+        recordRequest("<unmatched>", 404);
+        if (!KeepAlive)
+          return false;
+        continue;
       }
+      [[maybe_unused]] auto Begin = std::chrono::steady_clock::now();
+      Response R = (*H)(Req);
+      LIMA_METRIC_OBSERVE(
+          "lima.http.request_duration_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Begin)
+              .count(),
+          metrics::Histogram::exponentialBounds(1e-5, 10.0, 8));
+      recordRequest(Mount, R.Status);
+      if (R.Stream) {
+        enqueueStream(C, R, Head, Req.Version == "HTTP/1.1");
+        if (Head)
+          return false;
+        // The stream owns the connection from here; drop any pipelined
+        // bytes the client optimistically sent.
+        C.In.clear();
+        return true;
+      }
+      enqueue(C, R, Head, KeepAlive);
       if (!KeepAlive)
         return false;
     }
@@ -399,6 +606,7 @@ struct HttpServer::Impl {
             "Connection: close\r\n\r\n";
         (void)::send(Fd, Busy, sizeof(Busy) - 1, MSG_NOSIGNAL);
         ::close(Fd);
+        recordRequest("<over-capacity>", 503);
         continue;
       }
       Conn C;
@@ -409,7 +617,10 @@ struct HttpServer::Impl {
   }
 
   void dropConn(size_t Index) {
-    ::close(Conns[Index].Fd);
+    Conn &C = Conns[Index];
+    if (C.Hub)
+      C.Hub->unsubscribe(C.SubId);
+    ::close(C.Fd);
     Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(Index));
   }
 
@@ -463,22 +674,49 @@ struct HttpServer::Impl {
         } else if ((Revents & POLLHUP) && C.Out.empty()) {
           Alive = false;
         }
-        if (Alive)
+        if (Alive) {
+          pumpStream(C);
           Alive = flushOut(C);
+        }
         // LastActiveMs may be a hair newer than Now (flushOut stamps a
         // fresh clock); guard the subtraction or it wraps negative.
-        if (Alive && Limits.IdleTimeoutMs != 0 && Now > C.LastActiveMs &&
-            Now - C.LastActiveMs > Limits.IdleTimeoutMs)
+        // Streaming connections are exempt: a healthy SSE stream is
+        // silent between windows, possibly for minutes.
+        if (Alive && !C.Hub && Limits.IdleTimeoutMs != 0 &&
+            Now > C.LastActiveMs && Now - C.LastActiveMs > Limits.IdleTimeoutMs)
           Alive = false;
         if (!Alive)
+          dropConn(I);
+      }
+      // Newly accepted connections missed the per-conn pass above, and
+      // frames published since the poll woke may target any subscriber:
+      // pump every streaming connection so no frame waits a full tick.
+      for (size_t I = Conns.size(); I-- != 0;) {
+        Conn &C = Conns[I];
+        if (!C.Hub || C.OutOff < C.Out.size())
+          continue;
+        pumpStream(C);
+        if (!C.Out.empty() && !flushOut(C))
           dropConn(I);
       }
     }
 
     // Graceful drain: stop listening, give in-flight responses a short
-    // window to flush, then tear down.
+    // window to flush, then tear down.  Streams end here: flush their
+    // pending frames, send the chunked terminator so an HTTP/1.1 client
+    // sees a clean end-of-stream, and let the drain loop do the rest.
     ::close(ListenFd);
     ListenFd = -1;
+    for (Conn &C : Conns) {
+      if (!C.Hub)
+        continue;
+      pumpStream(C);
+      if (C.Chunked)
+        C.Out += "0\r\n\r\n";
+      C.Hub->unsubscribe(C.SubId);
+      C.Hub.reset();
+      C.CloseAfterWrite = true;
+    }
     uint64_t Deadline = nowMs() + 500;
     while (nowMs() < Deadline) {
       bool Pending = false;
@@ -515,6 +753,11 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::handle(std::string Path, Handler H) {
   assert(!running() && "handlers must be mounted before start()");
   I->Handlers.emplace_back(std::move(Path), std::move(H));
+}
+
+void HttpServer::handlePrefix(std::string Prefix, Handler H) {
+  assert(!running() && "handlers must be mounted before start()");
+  I->PrefixHandlers.emplace_back(std::move(Prefix), std::move(H));
 }
 
 Error HttpServer::start(const std::string &Address) {

@@ -12,6 +12,18 @@
 ///  - GET and HEAD only; anything else is answered 405 and the
 ///    connection closed.  Request bodies are rejected (400): a status
 ///    surface has no uploads.
+///  - Two response modes: a plain buffered Response (Content-Length
+///    framing), or a streaming Response fed by a StreamHub — the server
+///    sends chunked-transfer headers, keeps the connection open, and
+///    pushes every frame the application publishes from its own thread
+///    (Server-Sent Events ride on this).  Streaming connections are
+///    exempt from the idle timeout (a healthy SSE stream can be silent
+///    for minutes) but still count against MaxConnections.
+///  - The server meters itself: every answered request increments
+///    lima_http_requests_total{path,status} and handler dispatch time
+///    lands in lima_http_request_duration_seconds (both via the
+///    LIMA_METRIC_* macros, so they compile out with telemetry and
+///    cost one relaxed load when disabled).
 ///  - One background thread multiplexes every connection with poll(2);
 ///    handlers run on that thread, so they must be cheap (a render of
 ///    in-memory state) and must only touch thread-safe state — the
@@ -40,9 +52,11 @@
 #define LIMA_SUPPORT_HTTPSERVER_H
 
 #include "support/Error.h"
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -82,6 +96,74 @@ struct Request {
 
   /// Case-insensitive header lookup; nullptr when absent.
   const std::string *header(std::string_view Name) const;
+
+  /// Value of the query parameter \p Name ("since" in
+  /// "?since=3&limit=10"), or empty when absent.  No percent-decoding:
+  /// the status API's parameters are plain integers, and refusing to
+  /// decode keeps hostile encodings inert.
+  std::string queryParam(std::string_view Name) const;
+};
+
+class HttpServer;
+
+/// Fan-out point for streaming responses (Server-Sent Events).  The
+/// application thread publishes frames; every connection currently
+/// subscribed through a streaming Response receives each frame, pushed
+/// from the server's poll loop.
+///
+/// Backpressure: a subscriber that stops reading accumulates pending
+/// bytes only up to MaxPendingBytes; beyond that, new frames are
+/// dropped *for that subscriber* (counted in framesDropped) rather
+/// than buffering without bound — the live stream favors freshness
+/// over completeness, and a catching-up client re-syncs from the
+/// history API.
+///
+/// Thread-safe: publish() may race subscribe/unsubscribe/drain (which
+/// run on the server thread) and other publishers.
+class StreamHub {
+public:
+  explicit StreamHub(size_t MaxPendingBytes = 1 << 20);
+
+  /// Appends \p Frame to every subscriber's pending buffer and wakes
+  /// the serving loop.  The frame must already be wire-formatted for
+  /// the stream's content type (for SSE: "event: ...\ndata: ...\n\n").
+  void publish(std::string_view Frame);
+
+  size_t subscribers() const {
+    return NumSubs.load(std::memory_order_relaxed);
+  }
+  uint64_t framesPublished() const {
+    return Published.load(std::memory_order_relaxed);
+  }
+  /// Frames discarded because a subscriber's pending buffer was full
+  /// (counted once per slow subscriber per frame).
+  uint64_t framesDropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+private:
+  friend class HttpServer; // Impl subscribes/drains on the server thread.
+
+  /// Registers a subscriber; \p Waker is invoked (under no lock) after
+  /// a publish appends bytes for it.
+  uint64_t subscribe(std::function<void()> Waker);
+  /// Moves the subscriber's pending bytes into \p Out; false when the
+  /// id is unknown.
+  bool drain(uint64_t Id, std::string &Out);
+  void unsubscribe(uint64_t Id);
+
+  struct Subscriber {
+    uint64_t Id;
+    std::string Pending;
+    std::function<void()> Waker;
+  };
+  mutable std::mutex Mu;
+  std::vector<Subscriber> Subs;
+  uint64_t NextId = 1;
+  size_t MaxPendingBytes;
+  std::atomic<size_t> NumSubs{0};
+  std::atomic<uint64_t> Published{0};
+  std::atomic<uint64_t> Dropped{0};
 };
 
 /// What a handler returns; the server adds framing headers.
@@ -89,6 +171,13 @@ struct Response {
   int Status = 200;
   std::string ContentType = "text/plain; charset=utf-8";
   std::string Body;
+  /// When set, this response is a live stream: the server sends the
+  /// headers (chunked transfer on HTTP/1.1, raw bytes + close on
+  /// HTTP/1.0), writes Body as the first payload, then holds the
+  /// connection open and pushes every frame the hub publishes until
+  /// the client disconnects or the server stops.  A streaming response
+  /// is the connection's last: keep-alive does not resume after it.
+  std::shared_ptr<StreamHub> Stream;
 
   static Response text(int Status, std::string Body) {
     Response R;
@@ -100,6 +189,17 @@ struct Response {
     Response R;
     R.ContentType = "application/json; charset=utf-8";
     R.Body = std::move(Body);
+    return R;
+  }
+  /// A streaming response fed by \p Hub; \p Initial is sent immediately
+  /// (SSE handlers use it for the retry hint and a state snapshot).
+  static Response stream(std::string ContentType,
+                         std::shared_ptr<StreamHub> Hub,
+                         std::string Initial = {}) {
+    Response R;
+    R.ContentType = std::move(ContentType);
+    R.Body = std::move(Initial);
+    R.Stream = std::move(Hub);
     return R;
   }
 };
@@ -128,6 +228,11 @@ public:
 
   /// Mounts \p H at exactly \p Path.  Must be called before start().
   void handle(std::string Path, Handler H);
+
+  /// Mounts \p H for every path starting with \p Prefix ("/api/windows/"
+  /// serves per-id lookups).  Exact mounts win over prefixes; among
+  /// prefixes the longest match wins.  Must be called before start().
+  void handlePrefix(std::string Prefix, Handler H);
 
   /// Binds \p Address (see parseAddress; port 0 picks an ephemeral
   /// port — read it back with port()) and spawns the serving thread.

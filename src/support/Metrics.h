@@ -288,11 +288,23 @@ void resetAll();
     }                                                                          \
   } while (false)
 
+/// Like LIMA_METRIC_COUNT for a metric name computed at runtime (a
+/// label block varying per call, e.g. `...{path="/metrics"}`).  No
+/// static caching: every recording pays the registry lookup, so this
+/// belongs on request-rate paths, not per-event hot loops.  The name
+/// expression is not evaluated when metrics are disabled.
+#define LIMA_METRIC_COUNT_DYN(NameExpr, N)                                     \
+  do {                                                                         \
+    if (::lima::metrics::enabled())                                            \
+      ::lima::metrics::counter(NameExpr).add(N);                               \
+  } while (false)
+
 #else
 
 #define LIMA_METRIC_COUNT(NameLit, N) ((void)0)
 #define LIMA_METRIC_GAUGE_SET(NameLit, V) ((void)0)
 #define LIMA_METRIC_OBSERVE(NameLit, V, BoundsExpr) ((void)0)
+#define LIMA_METRIC_COUNT_DYN(NameExpr, N) ((void)0)
 
 #endif // LIMA_TELEMETRY
 

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/StatusServer.h"
+#include "support/Metrics.h"
 #include "support/MetricsExport.h"
 #include "support/ProcessMetrics.h"
 #include "support/Telemetry.h"
@@ -101,17 +102,35 @@ void StatusServer::addVar(std::string Key, VarProducer Producer) {
   Vars.emplace_back(std::move(Key), std::move(Producer));
 }
 
+void StatusServer::handle(std::string Path, http::HttpServer::Handler H) {
+  Server.handle(std::move(Path), std::move(H));
+}
+
+void StatusServer::handlePrefix(std::string Prefix,
+                                http::HttpServer::Handler H) {
+  Server.handlePrefix(std::move(Prefix), std::move(H));
+}
+
+void StatusServer::describeEndpoint(std::string Line) {
+  ExtraIndexLines.push_back(std::move(Line));
+}
+
 Error StatusServer::start(const std::string &Address) {
   StartWallSeconds = wallSeconds();
 
-  Server.handle("/", [](const http::Request &) {
-    return http::Response::text(
-        200, "lima status server\n"
-             "  /metrics      Prometheus text exposition\n"
-             "  /healthz      liveness probes\n"
-             "  /readyz       readiness probes\n"
-             "  /varz         build/runtime variables (JSON)\n"
-             "  /debug/spans  flight-recorder spans (Chrome trace JSON)\n");
+  Server.handle("/", [this](const http::Request &) {
+    std::string Body =
+        "lima status server\n"
+        "  /metrics      Prometheus text exposition\n"
+        "  /healthz      liveness probes\n"
+        "  /readyz       readiness probes\n"
+        "  /varz         build/runtime variables (JSON)\n"
+        "  /debug/spans  flight-recorder spans (Chrome trace JSON)\n";
+    for (const std::string &Line : ExtraIndexLines) {
+      Body += Line;
+      Body += '\n';
+    }
+    return http::Response::text(200, std::move(Body));
   });
 
   Server.handle("/metrics", [](const http::Request &) {
@@ -143,7 +162,13 @@ Error StatusServer::start(const std::string &Address) {
     Out += "  \"requests_served\": " +
            std::to_string(Server.requestsServed()) + ",\n";
     Out += "  \"flight_recorder\": " +
-           std::string(telemetry::flightRecorderEnabled() ? "true" : "false");
+           std::string(telemetry::flightRecorderEnabled() ? "true" : "false") +
+           ",\n";
+    // Whether the LIMA_METRIC_* macros were compiled in: smoke tests
+    // gate their lima_http_* assertions on this (the self-metrics
+    // series do not exist in a -DLIMA_TELEMETRY=0 build).
+    Out += "  \"telemetry_compiled\": ";
+    Out += LIMA_TELEMETRY ? "true" : "false";
     for (const auto &[Key, Producer] : Vars) {
       Out += ",\n  " + jsonString(Key) + ": " + Producer();
     }

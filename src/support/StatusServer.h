@@ -76,6 +76,24 @@ public:
   /// value; it runs on the server thread.
   void addVar(std::string Key, VarProducer Producer);
 
+  /// Mounts an application handler at exactly \p Path (the dashboard
+  /// layer in core mounts /api/windows, /events and /dashboard this
+  /// way — support cannot depend on core, so the endpoints come to the
+  /// server, not the other way around).  Register before start(); the
+  /// handler runs on the server thread and must only touch thread-safe
+  /// state, same contract as probes.
+  void handle(std::string Path, http::HttpServer::Handler H);
+
+  /// Mounts \p H for every path starting with \p Prefix (per-window
+  /// lookups under /api/windows/).  Exact mounts win; among prefixes
+  /// the longest match wins.
+  void handlePrefix(std::string Prefix, http::HttpServer::Handler H);
+
+  /// Adds one line to the "/" endpoint index ("  /dashboard    live
+  /// imbalance dashboard").  Cosmetic but keeps the index honest when
+  /// the application mounts extra endpoints.
+  void describeEndpoint(std::string Line);
+
   /// Binds and serves on \p Address ("host:port", ":port" or "port";
   /// port 0 picks an ephemeral one — read it back with address()).
   /// Mounts all endpoints, then starts the HttpServer thread.
@@ -94,6 +112,7 @@ private:
   std::vector<std::pair<std::string, Probe>> HealthProbes;
   std::vector<std::pair<std::string, Probe>> ReadyProbes;
   std::vector<std::pair<std::string, VarProducer>> Vars;
+  std::vector<std::string> ExtraIndexLines;
   uint64_t StartWallSeconds = 0;
 };
 

@@ -16,8 +16,11 @@
 #include "support/StatusServer.h"
 #include <arpa/inet.h>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <gtest/gtest.h>
+#include <sys/time.h>
 #include <netinet/in.h>
 #include <string>
 #include <sys/socket.h>
@@ -337,6 +340,258 @@ void scrapeConcurrently(unsigned Threads, unsigned RequestsPerThread) {
 TEST(HttpServerTest, ConcurrentScrape1Thread) { scrapeConcurrently(1, 16); }
 TEST(HttpServerTest, ConcurrentScrape2Threads) { scrapeConcurrently(2, 16); }
 TEST(HttpServerTest, ConcurrentScrape8Threads) { scrapeConcurrently(8, 8); }
+
+// ---- Streaming responses (the SSE transport) ---------------------------
+
+void setRecvTimeout(int Fd, int Ms) {
+  timeval Tv{Ms / 1000, (Ms % 1000) * 1000};
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+/// Reads until \p Needle appears in the accumulated bytes, the peer
+/// closes, or the receive timeout fires.
+std::string readUntil(int Fd, std::string_view Needle) {
+  std::string Out;
+  char Buf[4096];
+  while (Out.find(Needle) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  return Out;
+}
+
+/// Decodes chunked transfer framing; stops cleanly at the terminating
+/// 0-chunk or when the input ends mid-chunk (a live stream usually
+/// does).
+std::string dechunk(std::string_view Raw) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Raw.size()) {
+    size_t LineEnd = Raw.find("\r\n", Pos);
+    if (LineEnd == std::string_view::npos)
+      break;
+    size_t Len = std::strtoull(
+        std::string(Raw.substr(Pos, LineEnd - Pos)).c_str(), nullptr, 16);
+    if (Len == 0)
+      break;
+    Pos = LineEnd + 2;
+    if (Pos + Len > Raw.size())
+      break;
+    Out.append(Raw.substr(Pos, Len));
+    Pos += Len + 2; // payload + trailing CRLF
+  }
+  return Out;
+}
+
+/// Keeps receiving and re-decoding the chunked stream until the decoded
+/// payload contains \p Needle (or timeout/close).  \p Raw accumulates
+/// the wire bytes across calls.
+std::string readChunkedUntil(int Fd, std::string &Raw,
+                             std::string_view Needle) {
+  std::string Decoded = dechunk(Raw);
+  char Buf[4096];
+  while (Decoded.find(Needle) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Raw.append(Buf, static_cast<size_t>(N));
+    Decoded = dechunk(Raw);
+  }
+  return Decoded;
+}
+
+/// A server with one buffered handler and one SSE endpoint fed by a
+/// shared hub, on an ephemeral port.
+class StreamFixture {
+public:
+  explicit StreamFixture(size_t MaxPendingBytes = 1 << 20)
+      : Hub(std::make_shared<StreamHub>(MaxPendingBytes)) {
+    Server.handle("/x", [](const Request &) {
+      Response R;
+      R.Body = "plain\n";
+      return R;
+    });
+    Server.handle("/events", [this](const Request &) {
+      return Response::stream("text/event-stream", Hub, ": hello\n\n");
+    });
+    auto Err = Server.start("127.0.0.1:0");
+    EXPECT_FALSE(static_cast<bool>(Err)) << Err.message();
+  }
+
+  /// Spins until the hub sees \p N subscribers (subscription happens on
+  /// the server thread after the request parses).
+  bool waitSubscribers(size_t N, int Ms = 5000) {
+    for (int I = 0; I != Ms; ++I) {
+      if (Hub->subscribers() == N)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Hub->subscribers() == N;
+  }
+
+  HttpServer Server;
+  std::shared_ptr<StreamHub> Hub;
+};
+
+TEST(HttpStreamTest, ChunkedSseDelivery) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string Raw = readUntil(Fd, "\r\n\r\n");
+  EXPECT_NE(Raw.find("HTTP/1.1 200"), std::string::npos) << Raw;
+  EXPECT_NE(Raw.find("Content-Type: text/event-stream"), std::string::npos);
+  EXPECT_NE(Raw.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_NE(Raw.find("Connection: close"), std::string::npos);
+  EXPECT_NE(Raw.find("Cache-Control: no-cache"), std::string::npos);
+  ASSERT_TRUE(F.waitSubscribers(1));
+
+  F.Hub->publish("event: window\ndata: {\"id\":1}\n\n");
+  F.Hub->publish("event: alert\ndata: {\"id\":1,\"sid\":2.5}\n\n");
+  Raw.erase(0, Raw.find("\r\n\r\n") + 4);
+  std::string Decoded = readChunkedUntil(Fd, Raw, "\"sid\":2.5");
+
+  // Initial payload first, then the two frames, wire-exact and in
+  // publish order.
+  EXPECT_EQ(Decoded.find(": hello\n\n"), 0u) << Decoded;
+  size_t W = Decoded.find("event: window\ndata: {\"id\":1}\n\n");
+  size_t A = Decoded.find("event: alert\ndata: {\"id\":1,\"sid\":2.5}\n\n");
+  ASSERT_NE(W, std::string::npos) << Decoded;
+  ASSERT_NE(A, std::string::npos) << Decoded;
+  EXPECT_LT(W, A);
+  EXPECT_EQ(F.Hub->framesPublished(), 2u);
+  EXPECT_EQ(F.Hub->framesDropped(), 0u);
+  ::close(Fd);
+}
+
+TEST(HttpStreamTest, Http10StreamsRawBytes) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.0\r\n\r\n"));
+  std::string Head = readUntil(Fd, "\r\n\r\n");
+  EXPECT_NE(Head.find("HTTP/1.1 200"), std::string::npos) << Head;
+  EXPECT_EQ(Head.find("Transfer-Encoding"), std::string::npos) << Head;
+  EXPECT_NE(Head.find("Connection: close"), std::string::npos);
+  ASSERT_TRUE(F.waitSubscribers(1));
+  F.Hub->publish("data: raw\n\n");
+  // No chunk framing on 1.0: the frame arrives as published.
+  std::string Raw = Head.substr(Head.find("\r\n\r\n") + 4);
+  Raw += readUntil(Fd, "data: raw\n\n");
+  EXPECT_NE(Raw.find(": hello\n\ndata: raw\n\n"), std::string::npos) << Raw;
+  ::close(Fd);
+}
+
+TEST(HttpStreamTest, HeadDoesNotSubscribe) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "HEAD /events HTTP/1.1\r\n\r\n"));
+  // Headers only, then the server closes; the probe never joins the
+  // hub.
+  std::string Out = readToEof(Fd);
+  ::close(Fd);
+  EXPECT_NE(Out.find("HTTP/1.1 200"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Content-Type: text/event-stream"), std::string::npos);
+  EXPECT_EQ(Out.find(": hello"), std::string::npos) << Out;
+  EXPECT_EQ(F.Hub->subscribers(), 0u);
+}
+
+TEST(HttpStreamTest, ClientDisconnectUnsubscribes) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.1\r\n\r\n"));
+  readUntil(Fd, "\r\n\r\n");
+  ASSERT_TRUE(F.waitSubscribers(1));
+  ::close(Fd);
+  // The poll loop notices the hangup and unsubscribes; keep nudging it
+  // with publishes until the subscriber count drops.
+  bool Gone = false;
+  for (int I = 0; I != 5000 && !Gone; ++I) {
+    F.Hub->publish("data: ping\n\n");
+    Gone = F.Hub->subscribers() == 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(Gone);
+}
+
+TEST(HttpStreamTest, KeepAliveThenStream) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  // A buffered request first: the connection stays in keep-alive...
+  ASSERT_TRUE(sendAll(Fd, "GET /x HTTP/1.1\r\nHost: t\r\n\r\n"));
+  ClientResponse R;
+  ASSERT_TRUE(readResponse(Fd, R));
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Head.find("Connection: keep-alive"), std::string::npos);
+  // ...then upgrades to a stream, which is the connection's last
+  // request.
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.1\r\n\r\n"));
+  std::string Raw = readUntil(Fd, "\r\n\r\n");
+  EXPECT_NE(Raw.find("Transfer-Encoding: chunked"), std::string::npos) << Raw;
+  EXPECT_NE(Raw.find("Connection: close"), std::string::npos) << Raw;
+  ASSERT_TRUE(F.waitSubscribers(1));
+  F.Hub->publish("data: after-keepalive\n\n");
+  Raw.erase(0, Raw.find("\r\n\r\n") + 4);
+  std::string Decoded = readChunkedUntil(Fd, Raw, "after-keepalive");
+  EXPECT_NE(Decoded.find("data: after-keepalive\n\n"), std::string::npos);
+  EXPECT_EQ(F.Server.requestsServed(), 2u);
+  ::close(Fd);
+}
+
+TEST(HttpStreamTest, StopTerminatesChunkedStream) {
+  StreamFixture F;
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.1\r\n\r\n"));
+  readUntil(Fd, "\r\n\r\n");
+  ASSERT_TRUE(F.waitSubscribers(1));
+  F.Server.stop();
+  // Graceful stop flushes pending frames and sends the terminating
+  // 0-chunk so the client sees a clean end-of-stream.
+  std::string Tail = readToEof(Fd);
+  ::close(Fd);
+  EXPECT_NE(Tail.find("0\r\n\r\n"), std::string::npos) << Tail;
+}
+
+TEST(HttpStreamTest, StalledSubscriberDropsNotBuffers) {
+  // A tiny pending cap so a non-reading client trips backpressure
+  // quickly.
+  StreamFixture F(1024);
+  int Fd = connectTo(F.Server.port());
+  ASSERT_GE(Fd, 0);
+  // Shrink the client's receive window so kernel buffering cannot
+  // swallow the flood.
+  int RcvBuf = 4096;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVBUF, &RcvBuf, sizeof(RcvBuf));
+  setRecvTimeout(Fd, 5000);
+  ASSERT_TRUE(sendAll(Fd, "GET /events HTTP/1.1\r\n\r\n"));
+  readUntil(Fd, "\r\n\r\n");
+  ASSERT_TRUE(F.waitSubscribers(1));
+  // Stop reading and publish until the hub reports drops: the pending
+  // buffer must cap at MaxPendingBytes instead of growing without
+  // bound.
+  const std::string Frame = "data: " + std::string(500, 'z') + "\n\n";
+  bool Dropped = false;
+  for (int I = 0; I != 200000 && !Dropped; ++I) {
+    F.Hub->publish(Frame);
+    Dropped = F.Hub->framesDropped() > 0;
+    if (I % 256 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(Dropped);
+  ::close(Fd);
+}
 
 TEST(StatusServerTest, EndpointsServe) {
   status::StatusServer Status;

@@ -1,0 +1,222 @@
+//===- tests/WindowHistoryTest.cpp - Window-history ring tests ------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// core/WindowHistory: bounded retention (eviction order, counters),
+// summarize() equivalence against the full cube it compresses, the
+// since/limit snapshot contract, and append/snapshot races at 1, 2 and
+// 8 threads (the TSan leg turns the latter into a real race hunt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WindowHistory.h"
+#include "core/Views.h"
+#include "core/WindowedAnalysis.h"
+#include "trace/Trace.h"
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace lima;
+using namespace lima::core;
+using trace::EventKind;
+
+namespace {
+
+/// A minimal summary with a recognisable index.
+WindowSummary makeSummary(uint64_t Index) {
+  WindowSummary S;
+  S.Index = Index;
+  S.StartTime = static_cast<double>(Index);
+  S.EndTime = static_cast<double>(Index + 1);
+  S.Events = Index * 10;
+  S.ProcLoad = {1.0, 2.0};
+  S.MaxSidC = 0.5;
+  return S;
+}
+
+/// Two regions, two activities, three processors with uneven times —
+/// the same shape the windowed-analysis tests use, so every summary
+/// field is non-trivial.
+trace::Trace makeTrace() {
+  trace::Trace T(3);
+  uint32_t R0 = T.addRegion("setup");
+  uint32_t R1 = T.addRegion("solve");
+  uint32_t Comp = T.addActivity("comp");
+  uint32_t Comm = T.addActivity("comm");
+  double Durations[3] = {1.0, 1.5, 0.75};
+  for (uint32_t P = 0; P != 3; ++P) {
+    double D = Durations[P];
+    T.append({0.0, P, EventKind::RegionEnter, R0, 0});
+    T.append({0.0, P, EventKind::ActivityBegin, Comp, 0});
+    T.append({D, P, EventKind::ActivityEnd, Comp, 0});
+    T.append({D, P, EventKind::RegionExit, R0, 0});
+    T.append({D, P, EventKind::RegionEnter, R1, 0});
+    T.append({D, P, EventKind::ActivityBegin, Comm, 0});
+    T.append({D + 0.5, P, EventKind::ActivityEnd, Comm, 0});
+    T.append({D + 0.5, P, EventKind::ActivityBegin, Comp, 0});
+    T.append({2.5 + 0.25 * P, P, EventKind::ActivityEnd, Comp, 0});
+    T.append({2.5 + 0.25 * P, P, EventKind::RegionExit, R1, 0});
+  }
+  return T;
+}
+
+TEST(WindowHistoryTest, EvictsOldestInOrder) {
+  WindowHistory H(3);
+  for (uint64_t I = 0; I != 5; ++I)
+    H.append(makeSummary(I));
+
+  EXPECT_EQ(H.size(), 3u);
+  EXPECT_EQ(H.capacity(), 3u);
+  EXPECT_EQ(H.appended(), 5u);
+  EXPECT_EQ(H.evictions(), 2u);
+
+  // Windows 0 and 1 are gone; 2, 3, 4 remain in ascending order.
+  std::vector<WindowSummary> Snap = H.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_EQ(Snap[0].Index, 2u);
+  EXPECT_EQ(Snap[1].Index, 3u);
+  EXPECT_EQ(Snap[2].Index, 4u);
+  EXPECT_FALSE(H.get(0).has_value());
+  EXPECT_FALSE(H.get(1).has_value());
+  ASSERT_TRUE(H.get(4).has_value());
+  EXPECT_EQ(H.get(4)->Events, 40u);
+}
+
+TEST(WindowHistoryTest, ZeroCapacityClampsToOne) {
+  WindowHistory H(0);
+  EXPECT_EQ(H.capacity(), 1u);
+  H.append(makeSummary(0));
+  H.append(makeSummary(1));
+  EXPECT_EQ(H.size(), 1u);
+  EXPECT_EQ(H.snapshot().front().Index, 1u);
+  EXPECT_EQ(H.evictions(), 1u);
+}
+
+TEST(WindowHistoryTest, SnapshotSinceAndLimit) {
+  WindowHistory H(10);
+  for (uint64_t I = 0; I != 6; ++I)
+    H.append(makeSummary(I));
+
+  std::vector<WindowSummary> Since = H.snapshot(3);
+  ASSERT_EQ(Since.size(), 3u);
+  EXPECT_EQ(Since[0].Index, 3u);
+
+  std::vector<WindowSummary> Limited = H.snapshot(0, 2);
+  ASSERT_EQ(Limited.size(), 2u);
+  EXPECT_EQ(Limited[0].Index, 0u);
+  EXPECT_EQ(Limited[1].Index, 1u);
+
+  std::vector<WindowSummary> Both = H.snapshot(2, 2);
+  ASSERT_EQ(Both.size(), 2u);
+  EXPECT_EQ(Both[0].Index, 2u);
+  EXPECT_EQ(Both[1].Index, 3u);
+
+  EXPECT_TRUE(H.snapshot(100).empty());
+}
+
+TEST(WindowHistoryTest, NamesSetOnceFromFirstResult) {
+  WindowHistory H(4);
+  H.setNames({"a", "b"}, {"x"});
+  // Second set is a no-op once entries exist with the first names.
+  H.append(makeSummary(0));
+  H.setNames({"other"}, {"names"});
+  EXPECT_EQ(H.regionNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(H.activityNames(), (std::vector<std::string>{"x"}));
+}
+
+TEST(WindowHistoryTest, SummarizeMatchesCube) {
+  trace::Trace T = makeTrace();
+  WindowedOptions Opts;
+  Opts.WindowSeconds = 1.0;
+  WindowedAnalyzer A(T.regionNames(), T.activityNames(), T.numProcs(), Opts);
+  ASSERT_FALSE(A.addTrace(T));
+  std::vector<WindowResult> Windows = A.finish();
+  ASSERT_GE(Windows.size(), 2u);
+
+  WindowHistory H(16);
+  for (const WindowResult &W : Windows)
+    H.appendResult(W, /*DroppedRecords=*/7);
+
+  EXPECT_EQ(H.regionNames(), T.regionNames());
+  EXPECT_EQ(H.activityNames(), T.activityNames());
+
+  for (const WindowResult &W : Windows) {
+    std::optional<WindowSummary> SOpt = H.get(W.Index);
+    ASSERT_TRUE(SOpt.has_value()) << "window " << W.Index;
+    const WindowSummary &S = *SOpt;
+
+    EXPECT_EQ(S.StartTime, W.StartTime);
+    EXPECT_EQ(S.EndTime, W.EndTime);
+    EXPECT_EQ(S.Events, W.Events);
+    EXPECT_EQ(S.Empty, W.Empty);
+    EXPECT_EQ(S.DroppedRecords, 7u);
+
+    // Per-processor load: bitwise equal to the cube column sums (same
+    // additions in the same order).
+    ASSERT_EQ(S.ProcLoad.size(), W.Cube.numProcs());
+    for (unsigned P = 0; P != W.Cube.numProcs(); ++P) {
+      double Sum = 0.0;
+      for (size_t I = 0; I != W.Cube.numRegions(); ++I)
+        for (size_t J = 0; J != W.Cube.numActivities(); ++J)
+          Sum += W.Cube.time(I, J, P);
+      EXPECT_EQ(S.ProcLoad[P], Sum) << "proc " << P;
+    }
+
+    // Dispersion indices are copies of the result's views.
+    EXPECT_EQ(S.RegionIdC, W.Regions.Index);
+    EXPECT_EQ(S.RegionSidC, W.Regions.ScaledIndex);
+    EXPECT_EQ(S.ActivityIdA, W.Activities.Index);
+    EXPECT_EQ(S.ActivitySidA, W.Activities.ScaledIndex);
+    EXPECT_EQ(S.TopRegion, W.Regions.MostImbalancedScaled);
+    EXPECT_EQ(S.TopActivity, W.Activities.MostImbalancedScaled);
+    EXPECT_EQ(S.MostImbalancedProc, W.Processors.MostFrequentlyImbalanced);
+    double MaxSid = 0.0;
+    for (double V : W.Regions.ScaledIndex)
+      MaxSid = std::max(MaxSid, V);
+    EXPECT_EQ(S.MaxSidC, MaxSid);
+  }
+}
+
+/// One writer appending, \p Readers threads snapshotting and point-
+/// reading concurrently.  Under TSan this is the race hunt; under the
+/// normal build it checks the counters and bounds stay coherent.
+void raceAppendAndSnapshot(unsigned Readers) {
+  WindowHistory H(32);
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Pool;
+  for (unsigned R = 0; R != Readers; ++R)
+    Pool.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        std::vector<WindowSummary> Snap = H.snapshot(0, 8);
+        if (Snap.size() > 8)
+          Failures.fetch_add(1);
+        // Ascending, contiguous indices within one snapshot.
+        for (size_t I = 1; I < Snap.size(); ++I)
+          if (Snap[I].Index != Snap[I - 1].Index + 1)
+            Failures.fetch_add(1);
+        if (H.size() > 32)
+          Failures.fetch_add(1);
+        (void)H.get(H.appended() / 2);
+      }
+    });
+  for (uint64_t I = 0; I != 2000; ++I)
+    H.append(makeSummary(I));
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(H.appended(), 2000u);
+  EXPECT_EQ(H.evictions(), 2000u - 32u);
+  EXPECT_EQ(H.size(), 32u);
+}
+
+TEST(WindowHistoryTest, ConcurrentReads1Thread) { raceAppendAndSnapshot(1); }
+TEST(WindowHistoryTest, ConcurrentReads2Threads) { raceAppendAndSnapshot(2); }
+TEST(WindowHistoryTest, ConcurrentReads8Threads) { raceAppendAndSnapshot(8); }
+
+} // namespace

@@ -58,7 +58,10 @@ RECORD = {"name": str, "threads": int, "events": int,
 
 HTTP = {"series": int, "render_wall_ms": float, "render_target_ms": float,
         "render_ok": bool, "scrape_requests": int,
-        "scrape_p50_ms": float, "scrape_p99_ms": float}
+        "scrape_p50_ms": float, "scrape_p99_ms": float,
+        "sse_subscribers": int, "sse_frames": int, "sse_wall_ms": float,
+        "sse_fanout_frames_per_s": float,
+        "history_windows": int, "history_render_wall_ms": float}
 
 
 def fail(msg):
@@ -139,6 +142,10 @@ def validate(doc, path):
         fail(f"http.series: expected >= 1, got {http['series']!r}")
     if http["scrape_p50_ms"] > http["scrape_p99_ms"]:
         fail("http: scrape_p50_ms exceeds scrape_p99_ms")
+    if http["sse_subscribers"] < 1 or http["sse_frames"] < 1:
+        fail("http: SSE fan-out leg ran with no subscribers or frames")
+    if http["history_windows"] < 1:
+        fail("http: history render leg ran over an empty ring")
 
     if not doc["records"]:
         fail("records: empty")
