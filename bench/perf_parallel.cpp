@@ -24,7 +24,11 @@
 // comparing the v1 sequential binary reader against the v2
 // block-indexed reader at one thread and at the hardware thread count
 // (events/s, MB/s, and the on-disk index overhead, which must stay
-// under 2% of the file), and an "http" object costing
+// under 2% of the file), a "streaming_write" object comparing the
+// buffered serialize-then-save path against the crash-consistent
+// streaming writer (wall time, events/s, and the writer's peak
+// buffered bytes, which must stay a small fraction of the file — the
+// O(one block) memory claim), and an "http" object costing
 // the status server's /metrics exposition (render wall time over ~200
 // labeled series plus loopback scrape latency under writer load).
 // Every parallel result is checked bit-identical to its serial twin
@@ -59,6 +63,7 @@
 #include <arpa/inet.h>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <netinet/in.h>
 #include <string>
 #include <sys/socket.h>
@@ -701,12 +706,80 @@ int main(int Argc, char **Argv) {
       ", \"index_overhead_ok\": " + (IndexOverheadOk ? "true" : "false") +
       "}";
 
+  // --- Streaming write -------------------------------------------------
+  // The crash-consistent streaming writer against the buffered
+  // serialize-then-save path, same trace, same destination file.  The
+  // streamed file costs one pwrite per block plus a header patch; in
+  // exchange its memory stays bounded by one open block, where the
+  // buffered path materializes the whole serialized file.  The memory
+  // target is structural, not relative to the trace: peak buffered
+  // bytes must stay under one block's worst-case encoding (24 bytes per
+  // event — f64 time, kind byte, max varint id and bytes), whatever the
+  // trace size.
+  std::string StreamPath = Parser.getString("out") + ".stream.limb";
+  double BufferedWriteMs =
+      timeMs(Reps, [&] { ExitOnErr(trace::saveTraceBinary(T, StreamPath)); });
+  double StreamedWriteMs = timeMs(Reps, [&] {
+    ExitOnErr(trace::StreamingBinaryWriter::writeTrace(T, StreamPath));
+  });
+  size_t StreamBytes = 0;
+  size_t PeakBuffered = 0;
+  {
+    trace::StreamingBinaryWriter W;
+    ExitOnErr(W.open(StreamPath, T.regionNames(), T.activityNames(),
+                     static_cast<uint32_t>(T.numProcs())));
+    for (unsigned P = 0; P != T.numProcs(); ++P)
+      for (const trace::Event &E : T.events(P)) {
+        ExitOnErr(W.append(E));
+        PeakBuffered = std::max(PeakBuffered, W.bufferedBytes());
+      }
+    ExitOnErr(W.close());
+    StreamBytes = cantFail(readFile(StreamPath)).size();
+  }
+  std::remove(StreamPath.c_str());
+  auto writeLeg = [&](const char *Name, double WallMs, double BaseMs) {
+    double EventsPerS = WallMs > 0.0 ? Events / (WallMs / 1e3) : 0.0;
+    double MbPerS =
+        WallMs > 0.0 ? StreamBytes / 1e6 / (WallMs / 1e3) : 0.0;
+    double Relative = BaseMs > 0.0 ? WallMs / BaseMs : 0.0;
+    OS << "write " << leftJustify(Name, 10) << formatFixed(WallMs, 2)
+       << " ms, " << formatFixed(EventsPerS / 1e6, 2) << " Mevents/s, "
+       << formatFixed(MbPerS, 1) << " MB/s, " << formatFixed(Relative, 2)
+       << "x buffered wall\n";
+    return "{\"wall_ms\": " + formatFixed(WallMs, 3) +
+           ", \"events_per_s\": " + formatFixed(EventsPerS, 0) +
+           ", \"mb_per_s\": " + formatFixed(MbPerS, 2) +
+           ", \"vs_buffered\": " + formatFixed(Relative, 3) + "}";
+  };
+  OS << '\n';
+  std::string BufferedWriteJson =
+      writeLeg("buffered", BufferedWriteMs, BufferedWriteMs);
+  std::string StreamedWriteJson =
+      writeLeg("streamed", StreamedWriteMs, BufferedWriteMs);
+  constexpr size_t MaxEventEncodedBytes = 24;
+  size_t BlockBoundBytes =
+      trace::BinaryWriteOptions{}.BlockEvents * MaxEventEncodedBytes;
+  bool PeakBufferedOk = PeakBuffered <= BlockBoundBytes;
+  OS << "write peak buffered " << PeakBuffered
+     << " bytes (one-block bound " << BlockBoundBytes
+     << ": " << (PeakBufferedOk ? "PASS" : "FAIL") << ")\n";
+  std::string StreamingWriteJson =
+      "{\"events\": " + std::to_string(Events) +
+      ", \"bytes\": " + std::to_string(StreamBytes) +
+      ", \"buffered\": " + BufferedWriteJson +
+      ", \"streamed\": " + StreamedWriteJson +
+      ", \"peak_buffered_bytes\": " + std::to_string(PeakBuffered) +
+      ", \"block_bound_bytes\": " + std::to_string(BlockBoundBytes) +
+      ", \"peak_buffered_ok\": " + (PeakBufferedOk ? "true" : "false") +
+      "}";
+
   bench::JsonFields Extra = {
       {"parse", "{\"events\": " + std::to_string(Events) +
                     ", \"text\": " + TextParseJson +
                     ", \"binary\": " + BinaryParseJson + "}"},
       {"ingest", IngestJson},
       {"binary_ingest", BinaryIngestJson},
+      {"streaming_write", StreamingWriteJson},
       {"telemetry",
        std::string("{\"compiled\": ") +
            (LIMA_TELEMETRY ? "true" : "false") +

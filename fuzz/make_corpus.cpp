@@ -26,6 +26,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 using namespace lima;
@@ -204,6 +205,29 @@ int main(int Argc, char **Argv) {
   std::string BadCrc = V2;
   BadCrc[indexStart(V2) / 2] ^= 0x40;
   Ok &= write(BinDir / "bad-block-crc.limb", BadCrc);
+
+  // --- LIMB v2 streamed crash prefixes --------------------------------
+  // The streaming writer's crash contract: a file cut at any point must
+  // salvage exactly the flushed prefix.  Three cuts steer the fuzzer at
+  // the interesting shapes — mid-payload (partial block dropped),
+  // payload complete but index missing (fallback walk recovers all),
+  // and a clipped index (footer gone with it).
+  fs::path StreamedPath = BinDir / "valid-streamed.limb";
+  if (Error Err = trace::StreamingBinaryWriter::writeTrace(
+          T, StreamedPath.string(), SmallBlocks)) {
+    std::fprintf(stderr, "error: streamed seed: %s\n",
+                 Err.message().c_str());
+    return 1;
+  }
+  std::ifstream StreamedIn(StreamedPath, std::ios::binary);
+  std::string Streamed((std::istreambuf_iterator<char>(StreamedIn)),
+                       std::istreambuf_iterator<char>());
+  Ok &= write(BinDir / "streamed-crash-midblock.limb",
+              Streamed.substr(0, indexStart(Streamed) / 2));
+  Ok &= write(BinDir / "streamed-crash-noindex.limb",
+              Streamed.substr(0, indexStart(Streamed)));
+  Ok &= write(BinDir / "streamed-crash-midindex.limb",
+              Streamed.substr(0, Streamed.size() - FooterSize - 3));
 
   // --- Cube CSV -------------------------------------------------------
   core::ReductionOptions Reduction;

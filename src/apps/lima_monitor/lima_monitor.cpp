@@ -17,6 +17,16 @@
 //   lima_monitor run.trace --window 0.5 --follow
 //   cfd_sim | lima_monitor - --window 1 --log-json --metrics-out m.prom
 //
+// The monitor is built to outlive the trace file's lifecycle.  While
+// following it detects rotation (new inode at the path) and in-place
+// truncation (copytruncate), finishes the old segment's windows and
+// keeps going on the new one; window numbering stays monotonic across
+// segments.  --checkpoint persists that numbering durably so a
+// restarted monitor replays the file without re-reporting windows it
+// already emitted.  Transient I/O trouble — EINTR, ENOSPC on a metrics
+// or checkpoint dump, a rotation race — degrades to a warning and a
+// retry, never an exit.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Dashboard.h"
@@ -25,11 +35,14 @@
 #include "stats/Dispersion.h"
 #include "support/CommandLine.h"
 #include "support/CrashDump.h"
+#include "support/FaultInjection.h"
+#include "support/FileUtils.h"
 #include "support/Format.h"
 #include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/MetricsExport.h"
 #include "support/ProcessMetrics.h"
+#include "support/Retry.h"
 #include "support/StatusServer.h"
 #include "support/Telemetry.h"
 #include "support/Version.h"
@@ -39,9 +52,11 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <optional>
+#include <sys/stat.h>
 #include <thread>
 #include <unistd.h>
 
@@ -141,7 +156,13 @@ void dumpMetrics(const MonitorOptions &Opts) {
     errs().flush();
     return;
   }
-  if (auto Err = metrics::writeMetricsFile(Opts.MetricsOut))
+  // A full disk (ENOSPC) is the classic way a long-lived monitor dies;
+  // instead the dump backs off, retries, and on exhaustion logs and
+  // carries on — the next dump gets another chance.
+  Error Err = retry::withBackoff(
+      retry::BackoffPolicy{}, "monitor.metrics_dump",
+      [&] { return metrics::writeMetricsFile(Opts.MetricsOut); });
+  if (Err)
     logging::error("metrics write failed",
                    {logging::field("path", Opts.MetricsOut),
                     logging::field("error", Err.message())});
@@ -183,6 +204,11 @@ int main(int Argc, char **Argv) {
   Parser.addOption("metrics-out",
                    "write Prometheus text exposition here on exit (and on "
                    "SIGUSR1); without it SIGUSR1 dumps to stderr",
+                   "");
+  Parser.addOption("checkpoint",
+                   "persist window progress here (atomically, fsynced) "
+                   "after each report; on restart the trace is replayed "
+                   "without re-reporting checkpointed windows",
                    "");
   Parser.addOption("min-windows",
                    "exit nonzero unless at least this many windows were "
@@ -292,11 +318,19 @@ int main(int Argc, char **Argv) {
   uint64_t IdleExitMs = Parser.getUnsigned("idle-exit-ms");
 
   int Fd = 0;
+  dev_t OpenDev = 0;
+  ino_t OpenIno = 0;
+  uint64_t Consumed = 0; ///< Bytes read from the current descriptor.
   if (!Stdin) {
     Fd = ::open(Path.c_str(), O_RDONLY);
     if (Fd < 0)
       ExitOnErr(makeStringError("cannot open '%s': %s", Path.c_str(),
                                 std::strerror(errno)));
+    struct stat St;
+    if (::fstat(Fd, &St) == 0) {
+      OpenDev = St.st_dev;
+      OpenIno = St.st_ino;
+    }
   }
   // sigaction without SA_RESTART: std::signal on glibc restarts a
   // blocking read() after the handler runs, deferring the metrics dump
@@ -321,7 +355,8 @@ int main(int Argc, char **Argv) {
   ::sigaction(SIGTERM, &StopAction, nullptr);
   ::sigaction(SIGINT, &StopAction, nullptr);
 
-  trace::StreamParser Stream(Parse);
+  std::optional<trace::StreamParser> Stream;
+  Stream.emplace(Parse);
   std::optional<core::WindowedAnalyzer> Analyzer;
   core::WindowedOptions WOpts;
   WOpts.WindowSeconds = WindowSeconds;
@@ -337,17 +372,73 @@ int main(int Argc, char **Argv) {
   // Lenient-mode drops already attributed to a reported window; the
   // delta since the last drain rides on each batch's first window.
   uint64_t AttributedDrops = 0;
+  // Events parsed by segments already finished (rotated away).
+  uint64_t EventsParsedPrior = 0;
+
+  // Windows are numbered globally and monotonically across file
+  // segments: each rotation/truncation restarts the analyzer (the new
+  // segment has its own t = 0), and its window k becomes global window
+  // WindowIndexBase + k.  LastReported is the newest global index ever
+  // reported (-1 before the first); the checkpoint persists both so a
+  // restarted monitor can replay the file — reconstructing its state
+  // deterministically — while suppressing the re-report of windows a
+  // previous run already emitted.
+  const std::string CheckpointPath = Parser.getString("checkpoint");
+  uint64_t WindowIndexBase = 0;
+  int64_t LastReported = -1;
+  {
+    struct stat CkSt;
+    if (!CheckpointPath.empty() && ::stat(CheckpointPath.c_str(), &CkSt) == 0) {
+      std::string Body = ExitOnErr(readFile(CheckpointPath));
+      unsigned long long Base = 0, Emitted = 0;
+      long long Last = 0;
+      if (std::sscanf(Body.c_str(),
+                      "LIMACKPT 1\nbase %llu\nreported %lld\nemitted %llu",
+                      &Base, &Last, &Emitted) != 3)
+        ExitOnErr(makeStringError("malformed checkpoint '%s' (delete it to "
+                                  "start over)",
+                                  CheckpointPath.c_str()));
+      WindowIndexBase = Base;
+      LastReported = Last;
+      WindowsEmitted.store(Emitted, std::memory_order_relaxed);
+      logging::info("checkpoint restored",
+                    {logging::field("path", CheckpointPath),
+                     logging::field("last_window", static_cast<int64_t>(Last)),
+                     logging::field("windows",
+                                    static_cast<uint64_t>(Emitted))});
+    }
+  }
+
+  auto writeCheckpoint = [&] {
+    if (CheckpointPath.empty())
+      return;
+    std::string Body =
+        "LIMACKPT 1\nbase " + std::to_string(WindowIndexBase) + "\nreported " +
+        std::to_string(LastReported) + "\nemitted " +
+        std::to_string(WindowsEmitted.load(std::memory_order_relaxed)) + "\n";
+    // Durable (temp fsync + dir fsync) and retried: a lost checkpoint
+    // means double-reported windows after a restart.  Still never
+    // fatal — on exhaustion the monitor warns and keeps monitoring.
+    Error Err =
+        retry::withBackoff(retry::BackoffPolicy{}, "monitor.checkpoint", [&] {
+          return writeFileAtomic(CheckpointPath, Body, Durability::Full);
+        });
+    if (Err)
+      logging::warn("checkpoint write failed",
+                    {logging::field("path", CheckpointPath),
+                     logging::field("error", Err.message())});
+  };
 
   auto consumeEvents = [&]() {
     for (const trace::Event &E : Events) {
       if (!Analyzer) {
         // First event: the header tables are complete (declarations
         // precede events in the format), size the analyzer from them.
-        if (Stream.regionNames().empty() || Stream.activityNames().empty())
+        if (Stream->regionNames().empty() || Stream->activityNames().empty())
           ExitOnErr(makeStringError("trace declares no regions or "
                                     "activities; nothing to monitor"));
-        Analyzer.emplace(Stream.regionNames(), Stream.activityNames(),
-                         Stream.numProcs(), WOpts);
+        Analyzer.emplace(Stream->regionNames(), Stream->activityNames(),
+                         Stream->numProcs(), WOpts);
       }
       ExitOnErr(Analyzer->addEvent(E));
       metrics::counter("lima.monitor.events_total").add(1);
@@ -362,10 +453,19 @@ int main(int Argc, char **Argv) {
     uint64_t DropDelta = NowDropped - AttributedDrops;
     if (!Done.empty())
       AttributedDrops = NowDropped;
-    for (const core::WindowResult &W : Done) {
+    bool Reported = false;
+    for (core::WindowResult &W : Done) {
+      W.Index += WindowIndexBase;
+      if (static_cast<int64_t>(W.Index) <= LastReported) {
+        // Replaying a window a previous run already reported.
+        metrics::counter("lima.monitor.windows_suppressed_total").add(1);
+        continue;
+      }
       reportWindow(W, Monitor, DropDelta);
       DropDelta = 0;
+      LastReported = static_cast<int64_t>(W.Index);
       ++WindowsEmitted;
+      Reported = true;
     }
     if (!Done.empty()) {
       double Sec = std::chrono::duration<double>(
@@ -380,6 +480,54 @@ int main(int Argc, char **Argv) {
     if (Parse.Report)
       DroppedRecords.store(Parse.Report->DroppedRecords,
                            std::memory_order_relaxed);
+    if (Reported)
+      writeCheckpoint();
+  };
+
+  // Flushes every window the current analyzer still holds (its stream
+  // has ended — final EOF or a retired segment).
+  auto reportRemaining = [&] {
+    if (!Analyzer)
+      return;
+    uint64_t NowDropped = Parse.Report ? Parse.Report->DroppedRecords : 0;
+    uint64_t DropDelta = NowDropped - AttributedDrops;
+    AttributedDrops = NowDropped;
+    bool Reported = false;
+    for (core::WindowResult &W : Analyzer->finish()) {
+      W.Index += WindowIndexBase;
+      if (static_cast<int64_t>(W.Index) <= LastReported) {
+        metrics::counter("lima.monitor.windows_suppressed_total").add(1);
+        continue;
+      }
+      reportWindow(W, Monitor, DropDelta);
+      DropDelta = 0;
+      LastReported = static_cast<int64_t>(W.Index);
+      ++WindowsEmitted;
+      Reported = true;
+    }
+    if (Reported)
+      writeCheckpoint();
+  };
+
+  // Retires the current file segment (it was rotated away or truncated
+  // under us) and prepares for the next: the old segment's windows are
+  // flushed, then parser and analyzer restart — the new segment has its
+  // own header and its own t = 0 — with window numbering continuing
+  // from where the old segment left off.
+  auto beginSegment = [&](const char *Reason) {
+    ExitOnErr(Stream->finish(Events));
+    consumeEvents();
+    reportRemaining();
+    WindowIndexBase = static_cast<uint64_t>(LastReported + 1);
+    EventsParsedPrior += Stream->eventsParsed();
+    Analyzer.reset();
+    Stream.emplace(Parse);
+    metrics::counter(std::string("lima.reopen_total{reason=\"") + Reason +
+                     "\"}")
+        .add(1);
+    // A restart from here replays the *new* file, so the checkpoint
+    // must carry the new segment's base immediately.
+    writeCheckpoint();
   };
 
   status::StatusServer Status;
@@ -436,44 +584,104 @@ int main(int Argc, char **Argv) {
     }
     if (StopRequested)
       break;
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    // EINTR retries in place — unless a signal flagged work above, in
+    // which case the loop must come back around to service it (the
+    // handlers are installed without SA_RESTART for exactly this).
+    ssize_t N = retry::retryEintr(
+        [&] { return fault::read("monitor.read", Fd, Buf, sizeof(Buf)); },
+        [] { return DumpRequested != 0 || StopRequested != 0; });
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      if (retry::isTransientErrno(errno)) {
+        logging::warn("transient read error, retrying",
+                      {logging::field("error", std::strerror(errno))});
+        std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+        continue;
+      }
       ExitOnErr(makeStringError("read failed: %s", std::strerror(errno)));
     }
     if (N == 0) {
-      // EOF.  A pipe's EOF is final; a followed file may grow.
+      // EOF.  A pipe's EOF is final; a followed file may grow, be
+      // rotated to a new inode, or be truncated in place.
       if (!Follow || Stdin)
         break;
       if (IdleExitMs != 0 && IdleMs >= IdleExitMs)
         break;
+      struct stat PathSt;
+      if (::stat(Path.c_str(), &PathSt) != 0) {
+        // Mid-rotation gap: the path is briefly gone.  Keep polling —
+        // the retired descriptor stays valid meanwhile.
+        std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+        IdleMs += IntervalMs;
+        continue;
+      }
+      if (PathSt.st_dev != OpenDev || PathSt.st_ino != OpenIno) {
+        // Rotated: a different file sits at the path.  Open it first —
+        // only a successful open retires the old segment, so transient
+        // open failures (EMFILE, another rotation race) just retry on
+        // the next poll with nothing lost.
+        int NewFd;
+        if (fault::Fault F = fault::check("monitor.open")) {
+          errno = F.errnoValue() ? F.errnoValue() : EIO;
+          NewFd = -1;
+        } else {
+          NewFd = ::open(Path.c_str(), O_RDONLY);
+        }
+        if (NewFd < 0) {
+          logging::warn("reopen after rotation failed, retrying",
+                        {logging::field("path", Path),
+                         logging::field("error", std::strerror(errno))});
+          std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+          IdleMs += IntervalMs;
+          continue;
+        }
+        beginSegment("rotate");
+        ::close(Fd);
+        Fd = NewFd;
+        struct stat NewSt;
+        if (::fstat(Fd, &NewSt) == 0) {
+          OpenDev = NewSt.st_dev;
+          OpenIno = NewSt.st_ino;
+        }
+        Consumed = 0;
+        IdleMs = 0;
+        logging::info("trace rotated, following new file",
+                      {logging::field("path", Path)});
+        continue;
+      }
+      if (static_cast<uint64_t>(PathSt.st_size) < Consumed) {
+        // Truncated in place (copytruncate rotation): same inode,
+        // fewer bytes than we consumed.  Start over from byte 0.
+        beginSegment("truncate");
+        if (::lseek(Fd, 0, SEEK_SET) < 0)
+          ExitOnErr(makeStringError("seek after truncation failed: %s",
+                                    std::strerror(errno)));
+        Consumed = 0;
+        IdleMs = 0;
+        logging::info("trace truncated, restarting from start",
+                      {logging::field("path", Path)});
+        continue;
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
       IdleMs += IntervalMs;
       continue;
     }
     IdleMs = 0;
+    Consumed += static_cast<uint64_t>(N);
     {
       LIMA_SPAN("monitor.feed");
-      ExitOnErr(Stream.feed(std::string_view(Buf, static_cast<size_t>(N)),
-                            Events));
+      ExitOnErr(Stream->feed(std::string_view(Buf, static_cast<size_t>(N)),
+                             Events));
     }
     consumeEvents();
     outs().flush();
   }
 
-  ExitOnErr(Stream.finish(Events));
+  ExitOnErr(Stream->finish(Events));
   consumeEvents();
-  if (Analyzer) {
-    uint64_t NowDropped = Parse.Report ? Parse.Report->DroppedRecords : 0;
-    uint64_t DropDelta = NowDropped - AttributedDrops;
-    AttributedDrops = NowDropped;
-    for (const core::WindowResult &W : Analyzer->finish()) {
-      reportWindow(W, Monitor, DropDelta);
-      DropDelta = 0;
-      ++WindowsEmitted;
-    }
-  }
+  reportRemaining();
+  writeCheckpoint();
   if (!Stdin)
     ::close(Fd);
 
@@ -485,7 +693,8 @@ int main(int Argc, char **Argv) {
   logging::info("stream complete",
                 {logging::field("windows",
                                 WindowsEmitted.load(std::memory_order_relaxed)),
-                 logging::field("events", Stream.eventsParsed()),
+                 logging::field("events",
+                                EventsParsedPrior + Stream->eventsParsed()),
                  logging::field("span",
                                 Analyzer ? Analyzer->spanEnd() : 0.0)});
   outs().flush();

@@ -1,0 +1,285 @@
+//===- support/FaultInjection.cpp - Deterministic I/O fault shim ----------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/Metrics.h"
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace lima;
+using namespace lima::fault;
+
+int Fault::errnoValue() const {
+  switch (K) {
+  case Eintr:
+    return EINTR;
+  case Eagain:
+    return EAGAIN;
+  case Enospc:
+    return ENOSPC;
+  case Emfile:
+    return EMFILE;
+  case Enoent:
+    return ENOENT;
+  case Eio:
+    return EIO;
+  case None:
+  case ShortIo:
+    return 0;
+  }
+  return 0;
+}
+
+std::string_view fault::kindName(Fault::Kind K) {
+  switch (K) {
+  case Fault::None:
+    return "none";
+  case Fault::Eintr:
+    return "eintr";
+  case Fault::Eagain:
+    return "eagain";
+  case Fault::Enospc:
+    return "enospc";
+  case Fault::Emfile:
+    return "emfile";
+  case Fault::Enoent:
+    return "enoent";
+  case Fault::Eio:
+    return "eio";
+  case Fault::ShortIo:
+    return "short";
+  }
+  return "none";
+}
+
+namespace {
+
+/// One parsed spec entry.  Calls count per rule; the rule fires from
+/// call SkipCalls+1 for FireCalls calls (UINT64_MAX = forever).
+struct Rule {
+  std::string Site;
+  Fault::Kind Kind = Fault::None;
+  uint64_t SkipCalls = 0;
+  uint64_t FireCalls = 1;
+  uint64_t Seen = 0;
+  uint64_t Fired = 0;
+  /// Fire probability in [0,100]; 100 = always.
+  unsigned Percent = 100;
+};
+
+struct Schedule {
+  std::mutex Mutex;
+  std::vector<Rule> Rules;
+  uint64_t Injected = 0;
+  uint64_t Rng = 1;
+};
+
+Schedule &schedule() {
+  static Schedule S;
+  return S;
+}
+
+uint64_t xorshift(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+bool parseKind(std::string_view Name, Fault::Kind &Out) {
+  for (Fault::Kind K :
+       {Fault::Eintr, Fault::Eagain, Fault::Enospc, Fault::Emfile,
+        Fault::Enoent, Fault::Eio, Fault::ShortIo})
+    if (Name == kindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+bool parseUint(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+/// Installs the spec from the environment before main() runs, so every
+/// tool picks it up with no per-tool wiring.  A malformed spec must not
+/// silently disable a fault run: warn loudly and keep going disarmed.
+struct EnvInit {
+  EnvInit() {
+    const char *Spec = std::getenv("LIMA_FAULTS");
+    if (!Spec || !*Spec)
+      return;
+    uint64_t Seed = 1;
+    if (const char *SeedStr = std::getenv("LIMA_FAULTS_SEED"))
+      (void)parseUint(SeedStr, Seed);
+    if (Error Err = configure(Spec, Seed))
+      std::fprintf(stderr, "lima: ignoring LIMA_FAULTS: %s\n",
+                   Err.message().c_str());
+  }
+};
+EnvInit TheEnvInit;
+
+} // namespace
+
+std::atomic<bool> fault::detail::Armed{false};
+
+Error fault::configure(std::string_view Spec, uint64_t Seed) {
+  std::vector<Rule> Rules;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Entry = Spec.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    Pos = Comma == std::string_view::npos ? Spec.size() : Comma + 1;
+    if (Entry.empty())
+      continue;
+
+    Rule R;
+    size_t Colon = Entry.find(':');
+    if (Colon == std::string_view::npos || Colon == 0)
+      return makeCodedError(ErrorCode::MalformedRecord,
+                            "fault spec entry '%.*s' has no ':kind'",
+                            static_cast<int>(Entry.size()), Entry.data());
+    R.Site = std::string(Entry.substr(0, Colon));
+    std::string_view Rest = Entry.substr(Colon + 1);
+
+    size_t Tilde = Rest.find('~');
+    if (Tilde != std::string_view::npos) {
+      uint64_t Pct = 0;
+      if (!parseUint(Rest.substr(Tilde + 1), Pct) || Pct > 100)
+        return makeCodedError(ErrorCode::MalformedRecord,
+                              "fault spec '%s': bad probability",
+                              R.Site.c_str());
+      R.Percent = static_cast<unsigned>(Pct);
+      Rest = Rest.substr(0, Tilde);
+    }
+    size_t X = Rest.find('x');
+    if (X != std::string_view::npos) {
+      std::string_view Count = Rest.substr(X + 1);
+      if (Count == "*") {
+        R.FireCalls = UINT64_MAX;
+      } else if (!parseUint(Count, R.FireCalls) || R.FireCalls == 0) {
+        return makeCodedError(ErrorCode::MalformedRecord,
+                              "fault spec '%s': bad repeat count",
+                              R.Site.c_str());
+      }
+      Rest = Rest.substr(0, X);
+    }
+    size_t At = Rest.find('@');
+    if (At != std::string_view::npos) {
+      uint64_t Nth = 0;
+      if (!parseUint(Rest.substr(At + 1), Nth) || Nth == 0)
+        return makeCodedError(ErrorCode::MalformedRecord,
+                              "fault spec '%s': bad call index",
+                              R.Site.c_str());
+      R.SkipCalls = Nth - 1;
+      Rest = Rest.substr(0, At);
+    }
+    if (!parseKind(Rest, R.Kind))
+      return makeCodedError(ErrorCode::MalformedRecord,
+                            "fault spec '%s': unknown kind '%.*s'",
+                            R.Site.c_str(), static_cast<int>(Rest.size()),
+                            Rest.data());
+    Rules.push_back(std::move(R));
+  }
+
+  Schedule &S = schedule();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Rules = std::move(Rules);
+  S.Injected = 0;
+  S.Rng = Seed ? Seed : 1;
+  detail::Armed.store(!S.Rules.empty(), std::memory_order_relaxed);
+  return Error::success();
+}
+
+void fault::reset() {
+  Schedule &S = schedule();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Rules.clear();
+  S.Injected = 0;
+  detail::Armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t fault::injectedTotal() {
+  Schedule &S = schedule();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  return S.Injected;
+}
+
+Fault fault::detail::checkSlow(const char *Site) {
+  Schedule &S = schedule();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  for (Rule &R : S.Rules) {
+    if (R.Site != Site)
+      continue;
+    ++R.Seen;
+    if (R.Seen <= R.SkipCalls)
+      continue;
+    if (R.FireCalls != UINT64_MAX && R.Fired >= R.FireCalls)
+      continue;
+    if (R.Percent < 100 && xorshift(S.Rng) % 100 >= R.Percent)
+      continue;
+    ++R.Fired;
+    ++S.Injected;
+    metrics::counter(std::string("lima.faults.injected_total{site=\"") +
+                     Site + "\"}")
+        .add(1);
+    return Fault{R.Kind};
+  }
+  return Fault{};
+}
+
+ssize_t fault::read(const char *Site, int Fd, void *Buf, size_t Len) {
+  if (Fault F = check(Site)) {
+    if (F.K == Fault::ShortIo)
+      Len = std::max<size_t>(1, Len / 2);
+    else {
+      errno = F.errnoValue();
+      return -1;
+    }
+  }
+  return ::read(Fd, Buf, Len);
+}
+
+ssize_t fault::write(const char *Site, int Fd, const void *Buf, size_t Len) {
+  if (Fault F = check(Site)) {
+    if (F.K == Fault::ShortIo)
+      Len = std::max<size_t>(1, Len / 2);
+    else {
+      errno = F.errnoValue();
+      return -1;
+    }
+  }
+  return ::write(Fd, Buf, Len);
+}
+
+ssize_t fault::pwrite(const char *Site, int Fd, const void *Buf, size_t Len,
+                      off_t Offset) {
+  if (Fault F = check(Site)) {
+    if (F.K == Fault::ShortIo)
+      Len = std::max<size_t>(1, Len / 2);
+    else {
+      errno = F.errnoValue();
+      return -1;
+    }
+  }
+  return ::pwrite(Fd, Buf, Len, Offset);
+}

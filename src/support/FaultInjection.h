@@ -1,0 +1,117 @@
+//===- support/FaultInjection.h - Deterministic I/O fault shim --*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic interposition point for I/O syscalls, so the
+/// durability and retry paths can be exercised on a healthy machine.
+/// Call sites name themselves ("file.write", "monitor.read", ...) and
+/// ask check() whether a fault is scheduled; the schedule comes from the
+/// LIMA_FAULTS environment variable (or configure() in tests):
+///
+///   LIMA_FAULTS=site:kind@N[xM|x*][~P][,...]
+///
+///   site   the call-site name passed to check()
+///   kind   eintr | eagain | enospc | emfile | enoent | eio | short
+///   @N     arm on the Nth matching call (1-based; default 1)
+///   xM     fire for M consecutive matching calls (default 1)
+///   x*     fire on every matching call once armed
+///   ~P     fire each armed call only with probability P in [0,100],
+///          drawn from a deterministic xorshift stream seeded by
+///          LIMA_FAULTS_SEED (default 1) — same seed, same faults
+///
+/// Example: fail lima_monitor's third read with EINTR twice, then make
+/// every metrics-dump fsync hit ENOSPC:
+///
+///   LIMA_FAULTS=monitor.read:eintr@3x2,file.fsync:enospc@1x*
+///
+/// Cost model: when no spec is configured, check() is a single relaxed
+/// atomic load (measured in the bench's streaming_write section next to
+/// the syscall it guards).  When armed, matching takes a mutex — fault
+/// runs are diagnostics, not production.
+///
+/// Every injected fault increments
+/// lima.faults.injected_total{site="..."} so tests and operators can
+/// see exactly what fired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_FAULTINJECTION_H
+#define LIMA_SUPPORT_FAULTINJECTION_H
+
+#include "support/Error.h"
+#include <atomic>
+#include <cstddef>
+#include <string_view>
+#include <sys/types.h>
+
+namespace lima {
+namespace fault {
+
+/// What check() tells a call site to do.
+struct Fault {
+  enum Kind : uint8_t {
+    None = 0,
+    Eintr,
+    Eagain,
+    Enospc,
+    Emfile,
+    Enoent,
+    Eio,
+    /// Complete only part of the transfer (short read / short write).
+    ShortIo,
+  };
+  Kind K = None;
+
+  explicit operator bool() const { return K != None; }
+
+  /// The errno a failing syscall should report for this kind (ShortIo
+  /// and None have no errno; callers handle them structurally).
+  int errnoValue() const;
+};
+
+/// Stable name of \p K as it appears in the spec grammar.
+std::string_view kindName(Fault::Kind K);
+
+namespace detail {
+extern std::atomic<bool> Armed;
+Fault checkSlow(const char *Site);
+} // namespace detail
+
+/// Returns the fault scheduled for this call at \p Site, or a None
+/// fault.  One relaxed load when no spec is configured.
+inline Fault check(const char *Site) {
+  if (!detail::Armed.load(std::memory_order_relaxed))
+    return Fault{};
+  return detail::checkSlow(Site);
+}
+
+/// Parses and installs \p Spec (the LIMA_FAULTS grammar above),
+/// replacing any previous schedule.  An empty spec disarms.  \p Seed
+/// seeds the probabilistic draws.
+Error configure(std::string_view Spec, uint64_t Seed = 1);
+
+/// Drops the schedule and disarms check().
+void reset();
+
+/// Total faults injected since the last reset (all sites).
+uint64_t injectedTotal();
+
+/// read(2) guarded by check(\p Site): an injected fault either fails
+/// the call with the kind's errno or truncates the transfer (ShortIo
+/// reads at most half the requested bytes, at least one).
+ssize_t read(const char *Site, int Fd, void *Buf, size_t Len);
+
+/// write(2) guarded by check(\p Site); ShortIo writes at most half.
+ssize_t write(const char *Site, int Fd, const void *Buf, size_t Len);
+
+/// pwrite(2) guarded by check(\p Site); ShortIo writes at most half.
+ssize_t pwrite(const char *Site, int Fd, const void *Buf, size_t Len,
+               off_t Offset);
+
+} // namespace fault
+} // namespace lima
+
+#endif // LIMA_SUPPORT_FAULTINJECTION_H

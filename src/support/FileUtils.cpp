@@ -5,10 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FileUtils.h"
+#include "support/FaultInjection.h"
+#include "support/Retry.h"
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <string>
 #include <unistd.h>
 
@@ -41,10 +44,13 @@ Error lima::writeFile(const std::string &Path, std::string_view Contents) {
   return Error::success();
 }
 
-Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents) {
+Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents,
+                            Durability Sync) {
   // The temporary must live in the destination's directory: rename(2)
   // is only atomic within one filesystem.
   size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? std::string(".")
+                                               : Path.substr(0, Slash);
   std::string Tmp = (Slash == std::string::npos
                          ? std::string()
                          : Path.substr(0, Slash + 1)) +
@@ -52,6 +58,12 @@ Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents) 
                     (Slash == std::string::npos ? Path : Path.substr(Slash + 1)) +
                     ".XXXXXX";
   std::string TmpBuf = Tmp; // mkstemp rewrites the template in place
+  if (fault::Fault F = fault::check("file.open")) {
+    errno = F.errnoValue() ? F.errnoValue() : EIO;
+    return makeCodedError(ErrorCode::IoError,
+                          "cannot create temporary for '%s': %s", Path.c_str(),
+                          std::strerror(errno));
+  }
   int Fd = ::mkstemp(TmpBuf.data());
   if (Fd < 0)
     return makeCodedError(ErrorCode::IoError,
@@ -60,10 +72,9 @@ Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents) 
   const char *Data = Contents.data();
   size_t Len = Contents.size();
   while (Len != 0) {
-    ssize_t N = ::write(Fd, Data, Len);
+    ssize_t N = retry::retryEintr(
+        [&] { return fault::write("file.write", Fd, Data, Len); });
     if (N < 0) {
-      if (errno == EINTR)
-        continue;
       ::close(Fd);
       ::unlink(TmpBuf.c_str());
       return makeCodedError(ErrorCode::IoError, "write error on '%s': %s",
@@ -72,15 +83,57 @@ Error lima::writeFileAtomic(const std::string &Path, std::string_view Contents) 
     Data += N;
     Len -= static_cast<size_t>(N);
   }
+  // Push the data down before the rename makes it reachable, so a
+  // power loss cannot leave the path pointing at a hollow file.  The
+  // process-crash case needs no fsync — completed write(2)s survive in
+  // the page cache regardless.
+  if (Sync == Durability::Full) {
+    int SyncRc;
+    if (fault::Fault F = fault::check("file.fsync")) {
+      errno = F.errnoValue() ? F.errnoValue() : EIO;
+      SyncRc = -1;
+    } else {
+      SyncRc = retry::retryEintr([&] { return ::fsync(Fd); });
+    }
+    if (SyncRc != 0) {
+      ::close(Fd);
+      ::unlink(TmpBuf.c_str());
+      return makeCodedError(ErrorCode::IoError, "fsync error on '%s': %s",
+                            TmpBuf.c_str(), std::strerror(errno));
+    }
+  }
   if (::close(Fd) != 0) {
     ::unlink(TmpBuf.c_str());
     return makeCodedError(ErrorCode::IoError, "close error on '%s': %s",
                           TmpBuf.c_str(), std::strerror(errno));
   }
-  if (::rename(TmpBuf.c_str(), Path.c_str()) != 0) {
+  int RenameRc;
+  if (fault::Fault F = fault::check("file.rename")) {
+    errno = F.errnoValue() ? F.errnoValue() : EIO;
+    RenameRc = -1;
+  } else {
+    RenameRc = ::rename(TmpBuf.c_str(), Path.c_str());
+  }
+  if (RenameRc != 0) {
     ::unlink(TmpBuf.c_str());
     return makeCodedError(ErrorCode::IoError, "cannot rename '%s' to '%s': %s",
                           TmpBuf.c_str(), Path.c_str(), std::strerror(errno));
+  }
+  // The rename itself lives in the directory, not the file: fsync the
+  // parent so the new directory entry is durable too.  Failure here is
+  // not worth un-renaming over — the data is safe, only the entry's
+  // durability is weakened — so it is reported but nothing is undone.
+  if (Sync == Durability::Full) {
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      int Rc = fault::check("file.dirsync")
+                   ? -1
+                   : retry::retryEintr([&] { return ::fsync(DirFd); });
+      ::close(DirFd);
+      if (Rc != 0)
+        return makeCodedError(ErrorCode::IoError,
+                              "fsync error on directory '%s'", Dir.c_str());
+    }
   }
   return Error::success();
 }

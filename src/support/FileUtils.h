@@ -24,13 +24,29 @@ Expected<std::string> readFile(const std::string &Path);
 /// Writes \p Contents to \p Path, replacing any existing file.
 Error writeFile(const std::string &Path, std::string_view Contents);
 
+/// How hard writeFileAtomic pushes the bytes toward the platters.
+enum class Durability : uint8_t {
+  /// fsync the temporary before rename(2) and the parent directory
+  /// after, so the rename is not just atomic but durable: after a
+  /// power loss the path holds either the old file or the complete new
+  /// one.  The default — checkpoints and saved traces want this.
+  Full,
+  /// Skip both fsyncs.  Atomic against concurrent readers and process
+  /// crashes, but a power loss can lose the rename or leave the new
+  /// file empty.  For hot-path dumps that are re-written every few
+  /// seconds anyway (--metrics-out), where two fsyncs per dump is real
+  /// rent for no benefit.
+  NoSync,
+};
+
 /// Writes \p Contents to \p Path atomically: the bytes go to a
 /// mkstemp(3) temporary in the same directory, then rename(2) over the
 /// destination.  A concurrent reader sees either the old file or the
 /// complete new one, never a torn mixture — this is what --metrics-out
 /// uses so a scraper polling the file cannot observe a half-written
 /// exposition.  The temporary is unlinked on any failure.
-Error writeFileAtomic(const std::string &Path, std::string_view Contents);
+Error writeFileAtomic(const std::string &Path, std::string_view Contents,
+                      Durability Sync = Durability::Full);
 
 } // namespace lima
 

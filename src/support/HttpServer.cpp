@@ -7,6 +7,7 @@
 #include "support/HttpServer.h"
 #include "support/Metrics.h"
 #include "support/MetricsExport.h"
+#include "support/Retry.h"
 #include <algorithm>
 #include <arpa/inet.h>
 #include <atomic>
@@ -362,8 +363,12 @@ struct HttpServer::Impl {
     C.Hub = R.Stream;
     int WakeFd = WakeWrite;
     C.SubId = C.Hub->subscribe([WakeFd] {
+      // An EINTR here would eat the wakeup and stall the stream until
+      // the next poll timeout; a full pipe (EAGAIN) already means a
+      // wakeup is pending, so that loss is fine.
       char Byte = 's';
-      (void)!::write(WakeFd, &Byte, 1);
+      (void)!retry::retryEintr(
+          [&] { return ::write(WakeFd, &Byte, 1); });
     });
     appendStreamPayload(C, R.Body);
   }
@@ -647,7 +652,8 @@ struct HttpServer::Impl {
         break;
       }
       if (Fds[0].revents & POLLIN)
-        while (::read(WakeRead, Buf, sizeof(Buf)) > 0) {
+        while (retry::retryEintr(
+                   [&] { return ::read(WakeRead, Buf, sizeof(Buf)); }) > 0) {
         }
       if (Fds[1].revents & POLLIN)
         acceptPending();
@@ -818,7 +824,8 @@ void HttpServer::stop() {
     return;
   I->StopFlag.store(true, std::memory_order_release);
   char Byte = 'x';
-  (void)!::write(I->WakeWrite, &Byte, 1);
+  (void)!retry::retryEintr(
+      [&] { return ::write(I->WakeWrite, &Byte, 1); });
   if (I->Thread.joinable())
     I->Thread.join();
   I->closeFds();

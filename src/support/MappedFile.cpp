@@ -5,7 +5,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/MappedFile.h"
+#include "support/FaultInjection.h"
 #include "support/FileUtils.h"
+#include <cerrno>
+#include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LIMA_HAVE_MMAP 1
@@ -45,6 +48,11 @@ void MappedFile::reset() {
 
 Expected<MappedFile> MappedFile::open(const std::string &Path) {
   MappedFile Result;
+  if (fault::Fault F = fault::check("map.open"))
+    return makeCodedError(ErrorCode::IoError, "cannot open '%s': %s",
+                          Path.c_str(),
+                          std::strerror(F.errnoValue() ? F.errnoValue()
+                                                       : EIO));
 #if LIMA_HAVE_MMAP
   int Fd = ::open(Path.c_str(), O_RDONLY);
   if (Fd >= 0) {

@@ -135,5 +135,7 @@ std::string metrics::writePrometheusText() {
 Error metrics::writeMetricsFile(const std::string &Path) {
   // Atomic replace: a scraper polling the file sees either the previous
   // exposition or this one in full, never a torn prefix.
-  return writeFileAtomic(Path, writePrometheusText());
+  // NoSync: dumps are rewritten every few seconds, so paying two
+  // fsyncs per dump buys nothing a scraper would notice.
+  return writeFileAtomic(Path, writePrometheusText(), Durability::NoSync);
 }

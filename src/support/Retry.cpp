@@ -1,0 +1,62 @@
+//===- support/Retry.cpp - EINTR loops and capped backoff -----------------===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+#include "support/Metrics.h"
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+using namespace lima;
+using namespace lima::retry;
+
+bool retry::isTransientErrno(int Err) {
+  switch (Err) {
+  case EINTR:
+  case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+  case EWOULDBLOCK:
+#endif
+  case ENOSPC:
+  case EMFILE:
+  case ENFILE:
+  case EBUSY:
+  case ENOBUFS:
+  case ENOMEM:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned BackoffPolicy::delayMs(unsigned Attempt) const {
+  double Delay = InitialDelayMs * std::pow(Multiplier, Attempt);
+  if (!(Delay < MaxDelayMs))
+    return MaxDelayMs;
+  return static_cast<unsigned>(Delay);
+}
+
+Error retry::withBackoff(const BackoffPolicy &Policy, const char *Site,
+                         const std::function<Error()> &Op,
+                         const std::function<void(unsigned)> &SleepMs) {
+  unsigned Attempts = Policy.MaxAttempts ? Policy.MaxAttempts : 1;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Error Err = Op();
+    if (!Err)
+      return Error::success();
+    if (Err.code() != ErrorCode::IoError || Attempt + 1 >= Attempts)
+      return Err;
+    Err.consume();
+    metrics::counter(std::string("lima.retries_total{site=\"") + Site +
+                     "\"}")
+        .add(1);
+    unsigned Delay = Policy.delayMs(Attempt);
+    if (SleepMs)
+      SleepMs(Delay);
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+  }
+}

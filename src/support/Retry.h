@@ -1,0 +1,91 @@
+//===- support/Retry.h - EINTR loops and capped backoff ---------*- C++ -*-===//
+//
+// Part of LIMA. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two retry shapes transient I/O needs, shared by every call site
+/// instead of hand-rolled loops:
+///
+///  - retryEintr(): re-issues a syscall-shaped callable while it fails
+///    with EINTR.  The overload with an interrupt predicate returns the
+///    EINTR result instead when the predicate says the caller has
+///    something more urgent to do (lima_monitor installs its signal
+///    handlers without SA_RESTART precisely so a pending dump/stop
+///    request breaks a blocking read — a plain EINTR loop would undo
+///    that design).
+///
+///  - withBackoff(): runs a fallible operation up to MaxAttempts times
+///    with a capped exponential, deliberately jitterless delay schedule
+///    (deterministic runs reproduce; LIMA processes do not stampede a
+///    shared service the way web clients do).  Only ErrorCode::IoError
+///    retries — the rest of the PR-3 taxonomy (bad magic, malformed
+///    records, limits) is permanent and fails fast.  Attempts beyond
+///    the first count into lima.retries_total{site="..."}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LIMA_SUPPORT_RETRY_H
+#define LIMA_SUPPORT_RETRY_H
+
+#include "support/Error.h"
+#include <cerrno>
+#include <functional>
+
+namespace lima {
+namespace retry {
+
+/// Re-issues \p Op (returning an int or ssize_t, negative + errno on
+/// failure) while it fails with EINTR.
+template <typename Fn> auto retryEintr(Fn &&Op) {
+  while (true) {
+    auto R = Op();
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+/// Like retryEintr, but gives up the loop (returning the EINTR result)
+/// when \p Interrupted() is true, so callers that use EINTR as a wakeup
+/// can service it.
+template <typename Fn, typename Pred>
+auto retryEintr(Fn &&Op, Pred &&Interrupted) {
+  while (true) {
+    auto R = Op();
+    if (R >= 0 || errno != EINTR || Interrupted())
+      return R;
+  }
+}
+
+/// True for errno values worth retrying after a pause: interruptions,
+/// back-pressure and resources that free up as the system drains
+/// (EINTR, EAGAIN, ENOSPC, EMFILE, ENFILE, EBUSY, ENOBUFS, ENOMEM).
+bool isTransientErrno(int Err);
+
+/// Capped exponential backoff: attempt k (0-based) sleeps
+/// min(InitialDelayMs * Multiplier^k, MaxDelayMs) before retrying.
+struct BackoffPolicy {
+  unsigned MaxAttempts = 5;
+  unsigned InitialDelayMs = 10;
+  double Multiplier = 2.0;
+  unsigned MaxDelayMs = 1000;
+
+  /// Delay before retry number \p Attempt (0-based).  Pure function of
+  /// the policy — no jitter, so schedules are reproducible.
+  unsigned delayMs(unsigned Attempt) const;
+};
+
+/// Runs \p Op up to \p Policy.MaxAttempts times, sleeping the policy's
+/// delay between attempts while Op fails with ErrorCode::IoError.  Any
+/// other code — and exhaustion — returns the last error.  \p Site
+/// labels lima.retries_total.  \p SleepMs overrides the delay (tests
+/// pass a recorder; nullptr sleeps for real).
+Error withBackoff(const BackoffPolicy &Policy, const char *Site,
+                  const std::function<Error()> &Op,
+                  const std::function<void(unsigned)> &SleepMs = nullptr);
+
+} // namespace retry
+} // namespace lima
+
+#endif // LIMA_SUPPORT_RETRY_H

@@ -21,7 +21,7 @@
 #ifndef LIMA_SUPPORT_SIGNALSAFE_H
 #define LIMA_SUPPORT_SIGNALSAFE_H
 
-#include <cerrno>
+#include "support/Retry.h"
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -30,16 +30,15 @@
 namespace lima {
 namespace sigsafe {
 
-/// Writes all of \p Data to \p Fd, retrying on short writes and EINTR.
+/// Writes all of \p Data to \p Fd, retrying on short writes and EINTR
+/// (via retry::retryEintr, which is a plain loop — safe here).
 /// Errors are swallowed: in a crash handler there is nobody to tell.
 inline void writeAll(int Fd, const char *Data, size_t Len) {
   while (Len != 0) {
-    ssize_t N = ::write(Fd, Data, Len);
-    if (N <= 0) {
-      if (N < 0 && errno == EINTR)
-        continue;
+    ssize_t N =
+        retry::retryEintr([&] { return ::write(Fd, Data, Len); });
+    if (N <= 0)
       return;
-    }
     Data += N;
     Len -= static_cast<size_t>(N);
   }

@@ -36,7 +36,13 @@ constexpr uint32_t BinaryVersion2 = 2;
 /// v2 header flag: every index entry carries a CRC32 of its block's
 /// payload bytes (written by default; readers tolerate files without).
 constexpr uint32_t BinaryFlagBlockCrc = 1u << 0;
-constexpr uint32_t BinaryKnownFlags = BinaryFlagBlockCrc;
+/// v2 header flag: the file was produced by the streaming writer, so
+/// its header event total is patched before each block lands and may
+/// exceed the events actually present.  A truncated streamed file is
+/// an expected crash artifact, not corruption: the sequential walk
+/// salvages the fully-flushed block prefix instead of failing.
+constexpr uint32_t BinaryFlagStreamed = 1u << 1;
+constexpr uint32_t BinaryKnownFlags = BinaryFlagBlockCrc | BinaryFlagStreamed;
 
 /// The v2 footer is the last 24 bytes of the file:
 ///   u64 index offset, u32 index size, u32 index CRC32, char[8] magic.

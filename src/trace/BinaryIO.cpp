@@ -6,16 +6,21 @@
 
 #include "trace/BinaryIO.h"
 #include "support/Checksum.h"
+#include "support/FaultInjection.h"
 #include "support/FileUtils.h"
 #include "support/MappedFile.h"
 #include "support/Metrics.h"
+#include "support/Retry.h"
 #include "support/Telemetry.h"
 #include "trace/BinaryDetail.h"
 #include "trace/ParallelBinary.h"
 #include "trace/ParallelParse.h"
 #include "trace/TraceIO.h"
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace lima;
 using namespace lima::trace;
@@ -197,6 +202,248 @@ std::string trace::writeTraceBinary(const Trace &T,
   appendScalar<uint32_t>(Out, IndexCrc);
   Out.append(BinaryFooterMagic, sizeof(BinaryFooterMagic));
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// StreamingBinaryWriter
+//===----------------------------------------------------------------------===//
+
+StreamingBinaryWriter::~StreamingBinaryWriter() {
+  // No finalize: a destroyed-but-unclosed writer leaves the same file a
+  // crash would, which recovery handles by design.
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Error StreamingBinaryWriter::pwriteAll(const char *Site,
+                                       std::string_view Bytes,
+                                       uint64_t Offset) {
+  const char *Data = Bytes.data();
+  size_t Len = Bytes.size();
+  while (Len != 0) {
+    ssize_t N = retry::retryEintr([&] {
+      return fault::pwrite(Site, Fd, Data, Len,
+                           static_cast<off_t>(Offset));
+    });
+    if (N < 0)
+      return makeCodedError(ErrorCode::IoError, "write error on '%s': %s",
+                            Path.c_str(), std::strerror(errno));
+    Data += N;
+    Offset += static_cast<uint64_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+Error StreamingBinaryWriter::open(const std::string &OutPath,
+                                  std::vector<std::string> RegionNames,
+                                  std::vector<std::string> ActivityNames,
+                                  uint32_t Procs,
+                                  const BinaryWriteOptions &Options) {
+  if (Fd >= 0)
+    return makeCodedError(ErrorCode::Generic,
+                          "streaming writer already open on '%s'",
+                          Path.c_str());
+  if (Procs == 0)
+    return makeCodedError(ErrorCode::ValueOutOfRange,
+                          "streaming writer needs at least one processor");
+  // Same cap as the buffered writer, so block planning is identical.
+  BlockEvents = static_cast<size_t>(
+      std::clamp<uint64_t>(Options.BlockEvents, 1, uint64_t(1) << 26));
+  BlockCrc = Options.BlockCrc;
+  NumProcs = Procs;
+  Path = OutPath;
+
+  // Build the header through the shared serializer: a throwaway Trace
+  // holds the name tables.
+  Trace T(Procs);
+  for (std::string &Name : RegionNames)
+    T.addRegion(std::move(Name));
+  for (std::string &Name : ActivityNames)
+    T.addActivity(std::move(Name));
+  std::string Header;
+  appendHeaderCommon(Header, T, BinaryVersion2,
+                     BinaryFlagStreamed |
+                         (BlockCrc ? BinaryFlagBlockCrc : 0));
+  TotalFieldOffset = Header.size();
+  appendScalar<uint64_t>(Header, 0);
+
+  if (fault::Fault F = fault::check("stream.open")) {
+    errno = F.errnoValue() ? F.errnoValue() : EIO;
+    return makeCodedError(ErrorCode::IoError, "cannot create '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+  }
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return makeCodedError(ErrorCode::IoError, "cannot create '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+  if (Error Err = pwriteAll("stream.write", Header, 0)) {
+    ::close(Fd);
+    Fd = -1;
+    return Err;
+  }
+  FileEnd = Header.size();
+  Appended = Flushed = OpenEvents = 0;
+  OpenFirst = OpenLast = 0.0;
+  EventBytes.clear();
+  OpenRuns.clear();
+  OpenRunBytes.clear();
+  Blocks.clear();
+  BlockRuns.clear();
+  return Error::success();
+}
+
+Error StreamingBinaryWriter::append(const Event &E) {
+  if (Fd < 0)
+    return makeCodedError(ErrorCode::Generic,
+                          "streaming writer is not open");
+  if (E.Proc >= NumProcs)
+    return makeCodedError(ErrorCode::ValueOutOfRange,
+                          "streaming writer: processor %u out of range",
+                          E.Proc);
+  if (OpenRuns.empty() || OpenRuns.back().Proc != E.Proc) {
+    OpenRuns.push_back({E.Proc, 0});
+    OpenRunBytes.push_back(0);
+  }
+  const size_t Before = EventBytes.size();
+  appendScalar<double>(EventBytes, E.Time);
+  appendScalar<uint8_t>(EventBytes, static_cast<uint8_t>(E.Kind));
+  appendVarint(EventBytes, E.Id);
+  appendVarint(EventBytes, E.Bytes);
+  ++OpenRuns.back().Count;
+  OpenRunBytes.back() += EventBytes.size() - Before;
+  if (OpenEvents == 0)
+    OpenFirst = E.Time;
+  OpenLast = E.Time;
+  ++OpenEvents;
+  ++Appended;
+  if (OpenEvents >= BlockEvents)
+    return flushBlock();
+  return Error::success();
+}
+
+Error StreamingBinaryWriter::flushBlock() {
+  if (OpenEvents == 0)
+    return Error::success();
+
+  // Events of one run are contiguous in EventBytes (a run only closes
+  // when the processor changes), so each run splices out its span.
+  std::string Payload;
+  Payload.reserve(EventBytes.size() + 4 * OpenRuns.size() + 8);
+  appendVarint(Payload, OpenRuns.size());
+  size_t EventOffset = 0;
+  for (size_t R = 0; R != OpenRuns.size(); ++R) {
+    appendVarint(Payload, OpenRuns[R].Proc);
+    appendVarint(Payload, OpenRuns[R].Count);
+    Payload.append(EventBytes, EventOffset, OpenRunBytes[R]);
+    EventOffset += OpenRunBytes[R];
+  }
+
+  // Crash-consistency ordering: bump the header total first, then land
+  // the payload.  At any kill point the total is >= the events on
+  // disk, which is exactly what the salvage walk needs to recognize a
+  // flushed-prefix file (see BinaryIO.h).  Both writes are idempotent
+  // pwrites, so a failed flush can simply be retried.
+  const uint64_t NewTotal = Flushed + OpenEvents;
+  std::string TotalBytes;
+  appendScalar<uint64_t>(TotalBytes, NewTotal);
+  if (Error Err = pwriteAll("stream.patch", TotalBytes, TotalFieldOffset))
+    return Err;
+  if (Error Err = pwriteAll("stream.write", Payload, FileEnd))
+    return Err;
+
+  FlushedBlock B;
+  B.Offset = FileEnd;
+  B.Bytes = static_cast<uint32_t>(Payload.size());
+  B.Events = static_cast<uint32_t>(OpenEvents);
+  B.First = OpenFirst;
+  B.Last = OpenLast;
+  B.Crc = BlockCrc ? crc32(Payload) : 0;
+  B.FirstRun = static_cast<uint32_t>(BlockRuns.size());
+  B.NumRuns = static_cast<uint32_t>(OpenRuns.size());
+  Blocks.push_back(B);
+  BlockRuns.insert(BlockRuns.end(), OpenRuns.begin(), OpenRuns.end());
+
+  FileEnd += Payload.size();
+  Flushed = NewTotal;
+  EventBytes.clear();
+  OpenRuns.clear();
+  OpenRunBytes.clear();
+  OpenEvents = 0;
+  LIMA_METRIC_COUNT("lima.write.binary.blocks_flushed_total", 1);
+  return Error::success();
+}
+
+Error StreamingBinaryWriter::close() {
+  if (Fd < 0)
+    return makeCodedError(ErrorCode::Generic,
+                          "streaming writer is not open");
+  if (Error Err = flushBlock())
+    return Err;
+
+  // Index section + footer, exactly the buffered writer's layout.
+  std::string Tail;
+  appendScalar<uint32_t>(Tail, static_cast<uint32_t>(Blocks.size()));
+  for (const FlushedBlock &B : Blocks) {
+    appendScalar<uint64_t>(Tail, B.Offset);
+    appendScalar<uint32_t>(Tail, B.Bytes);
+    appendScalar<uint32_t>(Tail, B.Events);
+    appendScalar<double>(Tail, B.First);
+    appendScalar<double>(Tail, B.Last);
+    appendScalar<uint32_t>(Tail, B.Crc);
+    appendScalar<uint32_t>(Tail, B.NumRuns);
+    for (uint32_t R = B.FirstRun; R != B.FirstRun + B.NumRuns; ++R) {
+      appendScalar<uint32_t>(Tail, BlockRuns[R].Proc);
+      appendScalar<uint32_t>(Tail, BlockRuns[R].Count);
+    }
+  }
+  const uint32_t IndexCrc = crc32(Tail);
+  const uint64_t IndexStart = FileEnd;
+  const size_t IndexBytes = Tail.size();
+  appendScalar<uint64_t>(Tail, IndexStart);
+  appendScalar<uint32_t>(Tail, static_cast<uint32_t>(IndexBytes));
+  appendScalar<uint32_t>(Tail, IndexCrc);
+  Tail.append(BinaryFooterMagic, sizeof(BinaryFooterMagic));
+  if (Error Err = pwriteAll("stream.write", Tail, FileEnd))
+    return Err;
+  FileEnd += Tail.size();
+
+  int SyncRc;
+  if (fault::Fault F = fault::check("stream.fsync")) {
+    errno = F.errnoValue() ? F.errnoValue() : EIO;
+    SyncRc = -1;
+  } else {
+    SyncRc = retry::retryEintr([&] { return ::fsync(Fd); });
+  }
+  if (SyncRc != 0)
+    return makeCodedError(ErrorCode::IoError, "fsync error on '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+  if (::close(Fd) != 0) {
+    Fd = -1;
+    return makeCodedError(ErrorCode::IoError, "close error on '%s': %s",
+                          Path.c_str(), std::strerror(errno));
+  }
+  Fd = -1;
+  return Error::success();
+}
+
+Error StreamingBinaryWriter::writeTrace(const Trace &T,
+                                        const std::string &Path,
+                                        const BinaryWriteOptions &Options) {
+  std::vector<std::string> Regions, Activities;
+  for (size_t I = 0; I != T.numRegions(); ++I)
+    Regions.push_back(T.regionName(static_cast<uint32_t>(I)));
+  for (size_t I = 0; I != T.numActivities(); ++I)
+    Activities.push_back(T.activityName(static_cast<uint32_t>(I)));
+  StreamingBinaryWriter W;
+  if (Error Err = W.open(Path, std::move(Regions), std::move(Activities),
+                         T.numProcs(), Options))
+    return Err;
+  for (unsigned Proc = 0; Proc != T.numProcs(); ++Proc)
+    for (const Event &E : T.events(Proc))
+      if (Error Err = W.append(E))
+        return Err;
+  return W.close();
 }
 
 Error detail::parseBinaryHeader(std::string_view Data,

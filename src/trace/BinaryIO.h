@@ -47,6 +47,17 @@
 /// footer, CRC mismatch, inconsistent entries — falls back to a
 /// sequential walk of the blocks and ignores the trailing index bytes.
 ///
+/// Flag bit 1 ("streamed") marks files produced by the incremental
+/// StreamingBinaryWriter, which patches the header's event total
+/// *before* appending each block and writes the index only at close().
+/// That ordering is the crash-consistency contract: at every kill
+/// point the header total is >= the events on disk, so the sequential
+/// walk of a truncated streamed file ends in a truncation it can
+/// recognize as "writer died here" and salvages exactly the
+/// fully-flushed blocks (both parse modes).  Buffered files never set
+/// the bit, so for them truncation stays the hard corruption error it
+/// always was.
+///
 /// Fixed-width integers are little-endian; event ids and byte counts
 /// use LEB128 varints (they are almost always tiny, which makes the
 /// format ~2x smaller than the text form).  The reader validates magic,
@@ -61,7 +72,10 @@
 #include "support/ParseLimits.h"
 #include "trace/Trace.h"
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace lima {
 namespace trace {
@@ -85,6 +99,109 @@ std::string writeTraceBinary(const Trace &T,
 /// Kept for format-compatibility tests and for benchmarking the v1
 /// sequential decode path against v2.
 std::string writeTraceBinaryV1(const Trace &T);
+
+/// Incremental LIMB v2 writer: appends events to an open file, flushing
+/// each block (with its CRC) as it fills and writing the block index +
+/// footer at close().  Writer memory is O(one block) of payload plus a
+/// few dozen bytes of index metadata per flushed block — a trace of any
+/// length streams through a fixed-size buffer, which is what the
+/// monitor's append workflow needs (the buffered writeTraceBinary
+/// materializes the whole file).
+///
+/// Crash consistency: the header's event total is patched (pwrite)
+/// *before* each block's payload is appended, and the "streamed" header
+/// flag tells readers so.  Kill the process at any byte boundary and
+/// loadTraceAuto recovers exactly the fully-flushed blocks: complete
+/// files load through the index as usual; truncated ones take the
+/// sequential salvage walk, which rolls back the partial tail block.
+/// The file is written in place (no temp + rename — a crash must leave
+/// the recoverable prefix behind, not unlink it).
+///
+/// Events may arrive in any processor interleaving; within one
+/// processor, append order is the stream order readers will see.
+/// Failed appends/closes leave the writer consistent, so transient
+/// errors (ENOSPC) can simply be retried.
+class StreamingBinaryWriter {
+public:
+  StreamingBinaryWriter() = default;
+  /// Closes the descriptor WITHOUT finalizing: no partial-block flush,
+  /// no index.  The on-disk file stays exactly as crash recovery
+  /// expects (header + flushed blocks).  Call close() for a complete,
+  /// indexed file.
+  ~StreamingBinaryWriter();
+  StreamingBinaryWriter(const StreamingBinaryWriter &) = delete;
+  StreamingBinaryWriter &operator=(const StreamingBinaryWriter &) = delete;
+
+  /// Creates/truncates \p Path and writes the v2 header (streamed flag
+  /// set, event total 0).  Name tables and the processor count are
+  /// fixed for the life of the file.
+  Error open(const std::string &Path, std::vector<std::string> RegionNames,
+             std::vector<std::string> ActivityNames, uint32_t NumProcs,
+             const BinaryWriteOptions &Options = {});
+
+  /// Buffers one event; flushes the current block once it holds
+  /// BlockEvents events.  E.Proc must be < the open() processor count.
+  Error append(const Event &E);
+
+  /// Flushes the partial tail block, writes the index + footer, fsyncs
+  /// and closes.  The writer is reusable via open() afterwards.
+  Error close();
+
+  bool isOpen() const { return Fd >= 0; }
+  /// Events accepted by append() (flushed or still buffered).
+  uint64_t eventsAppended() const { return Appended; }
+  /// Events durable in flushed blocks (what a crash right now keeps).
+  uint64_t eventsFlushed() const { return Flushed; }
+  uint64_t blocksFlushed() const { return Blocks.size(); }
+  /// Bytes currently buffered for the open block (the memory bound).
+  size_t bufferedBytes() const { return EventBytes.size(); }
+
+  /// Streams \p T processor-major through a writer.  Byte-identical to
+  /// writeTraceBinary(T, Options) except for the streamed flag bit.
+  static Error writeTrace(const Trace &T, const std::string &Path,
+                          const BinaryWriteOptions &Options = {});
+
+private:
+  struct Run {
+    uint32_t Proc;
+    uint32_t Count;
+  };
+  struct FlushedBlock {
+    uint64_t Offset;
+    uint32_t Bytes;
+    uint32_t Events;
+    double First;
+    double Last;
+    uint32_t Crc;
+    uint32_t FirstRun;
+    uint32_t NumRuns;
+  };
+
+  Error flushBlock();
+  Error pwriteAll(const char *Site, std::string_view Bytes, uint64_t Offset);
+
+  int Fd = -1;
+  std::string Path;
+  bool BlockCrc = true;
+  size_t BlockEvents = 0;
+  uint64_t TotalFieldOffset = 0; ///< File offset of the header's u64 total.
+  uint64_t FileEnd = 0;          ///< Logical append position.
+  uint64_t Appended = 0;
+  uint64_t Flushed = 0;
+  uint32_t NumProcs = 0;
+  // Open-block state: serialized events plus the run structure over
+  // them (consecutive same-processor spans, in arrival order).
+  std::string EventBytes;
+  std::vector<Run> OpenRuns;
+  std::vector<size_t> OpenRunBytes; ///< Serialized length of each run.
+  uint64_t OpenEvents = 0;
+  double OpenFirst = 0.0;
+  double OpenLast = 0.0;
+  // Flushed-block metadata for the close()-time index (tiny: ~40 bytes
+  // per 64k-event block).
+  std::vector<FlushedBlock> Blocks;
+  std::vector<Run> BlockRuns;
+};
 
 /// Parses a LIMB buffer of either version.
 ///

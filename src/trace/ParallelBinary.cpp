@@ -219,15 +219,24 @@ void decodeBlock(std::string_view Data, const BinaryHeader &H,
 /// Sequential fallback for v2 buffers without a usable index: walk the
 /// self-framed blocks until the header's event total is consumed, then
 /// ignore whatever trails (a damaged index).  Framing damage is fatal
-/// in both modes, value errors are droppable, exactly like v1.
+/// in both modes, value errors are droppable, exactly like v1 — with
+/// one carve-out: in a *streamed* file (header flag bit 1) truncation
+/// mid-walk is the expected fingerprint of a writer that died, because
+/// the streaming writer patches the header total ahead of each block.
+/// The walk then rolls the partial tail block back (events, report
+/// counts) and returns the fully-flushed prefix in both parse modes —
+/// the recovery contract StreamingWriterTest pins.
 Expected<Trace> walkBinaryV2(std::string_view Data,
                              const ParseOptions &Options,
                              const BinaryHeader &H, Trace T) {
   LIMA_METRIC_COUNT("lima.parse.binary.fallback_total", 1);
+  const bool Streamed = (H.Flags & BinaryFlagStreamed) != 0;
   ByteReader In(Data, H.PayloadStart, Options.Limits.MaxNameBytes);
   uint64_t Remaining = H.TotalEvents;
   uint64_t Decoded = 0;
-  while (Remaining != 0) {
+
+  // Decodes the block at the cursor; consumes from Remaining.
+  auto decodeOneBlock = [&]() -> Error {
     size_t BlockOffset = In.offset();
     auto RunCountOrErr = In.readVarint();
     if (auto Err = RunCountOrErr.takeError())
@@ -287,6 +296,41 @@ Expected<Trace> walkBinaryV2(std::string_view Data,
         ++Decoded;
       }
       Remaining -= *CountOrErr;
+    }
+    return Error::success();
+  };
+
+  // Rollback state, refreshed at each block boundary of a streamed
+  // file so a truncated tail block can be undone in O(its size).
+  std::vector<size_t> ProcSizes;
+  ParseReport ReportSnapshot;
+  uint64_t DecodedSnapshot = 0;
+  if (Streamed)
+    ProcSizes.resize(H.NumProcs, 0);
+
+  while (Remaining != 0) {
+    if (Streamed) {
+      for (uint32_t Proc = 0; Proc != H.NumProcs; ++Proc)
+        ProcSizes[Proc] = T.events(Proc).size();
+      if (Options.Report)
+        ReportSnapshot = *Options.Report;
+      DecodedSnapshot = Decoded;
+    }
+    if (Error Err = decodeOneBlock()) {
+      if (Streamed && Err.code() == ErrorCode::TruncatedInput) {
+        // The writer died mid-block (or mid-patch): everything before
+        // this block is complete by the patch-before-block ordering.
+        // Un-append the partial block and return the flushed prefix.
+        Err.consume();
+        for (uint32_t Proc = 0; Proc != H.NumProcs; ++Proc)
+          T.truncateStream(Proc, ProcSizes[Proc]);
+        if (Options.Report)
+          *Options.Report = std::move(ReportSnapshot);
+        Decoded = DecodedSnapshot;
+        LIMA_METRIC_COUNT("lima.parse.binary.salvaged_total", 1);
+        break;
+      }
+      return Err;
     }
   }
   // Bytes after the last block are the (unvalidated) index; ignore them.

@@ -53,6 +53,9 @@ INGEST_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
 BINARY_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
               "speedup_vs_v1": float}
 
+WRITE_LEG = {"wall_ms": float, "events_per_s": float, "mb_per_s": float,
+             "vs_buffered": float}
+
 RECORD = {"name": str, "threads": int, "events": int,
           "wall_ms": float, "speedup": float}
 
@@ -130,6 +133,23 @@ def validate(doc, path):
              f"{binary['index_overhead_pct']}% exceeds "
              f"{binary['index_overhead_target_pct']}% of the file")
 
+    stream = doc.get("streaming_write")
+    check_object(stream, {
+        "events": int, "bytes": int, "peak_buffered_bytes": int,
+        "block_bound_bytes": int, "peak_buffered_ok": bool,
+    }, "streaming_write")
+    for leg in ("buffered", "streamed"):
+        check_object(stream.get(leg), WRITE_LEG, f"streaming_write.{leg}")
+    if stream["buffered"]["vs_buffered"] != 1.0:
+        fail("streaming_write.buffered.vs_buffered: must be 1.0 by "
+             "definition")
+    # Like the index budget, the writer's memory bound is structural,
+    # not a timing: a violation means the one-block claim broke.
+    if not stream["peak_buffered_ok"]:
+        fail(f"streaming_write: peak buffered "
+             f"{stream['peak_buffered_bytes']} bytes exceeds the "
+             f"one-block bound of {stream['block_bound_bytes']}")
+
     for section in ("telemetry", "metrics"):
         check_object(doc.get(section), {"compiled": bool,
                                         "disabled_wall_ms": float,
@@ -165,7 +185,8 @@ def comparable_walls(doc):
     gate tolerates schema evolution until the baseline is refreshed."""
     for section, legs in (("ingest", ("legacy", "scanner", "sharded_1",
                                       "sharded_hw")),
-                          ("binary_ingest", ("v1", "v2_seq", "v2_sharded"))):
+                          ("binary_ingest", ("v1", "v2_seq", "v2_sharded")),
+                          ("streaming_write", ("buffered", "streamed"))):
         obj = doc.get(section)
         if not isinstance(obj, dict):
             continue
